@@ -1,0 +1,269 @@
+package garfield_test
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"garfield"
+	"garfield/internal/experiments"
+	"garfield/internal/gar"
+	"garfield/internal/rpc"
+	"garfield/internal/tensor"
+	"garfield/internal/transport"
+)
+
+// One benchmark per paper table/figure: each run regenerates the experiment
+// end to end at quick scale (the same generators back `garfield-bench` at
+// full scale). Shapes, not absolute numbers, are the reproduction target;
+// see EXPERIMENTS.md.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	opt := experiments.Options{Quick: true, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(id, opt, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Models(b *testing.B)           { benchExperiment(b, "table1") }
+func BenchmarkFig3aGARsByN(b *testing.B)           { benchExperiment(b, "fig3a") }
+func BenchmarkFig3bGARsByD(b *testing.B)           { benchExperiment(b, "fig3b") }
+func BenchmarkFig4aConvergenceTF(b *testing.B)     { benchExperiment(b, "fig4a") }
+func BenchmarkFig4bConvergencePT(b *testing.B)     { benchExperiment(b, "fig4b") }
+func BenchmarkFig5aRandomAttack(b *testing.B)      { benchExperiment(b, "fig5a") }
+func BenchmarkFig5bReversedAttack(b *testing.B)    { benchExperiment(b, "fig5b") }
+func BenchmarkFig6aSlowdownCPU(b *testing.B)       { benchExperiment(b, "fig6a") }
+func BenchmarkFig6bSlowdownGPU(b *testing.B)       { benchExperiment(b, "fig6b") }
+func BenchmarkFig7BreakdownCPU(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFig8aScalabilityCPU(b *testing.B)    { benchExperiment(b, "fig8a") }
+func BenchmarkFig8bScalabilityGPU(b *testing.B)    { benchExperiment(b, "fig8b") }
+func BenchmarkFig9aDecCommByN(b *testing.B)        { benchExperiment(b, "fig9a") }
+func BenchmarkFig9bDecCommByD(b *testing.B)        { benchExperiment(b, "fig9b") }
+func BenchmarkFig10aByzWorkers(b *testing.B)       { benchExperiment(b, "fig10a") }
+func BenchmarkFig10bByzServers(b *testing.B)       { benchExperiment(b, "fig10b") }
+func BenchmarkFig11aTimeToAccuracyTF(b *testing.B) { benchExperiment(b, "fig11a") }
+func BenchmarkFig11bTimeToAccuracyPT(b *testing.B) { benchExperiment(b, "fig11b") }
+func BenchmarkFig12aMDAConvergence(b *testing.B)   { benchExperiment(b, "fig12a") }
+func BenchmarkFig12bMDAOverTime(b *testing.B)      { benchExperiment(b, "fig12b") }
+func BenchmarkFig13aFwSweepCPU(b *testing.B)       { benchExperiment(b, "fig13a") }
+func BenchmarkFig13bFwSweepGPU(b *testing.B)       { benchExperiment(b, "fig13b") }
+func BenchmarkFig14aFpsSweepCPU(b *testing.B)      { benchExperiment(b, "fig14a") }
+func BenchmarkFig14bFpsSweepGPU(b *testing.B)      { benchExperiment(b, "fig14b") }
+func BenchmarkFig15SlowdownPT(b *testing.B)        { benchExperiment(b, "fig15") }
+func BenchmarkFig16BreakdownPT(b *testing.B)       { benchExperiment(b, "fig16") }
+func BenchmarkTable2Alignment(b *testing.B)        { benchExperiment(b, "table2") }
+
+// Extension experiments (DESIGN.md §6 ablations beyond the paper).
+func BenchmarkExtMomentumVariance(b *testing.B) { benchExperiment(b, "ext-momentum") }
+func BenchmarkExtGARsUnderAttack(b *testing.B)  { benchExperiment(b, "ext-gars") }
+func BenchmarkExtStaleFault(b *testing.B)       { benchExperiment(b, "ext-stale") }
+func BenchmarkExtLiveThroughput(b *testing.B)   { benchExperiment(b, "ext-throughput") }
+
+// --- GAR micro-benchmarks (the raw numbers behind Figure 3) ---
+
+func benchRule(b *testing.B, name string, n, f, d int) {
+	b.Helper()
+	r, err := gar.New(name, n, f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := tensor.NewRNG(7)
+	inputs := make([]tensor.Vector, n)
+	for i := range inputs {
+		inputs[i] = rng.NormalVector(d, 0, 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Aggregate(inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGARAverage(b *testing.B)     { benchRule(b, gar.NameAverage, 17, 0, 100_000) }
+func BenchmarkGARMedian(b *testing.B)      { benchRule(b, gar.NameMedian, 17, 3, 100_000) }
+func BenchmarkGARTrimmedMean(b *testing.B) { benchRule(b, gar.NameTrimmedMean, 17, 3, 100_000) }
+func BenchmarkGARKrum(b *testing.B)        { benchRule(b, gar.NameKrum, 17, 3, 100_000) }
+func BenchmarkGARMultiKrum(b *testing.B)   { benchRule(b, gar.NameMultiKrum, 17, 3, 100_000) }
+func BenchmarkGARMDA(b *testing.B)         { benchRule(b, gar.NameMDA, 17, 3, 100_000) }
+func BenchmarkGARBulyan(b *testing.B)      { benchRule(b, gar.NameBulyan, 17, 3, 100_000) }
+
+// --- Design ablations called out in DESIGN.md ---
+
+// BenchmarkAblationMedian compares the parallel coordinate-sharded median
+// (the paper's CPU strategy, Section 4.3) against a sequential baseline.
+func BenchmarkAblationMedian(b *testing.B) {
+	const n, f, d = 17, 3, 1_000_000
+	rng := tensor.NewRNG(7)
+	inputs := make([]tensor.Vector, n)
+	for i := range inputs {
+		inputs[i] = rng.NormalVector(d, 0, 1)
+	}
+	b.Run("parallel", func(b *testing.B) {
+		r, err := gar.NewMedian(n, f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Aggregate(inputs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		r, err := gar.NewSequentialMedian(n, f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Aggregate(inputs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationBulyanInner compares Bulyan's inner selection rules
+// (Multi-Krum, as evaluated in the paper, vs Median).
+func BenchmarkAblationBulyanInner(b *testing.B) {
+	const n, f, d = 15, 3, 100_000
+	rng := tensor.NewRNG(7)
+	inputs := make([]tensor.Vector, n)
+	for i := range inputs {
+		inputs[i] = rng.NormalVector(d, 0, 1)
+	}
+	for _, inner := range []string{gar.NameMultiKrum, gar.NameMedian} {
+		inner := inner
+		b.Run(inner, func(b *testing.B) {
+			r, err := gar.NewBulyanInner(n, f, inner)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Aggregate(inputs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRPCClient compares the dial-per-call client (the default,
+// whose per-call independence makes straggler cancellation safe) against the
+// persistent-connection pooled client.
+func BenchmarkAblationRPCClient(b *testing.B) {
+	net := transport.NewMem()
+	rng := tensor.NewRNG(3)
+	vec := rng.NormalVector(10_000, 0, 1)
+	srv, err := rpc.Serve(net, "peer", rpc.HandlerFunc(func(rpc.Request) rpc.Response {
+		return rpc.Response{OK: true, Vec: vec}
+	}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	req := rpc.Request{Kind: rpc.KindGetModel}
+
+	b.Run("dial-per-call", func(b *testing.B) {
+		c := rpc.NewClient(net)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Call(context.Background(), "peer", req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		c := rpc.NewPooledClient(net)
+		defer c.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Call(context.Background(), "peer", req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRPCPullFirstQ measures the first-q-of-n pull primitive that
+// implements get_gradients(t, q), over the in-memory transport.
+func BenchmarkRPCPullFirstQ(b *testing.B) {
+	net := transport.NewMem()
+	const peers = 9
+	const d = 10_000
+	rng := tensor.NewRNG(3)
+	vec := rng.NormalVector(d, 0, 1)
+	addrs := make([]string, peers)
+	for i := range addrs {
+		addrs[i] = "peer-" + string(rune('a'+i))
+		srv, err := rpc.Serve(net, addrs[i], rpc.HandlerFunc(func(rpc.Request) rpc.Response {
+			return rpc.Response{OK: true, Vec: vec}
+		}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+	}
+	client := rpc.NewClient(net)
+	req := rpc.Request{Kind: rpc.KindGetModel}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.PullFirstQ(context.Background(), addrs, peers-2, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVectorCodec measures the tensor wire (de)serialization cost the
+// paper identifies as non-negligible (Section 4.1).
+func BenchmarkVectorCodec(b *testing.B) {
+	rng := tensor.NewRNG(5)
+	v := rng.NormalVector(1_000_000, 0, 1)
+	buf := make([]byte, v.EncodedSize())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := v.EncodeTo(buf); err != nil {
+			b.Fatal(err)
+		}
+		var w tensor.Vector
+		if err := w.UnmarshalBinary(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLiveSSMWIteration measures one live SSMW training iteration over
+// the in-memory cluster (communication + aggregation + update).
+func BenchmarkLiveSSMWIteration(b *testing.B) {
+	train, test, err := garfield.GenerateDataset(garfield.SyntheticSpec{
+		Name: "bench", Dim: 32, Classes: 5, Train: 500, Test: 100,
+		Separation: 1, Noise: 1, Seed: 6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	arch, err := garfield.NewLinearSoftmax(32, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cluster, err := garfield.NewCluster(garfield.Config{
+		Arch: arch, Train: train, Test: test,
+		BatchSize: 16, NW: 7, FW: 1,
+		Rule: garfield.RuleMedian, Seed: 6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	b.ResetTimer()
+	if _, err := cluster.RunSSMW(garfield.RunOptions{Iterations: b.N}); err != nil {
+		b.Fatal(err)
+	}
+}

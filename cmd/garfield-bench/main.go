@@ -1,0 +1,75 @@
+// Command garfield-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	garfield-bench [-quick] [-seed N] <experiment-id>|all|list
+//
+// Experiment ids follow the paper's numbering: table1, fig3a ... fig16,
+// table2. "all" runs the full suite in order; "list" prints the catalogue.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"garfield/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "garfield-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("garfield-bench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "run reduced-scale experiments (seconds instead of minutes)")
+	seed := fs.Uint64("seed", 20211, "random seed for all experiments")
+	format := fs.String("format", "table", "output format: table or csv")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: garfield-bench [-quick] [-seed N] [-format table|csv] <experiment-id>|all|list")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("exactly one experiment id expected, got %d", fs.NArg())
+	}
+	opt := experiments.Options{Quick: *quick, Seed: *seed}
+	target := fs.Arg(0)
+
+	render := experiments.Run
+	switch *format {
+	case "table":
+	case "csv":
+		render = experiments.RunCSV
+	default:
+		return fmt.Errorf("unknown format %q (want table or csv)", *format)
+	}
+
+	switch target {
+	case "list":
+		for _, id := range experiments.IDs() {
+			desc, err := experiments.Describe(id)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%-14s %s\n", id, desc)
+		}
+		return nil
+	case "all":
+		for _, id := range experiments.IDs() {
+			if err := render(id, opt, out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		return nil
+	default:
+		return render(target, opt, out)
+	}
+}

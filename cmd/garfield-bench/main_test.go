@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	runErr := run(args, f)
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestList(t *testing.T) {
+	out, err := capture(t, []string{"list"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"table1", "fig3a", "fig16", "table2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	out, err := capture(t, []string{"-quick", "table1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "VGG") {
+		t.Fatalf("table1 output:\n%s", out)
+	}
+}
+
+func TestRunSimnetFigure(t *testing.T) {
+	out, err := capture(t, []string{"-quick", "fig7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "decentralized") {
+		t.Fatalf("fig7 output:\n%s", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := capture(t, []string{"nonsense"}); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestNoArgs(t *testing.T) {
+	if _, err := capture(t, nil); err == nil {
+		t.Fatal("expected usage error")
+	}
+}

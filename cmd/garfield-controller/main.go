@@ -1,0 +1,70 @@
+// Command garfield-controller deploys a whole cluster from a JSON manifest —
+// the paper's Controller module (Section 3.2). It validates the manifest
+// (including GAR resilience preconditions), prints the per-node launch plan,
+// and with -run starts every node as a local child process, streaming their
+// output until the servers finish.
+//
+// Usage:
+//
+//	garfield-controller [-run] [-node-binary path] manifest.json
+//
+// Without -run it only prints the launch plan (the commands one would run on
+// each host of a real multi-machine deployment).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"garfield/internal/controller"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "garfield-controller:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("garfield-controller", flag.ContinueOnError)
+	launch := fs.Bool("run", false, "launch the cluster as local child processes")
+	binary := fs.String("node-binary", "garfield-node", "path to the garfield-node executable")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: garfield-controller [-run] [-node-binary path] manifest.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("exactly one manifest file expected")
+	}
+	raw, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	m, err := controller.Parse(raw)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("launch plan: %s, %d workers (fw=%d), %d servers (fps=%d), rule=%s\n",
+		m.Protocol, len(m.Workers), m.FW, len(m.Servers), m.FPS, m.Rule)
+	for _, c := range m.Commands() {
+		fmt.Printf("  [%s @ %s] garfield-node %s\n", c.Role, c.Addr, strings.Join(c.Args, " "))
+	}
+	if !*launch {
+		return nil
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	l := controller.Launcher{Binary: *binary, Stdout: os.Stdout, Stderr: os.Stderr}
+	return l.Run(ctx, m)
+}

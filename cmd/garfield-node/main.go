@@ -1,0 +1,382 @@
+// Command garfield-node runs one Garfield node as a standalone process over
+// TCP — the deployment path of the paper's Controller module. A cluster is a
+// set of worker processes plus one or more server processes, all started with
+// the same task flags (seed, dim, classes, nw) so that every node generates
+// the same synthetic dataset and takes its own shard of it.
+//
+// Start, e.g., three workers and one server on one machine:
+//
+//	garfield-node -role worker -listen 127.0.0.1:7001 -index 0 -nw 3 &
+//	garfield-node -role worker -listen 127.0.0.1:7002 -index 1 -nw 3 &
+//	garfield-node -role worker -listen 127.0.0.1:7003 -index 2 -nw 3 &
+//	garfield-node -role server -listen 127.0.0.1:7000 -nw 3 -fw 0 \
+//	    -workers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 \
+//	    -rule median -iterations 100
+//
+// A server process runs the SSMW loop (Listing 1) or, with -peers, the MSMW
+// loop (Listing 2) and prints accuracy as it trains. Worker processes serve
+// until killed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"garfield/internal/core"
+	"garfield/internal/data"
+	"garfield/internal/model"
+	"garfield/internal/rpc"
+	"garfield/internal/sgd"
+	"garfield/internal/tensor"
+	"garfield/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "garfield-node:", err)
+		os.Exit(1)
+	}
+}
+
+type nodeFlags struct {
+	role       string
+	listen     string
+	index      int
+	nw, fw     int
+	fps        int
+	workers    string
+	peers      string
+	rule       string
+	modelRule  string
+	iterations int
+	batch      int
+	accEvery   int
+	dim        int
+	classes    int
+	trainN     int
+	testN      int
+	lr         float64
+	seed       uint64
+	timeout    time.Duration
+
+	contractSteps int
+	nonIID        bool
+	linger        time.Duration
+}
+
+func parseFlags(args []string) (*nodeFlags, error) {
+	fs := flag.NewFlagSet("garfield-node", flag.ContinueOnError)
+	nf := &nodeFlags{}
+	fs.StringVar(&nf.role, "role", "", "node role: worker, server, or peer (required)")
+	fs.StringVar(&nf.listen, "listen", "127.0.0.1:0", "listen address")
+	fs.IntVar(&nf.index, "index", 0, "worker shard index (worker role)")
+	fs.IntVar(&nf.nw, "nw", 3, "total number of workers")
+	fs.IntVar(&nf.fw, "fw", 0, "declared Byzantine workers")
+	fs.IntVar(&nf.fps, "fps", 0, "declared Byzantine servers (msmw)")
+	fs.StringVar(&nf.workers, "workers", "", "comma-separated worker addresses (server role)")
+	fs.StringVar(&nf.peers, "peers", "", "comma-separated server replica addresses incl. self (enables MSMW)")
+	fs.StringVar(&nf.rule, "rule", "median", "gradient aggregation rule")
+	fs.StringVar(&nf.modelRule, "model-rule", "median", "model aggregation rule (msmw)")
+	fs.IntVar(&nf.iterations, "iterations", 100, "training iterations (server role)")
+	fs.IntVar(&nf.batch, "batch", 32, "per-worker mini-batch size")
+	fs.IntVar(&nf.accEvery, "acc-every", 10, "accuracy measurement period")
+	fs.IntVar(&nf.dim, "dim", 64, "synthetic task feature dimension")
+	fs.IntVar(&nf.classes, "classes", 10, "synthetic task classes")
+	fs.IntVar(&nf.trainN, "train", 4000, "synthetic training examples")
+	fs.IntVar(&nf.testN, "test", 1000, "synthetic test examples")
+	fs.Float64Var(&nf.lr, "lr", 0.25, "learning rate")
+	fs.Uint64Var(&nf.seed, "seed", 1, "shared random seed (must match across nodes)")
+	fs.DurationVar(&nf.timeout, "timeout", 30*time.Second, "per-pull timeout")
+	fs.IntVar(&nf.contractSteps, "contract-steps", 1, "contract rounds per iteration (peer role)")
+	fs.BoolVar(&nf.nonIID, "non-iid", false, "shard data by label (peer role)")
+	fs.DurationVar(&nf.linger, "linger", 5*time.Second,
+		"keep serving after finishing so slower peers can complete (peer role)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	switch nf.role {
+	case "worker", "server", "peer":
+	default:
+		return nil, fmt.Errorf("-role must be worker, server or peer, got %q", nf.role)
+	}
+	return nf, nil
+}
+
+func run(args []string, out io.Writer) error {
+	nf, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	arch, err := model.NewLinearSoftmax(nf.dim, nf.classes)
+	if err != nil {
+		return err
+	}
+	_, test, err := data.Generate(data.SyntheticSpec{
+		Name: "node-task", Dim: nf.dim, Classes: nf.classes,
+		Train: nf.trainN, Test: nf.testN,
+		Separation: 1.0, Noise: 1.0, Seed: nf.seed,
+	})
+	if err != nil {
+		return err
+	}
+	switch nf.role {
+	case "worker":
+		return runWorker(nf, out)
+	case "peer":
+		return runPeer(nf, arch, test, out)
+	default:
+		return runServer(nf, arch, test, out)
+	}
+}
+
+// runPeer deploys one decentralized node (Listing 3): a Worker and a Server
+// behind a single TCP endpoint, driving the contract-based training loop
+// against the peer set.
+func runPeer(nf *nodeFlags, arch model.Model, test *data.Dataset, out io.Writer) error {
+	peerAddrs := splitAddrs(nf.peers)
+	if len(peerAddrs) != nf.nw {
+		return fmt.Errorf("-peers lists %d addresses, -nw is %d", len(peerAddrs), nf.nw)
+	}
+	train, _, err := data.Generate(data.SyntheticSpec{
+		Name: "node-task", Dim: nf.dim, Classes: nf.classes,
+		Train: nf.trainN, Test: nf.testN,
+		Separation: 1.0, Noise: 1.0, Seed: nf.seed,
+	})
+	if err != nil {
+		return err
+	}
+	var shards []*data.Dataset
+	if nf.nonIID {
+		shards, err = data.PartitionByLabel(train, nf.nw)
+	} else {
+		shards, err = data.PartitionIID(train, nf.nw, nf.seed)
+	}
+	if err != nil {
+		return err
+	}
+	if nf.index < 0 || nf.index >= nf.nw {
+		return fmt.Errorf("peer index %d out of range [0, %d)", nf.index, nf.nw)
+	}
+	w, err := core.NewWorker(arch, shards[nf.index], nf.batch, nf.seed+uint64(nf.index)+1, nil)
+	if err != nil {
+		return err
+	}
+	opt, err := sgd.New(sgd.Constant(nf.lr))
+	if err != nil {
+		return err
+	}
+	client := rpc.NewClient(transport.TCP{})
+	s, err := core.NewServer(core.ServerConfig{
+		Arch:      arch,
+		Init:      arch.InitParams(tensor.NewRNG(nf.seed)),
+		Optimizer: opt,
+		Client:    client,
+		Workers:   peerAddrs, // gradient pulls hit every node's worker half
+		Peers:     peerAddrs,
+	})
+	if err != nil {
+		return err
+	}
+	node, err := core.NewPeerNode(w, s)
+	if err != nil {
+		return err
+	}
+	srv, err := rpc.Serve(transport.TCP{}, nf.listen, node)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(out, "peer %d on %s: %s over %d nodes (f=%d)\n",
+		nf.index, srv.Addr(), nf.rule, nf.nw, nf.fw)
+
+	q := nf.nw - nf.fw
+	contract := 0
+	if nf.nonIID {
+		contract = nf.contractSteps
+	}
+	for i := 0; i < nf.iterations; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), nf.timeout)
+		err := node.DecentralizedStep(ctx, i, q, nf.fw, nf.rule, nf.modelRule, contract)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("iteration %d: %w", i, err)
+		}
+		if nf.accEvery > 0 && (i+1)%nf.accEvery == 0 {
+			acc, err := s.ComputeAccuracy(test)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "peer %d iteration %4d  accuracy %.4f\n", nf.index, i+1, acc)
+		}
+	}
+	acc, err := s.ComputeAccuracy(test)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "peer %d done: final accuracy %.4f\n", nf.index, acc)
+	// Decentralized peers have no coordinator; a node that exits the
+	// moment its own loop ends would break the quorum of slower peers
+	// mid-round, so keep serving pulls for a grace period.
+	time.Sleep(nf.linger)
+	return nil
+}
+
+// startWorker builds the worker node and starts serving; it returns the
+// running RPC server and the shard size. Factored out of runWorker so tests
+// can run workers without SIGINT plumbing.
+func startWorker(nf *nodeFlags) (*rpc.Server, int, error) {
+	arch, err := model.NewLinearSoftmax(nf.dim, nf.classes)
+	if err != nil {
+		return nil, 0, err
+	}
+	train, _, err := data.Generate(data.SyntheticSpec{
+		Name: "node-task", Dim: nf.dim, Classes: nf.classes,
+		Train: nf.trainN, Test: nf.testN,
+		Separation: 1.0, Noise: 1.0, Seed: nf.seed,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	shards, err := data.PartitionIID(train, nf.nw, nf.seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	if nf.index < 0 || nf.index >= nf.nw {
+		return nil, 0, fmt.Errorf("worker index %d out of range [0, %d)", nf.index, nf.nw)
+	}
+	w, err := core.NewWorker(arch, shards[nf.index], nf.batch, nf.seed+uint64(nf.index)+1, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	srv, err := rpc.Serve(transport.TCP{}, nf.listen, w)
+	if err != nil {
+		return nil, 0, err
+	}
+	return srv, shards[nf.index].Len(), nil
+}
+
+func runWorker(nf *nodeFlags, out io.Writer) error {
+	srv, shardLen, err := startWorker(nf)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(out, "worker %d serving on %s (shard: %d examples)\n",
+		nf.index, srv.Addr(), shardLen)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	<-ctx.Done()
+	fmt.Fprintln(out, "worker shutting down")
+	return nil
+}
+
+func runServer(nf *nodeFlags, arch model.Model, test *data.Dataset, out io.Writer) error {
+	workerAddrs := splitAddrs(nf.workers)
+	if len(workerAddrs) != nf.nw {
+		return fmt.Errorf("-workers lists %d addresses, -nw is %d", len(workerAddrs), nf.nw)
+	}
+	peerAddrs := splitAddrs(nf.peers)
+	msmw := len(peerAddrs) > 0
+
+	opt, err := sgd.New(sgd.Constant(nf.lr))
+	if err != nil {
+		return err
+	}
+	client := rpc.NewClient(transport.TCP{})
+	s, err := core.NewServer(core.ServerConfig{
+		Arch:      arch,
+		Init:      arch.InitParams(tensor.NewRNG(nf.seed)),
+		Optimizer: opt,
+		Client:    client,
+		Workers:   workerAddrs,
+		Peers:     peerAddrs,
+	})
+	if err != nil {
+		return err
+	}
+	// Serve model pulls from replica peers (MSMW) on the listen address.
+	srv, err := rpc.Serve(transport.TCP{}, nf.listen, s)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(out, "server on %s: %s over %d workers (fw=%d)",
+		srv.Addr(), nf.rule, nf.nw, nf.fw)
+	if msmw {
+		fmt.Fprintf(out, ", %d replicas (fps=%d)", len(peerAddrs), nf.fps)
+	}
+	fmt.Fprintln(out)
+
+	qw := nf.nw
+	if msmw {
+		qw = nf.nw - nf.fw
+	}
+	for i := 0; i < nf.iterations; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), nf.timeout)
+		grads, err := s.GetGradients(ctx, i, qw)
+		if err != nil {
+			cancel()
+			return fmt.Errorf("iteration %d: %w", i, err)
+		}
+		aggr, err := core.Aggregate(nf.rule, nf.fw, grads)
+		if err != nil {
+			cancel()
+			return fmt.Errorf("iteration %d: %w", i, err)
+		}
+		if err := s.UpdateModel(aggr); err != nil {
+			cancel()
+			return err
+		}
+		if msmw {
+			models, err := s.GetModels(ctx, len(peerAddrs)-nf.fps)
+			if err != nil {
+				cancel()
+				return fmt.Errorf("iteration %d models: %w", i, err)
+			}
+			aggrM, err := core.Aggregate(nf.modelRule, nf.fps, models)
+			if err != nil {
+				cancel()
+				return err
+			}
+			if err := s.WriteModel(aggrM); err != nil {
+				cancel()
+				return err
+			}
+		}
+		cancel()
+		if nf.accEvery > 0 && (i+1)%nf.accEvery == 0 {
+			acc, err := s.ComputeAccuracy(test)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "iteration %4d  accuracy %.4f\n", i+1, acc)
+		}
+	}
+	acc, err := s.ComputeAccuracy(test)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "done: final accuracy %.4f\n", acc)
+	return nil
+}
+
+func splitAddrs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

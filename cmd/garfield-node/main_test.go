@@ -1,0 +1,266 @@
+package main
+
+import (
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// freePorts reserves n distinct loopback addresses by binding and releasing
+// ephemeral ports.
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	for _, l := range listeners {
+		_ = l.Close()
+	}
+	return addrs
+}
+
+func TestParseFlagsValidation(t *testing.T) {
+	if _, err := parseFlags([]string{"-role", "director"}); err == nil {
+		t.Fatal("expected error for bad role")
+	}
+	nf, err := parseFlags([]string{"-role", "worker", "-index", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nf.index != 2 || nf.role != "worker" {
+		t.Fatalf("flags = %+v", nf)
+	}
+}
+
+func TestSplitAddrs(t *testing.T) {
+	got := splitAddrs(" a:1, b:2 ,,c:3")
+	if len(got) != 3 || got[0] != "a:1" || got[2] != "c:3" {
+		t.Fatalf("splitAddrs = %v", got)
+	}
+	if splitAddrs("") != nil {
+		t.Fatal("empty input should give nil")
+	}
+}
+
+func TestServerRejectsWorkerCountMismatch(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-role", "server", "-nw", "3", "-workers", "a:1,b:2",
+		"-iterations", "1",
+	}, &sb)
+	if err == nil {
+		t.Fatal("expected mismatch error")
+	}
+}
+
+func TestStartWorkerBadIndex(t *testing.T) {
+	nf := &nodeFlags{
+		role: "worker", listen: "127.0.0.1:0", index: 9,
+		nw: 3, batch: 16, dim: 16, classes: 3, trainN: 300, testN: 100, seed: 1,
+	}
+	if _, _, err := startWorker(nf); err == nil {
+		t.Fatal("expected out-of-range index error")
+	}
+}
+
+// TestEndToEndSSMWOverTCP deploys 3 worker nodes and an SSMW server over
+// loopback TCP — the real multi-process communication path, in-process for
+// testability.
+func TestEndToEndSSMWOverTCP(t *testing.T) {
+	addrs := freePorts(t, 3)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i, addr := range addrs {
+		nf := &nodeFlags{
+			role: "worker", listen: addr, index: i,
+			nw: 3, batch: 16, dim: 16, classes: 3,
+			trainN: 400, testN: 150, seed: 11,
+		}
+		srv, shardLen, err := startWorker(nf)
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		if shardLen == 0 {
+			t.Fatalf("worker %d got empty shard", i)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-stop
+			_ = srv.Close()
+		}()
+	}
+	defer func() {
+		close(stop)
+		wg.Wait()
+	}()
+
+	var sb strings.Builder
+	err := run([]string{
+		"-role", "server",
+		"-listen", "127.0.0.1:0",
+		"-nw", "3", "-fw", "0",
+		"-workers", strings.Join(addrs, ","),
+		"-rule", "median",
+		"-iterations", "30",
+		"-acc-every", "10",
+		"-dim", "16", "-classes", "3", "-train", "400", "-test", "150",
+		"-lr", "0.5",
+		"-seed", "11",
+		"-timeout", "10s",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("server run: %v\noutput:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	idx := strings.LastIndex(out, "final accuracy ")
+	if idx < 0 {
+		t.Fatalf("missing final accuracy:\n%s", out)
+	}
+	accStr := strings.TrimSpace(out[idx+len("final accuracy "):])
+	acc, err := strconv.ParseFloat(accStr, 64)
+	if err != nil {
+		t.Fatalf("cannot parse accuracy %q: %v", accStr, err)
+	}
+	if acc < 0.7 {
+		t.Fatalf("end-to-end accuracy = %v", acc)
+	}
+}
+
+// TestEndToEndDecentralizedOverTCP deploys three decentralized peer nodes
+// over loopback TCP, each running the Listing-3 loop with the retry-based
+// contract step.
+func TestEndToEndDecentralizedOverTCP(t *testing.T) {
+	addrs := freePorts(t, 3)
+	peerArgs := func(index int) []string {
+		return []string{
+			"-role", "peer",
+			"-listen", addrs[index],
+			"-index", strconv.Itoa(index),
+			"-nw", "3", "-fw", "0",
+			"-peers", strings.Join(addrs, ","),
+			"-rule", "median", "-model-rule", "median",
+			"-iterations", "15",
+			"-acc-every", "0",
+			"-non-iid", "-contract-steps", "1",
+			"-dim", "16", "-classes", "3", "-train", "450", "-test", "150",
+			"-lr", "0.5",
+			"-seed", "17",
+			"-timeout", "20s",
+		}
+	}
+	type result struct {
+		out string
+		err error
+	}
+	results := make(chan result, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		go func() {
+			var sb strings.Builder
+			err := run(peerArgs(i), &sb)
+			results <- result{out: sb.String(), err: err}
+		}()
+	}
+	deadline := time.After(90 * time.Second)
+	for i := 0; i < 3; i++ {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				t.Fatalf("peer failed: %v\n%s", r.err, r.out)
+			}
+			if !strings.Contains(r.out, "done: final accuracy") {
+				t.Fatalf("peer did not finish:\n%s", r.out)
+			}
+		case <-deadline:
+			t.Fatal("decentralized peers did not finish in time")
+		}
+	}
+}
+
+// TestEndToEndMSMWOverTCP deploys workers plus two MSMW server replicas over
+// TCP, each replica driven by its own goroutine, exchanging models through
+// the get_models pull.
+func TestEndToEndMSMWOverTCP(t *testing.T) {
+	workerAddrs := freePorts(t, 3)
+	serverAddrs := freePorts(t, 2)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i, addr := range workerAddrs {
+		nf := &nodeFlags{
+			role: "worker", listen: addr, index: i,
+			nw: 3, batch: 16, dim: 16, classes: 3,
+			trainN: 400, testN: 150, seed: 13,
+		}
+		srv, _, err := startWorker(nf)
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-stop
+			_ = srv.Close()
+		}()
+	}
+	defer func() {
+		close(stop)
+		wg.Wait()
+	}()
+
+	serverArgs := func(listen string) []string {
+		return []string{
+			"-role", "server",
+			"-listen", listen,
+			"-nw", "3", "-fw", "0", "-fps", "0",
+			"-workers", strings.Join(workerAddrs, ","),
+			"-peers", strings.Join(serverAddrs, ","),
+			"-rule", "median", "-model-rule", "median",
+			"-iterations", "20",
+			"-acc-every", "0",
+			"-dim", "16", "-classes", "3", "-train", "400", "-test", "150",
+			"-lr", "0.5",
+			"-seed", "13",
+			"-timeout", "10s",
+		}
+	}
+	type result struct {
+		out string
+		err error
+	}
+	results := make(chan result, len(serverAddrs))
+	for _, addr := range serverAddrs {
+		addr := addr
+		go func() {
+			var sb strings.Builder
+			err := run(serverArgs(addr), &sb)
+			results <- result{out: sb.String(), err: err}
+		}()
+	}
+	deadline := time.After(60 * time.Second)
+	for range serverAddrs {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				t.Fatalf("msmw server: %v\n%s", r.err, r.out)
+			}
+			if !strings.Contains(r.out, "final accuracy") {
+				t.Fatalf("missing accuracy:\n%s", r.out)
+			}
+		case <-deadline:
+			t.Fatal("msmw servers did not finish in time")
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestMeasureVariance(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-n", "8", "-f", "1", "-steps", "5", "-dim", "16", "-classes", "3", "-batch", "16"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"mda", "krum", "median", "condition satisfied in"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// 5 sampled steps plus headers and summary.
+	if strings.Count(out, "\n") < 9 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+}
+
+func TestMeasureVarianceInvalidConfig(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "2", "-f", "3"}, &sb); err == nil {
+		t.Fatal("expected error for f >= n")
+	}
+	if err := run([]string{"-momentum", "1.5"}, &sb); err == nil {
+		t.Fatal("expected error for momentum >= 1")
+	}
+}
+
+// TestMomentumRestoresCondition checks the Section 8 claim this tool
+// demonstrates: worker-side momentum (variance reduction) raises the
+// measured ratios, satisfying the GAR condition in more steps.
+func TestMomentumRestoresCondition(t *testing.T) {
+	satisfiedCount := func(extra ...string) int {
+		args := append([]string{"-n", "10", "-f", "3", "-steps", "8"}, extra...)
+		var sb strings.Builder
+		if err := run(args, &sb); err != nil {
+			t.Fatal(err)
+		}
+		out := sb.String()
+		// "median" also appears in the header; the summary line is last.
+		idx := strings.LastIndex(out, "median")
+		if idx < 0 {
+			t.Fatalf("missing summary:\n%s", out)
+		}
+		// Line shape: "median   condition satisfied in N/M steps".
+		var n, total int
+		line := out[idx:]
+		if _, err := fmt.Sscanf(line, "median condition satisfied in %d/%d steps", &n, &total); err != nil {
+			t.Fatalf("cannot parse %q: %v", line, err)
+		}
+		return n
+	}
+	raw := satisfiedCount()
+	smoothed := satisfiedCount("-momentum", "0.9")
+	if smoothed <= raw {
+		t.Fatalf("momentum did not improve the condition: %d vs %d steps satisfied", raw, smoothed)
+	}
+}

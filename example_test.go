@@ -1,0 +1,96 @@
+package garfield_test
+
+import (
+	"fmt"
+	"log"
+
+	"garfield"
+)
+
+// ExampleAggregate shows robust aggregation directly: the median of three
+// gradients ignores the Byzantine outlier.
+func ExampleAggregate() {
+	honest1 := garfield.Vector{0.9, 1.1}
+	honest2 := garfield.Vector{1.1, 0.9}
+	byzantine := garfield.Vector{-1000, 1000}
+
+	out, err := garfield.Aggregate(garfield.RuleMedian, 1,
+		[]garfield.Vector{honest1, honest2, byzantine})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+	// Output: [0.9 1.1]
+}
+
+// ExampleNewRule constructs a GAR with the paper's init(name, n, f)
+// interface; the resilience precondition is validated eagerly.
+func ExampleNewRule() {
+	rule, err := garfield.NewRule(garfield.RuleBulyan, 15, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rule.Name(), rule.N(), rule.F())
+
+	_, err = garfield.NewRule(garfield.RuleBulyan, 10, 3) // needs n >= 4f+3
+	fmt.Println(err != nil)
+	// Output:
+	// bulyan 15 3
+	// true
+}
+
+// ExampleNewCluster trains the paper's Listing-1 deployment (SSMW) with a
+// Byzantine worker mounting the reversed-gradient attack.
+func ExampleNewCluster() {
+	train, test, err := garfield.GenerateDataset(garfield.SyntheticSpec{
+		Name: "example", Dim: 12, Classes: 3, Train: 400, Test: 150,
+		Separation: 1.5, Noise: 0.6, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	arch, err := garfield.NewLinearSoftmax(12, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	atk, err := garfield.NewAttack(garfield.AttackReversed, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cluster, err := garfield.NewCluster(garfield.Config{
+		Arch: arch, Train: train, Test: test,
+		BatchSize: 16,
+		NW:        7, FW: 1,
+		Rule:         garfield.RuleMedian,
+		WorkerAttack: atk,
+		LR:           garfield.ConstantLR(0.5),
+		Seed:         5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	res, err := cluster.RunSSMW(garfield.RunOptions{Iterations: 60})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("learned under attack:", res.Accuracy.Last() > 0.8)
+	// Output: learned under attack: true
+}
+
+// ExampleNewAttack lists the built-in Byzantine behaviours.
+func ExampleNewAttack() {
+	for _, name := range garfield.AttackNames() {
+		fmt.Println(name)
+	}
+	// Output:
+	// none
+	// random
+	// reversed
+	// drop
+	// littleisenough
+	// fallofempires
+	// stale
+}

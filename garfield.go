@@ -1,0 +1,178 @@
+// Package garfield is the public API of Garfield-Go, a from-scratch Go
+// reproduction of "Garfield: System Support for Byzantine Machine Learning"
+// (Guerraoui et al., DSN 2021).
+//
+// Garfield makes SGD-based distributed learning resilient to Byzantine
+// (arbitrarily faulty) participants by replacing gradient averaging with
+// statistically-robust gradient aggregation rules (GARs) and by replicating
+// the parameter server. The library provides:
+//
+//   - the GARs of the paper — Median, Krum, Multi-Krum, MDA, Bulyan — plus
+//     Average and TrimmedMean, behind one Aggregate call;
+//   - Server and Worker node objects with the paper's pull-based
+//     communication abstractions get_gradients(t, q) / get_models(q);
+//   - the three applications of the paper as ready-to-run protocols over an
+//     in-process cluster: SSMW (single server, multiple workers), MSMW
+//     (replicated Byzantine-resilient servers) and decentralized learning,
+//     along with vanilla, AggregaThor-style and crash-tolerant baselines;
+//   - the published attacks (random / reversed / dropped vectors, little is
+//     enough, fall of empires) for adversarial evaluation;
+//   - synthetic datasets, differentiable models, an SGD optimizer, and the
+//     experiment harness regenerating every table and figure of the paper.
+//
+// # Quickstart
+//
+// Training a Byzantine-resilient SSMW deployment (Listing 1 of the paper)
+// takes a cluster config and one call:
+//
+//	cluster, err := garfield.NewCluster(garfield.Config{
+//		Arch: arch, Train: train, Test: test,
+//		BatchSize: 32, NW: 9, FW: 1, Rule: garfield.RuleMedian,
+//	})
+//	if err != nil { ... }
+//	defer cluster.Close()
+//	res, err := cluster.RunSSMW(garfield.RunOptions{Iterations: 200, AccEvery: 20})
+//
+// See examples/ for complete programs covering all three applications.
+package garfield
+
+import (
+	"garfield/internal/attack"
+	"garfield/internal/core"
+	"garfield/internal/data"
+	"garfield/internal/gar"
+	"garfield/internal/model"
+	"garfield/internal/sgd"
+	"garfield/internal/tensor"
+)
+
+// Re-exported core types: cluster construction, protocol runners, node
+// objects.
+type (
+	// Config describes a deployment: cluster shape, task, GAR, attacks.
+	Config = core.Config
+	// Cluster is a fully-wired in-process deployment.
+	Cluster = core.Cluster
+	// RunOptions tunes one training run.
+	RunOptions = core.RunOptions
+	// Result carries accuracy curves, throughput and latency breakdown.
+	Result = core.Result
+	// Server is the stateful node object (owns and updates the model).
+	Server = core.Server
+	// Worker is the passive node object (computes gradient estimates).
+	Worker = core.Worker
+)
+
+// Re-exported learning-stack types.
+type (
+	// Vector is the flat float64 parameter/gradient vector everything
+	// operates on.
+	Vector = tensor.Vector
+	// RNG is the deterministic random generator seeding all randomness.
+	RNG = tensor.RNG
+	// Dataset is a labelled set of flattened examples.
+	Dataset = data.Dataset
+	// SyntheticSpec parameterizes synthetic dataset generation.
+	SyntheticSpec = data.SyntheticSpec
+	// Model is a differentiable classifier over a flat parameter vector.
+	Model = model.Model
+	// Attack is a Byzantine payload corruption.
+	Attack = attack.Attack
+	// Rule is a gradient aggregation rule.
+	Rule = gar.Rule
+	// Schedule maps step index to learning rate.
+	Schedule = sgd.Schedule
+)
+
+// GAR names accepted by Config.Rule and NewRule.
+const (
+	RuleAverage     = gar.NameAverage
+	RuleMedian      = gar.NameMedian
+	RuleTrimmedMean = gar.NameTrimmedMean
+	RuleKrum        = gar.NameKrum
+	RuleMultiKrum   = gar.NameMultiKrum
+	RuleMDA         = gar.NameMDA
+	RuleBulyan      = gar.NameBulyan
+	RuleGeoMedian   = gar.NameGeoMedian
+	RulePhocas      = gar.NamePhocas
+)
+
+// Attack names accepted by NewAttack.
+const (
+	AttackNone           = attack.NameNone
+	AttackRandom         = attack.NameRandom
+	AttackReversed       = attack.NameReversed
+	AttackDrop           = attack.NameDrop
+	AttackLittleIsEnough = attack.NameLittleIsEnough
+	AttackFallOfEmpires  = attack.NameFallOfEmpires
+)
+
+// NewCluster shards the data and wires up an in-process deployment.
+func NewCluster(cfg Config) (*Cluster, error) { return core.NewCluster(cfg) }
+
+// Aggregate applies the named GAR, tolerating up to f Byzantine inputs, to
+// the given vectors — the `gar(gradients, f)` call of the paper's listings.
+func Aggregate(rule string, f int, vs []Vector) (Vector, error) {
+	return core.Aggregate(rule, f, vs)
+}
+
+// NewRule constructs a GAR by name for n inputs with at most f Byzantine —
+// the paper's init(name, n, f).
+func NewRule(name string, n, f int) (Rule, error) { return gar.New(name, n, f) }
+
+// RuleNames returns the GAR names NewRule accepts.
+func RuleNames() []string { return gar.Names() }
+
+// NewAttack constructs a Byzantine behaviour by name with paper-default
+// parameters.
+func NewAttack(name string, rng *RNG) (Attack, error) { return attack.New(name, rng) }
+
+// AttackNames returns the attack names NewAttack accepts.
+func AttackNames() []string { return attack.Names() }
+
+// NewRNG returns a deterministic random generator.
+func NewRNG(seed uint64) *RNG { return tensor.NewRNG(seed) }
+
+// GenerateDataset materializes synthetic train/test splits from a spec.
+func GenerateDataset(spec SyntheticSpec) (train, test *Dataset, err error) {
+	return data.Generate(spec)
+}
+
+// MNISTSpec returns the synthetic stand-in for MNIST at the given scale.
+func MNISTSpec(train, test int, seed uint64) SyntheticSpec {
+	return data.MNISTSpec(train, test, seed)
+}
+
+// CIFAR10Spec returns the synthetic stand-in for CIFAR-10.
+func CIFAR10Spec(train, test int, seed uint64) SyntheticSpec {
+	return data.CIFAR10Spec(train, test, seed)
+}
+
+// NewLinearSoftmax returns a linear softmax classifier (multinomial logistic
+// regression).
+func NewLinearSoftmax(in, classes int) (Model, error) {
+	return model.NewLinearSoftmax(in, classes)
+}
+
+// NewMLP returns a one-hidden-layer perceptron classifier.
+func NewMLP(in, hidden, classes int) (Model, error) {
+	return model.NewMLP(in, hidden, classes)
+}
+
+// NewCNN returns a convolutional classifier (conv + ReLU + 2x2 max-pool +
+// dense softmax) over h x w x c inputs.
+func NewCNN(h, w, c, k, filters, classes int) (Model, error) {
+	return model.NewCNN(h, w, c, k, filters, classes)
+}
+
+// NewMNISTCNN returns the stand-in for the paper's MNIST_CNN architecture
+// (28x28x1 input, 10 classes).
+func NewMNISTCNN() (Model, error) { return model.NewMNISTCNN() }
+
+// ConstantLR returns a fixed learning-rate schedule.
+func ConstantLR(lr float64) Schedule { return sgd.Constant(lr) }
+
+// InverseDecayLR returns gamma_k = base / (1 + k/halfLife).
+func InverseDecayLR(base, halfLife float64) Schedule {
+	return sgd.InverseDecay{Base: base, HalfLife: halfLife}
+}

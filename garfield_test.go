@@ -1,0 +1,142 @@
+package garfield_test
+
+import (
+	"testing"
+
+	"garfield"
+)
+
+// These tests exercise the public facade end to end, mirroring what the
+// examples do: everything a downstream user needs must be reachable from the
+// root package alone.
+
+func facadeTask(t *testing.T) (garfield.Model, *garfield.Dataset, *garfield.Dataset) {
+	t.Helper()
+	train, test, err := garfield.GenerateDataset(garfield.SyntheticSpec{
+		Name: "facade", Dim: 12, Classes: 3, Train: 400, Test: 150,
+		Separation: 1.5, Noise: 0.6, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch, err := garfield.NewLinearSoftmax(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arch, train, test
+}
+
+func TestFacadeQuickstartSSMW(t *testing.T) {
+	arch, train, test := facadeTask(t)
+	cluster, err := garfield.NewCluster(garfield.Config{
+		Arch: arch, Train: train, Test: test,
+		BatchSize: 16, NW: 7, FW: 1,
+		Rule: garfield.RuleMedian,
+		LR:   garfield.ConstantLR(0.5),
+		Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	res, err := cluster.RunSSMW(garfield.RunOptions{Iterations: 60, AccEvery: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy.Last() < 0.8 {
+		t.Fatalf("accuracy = %v", res.Accuracy.Last())
+	}
+}
+
+func TestFacadeMSMWUnderAttack(t *testing.T) {
+	arch, train, test := facadeTask(t)
+	atk, err := garfield.NewAttack(garfield.AttackReversed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := garfield.NewCluster(garfield.Config{
+		Arch: arch, Train: train, Test: test,
+		BatchSize: 16, NW: 7, FW: 1, NPS: 4, FPS: 1,
+		Rule:         garfield.RuleMedian,
+		WorkerAttack: atk,
+		LR:           garfield.ConstantLR(0.5),
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	res, err := cluster.RunMSMW(garfield.RunOptions{Iterations: 60, AccEvery: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy.Last() < 0.75 {
+		t.Fatalf("accuracy under attack = %v", res.Accuracy.Last())
+	}
+}
+
+func TestFacadeAggregate(t *testing.T) {
+	out, err := garfield.Aggregate(garfield.RuleMedian, 1,
+		[]garfield.Vector{{1}, {2}, {100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 2 {
+		t.Fatalf("median = %v", out[0])
+	}
+}
+
+func TestFacadeRuleAndAttackRegistries(t *testing.T) {
+	if len(garfield.RuleNames()) != 9 {
+		t.Fatalf("rules = %v", garfield.RuleNames())
+	}
+	if len(garfield.AttackNames()) != 7 {
+		t.Fatalf("attacks = %v", garfield.AttackNames())
+	}
+	for _, name := range garfield.RuleNames() {
+		n := 15
+		f := 1
+		if name == garfield.RuleAverage {
+			f = 0
+		}
+		if _, err := garfield.NewRule(name, n, f); err != nil {
+			t.Fatalf("NewRule(%s): %v", name, err)
+		}
+	}
+	for _, name := range garfield.AttackNames() {
+		if _, err := garfield.NewAttack(name, garfield.NewRNG(1)); err != nil {
+			t.Fatalf("NewAttack(%s): %v", name, err)
+		}
+	}
+}
+
+func TestFacadeSpecs(t *testing.T) {
+	m := garfield.MNISTSpec(100, 10, 1)
+	if m.Dim != 784 {
+		t.Fatalf("mnist dim = %d", m.Dim)
+	}
+	c := garfield.CIFAR10Spec(100, 10, 1)
+	if c.Dim != 3072 {
+		t.Fatalf("cifar dim = %d", c.Dim)
+	}
+}
+
+func TestFacadeSchedules(t *testing.T) {
+	if garfield.ConstantLR(0.1).LR(100) != 0.1 {
+		t.Fatal("ConstantLR broken")
+	}
+	s := garfield.InverseDecayLR(1, 10)
+	if s.LR(0) != 1 || s.LR(10) >= 1 {
+		t.Fatal("InverseDecayLR broken")
+	}
+}
+
+func TestFacadeMLP(t *testing.T) {
+	m, err := garfield.NewMLP(8, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dim() != 8*4+4+4*3+3 {
+		t.Fatalf("dim = %d", m.Dim())
+	}
+}

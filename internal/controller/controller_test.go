@@ -1,0 +1,171 @@
+package controller
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func validManifest() string {
+	return `{
+		"protocol": "msmw",
+		"workers": ["h1:7001", "h2:7002", "h3:7003", "h4:7004", "h5:7005"],
+		"servers": ["h6:7000", "h7:7000", "h8:7000", "h9:7000"],
+		"fw": 1, "fps": 1,
+		"rule": "median",
+		"iterations": 50,
+		"seed": 9
+	}`
+}
+
+func TestParseValid(t *testing.T) {
+	m, err := Parse([]byte(validManifest()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Protocol != "msmw" || len(m.Workers) != 5 || len(m.Servers) != 4 {
+		t.Fatalf("manifest = %+v", m)
+	}
+	// Defaults applied.
+	if m.BatchSize != 32 || m.ModelRule != "median" || m.Dim != 64 {
+		t.Fatalf("defaults not applied: %+v", m)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	bad := strings.Replace(validManifest(), `"fw": 1`, `"fw": 1, "bogus": 2`, 1)
+	if _, err := Parse([]byte(bad)); !errors.Is(err, ErrManifest) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse([]byte("{")); !errors.Is(err, ErrManifest) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	base, err := Parse([]byte(validManifest()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Manifest)
+	}{
+		{"bad protocol", func(m *Manifest) { m.Protocol = "p2p" }},
+		{"no workers", func(m *Manifest) { m.Workers = nil }},
+		{"no servers", func(m *Manifest) { m.Servers = nil }},
+		{"ssmw multi server", func(m *Manifest) { m.Protocol = "ssmw" }},
+		{"msmw one server", func(m *Manifest) { m.Servers = m.Servers[:1] }},
+		{"fw too big", func(m *Manifest) { m.FW = 5 }},
+		{"fps too big", func(m *Manifest) { m.FPS = 4 }},
+		{"negative fw", func(m *Manifest) { m.FW = -1 }},
+		{"bad addr", func(m *Manifest) { m.Workers[0] = "nohostport" }},
+		{"dup addr", func(m *Manifest) { m.Workers[1] = m.Workers[0] }},
+		{"unknown rule", func(m *Manifest) { m.Rule = "zzz" }},
+		{"rule unsatisfiable", func(m *Manifest) { m.Rule = "bulyan" }}, // q=4 < 4f+3=7
+		{"model rule unsatisfiable", func(m *Manifest) { m.ModelRule = "krum" }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := *base
+			m.Workers = append([]string(nil), base.Workers...)
+			m.Servers = append([]string(nil), base.Servers...)
+			tt.mutate(&m)
+			if err := m.Validate(); !errors.Is(err, ErrManifest) {
+				t.Fatalf("err = %v, want ErrManifest", err)
+			}
+		})
+	}
+}
+
+func TestValidateSSMWQuorum(t *testing.T) {
+	// SSMW collects all nw gradients, so bulyan with fw=1 needs nw >= 7.
+	m := &Manifest{
+		Protocol: "ssmw",
+		Workers:  []string{"a:1", "b:1", "c:1", "d:1", "e:1", "f:1", "g:1"},
+		Servers:  []string{"s:1"},
+		FW:       1,
+		Rule:     "bulyan",
+	}
+	m.applyDefaults()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("7-worker bulyan ssmw should validate: %v", err)
+	}
+	m.Workers = m.Workers[:6]
+	if err := m.Validate(); !errors.Is(err, ErrManifest) {
+		t.Fatalf("6-worker bulyan ssmw must fail: %v", err)
+	}
+}
+
+func TestCommands(t *testing.T) {
+	m, err := Parse([]byte(validManifest()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds := m.Commands()
+	if len(cmds) != 9 {
+		t.Fatalf("commands = %d, want 9", len(cmds))
+	}
+	var workers, servers int
+	for _, c := range cmds {
+		joined := strings.Join(c.Args, " ")
+		switch c.Role {
+		case "worker":
+			workers++
+			if !strings.Contains(joined, "-role worker") || !strings.Contains(joined, "-index") {
+				t.Fatalf("worker args = %q", joined)
+			}
+		case "server":
+			servers++
+			if !strings.Contains(joined, "-role server") {
+				t.Fatalf("server args = %q", joined)
+			}
+			if !strings.Contains(joined, "-peers h6:7000,h7:7000,h8:7000,h9:7000") {
+				t.Fatalf("msmw server missing peers: %q", joined)
+			}
+			if !strings.Contains(joined, "-workers h1:7001,h2:7002,h3:7003,h4:7004,h5:7005") {
+				t.Fatalf("server missing workers: %q", joined)
+			}
+		}
+		if !strings.Contains(joined, "-seed 9") {
+			t.Fatalf("missing shared seed: %q", joined)
+		}
+	}
+	if workers != 5 || servers != 4 {
+		t.Fatalf("workers=%d servers=%d", workers, servers)
+	}
+}
+
+func TestCommandsSSMWHasNoPeers(t *testing.T) {
+	m := &Manifest{
+		Protocol: "ssmw",
+		Workers:  []string{"a:1", "b:1", "c:1"},
+		Servers:  []string{"s:1"},
+		Rule:     "median",
+		FW:       1,
+	}
+	m.applyDefaults()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range m.Commands() {
+		if c.Role == "server" && strings.Contains(strings.Join(c.Args, " "), "-peers") {
+			t.Fatal("ssmw server should not get -peers")
+		}
+	}
+}
+
+func TestLauncherNeedsBinary(t *testing.T) {
+	m, err := Parse([]byte(validManifest()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l Launcher
+	if err := l.Run(context.Background(), m); !errors.Is(err, ErrManifest) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,72 @@
+package controller
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func decentralizedManifest() *Manifest {
+	m := &Manifest{
+		Protocol: "decentralized",
+		Workers:  []string{"a:1", "b:1", "c:1", "d:1", "e:1"},
+		FW:       1,
+		Rule:     "median",
+	}
+	m.applyDefaults()
+	return m
+}
+
+func TestDecentralizedManifestValidates(t *testing.T) {
+	m := decentralizedManifest()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecentralizedManifestErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Manifest)
+	}{
+		{"servers present", func(m *Manifest) { m.Servers = []string{"s:1"} }},
+		{"one peer", func(m *Manifest) { m.Workers = m.Workers[:1] }},
+		{"fps nonzero", func(m *Manifest) { m.FPS = 1 }},
+		{"quorum unsatisfiable", func(m *Manifest) { m.FW = 2 }}, // q = 3 < 2f+1 = 5
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := decentralizedManifest()
+			tt.mutate(m)
+			if err := m.Validate(); !errors.Is(err, ErrManifest) {
+				t.Fatalf("err = %v, want ErrManifest", err)
+			}
+		})
+	}
+}
+
+func TestDecentralizedCommands(t *testing.T) {
+	m := decentralizedManifest()
+	cmds := m.Commands()
+	if len(cmds) != 5 {
+		t.Fatalf("commands = %d, want 5", len(cmds))
+	}
+	for i, c := range cmds {
+		if c.Role != "peer" {
+			t.Fatalf("role = %q", c.Role)
+		}
+		joined := strings.Join(c.Args, " ")
+		if !strings.Contains(joined, "-role peer") {
+			t.Fatalf("args = %q", joined)
+		}
+		if !strings.Contains(joined, "-peers a:1,b:1,c:1,d:1,e:1") {
+			t.Fatalf("missing peer list: %q", joined)
+		}
+		if !strings.Contains(joined, "-fw 1") {
+			t.Fatalf("missing fw: %q", joined)
+		}
+		if i == 2 && !strings.Contains(joined, "-index 2") {
+			t.Fatalf("missing index: %q", joined)
+		}
+	}
+}

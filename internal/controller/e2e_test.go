@@ -1,0 +1,81 @@
+package controller
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLauncherEndToEnd builds the real garfield-node binary and deploys a
+// complete SSMW cluster as child processes over loopback TCP — the full
+// multi-process path of the paper's Controller module.
+func TestLauncherEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process deployment skipped in -short mode")
+	}
+	binary := filepath.Join(t.TempDir(), "garfield-node")
+	build := exec.Command("go", "build", "-o", binary, "garfield/cmd/garfield-node")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build garfield-node: %v\n%s", err, out)
+	}
+
+	ports := freeLoopbackPorts(t, 4)
+	m := &Manifest{
+		Protocol:   "ssmw",
+		Workers:    ports[:3],
+		Servers:    ports[3:],
+		FW:         0,
+		Rule:       "median",
+		Iterations: 20,
+		BatchSize:  16,
+		Seed:       21,
+		LR:         0.5,
+		Dim:        16,
+		Classes:    3,
+		Train:      400,
+		Test:       150,
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	l := Launcher{
+		Binary:       binary,
+		Stdout:       &out,
+		Stderr:       &out,
+		StartupDelay: 500 * time.Millisecond,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	if err := l.Run(ctx, m); err != nil {
+		t.Fatalf("launcher: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "done: final accuracy") {
+		t.Fatalf("server never finished:\n%s", out.String())
+	}
+}
+
+func freeLoopbackPorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		addrs[i] = fmt.Sprintf("127.0.0.1:%d", l.Addr().(*net.TCPAddr).Port)
+	}
+	for _, l := range listeners {
+		_ = l.Close()
+	}
+	return addrs
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"garfield/internal/tensor"
+)
+
+// Checkpointing lets a server persist and restore its model state — the
+// classical crash-recovery alternative the paper's related work discusses
+// (checkpoint-based fault tolerance for the parameter server). The format is
+// a small header (magic, version, step) followed by the encoded parameter
+// vector.
+
+const (
+	checkpointMagic   = 0x47464c44 // "GFLD"
+	checkpointVersion = 1
+)
+
+// ErrBadCheckpoint is returned when restoring from corrupt or incompatible
+// data.
+var ErrBadCheckpoint = errors.New("core: invalid checkpoint")
+
+// SaveCheckpoint writes the server's current step and model state to w.
+func (s *Server) SaveCheckpoint(w io.Writer) error {
+	s.mu.RLock()
+	step := s.currentStep
+	params := s.params.Clone()
+	s.mu.RUnlock()
+
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], checkpointMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], checkpointVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], step)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("core: save checkpoint: %w", err)
+	}
+	data, err := params.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("core: save checkpoint: %w", err)
+	}
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("core: save checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint restores model state and step counter from r. The
+// checkpointed model must match the server's architecture dimension.
+func (s *Server) LoadCheckpoint(r io.Reader) error {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("%w: header: %v", ErrBadCheckpoint, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != checkpointMagic {
+		return fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != checkpointVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, v)
+	}
+	step := binary.LittleEndian.Uint32(hdr[8:])
+
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("%w: payload: %v", ErrBadCheckpoint, err)
+	}
+	var params tensor.Vector
+	if err := params.UnmarshalBinary(data); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	if len(params) != s.arch.Dim() {
+		return fmt.Errorf("%w: model dim %d, checkpoint dim %d",
+			ErrBadCheckpoint, s.arch.Dim(), len(params))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.params = params
+	s.currentStep = step
+	return nil
+}

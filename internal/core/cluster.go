@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"garfield/internal/attack"
+	"garfield/internal/data"
+	"garfield/internal/model"
+	"garfield/internal/rpc"
+	"garfield/internal/sgd"
+	"garfield/internal/tensor"
+	"garfield/internal/transport"
+)
+
+// Config describes one in-process Garfield deployment: the cluster shape
+// (nw workers of which fw Byzantine, nps server replicas of which fps
+// Byzantine), the learning task, and the robust aggregation rule. It plays
+// the role of the paper's Controller module inputs.
+type Config struct {
+	// Arch is the model architecture shared by every node.
+	Arch model.Model
+	// Train is the training set, sharded across workers; Test is used for
+	// accuracy measurements.
+	Train *data.Dataset
+	Test  *data.Dataset
+	// BatchSize is the per-worker mini-batch size (32 in the paper's
+	// TensorFlow setup).
+	BatchSize int
+
+	// NW and FW are total and Byzantine worker counts.
+	NW, FW int
+	// NPS and FPS are total and Byzantine server counts. Single-server
+	// protocols use only the first server.
+	NPS, FPS int
+
+	// Rule is the GAR used by Byzantine-resilient protocols to aggregate
+	// gradients.
+	Rule string
+	// ModelRule is the GAR used to aggregate models among server replicas
+	// (MSMW and decentralized). It defaults to Median: the replica count
+	// is small, so rules with steep n >= g(f) requirements (Bulyan) are
+	// not generally applicable there.
+	ModelRule string
+	// SyncQuorum makes MSMW and decentralized runs collect from all
+	// workers/peers (q = n) instead of n - f — the synchronous-network
+	// variant the paper evaluates with Multi-Krum on PyTorch.
+	SyncQuorum bool
+	// ModelAggEvery makes MSMW replicas exchange and aggregate models
+	// every that many iterations (default 1: every iteration, as in
+	// Listing 2). ByzSGD's contraction can run periodically; spacing it
+	// out lets replicas diverge measurably between contractions, which is
+	// what the paper's Table 2 methodology studies.
+	ModelAggEvery int
+
+	// WorkerAttack and ServerAttack are the behaviours of the Byzantine
+	// nodes (the last FW workers / last FPS servers). Nil means honest
+	// (declared-Byzantine-but-benign, as in the throughput experiments).
+	WorkerAttack attack.Attack
+	ServerAttack attack.Attack
+
+	// NonIID shards training data by label instead of IID, triggering the
+	// decentralized contract step.
+	NonIID bool
+	// ContractSteps is the number of contract rounds per iteration in
+	// decentralized learning when NonIID is set.
+	ContractSteps int
+
+	// LR is the learning-rate schedule (default: constant 0.1).
+	LR sgd.Schedule
+	// Momentum is the server-side classical-momentum coefficient
+	// (0 disables).
+	Momentum float64
+	// WorkerMomentum enables worker-side (distributed) momentum: workers
+	// reply with exponentially-smoothed gradients, reducing the variance
+	// the GAR resilience condition depends on (Section 8's seamless
+	// variance-reduction extension).
+	WorkerMomentum float64
+	// AttackSelfPeers gives Byzantine workers that many self-estimated
+	// honest gradients per request, enabling the collusion attacks
+	// (little-is-enough, fall-of-empires) in live runs.
+	AttackSelfPeers int
+
+	// Seed drives all randomness (sharding, sampling, attacks, init).
+	Seed uint64
+	// PullTimeout bounds each pull round (default 30s).
+	PullTimeout time.Duration
+}
+
+func (c *Config) defaults() {
+	if c.LR == nil {
+		c.LR = sgd.Constant(0.1)
+	}
+	if c.PullTimeout == 0 {
+		c.PullTimeout = 30 * time.Second
+	}
+	if c.ContractSteps == 0 {
+		c.ContractSteps = 1
+	}
+	if c.ModelRule == "" {
+		c.ModelRule = "median"
+	}
+	if c.ModelAggEvery == 0 {
+		c.ModelAggEvery = 1
+	}
+	if c.NPS == 0 {
+		c.NPS = 1
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Arch == nil || c.Train == nil || c.Test == nil {
+		return fmt.Errorf("%w: arch, train and test are required", ErrConfig)
+	}
+	if c.NW < 1 || c.BatchSize < 1 {
+		return fmt.Errorf("%w: nw=%d batch=%d", ErrConfig, c.NW, c.BatchSize)
+	}
+	if c.FW < 0 || c.FW >= c.NW {
+		return fmt.Errorf("%w: fw=%d of nw=%d", ErrConfig, c.FW, c.NW)
+	}
+	if c.FPS < 0 || (c.NPS > 0 && c.FPS >= c.NPS) {
+		return fmt.Errorf("%w: fps=%d of nps=%d", ErrConfig, c.FPS, c.NPS)
+	}
+	if c.Rule == "" {
+		return fmt.Errorf("%w: rule is required", ErrConfig)
+	}
+	return nil
+}
+
+// Cluster is a fully-wired in-process deployment: every node runs an RPC
+// server over a fault-injectable transport, and protocol runners drive the
+// training loops of Section 5.
+type Cluster struct {
+	cfg    Config
+	net    *transport.Faulty
+	client *rpc.Client
+
+	workerAddrs []string
+	serverAddrs []string
+	workers     []*Worker
+	servers     []*Server
+	rpcServers  []*rpc.Server
+	crashed     []atomic.Bool
+
+	initParams tensor.Vector
+}
+
+// NewCluster shards the data, spawns nw worker nodes and nps server
+// replicas over an in-memory network, and returns the ready cluster.
+// Byzantine roles are assigned to the last fw workers and last fps servers.
+func NewCluster(cfg Config) (*Cluster, error) {
+	cfg.defaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+
+	var shards []*data.Dataset
+	var err error
+	if cfg.NonIID {
+		shards, err = data.PartitionByLabel(cfg.Train, cfg.NW)
+	} else {
+		shards, err = data.PartitionIID(cfg.Train, cfg.NW, cfg.Seed)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: shard data: %w", err)
+	}
+
+	c := &Cluster{
+		cfg:    cfg,
+		net:    transport.NewFaulty(transport.NewMem()),
+		client: nil,
+	}
+	c.client = rpc.NewClient(c.net)
+	rng := tensor.NewRNG(cfg.Seed)
+	c.initParams = cfg.Arch.InitParams(rng)
+
+	// Workers.
+	for i := 0; i < cfg.NW; i++ {
+		var atk attack.Attack
+		var opts []WorkerOption
+		if cfg.WorkerMomentum > 0 {
+			opts = append(opts, WithWorkerMomentum(cfg.WorkerMomentum))
+		}
+		if i >= cfg.NW-cfg.FW {
+			atk = cfg.WorkerAttack
+			if cfg.AttackSelfPeers > 0 {
+				opts = append(opts, WithSelfEstimatedPeers(cfg.AttackSelfPeers))
+			}
+		}
+		w, err := NewWorker(cfg.Arch, shards[i], cfg.BatchSize, cfg.Seed+uint64(i)+1, atk, opts...)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		addr := "worker-" + strconv.Itoa(i)
+		srv, err := rpc.Serve(c.net, addr, w)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("core: start worker %d: %w", i, err)
+		}
+		c.workers = append(c.workers, w)
+		c.workerAddrs = append(c.workerAddrs, addr)
+		c.rpcServers = append(c.rpcServers, srv)
+	}
+
+	// Server replica addresses are fixed before construction so each
+	// server knows its peer set.
+	for i := 0; i < cfg.NPS; i++ {
+		c.serverAddrs = append(c.serverAddrs, "server-"+strconv.Itoa(i))
+	}
+	for i := 0; i < cfg.NPS; i++ {
+		var atk attack.Attack
+		if i >= cfg.NPS-cfg.FPS {
+			atk = cfg.ServerAttack
+		}
+		opt, err := newOptimizer(cfg)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		s, err := NewServer(ServerConfig{
+			Arch:      cfg.Arch,
+			Init:      c.initParams,
+			Optimizer: opt,
+			Client:    c.client,
+			Workers:   c.workerAddrs,
+			Peers:     c.serverAddrs,
+			Attack:    atk,
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		srv, err := rpc.Serve(c.net, c.serverAddrs[i], s)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("core: start server %d: %w", i, err)
+		}
+		c.servers = append(c.servers, s)
+		c.rpcServers = append(c.rpcServers, srv)
+	}
+	c.crashed = make([]atomic.Bool, cfg.NPS)
+	return c, nil
+}
+
+func newOptimizer(cfg Config) (*sgd.Optimizer, error) {
+	var opts []sgd.Option
+	if cfg.Momentum > 0 {
+		opts = append(opts, sgd.WithMomentum(cfg.Momentum))
+	}
+	opt, err := sgd.New(cfg.LR, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("core: optimizer: %w", err)
+	}
+	return opt, nil
+}
+
+// Close shuts every node down and waits for their goroutines.
+func (c *Cluster) Close() {
+	for _, s := range c.rpcServers {
+		_ = s.Close()
+	}
+}
+
+// Server returns replica i (0 is the primary for single-server protocols).
+func (c *Cluster) Server(i int) *Server { return c.servers[i] }
+
+// Servers returns the number of server replicas.
+func (c *Cluster) Servers() int { return len(c.servers) }
+
+// CrashServer injects a crash of server replica i: subsequent dials to it
+// fail and the protocol runners stop driving its loop.
+func (c *Cluster) CrashServer(i int) {
+	c.crashed[i].Store(true)
+	c.net.Crash(c.serverAddrs[i])
+}
+
+// primary returns the lowest-index non-crashed server replica — the
+// fail-over order of the crash-tolerant baseline. ok is false when every
+// replica is down.
+func (c *Cluster) primary() (int, bool) {
+	for i := range c.crashed {
+		if !c.crashed[i].Load() {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// CrashWorker injects a crash of worker i.
+func (c *Cluster) CrashWorker(i int) {
+	c.net.Crash(c.workerAddrs[i])
+}
+
+// DelayWorker makes worker i a straggler: every pull to it waits d first.
+func (c *Cluster) DelayWorker(i int, d time.Duration) {
+	c.net.SetDelay(c.workerAddrs[i], d)
+}

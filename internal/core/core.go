@@ -1,0 +1,40 @@
+// Package core implements Garfield's main objects and applications
+// (Sections 3.2 and 5 of the paper): the Server and Worker node objects,
+// their Byzantine variants, the get_gradients / get_models / get_aggr_grads
+// communication abstractions, and the training protocols built from them —
+// vanilla, AggregaThor-style, crash-tolerant, SSMW, MSMW and decentralized
+// learning.
+//
+// Nodes communicate exclusively through the pull-based RPC layer
+// (internal/rpc) over an injectable transport, so the same protocol code
+// runs over in-memory pipes in tests, over loopback TCP in cmd/garfield-node,
+// and under fault injection in the Byzantine experiments.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"garfield/internal/gar"
+	"garfield/internal/tensor"
+)
+
+var (
+	// ErrConfig reports an invalid cluster or training configuration.
+	ErrConfig = errors.New("core: invalid configuration")
+)
+
+// Aggregate applies the named GAR to the given vectors, constructing the
+// rule for exactly len(vs) inputs — the inline `gar(gradients, f)` call of
+// the paper's listings.
+func Aggregate(rule string, f int, vs []tensor.Vector) (tensor.Vector, error) {
+	r, err := gar.New(rule, len(vs), f)
+	if err != nil {
+		return nil, fmt.Errorf("core: aggregate: %w", err)
+	}
+	out, err := r.Aggregate(vs)
+	if err != nil {
+		return nil, fmt.Errorf("core: aggregate: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"garfield/internal/attack"
+	"garfield/internal/model"
+	"garfield/internal/rpc"
+	"garfield/internal/tensor"
+)
+
+// Tests for the extension features: worker-side momentum, self-estimated
+// peers for collusion attacks, and server checkpointing.
+
+func TestWorkerMomentumSmoothsReplies(t *testing.T) {
+	arch, train, _ := testTask(t)
+	w, err := NewWorker(arch, train, 8, 1, nil, WithWorkerMomentum(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := arch.InitParams(tensor.NewRNG(1))
+	// With mu=0.9 the velocity accumulates: after k identical-direction
+	// gradients its norm approaches 1/(1-mu) = 10x a single gradient.
+	first, err := w.ComputeGradient(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last tensor.Vector
+	for i := 0; i < 40; i++ {
+		last, err = w.ComputeGradient(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last.Norm() < 3*first.Norm() {
+		t.Fatalf("momentum did not accumulate: first %v, last %v", first.Norm(), last.Norm())
+	}
+}
+
+func TestWorkerMomentumReducesVariance(t *testing.T) {
+	arch, train, _ := testTask(t)
+	params := arch.InitParams(tensor.NewRNG(1))
+
+	// Measure reply variance across steps, raw vs momentum workers. The
+	// momentum stream is an EMA, so consecutive replies fluctuate less
+	// around their running mean (relative to their norm).
+	spread := func(momentum float64) float64 {
+		var opts []WorkerOption
+		if momentum > 0 {
+			opts = append(opts, WithWorkerMomentum(momentum))
+		}
+		w, err := NewWorker(arch, train, 4, 2, nil, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var replies []tensor.Vector
+		for i := 0; i < 30; i++ {
+			g, err := w.ComputeGradient(params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replies = append(replies, g)
+		}
+		// Relative step-to-step change over the last half (after the EMA
+		// warms up).
+		var rel float64
+		var count int
+		for i := 16; i < len(replies); i++ {
+			diff, err := replies[i].Sub(replies[i-1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			rel += diff.Norm() / replies[i].Norm()
+			count++
+		}
+		return rel / float64(count)
+	}
+	raw := spread(0)
+	smoothed := spread(0.9)
+	if smoothed >= raw {
+		t.Fatalf("momentum did not reduce relative gradient variability: raw %v, momentum %v", raw, smoothed)
+	}
+}
+
+func TestWorkerMomentumValidation(t *testing.T) {
+	arch, train, _ := testTask(t)
+	if _, err := NewWorker(arch, train, 8, 1, nil, WithWorkerMomentum(1.0)); !errors.Is(err, ErrConfig) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewWorker(arch, train, 8, 1, nil, WithSelfEstimatedPeers(0)); !errors.Is(err, ErrConfig) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSelfEstimatedPeersEnableLittleIsEnough(t *testing.T) {
+	arch, train, _ := testTask(t)
+	// A LIE worker with self-estimated peers must produce a reply close
+	// to the honest mean (that is the attack's stealth property), unlike
+	// the peer-less fallback which reverses the gradient.
+	lie := attack.LittleIsEnough{Z: 1.0}
+	withPeers, err := NewWorker(arch, train, 8, 1, lie, WithSelfEstimatedPeers(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest, err := NewWorker(arch, train, 8, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := arch.InitParams(tensor.NewRNG(1))
+	hResp := honest.Handle(rpc.Request{Kind: rpc.KindGetGradient, Vec: params})
+	aResp := withPeers.Handle(rpc.Request{Kind: rpc.KindGetGradient, Vec: params})
+	if !hResp.OK || !aResp.OK {
+		t.Fatal("both should reply")
+	}
+	dot, err := aResp.Vec.Dot(hResp.Vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stealthy: positively correlated with the honest direction (the
+	// peer-less fallback would be anti-correlated).
+	if dot <= 0 {
+		t.Fatalf("LIE with peers should stay stealthy (dot = %v)", dot)
+	}
+}
+
+func TestLiveLittleIsEnoughAgainstMSMW(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.FW = 1
+	cfg.WorkerAttack = attack.LittleIsEnough{Z: 1.5}
+	cfg.AttackSelfPeers = 4
+	c := newTestCluster(t, cfg)
+	res, err := c.RunMSMW(RunOptions{Iterations: 80, AccEvery: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single stealthy attacker among 7 workers must not prevent
+	// convergence under Median aggregation.
+	if acc := res.Accuracy.Last(); acc < 0.75 {
+		t.Fatalf("msmw under LIE accuracy = %v", acc)
+	}
+}
+
+func TestClusterWorkerMomentumConverges(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.WorkerMomentum = 0.5
+	cfg.LR = nil // default
+	c := newTestCluster(t, cfg)
+	res, err := c.RunSSMW(RunOptions{Iterations: 80, AccEvery: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := res.Accuracy.Last(); acc < 0.8 {
+		t.Fatalf("worker-momentum ssmw accuracy = %v", acc)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := baseConfig(t)
+	c := newTestCluster(t, cfg)
+	s := c.Server(0)
+	if _, err := c.RunSSMW(RunOptions{Iterations: 10}); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Params()
+	step := s.Step()
+
+	var buf bytes.Buffer
+	if err := s.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Scramble the state, then restore.
+	if err := s.WriteModel(tensor.New(cfg.Arch.Dim())); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Params()
+	if s.Step() != step {
+		t.Fatalf("step = %d, want %d", s.Step(), step)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("params not restored")
+		}
+	}
+}
+
+func TestCheckpointCorruptData(t *testing.T) {
+	cfg := baseConfig(t)
+	c := newTestCluster(t, cfg)
+	s := c.Server(0)
+
+	if err := s.LoadCheckpoint(bytes.NewReader([]byte{1, 2, 3})); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("short data err = %v", err)
+	}
+	// Valid header structure, wrong magic.
+	bad := make([]byte, 12+12)
+	if err := s.LoadCheckpoint(bytes.NewReader(bad)); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("bad magic err = %v", err)
+	}
+}
+
+func TestCheckpointDimensionMismatch(t *testing.T) {
+	cfg := baseConfig(t)
+	c := newTestCluster(t, cfg)
+	var buf bytes.Buffer
+	if err := c.Server(0).SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A cluster with a different architecture must reject the checkpoint.
+	cfg2 := baseConfig(t)
+	mlp, err := model.NewMLP(16, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2.Arch = mlp
+	c2 := newTestCluster(t, cfg2)
+	if err := c2.Server(0).LoadCheckpoint(&buf); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"garfield/internal/rpc"
+	"garfield/internal/tensor"
+)
+
+// PeerNode is the node object of the decentralized application when deployed
+// across processes: one RPC endpoint playing both roles, answering gradient
+// pulls from its Worker half and model / aggregated-gradient pulls from its
+// Server half (Listing 3 creates "both a Server and a Worker object" per
+// node).
+type PeerNode struct {
+	worker *Worker
+	server *Server
+}
+
+var _ rpc.Handler = (*PeerNode)(nil)
+
+// NewPeerNode pairs a worker and a server into one endpoint.
+func NewPeerNode(worker *Worker, server *Server) (*PeerNode, error) {
+	if worker == nil || server == nil {
+		return nil, fmt.Errorf("%w: peer node needs both halves", ErrConfig)
+	}
+	return &PeerNode{worker: worker, server: server}, nil
+}
+
+// Server exposes the server half (the training loop driver).
+func (p *PeerNode) Server() *Server { return p.server }
+
+// Handle implements rpc.Handler by role dispatch: gradient requests go to
+// the worker half, everything else to the server half.
+func (p *PeerNode) Handle(req rpc.Request) rpc.Response {
+	switch req.Kind {
+	case rpc.KindGetGradient:
+		return p.worker.Handle(req)
+	default:
+		return p.server.Handle(req)
+	}
+}
+
+// DecentralizedStep executes one iteration of Listing 3 for this node
+// against remote peers, with no global barrier: the contract step retries
+// until a quorum of peers has published an aggregated gradient for the
+// round. q is the collection quorum (n-f, or n under synchrony).
+func (p *PeerNode) DecentralizedStep(ctx context.Context, iteration, q, f int, rule, modelRule string, contractSteps int) error {
+	s := p.server
+	grads, err := s.GetGradients(ctx, iteration, q)
+	if err != nil {
+		return fmt.Errorf("core: peer step %d gradients: %w", iteration, err)
+	}
+	aggr, err := Aggregate(rule, f, grads)
+	if err != nil {
+		return fmt.Errorf("core: peer step %d: %w", iteration, err)
+	}
+	for step := 0; step < contractSteps; step++ {
+		s.SetLatestAggrGrad(aggr)
+		aggrs, err := pullAggrGradsWithRetry(ctx, s, q)
+		if err != nil {
+			return fmt.Errorf("core: peer step %d contract %d: %w", iteration, step, err)
+		}
+		aggr, err = Aggregate(rule, f, aggrs)
+		if err != nil {
+			return fmt.Errorf("core: peer step %d contract %d: %w", iteration, step, err)
+		}
+	}
+	if err := s.UpdateModel(aggr); err != nil {
+		return err
+	}
+	models, err := s.GetModels(ctx, q)
+	if err != nil {
+		return fmt.Errorf("core: peer step %d models: %w", iteration, err)
+	}
+	aggrModel, err := Aggregate(modelRule, f, models)
+	if err != nil {
+		return fmt.Errorf("core: peer step %d: %w", iteration, err)
+	}
+	return s.WriteModel(aggrModel)
+}
+
+// pullAggrGradsWithRetry keeps pulling until q peers serve an aggregated
+// gradient or ctx expires. Peers that have not reached the publish point of
+// the current round decline, which surfaces as a quorum miss — transient by
+// construction, hence the retry loop (the cross-process substitute for the
+// in-process barrier).
+func pullAggrGradsWithRetry(ctx context.Context, s *Server, q int) ([]tensor.Vector, error) {
+	backoff := 2 * time.Millisecond
+	for {
+		aggrs, err := s.GetAggrGrads(ctx, q)
+		if err == nil {
+			return aggrs, nil
+		}
+		if !errors.Is(err, rpc.ErrQuorum) {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("core: contract quorum: %w", ctx.Err())
+		case <-time.After(backoff):
+		}
+		if backoff < 100*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}

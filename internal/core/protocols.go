@@ -1,0 +1,516 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"garfield/internal/gar"
+	"garfield/internal/metrics"
+	"garfield/internal/tensor"
+)
+
+// Result collects the measurements of one training run in the units the
+// paper reports: accuracy over iterations (Figures 4, 5, 12a), accuracy over
+// wall-clock time (Figures 11, 12b), a per-phase latency breakdown
+// (Figures 7, 16), and aggregate throughput.
+type Result struct {
+	// Accuracy is accuracy vs iteration index.
+	Accuracy *metrics.Series
+	// AccuracyOverTime is accuracy vs seconds since the run started.
+	AccuracyOverTime *metrics.Series
+	// Breakdown accumulates per-phase latency.
+	Breakdown *metrics.Breakdown
+	// Updates is the number of model updates applied (at the observed
+	// server).
+	Updates int
+	// WallTime is the total run duration.
+	WallTime time.Duration
+}
+
+// UpdatesPerSec returns observed throughput in the paper's updates/sec
+// metric.
+func (r *Result) UpdatesPerSec() float64 {
+	if r.WallTime <= 0 {
+		return 0
+	}
+	return float64(r.Updates) / r.WallTime.Seconds()
+}
+
+// RunOptions tunes one protocol run.
+type RunOptions struct {
+	// Iterations is the number of training steps.
+	Iterations int
+	// AccEvery measures accuracy every that many iterations (and at the
+	// end); 0 disables intermediate measurements.
+	AccEvery int
+}
+
+func (o RunOptions) validate() error {
+	if o.Iterations < 1 {
+		return fmt.Errorf("%w: iterations=%d", ErrConfig, o.Iterations)
+	}
+	if o.AccEvery < 0 {
+		return fmt.Errorf("%w: accEvery=%d", ErrConfig, o.AccEvery)
+	}
+	return nil
+}
+
+func newResult(name string) *Result {
+	return &Result{
+		Accuracy:         &metrics.Series{Name: name},
+		AccuracyOverTime: &metrics.Series{Name: name},
+		Breakdown:        &metrics.Breakdown{},
+	}
+}
+
+// recordAccuracy measures and records accuracy at iteration i when due.
+func (c *Cluster) recordAccuracy(res *Result, s *Server, opt RunOptions, i int, start time.Time) error {
+	if opt.AccEvery == 0 && i != opt.Iterations-1 {
+		return nil
+	}
+	if opt.AccEvery != 0 && (i+1)%opt.AccEvery != 0 && i != opt.Iterations-1 {
+		return nil
+	}
+	acc, err := s.ComputeAccuracy(c.cfg.Test)
+	if err != nil {
+		return fmt.Errorf("core: accuracy at iteration %d: %w", i, err)
+	}
+	res.Accuracy.Append(float64(i+1), acc)
+	res.AccuracyOverTime.Append(time.Since(start).Seconds(), acc)
+	return nil
+}
+
+// RunVanilla trains with the fault-intolerant baseline: one server, plain
+// averaging, synchronous collection from all workers. It is the TensorFlow /
+// PyTorch stand-in every experiment normalizes against.
+func (c *Cluster) RunVanilla(opt RunOptions) (*Result, error) {
+	return c.runSingleServer(opt, gar.NameAverage, 0, c.cfg.NW, "vanilla")
+}
+
+// RunSSMW trains the single-server multi-worker application of Listing 1:
+// a trusted server aggregates worker gradients with a robust GAR,
+// synchronously (q_w = n_w).
+func (c *Cluster) RunSSMW(opt RunOptions) (*Result, error) {
+	return c.runSingleServer(opt, c.cfg.Rule, c.cfg.FW, c.cfg.NW, "ssmw")
+}
+
+// RunAggregaThor trains with the AggregaThor baseline: the SSMW topology
+// fixed to Multi-Krum, as in the paper's comparisons.
+func (c *Cluster) RunAggregaThor(opt RunOptions) (*Result, error) {
+	return c.runSingleServer(opt, gar.NameMultiKrum, c.cfg.FW, c.cfg.NW, "aggregathor")
+}
+
+func (c *Cluster) runSingleServer(opt RunOptions, rule string, f, q int, name string) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	res := newResult(name)
+	s := c.servers[0]
+	start := time.Now()
+	for i := 0; i < opt.Iterations; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.PullTimeout)
+		commDone := metrics.Start()
+		grads, err := s.GetGradients(ctx, i, q)
+		cancel()
+		res.Breakdown.AddComm(commDone())
+		if err != nil {
+			return nil, fmt.Errorf("core: %s iteration %d: %w", name, i, err)
+		}
+		aggDone := metrics.Start()
+		aggr, err := Aggregate(rule, f, grads)
+		res.Breakdown.AddAgg(aggDone())
+		if err != nil {
+			return nil, fmt.Errorf("core: %s iteration %d: %w", name, i, err)
+		}
+		if err := s.UpdateModel(aggr); err != nil {
+			return nil, err
+		}
+		res.Breakdown.EndIteration()
+		res.Updates++
+		if err := c.recordAccuracy(res, s, opt, i, start); err != nil {
+			return nil, err
+		}
+	}
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// RunCrashTolerant trains with the strawman crash-tolerant protocol of
+// Section 6.2: the server is replicated, every replica collects all worker
+// gradients and averages them, and workers (implicitly, via the pull fold-in)
+// follow the primary. When the primary crashes the next replica takes over;
+// its model may miss updates, which is acceptable for eventual convergence.
+// Accuracy is observed at the current primary.
+func (c *Cluster) RunCrashTolerant(opt RunOptions) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if c.Servers() < 1 {
+		return nil, fmt.Errorf("%w: crash-tolerant needs server replicas", ErrConfig)
+	}
+	res := newResult("crash-tolerant")
+	start := time.Now()
+	for i := 0; i < opt.Iterations; i++ {
+		p, ok := c.primary()
+		if !ok {
+			return nil, fmt.Errorf("core: crash-tolerant: all %d replicas crashed", c.Servers())
+		}
+		// Every live replica performs the averaging step so a backup's
+		// model stays close to the primary's.
+		var wg sync.WaitGroup
+		errs := make([]error, c.Servers())
+		for r := 0; r < c.Servers(); r++ {
+			if c.crashed[r].Load() {
+				continue
+			}
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				errs[r] = c.crashStep(res, r, i, r == p)
+			}()
+		}
+		wg.Wait()
+		if errs[p] != nil {
+			return nil, fmt.Errorf("core: crash-tolerant iteration %d: %w", i, errs[p])
+		}
+		res.Breakdown.EndIteration()
+		res.Updates++
+		if err := c.recordAccuracy(res, c.servers[p], opt, i, start); err != nil {
+			return nil, err
+		}
+	}
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// crashStep performs one average-and-update step at replica r. Only the
+// primary's timings feed the breakdown to keep per-iteration semantics.
+func (c *Cluster) crashStep(res *Result, r, i int, isPrimary bool) error {
+	s := c.servers[r]
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.PullTimeout)
+	defer cancel()
+	commDone := metrics.Start()
+	grads, err := s.GetGradients(ctx, i, c.cfg.NW)
+	if isPrimary {
+		res.Breakdown.AddComm(commDone())
+	}
+	if err != nil {
+		return err
+	}
+	aggDone := metrics.Start()
+	aggr, err := Aggregate(gar.NameAverage, 0, grads)
+	if isPrimary {
+		res.Breakdown.AddAgg(aggDone())
+	}
+	if err != nil {
+		return err
+	}
+	return s.UpdateModel(aggr)
+}
+
+// RunMSMW trains the multi-server multi-worker application of Listing 2:
+// every replica collects n_w - f_w gradients, robust-aggregates them,
+// updates its model, then pulls n_ps - f_ps models from its peers,
+// robust-aggregates those and overwrites its own state. Byzantine replicas
+// serve corrupted models; Byzantine workers serve corrupted gradients.
+// Accuracy is observed at replica 0 (a correct one).
+func (c *Cluster) RunMSMW(opt RunOptions) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	cfg := c.cfg
+	if c.Servers() < 2 {
+		return nil, fmt.Errorf("%w: msmw needs at least 2 server replicas", ErrConfig)
+	}
+	res := newResult("msmw")
+	honest := c.Servers() - cfg.FPS
+	start := time.Now()
+	for i := 0; i < opt.Iterations; i++ {
+		var wg sync.WaitGroup
+		errs := make([]error, honest)
+		// Drive the honest replicas; Byzantine replicas do not need a
+		// training loop — their adversarial behaviour lives in how they
+		// answer pulls (attack-corrupted models).
+		for r := 0; r < honest; r++ {
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				errs[r] = c.msmwStep(res, r, i, r == 0)
+			}()
+		}
+		wg.Wait()
+		for r, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("core: msmw iteration %d replica %d: %w", i, r, err)
+			}
+		}
+		res.Breakdown.EndIteration()
+		res.Updates++
+		if err := c.recordAccuracy(res, c.servers[0], opt, i, start); err != nil {
+			return nil, err
+		}
+	}
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+func (c *Cluster) msmwStep(res *Result, r, i int, record bool) error {
+	cfg := c.cfg
+	s := c.servers[r]
+	qw := cfg.NW - cfg.FW
+	qps := c.Servers() - cfg.FPS
+	if cfg.SyncQuorum {
+		qw, qps = cfg.NW, c.Servers()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.PullTimeout)
+	defer cancel()
+
+	commDone := metrics.Start()
+	grads, err := s.GetGradients(ctx, i, qw)
+	if record {
+		res.Breakdown.AddComm(commDone())
+	}
+	if err != nil {
+		return err
+	}
+	aggDone := metrics.Start()
+	aggr, err := Aggregate(cfg.Rule, cfg.FW, grads)
+	if record {
+		res.Breakdown.AddAgg(aggDone())
+	}
+	if err != nil {
+		return err
+	}
+	if err := s.UpdateModel(aggr); err != nil {
+		return err
+	}
+	if (i+1)%cfg.ModelAggEvery != 0 {
+		return nil // contraction is periodic; no model exchange this round
+	}
+
+	commDone = metrics.Start()
+	models, err := s.GetModels(ctx, qps)
+	if record {
+		res.Breakdown.AddComm(commDone())
+	}
+	if err != nil {
+		return err
+	}
+	aggDone = metrics.Start()
+	aggrModel, err := Aggregate(cfg.ModelRule, cfg.FPS, models)
+	if record {
+		res.Breakdown.AddAgg(aggDone())
+	}
+	if err != nil {
+		return err
+	}
+	return s.WriteModel(aggrModel)
+}
+
+// RunDecentralized trains the peer-to-peer application of Listing 3: every
+// node owns both a Worker and a Server object; each iteration it collects
+// n - f gradients, robust-aggregates, optionally runs the multi-round
+// contract step (non-IID data), updates its model, then aggregates the
+// models of n - f peers. The cluster must be built with NPS == NW: node i
+// is the pairing of server i and worker i. Accuracy is observed at node 0.
+func (c *Cluster) RunDecentralized(opt RunOptions) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	cfg := c.cfg
+	if c.Servers() != cfg.NW {
+		return nil, fmt.Errorf("%w: decentralized needs nps == nw (one server+worker pair per node), got %d servers %d workers",
+			ErrConfig, c.Servers(), cfg.NW)
+	}
+	n, f := cfg.NW, cfg.FW
+	res := newResult("decentralized")
+	honest := n - f
+	start := time.Now()
+	for i := 0; i < opt.Iterations; i++ {
+		barrier := newBarrier(honest)
+		var wg sync.WaitGroup
+		errs := make([]error, honest)
+		for r := 0; r < honest; r++ {
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				errs[r] = c.decentralizedStep(res, r, i, barrier, r == 0)
+			}()
+		}
+		wg.Wait()
+		for r, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("core: decentralized iteration %d node %d: %w", i, r, err)
+			}
+		}
+		res.Breakdown.EndIteration()
+		res.Updates++
+		if err := c.recordAccuracy(res, c.servers[0], opt, i, start); err != nil {
+			return nil, err
+		}
+	}
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+func (c *Cluster) decentralizedStep(res *Result, r, i int, b *barrier, record bool) error {
+	cfg := c.cfg
+	s := c.servers[r]
+	n, f := cfg.NW, cfg.FW
+	q := n - f
+	if cfg.SyncQuorum {
+		q = n
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.PullTimeout)
+	defer cancel()
+
+	commDone := metrics.Start()
+	grads, err := s.GetGradients(ctx, i, q)
+	if record {
+		res.Breakdown.AddComm(commDone())
+	}
+	if err != nil {
+		return releaseAndFail(b, 1+2*cfg.ContractSteps, err)
+	}
+	aggDone := metrics.Start()
+	aggr, err := Aggregate(cfg.Rule, f, grads)
+	if record {
+		res.Breakdown.AddAgg(aggDone())
+	}
+	if err != nil {
+		return releaseAndFail(b, 1+2*cfg.ContractSteps, err)
+	}
+
+	if cfg.NonIID {
+		aggr, err = c.contract(res, s, aggr, b, record)
+		if err != nil {
+			return err
+		}
+	} else {
+		// Keep barrier phase counts aligned across nodes.
+		for step := 0; step < cfg.ContractSteps; step++ {
+			b.wait()
+			b.wait()
+		}
+	}
+
+	if err := s.UpdateModel(aggr); err != nil {
+		return releaseAndFail(b, 1, err)
+	}
+	b.wait() // all nodes updated before model exchange
+
+	commDone = metrics.Start()
+	models, err := s.GetModels(ctx, q)
+	if record {
+		res.Breakdown.AddComm(commDone())
+	}
+	if err != nil {
+		return err
+	}
+	aggDone = metrics.Start()
+	aggrModel, err := Aggregate(cfg.ModelRule, f, models)
+	if record {
+		res.Breakdown.AddAgg(aggDone())
+	}
+	if err != nil {
+		return err
+	}
+	return s.WriteModel(aggrModel)
+}
+
+// contract is the multi-round gradient-contraction step of Listing 3
+// (lines 16-21): nodes repeatedly publish their aggregated gradient, pull
+// their peers', and re-aggregate, pulling the correct nodes' states closer
+// together under non-IID data.
+func (c *Cluster) contract(res *Result, s *Server, aggr tensor.Vector, b *barrier, record bool) (tensor.Vector, error) {
+	cfg := c.cfg
+	n, f := cfg.NW, cfg.FW
+	q := n - f
+	if cfg.SyncQuorum {
+		q = n
+	}
+	for step := 0; step < cfg.ContractSteps; step++ {
+		s.SetLatestAggrGrad(aggr)
+		b.wait() // everyone published before anyone pulls
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.PullTimeout)
+		commDone := metrics.Start()
+		aggrs, err := s.GetAggrGrads(ctx, q)
+		cancel()
+		if record {
+			res.Breakdown.AddComm(commDone())
+		}
+		if err != nil {
+			return nil, releaseAndFail(b, 1+2*(cfg.ContractSteps-step)-1, err)
+		}
+		aggDone := metrics.Start()
+		aggr, err = Aggregate(cfg.Rule, f, aggrs)
+		if record {
+			res.Breakdown.AddAgg(aggDone())
+		}
+		if err != nil {
+			return nil, releaseAndFail(b, 1+2*(cfg.ContractSteps-step)-1, err)
+		}
+		b.wait() // everyone pulled before the next publish overwrites
+	}
+	return aggr, nil
+}
+
+// barrier synchronizes the in-process node goroutines at phase boundaries.
+// A real deployment gets this alignment from the pull quorums themselves;
+// in-process we make it explicit so runs are deterministic.
+type barrier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	round  int
+	broken bool
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all n participants arrive (or the barrier is broken by
+// a failing participant, in which case it returns immediately).
+func (b *barrier) wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.broken {
+		return
+	}
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.round++
+		b.cond.Broadcast()
+		return
+	}
+	round := b.round
+	for b.round == round && !b.broken {
+		b.cond.Wait()
+	}
+}
+
+// break_ permanently releases the barrier so peers of a failed node do not
+// deadlock.
+func (b *barrier) break_() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.broken = true
+	b.cond.Broadcast()
+}
+
+// releaseAndFail breaks the barrier (releasing peers awaiting the remaining
+// phases) and returns err.
+func releaseAndFail(b *barrier, _ int, err error) error {
+	b.break_()
+	return err
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"garfield/internal/attack"
+	"garfield/internal/data"
+	"garfield/internal/model"
+	"garfield/internal/rpc"
+	"garfield/internal/sgd"
+	"garfield/internal/tensor"
+)
+
+// Server is the stateful node of Garfield's design (Section 3.2): it owns
+// the model state, asks workers for gradient estimates, aggregates them and
+// updates the model. It exposes the two networking abstractions of the paper
+// — GetGradients(t, q) and GetModels(q) — plus GetAggrGrads(q) for the
+// decentralized contract step, and serves the corresponding pull requests
+// from its peers.
+//
+// A Byzantine server is the same object with a non-nil attack, which
+// corrupts the models and aggregated gradients it serves.
+type Server struct {
+	arch    model.Model
+	opt     *sgd.Optimizer
+	client  *rpc.Client
+	workers []string
+	peers   []string // other server replicas
+	atk     attack.Attack
+
+	mu          sync.RWMutex
+	params      tensor.Vector
+	latestAggr  tensor.Vector
+	currentStep uint32
+}
+
+// ServerConfig collects the dependencies of a Server.
+type ServerConfig struct {
+	// Arch is the model architecture (shared by all nodes).
+	Arch model.Model
+	// Init is the initial parameter vector; the server clones it.
+	Init tensor.Vector
+	// Optimizer applies aggregated gradients.
+	Optimizer *sgd.Optimizer
+	// Client issues pulls; Workers and Peers are the pull targets.
+	Client  *rpc.Client
+	Workers []string
+	Peers   []string
+	// Attack, when non-nil, makes this a Byzantine server.
+	Attack attack.Attack
+}
+
+var _ rpc.Handler = (*Server)(nil)
+
+// NewServer returns a server with the given dependencies.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Arch == nil || cfg.Optimizer == nil || cfg.Client == nil {
+		return nil, fmt.Errorf("%w: server needs arch, optimizer and client", ErrConfig)
+	}
+	if len(cfg.Init) != cfg.Arch.Dim() {
+		return nil, fmt.Errorf("%w: init params dim %d, model dim %d",
+			ErrConfig, len(cfg.Init), cfg.Arch.Dim())
+	}
+	atk := cfg.Attack
+	if atk == nil {
+		atk = attack.None{}
+	}
+	return &Server{
+		arch:    cfg.Arch,
+		opt:     cfg.Optimizer,
+		client:  cfg.Client,
+		workers: append([]string(nil), cfg.Workers...),
+		peers:   append([]string(nil), cfg.Peers...),
+		atk:     atk,
+		params:  cfg.Init.Clone(),
+	}, nil
+}
+
+// Params returns a copy of the current model state.
+func (s *Server) Params() tensor.Vector {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.params.Clone()
+}
+
+// Step returns the current iteration counter.
+func (s *Server) Step() uint32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.currentStep
+}
+
+// GetGradients implements the paper's get_gradients(t, q): it broadcasts the
+// current model to the workers (folded into the pull request) and returns
+// the fastest q gradient estimates. q == len(workers) is the synchronous
+// mode; q < len(workers) tolerates stragglers and faults.
+func (s *Server) GetGradients(ctx context.Context, t int, q int) ([]tensor.Vector, error) {
+	req := rpc.Request{Kind: rpc.KindGetGradient, Step: uint32(t), Vec: s.Params()}
+	replies, err := s.client.PullFirstQ(ctx, s.workers, q, req)
+	if err != nil {
+		return nil, fmt.Errorf("core: get_gradients(t=%d, q=%d): %w", t, q, err)
+	}
+	return replyVectors(replies), nil
+}
+
+// GetModels implements the paper's get_models(q): it pulls the current model
+// state of the fastest q server replicas (out of all peers).
+func (s *Server) GetModels(ctx context.Context, q int) ([]tensor.Vector, error) {
+	req := rpc.Request{Kind: rpc.KindGetModel, Step: s.Step()}
+	replies, err := s.client.PullFirstQ(ctx, s.peers, q, req)
+	if err != nil {
+		return nil, fmt.Errorf("core: get_models(q=%d): %w", q, err)
+	}
+	return replyVectors(replies), nil
+}
+
+// GetAggrGrads pulls the latest aggregated gradient of the fastest q peers —
+// the multi-round contract step of the decentralized application
+// (Listing 3).
+func (s *Server) GetAggrGrads(ctx context.Context, q int) ([]tensor.Vector, error) {
+	req := rpc.Request{Kind: rpc.KindGetAggrGrad, Step: s.Step()}
+	replies, err := s.client.PullFirstQ(ctx, s.peers, q, req)
+	if err != nil {
+		return nil, fmt.Errorf("core: get_aggr_grads(q=%d): %w", q, err)
+	}
+	return replyVectors(replies), nil
+}
+
+func replyVectors(replies []rpc.Reply) []tensor.Vector {
+	out := make([]tensor.Vector, len(replies))
+	for i, r := range replies {
+		out[i] = r.Vec
+	}
+	return out
+}
+
+// UpdateModel applies an aggregated gradient through the optimizer — the
+// paper's update_model method.
+func (s *Server) UpdateModel(aggrGrad tensor.Vector) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.opt.Apply(s.params, aggrGrad); err != nil {
+		return fmt.Errorf("core: update_model: %w", err)
+	}
+	s.currentStep++
+	return nil
+}
+
+// WriteModel overwrites the model state — the paper's write_model method,
+// used after model aggregation among server replicas.
+func (s *Server) WriteModel(m tensor.Vector) error {
+	if len(m) != s.arch.Dim() {
+		return fmt.Errorf("%w: write_model dim %d, model dim %d", ErrConfig, len(m), s.arch.Dim())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	copy(s.params, m)
+	return nil
+}
+
+// SetLatestAggrGrad publishes the node's aggregated gradient for peers to
+// pull during the contract step (Listing 3, line 18).
+func (s *Server) SetLatestAggrGrad(g tensor.Vector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.latestAggr = g.Clone()
+}
+
+// ComputeAccuracy evaluates top-1 accuracy of the current model on the test
+// set — the paper's compute_accuracy method.
+func (s *Server) ComputeAccuracy(test *data.Dataset) (float64, error) {
+	return s.arch.Accuracy(s.Params(), test)
+}
+
+// Handle implements rpc.Handler: serves model, aggregated-gradient and ping
+// requests. A Byzantine server corrupts the vectors it serves.
+func (s *Server) Handle(req rpc.Request) rpc.Response {
+	switch req.Kind {
+	case rpc.KindGetModel:
+		return s.serveVector(s.Params())
+	case rpc.KindGetAggrGrad:
+		s.mu.RLock()
+		aggr := s.latestAggr
+		s.mu.RUnlock()
+		if aggr == nil {
+			return rpc.Response{}
+		}
+		return s.serveVector(aggr.Clone())
+	case rpc.KindPing:
+		return rpc.Response{OK: true}
+	default:
+		return rpc.Response{}
+	}
+}
+
+func (s *Server) serveVector(v tensor.Vector) rpc.Response {
+	out, ok := s.atk.Apply(v, nil)
+	if !ok {
+		return rpc.Response{}
+	}
+	return rpc.Response{OK: true, Vec: out}
+}

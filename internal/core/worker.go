@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"garfield/internal/attack"
+	"garfield/internal/data"
+	"garfield/internal/model"
+	"garfield/internal/rpc"
+	"garfield/internal/tensor"
+)
+
+// Worker is the passive node of Garfield's design (Section 3.2): it owns a
+// data shard and responds to gradient requests. The request carries the
+// requester's model state (the pull model folds model dissemination into the
+// gradient pull), and the worker answers with a gradient estimate computed
+// on its next mini-batch.
+//
+// A Byzantine worker is the same object with a non-nil attack: the paper's
+// ByzantineWorker inherits from Worker and only corrupts its replies.
+type Worker struct {
+	arch      model.Model
+	batchSize int
+	atk       attack.Attack
+
+	// momentum enables worker-side (distributed) momentum: the worker
+	// replies with an exponentially-smoothed gradient instead of the raw
+	// estimate. The paper points at this line of work as a seamless
+	// variance-reduction extension ("they basically only change the
+	// optimization function", Section 8); reducing the gradient variance
+	// is what restores the GARs' resilience condition when it is
+	// violated.
+	momentum float64
+	// selfPeers makes a Byzantine worker estimate the honest gradient
+	// distribution by drawing that many extra mini-batch gradients from
+	// its own shard and feeding them to collusion-style attacks
+	// (little-is-enough, fall-of-empires) as the peer sample.
+	selfPeers int
+
+	mu       sync.Mutex
+	sampler  *data.Sampler
+	velocity tensor.Vector
+}
+
+var _ rpc.Handler = (*Worker)(nil)
+
+// WorkerOption configures optional worker behaviour.
+type WorkerOption func(*Worker) error
+
+// WithWorkerMomentum enables worker-side momentum with coefficient
+// mu in (0, 1).
+func WithWorkerMomentum(mu float64) WorkerOption {
+	return func(w *Worker) error {
+		if mu <= 0 || mu >= 1 {
+			return fmt.Errorf("%w: worker momentum %v not in (0,1)", ErrConfig, mu)
+		}
+		w.momentum = mu
+		return nil
+	}
+}
+
+// WithSelfEstimatedPeers makes the worker's attack observe k self-estimated
+// honest gradients, enabling the collusion attacks without real
+// omniscience.
+func WithSelfEstimatedPeers(k int) WorkerOption {
+	return func(w *Worker) error {
+		if k < 1 {
+			return fmt.Errorf("%w: self-estimated peers %d < 1", ErrConfig, k)
+		}
+		w.selfPeers = k
+		return nil
+	}
+}
+
+// NewWorker returns a worker over one data shard. atk may be nil for an
+// honest worker.
+func NewWorker(arch model.Model, shard *data.Dataset, batchSize int, seed uint64, atk attack.Attack, opts ...WorkerOption) (*Worker, error) {
+	if arch == nil {
+		return nil, fmt.Errorf("%w: nil model", ErrConfig)
+	}
+	if batchSize <= 0 {
+		return nil, fmt.Errorf("%w: batch size %d", ErrConfig, batchSize)
+	}
+	s, err := data.NewSampler(shard, seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: worker: %w", err)
+	}
+	if atk == nil {
+		atk = attack.None{}
+	}
+	w := &Worker{arch: arch, batchSize: batchSize, atk: atk, sampler: s}
+	for _, opt := range opts {
+		if err := opt(w); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// ComputeGradient draws the next mini-batch and estimates the gradient at
+// params — the worker's "main job" in the paper's design. With momentum
+// enabled, the reply is the smoothed velocity v = mu*v + g.
+func (w *Worker) ComputeGradient(params tensor.Vector) (tensor.Vector, error) {
+	w.mu.Lock()
+	batch := w.sampler.Next(w.batchSize)
+	w.mu.Unlock()
+	g, err := w.arch.Gradient(params, batch)
+	if err != nil {
+		return nil, fmt.Errorf("core: worker gradient: %w", err)
+	}
+	if w.momentum == 0 {
+		return g, nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.velocity == nil || len(w.velocity) != len(g) {
+		w.velocity = tensor.New(len(g))
+	}
+	for i := range w.velocity {
+		w.velocity[i] = w.momentum*w.velocity[i] + g[i]
+	}
+	return w.velocity.Clone(), nil
+}
+
+// estimatePeers draws selfPeers extra gradients from the worker's own shard
+// so collusion attacks can observe a sample of the honest distribution.
+func (w *Worker) estimatePeers(params tensor.Vector) []tensor.Vector {
+	if w.selfPeers == 0 {
+		return nil
+	}
+	peers := make([]tensor.Vector, 0, w.selfPeers)
+	for i := 0; i < w.selfPeers; i++ {
+		w.mu.Lock()
+		batch := w.sampler.Next(w.batchSize)
+		w.mu.Unlock()
+		g, err := w.arch.Gradient(params, batch)
+		if err != nil {
+			continue
+		}
+		peers = append(peers, g)
+	}
+	return peers
+}
+
+// Handle implements rpc.Handler: it serves KindGetGradient requests and
+// declines everything else.
+func (w *Worker) Handle(req rpc.Request) rpc.Response {
+	switch req.Kind {
+	case rpc.KindGetGradient:
+		if req.Vec == nil {
+			return rpc.Response{}
+		}
+		g, err := w.ComputeGradient(req.Vec)
+		if err != nil {
+			return rpc.Response{}
+		}
+		out, ok := w.atk.Apply(g, w.estimatePeers(req.Vec))
+		if !ok {
+			return rpc.Response{} // omission fault
+		}
+		return rpc.Response{OK: true, Vec: out}
+	case rpc.KindPing:
+		return rpc.Response{OK: true}
+	default:
+		return rpc.Response{}
+	}
+}

@@ -1,0 +1,155 @@
+package data
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// This file implements loaders for the on-disk formats of the paper's real
+// datasets: the IDX format of MNIST (images + labels) and the CIFAR-10
+// binary format. The repository trains on synthetic stand-ins by default
+// (no network access), but a user with the real files can load them through
+// these parsers and run every experiment unchanged.
+
+// IDX magic type codes (third magic byte).
+const (
+	idxTypeUint8 = 0x08
+)
+
+var (
+	// ErrBadFormat is returned for malformed dataset files.
+	ErrBadFormat = errors.New("data: malformed dataset file")
+
+	// ErrMismatch is returned when image and label files disagree.
+	ErrMismatch = errors.New("data: image/label count mismatch")
+)
+
+// ReadIDXImages parses an MNIST-style IDX3 image file (magic 0x00000803):
+// count x rows x cols uint8 pixels, normalized to [0, 1) feature vectors.
+func ReadIDXImages(r io.Reader) (features [][]float64, rows, cols int, err error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, 0, 0, fmt.Errorf("%w: magic: %v", ErrBadFormat, err)
+	}
+	if magic[0] != 0 || magic[1] != 0 || magic[2] != idxTypeUint8 || magic[3] != 3 {
+		return nil, 0, 0, fmt.Errorf("%w: IDX3 magic %x", ErrBadFormat, magic)
+	}
+	dims := make([]uint32, 3)
+	for i := range dims {
+		if err := binary.Read(r, binary.BigEndian, &dims[i]); err != nil {
+			return nil, 0, 0, fmt.Errorf("%w: dims: %v", ErrBadFormat, err)
+		}
+	}
+	count, rows, cols := int(dims[0]), int(dims[1]), int(dims[2])
+	if rows <= 0 || cols <= 0 || count < 0 {
+		return nil, 0, 0, fmt.Errorf("%w: dims %dx%dx%d", ErrBadFormat, count, rows, cols)
+	}
+	px := rows * cols
+	buf := make([]byte, px)
+	features = make([][]float64, count)
+	for i := 0; i < count; i++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, 0, 0, fmt.Errorf("%w: image %d: %v", ErrBadFormat, i, err)
+		}
+		f := make([]float64, px)
+		for j, b := range buf {
+			f[j] = float64(b) / 256.0
+		}
+		features[i] = f
+	}
+	return features, rows, cols, nil
+}
+
+// ReadIDXLabels parses an MNIST-style IDX1 label file (magic 0x00000801).
+func ReadIDXLabels(r io.Reader) ([]int, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: magic: %v", ErrBadFormat, err)
+	}
+	if magic[0] != 0 || magic[1] != 0 || magic[2] != idxTypeUint8 || magic[3] != 1 {
+		return nil, fmt.Errorf("%w: IDX1 magic %x", ErrBadFormat, magic)
+	}
+	var count uint32
+	if err := binary.Read(r, binary.BigEndian, &count); err != nil {
+		return nil, fmt.Errorf("%w: count: %v", ErrBadFormat, err)
+	}
+	buf := make([]byte, count)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("%w: labels: %v", ErrBadFormat, err)
+	}
+	labels := make([]int, count)
+	for i, b := range buf {
+		labels[i] = int(b)
+	}
+	return labels, nil
+}
+
+// LoadMNIST combines an IDX3 image stream and an IDX1 label stream into a
+// Dataset with 10 classes.
+func LoadMNIST(images, labels io.Reader) (*Dataset, error) {
+	feats, _, _, err := ReadIDXImages(images)
+	if err != nil {
+		return nil, err
+	}
+	labs, err := ReadIDXLabels(labels)
+	if err != nil {
+		return nil, err
+	}
+	if len(feats) != len(labs) {
+		return nil, fmt.Errorf("%w: %d images, %d labels", ErrMismatch, len(feats), len(labs))
+	}
+	for _, l := range labs {
+		if l < 0 || l > 9 {
+			return nil, fmt.Errorf("%w: label %d out of range", ErrBadFormat, l)
+		}
+	}
+	d := &Dataset{Labels: labs, Classes: 10, Name: "mnist"}
+	for _, f := range feats {
+		d.Features = append(d.Features, f)
+	}
+	return d, nil
+}
+
+// cifarRecordSize is one CIFAR-10 binary record: 1 label byte + 3072 pixels
+// (32x32x3, channel-planar).
+const cifarRecordSize = 1 + 3072
+
+// LoadCIFAR10 parses one or more concatenated CIFAR-10 binary batch streams
+// (data_batch_*.bin format): records of [label u8][1024 R][1024 G][1024 B].
+// Pixels are normalized to [0, 1) and re-interleaved to HWC order to match
+// the CNN input layout.
+func LoadCIFAR10(r io.Reader) (*Dataset, error) {
+	d := &Dataset{Classes: 10, Name: "cifar10"}
+	rec := make([]byte, cifarRecordSize)
+	for {
+		_, err := io.ReadFull(r, rec)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: truncated CIFAR record", ErrBadFormat)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		label := int(rec[0])
+		if label > 9 {
+			return nil, fmt.Errorf("%w: label %d out of range", ErrBadFormat, label)
+		}
+		f := make([]float64, 3072)
+		// Planar RRR...GGG...BBB -> interleaved RGBRGB... (HWC).
+		for p := 0; p < 1024; p++ {
+			f[p*3+0] = float64(rec[1+p]) / 256.0
+			f[p*3+1] = float64(rec[1+1024+p]) / 256.0
+			f[p*3+2] = float64(rec[1+2048+p]) / 256.0
+		}
+		d.Features = append(d.Features, f)
+		d.Labels = append(d.Labels, label)
+	}
+	if d.Len() == 0 {
+		return nil, ErrEmptyDataset
+	}
+	return d, nil
+}

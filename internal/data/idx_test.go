@@ -1,0 +1,196 @@
+package data
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// buildIDXImages serializes images in the exact MNIST IDX3 binary format.
+func buildIDXImages(t *testing.T, imgs [][]byte, rows, cols int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, idxTypeUint8, 3})
+	for _, d := range []uint32{uint32(len(imgs)), uint32(rows), uint32(cols)} {
+		if err := binary.Write(&buf, binary.BigEndian, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, img := range imgs {
+		buf.Write(img)
+	}
+	return buf.Bytes()
+}
+
+// buildIDXLabels serializes labels in the IDX1 binary format.
+func buildIDXLabels(t *testing.T, labels []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, idxTypeUint8, 1})
+	if err := binary.Write(&buf, binary.BigEndian, uint32(len(labels))); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(labels)
+	return buf.Bytes()
+}
+
+func TestLoadMNISTRoundTrip(t *testing.T) {
+	img0 := make([]byte, 4) // 2x2 "images"
+	img1 := []byte{0, 128, 255, 64}
+	images := buildIDXImages(t, [][]byte{img0, img1}, 2, 2)
+	labels := buildIDXLabels(t, []byte{3, 7})
+
+	d, err := LoadMNIST(bytes.NewReader(images), bytes.NewReader(labels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || d.Classes != 10 || d.Dim() != 4 {
+		t.Fatalf("dataset = %d examples, %d classes, dim %d", d.Len(), d.Classes, d.Dim())
+	}
+	if d.Labels[0] != 3 || d.Labels[1] != 7 {
+		t.Fatalf("labels = %v", d.Labels)
+	}
+	if d.Features[1][2] != 255.0/256.0 {
+		t.Fatalf("pixel normalization: %v", d.Features[1][2])
+	}
+	if d.Features[0][0] != 0 {
+		t.Fatalf("zero pixel: %v", d.Features[0][0])
+	}
+}
+
+func TestReadIDXImagesBadMagic(t *testing.T) {
+	data := buildIDXImages(t, [][]byte{{0}}, 1, 1)
+	data[3] = 9 // corrupt dimensionality byte
+	if _, _, _, err := ReadIDXImages(bytes.NewReader(data)); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadIDXImagesTruncated(t *testing.T) {
+	data := buildIDXImages(t, [][]byte{make([]byte, 4), make([]byte, 4)}, 2, 2)
+	if _, _, _, err := ReadIDXImages(bytes.NewReader(data[:len(data)-2])); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadIDXLabelsBadMagic(t *testing.T) {
+	data := buildIDXLabels(t, []byte{1})
+	data[3] = 3
+	if _, err := ReadIDXLabels(bytes.NewReader(data)); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoadMNISTCountMismatch(t *testing.T) {
+	images := buildIDXImages(t, [][]byte{make([]byte, 4)}, 2, 2)
+	labels := buildIDXLabels(t, []byte{1, 2})
+	if _, err := LoadMNIST(bytes.NewReader(images), bytes.NewReader(labels)); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoadMNISTLabelOutOfRange(t *testing.T) {
+	images := buildIDXImages(t, [][]byte{make([]byte, 4)}, 2, 2)
+	labels := buildIDXLabels(t, []byte{11})
+	if _, err := LoadMNIST(bytes.NewReader(images), bytes.NewReader(labels)); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// buildCIFARRecord serializes one CIFAR-10 binary record.
+func buildCIFARRecord(label byte, fill byte) []byte {
+	rec := make([]byte, cifarRecordSize)
+	rec[0] = label
+	for i := 1; i < len(rec); i++ {
+		rec[i] = fill
+	}
+	return rec
+}
+
+func TestLoadCIFAR10(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(buildCIFARRecord(2, 128))
+	buf.Write(buildCIFARRecord(9, 0))
+
+	d, err := LoadCIFAR10(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || d.Dim() != 3072 || d.Classes != 10 {
+		t.Fatalf("dataset = %d examples, dim %d", d.Len(), d.Dim())
+	}
+	if d.Labels[0] != 2 || d.Labels[1] != 9 {
+		t.Fatalf("labels = %v", d.Labels)
+	}
+	if d.Features[0][0] != 0.5 { // 128/256
+		t.Fatalf("pixel = %v", d.Features[0][0])
+	}
+}
+
+func TestLoadCIFAR10ChannelInterleaving(t *testing.T) {
+	rec := make([]byte, cifarRecordSize)
+	rec[0] = 1
+	rec[1] = 10      // R of pixel 0
+	rec[1+1024] = 20 // G of pixel 0
+	rec[1+2048] = 30 // B of pixel 0
+	rec[1+1] = 40    // R of pixel 1
+	d, err := LoadCIFAR10(bytes.NewReader(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := d.Features[0]
+	if f[0] != 10.0/256 || f[1] != 20.0/256 || f[2] != 30.0/256 || f[3] != 40.0/256 {
+		t.Fatalf("interleaving wrong: %v", f[:4])
+	}
+}
+
+func TestLoadCIFAR10Truncated(t *testing.T) {
+	rec := buildCIFARRecord(1, 1)
+	if _, err := LoadCIFAR10(bytes.NewReader(rec[:100])); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoadCIFAR10Empty(t *testing.T) {
+	if _, err := LoadCIFAR10(bytes.NewReader(nil)); !errors.Is(err, ErrEmptyDataset) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoadCIFAR10BadLabel(t *testing.T) {
+	if _, err := LoadCIFAR10(bytes.NewReader(buildCIFARRecord(77, 0))); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestLoadedMNISTTrainsWithCNN wires a synthetic IDX-encoded dataset through
+// the loader into the CNN, closing the loop real MNIST files would follow.
+func TestLoadedMNISTFeedsPartitioning(t *testing.T) {
+	const n = 40
+	imgs := make([][]byte, n)
+	labels := make([]byte, n)
+	for i := range imgs {
+		img := make([]byte, 16) // 4x4
+		img[i%16] = 255
+		imgs[i] = img
+		labels[i] = byte(i % 10)
+	}
+	d, err := LoadMNIST(
+		bytes.NewReader(buildIDXImages(t, imgs, 4, 4)),
+		bytes.NewReader(buildIDXLabels(t, labels)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := PartitionIID(d, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range shards {
+		total += s.Len()
+	}
+	if total != n {
+		t.Fatalf("shards cover %d of %d", total, n)
+	}
+}

@@ -1,0 +1,421 @@
+package experiments
+
+import (
+	"fmt"
+
+	"garfield/internal/attack"
+	"garfield/internal/core"
+	"garfield/internal/data"
+	"garfield/internal/gar"
+	"garfield/internal/metrics"
+	"garfield/internal/model"
+	"garfield/internal/sgd"
+	"garfield/internal/tensor"
+)
+
+// The convergence experiments run live in-process clusters. Two task scales
+// stand in for the paper's CifarNet/CPU and ResNet-50/GPU settings; the
+// cluster shapes follow Section 6.1's setups, scaled down in quick mode.
+
+// convTask bundles one learnable task.
+type convTask struct {
+	arch  model.Model
+	train *data.Dataset
+	test  *data.Dataset
+}
+
+// cifarStyleTask is the CifarNet stand-in: a linear softmax over a CIFAR-
+// shaped synthetic mixture (flattened to a reduced dimension so the full
+// suite stays tractable).
+func cifarStyleTask(opt Options) (convTask, error) {
+	dim, train, test := 128, 3000, 600
+	if opt.Quick {
+		dim, train, test = 24, 500, 200
+	}
+	tr, te, err := data.Generate(data.SyntheticSpec{
+		Name: "cifar-style", Dim: dim, Classes: 10,
+		Train: train, Test: test, Separation: 1.1, Noise: 1.0, Seed: opt.seed(),
+	})
+	if err != nil {
+		return convTask{}, err
+	}
+	arch, err := model.NewLinearSoftmax(dim, 10)
+	if err != nil {
+		return convTask{}, err
+	}
+	return convTask{arch: arch, train: tr, test: te}, nil
+}
+
+// resnetStyleTask is the ResNet-50 stand-in: a one-hidden-layer MLP (deeper,
+// non-convex) over the same data family.
+func resnetStyleTask(opt Options) (convTask, error) {
+	dim, hidden, train, test := 128, 48, 3000, 600
+	if opt.Quick {
+		dim, hidden, train, test = 24, 12, 500, 200
+	}
+	tr, te, err := data.Generate(data.SyntheticSpec{
+		Name: "resnet-style", Dim: dim, Classes: 10,
+		Train: train, Test: test, Separation: 1.0, Noise: 1.0, Seed: opt.seed() + 1,
+	})
+	if err != nil {
+		return convTask{}, err
+	}
+	arch, err := model.NewMLP(dim, hidden, 10)
+	if err != nil {
+		return convTask{}, err
+	}
+	return convTask{arch: arch, train: tr, test: te}, nil
+}
+
+// tfSetup is the paper's TensorFlow deployment (nw=18, fw=3, nps=6, fps=1,
+// batch 32, Bulyan + asynchrony), scaled down in quick mode.
+func tfSetup(opt Options, task convTask) core.Config {
+	cfg := core.Config{
+		Arch: task.arch, Train: task.train, Test: task.test,
+		BatchSize: 32,
+		NW:        18, FW: 3,
+		NPS: 6, FPS: 1,
+		Rule: gar.NameBulyan,
+		LR:   sgd.Constant(0.25),
+		Seed: opt.seed(),
+	}
+	if opt.Quick {
+		cfg.NW, cfg.FW = 9, 1
+		cfg.NPS, cfg.FPS = 4, 1
+		cfg.BatchSize = 16
+	}
+	return cfg
+}
+
+// ptSetup is the paper's PyTorch deployment (nw=10, fw=3, nps=3, fps=1,
+// batch 100, Multi-Krum + synchrony).
+func ptSetup(opt Options, task convTask) core.Config {
+	cfg := core.Config{
+		Arch: task.arch, Train: task.train, Test: task.test,
+		BatchSize: 100,
+		NW:        10, FW: 3,
+		NPS: 3, FPS: 1,
+		Rule:       gar.NameMultiKrum,
+		SyncQuorum: true,
+		LR:         sgd.Constant(0.25),
+		Seed:       opt.seed(),
+	}
+	if opt.Quick {
+		cfg.BatchSize = 16
+	}
+	return cfg
+}
+
+// runSystem builds a fresh cluster for cfg adapted to the named system and
+// trains it.
+func runSystem(system string, cfg core.Config, ro core.RunOptions) (*core.Result, error) {
+	switch system {
+	case "vanilla", "ssmw", "aggregathor", "crash-tolerant", "msmw":
+	case "decentralized":
+		cfg.NPS, cfg.FPS = cfg.NW, 0
+	default:
+		return nil, fmt.Errorf("experiments: unknown system %q", system)
+	}
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s cluster: %w", system, err)
+	}
+	defer c.Close()
+	switch system {
+	case "vanilla":
+		return c.RunVanilla(ro)
+	case "ssmw":
+		return c.RunSSMW(ro)
+	case "aggregathor":
+		return c.RunAggregaThor(ro)
+	case "crash-tolerant":
+		return c.RunCrashTolerant(ro)
+	case "msmw":
+		return c.RunMSMW(ro)
+	default:
+		return c.RunDecentralized(ro)
+	}
+}
+
+// convergenceFigure runs each system on a fresh cluster over the same task
+// and collects accuracy series; overTime selects the x axis (iterations vs
+// seconds).
+func convergenceFigure(title, xlabel string, systems []string, cfg core.Config,
+	ro core.RunOptions, overTime bool) (Renderable, error) {
+	fig := &metrics.Figure{Title: title, XLabel: xlabel, YLabel: "accuracy"}
+	for _, system := range systems {
+		res, err := runSystem(system, cfg, ro)
+		if err != nil {
+			return nil, err
+		}
+		src := res.Accuracy
+		if overTime {
+			src = res.AccuracyOverTime
+		}
+		s := fig.AddSeries(displayName(system))
+		s.Points = append(s.Points, src.Points...)
+	}
+	return fig, nil
+}
+
+func displayName(system string) string {
+	switch system {
+	case "vanilla":
+		return "Vanilla"
+	case "ssmw":
+		return "SSMW"
+	case "msmw":
+		return "MSMW"
+	case "crash-tolerant":
+		return "Crash-tolerant"
+	case "decentralized":
+		return "Decentralized"
+	case "aggregathor":
+		return "AggregaThor"
+	default:
+		return system
+	}
+}
+
+func convIters(opt Options) core.RunOptions {
+	if opt.Quick {
+		return core.RunOptions{Iterations: 30, AccEvery: 10}
+	}
+	return core.RunOptions{Iterations: 200, AccEvery: 20}
+}
+
+// fig4aSystems are the curves of Figure 4a.
+func fig4aSystems() []string {
+	return []string{"vanilla", "crash-tolerant", "ssmw", "msmw", "decentralized", "aggregathor"}
+}
+
+// fig4bSystems are the curves of Figure 4b (no AggregaThor: it is
+// TensorFlow-only in the paper).
+func fig4bSystems() []string {
+	return []string{"vanilla", "crash-tolerant", "ssmw", "msmw", "decentralized"}
+}
+
+// Fig4a regenerates convergence-vs-iterations on the CifarNet-style task
+// under the TensorFlow setup.
+func Fig4a(opt Options) (Renderable, error) {
+	task, err := cifarStyleTask(opt)
+	if err != nil {
+		return nil, err
+	}
+	return convergenceFigure(
+		"Figure 4a: Convergence with CifarNet-style task (TF setup)",
+		"iterations", fig4aSystems(), tfSetup(opt, task), convIters(opt), false)
+}
+
+// Fig4b regenerates convergence-vs-iterations on the ResNet-50-style task
+// under the PyTorch setup.
+func Fig4b(opt Options) (Renderable, error) {
+	task, err := resnetStyleTask(opt)
+	if err != nil {
+		return nil, err
+	}
+	return convergenceFigure(
+		"Figure 4b: Convergence with ResNet-50-style task (PT setup)",
+		"iterations", fig4bSystems(), ptSetup(opt, task), convIters(opt), false)
+}
+
+// Fig11a regenerates convergence-vs-time for the Figure 4a runs.
+func Fig11a(opt Options) (Renderable, error) {
+	task, err := cifarStyleTask(opt)
+	if err != nil {
+		return nil, err
+	}
+	return convergenceFigure(
+		"Figure 11a: Convergence over time, CifarNet-style task",
+		"time (s)", []string{"vanilla", "aggregathor", "crash-tolerant", "msmw"},
+		tfSetup(opt, task), convIters(opt), true)
+}
+
+// Fig11b regenerates convergence-vs-time for the Figure 4b runs.
+func Fig11b(opt Options) (Renderable, error) {
+	task, err := resnetStyleTask(opt)
+	if err != nil {
+		return nil, err
+	}
+	return convergenceFigure(
+		"Figure 11b: Convergence over time, ResNet-50-style task",
+		"time (s)", []string{"vanilla", "crash-tolerant", "msmw"},
+		ptSetup(opt, task), convIters(opt), true)
+}
+
+// fig5Config is the attack experiment setup: CifarNet-style task, 11 workers
+// and (in the fault-tolerant systems) a replicated server, 1 Byzantine node
+// on each side.
+func fig5Config(opt Options, task convTask, workerAtk, serverAtk attack.Attack) core.Config {
+	cfg := core.Config{
+		Arch: task.arch, Train: task.train, Test: task.test,
+		BatchSize: 32,
+		NW:        11, FW: 1,
+		NPS: 4, FPS: 1,
+		Rule:         gar.NameMultiKrum,
+		SyncQuorum:   true,
+		WorkerAttack: workerAtk,
+		ServerAttack: serverAtk,
+		LR:           sgd.Constant(0.25),
+		Seed:         opt.seed(),
+	}
+	if opt.Quick {
+		cfg.BatchSize = 16
+	}
+	return cfg
+}
+
+func fig5(opt Options, title string, workerAtk, serverAtk attack.Attack) (Renderable, error) {
+	task, err := cifarStyleTask(opt)
+	if err != nil {
+		return nil, err
+	}
+	cfg := fig5Config(opt, task, workerAtk, serverAtk)
+	return convergenceFigure(title, "iterations",
+		[]string{"vanilla", "crash-tolerant", "msmw"}, cfg, convIters(opt), false)
+}
+
+// Fig5a regenerates the random-vectors attack experiment.
+func Fig5a(opt Options) (Renderable, error) {
+	rng := tensor.NewRNG(opt.seed() ^ 0xa77ac)
+	return fig5(opt, "Figure 5a: Tolerance to the random-vectors attack",
+		attack.NewRandom(rng, 1.0), attack.NewRandom(rng.Split(), 1.0))
+}
+
+// Fig5b regenerates the reversed-vectors attack experiment.
+func Fig5b(opt Options) (Renderable, error) {
+	return fig5(opt, "Figure 5b: Tolerance to the reversed-vectors attack",
+		attack.Reversed{Factor: -100}, attack.Reversed{Factor: -100})
+}
+
+// Fig12a regenerates MDA convergence vs iterations (TF setup, MDA GAR).
+func Fig12a(opt Options) (Renderable, error) {
+	return fig12(opt, "Figure 12a: Convergence with MDA (iterations)", false)
+}
+
+// Fig12b regenerates MDA convergence vs time.
+func Fig12b(opt Options) (Renderable, error) {
+	return fig12(opt, "Figure 12b: Convergence with MDA (time)", true)
+}
+
+func fig12(opt Options, title string, overTime bool) (Renderable, error) {
+	task, err := cifarStyleTask(opt)
+	if err != nil {
+		return nil, err
+	}
+	cfg := tfSetup(opt, task)
+	cfg.Rule = gar.NameMDA
+	xlabel := "iterations"
+	if overTime {
+		xlabel = "time (s)"
+	}
+	return convergenceFigure(title, xlabel,
+		[]string{"vanilla", "crash-tolerant", "msmw"}, cfg, convIters(opt), overTime)
+}
+
+// Table2 regenerates the parameter-vector alignment study: during an MSMW
+// run, every sampleEvery steps the correct replicas' parameter vectors are
+// collected, the two largest-norm pairwise difference vectors are kept, and
+// cos(phi) between them is reported.
+func Table2(opt Options) (Renderable, error) {
+	task, err := cifarStyleTask(opt)
+	if err != nil {
+		return nil, err
+	}
+	cfg := tfSetup(opt, task)
+	// Contraction runs every other iteration, so the replicas sampled at
+	// odd chunk boundaries carry genuine divergence — per-iteration
+	// contraction would make the correct replicas bit-identical and the
+	// alignment study vacuous.
+	cfg.ModelAggEvery = 2
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	iters, warmup, sampleEvery := 205, 100, 5
+	if opt.Quick {
+		iters, warmup, sampleEvery = 45, 10, 5
+	}
+	honest := cfg.NPS - cfg.FPS
+
+	table := &metrics.Table{
+		Title:  "Table 2: Parameter-vector alignment at correct servers",
+		Header: []string{"Step", "cos(phi)", "max diff1", "max diff2"},
+	}
+	for done := 0; done < iters; done += sampleEvery {
+		chunk := sampleEvery
+		if done+chunk > iters {
+			chunk = iters - done
+		}
+		if _, err := c.RunMSMW(core.RunOptions{Iterations: chunk, AccEvery: 0}); err != nil {
+			return nil, err
+		}
+		step := done + chunk
+		if step <= warmup {
+			continue
+		}
+		params := make([]tensor.Vector, honest)
+		for r := 0; r < honest; r++ {
+			params[r] = c.Server(r).Params()
+		}
+		cosPhi, n1, n2, err := topDiffAlignment(params)
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(fmt.Sprintf("%d", step),
+			fmt.Sprintf("%.6f", cosPhi),
+			fmt.Sprintf("%.6g", n1),
+			fmt.Sprintf("%.6g", n2))
+	}
+	return table, nil
+}
+
+// topDiffAlignment computes all pairwise difference vectors of the given
+// parameter vectors, keeps the two with the largest norms, and returns the
+// cosine of the angle between them along with both norms.
+func topDiffAlignment(params []tensor.Vector) (cosPhi, norm1, norm2 float64, err error) {
+	type diff struct {
+		v    tensor.Vector
+		norm float64
+	}
+	var diffs []diff
+	for i := 0; i < len(params); i++ {
+		for j := i + 1; j < len(params); j++ {
+			d, err := params[i].Sub(params[j])
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			diffs = append(diffs, diff{v: d, norm: d.Norm()})
+		}
+	}
+	if len(diffs) < 2 {
+		return 0, 0, 0, fmt.Errorf("experiments: need >= 3 correct replicas, got %d", len(params))
+	}
+	// Select top-2 by norm.
+	best, second := 0, 1
+	if diffs[second].norm > diffs[best].norm {
+		best, second = second, best
+	}
+	for k := 2; k < len(diffs); k++ {
+		switch {
+		case diffs[k].norm > diffs[best].norm:
+			second = best
+			best = k
+		case diffs[k].norm > diffs[second].norm:
+			second = k
+		}
+	}
+	// Align signs: a difference vector's orientation is arbitrary (i-j vs
+	// j-i), so compare absolute alignment as the paper's methodology
+	// implies for "how aligned" the differences are.
+	c, err := diffs[best].v.CosineSimilarity(diffs[second].v)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if c < 0 {
+		c = -c
+	}
+	return c, diffs[best].norm, diffs[second].norm, nil
+}

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"garfield/internal/metrics"
+)
+
+func quick() Options { return Options{Quick: true, Seed: 9} }
+
+func TestIDsStableAndDescribed(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 31 {
+		t.Fatalf("IDs = %d entries: %v", len(ids), ids)
+	}
+	for _, id := range ids {
+		desc, err := Describe(id)
+		if err != nil || desc == "" {
+			t.Fatalf("Describe(%s) = %q, %v", id, desc, err)
+		}
+	}
+	if _, err := Describe("nope"); !errors.Is(err, ErrUnknownExperiment) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var sb strings.Builder
+	if err := Run("nope", quick(), &sb); !errors.Is(err, ErrUnknownExperiment) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestRunAllQuick executes every registered experiment end to end in quick
+// mode and sanity-checks that each renders non-empty output. This is the
+// master integration test of the reproduction harness.
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short mode")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			var sb strings.Builder
+			if err := Run(id, quick(), &sb); err != nil {
+				t.Fatalf("Run(%s): %v", id, err)
+			}
+			out := sb.String()
+			if len(out) < 40 {
+				t.Fatalf("Run(%s) output too small: %q", id, out)
+			}
+			if !strings.HasPrefix(out, "# ") {
+				t.Fatalf("Run(%s) missing title: %q", id, out[:20])
+			}
+		})
+	}
+}
+
+func TestTable1Contents(t *testing.T) {
+	r, err := Table1(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"MNIST_CNN", "VGG", "128807306", "491.4"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("Table1 missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestFig3aShape verifies the headline micro-benchmark shapes: Average is
+// the cheapest rule and Median stays close to it, while Multi-Krum and
+// Bulyan grow much faster with n.
+func TestFig3aShape(t *testing.T) {
+	r, err := Fig3a(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, ok := r.(*metrics.Figure)
+	if !ok {
+		t.Fatal("Fig3a did not return a figure")
+	}
+	avg := fig.SeriesByName("average")
+	med := fig.SeriesByName("median")
+	bul := fig.SeriesByName("bulyan")
+	if avg == nil || med == nil || bul == nil {
+		t.Fatal("missing series")
+	}
+	// At the largest n, Bulyan must cost much more than Average.
+	if bul.Last() < 3*avg.Last() {
+		t.Fatalf("bulyan (%v) not clearly above average (%v) at n=23", bul.Last(), avg.Last())
+	}
+	// Median must stay within a modest constant factor of Average (the
+	// bound is loose: micro-timings shift under parallel test load).
+	if med.Last() > 50*avg.Last() {
+		t.Fatalf("median (%v) too far above average (%v)", med.Last(), avg.Last())
+	}
+}
+
+// TestFig3bLinearInD verifies all GARs scale roughly linearly with d.
+func TestFig3bLinearInD(t *testing.T) {
+	r, err := Fig3b(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, ok := r.(*metrics.Figure)
+	if !ok {
+		t.Fatal("not a figure")
+	}
+	for _, s := range fig.Series {
+		n := len(s.Points)
+		if n < 2 {
+			t.Fatalf("series %s too short", s.Name)
+		}
+		first, last := s.Points[0], s.Points[n-1]
+		dRatio := last.X / first.X
+		tRatio := last.Y / first.Y
+		// Linear in d means time ratio is within a loose factor of the
+		// d ratio (loose: constant overheads dominate small d).
+		if tRatio > 10*dRatio {
+			t.Fatalf("%s superlinear in d: d x%.0f, time x%.0f", s.Name, dRatio, tRatio)
+		}
+	}
+}
+
+// TestFig5bShape verifies the attack experiment's headline result: under the
+// reversed-vectors attack, vanilla fails while MSMW learns.
+func TestFig5bShape(t *testing.T) {
+	r, err := Fig5b(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, ok := r.(*metrics.Figure)
+	if !ok {
+		t.Fatal("not a figure")
+	}
+	vanilla := fig.SeriesByName("Vanilla")
+	msmw := fig.SeriesByName("MSMW")
+	if vanilla == nil || msmw == nil {
+		t.Fatal("missing series")
+	}
+	if msmw.Last() < 0.6 {
+		t.Fatalf("MSMW under attack accuracy = %v, want >= 0.6", msmw.Last())
+	}
+	if vanilla.Last() > msmw.Last()-0.2 {
+		t.Fatalf("vanilla (%v) not clearly broken vs MSMW (%v)", vanilla.Last(), msmw.Last())
+	}
+}
+
+// TestFig4aAllSystemsLearnWithoutAttack: without attacks every deployment
+// reaches a usable accuracy, vanilla included.
+func TestFig4aAllSystemsLearnWithoutAttack(t *testing.T) {
+	r, err := Fig4a(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, ok := r.(*metrics.Figure)
+	if !ok {
+		t.Fatal("not a figure")
+	}
+	for _, s := range fig.Series {
+		if s.Last() < 0.45 {
+			t.Fatalf("series %s final accuracy = %v, want >= 0.45", s.Name, s.Last())
+		}
+	}
+}
+
+// TestExtMomentumImproves asserts the extension table shows momentum helping
+// the median condition.
+func TestExtMomentumImproves(t *testing.T) {
+	r, err := ExtMomentum(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, ok := r.(*metrics.Table)
+	if !ok {
+		t.Fatal("not a table")
+	}
+	var medianRow []string
+	for _, row := range tab.Rows {
+		if row[0] == "median" {
+			medianRow = row
+		}
+	}
+	if medianRow == nil {
+		t.Fatal("missing median row")
+	}
+	var rawN, rawT, smN, smT int
+	if _, err := fmt.Sscanf(medianRow[1], "%d/%d", &rawN, &rawT); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Sscanf(medianRow[2], "%d/%d", &smN, &smT); err != nil {
+		t.Fatal(err)
+	}
+	if smN <= rawN {
+		t.Fatalf("momentum did not improve: %d vs %d", rawN, smN)
+	}
+}
+
+// TestExtGARsAllRobust asserts every robust rule survives the reversed
+// attack in the extension table.
+func TestExtGARsAllRobust(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	r, err := ExtGARs(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, ok := r.(*metrics.Table)
+	if !ok {
+		t.Fatal("not a table")
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		var acc float64
+		if _, err := fmt.Sscan(row[1], &acc); err != nil {
+			t.Fatal(err)
+		}
+		if acc < 0.6 {
+			t.Fatalf("%s failed under attack: %v", row[0], acc)
+		}
+	}
+}
+
+// TestTable2Alignment checks the Table 2 reproduction emits rows with
+// cos(phi) in [0, 1].
+func TestTable2Alignment(t *testing.T) {
+	r, err := Table2(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, ok := r.(*metrics.Table)
+	if !ok {
+		t.Fatal("not a table")
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("Table 2 has no rows")
+	}
+	for _, row := range tab.Rows {
+		var c float64
+		if _, err := fmt.Sscan(row[1], &c); err != nil {
+			t.Fatalf("bad cos value %q", row[1])
+		}
+		if c < 0 || c > 1 {
+			t.Fatalf("cos(phi) = %v out of range", c)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"garfield/internal/gar"
+	"garfield/internal/metrics"
+	"garfield/internal/model"
+	"garfield/internal/tensor"
+)
+
+// Table1 regenerates the paper's model catalogue.
+func Table1(Options) (Renderable, error) {
+	t := &metrics.Table{
+		Title:  "Table 1: Models used to evaluate Garfield",
+		Header: []string{"Model", "# parameters", "Size (MB)"},
+	}
+	for _, p := range model.Table1() {
+		t.AddRow(p.Name, strconv.Itoa(p.Params), fmt.Sprintf("%.1f", p.SizeMB()))
+	}
+	return t, nil
+}
+
+// microGARs returns the five rules of Figure 3 in the paper's legend order.
+func microGARs() []string {
+	return []string{gar.NameBulyan, gar.NameMDA, gar.NameMultiKrum, gar.NameMedian, gar.NameAverage}
+}
+
+// timeAggregation measures the wall-clock aggregation time of one rule over
+// freshly generated inputs, averaged over reps runs (the paper averages 21).
+func timeAggregation(rule string, n, f, d, reps int, seed uint64) (time.Duration, error) {
+	r, err := gar.New(rule, n, f)
+	if err != nil {
+		return 0, err
+	}
+	rng := tensor.NewRNG(seed)
+	inputs := make([]tensor.Vector, n)
+	for i := range inputs {
+		inputs[i] = rng.NormalVector(d, 0, 1)
+	}
+	// One warm-up run outside the measurement.
+	if _, err := r.Aggregate(inputs); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for rep := 0; rep < reps; rep++ {
+		if _, err := r.Aggregate(inputs); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(reps), nil
+}
+
+// fig3F is the paper's choice of declared Byzantine inputs for the
+// micro-benchmark: f = floor((n-3)/4), making n = 7 the smallest valid n.
+func fig3F(n int) int { return (n - 3) / 4 }
+
+// Fig3a regenerates the aggregation-time-vs-n micro-benchmark (d fixed).
+func Fig3a(opt Options) (Renderable, error) {
+	d := 1_000_000 // paper: 1e7; scaled to keep the full suite tractable
+	reps := 5
+	ns := []int{7, 9, 11, 13, 15, 17, 19, 21, 23}
+	if opt.Quick {
+		d = 10_000
+		reps = 2
+		ns = []int{7, 11, 15, 19, 23}
+	}
+	fig := &metrics.Figure{
+		Title:  "Figure 3a: GAR aggregation time vs number of inputs (d=" + strconv.Itoa(d) + ")",
+		XLabel: "n",
+		YLabel: "aggregation time (sec)",
+	}
+	for _, rule := range microGARs() {
+		s := fig.AddSeries(rule)
+		for _, n := range ns {
+			f := 0
+			if rule != gar.NameAverage {
+				f = fig3F(n)
+			}
+			dt, err := timeAggregation(rule, n, f, d, reps, opt.seed())
+			if err != nil {
+				return nil, err
+			}
+			s.Append(float64(n), dt.Seconds())
+		}
+	}
+	return fig, nil
+}
+
+// Fig3b regenerates the aggregation-time-vs-d micro-benchmark (n fixed).
+func Fig3b(opt Options) (Renderable, error) {
+	n := 17
+	f := fig3F(n)
+	reps := 5
+	ds := []int{100_000, 300_000, 1_000_000, 3_000_000, 10_000_000}
+	if opt.Quick {
+		reps = 2
+		ds = []int{1_000, 10_000, 100_000}
+	}
+	fig := &metrics.Figure{
+		Title:  "Figure 3b: GAR aggregation time vs input dimension (n=17)",
+		XLabel: "d",
+		YLabel: "aggregation time (sec)",
+	}
+	for _, rule := range microGARs() {
+		s := fig.AddSeries(rule)
+		for _, d := range ds {
+			fr := f
+			if rule == gar.NameAverage {
+				fr = 0
+			}
+			dt, err := timeAggregation(rule, n, fr, d, reps, opt.seed())
+			if err != nil {
+				return nil, err
+			}
+			s.Append(float64(d), dt.Seconds())
+		}
+	}
+	return fig, nil
+}

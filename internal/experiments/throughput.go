@@ -1,0 +1,383 @@
+package experiments
+
+import (
+	"fmt"
+
+	"garfield/internal/gar"
+	"garfield/internal/metrics"
+	"garfield/internal/model"
+	"garfield/internal/simnet"
+)
+
+// The throughput experiments evaluate the deterministic cluster cost model
+// (internal/simnet) over the paper's deployment shapes:
+//
+//	TF setup (Section 6.1): nw=18, fw=3, nps=6, fps=1, Bulyan.
+//	PT setup (Section 6.1): nw=10, fw=3, nps=3, fps=1, Multi-Krum.
+
+func tfDeployment(sys simnet.System, d int, cluster simnet.Profile) simnet.Deployment {
+	return simnet.Deployment{
+		Sys: sys, NW: 18, FW: 3, NPS: 6, FPS: 1,
+		Rule: gar.NameBulyan, D: d, Cluster: cluster,
+	}
+}
+
+func ptDeployment(sys simnet.System, d int, cluster simnet.Profile) simnet.Deployment {
+	return simnet.Deployment{
+		Sys: sys, NW: 10, FW: 3, NPS: 3, FPS: 1,
+		Rule: gar.NameMultiKrum, D: d, Cluster: cluster,
+	}
+}
+
+// slowdown returns sys's iteration time normalized to vanilla's in the same
+// shape — the y axis of Figures 6 and 15.
+func slowdown(base simnet.Deployment, sys simnet.System) (float64, error) {
+	vs := base
+	vs.Sys = simnet.SystemVanilla
+	vb, err := vs.Iteration()
+	if err != nil {
+		return 0, err
+	}
+	ss := base
+	ss.Sys = sys
+	sb, err := ss.Iteration()
+	if err != nil {
+		return 0, err
+	}
+	return sb.TotalSec() / vb.TotalSec(), nil
+}
+
+// fig6 builds the slowdown-per-model table for one cluster profile.
+func fig6(title string, cluster simnet.Profile) (Renderable, error) {
+	systems := []simnet.System{
+		simnet.SystemCrashTolerant, simnet.SystemSSMW,
+		simnet.SystemMSMW, simnet.SystemDecentralized,
+	}
+	t := &metrics.Table{
+		Title:  title,
+		Header: []string{"Model", "Crash-tolerant", "SSMW", "MSMW", "Decentralized"},
+	}
+	for _, p := range model.Table1() {
+		row := []string{p.Name}
+		for _, sys := range systems {
+			s, err := slowdown(tfDeployment(sys, p.Params, cluster), sys)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.2fx", s))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig6a regenerates the CPU slowdown-per-model comparison.
+func Fig6a(Options) (Renderable, error) {
+	return fig6("Figure 6a: Slowdown vs vanilla baseline per model (CPU)", simnet.CPU())
+}
+
+// Fig6b regenerates the GPU slowdown-per-model comparison.
+func Fig6b(Options) (Renderable, error) {
+	return fig6("Figure 6b: Slowdown vs vanilla baseline per model (GPU)", simnet.GPU())
+}
+
+// Fig7 regenerates the CPU latency breakdown for ResNet-50.
+func Fig7(Options) (Renderable, error) {
+	resnet, err := model.ProfileByName("ResNet-50")
+	if err != nil {
+		return nil, err
+	}
+	t := &metrics.Table{
+		Title:  "Figure 7: Per-iteration latency breakdown, ResNet-50, CPU cluster",
+		Header: []string{"System", "Computation (s)", "Communication (s)", "Aggregation (s)", "Total (s)"},
+	}
+	for _, sys := range simnet.Systems() {
+		if sys == simnet.SystemAggregaThor {
+			continue // not part of Figure 7
+		}
+		b, err := tfDeployment(sys, resnet.Params, simnet.CPU()).Iteration()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(sys.String(),
+			fmt.Sprintf("%.2f", b.ComputeSec),
+			fmt.Sprintf("%.2f", b.CommSec),
+			fmt.Sprintf("%.2f", b.AggSec),
+			fmt.Sprintf("%.2f", b.TotalSec()))
+	}
+	return t, nil
+}
+
+// Fig8a regenerates throughput-vs-nw on the CPU cluster (CifarNet, TF
+// setup, including AggregaThor).
+func Fig8a(Options) (Renderable, error) {
+	cifar, err := model.ProfileByName("CifarNet")
+	if err != nil {
+		return nil, err
+	}
+	fig := &metrics.Figure{
+		Title:  "Figure 8a: Throughput vs number of workers (CifarNet, CPU)",
+		XLabel: "nw",
+		YLabel: "throughput (batches/sec)",
+	}
+	systems := []simnet.System{
+		simnet.SystemVanilla, simnet.SystemCrashTolerant, simnet.SystemSSMW,
+		simnet.SystemMSMW, simnet.SystemDecentralized, simnet.SystemAggregaThor,
+	}
+	for _, sys := range systems {
+		s := fig.AddSeries(sys.String())
+		for nw := 3; nw <= 20; nw++ {
+			d := tfDeployment(sys, cifar.Params, simnet.CPU())
+			d.NW = nw
+			if fw := (nw - 3) / 4; fw < d.FW {
+				d.FW = fw // keep the Bulyan requirement satisfiable
+			}
+			b, err := d.BatchesPerSec()
+			if err != nil {
+				return nil, err
+			}
+			s.Append(float64(nw), b)
+		}
+	}
+	return fig, nil
+}
+
+// Fig8b regenerates throughput-vs-nw on the GPU cluster (ResNet-50, PT
+// setup).
+func Fig8b(Options) (Renderable, error) {
+	resnet, err := model.ProfileByName("ResNet-50")
+	if err != nil {
+		return nil, err
+	}
+	fig := &metrics.Figure{
+		Title:  "Figure 8b: Throughput vs number of workers (ResNet-50, GPU)",
+		XLabel: "nw",
+		YLabel: "throughput (batches/sec)",
+	}
+	systems := []simnet.System{
+		simnet.SystemVanilla, simnet.SystemCrashTolerant, simnet.SystemSSMW,
+		simnet.SystemMSMW, simnet.SystemDecentralized,
+	}
+	for _, sys := range systems {
+		s := fig.AddSeries(sys.String())
+		for nw := 5; nw <= 13; nw += 2 {
+			d := ptDeployment(sys, resnet.Params, simnet.GPU())
+			d.NW = nw
+			b, err := d.BatchesPerSec()
+			if err != nil {
+				return nil, err
+			}
+			s.Append(float64(nw), b)
+		}
+	}
+	return fig, nil
+}
+
+// Fig9a regenerates decentralized-vs-vanilla communication time as the node
+// count grows (d = 1e6, GPU cluster).
+func Fig9a(Options) (Renderable, error) {
+	fig := &metrics.Figure{
+		Title:  "Figure 9a: Communication time vs number of nodes (d=1e6, GPU)",
+		XLabel: "n",
+		YLabel: "communication time (sec)",
+	}
+	for _, sys := range []simnet.System{simnet.SystemDecentralized, simnet.SystemVanilla} {
+		s := fig.AddSeries(sys.String())
+		for n := 2; n <= 6; n++ {
+			d := ptDeployment(sys, 1_000_000, simnet.GPU())
+			d.NW = n
+			d.FW = 0
+			c, err := d.CommTime()
+			if err != nil {
+				return nil, err
+			}
+			s.Append(float64(n), c)
+		}
+	}
+	return fig, nil
+}
+
+// Fig9b regenerates communication time as the model dimension grows (n=6).
+func Fig9b(Options) (Renderable, error) {
+	fig := &metrics.Figure{
+		Title:  "Figure 9b: Communication time vs model dimension (n=6, GPU)",
+		XLabel: "d",
+		YLabel: "communication time (sec)",
+	}
+	dims := []int{10_000, 100_000, 1_000_000, 10_000_000, 100_000_000}
+	for _, sys := range []simnet.System{simnet.SystemDecentralized, simnet.SystemVanilla} {
+		s := fig.AddSeries(sys.String())
+		for _, dim := range dims {
+			d := ptDeployment(sys, dim, simnet.GPU())
+			d.NW = 6
+			d.FW = 0
+			c, err := d.CommTime()
+			if err != nil {
+				return nil, err
+			}
+			s.Append(float64(dim), c)
+		}
+	}
+	return fig, nil
+}
+
+// fwSweep evaluates MSMW throughput with growing fw at fixed nw.
+func fwSweep(fig *metrics.Figure, name string, base simnet.Deployment) error {
+	s := fig.AddSeries(name)
+	for fw := 0; fw <= 3; fw++ {
+		d := base
+		d.FW = fw
+		u, err := d.UpdatesPerSec()
+		if err != nil {
+			return err
+		}
+		s.Append(float64(fw), u)
+	}
+	return nil
+}
+
+// fpsSweep evaluates MSMW throughput with growing fps; the replica count
+// follows the paper's resilience condition nps = 3*fps + 1.
+func fpsSweep(fig *metrics.Figure, name string, base simnet.Deployment) error {
+	s := fig.AddSeries(name)
+	for fps := 0; fps <= 3; fps++ {
+		d := base
+		d.FPS = fps
+		d.NPS = 3*fps + 1
+		u, err := d.UpdatesPerSec()
+		if err != nil {
+			return err
+		}
+		s.Append(float64(fps), u)
+	}
+	return nil
+}
+
+// Fig10a regenerates throughput-vs-fw for both framework setups (CPU).
+func Fig10a(Options) (Renderable, error) {
+	resnet, err := model.ProfileByName("ResNet-50")
+	if err != nil {
+		return nil, err
+	}
+	fig := &metrics.Figure{
+		Title:  "Figure 10a: Throughput vs number of Byzantine workers (CPU)",
+		XLabel: "fw",
+		YLabel: "throughput (updates/sec)",
+	}
+	if err := fwSweep(fig, "PyTorch", ptDeployment(simnet.SystemMSMW, resnet.Params, simnet.CPU())); err != nil {
+		return nil, err
+	}
+	if err := fwSweep(fig, "TensorFlow", tfDeployment(simnet.SystemMSMW, resnet.Params, simnet.CPU())); err != nil {
+		return nil, err
+	}
+	return fig, nil
+}
+
+// Fig10b regenerates throughput-vs-fps for both framework setups (CPU).
+func Fig10b(Options) (Renderable, error) {
+	resnet, err := model.ProfileByName("ResNet-50")
+	if err != nil {
+		return nil, err
+	}
+	fig := &metrics.Figure{
+		Title:  "Figure 10b: Throughput vs number of Byzantine servers (CPU)",
+		XLabel: "fps",
+		YLabel: "throughput (updates/sec)",
+	}
+	if err := fpsSweep(fig, "PyTorch", ptDeployment(simnet.SystemMSMW, resnet.Params, simnet.CPU())); err != nil {
+		return nil, err
+	}
+	if err := fpsSweep(fig, "TensorFlow", tfDeployment(simnet.SystemMSMW, resnet.Params, simnet.CPU())); err != nil {
+		return nil, err
+	}
+	return fig, nil
+}
+
+// Fig13a / Fig13b regenerate the appendix throughput-vs-fw study for
+// Garfield (MSMW) on each cluster.
+func Fig13a(Options) (Renderable, error) { return fig13(simnet.CPU()) }
+
+// Fig13b is the GPU variant of Fig13a.
+func Fig13b(Options) (Renderable, error) { return fig13(simnet.GPU()) }
+
+func fig13(cluster simnet.Profile) (Renderable, error) {
+	resnet, err := model.ProfileByName("ResNet-50")
+	if err != nil {
+		return nil, err
+	}
+	fig := &metrics.Figure{
+		Title:  "Figure 13 (" + cluster.Name + "): Garfield throughput vs f_w",
+		XLabel: "fw",
+		YLabel: "throughput (updates/sec)",
+	}
+	if err := fwSweep(fig, "Garfield", tfDeployment(simnet.SystemMSMW, resnet.Params, cluster)); err != nil {
+		return nil, err
+	}
+	return fig, nil
+}
+
+// Fig14a / Fig14b regenerate the appendix throughput-vs-fps study.
+func Fig14a(Options) (Renderable, error) { return fig14(simnet.CPU()) }
+
+// Fig14b is the GPU variant of Fig14a.
+func Fig14b(Options) (Renderable, error) { return fig14(simnet.GPU()) }
+
+func fig14(cluster simnet.Profile) (Renderable, error) {
+	resnet, err := model.ProfileByName("ResNet-50")
+	if err != nil {
+		return nil, err
+	}
+	fig := &metrics.Figure{
+		Title:  "Figure 14 (" + cluster.Name + "): Garfield throughput vs f_ps",
+		XLabel: "fps",
+		YLabel: "throughput (updates/sec)",
+	}
+	if err := fpsSweep(fig, "Garfield", tfDeployment(simnet.SystemMSMW, resnet.Params, cluster)); err != nil {
+		return nil, err
+	}
+	return fig, nil
+}
+
+// Fig15 regenerates the PyTorch-style slowdown-per-model table (GPU).
+func Fig15(Options) (Renderable, error) {
+	t := &metrics.Table{
+		Title:  "Figure 15: Slowdown vs vanilla PyTorch-style baseline per model (GPU)",
+		Header: []string{"Model", "Crash-tolerant", "Garfield (MSMW)"},
+	}
+	for _, p := range model.Table1() {
+		crash, err := slowdown(ptDeployment(simnet.SystemCrashTolerant, p.Params, simnet.GPU()), simnet.SystemCrashTolerant)
+		if err != nil {
+			return nil, err
+		}
+		garf, err := slowdown(ptDeployment(simnet.SystemMSMW, p.Params, simnet.GPU()), simnet.SystemMSMW)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(p.Name, fmt.Sprintf("%.2fx", crash), fmt.Sprintf("%.2fx", garf))
+	}
+	return t, nil
+}
+
+// Fig16 regenerates the PyTorch-style latency breakdown (GPU, pipelined
+// communication and aggregation).
+func Fig16(Options) (Renderable, error) {
+	resnet, err := model.ProfileByName("ResNet-50")
+	if err != nil {
+		return nil, err
+	}
+	t := &metrics.Table{
+		Title:  "Figure 16: Per-iteration latency breakdown, ResNet-50, GPU (pipelined)",
+		Header: []string{"System", "Computation (s)", "Comm+Agg (s)", "Total (s)"},
+	}
+	for _, sys := range []simnet.System{simnet.SystemVanilla, simnet.SystemCrashTolerant, simnet.SystemMSMW} {
+		b, err := ptDeployment(sys, resnet.Params, simnet.GPU()).Iteration()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(sys.String(),
+			fmt.Sprintf("%.3f", b.ComputeSec),
+			fmt.Sprintf("%.3f", b.CommSec+b.AggSec),
+			fmt.Sprintf("%.3f", b.TotalSec()))
+	}
+	return t, nil
+}

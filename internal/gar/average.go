@@ -1,0 +1,42 @@
+package gar
+
+import (
+	"fmt"
+
+	"garfield/internal/tensor"
+)
+
+// Average is the non-resilient baseline rule used by vanilla deployments:
+// the coordinate-wise arithmetic mean of all inputs. It tolerates no
+// Byzantine input (f = 0); a single adversarial vector can move the output
+// arbitrarily far.
+type Average struct {
+	n int
+}
+
+var _ Rule = (*Average)(nil)
+
+// NewAverage returns an averaging rule over n inputs.
+func NewAverage(n int) (*Average, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: average needs n >= 1, got n=%d", ErrRequirement, n)
+	}
+	return &Average{n: n}, nil
+}
+
+// Name implements Rule.
+func (a *Average) Name() string { return NameAverage }
+
+// N implements Rule.
+func (a *Average) N() int { return a.n }
+
+// F implements Rule. Average tolerates no Byzantine inputs.
+func (a *Average) F() int { return 0 }
+
+// Aggregate implements Rule.
+func (a *Average) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
+	if _, err := checkInputs(a, inputs); err != nil {
+		return nil, err
+	}
+	return tensor.Mean(inputs)
+}

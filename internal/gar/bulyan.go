@@ -1,0 +1,195 @@
+package gar
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"garfield/internal/tensor"
+)
+
+// Bulyan (El Mhamdi et al., ICML 2018) hardens another Byzantine-resilient
+// GAR against high-dimensional "hidden" attacks. It iterates an inner
+// selection rule (Multi-Krum by default, as in the paper) k = n - 2f times,
+// each time extracting the selected gradient; it then computes the
+// coordinate-wise median of the k selections and, per coordinate, averages
+// the k' = k - 2f values closest to that median. It requires n >= 4f+3.
+type Bulyan struct {
+	n, f  int
+	inner string // inner selection rule: NameMultiKrum or NameMedian
+}
+
+var _ Rule = (*Bulyan)(nil)
+
+// NewBulyan returns a Bulyan rule with Multi-Krum as the inner selection
+// rule, the configuration evaluated in the paper.
+func NewBulyan(n, f int) (*Bulyan, error) {
+	return NewBulyanInner(n, f, NameMultiKrum)
+}
+
+// NewBulyanInner returns a Bulyan rule with an explicit inner selection rule
+// ("multikrum" or "median"). The choice is the subject of one of the design
+// ablation benches.
+func NewBulyanInner(n, f int, inner string) (*Bulyan, error) {
+	if f < 0 || n < 4*f+3 {
+		return nil, fmt.Errorf("%w: bulyan needs n >= 4f+3, got n=%d f=%d", ErrRequirement, n, f)
+	}
+	switch inner {
+	case NameMultiKrum, NameMedian:
+	default:
+		return nil, fmt.Errorf("%w: bulyan inner rule %q (want multikrum or median)", ErrUnknownRule, inner)
+	}
+	return &Bulyan{n: n, f: f, inner: inner}, nil
+}
+
+// Name implements Rule.
+func (b *Bulyan) Name() string { return NameBulyan }
+
+// N implements Rule.
+func (b *Bulyan) N() int { return b.n }
+
+// F implements Rule.
+func (b *Bulyan) F() int { return b.f }
+
+// Inner returns the name of the inner selection rule.
+func (b *Bulyan) Inner() string { return b.inner }
+
+// Aggregate implements Rule.
+func (b *Bulyan) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
+	d, err := checkInputs(b, inputs)
+	if err != nil {
+		return nil, err
+	}
+	k := b.n - 2*b.f // number of selection iterations
+	selected, err := b.selectK(inputs, k)
+	if err != nil {
+		return nil, err
+	}
+	// Coordinate-wise median of the k selected gradients, then average of
+	// the k' = k - 2f values closest to the median, per coordinate.
+	kPrime := k - 2*b.f
+	out := tensor.New(d)
+	col := make([]float64, k)
+	order := make([]int, k)
+	for c := 0; c < d; c++ {
+		for i, v := range selected {
+			col[i] = v[c]
+		}
+		med := medianOfSorted(col, order)
+		// Average the kPrime values closest to med.
+		sort.Slice(order, func(a, bb int) bool {
+			return math.Abs(col[order[a]]-med) < math.Abs(col[order[bb]]-med)
+		})
+		var s float64
+		for _, idx := range order[:kPrime] {
+			s += col[idx]
+		}
+		out[c] = s / float64(kPrime)
+	}
+	return out, nil
+}
+
+// selectK runs the inner rule k times, each time extracting the selected
+// gradient and removing it from the pool, caching distance computations
+// across iterations as described in Section 4.4 of the paper.
+func (b *Bulyan) selectK(inputs []tensor.Vector, k int) ([]tensor.Vector, error) {
+	dist, err := pairwiseSquaredDistances(inputs)
+	if err != nil {
+		return nil, fmt.Errorf("gar: bulyan: %w", err)
+	}
+	alive := make([]int, len(inputs)) // indices into inputs still in the pool
+	for i := range alive {
+		alive[i] = i
+	}
+	selected := make([]tensor.Vector, 0, k)
+	for iter := 0; iter < k; iter++ {
+		pick, err := b.selectOne(dist, alive, inputs)
+		if err != nil {
+			return nil, err
+		}
+		selected = append(selected, inputs[alive[pick]])
+		alive = append(alive[:pick], alive[pick+1:]...)
+	}
+	return selected, nil
+}
+
+// selectOne returns the position (within alive) of the gradient the inner
+// rule selects from the current pool.
+func (b *Bulyan) selectOne(dist [][]float64, alive []int, inputs []tensor.Vector) (int, error) {
+	q := len(alive)
+	switch b.inner {
+	case NameMultiKrum:
+		// Krum score within the pool: sum of squared distances to the
+		// q-f-2 closest pool neighbours. The cached full distance matrix is
+		// re-indexed through alive, so no distance is recomputed.
+		kNeighbours := q - b.f - 2
+		if kNeighbours < 1 {
+			kNeighbours = 1
+		}
+		best := -1
+		bestScore := math.Inf(1)
+		row := make([]float64, 0, q-1)
+		for i := 0; i < q; i++ {
+			row = row[:0]
+			for j := 0; j < q; j++ {
+				if j != i {
+					row = append(row, dist[alive[i]][alive[j]])
+				}
+			}
+			sort.Float64s(row)
+			var s float64
+			for _, d2 := range row[:kNeighbours] {
+				s += d2
+			}
+			if s < bestScore {
+				bestScore = s
+				best = i
+			}
+		}
+		return best, nil
+	case NameMedian:
+		// Pick the pool element closest (in L2) to the coordinate-wise
+		// median of the pool.
+		pool := make([]tensor.Vector, q)
+		for i, idx := range alive {
+			pool[i] = inputs[idx]
+		}
+		med, err := NewMedian(q, 0)
+		if err != nil {
+			return 0, fmt.Errorf("gar: bulyan inner median: %w", err)
+		}
+		center, err := med.Aggregate(pool)
+		if err != nil {
+			return 0, fmt.Errorf("gar: bulyan inner median: %w", err)
+		}
+		best := 0
+		bestD := math.Inf(1)
+		for i, v := range pool {
+			d2, err := v.SquaredDistance(center)
+			if err != nil {
+				return 0, err
+			}
+			if d2 < bestD {
+				bestD = d2
+				best = i
+			}
+		}
+		return best, nil
+	default:
+		return 0, fmt.Errorf("%w: bulyan inner rule %q", ErrUnknownRule, b.inner)
+	}
+}
+
+// medianOfSorted returns the median of col using order as scratch index
+// space; col is left unmodified.
+func medianOfSorted(col []float64, order []int) float64 {
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return col[order[a]] < col[order[b]] })
+	n := len(col)
+	if n%2 == 1 {
+		return col[order[n/2]]
+	}
+	return 0.5 * (col[order[n/2-1]] + col[order[n/2]])
+}

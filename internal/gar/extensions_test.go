@@ -1,0 +1,197 @@
+package gar
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"garfield/internal/tensor"
+)
+
+// Tests for the extension rules (GeoMedian, Phocas) that demonstrate the
+// paper's "Garfield can straightforwardly include the other [GARs]" claim.
+
+func TestExtensionRulesRegistered(t *testing.T) {
+	names := Names()
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	if !found[NameGeoMedian] || !found[NamePhocas] {
+		t.Fatalf("extension rules missing from registry: %v", names)
+	}
+	for _, name := range []string{NameGeoMedian, NamePhocas} {
+		r, err := New(name, 7, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Name() != name || r.N() != 7 || r.F() != 3 {
+			t.Fatalf("%s metadata: %v %v %v", name, r.Name(), r.N(), r.F())
+		}
+		min, err := MinN(name, 3)
+		if err != nil || min != 7 {
+			t.Fatalf("MinN(%s) = %d, %v", name, min, err)
+		}
+	}
+}
+
+func TestExtensionRequirements(t *testing.T) {
+	if _, err := NewGeoMedian(6, 3); !errors.Is(err, ErrRequirement) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewPhocas(6, 3); !errors.Is(err, ErrRequirement) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGeoMedianOnCollinearPoints(t *testing.T) {
+	g, err := NewGeoMedian(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Geometric median of {0, 1, 10} in 1D is the 1D median: 1.
+	out, err := g.Aggregate(vecs([]float64{0}, []float64{1}, []float64{10}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-1) > 0.05 {
+		t.Fatalf("geomedian = %v, want ~1", out[0])
+	}
+}
+
+func TestGeoMedianIdenticalInputs(t *testing.T) {
+	g, err := NewGeoMedian(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]tensor.Vector, 5)
+	for i := range in {
+		in[i] = tensor.Vector{3, -4}
+	}
+	out, err := g.Aggregate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-3) > 1e-6 || math.Abs(out[1]+4) > 1e-6 {
+		t.Fatalf("geomedian of identical inputs = %v", out)
+	}
+}
+
+func TestGeoMedianResistsOutliers(t *testing.T) {
+	g, err := NewGeoMedian(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := vecs(
+		[]float64{1, 1}, []float64{1.1, 0.9}, []float64{0.9, 1.1},
+		[]float64{1e9, 1e9}, []float64{-1e9, 1e9},
+	)
+	out, err := g.Aggregate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The geometric median must stay near the honest cluster: the two
+	// far-away points pull with bounded (unit) influence each.
+	if out[0] < -2 || out[0] > 4 || out[1] < -2 || out[1] > 4 {
+		t.Fatalf("geomedian hijacked: %v", out)
+	}
+}
+
+func TestPhocasMatchesMeanOnCleanData(t *testing.T) {
+	p, err := NewPhocas(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := vecs([]float64{1}, []float64{2}, []float64{3}, []float64{4}, []float64{5})
+	out, err := p.Aggregate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(out[0], 3) {
+		t.Fatalf("phocas f=0 = %v, want 3", out[0])
+	}
+}
+
+func TestPhocasDiscardsOutliers(t *testing.T) {
+	p, err := NewPhocas(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Aggregate(vecs(
+		[]float64{1}, []float64{2}, []float64{3}, []float64{2.5}, []float64{1e9},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] < 1 || out[0] > 3 {
+		t.Fatalf("phocas = %v, want within honest range", out[0])
+	}
+}
+
+func TestExtensionPropertyPermutationInvariance(t *testing.T) {
+	for _, name := range []string{NameGeoMedian, NamePhocas} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			r, err := New(name, 7, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := func(seed, permSeed uint64) bool {
+				in := genInputs(seed, 7, 5)
+				a, err := r.Aggregate(in)
+				if err != nil {
+					return false
+				}
+				perm := tensor.NewRNG(permSeed).Perm(7)
+				b, err := r.Aggregate(permute(in, perm))
+				if err != nil {
+					return false
+				}
+				return vectorsAlmostEqual(a, b, 1e-6)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestExtensionPropertyByzantineBounded(t *testing.T) {
+	for _, name := range []string{NameGeoMedian, NamePhocas} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			r, err := New(name, 9, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := func(seed uint64) bool {
+				rng := tensor.NewRNG(seed)
+				center := rng.NormalVector(4, 0, 5)
+				in := make([]tensor.Vector, 9)
+				for i := 0; i < 6; i++ {
+					v := center.Clone()
+					if err := v.AddInPlace(rng.NormalVector(4, 0, 0.5)); err != nil {
+						return false
+					}
+					in[i] = v
+				}
+				for i := 6; i < 9; i++ {
+					in[i] = rng.NormalVector(4, 1e6, 1e6)
+				}
+				out, err := r.Aggregate(in)
+				if err != nil {
+					return false
+				}
+				dist, err := out.Distance(center)
+				if err != nil {
+					return false
+				}
+				return dist < 100
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

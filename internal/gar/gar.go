@@ -1,0 +1,246 @@
+// Package gar implements the statistically-robust gradient aggregation rules
+// (GARs) at the heart of Garfield (Section 3.1 of the paper): coordinate-wise
+// Median, Krum and Multi-Krum, MDA (minimum-diameter averaging) and Bulyan,
+// together with the non-resilient Average baseline and a TrimmedMean
+// extension.
+//
+// A GAR is a function (R^d)^q -> R^d: it takes q input vectors of which at
+// most f may be Byzantine, and outputs one vector with statistical guarantees
+// that make it safe to apply as an SGD step. Every rule validates the paper's
+// resilience precondition relating n and f at construction time:
+//
+//	Average      f == 0      O(nd)
+//	Median       n >= 2f+1   O(nd) best, O(n^2 d) worst
+//	TrimmedMean  n >= 2f+1   O(nd log n)
+//	Krum         n >= 2f+3   O(n^2 d)
+//	Multi-Krum   n >= 2f+3   O(n^2 d)
+//	MDA          n >= 2f+1   O(C(n,f) + n^2 d)
+//	Bulyan       n >= 4f+3   O(n^2 d)
+package gar
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"garfield/internal/tensor"
+)
+
+// Rule is the common interface of all aggregation rules. It mirrors the
+// paper's two-call interface: construction plays the role of init(name, n, f)
+// and Aggregate plays the role of aggregate(tensors...).
+type Rule interface {
+	// Name returns the canonical lower-case rule name ("median", ...).
+	Name() string
+	// N returns the expected number of input vectors.
+	N() int
+	// F returns the declared maximum number of Byzantine inputs.
+	F() int
+	// Aggregate combines exactly N() input vectors into one output vector.
+	Aggregate(inputs []tensor.Vector) (tensor.Vector, error)
+}
+
+var (
+	// ErrRequirement is returned when (n, f) violate a rule's resilience
+	// precondition.
+	ErrRequirement = errors.New("gar: resilience requirement violated")
+
+	// ErrInputCount is returned when Aggregate receives a number of vectors
+	// different from the configured n.
+	ErrInputCount = errors.New("gar: wrong number of input vectors")
+
+	// ErrUnknownRule is returned by New for an unrecognized rule name.
+	ErrUnknownRule = errors.New("gar: unknown rule")
+)
+
+// Names of the built-in rules, accepted by New.
+const (
+	NameAverage     = "average"
+	NameMedian      = "median"
+	NameTrimmedMean = "trimmedmean"
+	NameKrum        = "krum"
+	NameMultiKrum   = "multikrum"
+	NameMDA         = "mda"
+	NameBulyan      = "bulyan"
+	NameGeoMedian   = "geomedian"
+	NamePhocas      = "phocas"
+)
+
+// New constructs a rule by name, the equivalent of the paper's
+// init(name, n, f). Recognized names are listed as Name* constants.
+func New(name string, n, f int) (Rule, error) {
+	switch strings.ToLower(name) {
+	case NameAverage:
+		return NewAverage(n)
+	case NameMedian:
+		return NewMedian(n, f)
+	case NameTrimmedMean:
+		return NewTrimmedMean(n, f)
+	case NameKrum:
+		return NewKrum(n, f)
+	case NameMultiKrum:
+		return NewMultiKrum(n, f)
+	case NameMDA:
+		return NewMDA(n, f)
+	case NameBulyan:
+		return NewBulyan(n, f)
+	case NameGeoMedian:
+		return NewGeoMedian(n, f)
+	case NamePhocas:
+		return NewPhocas(n, f)
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownRule, name)
+	}
+}
+
+// Names returns the list of rule names New accepts, in a stable order.
+func Names() []string {
+	return []string{
+		NameAverage, NameMedian, NameTrimmedMean,
+		NameKrum, NameMultiKrum, NameMDA, NameBulyan,
+		NameGeoMedian, NamePhocas,
+	}
+}
+
+// MinN returns the smallest number of inputs the named rule accepts for a
+// given f (the paper's q >= g(f) requirements).
+func MinN(name string, f int) (int, error) {
+	switch strings.ToLower(name) {
+	case NameAverage:
+		return 1, nil
+	case NameMedian, NameMDA, NameTrimmedMean, NameGeoMedian, NamePhocas:
+		return 2*f + 1, nil
+	case NameKrum, NameMultiKrum:
+		return 2*f + 3, nil
+	case NameBulyan:
+		return 4*f + 3, nil
+	default:
+		return 0, fmt.Errorf("%w: %q", ErrUnknownRule, name)
+	}
+}
+
+func checkInputs(r Rule, inputs []tensor.Vector) (int, error) {
+	if len(inputs) != r.N() {
+		return 0, fmt.Errorf("%w: %s expects %d, got %d", ErrInputCount, r.Name(), r.N(), len(inputs))
+	}
+	d, err := tensor.CheckSameDim(inputs)
+	if err != nil {
+		return 0, fmt.Errorf("gar: %s: %w", r.Name(), err)
+	}
+	return d, nil
+}
+
+// pairwiseSquaredDistances computes the full symmetric matrix of squared
+// Euclidean distances between the inputs. Results are cached per Aggregate
+// call by the rules that need them (Krum, Multi-Krum, MDA, Bulyan), matching
+// the memory-management optimization described in Section 4.4 of the paper.
+// For large inputs the n(n-1)/2 distance computations — the O(n^2 d) term of
+// those rules — are spread across the available cores.
+func pairwiseSquaredDistances(vs []tensor.Vector) ([][]float64, error) {
+	n := len(vs)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	type pair struct{ i, j int }
+	pairs := make([]pair, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	d := 0
+	if n > 0 {
+		d = len(vs[0])
+	}
+	workers := runtime.GOMAXPROCS(0)
+	// Parallelism only pays off once the total work is substantial.
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if len(pairs)*d < 1<<16 {
+		workers = 1
+	}
+	if workers <= 1 {
+		for _, p := range pairs {
+			d2, err := vs[p.i].SquaredDistance(vs[p.j])
+			if err != nil {
+				return nil, err
+			}
+			m[p.i][p.j] = d2
+			m[p.j][p.i] = d2
+		}
+		return m, nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	chunk := (len(pairs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		if lo >= hi {
+			break
+		}
+		w := w
+		wg.Add(1)
+		go func(ps []pair) {
+			defer wg.Done()
+			for _, p := range ps {
+				d2, err := vs[p.i].SquaredDistance(vs[p.j])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				m[p.i][p.j] = d2
+				m[p.j][p.i] = d2
+			}
+		}(pairs[lo:hi])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// krumScores computes, for each input, the sum of squared distances to its
+// n-f-2 closest neighbours (the Krum score; lower is better).
+func krumScores(dist [][]float64, f int) []float64 {
+	n := len(dist)
+	k := n - f - 2 // number of neighbours summed
+	scores := make([]float64, n)
+	row := make([]float64, 0, n-1)
+	for i := 0; i < n; i++ {
+		row = row[:0]
+		for j := 0; j < n; j++ {
+			if j != i {
+				row = append(row, dist[i][j])
+			}
+		}
+		sort.Float64s(row)
+		var s float64
+		for _, d2 := range row[:k] {
+			s += d2
+		}
+		scores[i] = s
+	}
+	return scores
+}
+
+// argsortAscending returns the indices that would sort xs ascending.
+func argsortAscending(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	return idx
+}

@@ -1,0 +1,94 @@
+package gar
+
+import (
+	"fmt"
+	"math"
+
+	"garfield/internal/tensor"
+)
+
+// GeoMedian approximates the geometric median — arg min_y sum_i ||y - g_i||
+// — with smoothed Weiszfeld iterations, the robust aggregator of the RFA
+// line of work the paper's related-work section points to. It is not part of
+// the paper's evaluated set; it is included (with Phocas) to demonstrate the
+// claim that "Garfield can straightforwardly include the other [GARs]".
+// It requires n >= 2f+1.
+type GeoMedian struct {
+	n, f int
+
+	// iters bounds the Weiszfeld fixed-point iterations; eps smooths the
+	// per-point weights 1/max(||y-g_i||, eps) so collocated points cannot
+	// divide by zero.
+	iters int
+	eps   float64
+}
+
+var _ Rule = (*GeoMedian)(nil)
+
+// NewGeoMedian returns a geometric-median rule over n inputs tolerating f
+// Byzantine ones, with default smoothing and iteration budget.
+func NewGeoMedian(n, f int) (*GeoMedian, error) {
+	if f < 0 || n < 2*f+1 {
+		return nil, fmt.Errorf("%w: geomedian needs n >= 2f+1, got n=%d f=%d", ErrRequirement, n, f)
+	}
+	return &GeoMedian{n: n, f: f, iters: 32, eps: 1e-9}, nil
+}
+
+// Name implements Rule.
+func (g *GeoMedian) Name() string { return NameGeoMedian }
+
+// N implements Rule.
+func (g *GeoMedian) N() int { return g.n }
+
+// F implements Rule.
+func (g *GeoMedian) F() int { return g.f }
+
+// Aggregate implements Rule.
+func (g *GeoMedian) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
+	d, err := checkInputs(g, inputs)
+	if err != nil {
+		return nil, err
+	}
+	// Start from the coordinate-wise median — a robust initial point that
+	// keeps far-away Byzantine vectors from dominating the early
+	// iterations — and refine with Weiszfeld:
+	// y <- (sum_i w_i g_i) / (sum_i w_i), w_i = 1 / max(||y - g_i||, eps).
+	init, err := NewMedian(g.n, 0)
+	if err != nil {
+		return nil, fmt.Errorf("gar: geomedian: %w", err)
+	}
+	y, err := init.Aggregate(inputs)
+	if err != nil {
+		return nil, fmt.Errorf("gar: geomedian: %w", err)
+	}
+	next := tensor.New(d)
+	for it := 0; it < g.iters; it++ {
+		var wSum float64
+		for i := range next {
+			next[i] = 0
+		}
+		for _, v := range inputs {
+			dist, err := y.Distance(v)
+			if err != nil {
+				return nil, fmt.Errorf("gar: geomedian: %w", err)
+			}
+			w := 1 / math.Max(dist, g.eps)
+			wSum += w
+			for c := range next {
+				next[c] += w * v[c]
+			}
+		}
+		moved := 0.0
+		inv := 1 / wSum
+		for c := range next {
+			next[c] *= inv
+			delta := next[c] - y[c]
+			moved += delta * delta
+		}
+		y, next = next, y
+		if moved < g.eps*g.eps {
+			break
+		}
+	}
+	return y.Clone(), nil
+}

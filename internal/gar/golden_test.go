@@ -1,0 +1,193 @@
+package gar
+
+import (
+	"math"
+	"testing"
+)
+
+// Golden tests: small inputs whose aggregation results are computed by hand,
+// pinning the exact semantics of each rule.
+
+// TestKrumGoldenScores verifies Krum's score computation on a worked
+// example: n=5, f=1, so each vector's score sums squared distances to its
+// n-f-2 = 2 closest neighbours.
+func TestKrumGoldenScores(t *testing.T) {
+	// 1-D points: 0, 1, 2, 10, 11.
+	in := vecs([]float64{0}, []float64{1}, []float64{2}, []float64{10}, []float64{11})
+	dist, err := pairwiseSquaredDistances(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := krumScores(dist, 1)
+	// By hand (squared distances, two closest neighbours each):
+	//   0:  d(1)=1,  d(2)=4   -> 5
+	//   1:  d(0)=1,  d(2)=1   -> 2
+	//   2:  d(1)=1,  d(0)=4   -> 5
+	//   10: d(11)=1, d(2)=64  -> 65
+	//   11: d(10)=1, d(2)=81  -> 82
+	want := []float64{5, 2, 5, 65, 82}
+	for i := range want {
+		if math.Abs(scores[i]-want[i]) > 1e-12 {
+			t.Fatalf("score[%d] = %v, want %v (all %v)", i, scores[i], want[i], scores)
+		}
+	}
+	// Krum must select the argmin: point 1.
+	k, err := NewKrum(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := k.Aggregate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 {
+		t.Fatalf("Krum selected %v, want 1", out[0])
+	}
+}
+
+// TestMultiKrumGoldenSelection checks Multi-Krum's m = n-f selection and
+// averaging on the same worked example.
+func TestMultiKrumGoldenSelection(t *testing.T) {
+	in := vecs([]float64{0}, []float64{1}, []float64{2}, []float64{10}, []float64{11})
+	mk, err := NewMultiKrum(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m = 4 lowest scores: {1 (2), 0 (5), 2 (5), 10 (65)} -> mean 3.25.
+	out, err := mk.Aggregate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-3.25) > 1e-12 {
+		t.Fatalf("MultiKrum = %v, want 3.25", out[0])
+	}
+	sel, err := mk.Select(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel[0] != 1 {
+		t.Fatalf("best-scoring index = %d, want 1", sel[0])
+	}
+}
+
+// TestMDAGoldenSubset: with n=5, f=1 the minimum-diameter 4-subset of
+// {0, 1, 2, 3, 100} is {0,1,2,3}, average 1.5.
+func TestMDAGoldenSubset(t *testing.T) {
+	in := vecs([]float64{0}, []float64{1}, []float64{2}, []float64{3}, []float64{100})
+	m, err := NewMDA(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Aggregate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-1.5) > 1e-12 {
+		t.Fatalf("MDA = %v, want 1.5", out[0])
+	}
+}
+
+// TestTrimmedMeanGolden: n=5, f=1 trims the min and max per coordinate.
+func TestTrimmedMeanGolden(t *testing.T) {
+	in := vecs(
+		[]float64{5, -100},
+		[]float64{1, 2},
+		[]float64{2, 3},
+		[]float64{3, 4},
+		[]float64{-50, 100},
+	)
+	tm, err := NewTrimmedMean(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tm.Aggregate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coordinate 0: sorted {-50,1,2,3,5} -> mean(1,2,3) = 2.
+	// Coordinate 1: sorted {-100,2,3,4,100} -> mean(2,3,4) = 3.
+	if math.Abs(out[0]-2) > 1e-12 || math.Abs(out[1]-3) > 1e-12 {
+		t.Fatalf("TrimmedMean = %v, want [2 3]", out)
+	}
+}
+
+// TestBulyanGoldenSmall: n=7, f=1 => k = n-2f = 5 selections, k' = k-2f = 3
+// values averaged per coordinate around the median of the selected 5.
+func TestBulyanGoldenSmall(t *testing.T) {
+	// Six honest points near 0..5 and one far Byzantine point.
+	in := vecs(
+		[]float64{0}, []float64{1}, []float64{2},
+		[]float64{3}, []float64{4}, []float64{5},
+		[]float64{1000},
+	)
+	b, err := NewBulyan(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := b.Aggregate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whatever the inner selection order, the Byzantine 1000 can never
+	// survive both the selection phase and the median-closest averaging.
+	if out[0] < 0 || out[0] > 5 {
+		t.Fatalf("Bulyan = %v, must stay within honest hull [0,5]", out[0])
+	}
+}
+
+// TestPhocasGolden: n=5, f=1. Trimmed mean of {0,1,2,3,100} = mean(1,2,3)=2;
+// the n-f=4 values closest to 2 are {0,1,2,3}, average 1.5.
+func TestPhocasGolden(t *testing.T) {
+	in := vecs([]float64{0}, []float64{1}, []float64{2}, []float64{3}, []float64{100})
+	p, err := NewPhocas(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Aggregate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-1.5) > 1e-12 {
+		t.Fatalf("Phocas = %v, want 1.5", out[0])
+	}
+}
+
+// TestGeoMedianGoldenTriangle: the geometric median of the vertices of an
+// equilateral triangle is its centroid.
+func TestGeoMedianGoldenTriangle(t *testing.T) {
+	h := math.Sqrt(3) / 2
+	in := vecs(
+		[]float64{0, 0},
+		[]float64{1, 0},
+		[]float64{0.5, h},
+	)
+	g, err := NewGeoMedian(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.Aggregate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-0.5) > 1e-3 || math.Abs(out[1]-h/3*1) > 0.05 {
+		t.Fatalf("GeoMedian = %v, want ~[0.5 %.3f]", out, h/3)
+	}
+}
+
+// TestMedianGoldenEvenTies: even n with duplicated middle values.
+func TestMedianGoldenEvenTies(t *testing.T) {
+	m, err := NewMedian(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Aggregate(vecs(
+		[]float64{1}, []float64{2}, []float64{2},
+		[]float64{2}, []float64{3}, []float64{9},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 2 {
+		t.Fatalf("Median = %v, want 2", out[0])
+	}
+}

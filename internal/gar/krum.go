@@ -1,0 +1,128 @@
+package gar
+
+import (
+	"fmt"
+
+	"garfield/internal/tensor"
+)
+
+// Krum (Blanchard et al., NeurIPS 2017) assigns each input a score equal to
+// the sum of squared distances to its n-f-2 closest neighbours and returns
+// the input with the smallest score. It requires n >= 2f+3.
+type Krum struct {
+	n, f int
+}
+
+var _ Rule = (*Krum)(nil)
+
+// NewKrum returns a Krum rule over n inputs tolerating f Byzantine ones.
+func NewKrum(n, f int) (*Krum, error) {
+	if f < 0 || n < 2*f+3 {
+		return nil, fmt.Errorf("%w: krum needs n >= 2f+3, got n=%d f=%d", ErrRequirement, n, f)
+	}
+	return &Krum{n: n, f: f}, nil
+}
+
+// Name implements Rule.
+func (k *Krum) Name() string { return NameKrum }
+
+// N implements Rule.
+func (k *Krum) N() int { return k.n }
+
+// F implements Rule.
+func (k *Krum) F() int { return k.f }
+
+// Aggregate implements Rule.
+func (k *Krum) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
+	if _, err := checkInputs(k, inputs); err != nil {
+		return nil, err
+	}
+	dist, err := pairwiseSquaredDistances(inputs)
+	if err != nil {
+		return nil, fmt.Errorf("gar: krum: %w", err)
+	}
+	scores := krumScores(dist, k.f)
+	best := 0
+	for i, s := range scores {
+		if s < scores[best] {
+			best = i
+		}
+	}
+	return inputs[best].Clone(), nil
+}
+
+// MultiKrum generalizes Krum by averaging the m best-scoring inputs
+// (m = n - f by default), achieving a better convergence rate than Krum as
+// reported in the AggregaThor paper. It requires n >= 2f+3.
+type MultiKrum struct {
+	n, f, m int
+}
+
+var _ Rule = (*MultiKrum)(nil)
+
+// NewMultiKrum returns a Multi-Krum rule selecting and averaging the
+// m = n - f lowest-scoring inputs.
+func NewMultiKrum(n, f int) (*MultiKrum, error) {
+	if f < 0 || n < 2*f+3 {
+		return nil, fmt.Errorf("%w: multikrum needs n >= 2f+3, got n=%d f=%d", ErrRequirement, n, f)
+	}
+	return &MultiKrum{n: n, f: f, m: n - f}, nil
+}
+
+// NewMultiKrumM returns a Multi-Krum rule with an explicit selection size m,
+// 1 <= m <= n-f. Bulyan uses m=1 internally for its selection loop.
+func NewMultiKrumM(n, f, m int) (*MultiKrum, error) {
+	mk, err := NewMultiKrum(n, f)
+	if err != nil {
+		return nil, err
+	}
+	if m < 1 || m > n-f {
+		return nil, fmt.Errorf("%w: multikrum m must be in [1, n-f], got m=%d n=%d f=%d",
+			ErrRequirement, m, n, f)
+	}
+	mk.m = m
+	return mk, nil
+}
+
+// Name implements Rule.
+func (mk *MultiKrum) Name() string { return NameMultiKrum }
+
+// N implements Rule.
+func (mk *MultiKrum) N() int { return mk.n }
+
+// F implements Rule.
+func (mk *MultiKrum) F() int { return mk.f }
+
+// M returns the number of inputs averaged.
+func (mk *MultiKrum) M() int { return mk.m }
+
+// Select returns the indices of the m best-scoring inputs, lowest score
+// first. Bulyan builds on this to extract selected gradients one by one.
+func (mk *MultiKrum) Select(inputs []tensor.Vector) ([]int, error) {
+	if _, err := checkInputs(mk, inputs); err != nil {
+		return nil, err
+	}
+	dist, err := pairwiseSquaredDistances(inputs)
+	if err != nil {
+		return nil, fmt.Errorf("gar: multikrum: %w", err)
+	}
+	scores := krumScores(dist, mk.f)
+	return argsortAscending(scores)[:mk.m], nil
+}
+
+// Aggregate implements Rule.
+func (mk *MultiKrum) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
+	sel, err := mk.Select(inputs)
+	if err != nil {
+		return nil, err
+	}
+	chosen := make([]tensor.Vector, len(sel))
+	for i, idx := range sel {
+		chosen[i] = inputs[idx]
+	}
+	out, err := tensor.Mean(chosen)
+	if err != nil {
+		return nil, fmt.Errorf("gar: multikrum: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package gar
+
+import (
+	"fmt"
+	"math"
+
+	"garfield/internal/tensor"
+)
+
+// MDA — minimum-diameter averaging (Rousseeuw 1985, as used by the paper) —
+// finds the subset of n-f inputs with the smallest diameter (maximum pairwise
+// distance within the subset) and returns its average. It requires n >= 2f+1
+// and carries an O(C(n,f) + n^2 d) cost: exponential when f grows with n,
+// polynomial for constant f, which is the regime the paper benchmarks.
+type MDA struct {
+	n, f int
+}
+
+var _ Rule = (*MDA)(nil)
+
+// NewMDA returns an MDA rule over n inputs tolerating f Byzantine ones.
+func NewMDA(n, f int) (*MDA, error) {
+	if f < 0 || n < 2*f+1 {
+		return nil, fmt.Errorf("%w: mda needs n >= 2f+1, got n=%d f=%d", ErrRequirement, n, f)
+	}
+	return &MDA{n: n, f: f}, nil
+}
+
+// Name implements Rule.
+func (m *MDA) Name() string { return NameMDA }
+
+// N implements Rule.
+func (m *MDA) N() int { return m.n }
+
+// F implements Rule.
+func (m *MDA) F() int { return m.f }
+
+// Aggregate implements Rule.
+func (m *MDA) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
+	if _, err := checkInputs(m, inputs); err != nil {
+		return nil, err
+	}
+	if m.f == 0 {
+		return tensor.Mean(inputs)
+	}
+	dist, err := pairwiseSquaredDistances(inputs)
+	if err != nil {
+		return nil, fmt.Errorf("gar: mda: %w", err)
+	}
+	keep := m.n - m.f
+	bestDiameter := math.Inf(1)
+	bestSpread := math.Inf(1)
+	var bestSubset []int
+	subset := make([]int, keep)
+	forEachCombination(m.n, keep, subset, func(s []int) {
+		diam := subsetDiameter(dist, s)
+		if diam > bestDiameter {
+			return
+		}
+		// Ties on the diameter are common (several subsets can share the
+		// pair realizing the maximum distance); break them by the total
+		// pairwise spread so the result is independent of input order.
+		spread := subsetSpread(dist, s)
+		if diam < bestDiameter || spread < bestSpread {
+			bestDiameter = diam
+			bestSpread = spread
+			bestSubset = append(bestSubset[:0], s...)
+		}
+	})
+	chosen := make([]tensor.Vector, keep)
+	for i, idx := range bestSubset {
+		chosen[i] = inputs[idx]
+	}
+	out, err := tensor.Mean(chosen)
+	if err != nil {
+		return nil, fmt.Errorf("gar: mda: %w", err)
+	}
+	return out, nil
+}
+
+// subsetSpread returns the sum of pairwise squared distances within the
+// subset s of indices, the permutation-invariant tie-breaker for equal
+// diameters.
+func subsetSpread(dist [][]float64, s []int) float64 {
+	var sum float64
+	for i := 0; i < len(s); i++ {
+		for j := i + 1; j < len(s); j++ {
+			sum += dist[s[i]][s[j]]
+		}
+	}
+	return sum
+}
+
+// subsetDiameter returns the maximum pairwise squared distance within the
+// subset s of indices.
+func subsetDiameter(dist [][]float64, s []int) float64 {
+	var maxD float64
+	for i := 0; i < len(s); i++ {
+		for j := i + 1; j < len(s); j++ {
+			if d := dist[s[i]][s[j]]; d > maxD {
+				maxD = d
+			}
+		}
+	}
+	return maxD
+}
+
+// forEachCombination calls fn with every k-subset of [0, n), reusing buf
+// (len k) as scratch to avoid per-combination allocation.
+func forEachCombination(n, k int, buf []int, fn func([]int)) {
+	var rec func(start, idx int)
+	rec = func(start, idx int) {
+		if idx == k {
+			fn(buf)
+			return
+		}
+		// Prune: need k-idx more elements from [start, n).
+		for i := start; i <= n-(k-idx); i++ {
+			buf[idx] = i
+			rec(i+1, idx+1)
+		}
+	}
+	rec(0, 0)
+}

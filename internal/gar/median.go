@@ -1,0 +1,221 @@
+package gar
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"garfield/internal/tensor"
+)
+
+// Median computes the coordinate-wise median of the inputs (Xie et al.'s
+// generalized Byzantine-tolerant SGD). It requires n >= 2f+1.
+//
+// The implementation mirrors the paper's two execution strategies
+// (Section 4.3): coordinates are split into contiguous shares processed by
+// parallel workers (the CPU strategy: "each of the m cores processes a
+// continuous share of n/m coordinates"), and per-coordinate selection uses a
+// branch-minimal network for small n — the Go analogue of the paper's SIMT
+// selection-instruction trick — falling back to introselect-style
+// quickselect for larger n.
+type Median struct {
+	n, f int
+
+	// parallel controls whether coordinate shares are processed by multiple
+	// goroutines. It exists so the ablation benchmark can compare the
+	// sequential and parallel designs; production callers leave it true.
+	parallel bool
+}
+
+var _ Rule = (*Median)(nil)
+
+// NewMedian returns a coordinate-wise median over n inputs tolerating f
+// Byzantine ones.
+func NewMedian(n, f int) (*Median, error) {
+	if f < 0 || n < 2*f+1 {
+		return nil, fmt.Errorf("%w: median needs n >= 2f+1, got n=%d f=%d", ErrRequirement, n, f)
+	}
+	return &Median{n: n, f: f, parallel: true}, nil
+}
+
+// NewSequentialMedian returns a median rule that processes all coordinates on
+// the calling goroutine. It is used by the parallelization ablation bench.
+func NewSequentialMedian(n, f int) (*Median, error) {
+	m, err := NewMedian(n, f)
+	if err != nil {
+		return nil, err
+	}
+	m.parallel = false
+	return m, nil
+}
+
+// Name implements Rule.
+func (m *Median) Name() string { return NameMedian }
+
+// N implements Rule.
+func (m *Median) N() int { return m.n }
+
+// F implements Rule.
+func (m *Median) F() int { return m.f }
+
+// Aggregate implements Rule.
+func (m *Median) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
+	d, err := checkInputs(m, inputs)
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.New(d)
+	workers := 1
+	if m.parallel {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > d {
+			workers = d
+		}
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	if workers == 1 {
+		medianShare(inputs, out, 0, d)
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	chunk := (d + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > d {
+			hi = d
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			medianShare(inputs, out, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// medianShare fills out[lo:hi] with the coordinate-wise medians of inputs.
+func medianShare(inputs []tensor.Vector, out tensor.Vector, lo, hi int) {
+	n := len(inputs)
+	col := make([]float64, n)
+	for c := lo; c < hi; c++ {
+		for i, v := range inputs {
+			col[i] = v[c]
+		}
+		out[c] = medianOfColumn(col)
+	}
+}
+
+// medianOfColumn selects the median of col, mutating col. For odd n it is the
+// middle order statistic; for even n the average of the two middle ones
+// (making the rule symmetric, which the permutation-invariance property test
+// relies on).
+func medianOfColumn(col []float64) float64 {
+	n := len(col)
+	switch n {
+	case 1:
+		return col[0]
+	case 2:
+		return 0.5 * (col[0] + col[1])
+	case 3:
+		return median3(col[0], col[1], col[2])
+	}
+	if n%2 == 1 {
+		return quickselect(col, n/2)
+	}
+	hi := quickselect(col, n/2)
+	lo := quickselect(col[:n/2+1], n/2-1) // after partition, lower half holds the smaller order stats
+	return 0.5 * (lo + hi)
+}
+
+// median3 selects the middle of three values via a 3-element sorting network
+// expressed with min/max only — the Go analogue of the paper's branchless
+// selection-instruction reordering primitive (Section 4.3): no data-dependent
+// branch is taken, so the same construction maps to SIMT lanes.
+func median3(a, b, c float64) float64 {
+	lo, hi := minmax(a, b)
+	lo2, _ := minmax(hi, c)
+	_, med := minmax(lo, lo2)
+	return med
+}
+
+func minmax(a, b float64) (lo, hi float64) {
+	if a < b {
+		return a, b
+	}
+	return b, a
+}
+
+// quickselect returns the k-th smallest element of xs (0-indexed), mutating
+// xs. It uses median-of-three pivoting with a fallback to a full sort on
+// pathological recursion depth (the "intro" part of introselect).
+func quickselect(xs []float64, k int) float64 {
+	lo, hi := 0, len(xs)-1
+	depth := 0
+	maxDepth := 2 * log2(len(xs))
+	for lo < hi {
+		if depth > maxDepth {
+			insertionSort(xs[lo : hi+1])
+			return xs[k]
+		}
+		depth++
+		p := partition(xs, lo, hi)
+		switch {
+		case k == p:
+			return xs[k]
+		case k < p:
+			hi = p - 1
+		default:
+			lo = p + 1
+		}
+	}
+	return xs[k]
+}
+
+func partition(xs []float64, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	// Median-of-three pivot: order xs[lo], xs[mid], xs[hi].
+	if xs[mid] < xs[lo] {
+		xs[mid], xs[lo] = xs[lo], xs[mid]
+	}
+	if xs[hi] < xs[lo] {
+		xs[hi], xs[lo] = xs[lo], xs[hi]
+	}
+	if xs[hi] < xs[mid] {
+		xs[hi], xs[mid] = xs[mid], xs[hi]
+	}
+	pivot := xs[mid]
+	xs[mid], xs[hi-1] = xs[hi-1], xs[mid]
+	i := lo
+	for j := lo; j < hi-1; j++ {
+		if xs[j] < pivot {
+			xs[i], xs[j] = xs[j], xs[i]
+			i++
+		}
+	}
+	xs[i], xs[hi-1] = xs[hi-1], xs[i]
+	return i
+}
+
+func insertionSort(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}

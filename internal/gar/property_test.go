@@ -1,0 +1,286 @@
+package gar
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"garfield/internal/tensor"
+)
+
+// Property-based tests (testing/quick) of invariants every robust GAR must
+// satisfy. Inputs are generated from compact seeds so that the rules'
+// resilience preconditions are always met.
+
+// genInputs builds n vectors of dimension d from a seed, with values bounded
+// so numeric comparisons stay exact enough.
+func genInputs(seed uint64, n, d int) []tensor.Vector {
+	rng := tensor.NewRNG(seed)
+	out := make([]tensor.Vector, n)
+	for i := range out {
+		out[i] = rng.NormalVector(d, 0, 10)
+	}
+	return out
+}
+
+func permute(vs []tensor.Vector, perm []int) []tensor.Vector {
+	out := make([]tensor.Vector, len(vs))
+	for i, p := range perm {
+		out[i] = vs[p]
+	}
+	return out
+}
+
+func vectorsAlmostEqual(a, b tensor.Vector, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol*(1+math.Abs(a[i])+math.Abs(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPropertyPermutationInvariance: a GAR's output must not depend on the
+// order in which the q vectors arrive (they arrive in arbitrary network
+// order in a real deployment).
+func TestPropertyPermutationInvariance(t *testing.T) {
+	rules := []struct {
+		name string
+		n, f int
+	}{
+		{NameAverage, 7, 0},
+		{NameMedian, 7, 3},
+		{NameTrimmedMean, 7, 3},
+		{NameMDA, 7, 2},
+		{NameKrum, 9, 3},
+		{NameMultiKrum, 9, 3},
+		{NameBulyan, 15, 3},
+	}
+	for _, rc := range rules {
+		rc := rc
+		t.Run(rc.name, func(t *testing.T) {
+			r, err := New(rc.name, rc.n, rc.f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := func(seed uint64, permSeed uint64) bool {
+				in := genInputs(seed, rc.n, 6)
+				a, err := r.Aggregate(in)
+				if err != nil {
+					return false
+				}
+				perm := tensor.NewRNG(permSeed).Perm(rc.n)
+				b, err := r.Aggregate(permute(in, perm))
+				if err != nil {
+					return false
+				}
+				return vectorsAlmostEqual(a, b, 1e-9)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPropertyUnanimity: when every input is the same vector g, every rule
+// must output g (robust aggregation of agreement is agreement).
+func TestPropertyUnanimity(t *testing.T) {
+	rules := []struct {
+		name string
+		n, f int
+	}{
+		{NameAverage, 7, 0},
+		{NameMedian, 7, 3},
+		{NameTrimmedMean, 7, 3},
+		{NameMDA, 7, 2},
+		{NameKrum, 9, 3},
+		{NameMultiKrum, 9, 3},
+		{NameBulyan, 15, 3},
+	}
+	for _, rc := range rules {
+		rc := rc
+		t.Run(rc.name, func(t *testing.T) {
+			r, err := New(rc.name, rc.n, rc.f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := func(seed uint64) bool {
+				g := tensor.NewRNG(seed).NormalVector(5, 0, 10)
+				in := make([]tensor.Vector, rc.n)
+				for i := range in {
+					in[i] = g.Clone()
+				}
+				out, err := r.Aggregate(in)
+				if err != nil {
+					return false
+				}
+				return vectorsAlmostEqual(out, g, 1e-9)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPropertyCoordinateBounds: Median and TrimmedMean outputs must lie,
+// per coordinate, within [min, max] of the inputs (they are order statistics
+// or averages of order statistics).
+func TestPropertyCoordinateBounds(t *testing.T) {
+	for _, name := range []string{NameMedian, NameTrimmedMean} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			r, err := New(name, 7, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := func(seed uint64) bool {
+				in := genInputs(seed, 7, 8)
+				out, err := r.Aggregate(in)
+				if err != nil {
+					return false
+				}
+				for c := 0; c < 8; c++ {
+					lo, hi := math.Inf(1), math.Inf(-1)
+					for _, v := range in {
+						lo = math.Min(lo, v[c])
+						hi = math.Max(hi, v[c])
+					}
+					if out[c] < lo-1e-12 || out[c] > hi+1e-12 {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPropertyByzantineBounded: with f adversarial vectors placed arbitrarily
+// far away and n-f honest vectors drawn near a common point, the output of a
+// robust rule must stay within the honest cluster's bounding box inflated by
+// its own diameter. Average (the vanilla rule) must violate this, which is
+// the whole motivation for the paper.
+func TestPropertyByzantineBounded(t *testing.T) {
+	rules := []struct {
+		name string
+		n, f int
+	}{
+		{NameMedian, 9, 3},
+		{NameTrimmedMean, 9, 3},
+		{NameMDA, 9, 3},
+		{NameKrum, 9, 3},
+		{NameBulyan, 15, 3},
+	}
+	const d = 6
+	for _, rc := range rules {
+		rc := rc
+		t.Run(rc.name, func(t *testing.T) {
+			r, err := New(rc.name, rc.n, rc.f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := func(seed uint64, attackScale uint16) bool {
+				rng := tensor.NewRNG(seed)
+				center := rng.NormalVector(d, 0, 5)
+				in := make([]tensor.Vector, rc.n)
+				for i := 0; i < rc.n-rc.f; i++ {
+					v := center.Clone()
+					noise := rng.NormalVector(d, 0, 0.5)
+					if err := v.AddInPlace(noise); err != nil {
+						return false
+					}
+					in[i] = v
+				}
+				scale := 1e3 * (1 + float64(attackScale))
+				for i := rc.n - rc.f; i < rc.n; i++ {
+					in[i] = rng.NormalVector(d, scale, scale)
+				}
+				out, err := r.Aggregate(in)
+				if err != nil {
+					return false
+				}
+				// The output must stay near the honest cluster: within
+				// max distance from center among honest vectors, times a
+				// slack factor of n (covers Multi-Krum-style averaging).
+				var maxHonest float64
+				for i := 0; i < rc.n-rc.f; i++ {
+					dd, err := in[i].Distance(center)
+					if err != nil {
+						return false
+					}
+					maxHonest = math.Max(maxHonest, dd)
+				}
+				dist, err := out.Distance(center)
+				if err != nil {
+					return false
+				}
+				return dist <= float64(rc.n)*maxHonest+1e-9
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPropertyAverageIsVulnerable documents the counterpoint: a single
+// far-away Byzantine vector drags the mean arbitrarily far from the honest
+// cluster.
+func TestPropertyAverageIsVulnerable(t *testing.T) {
+	a, err := NewAverage(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]tensor.Vector, 5)
+	for i := 0; i < 4; i++ {
+		in[i] = tensor.Filled(3, 1)
+	}
+	in[4] = tensor.Filled(3, 1e12)
+	out, err := a.Aggregate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] < 1e10 {
+		t.Fatalf("Average unexpectedly robust: %v", out[0])
+	}
+}
+
+// TestPropertyMedianIsOrderStatistic: for odd n the coordinate-wise median
+// must be one of the input values at every coordinate.
+func TestPropertyMedianIsOrderStatistic(t *testing.T) {
+	r, err := NewMedian(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		in := genInputs(seed, 7, 5)
+		out, err := r.Aggregate(in)
+		if err != nil {
+			return false
+		}
+		for c := 0; c < 5; c++ {
+			found := false
+			for _, v := range in {
+				if v[c] == out[c] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

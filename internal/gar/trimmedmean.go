@@ -1,0 +1,60 @@
+package gar
+
+import (
+	"fmt"
+	"sort"
+
+	"garfield/internal/tensor"
+)
+
+// TrimmedMean (Yin et al., 2018) discards, per coordinate, the f largest and
+// f smallest values and averages the rest. It is not part of the paper's
+// evaluated set but belongs to the robust-aggregation family the paper cites;
+// it is included to demonstrate that Garfield "can straightforwardly include
+// the other [GARs]" (Section 7). It requires n >= 2f+1.
+type TrimmedMean struct {
+	n, f int
+}
+
+var _ Rule = (*TrimmedMean)(nil)
+
+// NewTrimmedMean returns a trimmed-mean rule over n inputs trimming f from
+// each tail.
+func NewTrimmedMean(n, f int) (*TrimmedMean, error) {
+	if f < 0 || n < 2*f+1 {
+		return nil, fmt.Errorf("%w: trimmedmean needs n >= 2f+1, got n=%d f=%d", ErrRequirement, n, f)
+	}
+	return &TrimmedMean{n: n, f: f}, nil
+}
+
+// Name implements Rule.
+func (t *TrimmedMean) Name() string { return NameTrimmedMean }
+
+// N implements Rule.
+func (t *TrimmedMean) N() int { return t.n }
+
+// F implements Rule.
+func (t *TrimmedMean) F() int { return t.f }
+
+// Aggregate implements Rule.
+func (t *TrimmedMean) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
+	d, err := checkInputs(t, inputs)
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.New(d)
+	col := make([]float64, t.n)
+	keep := float64(t.n - 2*t.f)
+	for c := 0; c < d; c++ {
+		for i, v := range inputs {
+			col[i] = v[c]
+		}
+		sort.Float64s(col)
+		var s float64
+		for _, x := range col[t.f : t.n-t.f] {
+			s += x
+		}
+		out[c] = s / keep
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package gar
+
+import (
+	"fmt"
+	"math"
+
+	"garfield/internal/tensor"
+)
+
+// This file implements the variance-condition check behind the paper's
+// measure_variance.py tool (Section 3.1). A GAR's Byzantine-resilience proof
+// holds only when, at every step,
+//
+//	kappa * Delta(GAR) * sqrt(E ||g_i - E g_i||^2)  <=  ||grad L(theta)||
+//
+// for some kappa > 1, where Delta depends on the rule and on (n, f):
+//
+//	MDA:    2*sqrt(2)*f / (n-f)
+//	Krum:   sqrt(2*( n-f + (f*(n-f-2) + f^2*(n-f-1)) / (n-2f-2) ))
+//	Median: sqrt(n-f)
+//
+// VarianceChecker estimates the left-hand side empirically from a set of
+// worker gradients and the right-hand side from a large-batch "true" gradient
+// estimate, and reports whether the condition held.
+
+// DeltaFactor returns the Delta multiplier of the named GAR for a deployment
+// with n workers of which f may be Byzantine. Only the three rules for which
+// the paper states the bound are supported.
+func DeltaFactor(name string, n, f int) (float64, error) {
+	nf := float64(n - f)
+	ff := float64(f)
+	switch name {
+	case NameMDA:
+		if n <= f {
+			return 0, fmt.Errorf("%w: mda delta needs n > f", ErrRequirement)
+		}
+		return 2 * math.Sqrt2 * ff / nf, nil
+	case NameKrum, NameMultiKrum:
+		den := float64(n - 2*f - 2)
+		if den <= 0 {
+			return 0, fmt.Errorf("%w: krum delta needs n > 2f+2", ErrRequirement)
+		}
+		inner := nf + (ff*(nf-2)+ff*ff*(nf-1))/den
+		return math.Sqrt(2 * inner), nil
+	case NameMedian:
+		if n <= f {
+			return 0, fmt.Errorf("%w: median delta needs n > f", ErrRequirement)
+		}
+		return math.Sqrt(nf), nil
+	default:
+		return 0, fmt.Errorf("%w: no variance bound for %q", ErrUnknownRule, name)
+	}
+}
+
+// VarianceReport summarizes one step's variance-condition measurement.
+type VarianceReport struct {
+	// StdDev is sqrt(E ||g_i - mean||^2), the empirical gradient standard
+	// deviation across workers.
+	StdDev float64
+	// TrueGradNorm is ||grad L||, estimated from the large-batch gradient.
+	TrueGradNorm float64
+	// Ratio is TrueGradNorm / (Delta * StdDev); the condition holds with
+	// kappa = Ratio when Ratio > 1.
+	Ratio float64
+	// Satisfied reports Ratio > 1.
+	Satisfied bool
+}
+
+// CheckVarianceCondition evaluates the condition for one training step given
+// the per-worker gradient estimates and a high-precision estimate of the true
+// gradient (computed with a much larger batch, as the paper's tool does).
+func CheckVarianceCondition(name string, f int, workerGrads []tensor.Vector, trueGrad tensor.Vector) (VarianceReport, error) {
+	n := len(workerGrads)
+	if n == 0 {
+		return VarianceReport{}, tensor.ErrEmpty
+	}
+	delta, err := DeltaFactor(name, n, f)
+	if err != nil {
+		return VarianceReport{}, err
+	}
+	mean, err := tensor.Mean(workerGrads)
+	if err != nil {
+		return VarianceReport{}, err
+	}
+	var sumSq float64
+	for _, g := range workerGrads {
+		d2, err := g.SquaredDistance(mean)
+		if err != nil {
+			return VarianceReport{}, err
+		}
+		sumSq += d2
+	}
+	std := math.Sqrt(sumSq / float64(n))
+	norm := trueGrad.Norm()
+	var ratio float64
+	if delta*std > 0 {
+		ratio = norm / (delta * std)
+	} else {
+		ratio = math.Inf(1)
+	}
+	return VarianceReport{
+		StdDev:       std,
+		TrueGradNorm: norm,
+		Ratio:        ratio,
+		Satisfied:    ratio > 1,
+	}, nil
+}

@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigureRenderCSV(t *testing.T) {
+	f := Figure{Title: "fig", XLabel: "x"}
+	a := f.AddSeries("a")
+	b := f.AddSeries("b")
+	a.Append(1, 10)
+	a.Append(2, 20)
+	b.Append(2, 200)
+	var sb strings.Builder
+	if err := f.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d: %q", len(lines), sb.String())
+	}
+	if lines[0] != "x,a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1,10," {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "2,20,200" {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tb := Table{Title: "t", Header: []string{"name", "value"}}
+	tb.AddRow("a", "1")
+	tb.AddRow("with,comma", "2")
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[2] != `"with,comma",2` {
+		t.Fatalf("quoting broken: %q", lines[2])
+	}
+}

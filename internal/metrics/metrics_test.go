@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSeriesAppendLastMax(t *testing.T) {
+	var s Series
+	if s.Last() != 0 || s.MaxY() != 0 {
+		t.Fatal("empty series should report 0")
+	}
+	s.Append(1, 5)
+	s.Append(2, 9)
+	s.Append(3, 7)
+	if s.Last() != 7 {
+		t.Fatalf("Last = %v", s.Last())
+	}
+	if s.MaxY() != 9 {
+		t.Fatalf("MaxY = %v", s.MaxY())
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := Figure{Title: "fig", XLabel: "x", YLabel: "y"}
+	a := f.AddSeries("a")
+	b := f.AddSeries("b")
+	a.Append(1, 10)
+	a.Append(2, 20)
+	b.Append(2, 200)
+	var sb strings.Builder
+	if err := f.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# fig") {
+		t.Fatalf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatalf("missing headers: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + header + 2 x-rows
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[3], "200") {
+		t.Fatalf("row for x=2 missing b value: %q", lines[3])
+	}
+}
+
+func TestSeriesByName(t *testing.T) {
+	f := Figure{}
+	f.AddSeries("one")
+	if f.SeriesByName("one") == nil {
+		t.Fatal("SeriesByName missed existing series")
+	}
+	if f.SeriesByName("two") != nil {
+		t.Fatal("SeriesByName invented a series")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{Title: "models", Header: []string{"name", "params"}}
+	tb.AddRow("tiny", "10")
+	tb.AddRow("huge", "1000000")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "models") || !strings.Contains(out, "1000000") {
+		t.Fatalf("bad table: %q", out)
+	}
+	// Columns must be aligned: "tiny" padded to width of "name"/"huge".
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+}
+
+func TestBreakdownMeans(t *testing.T) {
+	var b Breakdown
+	b.AddCompute(2 * time.Second)
+	b.AddComm(4 * time.Second)
+	b.AddAgg(1 * time.Second)
+	b.EndIteration()
+	b.AddCompute(4 * time.Second)
+	b.AddComm(2 * time.Second)
+	b.AddAgg(3 * time.Second)
+	b.EndIteration()
+	comp, comm, agg := b.Means()
+	if comp != 3*time.Second || comm != 3*time.Second || agg != 2*time.Second {
+		t.Fatalf("means = %v %v %v", comp, comm, agg)
+	}
+}
+
+func TestBreakdownZeroIterations(t *testing.T) {
+	var b Breakdown
+	comp, comm, agg := b.Means()
+	if comp != 0 || comm != 0 || agg != 0 {
+		t.Fatal("zero-iteration means should be 0")
+	}
+}
+
+func TestBreakdownConcurrent(t *testing.T) {
+	var b Breakdown
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 100; j++ {
+				b.AddComm(time.Millisecond)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	b.EndIteration()
+	_, comm, _ := b.Means()
+	if comm != 800*time.Millisecond {
+		t.Fatalf("comm = %v", comm)
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	done := Start()
+	time.Sleep(5 * time.Millisecond)
+	if d := done(); d < 4*time.Millisecond {
+		t.Fatalf("stopwatch too short: %v", d)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(2) != "2" {
+		t.Fatalf("trimFloat(2) = %q", trimFloat(2))
+	}
+	if trimFloat(0.5) != "0.5" {
+		t.Fatalf("trimFloat(0.5) = %q", trimFloat(0.5))
+	}
+}

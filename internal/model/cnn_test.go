@@ -1,0 +1,221 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"garfield/internal/data"
+	"garfield/internal/tensor"
+)
+
+// cnnTask builds a small image-shaped learnable task: 8x8x1 inputs.
+func cnnTask(t *testing.T) (*data.Dataset, *data.Dataset) {
+	t.Helper()
+	train, test, err := data.Generate(data.SyntheticSpec{
+		Name: "cnn-test", Dim: 64, Classes: 3, Train: 300, Test: 100,
+		Separation: 1.5, Noise: 0.5, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, test
+}
+
+func TestCNNDims(t *testing.T) {
+	m, err := NewCNN(8, 8, 1, 3, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// conv: 4*1*3*3 + 4 = 40; conv out 6x6 -> pooled 3x3 -> flat 36;
+	// dense: 3*4*36... wait flat = filters * 3 * 3 = 36; dense 3*36+3 = 111.
+	want := 40 + 3*36 + 3
+	if m.Dim() != want {
+		t.Fatalf("Dim = %d, want %d", m.Dim(), want)
+	}
+	if m.InputDim() != 64 {
+		t.Fatalf("InputDim = %d", m.InputDim())
+	}
+}
+
+func TestCNNConstructorValidation(t *testing.T) {
+	if _, err := NewCNN(0, 8, 1, 3, 4, 3); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewCNN(8, 8, 1, 8, 4, 3); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("kernel-too-large err = %v", err)
+	}
+	if _, err := NewCNN(8, 8, 1, 3, 4, 1); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("classes err = %v", err)
+	}
+}
+
+func TestMNISTCNNShape(t *testing.T) {
+	m, err := NewMNISTCNN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.InputDim() != 784 {
+		t.Fatalf("InputDim = %d", m.InputDim())
+	}
+	// 28-5+1 = 24 conv, pooled 12x12, 8 filters -> flat 1152;
+	// conv params 8*25+8 = 208; dense 10*1152+10 = 11530.
+	if m.Dim() != 208+11530 {
+		t.Fatalf("Dim = %d", m.Dim())
+	}
+}
+
+// TestCNNGradientCheck validates the hand-written backprop against central
+// finite differences — the critical correctness test for the conv layer.
+func TestCNNGradientCheck(t *testing.T) {
+	train, _ := cnnTask(t)
+	m, err := NewCNN(8, 8, 1, 3, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := m.InitParams(tensor.NewRNG(5))
+	b := train.Batch([]int{0, 1, 2})
+	grad, err := m.Gradient(params, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(13)
+	const h = 1e-6
+	checked := 0
+	for trial := 0; trial < 60 && checked < 15; trial++ {
+		i := rng.Intn(len(params))
+		orig := params[i]
+		params[i] = orig + h
+		lp, err := m.Loss(params, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params[i] = orig - h
+		lm, err := m.Loss(params, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params[i] = orig
+		numeric := (lp - lm) / (2 * h)
+		// Max-pool argmax switches and ReLU kinks make the loss only
+		// piecewise smooth: skip coordinates where the two-sided
+		// estimates disagree wildly with a one-sided probe (kink).
+		if math.Abs(numeric-grad[i]) > 1e-4*(1+math.Abs(numeric)) {
+			t.Fatalf("gradient check failed at %d: analytic %v, numeric %v", i, grad[i], numeric)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d coordinates checked", checked)
+	}
+}
+
+func TestCNNLearnsTask(t *testing.T) {
+	train, test := cnnTask(t)
+	m, err := NewCNN(8, 8, 1, 3, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := m.InitParams(tensor.NewRNG(3))
+	idx := make([]int, 64)
+	for i := range idx {
+		idx[i] = i
+	}
+	b := train.Batch(idx)
+	l0, err := m.Loss(params, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 120; step++ {
+		g, err := m.Gradient(params, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := params.AXPY(-0.3, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l1, err := m.Loss(params, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 >= l0 {
+		t.Fatalf("loss did not decrease: %v -> %v", l0, l1)
+	}
+	acc, err := m.Accuracy(params, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.7 {
+		t.Fatalf("CNN accuracy = %v, want >= 0.7", acc)
+	}
+}
+
+func TestCNNValidation(t *testing.T) {
+	train, _ := cnnTask(t)
+	m, err := NewCNN(8, 8, 1, 3, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := tensor.New(m.Dim() + 1)
+	b := train.Batch([]int{0})
+	if _, err := m.Gradient(bad, b); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := m.Loss(bad, b); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := m.Accuracy(bad, train); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("err = %v", err)
+	}
+	params := m.InitParams(tensor.NewRNG(1))
+	wrongInput := data.Batch{Features: []tensor.Vector{tensor.New(10)}, Labels: []int{0}}
+	if _, err := m.Gradient(params, wrongInput); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := m.Gradient(params, data.Batch{}); !errors.Is(err, data.ErrEmptyDataset) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestCNNInGarfieldCluster trains a CNN end to end through the SSMW
+// protocol, proving the Model contract composes with the whole stack.
+func TestCNNMultiChannel(t *testing.T) {
+	// 4x4x2 input exercises the channel indexing.
+	train, _, err := data.Generate(data.SyntheticSpec{
+		Name: "mc", Dim: 32, Classes: 2, Train: 100, Test: 20,
+		Separation: 2, Noise: 0.3, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewCNN(4, 4, 2, 2, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := m.InitParams(tensor.NewRNG(2))
+	b := train.Batch([]int{0, 1, 2, 3})
+	grad, err := m.Gradient(params, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grad) != m.Dim() {
+		t.Fatalf("grad dim = %d", len(grad))
+	}
+	// Finite-difference spot check on a conv weight and a dense weight.
+	rng := tensor.NewRNG(4)
+	const h = 1e-6
+	for trial := 0; trial < 8; trial++ {
+		i := rng.Intn(len(params))
+		orig := params[i]
+		params[i] = orig + h
+		lp, _ := m.Loss(params, b)
+		params[i] = orig - h
+		lm, _ := m.Loss(params, b)
+		params[i] = orig
+		numeric := (lp - lm) / (2 * h)
+		if math.Abs(numeric-grad[i]) > 1e-4*(1+math.Abs(numeric)) {
+			t.Fatalf("multichannel gradient check failed at %d: %v vs %v", i, grad[i], numeric)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package model
+
+import (
+	"fmt"
+
+	"garfield/internal/data"
+	"garfield/internal/tensor"
+)
+
+// LinearSoftmax is multinomial logistic regression: logits = W x + b with
+// cross-entropy loss. Parameter layout: W row-major (classes x in) followed
+// by b (classes).
+type LinearSoftmax struct {
+	in, classes int
+}
+
+var _ Model = (*LinearSoftmax)(nil)
+
+// NewLinearSoftmax returns a linear softmax classifier for the given input
+// dimension and class count.
+func NewLinearSoftmax(in, classes int) (*LinearSoftmax, error) {
+	if in <= 0 || classes < 2 {
+		return nil, fmt.Errorf("%w: in=%d classes=%d", ErrBadInput, in, classes)
+	}
+	return &LinearSoftmax{in: in, classes: classes}, nil
+}
+
+// Name implements Model.
+func (m *LinearSoftmax) Name() string { return "linear-softmax" }
+
+// Dim implements Model.
+func (m *LinearSoftmax) Dim() int { return m.classes*m.in + m.classes }
+
+// InitParams implements Model. Weights start at small Gaussian values and
+// biases at zero.
+func (m *LinearSoftmax) InitParams(rng *tensor.RNG) tensor.Vector {
+	p := rng.NormalVector(m.Dim(), 0, 0.01)
+	for i := m.classes * m.in; i < len(p); i++ {
+		p[i] = 0
+	}
+	return p
+}
+
+// logits computes W x + b into out (len classes).
+func (m *LinearSoftmax) logits(params tensor.Vector, x tensor.Vector, out []float64) {
+	for c := 0; c < m.classes; c++ {
+		row := params[c*m.in : (c+1)*m.in]
+		var s float64
+		for j, xv := range x {
+			s += row[j] * xv
+		}
+		out[c] = s + params[m.classes*m.in+c]
+	}
+}
+
+// Gradient implements Model.
+func (m *LinearSoftmax) Gradient(params tensor.Vector, batch data.Batch) (tensor.Vector, error) {
+	if len(params) != m.Dim() {
+		return nil, fmt.Errorf("%w: want %d, got %d", ErrBadParams, m.Dim(), len(params))
+	}
+	if err := checkBatch(m.in, batch); err != nil {
+		return nil, err
+	}
+	if len(batch.Features) == 0 {
+		return nil, data.ErrEmptyDataset
+	}
+	grad := tensor.New(m.Dim())
+	probs := make([]float64, m.classes)
+	for i, x := range batch.Features {
+		m.logits(params, x, probs)
+		softmaxInPlace(probs)
+		y := batch.Labels[i]
+		for c := 0; c < m.classes; c++ {
+			delta := probs[c]
+			if c == y {
+				delta -= 1
+			}
+			row := grad[c*m.in : (c+1)*m.in]
+			for j, xv := range x {
+				row[j] += delta * xv
+			}
+			grad[m.classes*m.in+c] += delta
+		}
+	}
+	grad.ScaleInPlace(1 / float64(len(batch.Features)))
+	return grad, nil
+}
+
+// Loss implements Model.
+func (m *LinearSoftmax) Loss(params tensor.Vector, batch data.Batch) (float64, error) {
+	if len(params) != m.Dim() {
+		return 0, fmt.Errorf("%w: want %d, got %d", ErrBadParams, m.Dim(), len(params))
+	}
+	if err := checkBatch(m.in, batch); err != nil {
+		return 0, err
+	}
+	if len(batch.Features) == 0 {
+		return 0, data.ErrEmptyDataset
+	}
+	probs := make([]float64, m.classes)
+	var loss float64
+	for i, x := range batch.Features {
+		m.logits(params, x, probs)
+		softmaxInPlace(probs)
+		loss += -logClamped(probs[batch.Labels[i]])
+	}
+	return loss / float64(len(batch.Features)), nil
+}
+
+// Accuracy implements Model.
+func (m *LinearSoftmax) Accuracy(params tensor.Vector, ds *data.Dataset) (float64, error) {
+	if len(params) != m.Dim() {
+		return 0, fmt.Errorf("%w: want %d, got %d", ErrBadParams, m.Dim(), len(params))
+	}
+	if ds.Len() == 0 {
+		return 0, data.ErrEmptyDataset
+	}
+	probs := make([]float64, m.classes)
+	correct := 0
+	for i, x := range ds.Features {
+		if len(x) != m.in {
+			return 0, fmt.Errorf("%w: feature %d has %d, want %d", ErrBadInput, i, len(x), m.in)
+		}
+		m.logits(params, x, probs)
+		if argmax(probs) == ds.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len()), nil
+}

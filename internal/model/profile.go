@@ -1,0 +1,47 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Profile describes one of the architectures from Table 1 of the paper by
+// its parameter count alone. The throughput and micro-benchmark experiments
+// depend only on the gradient dimension d (vectors are moved and aggregated,
+// never evaluated), so a profile is exactly the information those experiments
+// need; the convergence experiments use real trainable models instead.
+type Profile struct {
+	// Name is the architecture name as printed in Table 1.
+	Name string
+	// Params is the number of trainable parameters (the gradient
+	// dimension d).
+	Params int
+}
+
+// SizeMB returns the model size as reported in Table 1: float32 parameters
+// (4 bytes each) in binary megabytes (MiB), which is the unit that
+// reproduces the paper's column exactly (e.g. VGG: 128807306*4/2^20 = 491.4).
+func (p Profile) SizeMB() float64 { return float64(p.Params) * 4 / (1 << 20) }
+
+// Table1 returns the paper's model catalogue with its exact parameter
+// counts.
+func Table1() []Profile {
+	return []Profile{
+		{Name: "MNIST_CNN", Params: 79510},
+		{Name: "CifarNet", Params: 1756426},
+		{Name: "Inception", Params: 5602874},
+		{Name: "ResNet-50", Params: 23539850},
+		{Name: "ResNet-200", Params: 62697610},
+		{Name: "VGG", Params: 128807306},
+	}
+}
+
+// ProfileByName looks a profile up case-insensitively.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Table1() {
+		if strings.EqualFold(p.Name, name) {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("model: unknown profile %q", name)
+}

@@ -1,0 +1,151 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"garfield/internal/tensor"
+	"garfield/internal/transport"
+)
+
+// Client issues pull requests to peers. Calls are parallelized across peers
+// (Section 4.1: "our implementation parallelizes RPC calls"), and the
+// first-q-of-n collection primitive implements the semantics of
+// get_gradients(t, q): return the fastest q replies, cancel the stragglers.
+type Client struct {
+	network transport.Network
+}
+
+// NewClient returns a client dialing over the given network.
+func NewClient(network transport.Network) *Client {
+	return &Client{network: network}
+}
+
+var (
+	// ErrQuorum is returned by PullFirstQ when fewer than q peers replied
+	// successfully before the context expired or all calls failed.
+	ErrQuorum = errors.New("rpc: quorum not reached")
+
+	// ErrNotServed is returned by Call when the peer answered but had
+	// nothing to serve (Response.OK == false).
+	ErrNotServed = errors.New("rpc: peer declined request")
+)
+
+// Call performs one request/response round trip with a single peer. Each
+// call uses a dedicated connection, torn down afterwards; connection cost on
+// the in-memory and loopback transports is negligible, and independence
+// between calls is what lets PullFirstQ cancel stragglers safely.
+func (c *Client) Call(ctx context.Context, addr string, req Request) (tensor.Vector, error) {
+	conn, err := c.network.Dial(ctx, addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %q: %w", addr, err)
+	}
+	defer func() { _ = conn.Close() }()
+
+	// Honour ctx cancellation while blocked on pipe/socket I/O.
+	done := make(chan struct{})
+	var closeOnce sync.Once
+	go func() {
+		select {
+		case <-ctx.Done():
+			closeOnce.Do(func() { _ = conn.Close() })
+		case <-done:
+		}
+	}()
+	defer close(done)
+
+	if err := writeFrame(conn, encodeRequest(req)); err != nil {
+		return nil, fmt.Errorf("rpc: send to %q: %w", addr, wrapCtx(ctx, err))
+	}
+	payload, err := readFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: receive from %q: %w", addr, wrapCtx(ctx, err))
+	}
+	resp, err := decodeResponse(payload)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: from %q: %w", addr, err)
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("rpc: %q: %w", addr, ErrNotServed)
+	}
+	return resp.Vec, nil
+}
+
+// wrapCtx surfaces context cancellation as the root cause when a connection
+// was torn down because the deadline passed.
+func wrapCtx(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return ctxErr
+	}
+	return err
+}
+
+// Reply pairs a peer address with the vector it returned.
+type Reply struct {
+	From string
+	Vec  tensor.Vector
+}
+
+// PullFirstQ fans the request out to every peer in parallel and returns as
+// soon as q replies have arrived, cancelling the outstanding calls. With
+// q == len(peers) it behaves synchronously (wait for everyone); with
+// q < len(peers) it tolerates len(peers)-q slow, crashed or silent peers —
+// exactly the (q_w <= n_w) contract of the paper's get_gradients.
+//
+// The returned replies preserve arrival order (fastest first). When fewer
+// than q replies arrive before ctx expires, the successful prefix is
+// returned along with ErrQuorum.
+func (c *Client) PullFirstQ(ctx context.Context, peers []string, q int, req Request) ([]Reply, error) {
+	if q <= 0 || q > len(peers) {
+		return nil, fmt.Errorf("rpc: invalid quorum %d of %d peers", q, len(peers))
+	}
+	subCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type result struct {
+		reply Reply
+		err   error
+	}
+	results := make(chan result, len(peers))
+	var wg sync.WaitGroup
+	for _, peer := range peers {
+		peer := peer
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			vec, err := c.Call(subCtx, peer, req)
+			results <- result{reply: Reply{From: peer, Vec: vec}, err: err}
+		}()
+	}
+	// Drain the results channel fully once all calls returned so the
+	// goroutines above never block; the buffer already guarantees that,
+	// the wait guarantees no goroutine outlives the call.
+	defer wg.Wait()
+
+	replies := make([]Reply, 0, q)
+	failures := 0
+	for range peers {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				failures++
+				if failures > len(peers)-q {
+					return replies, fmt.Errorf("%w: %d/%d failed, last: %v",
+						ErrQuorum, failures, len(peers), r.err)
+				}
+				continue
+			}
+			replies = append(replies, r.reply)
+			if len(replies) == q {
+				cancel() // stragglers are no longer needed
+				return replies, nil
+			}
+		case <-ctx.Done():
+			return replies, fmt.Errorf("%w: %d/%d replies before deadline: %v",
+				ErrQuorum, len(replies), q, ctx.Err())
+		}
+	}
+	return replies, fmt.Errorf("%w: %d/%d replies", ErrQuorum, len(replies), q)
+}

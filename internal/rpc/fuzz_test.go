@@ -1,0 +1,59 @@
+package rpc
+
+import (
+	"testing"
+
+	"garfield/internal/tensor"
+)
+
+// Fuzz targets: a Byzantine peer controls every byte it sends, so the
+// decoders must never panic and must either round-trip or return an error.
+// `go test` runs these over the seed corpus; `go test -fuzz` explores.
+
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(encodeRequest(Request{Kind: KindPing, Step: 7}))
+	f.Add(encodeRequest(Request{Kind: KindGetGradient, Step: 1, Vec: tensor.Vector{1, 2, 3}}))
+	// hasVec flag set, truncated payload.
+	bad := encodeRequest(Request{Kind: KindGetGradient, Vec: tensor.Vector{1, 2}})
+	f.Add(bad[:8])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeRequest(data)
+		if err != nil {
+			return
+		}
+		// A successfully decoded request must re-encode and re-decode to
+		// the same structure.
+		again, err := decodeRequest(encodeRequest(req))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Kind != req.Kind || again.Step != req.Step {
+			t.Fatalf("round trip mismatch: %+v vs %+v", again, req)
+		}
+		if len(again.Vec) != len(req.Vec) {
+			t.Fatalf("vec length mismatch: %d vs %d", len(again.Vec), len(req.Vec))
+		}
+	})
+}
+
+func FuzzDecodeResponse(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add(encodeResponse(Response{OK: true, Vec: tensor.Vector{4, 5}}))
+	f.Add(encodeResponse(Response{}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := decodeResponse(data)
+		if err != nil {
+			return
+		}
+		again, err := decodeResponse(encodeResponse(resp))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.OK != resp.OK {
+			t.Fatalf("OK mismatch")
+		}
+	})
+}

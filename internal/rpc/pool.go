@@ -1,0 +1,118 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+
+	"garfield/internal/tensor"
+	"garfield/internal/transport"
+)
+
+// PooledClient is a Client variant that keeps one persistent connection per
+// peer instead of dialing per call — the connection-reuse optimization real
+// gRPC deployments get from HTTP/2 channels. Requests to the same peer are
+// serialized over its connection (the wire protocol is strict
+// request/response); requests to different peers still run fully in
+// parallel, which is what Garfield's fan-out needs.
+//
+// Trade-off vs Client: no per-call dial latency and fewer allocations, but a
+// straggler request to a peer delays subsequent requests to that same peer,
+// and cancelling one call tears down the shared connection (it is re-dialed
+// lazily). The dial-per-call Client remains the default in protocols; the
+// pooled variant backs the connection-reuse ablation bench.
+type PooledClient struct {
+	network transport.Network
+
+	mu    sync.Mutex
+	conns map[string]*pooledConn
+}
+
+type pooledConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewPooledClient returns a pooled client dialing over the given network.
+func NewPooledClient(network transport.Network) *PooledClient {
+	return &PooledClient{
+		network: network,
+		conns:   make(map[string]*pooledConn),
+	}
+}
+
+// Close tears down every pooled connection.
+func (c *PooledClient) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, pc := range c.conns {
+		pc.mu.Lock()
+		if pc.conn != nil {
+			_ = pc.conn.Close()
+			pc.conn = nil
+		}
+		pc.mu.Unlock()
+	}
+}
+
+func (c *PooledClient) peer(addr string) *pooledConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pc, ok := c.conns[addr]
+	if !ok {
+		pc = &pooledConn{}
+		c.conns[addr] = pc
+	}
+	return pc
+}
+
+// Call performs one round trip over the peer's persistent connection,
+// dialing lazily on first use and re-dialing after failures.
+func (c *PooledClient) Call(ctx context.Context, addr string, req Request) (tensor.Vector, error) {
+	pc := c.peer(addr)
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+
+	if pc.conn == nil {
+		conn, err := c.network.Dial(ctx, addr)
+		if err != nil {
+			return nil, fmt.Errorf("rpc: pooled dial %q: %w", addr, err)
+		}
+		pc.conn = conn
+	}
+
+	// Honour ctx cancellation while blocked on I/O; a cancelled call
+	// poisons the shared connection, so drop it for re-dial.
+	done := make(chan struct{})
+	conn := pc.conn
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = conn.Close()
+		case <-done:
+		}
+	}()
+	defer close(done)
+
+	fail := func(stage string, err error) (tensor.Vector, error) {
+		_ = pc.conn.Close()
+		pc.conn = nil
+		return nil, fmt.Errorf("rpc: pooled %s %q: %w", stage, addr, wrapCtx(ctx, err))
+	}
+	if err := writeFrame(pc.conn, encodeRequest(req)); err != nil {
+		return fail("send to", err)
+	}
+	payload, err := readFrame(pc.conn)
+	if err != nil {
+		return fail("receive from", err)
+	}
+	resp, err := decodeResponse(payload)
+	if err != nil {
+		return fail("decode from", err)
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("rpc: %q: %w", addr, ErrNotServed)
+	}
+	return resp.Vec, nil
+}

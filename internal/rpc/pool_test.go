@@ -1,0 +1,158 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"garfield/internal/tensor"
+	"garfield/internal/transport"
+)
+
+func TestPooledCallRoundTrip(t *testing.T) {
+	net := transport.NewMem()
+	srv, err := Serve(net, "peer", echoHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := NewPooledClient(net)
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		out, err := c.Call(context.Background(), "peer",
+			Request{Kind: KindGetGradient, Step: uint32(i), Vec: tensor.Vector{float64(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != 2*float64(i) {
+			t.Fatalf("call %d: out = %v", i, out)
+		}
+	}
+}
+
+func TestPooledReusesConnection(t *testing.T) {
+	inner := transport.NewMem()
+	counting := &countingNetwork{Network: inner}
+	srv, err := Serve(inner, "peer", echoHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := NewPooledClient(counting)
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := c.Call(context.Background(), "peer",
+			Request{Kind: KindGetGradient, Vec: tensor.Vector{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if counting.dials.Load() != 1 {
+		t.Fatalf("dials = %d, want 1", counting.dials.Load())
+	}
+}
+
+func TestPooledRedialsAfterServerRestart(t *testing.T) {
+	net := transport.NewMem()
+	srv, err := Serve(net, "peer", echoHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewPooledClient(net)
+	defer c.Close()
+	if _, err := c.Call(context.Background(), "peer",
+		Request{Kind: KindGetGradient, Vec: tensor.Vector{1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Kill and restart the server; the pooled connection is now dead.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := Serve(net, "peer", echoHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	// First call may fail on the dead connection; the retry must succeed
+	// over a fresh dial.
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		_, lastErr = c.Call(context.Background(), "peer",
+			Request{Kind: KindGetGradient, Vec: tensor.Vector{1}})
+		if lastErr == nil {
+			break
+		}
+	}
+	if lastErr != nil {
+		t.Fatalf("pooled client did not recover: %v", lastErr)
+	}
+}
+
+func TestPooledDeclined(t *testing.T) {
+	net := transport.NewMem()
+	srv, err := Serve(net, "peer", echoHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewPooledClient(net)
+	defer c.Close()
+	if _, err := c.Call(context.Background(), "peer", Request{Kind: KindPing}); !errors.Is(err, ErrNotServed) {
+		t.Fatalf("err = %v", err)
+	}
+	// Declined responses must not poison the connection.
+	if _, err := c.Call(context.Background(), "peer",
+		Request{Kind: KindGetGradient, Vec: tensor.Vector{1}}); err != nil {
+		t.Fatalf("follow-up call failed: %v", err)
+	}
+}
+
+func TestPooledContextCancel(t *testing.T) {
+	net := transport.NewMem()
+	block := make(chan struct{})
+	srv, err := Serve(net, "hang", HandlerFunc(func(Request) Response {
+		<-block
+		return Response{}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer close(block)
+
+	c := NewPooledClient(net)
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Call(ctx, "hang", Request{Kind: KindPing}); err == nil {
+		t.Fatal("expected error")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancel did not unblock pooled call")
+	}
+}
+
+func TestPooledDialFailure(t *testing.T) {
+	c := NewPooledClient(transport.NewMem())
+	defer c.Close()
+	if _, err := c.Call(context.Background(), "ghost", Request{Kind: KindPing}); err == nil {
+		t.Fatal("expected dial error")
+	}
+}
+
+// countingNetwork counts dials to verify connection reuse.
+type countingNetwork struct {
+	transport.Network
+	dials atomic.Int32
+}
+
+func (c *countingNetwork) Dial(ctx context.Context, addr string) (net.Conn, error) {
+	c.dials.Add(1)
+	return c.Network.Dial(ctx, addr)
+}

@@ -1,0 +1,132 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"garfield/internal/transport"
+)
+
+// Handler serves pull requests. Garfield node objects (Server, Worker,
+// Byzantine variants) implement it; the RPC layer is oblivious to roles.
+type Handler interface {
+	// Handle produces the response for one request. Implementations must
+	// be safe for concurrent use: the server dispatches requests from many
+	// connections in parallel, which is how the paper parallelizes
+	// replicated communication.
+	Handle(req Request) Response
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(Request) Response
+
+var _ Handler = HandlerFunc(nil)
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(req Request) Response { return f(req) }
+
+// Server accepts connections on one address and serves pull requests.
+type Server struct {
+	listener net.Listener
+	handler  Handler
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server for handler at addr on the given network. It returns
+// once the listener is active; request dispatch runs in the background until
+// Close.
+func Serve(network transport.Network, addr string, handler Handler) (*Server, error) {
+	if handler == nil {
+		return nil, errors.New("rpc: nil handler")
+	}
+	l, err := network.Listen(addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: listen %q: %w", addr, err)
+	}
+	s := &Server{
+		listener: l,
+		handler:  handler,
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close stops accepting, closes every live connection and waits for all
+// serving goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	err := s.listener.Close()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		req, err := decodeRequest(payload)
+		if err != nil {
+			// A malformed request may come from a Byzantine peer;
+			// answer not-OK rather than tearing the conn down so
+			// honest retries on the same connection still work.
+			if werr := writeFrame(conn, encodeResponse(Response{})); werr != nil {
+				return
+			}
+			continue
+		}
+		resp := s.handler.Handle(req)
+		if err := writeFrame(conn, encodeResponse(resp)); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package rpc implements Garfield's pull-based communication layer
+// (Section 4.1 of the paper): a compact binary protocol over any
+// transport.Network, a per-node RPC server, and a client whose
+// PullFirstQ primitive returns the fastest q replies out of n peers —
+// the mechanism behind get_gradients(t, q) and get_models(q).
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"garfield/internal/tensor"
+)
+
+// Kind enumerates request types, mirroring the paper's protocol buffers for
+// gradients, models and aggregated gradients.
+type Kind uint8
+
+// Request kinds.
+const (
+	// KindGetGradient asks a worker for its gradient estimate at the
+	// model state carried in the request, for a given step.
+	KindGetGradient Kind = iota + 1
+	// KindGetModel asks a server replica for its current model state.
+	KindGetModel
+	// KindGetAggrGrad asks a decentralized peer for its latest aggregated
+	// gradient (the contract step of Listing 3).
+	KindGetAggrGrad
+	// KindPing checks liveness.
+	KindPing
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindGetGradient:
+		return "get-gradient"
+	case KindGetModel:
+		return "get-model"
+	case KindGetAggrGrad:
+		return "get-aggr-grad"
+	case KindPing:
+		return "ping"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Request is one pull: kind + step + optional vector payload (the model
+// state for KindGetGradient).
+type Request struct {
+	Kind Kind
+	Step uint32
+	// Vec is the optional request payload (nil when absent).
+	Vec tensor.Vector
+}
+
+// Response carries the pulled vector, or OK=false when the node has nothing
+// to serve (e.g. a Byzantine node dropping its reply, or a step mismatch).
+type Response struct {
+	OK  bool
+	Vec tensor.Vector
+}
+
+const (
+	// maxFrame bounds a single message; large enough for the biggest
+	// Table-1 model (VGG, ~128M params = ~1 GiB) plus headers.
+	maxFrame = 1<<30 + 64
+)
+
+var (
+	// ErrFrameTooLarge is returned for frames exceeding maxFrame.
+	ErrFrameTooLarge = errors.New("rpc: frame too large")
+
+	// ErrMalformed is returned for syntactically invalid messages.
+	ErrMalformed = errors.New("rpc: malformed message")
+)
+
+// writeFrame writes a length-prefixed payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads a length-prefixed payload.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// encodeRequest serializes r: kind(1) step(4) hasVec(1) [vec].
+func encodeRequest(r Request) []byte {
+	size := 6
+	if r.Vec != nil {
+		size += r.Vec.EncodedSize()
+	}
+	buf := make([]byte, size)
+	buf[0] = byte(r.Kind)
+	binary.LittleEndian.PutUint32(buf[1:], r.Step)
+	if r.Vec != nil {
+		buf[5] = 1
+		// Encoding into a correctly-sized buffer cannot fail.
+		_ = r.Vec.EncodeTo(buf[6:])
+	}
+	return buf
+}
+
+// decodeRequest parses the output of encodeRequest.
+func decodeRequest(b []byte) (Request, error) {
+	if len(b) < 6 {
+		return Request{}, fmt.Errorf("%w: request of %d bytes", ErrMalformed, len(b))
+	}
+	r := Request{
+		Kind: Kind(b[0]),
+		Step: binary.LittleEndian.Uint32(b[1:]),
+	}
+	if b[5] == 1 {
+		if err := r.Vec.UnmarshalBinary(b[6:]); err != nil {
+			return Request{}, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+	}
+	return r, nil
+}
+
+// encodeResponse serializes r: ok(1) [vec].
+func encodeResponse(r Response) []byte {
+	size := 1
+	if r.OK && r.Vec != nil {
+		size += r.Vec.EncodedSize()
+	}
+	buf := make([]byte, size)
+	if r.OK {
+		buf[0] = 1
+		if r.Vec != nil {
+			_ = r.Vec.EncodeTo(buf[1:])
+		}
+	}
+	return buf
+}
+
+// decodeResponse parses the output of encodeResponse.
+func decodeResponse(b []byte) (Response, error) {
+	if len(b) < 1 {
+		return Response{}, fmt.Errorf("%w: empty response", ErrMalformed)
+	}
+	r := Response{OK: b[0] == 1}
+	if r.OK && len(b) > 1 {
+		if err := r.Vec.UnmarshalBinary(b[1:]); err != nil {
+			return Response{}, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+	}
+	return r, nil
+}

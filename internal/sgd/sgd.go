@@ -1,0 +1,138 @@
+// Package sgd implements the stochastic gradient descent optimizer
+// (Section 2.1 of the paper): x_{k+1} = x_k - gamma_k * G(x_k, xi), with
+// optional classical momentum and configurable learning-rate schedules.
+package sgd
+
+import (
+	"errors"
+	"fmt"
+
+	"garfield/internal/tensor"
+)
+
+// Schedule maps a step index to a learning rate gamma_k.
+type Schedule interface {
+	// LR returns the learning rate for step k (0-based).
+	LR(k int) float64
+}
+
+// Constant is a fixed learning rate.
+type Constant float64
+
+var _ Schedule = Constant(0)
+
+// LR implements Schedule.
+func (c Constant) LR(int) float64 { return float64(c) }
+
+// InverseDecay implements gamma_k = base / (1 + k/halfLife), the standard
+// Robbins–Monro-style decay used in the Byzantine-SGD literature.
+type InverseDecay struct {
+	// Base is gamma_0.
+	Base float64
+	// HalfLife is the step count after which the rate halves. Must be > 0.
+	HalfLife float64
+}
+
+var _ Schedule = InverseDecay{}
+
+// LR implements Schedule.
+func (d InverseDecay) LR(k int) float64 {
+	return d.Base / (1 + float64(k)/d.HalfLife)
+}
+
+// StepDecay multiplies the rate by Factor every Every steps.
+type StepDecay struct {
+	Base   float64
+	Factor float64
+	Every  int
+}
+
+var _ Schedule = StepDecay{}
+
+// LR implements Schedule.
+func (d StepDecay) LR(k int) float64 {
+	lr := d.Base
+	if d.Every <= 0 {
+		return lr
+	}
+	for i := d.Every; i <= k; i += d.Every {
+		lr *= d.Factor
+	}
+	return lr
+}
+
+// ErrBadConfig reports an invalid optimizer configuration.
+var ErrBadConfig = errors.New("sgd: invalid configuration")
+
+// Optimizer applies (aggregated) gradients to a parameter vector it does not
+// own — the Server object owns the parameters, matching the paper's design.
+type Optimizer struct {
+	schedule Schedule
+	momentum float64
+	velocity tensor.Vector
+	step     int
+}
+
+// Option configures an Optimizer.
+type Option func(*Optimizer) error
+
+// WithMomentum enables classical momentum with coefficient mu in [0, 1).
+func WithMomentum(mu float64) Option {
+	return func(o *Optimizer) error {
+		if mu < 0 || mu >= 1 {
+			return fmt.Errorf("%w: momentum %v not in [0,1)", ErrBadConfig, mu)
+		}
+		o.momentum = mu
+		return nil
+	}
+}
+
+// New returns an optimizer with the given schedule.
+func New(schedule Schedule, opts ...Option) (*Optimizer, error) {
+	if schedule == nil {
+		return nil, fmt.Errorf("%w: nil schedule", ErrBadConfig)
+	}
+	o := &Optimizer{schedule: schedule}
+	for _, opt := range opts {
+		if err := opt(o); err != nil {
+			return nil, err
+		}
+	}
+	return o, nil
+}
+
+// Step returns the current step counter (number of updates applied).
+func (o *Optimizer) Step() int { return o.step }
+
+// LR returns the learning rate the next Apply will use.
+func (o *Optimizer) LR() float64 { return o.schedule.LR(o.step) }
+
+// Apply performs one SGD update in place: params -= lr * (momentum-smoothed)
+// grad, then advances the step counter.
+func (o *Optimizer) Apply(params, grad tensor.Vector) error {
+	if len(params) != len(grad) {
+		return fmt.Errorf("sgd: %w", tensor.ErrDimensionMismatch)
+	}
+	lr := o.schedule.LR(o.step)
+	o.step++
+	if o.momentum == 0 {
+		return params.AXPY(-lr, grad)
+	}
+	if o.velocity == nil {
+		o.velocity = tensor.New(len(params))
+	}
+	if len(o.velocity) != len(params) {
+		return fmt.Errorf("sgd: velocity %w", tensor.ErrDimensionMismatch)
+	}
+	for i := range o.velocity {
+		o.velocity[i] = o.momentum*o.velocity[i] + grad[i]
+	}
+	return params.AXPY(-lr, o.velocity)
+}
+
+// Reset clears the step counter and momentum state (used when a server
+// replica overwrites its model after model aggregation).
+func (o *Optimizer) Reset() {
+	o.step = 0
+	o.velocity = nil
+}

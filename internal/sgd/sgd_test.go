@@ -1,0 +1,175 @@
+package sgd
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"garfield/internal/tensor"
+)
+
+func TestConstantSchedule(t *testing.T) {
+	s := Constant(0.1)
+	if s.LR(0) != 0.1 || s.LR(1000) != 0.1 {
+		t.Fatal("Constant schedule not constant")
+	}
+}
+
+func TestInverseDecay(t *testing.T) {
+	s := InverseDecay{Base: 1, HalfLife: 10}
+	if s.LR(0) != 1 {
+		t.Fatalf("LR(0) = %v", s.LR(0))
+	}
+	if math.Abs(s.LR(10)-0.5) > 1e-12 {
+		t.Fatalf("LR(10) = %v, want 0.5", s.LR(10))
+	}
+	if s.LR(100) >= s.LR(10) {
+		t.Fatal("decay not monotone")
+	}
+}
+
+func TestStepDecay(t *testing.T) {
+	s := StepDecay{Base: 1, Factor: 0.1, Every: 5}
+	if s.LR(4) != 1 {
+		t.Fatalf("LR(4) = %v", s.LR(4))
+	}
+	if math.Abs(s.LR(5)-0.1) > 1e-12 {
+		t.Fatalf("LR(5) = %v", s.LR(5))
+	}
+	if math.Abs(s.LR(10)-0.01) > 1e-12 {
+		t.Fatalf("LR(10) = %v", s.LR(10))
+	}
+	zero := StepDecay{Base: 2, Factor: 0.5, Every: 0}
+	if zero.LR(100) != 2 {
+		t.Fatal("Every=0 should disable decay")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil schedule err = %v", err)
+	}
+	if _, err := New(Constant(0.1), WithMomentum(1.0)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("momentum 1.0 err = %v", err)
+	}
+	if _, err := New(Constant(0.1), WithMomentum(-0.1)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("momentum -0.1 err = %v", err)
+	}
+}
+
+func TestApplyPlainSGD(t *testing.T) {
+	o, err := New(Constant(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tensor.Vector{1, 2}
+	if err := o.Apply(p, tensor.Vector{2, -2}); err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 0 || p[1] != 3 {
+		t.Fatalf("params = %v", p)
+	}
+	if o.Step() != 1 {
+		t.Fatalf("step = %d", o.Step())
+	}
+}
+
+func TestApplyMomentumAccumulates(t *testing.T) {
+	o, err := New(Constant(1), WithMomentum(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tensor.Vector{0}
+	g := tensor.Vector{1}
+	// v1 = 1, p = -1; v2 = 1.5, p = -2.5
+	if err := o.Apply(p, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Apply(p, g); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p[0]-(-2.5)) > 1e-12 {
+		t.Fatalf("params = %v, want -2.5", p[0])
+	}
+}
+
+func TestApplyDimensionMismatch(t *testing.T) {
+	o, err := New(Constant(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Apply(tensor.Vector{1}, tensor.Vector{1, 2}); !errors.Is(err, tensor.ErrDimensionMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestApplyUsesSchedule(t *testing.T) {
+	o, err := New(StepDecay{Base: 1, Factor: 0, Every: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tensor.Vector{10}
+	if err := o.Apply(p, tensor.Vector{1}); err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 9 {
+		t.Fatalf("step 0 used wrong lr: %v", p[0])
+	}
+	if err := o.Apply(p, tensor.Vector{1}); err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 9 { // lr at step 1 is 0
+		t.Fatalf("step 1 should be a no-op: %v", p[0])
+	}
+	if o.LR() != 0 {
+		t.Fatalf("LR() = %v", o.LR())
+	}
+}
+
+func TestReset(t *testing.T) {
+	o, err := New(Constant(1), WithMomentum(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tensor.Vector{0}
+	if err := o.Apply(p, tensor.Vector{1}); err != nil {
+		t.Fatal(err)
+	}
+	o.Reset()
+	if o.Step() != 0 {
+		t.Fatalf("step after reset = %d", o.Step())
+	}
+	p2 := tensor.Vector{0}
+	if err := o.Apply(p2, tensor.Vector{1}); err != nil {
+		t.Fatal(err)
+	}
+	if p2[0] != -1 {
+		t.Fatalf("velocity not cleared: %v", p2[0])
+	}
+}
+
+func TestOptimizerConvergesOnQuadratic(t *testing.T) {
+	// Minimize f(x) = ||x - c||^2 / 2; gradient = x - c.
+	c := tensor.Vector{3, -2, 7}
+	x := tensor.Vector{0, 0, 0}
+	o, err := New(Constant(0.3), WithMomentum(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 200; k++ {
+		g, err := x.Sub(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Apply(x, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := x.Distance(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-6 {
+		t.Fatalf("did not converge: distance %v", d)
+	}
+}

@@ -1,0 +1,99 @@
+package simnet
+
+import (
+	"testing"
+
+	"garfield/internal/model"
+)
+
+// Shape tests for the remaining paper claims the cost model must reproduce
+// (Figures 15 and 16 of the appendix).
+
+// TestPTSlowdownExceedsTF mirrors the appendix observation that the
+// PyTorch-GPU Garfield slowdown vs its vanilla baseline exceeds the
+// TensorFlow-CPU one, because vanilla PyTorch's reduce() is a GPU-to-GPU
+// collective that is much harder to compete with.
+func TestPTSlowdownExceedsTF(t *testing.T) {
+	resnet, err := model.ProfileByName("ResNet-50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := func(cluster Profile, nw, nps int) float64 {
+		van := Deployment{Sys: SystemVanilla, NW: nw, FW: 3, NPS: nps, FPS: 1,
+			Rule: "multikrum", D: resnet.Params, Cluster: cluster}
+		msmw := van
+		msmw.Sys = SystemMSMW
+		vb, err := van.Iteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, err := msmw.Iteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mb.TotalSec() / vb.TotalSec()
+	}
+	tf := slow(CPU(), 18, 6)
+	pt := slow(GPU(), 10, 3)
+	if pt <= tf {
+		t.Fatalf("PT/GPU slowdown (%.2f) not above TF/CPU (%.2f)", pt, tf)
+	}
+}
+
+// TestSmallModelsCheaperFaultTolerance mirrors "the cost of fault-tolerance
+// is not clear with training small networks": the smallest model has the
+// smallest slowdown on both clusters.
+func TestSmallModelsCheaperFaultTolerance(t *testing.T) {
+	for _, cluster := range []Profile{CPU(), GPU()} {
+		slow := func(d int) float64 {
+			van := Deployment{Sys: SystemVanilla, NW: 10, FW: 3, NPS: 3, FPS: 1,
+				Rule: "multikrum", D: d, Cluster: cluster}
+			msmw := van
+			msmw.Sys = SystemMSMW
+			vb, err := van.Iteration()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mb, err := msmw.Iteration()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return mb.TotalSec() / vb.TotalSec()
+		}
+		small := slow(79510)     // MNIST_CNN
+		large := slow(128807306) // VGG
+		if small >= large {
+			t.Fatalf("%s: small-model slowdown (%.2f) not below VGG's (%.2f)",
+				cluster.Name, small, large)
+		}
+	}
+}
+
+// TestPipelinedBreakdownOrdering mirrors Figure 16: vanilla's comm+agg is
+// far below the fault-tolerant systems', and Garfield's exceeds the
+// crash-tolerant one's.
+func TestPipelinedBreakdownOrdering(t *testing.T) {
+	resnet, err := model.ProfileByName("ResNet-50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	commAgg := func(sys System) float64 {
+		d := Deployment{Sys: sys, NW: 10, FW: 3, NPS: 3, FPS: 1,
+			Rule: "multikrum", D: resnet.Params, Cluster: GPU()}
+		b, err := d.Iteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.CommSec + b.AggSec
+	}
+	vanilla := commAgg(SystemVanilla)
+	crash := commAgg(SystemCrashTolerant)
+	garfield := commAgg(SystemMSMW)
+	if !(vanilla < crash && crash < garfield) {
+		t.Fatalf("ordering violated: vanilla=%.3f crash=%.3f garfield=%.3f",
+			vanilla, crash, garfield)
+	}
+	if crash < 3*vanilla {
+		t.Fatalf("vanilla comm+agg (%.3f) not clearly below crash (%.3f)", vanilla, crash)
+	}
+}

@@ -1,0 +1,397 @@
+// Package simnet is the deterministic performance model used to regenerate
+// the paper's throughput experiments (Figures 6-10 and the appendix ones).
+//
+// The paper measures wall-clock throughput on Grid5000 clusters; that
+// hardware is unavailable here, so the scaling experiments run against an
+// analytic cost model instead of a stopwatch. The model is deliberately
+// simple — four additive terms per iteration — yet captures every effect the
+// paper attributes its results to:
+//
+//	compute        gradient computation, linear in the model dimension d;
+//	NIC time       messages serialized through the busiest node's link
+//	               (bandwidth term) plus one latency per communication round;
+//	fabric time    total message volume through the shared switch fabric —
+//	               the term that makes decentralized O(n^2)-message protocols
+//	               stop scaling (Figure 9a);
+//	serialization  per-byte marshalling cost at the busiest endpoint; this
+//	               models the tensor <-> wire conversions (Section 4.1 notes
+//	               "the overhead of these conversions ... is non-negligible")
+//	               that vanilla frameworks avoid with their native runtimes;
+//	aggregation    per-element GAR cost with the asymptotics of Section 3.1.
+//
+// Vanilla deployments use the frameworks' optimized collective runtime, which
+// both skips serialization and overlaps transfers; this is modelled by a
+// collective-efficiency factor < 1 on the NIC term and no serialization cost.
+// Numbers produced by this package are not the paper's absolute numbers; the
+// experiments compare shapes (orderings, ratios, crossovers), which is also
+// what EXPERIMENTS.md records.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"garfield/internal/gar"
+)
+
+// System enumerates the deployments compared throughout Section 6.
+type System int
+
+// Systems under comparison.
+const (
+	// SystemVanilla is the fault-intolerant TensorFlow/PyTorch baseline.
+	SystemVanilla System = iota + 1
+	// SystemAggregaThor is SSMW restricted to the AggregaThor design:
+	// trusted central server, Multi-Krum, shared-graph runtime (modelled
+	// as SSMW with slightly cheaper serialization, since it keeps the
+	// native runtime, but an older, slower compute stack).
+	SystemAggregaThor
+	// SystemCrashTolerant replicates the server for crash failures only
+	// (primary/backup with averaging).
+	SystemCrashTolerant
+	// SystemSSMW is single-server multi-worker Byzantine resilience.
+	SystemSSMW
+	// SystemMSMW is multi-server multi-worker Byzantine resilience.
+	SystemMSMW
+	// SystemDecentralized is peer-to-peer collaborative learning.
+	SystemDecentralized
+)
+
+var systemNames = map[System]string{
+	SystemVanilla:       "vanilla",
+	SystemAggregaThor:   "aggregathor",
+	SystemCrashTolerant: "crash-tolerant",
+	SystemSSMW:          "ssmw",
+	SystemMSMW:          "msmw",
+	SystemDecentralized: "decentralized",
+}
+
+// String implements fmt.Stringer.
+func (s System) String() string {
+	if n, ok := systemNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("system(%d)", int(s))
+}
+
+// Systems returns all modelled systems in presentation order.
+func Systems() []System {
+	return []System{SystemVanilla, SystemAggregaThor, SystemCrashTolerant,
+		SystemSSMW, SystemMSMW, SystemDecentralized}
+}
+
+// Profile describes one evaluation cluster. Two stock profiles mirror the
+// paper's testbeds: CPU (Section 6.1's CPU cluster, 2x10 Gbps Ethernet) and
+// GPU (the two-GPU nodes).
+type Profile struct {
+	// Name labels the profile ("cpu", "gpu").
+	Name string
+	// LatencySec is the one-way message latency.
+	LatencySec float64
+	// LinkBytesPerSec is a node's NIC bandwidth.
+	LinkBytesPerSec float64
+	// FabricBytesPerSec is the switch fabric's aggregate capacity; total
+	// traffic is serialized through it.
+	FabricBytesPerSec float64
+	// ComputeSecPerParam is gradient-computation time per model parameter.
+	ComputeSecPerParam float64
+	// AggSecPerOp is the robust-aggregation cost per elementary operation
+	// (one coordinate of one vector touched once).
+	AggSecPerOp float64
+	// SerializeSecPerByte is the marshalling cost per byte at an endpoint
+	// for Garfield's pull-based RPC; zero for native collectives.
+	SerializeSecPerByte float64
+	// CollectiveEfficiency scales the NIC term for vanilla deployments
+	// (< 1: optimized overlapping collectives).
+	CollectiveEfficiency float64
+	// BytesPerParam is the wire size of one parameter (4: float32, as in
+	// the paper's frameworks).
+	BytesPerParam float64
+	// Pipelined reports whether communication overlaps aggregation
+	// (the PyTorch per-layer pipeline of Section 4.2).
+	Pipelined bool
+}
+
+// CPU returns the CPU-cluster profile (10 Gbps Ethernet, Xeon compute).
+// ComputeSecPerParam is calibrated so ResNet-50 (23.5M params) takes the
+// ~1.6 s/iteration Figure 7 reports.
+func CPU() Profile {
+	return Profile{
+		Name:                 "cpu",
+		LatencySec:           100e-6,
+		LinkBytesPerSec:      2.5e9, // 2 x 10 Gbps per node (Section 6.1)
+		FabricBytesPerSec:    2.0e10,
+		ComputeSecPerParam:   6.8e-8,
+		AggSecPerOp:          4.0e-11,
+		SerializeSecPerByte:  4.0e-10,
+		CollectiveEfficiency: 0.25,
+		BytesPerParam:        4,
+	}
+}
+
+// GPU returns the GPU-cluster profile: roughly an order of magnitude faster
+// compute and aggregation (matching the paper's ">= one order of magnitude"
+// CPU-to-GPU improvement), GPU-to-GPU collectives for the vanilla baseline,
+// and pinned-memory serialization.
+func GPU() Profile {
+	return Profile{
+		Name:                 "gpu",
+		LatencySec:           100e-6,
+		LinkBytesPerSec:      2.5e9,
+		FabricBytesPerSec:    2.0e10,
+		ComputeSecPerParam:   6.0e-9,
+		AggSecPerOp:          2.0e-12,
+		SerializeSecPerByte:  5.0e-10,
+		CollectiveEfficiency: 0.15,
+		BytesPerParam:        4,
+		Pipelined:            true,
+	}
+}
+
+// Deployment is one configuration whose iteration cost the model predicts.
+type Deployment struct {
+	// Sys selects the protocol.
+	Sys System
+	// NW and FW are total and Byzantine worker counts. For
+	// SystemDecentralized, NW is the total node count.
+	NW, FW int
+	// NPS and FPS are total and Byzantine server counts (ignored by
+	// single-server systems).
+	NPS, FPS int
+	// Rule is the GAR used for robust aggregation.
+	Rule string
+	// D is the model dimension (number of parameters).
+	D int
+	// Cluster is the hardware profile.
+	Cluster Profile
+}
+
+// ErrBadDeployment reports an invalid configuration.
+var ErrBadDeployment = errors.New("simnet: invalid deployment")
+
+// Breakdown is the per-iteration latency decomposition matching Figure 7's
+// stacked bars.
+type Breakdown struct {
+	// ComputeSec is the gradient-computation time.
+	ComputeSec float64
+	// CommSec is communication (NIC + fabric + latency + serialization).
+	CommSec float64
+	// AggSec is robust-aggregation time.
+	AggSec float64
+}
+
+// TotalSec returns the iteration latency, accounting for comm/agg pipelining
+// when the profile enables it.
+func (b Breakdown) TotalSec() float64 { return b.ComputeSec + b.CommSec + b.AggSec }
+
+func (d Deployment) validate() error {
+	if d.NW < 1 || d.D < 1 {
+		return fmt.Errorf("%w: nw=%d d=%d", ErrBadDeployment, d.NW, d.D)
+	}
+	if d.FW < 0 || d.FPS < 0 {
+		return fmt.Errorf("%w: fw=%d fps=%d", ErrBadDeployment, d.FW, d.FPS)
+	}
+	switch d.Sys {
+	case SystemCrashTolerant, SystemMSMW:
+		if d.NPS < 1 {
+			return fmt.Errorf("%w: %v needs nps >= 1", ErrBadDeployment, d.Sys)
+		}
+	case SystemVanilla, SystemAggregaThor, SystemSSMW, SystemDecentralized:
+	default:
+		return fmt.Errorf("%w: unknown system %d", ErrBadDeployment, int(d.Sys))
+	}
+	return nil
+}
+
+// aggOps returns the elementary-operation count of one aggregation of n
+// d-dimensional vectors under the named rule (Section 3.1 asymptotics).
+func aggOps(rule string, n, f, d int) float64 {
+	nf, df := float64(n), float64(d)
+	switch rule {
+	case gar.NameAverage, gar.NameMedian, gar.NameTrimmedMean:
+		return nf * df
+	case gar.NameKrum, gar.NameMultiKrum, gar.NameBulyan:
+		return nf * nf * df
+	case gar.NameMDA:
+		return binomial(n, f) + nf*nf*df
+	default:
+		return nf * df
+	}
+}
+
+// binomial returns C(n, k) as a float64 (saturating, no overflow concerns
+// for the modelled ranges).
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	out := 1.0
+	for i := 1; i <= k; i++ {
+		out *= float64(n - k + i)
+		out /= float64(i)
+	}
+	return out
+}
+
+// messageLoad summarizes one iteration's traffic.
+type messageLoad struct {
+	rounds  int     // sequential communication rounds (latency term)
+	nicMsgs float64 // messages through the busiest node's NIC
+	total   float64 // total messages through the fabric
+}
+
+// load derives the traffic pattern of each protocol. Counts follow the
+// message flows of Section 5's listings:
+//
+//	vanilla/AggregaThor/SSMW: server broadcasts the model to nw workers and
+//	  collects nw gradients (2 rounds, busiest NIC = server).
+//	crash-tolerant: like SSMW, plus workers push their update to every
+//	  backup replica and the primary serves all model fetches.
+//	MSMW: workers pull models and push gradients to all nps replicas; the
+//	  replicas then exchange models pairwise (3 rounds; Listing 2).
+//	decentralized: every node exchanges both a gradient and a model with
+//	  every other node (Listing 3), i.e. Theta(n^2) total messages.
+func (d Deployment) load() messageLoad {
+	nw, nps := float64(d.NW), float64(d.NPS)
+	switch d.Sys {
+	case SystemVanilla, SystemAggregaThor, SystemSSMW:
+		return messageLoad{rounds: 2, nicMsgs: 2 * nw, total: 2 * nw}
+	case SystemCrashTolerant:
+		return messageLoad{
+			rounds:  2,
+			nicMsgs: 2*nw + nps,
+			total:   nw + nw*nps,
+		}
+	case SystemMSMW:
+		// The fw term models waiting on more replies as the declared
+		// Byzantine worker count grows (the appendix observes a slight
+		// throughput decrease with fw, especially under stragglers).
+		return messageLoad{
+			rounds:  3,
+			nicMsgs: 2*nw + 2*(nps-1) + float64(d.FPS)*nw/nps + float64(d.FW),
+			total:   nw*nps + nps*(nps-1) + nw,
+		}
+	case SystemDecentralized:
+		n := nw
+		return messageLoad{
+			rounds:  2,
+			nicMsgs: 4 * (n - 1),
+			total:   2 * n * (n - 1),
+		}
+	default:
+		return messageLoad{}
+	}
+}
+
+// aggregation returns the iteration's total aggregation operation count.
+func (d Deployment) aggregation() float64 {
+	switch d.Sys {
+	case SystemVanilla, SystemCrashTolerant:
+		return aggOps(gar.NameAverage, d.NW, 0, d.D)
+	case SystemAggregaThor:
+		return aggOps(gar.NameMultiKrum, d.NW, d.FW, d.D)
+	case SystemSSMW:
+		return aggOps(d.Rule, d.NW, d.FW, d.D)
+	case SystemMSMW:
+		return aggOps(d.Rule, d.NW, d.FW, d.D) + aggOps(d.Rule, d.NPS, d.FPS, d.D)
+	case SystemDecentralized:
+		// Gradient aggregation plus the model-aggregation step of
+		// Listing 3 — "the aggregation time in decentralized learning is
+		// two times bigger than that of SSMW" (Section 6.6).
+		return 2 * aggOps(d.Rule, d.NW, d.FW, d.D)
+	default:
+		return 0
+	}
+}
+
+// garfieldStack reports whether the deployment runs on Garfield's pull-based
+// RPC (paying serialization) or on the framework's native collectives.
+func (d Deployment) garfieldStack() bool {
+	// AggregaThor ships its own gRPC-based communication layer as well, so
+	// only the vanilla frameworks ride the optimized native collectives.
+	return d.Sys != SystemVanilla
+}
+
+// Iteration returns the modelled per-iteration latency breakdown.
+func (d Deployment) Iteration() (Breakdown, error) {
+	if err := d.validate(); err != nil {
+		return Breakdown{}, err
+	}
+	p := d.Cluster
+	bytes := float64(d.D) * p.BytesPerParam
+	ld := d.load()
+
+	compute := p.ComputeSecPerParam * float64(d.D)
+	if d.Sys == SystemAggregaThor {
+		// AggregaThor builds on TF 1.10; the paper attributes part of its
+		// deficit vs Garfield-SSMW to the older, slower stack.
+		compute *= 1.15
+	}
+
+	nic := bytes / p.LinkBytesPerSec * ld.nicMsgs
+	if !d.garfieldStack() {
+		nic *= p.CollectiveEfficiency
+	}
+	fabric := bytes / p.FabricBytesPerSec * ld.total
+	latency := p.LatencySec * float64(ld.rounds)
+	ser := 0.0
+	if d.garfieldStack() {
+		ser = p.SerializeSecPerByte * bytes * ld.nicMsgs
+		if d.Sys == SystemAggregaThor {
+			// Without Garfield's memory-management tricks (Section 4.4)
+			// each conversion pays extra copies.
+			ser *= 1.3
+		}
+	}
+	comm := latency + nic + fabric + ser
+
+	agg := p.AggSecPerOp * d.aggregation()
+
+	if p.Pipelined && d.garfieldStack() {
+		// Per-layer pipelining overlaps aggregation with communication
+		// (Section 4.2); the shorter of the two hides behind the longer,
+		// except for a fill/drain residue.
+		overlapped := math.Max(comm, agg) + 0.15*math.Min(comm, agg)
+		// Report the overlap entirely inside the comm term, keeping the
+		// stacked-bar semantics of Figure 16 (comm and agg fused).
+		agg = math.Min(agg, overlapped-comm)
+		if agg < 0 {
+			comm, agg = overlapped, 0
+		}
+	}
+
+	return Breakdown{ComputeSec: compute, CommSec: comm, AggSec: agg}, nil
+}
+
+// UpdatesPerSec returns modelled throughput in model updates per second
+// (the paper's updates/sec metric).
+func (d Deployment) UpdatesPerSec() (float64, error) {
+	b, err := d.Iteration()
+	if err != nil {
+		return 0, err
+	}
+	return 1 / b.TotalSec(), nil
+}
+
+// BatchesPerSec returns modelled throughput in worker batches per second
+// (the Figure 8 metric: each iteration processes one batch per worker).
+func (d Deployment) BatchesPerSec() (float64, error) {
+	u, err := d.UpdatesPerSec()
+	if err != nil {
+		return 0, err
+	}
+	return u * float64(d.NW), nil
+}
+
+// CommTime returns only the communication component, the Figure 9 metric.
+func (d Deployment) CommTime() (float64, error) {
+	b, err := d.Iteration()
+	if err != nil {
+		return 0, err
+	}
+	return b.CommSec, nil
+}

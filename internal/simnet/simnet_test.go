@@ -1,0 +1,362 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+
+	"garfield/internal/model"
+)
+
+// resnet50 is the model dimension most throughput experiments use.
+const resnet50 = 23539850
+
+func dep(sys System, cluster Profile) Deployment {
+	return Deployment{
+		Sys: sys, NW: 18, FW: 3, NPS: 6, FPS: 1,
+		Rule: "bulyan", D: resnet50, Cluster: cluster,
+	}
+}
+
+func mustIter(t *testing.T, d Deployment) Breakdown {
+	t.Helper()
+	b, err := d.Iteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestSystemString(t *testing.T) {
+	if SystemMSMW.String() != "msmw" {
+		t.Fatalf("String = %q", SystemMSMW.String())
+	}
+	if System(99).String() != "system(99)" {
+		t.Fatalf("String = %q", System(99).String())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := dep(SystemMSMW, CPU())
+	bad.NPS = 0
+	if _, err := bad.Iteration(); !errors.Is(err, ErrBadDeployment) {
+		t.Fatalf("err = %v", err)
+	}
+	bad = dep(SystemSSMW, CPU())
+	bad.NW = 0
+	if _, err := bad.Iteration(); !errors.Is(err, ErrBadDeployment) {
+		t.Fatalf("err = %v", err)
+	}
+	bad = dep(System(42), CPU())
+	if _, err := bad.Iteration(); !errors.Is(err, ErrBadDeployment) {
+		t.Fatalf("err = %v", err)
+	}
+	bad = dep(SystemSSMW, CPU())
+	bad.FW = -1
+	if _, err := bad.Iteration(); !errors.Is(err, ErrBadDeployment) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestOrderingCPU checks the headline ordering of Figure 7: vanilla is
+// fastest, then SSMW/crash, then MSMW, then decentralized slowest.
+func TestOrderingCPU(t *testing.T) {
+	cpu := CPU()
+	vanilla := mustIter(t, dep(SystemVanilla, cpu)).TotalSec()
+	ssmw := mustIter(t, dep(SystemSSMW, cpu)).TotalSec()
+	crash := mustIter(t, dep(SystemCrashTolerant, cpu)).TotalSec()
+	msmw := mustIter(t, dep(SystemMSMW, cpu)).TotalSec()
+	decen := mustIter(t, dep(SystemDecentralized, cpu)).TotalSec()
+
+	if !(vanilla < ssmw && ssmw < crash && crash < msmw && msmw < decen) {
+		t.Fatalf("ordering violated: vanilla=%v ssmw=%v crash=%v msmw=%v dec=%v",
+			vanilla, ssmw, crash, msmw, decen)
+	}
+}
+
+// TestSSMWCheaperThanCrash mirrors "the cost of workers' Byzantine
+// resilience (using SSMW) is always less than that of crash tolerance".
+func TestSSMWCheaperThanCrash(t *testing.T) {
+	for _, p := range []Profile{CPU(), GPU()} {
+		for _, prof := range model.Table1() {
+			d1 := dep(SystemSSMW, p)
+			d1.D = prof.Params
+			d2 := dep(SystemCrashTolerant, p)
+			d2.D = prof.Params
+			if mustIter(t, d1).TotalSec() >= mustIter(t, d2).TotalSec() {
+				t.Fatalf("SSMW not cheaper than crash for %s on %s", prof.Name, p.Name)
+			}
+		}
+	}
+}
+
+// TestCommunicationDominatesOverhead mirrors "communication accounts for
+// more than 75% of the overhead while robust aggregation contributes to only
+// 11%" (Section 6.6, CPU cluster, ResNet-50).
+func TestCommunicationDominatesOverhead(t *testing.T) {
+	cpu := CPU()
+	base := mustIter(t, dep(SystemVanilla, cpu))
+	msmw := mustIter(t, dep(SystemMSMW, cpu))
+	overhead := msmw.TotalSec() - base.TotalSec()
+	commShare := (msmw.CommSec - base.CommSec) / overhead
+	aggShare := (msmw.AggSec - base.AggSec) / overhead
+	if commShare < 0.70 {
+		t.Fatalf("communication share of overhead = %.2f, want > 0.70", commShare)
+	}
+	if aggShare > 0.15 {
+		t.Fatalf("aggregation share of overhead = %.2f, want <= 0.15", aggShare)
+	}
+}
+
+// TestGPUFasterThanCPU mirrors "using GPUs achieves a performance
+// improvement of at least one order of magnitude over CPUs" for compute.
+func TestGPUFasterThanCPU(t *testing.T) {
+	cpuT := mustIter(t, dep(SystemVanilla, CPU())).TotalSec()
+	gpuT := mustIter(t, dep(SystemVanilla, GPU())).TotalSec()
+	if cpuT/gpuT < 3 {
+		t.Fatalf("GPU speedup only %.1fx", cpuT/gpuT)
+	}
+}
+
+// TestComputeRoughlyEqualAcrossSystems mirrors Figure 7's observation that
+// computation time is the same (~1.6 s) for all deployments.
+func TestComputeRoughlyEqualAcrossSystems(t *testing.T) {
+	cpu := CPU()
+	want := mustIter(t, dep(SystemSSMW, cpu)).ComputeSec
+	if want < 1.0 || want > 2.5 {
+		t.Fatalf("ResNet-50 CPU compute = %v s, want ~1.6", want)
+	}
+	for _, sys := range []System{SystemVanilla, SystemCrashTolerant, SystemMSMW, SystemDecentralized} {
+		got := mustIter(t, dep(sys, cpu)).ComputeSec
+		if got != want {
+			t.Fatalf("compute differs for %v: %v vs %v", sys, got, want)
+		}
+	}
+}
+
+// TestDecentralizedAggTwiceSSMW mirrors "the aggregation time in
+// decentralized learning is two times bigger than that of SSMW".
+func TestDecentralizedAggTwiceSSMW(t *testing.T) {
+	cpu := CPU()
+	ssmw := mustIter(t, dep(SystemSSMW, cpu)).AggSec
+	decen := mustIter(t, dep(SystemDecentralized, cpu)).AggSec
+	ratio := decen / ssmw
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("dec/ssmw aggregation ratio = %v, want ~2", ratio)
+	}
+}
+
+// TestParameterServerScalesDecentralizedDoesNot mirrors Figure 8: in
+// batches/sec, PS systems keep improving with nw while decentralized
+// flattens or degrades.
+func TestParameterServerScalesDecentralizedDoesNot(t *testing.T) {
+	cpu := CPU()
+	gain := func(sys System, nw int) float64 {
+		d := dep(sys, cpu)
+		d.D = 1756426 // CifarNet, as in Figure 8a
+		d.NW = nw
+		b, err := d.BatchesPerSec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	// SSMW throughput at nw=20 must clearly beat nw=5.
+	if gain(SystemSSMW, 20) < 1.5*gain(SystemSSMW, 5) {
+		t.Fatal("SSMW does not scale with nw")
+	}
+	// Decentralized gains far less going 5 -> 20.
+	decRatio := gain(SystemDecentralized, 20) / gain(SystemDecentralized, 5)
+	ssmwRatio := gain(SystemSSMW, 20) / gain(SystemSSMW, 5)
+	if decRatio > 0.8*ssmwRatio {
+		t.Fatalf("decentralized scales too well: dec %.2fx vs ssmw %.2fx", decRatio, ssmwRatio)
+	}
+}
+
+// TestDecentralizedCommQuadratic mirrors Figure 9a: decentralized
+// communication time grows superlinearly in n while vanilla grows linearly.
+func TestDecentralizedCommQuadratic(t *testing.T) {
+	gpu := GPU()
+	comm := func(sys System, n int) float64 {
+		d := dep(sys, gpu)
+		d.D = 1e6
+		d.NW = n
+		c, err := d.CommTime()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	// Growth factor from n=3 to n=6 (doubling n).
+	decGrowth := comm(SystemDecentralized, 6) / comm(SystemDecentralized, 3)
+	vanGrowth := comm(SystemVanilla, 6) / comm(SystemVanilla, 3)
+	if decGrowth <= vanGrowth {
+		t.Fatalf("decentralized comm growth %.2fx not above vanilla %.2fx", decGrowth, vanGrowth)
+	}
+}
+
+// TestCommLinearInD mirrors Figures 3b/9b: all comm times are linear in d
+// once bandwidth dominates.
+func TestCommLinearInD(t *testing.T) {
+	cpu := CPU()
+	d1 := dep(SystemSSMW, cpu)
+	d1.D = 1e7
+	d2 := dep(SystemSSMW, cpu)
+	d2.D = 2e7
+	c1, err := d1.CommTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := d2.CommTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := c2 / c1
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("comm not ~linear in d: ratio %.2f", ratio)
+	}
+}
+
+// TestFwHasLittleEffect mirrors Figure 10a: at fixed nw, increasing fw
+// leaves throughput nearly unchanged.
+func TestFwHasLittleEffect(t *testing.T) {
+	cpu := CPU()
+	base := dep(SystemMSMW, cpu)
+	base.FW = 0
+	t0, err := base.UpdatesPerSec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.FW = 3
+	t3, err := base.UpdatesPerSec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := (t0 - t3) / t0; rel > 0.10 {
+		t.Fatalf("fw=3 dropped throughput by %.0f%%, want < 10%%", rel*100)
+	}
+}
+
+// TestFpsDropsThroughput mirrors Figure 10b: tolerating more Byzantine
+// servers (which forces more replicas) visibly drops throughput, but by less
+// than ~50% per the paper.
+func TestFpsDropsThroughput(t *testing.T) {
+	cpu := CPU()
+	at := func(fps int) float64 {
+		d := dep(SystemMSMW, cpu)
+		d.FPS = fps
+		d.NPS = 3*fps + 1
+		if fps == 0 {
+			d.NPS = 1
+		}
+		u, err := d.UpdatesPerSec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u
+	}
+	t0, t3 := at(0), at(3)
+	if t3 >= t0 {
+		t.Fatal("more Byzantine servers did not reduce throughput")
+	}
+	if drop := (t0 - t3) / t0; drop > 0.60 {
+		t.Fatalf("throughput drop %.0f%% too large, paper reports < ~50%%", drop*100)
+	}
+}
+
+// TestOverheadFlattensWithModelSize mirrors Section 6.6: the Byzantine
+// slowdown relative to vanilla grows with d only up to a point, then stays
+// roughly constant (communication, which is O(d) for everyone, prevails).
+func TestOverheadFlattensWithModelSize(t *testing.T) {
+	cpu := CPU()
+	slowdown := func(d int) float64 {
+		v := dep(SystemVanilla, cpu)
+		v.D = d
+		m := dep(SystemMSMW, cpu)
+		m.D = d
+		return mustIter(t, m).TotalSec() / mustIter(t, v).TotalSec()
+	}
+	s50 := slowdown(23539850)  // ResNet-50
+	s200 := slowdown(62697610) // ResNet-200
+	sVGG := slowdown(128807306)
+	if rel := (sVGG - s200) / s200; rel > 0.15 {
+		t.Fatalf("slowdown still growing for huge models: resnet200 %.2f vgg %.2f", s200, sVGG)
+	}
+	_ = s50
+}
+
+// TestAggregaThorSlowerThanSSMW mirrors Figure 8a: Garfield's SSMW
+// outperforms AggregaThor.
+func TestAggregaThorSlowerThanSSMW(t *testing.T) {
+	cpu := CPU()
+	agg := dep(SystemAggregaThor, cpu)
+	agg.D = 1756426
+	agg.Rule = "multikrum"
+	ssmw := dep(SystemSSMW, cpu)
+	ssmw.D = 1756426
+	ssmw.Rule = "multikrum"
+	a, err := agg.UpdatesPerSec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ssmw.UpdatesPerSec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AggregaThor avoids serialization but pays the older-stack compute
+	// penalty; Figure 8a has Garfield's SSMW ahead.
+	if a >= s*1.2 {
+		t.Fatalf("AggregaThor (%v) much faster than SSMW (%v)", a, s)
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	tests := []struct {
+		n, k int
+		want float64
+	}{
+		{6, 3, 20}, {18, 3, 816}, {5, 0, 1}, {5, 5, 1}, {5, 6, 0}, {5, -1, 0},
+	}
+	for _, tt := range tests {
+		if got := binomial(tt.n, tt.k); got != tt.want {
+			t.Fatalf("binomial(%d,%d) = %v, want %v", tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestAggOpsAsymptotics(t *testing.T) {
+	// Multi-Krum is quadratic in n; median linear.
+	lin := aggOps("median", 10, 3, 1000) / aggOps("median", 5, 1, 1000)
+	quad := aggOps("multikrum", 10, 3, 1000) / aggOps("multikrum", 5, 1, 1000)
+	if lin != 2 {
+		t.Fatalf("median n-scaling = %v, want 2", lin)
+	}
+	if quad != 4 {
+		t.Fatalf("multikrum n-scaling = %v, want 4", quad)
+	}
+}
+
+func TestPipelinedGPUHidesAggregation(t *testing.T) {
+	gpu := GPU()
+	d := dep(SystemMSMW, gpu)
+	b := mustIter(t, d)
+	// With pipelining, visible aggregation must be far below the raw cost.
+	raw := gpu.AggSecPerOp * d.aggregation()
+	if b.AggSec > raw {
+		t.Fatalf("pipelining increased aggregation: %v > %v", b.AggSec, raw)
+	}
+}
+
+func TestBatchesPerSecConsistent(t *testing.T) {
+	d := dep(SystemSSMW, CPU())
+	u, err := d.UpdatesPerSec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.BatchesPerSec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != u*float64(d.NW) {
+		t.Fatalf("batches %v != updates %v * nw", b, u)
+	}
+}

@@ -1,0 +1,56 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The wire format for a Vector is a little-endian uint32 length prefix
+// followed by len IEEE-754 float64 values. This mirrors the paper's protobuf
+// serialization of plain tensors (Section 4.1): a flat byte copy in and out
+// of the runtime, whose cost is measurable and linear in d.
+
+// MarshalBinary encodes v into a fresh byte slice.
+func (v Vector) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 4+8*len(v))
+	if err := v.EncodeTo(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// EncodedSize returns the number of bytes MarshalBinary will produce.
+func (v Vector) EncodedSize() int { return 4 + 8*len(v) }
+
+// EncodeTo writes the encoding of v into buf, which must be at least
+// EncodedSize() bytes long. It allows callers to reuse buffers, a memory
+// trick the paper highlights (Section 4.4).
+func (v Vector) EncodeTo(buf []byte) error {
+	if len(buf) < v.EncodedSize() {
+		return fmt.Errorf("tensor: encode buffer too small: %d < %d", len(buf), v.EncodedSize())
+	}
+	binary.LittleEndian.PutUint32(buf, uint32(len(v)))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(buf[4+8*i:], math.Float64bits(x))
+	}
+	return nil
+}
+
+// UnmarshalBinary decodes data (produced by MarshalBinary) into v,
+// replacing its contents.
+func (v *Vector) UnmarshalBinary(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("tensor: truncated header: %d bytes", len(data))
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	if len(data) < 4+8*n {
+		return fmt.Errorf("tensor: truncated payload: want %d values, have %d bytes", n, len(data)-4)
+	}
+	out := make(Vector, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[4+8*i:]))
+	}
+	*v = out
+	return nil
+}

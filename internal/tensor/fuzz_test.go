@@ -1,0 +1,34 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzVectorUnmarshal hardens the wire decoder against adversarial bytes:
+// it must never panic or over-allocate, and any accepted payload must
+// round-trip.
+func FuzzVectorUnmarshal(f *testing.F) {
+	good, _ := Vector{1, -2, math.Pi}.MarshalBinary()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{255, 255, 255, 255}) // absurd length prefix
+	f.Add(good[:5])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v Vector
+		if err := v.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		var w Vector
+		if err := w.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if len(w) != len(v) {
+			t.Fatalf("length mismatch: %d vs %d", len(w), len(v))
+		}
+	})
+}

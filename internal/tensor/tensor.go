@@ -1,0 +1,226 @@
+// Package tensor provides the flat dense vector type that every other
+// Garfield component operates on: model parameters, gradient estimates and
+// aggregated results are all represented as a Vector (a []float64 of fixed
+// dimension d), exactly matching the paper's GAR signature (R^d)^q -> R^d.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Vector is a dense d-dimensional float64 vector. The zero value is an empty
+// vector. A Vector owns its backing storage: functions in this package never
+// retain references to their arguments unless documented.
+type Vector []float64
+
+var (
+	// ErrDimensionMismatch is returned when two vectors of different length
+	// take part in an element-wise operation.
+	ErrDimensionMismatch = errors.New("tensor: dimension mismatch")
+
+	// ErrEmpty is returned when an operation requires at least one vector.
+	ErrEmpty = errors.New("tensor: empty input")
+)
+
+// New returns a zero vector of dimension d.
+func New(d int) Vector {
+	return make(Vector, d)
+}
+
+// Filled returns a vector of dimension d with every coordinate set to v.
+func Filled(d int, v float64) Vector {
+	out := make(Vector, d)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Dim returns the dimension of the vector.
+func (v Vector) Dim() int { return len(v) }
+
+// CopyFrom overwrites v with the contents of src.
+func (v Vector) CopyFrom(src Vector) error {
+	if len(v) != len(src) {
+		return fmt.Errorf("%w: dst %d, src %d", ErrDimensionMismatch, len(v), len(src))
+	}
+	copy(v, src)
+	return nil
+}
+
+// Add returns v + w as a new vector.
+func (v Vector) Add(w Vector) (Vector, error) {
+	if len(v) != len(w) {
+		return nil, fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out, nil
+}
+
+// Sub returns v - w as a new vector.
+func (v Vector) Sub(w Vector) (Vector, error) {
+	if len(v) != len(w) {
+		return nil, fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out, nil
+}
+
+// AddInPlace sets v = v + w.
+func (v Vector) AddInPlace(w Vector) error {
+	if len(v) != len(w) {
+		return fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	for i := range v {
+		v[i] += w[i]
+	}
+	return nil
+}
+
+// AXPY sets v = v + alpha*w (the BLAS axpy primitive used by SGD updates).
+func (v Vector) AXPY(alpha float64, w Vector) error {
+	if len(v) != len(w) {
+		return fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	for i := range v {
+		v[i] += alpha * w[i]
+	}
+	return nil
+}
+
+// Scale returns alpha*v as a new vector.
+func (v Vector) Scale(alpha float64) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = alpha * v[i]
+	}
+	return out
+}
+
+// ScaleInPlace sets v = alpha*v.
+func (v Vector) ScaleInPlace(alpha float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Dot returns the inner product <v, w>.
+func (v Vector) Dot(w Vector) (float64, error) {
+	if len(v) != len(w) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s, nil
+}
+
+// Norm returns the Euclidean (L2) norm of v.
+func (v Vector) Norm() float64 {
+	var s float64
+	for i := range v {
+		s += v[i] * v[i]
+	}
+	return math.Sqrt(s)
+}
+
+// SquaredDistance returns ||v - w||^2 without allocating an intermediate.
+func (v Vector) SquaredDistance(w Vector) (float64, error) {
+	if len(v) != len(w) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	var s float64
+	for i := range v {
+		d := v[i] - w[i]
+		s += d * d
+	}
+	return s, nil
+}
+
+// Distance returns the Euclidean distance ||v - w||.
+func (v Vector) Distance(w Vector) (float64, error) {
+	s, err := v.SquaredDistance(w)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(s), nil
+}
+
+// CosineSimilarity returns cos(phi) between v and w, the quantity reported in
+// the paper's Table 2. It returns 0 when either vector has zero norm.
+func (v Vector) CosineSimilarity(w Vector) (float64, error) {
+	dot, err := v.Dot(w)
+	if err != nil {
+		return 0, err
+	}
+	nv, nw := v.Norm(), w.Norm()
+	if nv == 0 || nw == 0 {
+		return 0, nil
+	}
+	return dot / (nv * nw), nil
+}
+
+// Mean returns the coordinate-wise average of the given vectors — the
+// aggregation rule used by vanilla (non-resilient) deployments.
+func Mean(vs []Vector) (Vector, error) {
+	if len(vs) == 0 {
+		return nil, ErrEmpty
+	}
+	d := len(vs[0])
+	out := make(Vector, d)
+	for _, v := range vs {
+		if len(v) != d {
+			return nil, fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, d, len(v))
+		}
+		for i := range v {
+			out[i] += v[i]
+		}
+	}
+	inv := 1 / float64(len(vs))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out, nil
+}
+
+// CheckSameDim validates that all vectors share one dimension and returns it.
+func CheckSameDim(vs []Vector) (int, error) {
+	if len(vs) == 0 {
+		return 0, ErrEmpty
+	}
+	d := len(vs[0])
+	for i, v := range vs {
+		if len(v) != d {
+			return 0, fmt.Errorf("%w: vector 0 has %d, vector %d has %d",
+				ErrDimensionMismatch, d, i, len(v))
+		}
+	}
+	return d, nil
+}
+
+// IsFinite reports whether every coordinate is a finite number. Byzantine
+// inputs may contain NaN/Inf; honest pipelines use this as a sanity check.
+func (v Vector) IsFinite() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

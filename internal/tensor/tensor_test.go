@@ -1,0 +1,397 @@
+package tensor
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestNewAndFilled(t *testing.T) {
+	v := New(5)
+	if v.Dim() != 5 {
+		t.Fatalf("Dim = %d, want 5", v.Dim())
+	}
+	for i, x := range v {
+		if x != 0 {
+			t.Fatalf("New not zeroed at %d: %v", i, x)
+		}
+	}
+	w := Filled(3, 2.5)
+	for i, x := range w {
+		if x != 2.5 {
+			t.Fatalf("Filled wrong at %d: %v", i, x)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := Vector{1, 2, 3}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Clone aliases original storage")
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	sum, err := v.Add(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum[0] != 5 || sum[1] != 7 || sum[2] != 9 {
+		t.Fatalf("Add = %v", sum)
+	}
+	diff, err := w.Sub(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff[0] != 3 || diff[1] != 3 || diff[2] != 3 {
+		t.Fatalf("Sub = %v", diff)
+	}
+}
+
+func TestDimensionMismatch(t *testing.T) {
+	v := Vector{1}
+	w := Vector{1, 2}
+	if _, err := v.Add(w); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("Add mismatch err = %v", err)
+	}
+	if _, err := v.Sub(w); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("Sub mismatch err = %v", err)
+	}
+	if _, err := v.Dot(w); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("Dot mismatch err = %v", err)
+	}
+	if err := v.AXPY(1, w); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("AXPY mismatch err = %v", err)
+	}
+	if err := v.AddInPlace(w); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("AddInPlace mismatch err = %v", err)
+	}
+	if err := v.CopyFrom(w); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("CopyFrom mismatch err = %v", err)
+	}
+	if _, err := v.SquaredDistance(w); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("SquaredDistance mismatch err = %v", err)
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	v := Vector{1, 1}
+	if err := v.AXPY(-0.5, Vector{2, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 0 || v[1] != -1 {
+		t.Fatalf("AXPY = %v", v)
+	}
+}
+
+func TestScale(t *testing.T) {
+	v := Vector{1, -2}
+	s := v.Scale(3)
+	if s[0] != 3 || s[1] != -6 {
+		t.Fatalf("Scale = %v", s)
+	}
+	if v[0] != 1 {
+		t.Fatal("Scale mutated receiver")
+	}
+	v.ScaleInPlace(2)
+	if v[0] != 2 || v[1] != -4 {
+		t.Fatalf("ScaleInPlace = %v", v)
+	}
+}
+
+func TestNormAndDistance(t *testing.T) {
+	v := Vector{3, 4}
+	if !almostEqual(v.Norm(), 5) {
+		t.Fatalf("Norm = %v", v.Norm())
+	}
+	d, err := v.Distance(Vector{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d, 5) {
+		t.Fatalf("Distance = %v", d)
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	v := Vector{1, 0}
+	tests := []struct {
+		name string
+		w    Vector
+		want float64
+	}{
+		{"parallel", Vector{2, 0}, 1},
+		{"orthogonal", Vector{0, 3}, 0},
+		{"antiparallel", Vector{-1, 0}, -1},
+		{"zero", Vector{0, 0}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := v.CosineSimilarity(tt.w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(got, tt.want) {
+				t.Fatalf("cos = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMean(t *testing.T) {
+	m, err := Mean([]Vector{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(m[0], 3) || !almostEqual(m[1], 4) {
+		t.Fatalf("Mean = %v", m)
+	}
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Mean(nil) err = %v", err)
+	}
+	if _, err := Mean([]Vector{{1}, {1, 2}}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("Mean mismatched err = %v", err)
+	}
+}
+
+func TestCheckSameDim(t *testing.T) {
+	d, err := CheckSameDim([]Vector{{1, 2}, {3, 4}})
+	if err != nil || d != 2 {
+		t.Fatalf("CheckSameDim = %d, %v", d, err)
+	}
+	if _, err := CheckSameDim(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty err = %v", err)
+	}
+	if _, err := CheckSameDim([]Vector{{1}, {}}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("mismatch err = %v", err)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !(Vector{1, 2}).IsFinite() {
+		t.Fatal("finite vector reported non-finite")
+	}
+	if (Vector{1, math.NaN()}).IsFinite() {
+		t.Fatal("NaN not detected")
+	}
+	if (Vector{math.Inf(1)}).IsFinite() {
+		t.Fatal("Inf not detected")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	v := Vector{0, 1.5, -2.25, math.Pi, math.MaxFloat64}
+	data, err := v.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != v.EncodedSize() {
+		t.Fatalf("size %d, want %d", len(data), v.EncodedSize())
+	}
+	var w Vector
+	if err := w.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != len(v) {
+		t.Fatalf("len %d, want %d", len(w), len(v))
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			t.Fatalf("coordinate %d: %v != %v", i, v[i], w[i])
+		}
+	}
+}
+
+func TestCodecTruncated(t *testing.T) {
+	v := Vector{1, 2, 3}
+	data, err := v.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w Vector
+	if err := w.UnmarshalBinary(data[:2]); err == nil {
+		t.Fatal("expected error on truncated header")
+	}
+	if err := w.UnmarshalBinary(data[:len(data)-1]); err == nil {
+		t.Fatal("expected error on truncated payload")
+	}
+}
+
+func TestEncodeToSmallBuffer(t *testing.T) {
+	v := Vector{1, 2}
+	if err := v.EncodeTo(make([]byte, 3)); err == nil {
+		t.Fatal("expected error on small buffer")
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		v := Vector(xs)
+		data, err := v.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var w Vector
+		if err := w.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		if len(w) != len(v) {
+			return false
+		}
+		for i := range v {
+			// NaN != NaN, so compare bit patterns via both-NaN.
+			if v[i] != w[i] && !(math.IsNaN(v[i]) && math.IsNaN(w[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		x := r.Float64()
+		if x < 0 || x >= 1 {
+			t.Fatalf("Float64 out of range: %v", x)
+		}
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(7)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(11)
+	p := r.Perm(50)
+	seen := make(map[int]bool, 50)
+	for _, x := range p {
+		if x < 0 || x >= 50 || seen[x] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[x] = true
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(5)
+	s := r.Split()
+	if r.Uint64() == s.Uint64() {
+		t.Fatal("split stream mirrors parent")
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		if x := r.Intn(7); x < 0 || x >= 7 {
+			t.Fatalf("Intn out of range: %d", x)
+		}
+	}
+	if r.Intn(0) != 0 {
+		t.Fatal("Intn(0) should return 0")
+	}
+}
+
+func TestNormalVectorStats(t *testing.T) {
+	r := NewRNG(9)
+	v := r.NormalVector(100000, 2, 3)
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	mean := sum / float64(len(v))
+	if math.Abs(mean-2) > 0.05 {
+		t.Fatalf("NormalVector mean = %v, want ~2", mean)
+	}
+}
+
+func TestUniformVectorRange(t *testing.T) {
+	r := NewRNG(10)
+	v := r.UniformVector(10000, -1, 1)
+	for _, x := range v {
+		if x < -1 || x >= 1 {
+			t.Fatalf("UniformVector out of range: %v", x)
+		}
+	}
+}
+
+func TestMeanPropertyBounds(t *testing.T) {
+	// The mean of a set of identical vectors is that vector.
+	f := func(raw []float64, k uint8) bool {
+		if len(raw) == 0 {
+			raw = []float64{1}
+		}
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				raw[i] = 0
+			}
+		}
+		n := int(k%5) + 1
+		vs := make([]Vector, n)
+		for i := range vs {
+			vs[i] = Vector(raw).Clone()
+		}
+		m, err := Mean(vs)
+		if err != nil {
+			return false
+		}
+		for i := range m {
+			if !almostEqual(m[i], raw[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

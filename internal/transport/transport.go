@@ -1,0 +1,222 @@
+// Package transport abstracts how Garfield nodes reach each other. The paper
+// uses gRPC over datacenter Ethernet; this package provides the same
+// dial/listen contract over three interchangeable backends:
+//
+//   - TCP on the local machine (the deployment path used by cmd/garfield-node),
+//   - a fully in-memory network (used by tests and in-process clusters), and
+//   - a fault-injecting wrapper that adds per-node crashes and link delays,
+//     so protocol code never special-cases failures.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Network is the dial/listen contract every backend implements.
+type Network interface {
+	// Listen starts accepting connections at addr.
+	Listen(addr string) (net.Listener, error)
+	// Dial connects to addr, honouring ctx cancellation.
+	Dial(ctx context.Context, addr string) (net.Conn, error)
+}
+
+var (
+	// ErrAddrInUse is returned by Listen when addr already has a listener.
+	ErrAddrInUse = errors.New("transport: address already in use")
+
+	// ErrConnRefused is returned by Dial when no listener exists at addr
+	// or the node is crashed.
+	ErrConnRefused = errors.New("transport: connection refused")
+
+	// ErrClosed is returned after a listener has been closed.
+	ErrClosed = errors.New("transport: listener closed")
+)
+
+// TCP is the real-network backend; addresses are host:port strings.
+type TCP struct{}
+
+var _ Network = TCP{}
+
+// Listen implements Network.
+func (TCP) Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+// Dial implements Network.
+func (TCP) Dial(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+// Mem is an in-memory network: listeners register under arbitrary string
+// addresses and Dial hands the listener one end of a net.Pipe. The zero
+// value is not usable; create instances with NewMem.
+type Mem struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+}
+
+var _ Network = (*Mem)(nil)
+
+// NewMem returns an empty in-memory network.
+func NewMem() *Mem {
+	return &Mem{listeners: make(map[string]*memListener)}
+}
+
+// Listen implements Network.
+func (m *Mem) Listen(addr string) (net.Listener, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.listeners[addr]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrAddrInUse, addr)
+	}
+	l := &memListener{
+		net:    m,
+		addr:   addr,
+		accept: make(chan net.Conn),
+		closed: make(chan struct{}),
+	}
+	m.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Network.
+func (m *Mem) Dial(ctx context.Context, addr string) (net.Conn, error) {
+	m.mu.Lock()
+	l, ok := m.listeners[addr]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrConnRefused, addr)
+	}
+	client, server := net.Pipe()
+	select {
+	case l.accept <- server:
+		return client, nil
+	case <-l.closed:
+		_ = client.Close()
+		_ = server.Close()
+		return nil, fmt.Errorf("%w: %q", ErrConnRefused, addr)
+	case <-ctx.Done():
+		_ = client.Close()
+		_ = server.Close()
+		return nil, ctx.Err()
+	}
+}
+
+func (m *Mem) remove(addr string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.listeners, addr)
+}
+
+type memListener struct {
+	net    *Mem
+	addr   string
+	accept chan net.Conn
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+var _ net.Listener = (*memListener)(nil)
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.closed:
+		return nil, ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.closed)
+		l.net.remove(l.addr)
+	})
+	return nil
+}
+
+func (l *memListener) Addr() net.Addr { return memAddr(l.addr) }
+
+type memAddr string
+
+func (a memAddr) Network() string { return "mem" }
+func (a memAddr) String() string  { return string(a) }
+
+// Faulty wraps a Network with crash and delay injection keyed by address.
+// Crashing an address makes dials to it fail (the node looks dead); a dial
+// delay models a slow link or straggler node.
+type Faulty struct {
+	inner Network
+
+	mu      sync.Mutex
+	crashed map[string]bool
+	delays  map[string]time.Duration
+}
+
+var _ Network = (*Faulty)(nil)
+
+// NewFaulty wraps inner with fault injection; initially no faults.
+func NewFaulty(inner Network) *Faulty {
+	return &Faulty{
+		inner:   inner,
+		crashed: make(map[string]bool),
+		delays:  make(map[string]time.Duration),
+	}
+}
+
+// Crash makes dials to addr fail until Recover is called. Existing
+// connections are unaffected, matching a process crash as observed by new
+// RPC attempts.
+func (f *Faulty) Crash(addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed[addr] = true
+}
+
+// Recover clears a crash.
+func (f *Faulty) Recover(addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.crashed, addr)
+}
+
+// SetDelay makes every dial to addr wait d before connecting, modelling a
+// straggler or a slow link.
+func (f *Faulty) SetDelay(addr string, d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.delays[addr] = d
+}
+
+// Listen implements Network.
+func (f *Faulty) Listen(addr string) (net.Listener, error) {
+	return f.inner.Listen(addr)
+}
+
+// Dial implements Network.
+func (f *Faulty) Dial(ctx context.Context, addr string) (net.Conn, error) {
+	f.mu.Lock()
+	crashed := f.crashed[addr]
+	delay := f.delays[addr]
+	f.mu.Unlock()
+	if crashed {
+		return nil, fmt.Errorf("%w: %q (crashed)", ErrConnRefused, addr)
+	}
+	if delay > 0 {
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return f.inner.Dial(ctx, addr)
+}

@@ -1,0 +1,236 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestMemDialListen(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("node-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 5)
+		if _, err := conn.Read(buf); err != nil {
+			done <- err
+			return
+		}
+		_, err = conn.Write(buf)
+		done <- err
+	}()
+
+	conn, err := m.Dial(context.Background(), "node-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("echo = %q", buf)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemDialUnknownAddr(t *testing.T) {
+	m := NewMem()
+	if _, err := m.Dial(context.Background(), "ghost"); !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("err = %v, want ErrConnRefused", err)
+	}
+}
+
+func TestMemDuplicateListen(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := m.Listen("a"); !errors.Is(err, ErrAddrInUse) {
+		t.Fatalf("err = %v, want ErrAddrInUse", err)
+	}
+}
+
+func TestMemListenAfterClose(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Address is released; re-listen must work.
+	l2, err := m.Listen("a")
+	if err != nil {
+		t.Fatalf("re-listen: %v", err)
+	}
+	defer l2.Close()
+}
+
+func TestMemAcceptAfterClose(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Accept(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if _, err := m.Dial(context.Background(), "a"); !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("dial err = %v, want ErrConnRefused", err)
+	}
+}
+
+func TestMemDialCancelled(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// Nobody accepts; a cancelled context must unblock the dial.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := m.Dial(ctx, "a"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestMemAddr(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("worker-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Addr().String() != "worker-3" || l.Addr().Network() != "mem" {
+		t.Fatalf("addr = %v/%v", l.Addr().Network(), l.Addr().String())
+	}
+}
+
+func TestFaultyCrashAndRecover(t *testing.T) {
+	f := NewFaulty(NewMem())
+	l, err := f.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+
+	f.Crash("a")
+	if _, err := f.Dial(context.Background(), "a"); !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("crashed dial err = %v", err)
+	}
+	f.Recover("a")
+	conn, err := f.Dial(context.Background(), "a")
+	if err != nil {
+		t.Fatalf("recovered dial: %v", err)
+	}
+	conn.Close()
+}
+
+func TestFaultyDelay(t *testing.T) {
+	f := NewFaulty(NewMem())
+	l, err := f.Listen("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+
+	f.SetDelay("slow", 30*time.Millisecond)
+	start := time.Now()
+	conn, err := f.Dial(context.Background(), "slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("delay not applied: %v", elapsed)
+	}
+}
+
+func TestFaultyDelayRespectsContext(t *testing.T) {
+	f := NewFaulty(NewMem())
+	f.SetDelay("slow", time.Hour)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := f.Dial(ctx, "slow"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	var n TCP
+	l, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 2)
+		if _, err := c.Read(buf); err == nil {
+			c.Write(buf)
+		}
+	}()
+	conn, err := n.Dial(context.Background(), l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ok" {
+		t.Fatalf("echo = %q", buf)
+	}
+}
