@@ -20,6 +20,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -171,7 +172,8 @@ func runPeer(nf *nodeFlags, arch model.Model, test *data.Dataset, out io.Writer)
 	if err != nil {
 		return err
 	}
-	client := rpc.NewClient(transport.TCP{})
+	client := rpc.NewPooledClient(transport.TCP{})
+	defer client.Close()
 	s, err := core.NewServer(core.ServerConfig{
 		Arch:      arch,
 		Init:      arch.InitParams(tensor.NewRNG(nf.seed)),
@@ -194,6 +196,13 @@ func runPeer(nf *nodeFlags, arch model.Model, test *data.Dataset, out io.Writer)
 	defer srv.Close()
 	fmt.Fprintf(out, "peer %d on %s: %s over %d nodes (f=%d)\n",
 		nf.index, srv.Addr(), nf.rule, nf.nw, nf.fw)
+
+	// Process startup is not synchronized: without a readiness gate the
+	// fastest peer's first pull round fails on connection-refused dials and
+	// the failure cascades across the cluster.
+	if err := awaitPeers(nf.timeout, client, peerAddrs); err != nil {
+		return err
+	}
 
 	q := nf.nw - nf.fw
 	contract := 0
@@ -224,6 +233,34 @@ func runPeer(nf *nodeFlags, arch model.Model, test *data.Dataset, out io.Writer)
 	// moment its own loop ends would break the quorum of slower peers
 	// mid-round, so keep serving pulls for a grace period.
 	time.Sleep(nf.linger)
+	return nil
+}
+
+// awaitPeers pings every address with exponential backoff until it answers
+// or the per-address timeout expires — the readiness gate run before a
+// node's first pull round. A peer that answers the ping at all (even by
+// declining) is up and serving.
+func awaitPeers(timeout time.Duration, client rpc.Caller, addrs []string) error {
+	for _, addr := range addrs {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		backoff := 10 * time.Millisecond
+		for {
+			_, err := client.Call(ctx, addr, rpc.Request{Kind: rpc.KindPing})
+			if err == nil || errors.Is(err, rpc.ErrNotServed) {
+				break
+			}
+			select {
+			case <-ctx.Done():
+				cancel()
+				return fmt.Errorf("waiting for peer %s: %w", addr, err)
+			case <-time.After(backoff):
+			}
+			if backoff < 500*time.Millisecond {
+				backoff *= 2
+			}
+		}
+		cancel()
+	}
 	return nil
 }
 
@@ -289,7 +326,8 @@ func runServer(nf *nodeFlags, arch model.Model, test *data.Dataset, out io.Write
 	if err != nil {
 		return err
 	}
-	client := rpc.NewClient(transport.TCP{})
+	client := rpc.NewPooledClient(transport.TCP{})
+	defer client.Close()
 	s, err := core.NewServer(core.ServerConfig{
 		Arch:      arch,
 		Init:      arch.InitParams(tensor.NewRNG(nf.seed)),
@@ -314,9 +352,34 @@ func runServer(nf *nodeFlags, arch model.Model, test *data.Dataset, out io.Write
 	}
 	fmt.Fprintln(out)
 
+	// Readiness gate: wait for the worker fleet (and replica peers under
+	// MSMW) before the first pull round, so process startup order cannot
+	// fail the quorum.
+	if err := awaitPeers(nf.timeout, client, workerAddrs); err != nil {
+		return err
+	}
+	if msmw {
+		if err := awaitPeers(nf.timeout, client, peerAddrs); err != nil {
+			return err
+		}
+	}
+
 	qw := nf.nw
 	if msmw {
 		qw = nf.nw - nf.fw
+	}
+	// Rules and output buffers are constructed once and reused every
+	// iteration (the steady-state zero-allocation aggregation path); this
+	// also rejects an unknown or infeasible rule before training starts.
+	gradAgg, err := core.NewAggregator(nf.rule, qw, nf.fw)
+	if err != nil {
+		return err
+	}
+	var modelAgg *core.Aggregator
+	if msmw {
+		if modelAgg, err = core.NewAggregator(nf.modelRule, len(peerAddrs)-nf.fps, nf.fps); err != nil {
+			return err
+		}
 	}
 	for i := 0; i < nf.iterations; i++ {
 		ctx, cancel := context.WithTimeout(context.Background(), nf.timeout)
@@ -325,7 +388,7 @@ func runServer(nf *nodeFlags, arch model.Model, test *data.Dataset, out io.Write
 			cancel()
 			return fmt.Errorf("iteration %d: %w", i, err)
 		}
-		aggr, err := core.Aggregate(nf.rule, nf.fw, grads)
+		aggr, err := gradAgg.Aggregate(grads)
 		if err != nil {
 			cancel()
 			return fmt.Errorf("iteration %d: %w", i, err)
@@ -340,7 +403,7 @@ func runServer(nf *nodeFlags, arch model.Model, test *data.Dataset, out io.Write
 				cancel()
 				return fmt.Errorf("iteration %d models: %w", i, err)
 			}
-			aggrM, err := core.Aggregate(nf.modelRule, nf.fps, models)
+			aggrM, err := modelAgg.Aggregate(models)
 			if err != nil {
 				cancel()
 				return err
@@ -364,6 +427,12 @@ func runServer(nf *nodeFlags, arch model.Model, test *data.Dataset, out io.Write
 		return err
 	}
 	fmt.Fprintf(out, "done: final accuracy %.4f\n", acc)
+	if msmw {
+		// A replica that exits the moment its own loop ends breaks the
+		// final model pull of any slower replica; keep serving for the
+		// grace period, like decentralized peers do.
+		time.Sleep(nf.linger)
+	}
 	return nil
 }
 

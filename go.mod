@@ -1,0 +1,3 @@
+module garfield
+
+go 1.22

@@ -89,8 +89,11 @@ func (None) Apply(honest tensor.Vector, _ []tensor.Vector) (tensor.Vector, bool)
 }
 
 // Random replaces the payload with i.i.d. Gaussian noise of the configured
-// scale — the paper's "random vectors" attack (Figure 5a).
+// scale — the paper's "random vectors" attack (Figure 5a). The mutex keeps
+// the shared RNG safe under the RPC server's concurrent Handle calls (one
+// attack instance may back several Byzantine nodes).
 type Random struct {
+	mu    sync.Mutex
 	rng   *tensor.RNG
 	scale float64
 }
@@ -110,6 +113,8 @@ func (r *Random) Name() string { return NameRandom }
 
 // Apply implements Attack.
 func (r *Random) Apply(honest tensor.Vector, _ []tensor.Vector) (tensor.Vector, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.rng.NormalVector(len(honest), 0, r.scale), true
 }
 

@@ -133,9 +133,9 @@ func (c *Config) validate() error {
 // server over a fault-injectable transport, and protocol runners drive the
 // training loops of Section 5.
 type Cluster struct {
-	cfg    Config
-	net    *transport.Faulty
-	client *rpc.Client
+	cfg     Config
+	net     *transport.Faulty
+	clients []*rpc.PooledClient // one per server replica; see NewCluster
 
 	workerAddrs []string
 	serverAddrs []string
@@ -168,11 +168,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 
 	c := &Cluster{
-		cfg:    cfg,
-		net:    transport.NewFaulty(transport.NewMem()),
-		client: nil,
+		cfg: cfg,
+		net: transport.NewFaulty(transport.NewMem()),
 	}
-	c.client = rpc.NewClient(c.net)
 	rng := tensor.NewRNG(cfg.Seed)
 	c.initParams = cfg.Arch.InitParams(rng)
 
@@ -220,11 +218,19 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			c.Close()
 			return nil, err
 		}
+		// Persistent connections are the protocol default (Section 4.1's
+		// channel reuse): the steady-state pull loop pays no per-call
+		// dial. Each replica owns its own pooled client — the pool
+		// serializes same-peer calls per client, so sharing one across
+		// replicas would serialize the replicas' concurrent pulls to the
+		// same worker.
+		client := rpc.NewPooledClient(c.net)
+		c.clients = append(c.clients, client)
 		s, err := NewServer(ServerConfig{
 			Arch:      cfg.Arch,
 			Init:      c.initParams,
 			Optimizer: opt,
-			Client:    c.client,
+			Client:    client,
 			Workers:   c.workerAddrs,
 			Peers:     c.serverAddrs,
 			Attack:    atk,
@@ -259,6 +265,9 @@ func newOptimizer(cfg Config) (*sgd.Optimizer, error) {
 
 // Close shuts every node down and waits for their goroutines.
 func (c *Cluster) Close() {
+	for _, cl := range c.clients {
+		cl.Close()
+	}
 	for _, s := range c.rpcServers {
 		_ = s.Close()
 	}

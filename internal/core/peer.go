@@ -18,6 +18,30 @@ import (
 type PeerNode struct {
 	worker *Worker
 	server *Server
+
+	// Cached per-shape aggregators: DecentralizedStep runs on the node's
+	// single training-loop goroutine, so the rule arenas and output
+	// buffers are reused across iterations (rebuilt only if the caller
+	// changes rule or quorum shape mid-run).
+	gradAgg, modelAgg *Aggregator
+	gradKey, modelKey aggKey
+}
+
+type aggKey struct {
+	rule string
+	n, f int
+}
+
+func cachedAggregator(slot **Aggregator, key *aggKey, rule string, n, f int) (*Aggregator, error) {
+	want := aggKey{rule: rule, n: n, f: f}
+	if *slot == nil || *key != want {
+		agg, err := NewAggregator(rule, n, f)
+		if err != nil {
+			return nil, err
+		}
+		*slot, *key = agg, want
+	}
+	return *slot, nil
 }
 
 var _ rpc.Handler = (*PeerNode)(nil)
@@ -50,11 +74,19 @@ func (p *PeerNode) Handle(req rpc.Request) rpc.Response {
 // round. q is the collection quorum (n-f, or n under synchrony).
 func (p *PeerNode) DecentralizedStep(ctx context.Context, iteration, q, f int, rule, modelRule string, contractSteps int) error {
 	s := p.server
+	gradAgg, err := cachedAggregator(&p.gradAgg, &p.gradKey, rule, q, f)
+	if err != nil {
+		return fmt.Errorf("core: peer step %d: %w", iteration, err)
+	}
+	modelAgg, err := cachedAggregator(&p.modelAgg, &p.modelKey, modelRule, q, f)
+	if err != nil {
+		return fmt.Errorf("core: peer step %d: %w", iteration, err)
+	}
 	grads, err := s.GetGradients(ctx, iteration, q)
 	if err != nil {
 		return fmt.Errorf("core: peer step %d gradients: %w", iteration, err)
 	}
-	aggr, err := Aggregate(rule, f, grads)
+	aggr, err := gradAgg.Aggregate(grads)
 	if err != nil {
 		return fmt.Errorf("core: peer step %d: %w", iteration, err)
 	}
@@ -64,7 +96,7 @@ func (p *PeerNode) DecentralizedStep(ctx context.Context, iteration, q, f int, r
 		if err != nil {
 			return fmt.Errorf("core: peer step %d contract %d: %w", iteration, step, err)
 		}
-		aggr, err = Aggregate(rule, f, aggrs)
+		aggr, err = gradAgg.Aggregate(aggrs)
 		if err != nil {
 			return fmt.Errorf("core: peer step %d contract %d: %w", iteration, step, err)
 		}
@@ -76,7 +108,7 @@ func (p *PeerNode) DecentralizedStep(ctx context.Context, iteration, q, f int, r
 	if err != nil {
 		return fmt.Errorf("core: peer step %d models: %w", iteration, err)
 	}
-	aggrModel, err := Aggregate(modelRule, f, models)
+	aggrModel, err := modelAgg.Aggregate(models)
 	if err != nil {
 		return fmt.Errorf("core: peer step %d: %w", iteration, err)
 	}

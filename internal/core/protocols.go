@@ -106,6 +106,10 @@ func (c *Cluster) runSingleServer(opt RunOptions, rule string, f, q int, name st
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
+	agg, err := NewAggregator(rule, q, f)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", name, err)
+	}
 	res := newResult(name)
 	s := c.servers[0]
 	start := time.Now()
@@ -119,7 +123,7 @@ func (c *Cluster) runSingleServer(opt RunOptions, rule string, f, q int, name st
 			return nil, fmt.Errorf("core: %s iteration %d: %w", name, i, err)
 		}
 		aggDone := metrics.Start()
-		aggr, err := Aggregate(rule, f, grads)
+		aggr, err := agg.Aggregate(grads)
 		res.Breakdown.AddAgg(aggDone())
 		if err != nil {
 			return nil, fmt.Errorf("core: %s iteration %d: %w", name, i, err)
@@ -151,6 +155,13 @@ func (c *Cluster) RunCrashTolerant(opt RunOptions) (*Result, error) {
 		return nil, fmt.Errorf("%w: crash-tolerant needs server replicas", ErrConfig)
 	}
 	res := newResult("crash-tolerant")
+	aggs := make([]*Aggregator, c.Servers())
+	for r := range aggs {
+		var err error
+		if aggs[r], err = NewAggregator(gar.NameAverage, c.cfg.NW, 0); err != nil {
+			return nil, fmt.Errorf("core: crash-tolerant: %w", err)
+		}
+	}
 	start := time.Now()
 	for i := 0; i < opt.Iterations; i++ {
 		p, ok := c.primary()
@@ -169,7 +180,7 @@ func (c *Cluster) RunCrashTolerant(opt RunOptions) (*Result, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				errs[r] = c.crashStep(res, r, i, r == p)
+				errs[r] = c.crashStep(res, aggs[r], r, i, r == p)
 			}()
 		}
 		wg.Wait()
@@ -186,9 +197,10 @@ func (c *Cluster) RunCrashTolerant(opt RunOptions) (*Result, error) {
 	return res, nil
 }
 
-// crashStep performs one average-and-update step at replica r. Only the
-// primary's timings feed the breakdown to keep per-iteration semantics.
-func (c *Cluster) crashStep(res *Result, r, i int, isPrimary bool) error {
+// crashStep performs one average-and-update step at replica r with its
+// per-replica aggregator. Only the primary's timings feed the breakdown to
+// keep per-iteration semantics.
+func (c *Cluster) crashStep(res *Result, agg *Aggregator, r, i int, isPrimary bool) error {
 	s := c.servers[r]
 	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.PullTimeout)
 	defer cancel()
@@ -201,7 +213,7 @@ func (c *Cluster) crashStep(res *Result, r, i int, isPrimary bool) error {
 		return err
 	}
 	aggDone := metrics.Start()
-	aggr, err := Aggregate(gar.NameAverage, 0, grads)
+	aggr, err := agg.Aggregate(grads)
 	if isPrimary {
 		res.Breakdown.AddAgg(aggDone())
 	}
@@ -227,6 +239,22 @@ func (c *Cluster) RunMSMW(opt RunOptions) (*Result, error) {
 	}
 	res := newResult("msmw")
 	honest := c.Servers() - cfg.FPS
+	qw := cfg.NW - cfg.FW
+	qps := c.Servers() - cfg.FPS
+	if cfg.SyncQuorum {
+		qw, qps = cfg.NW, c.Servers()
+	}
+	gradAggs := make([]*Aggregator, honest)
+	modelAggs := make([]*Aggregator, honest)
+	for r := 0; r < honest; r++ {
+		var err error
+		if gradAggs[r], err = NewAggregator(cfg.Rule, qw, cfg.FW); err != nil {
+			return nil, fmt.Errorf("core: msmw: %w", err)
+		}
+		if modelAggs[r], err = NewAggregator(cfg.ModelRule, qps, cfg.FPS); err != nil {
+			return nil, fmt.Errorf("core: msmw: %w", err)
+		}
+	}
 	start := time.Now()
 	for i := 0; i < opt.Iterations; i++ {
 		var wg sync.WaitGroup
@@ -239,7 +267,7 @@ func (c *Cluster) RunMSMW(opt RunOptions) (*Result, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				errs[r] = c.msmwStep(res, r, i, r == 0)
+				errs[r] = c.msmwStep(res, gradAggs[r], modelAggs[r], r, i, r == 0)
 			}()
 		}
 		wg.Wait()
@@ -258,7 +286,7 @@ func (c *Cluster) RunMSMW(opt RunOptions) (*Result, error) {
 	return res, nil
 }
 
-func (c *Cluster) msmwStep(res *Result, r, i int, record bool) error {
+func (c *Cluster) msmwStep(res *Result, gradAgg, modelAgg *Aggregator, r, i int, record bool) error {
 	cfg := c.cfg
 	s := c.servers[r]
 	qw := cfg.NW - cfg.FW
@@ -278,7 +306,7 @@ func (c *Cluster) msmwStep(res *Result, r, i int, record bool) error {
 		return err
 	}
 	aggDone := metrics.Start()
-	aggr, err := Aggregate(cfg.Rule, cfg.FW, grads)
+	aggr, err := gradAgg.Aggregate(grads)
 	if record {
 		res.Breakdown.AddAgg(aggDone())
 	}
@@ -301,7 +329,7 @@ func (c *Cluster) msmwStep(res *Result, r, i int, record bool) error {
 		return err
 	}
 	aggDone = metrics.Start()
-	aggrModel, err := Aggregate(cfg.ModelRule, cfg.FPS, models)
+	aggrModel, err := modelAgg.Aggregate(models)
 	if record {
 		res.Breakdown.AddAgg(aggDone())
 	}
@@ -329,6 +357,21 @@ func (c *Cluster) RunDecentralized(opt RunOptions) (*Result, error) {
 	n, f := cfg.NW, cfg.FW
 	res := newResult("decentralized")
 	honest := n - f
+	q := n - f
+	if cfg.SyncQuorum {
+		q = n
+	}
+	gradAggs := make([]*Aggregator, honest)
+	modelAggs := make([]*Aggregator, honest)
+	for r := 0; r < honest; r++ {
+		var err error
+		if gradAggs[r], err = NewAggregator(cfg.Rule, q, f); err != nil {
+			return nil, fmt.Errorf("core: decentralized: %w", err)
+		}
+		if modelAggs[r], err = NewAggregator(cfg.ModelRule, q, f); err != nil {
+			return nil, fmt.Errorf("core: decentralized: %w", err)
+		}
+	}
 	start := time.Now()
 	for i := 0; i < opt.Iterations; i++ {
 		barrier := newBarrier(honest)
@@ -339,7 +382,7 @@ func (c *Cluster) RunDecentralized(opt RunOptions) (*Result, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				errs[r] = c.decentralizedStep(res, r, i, barrier, r == 0)
+				errs[r] = c.decentralizedStep(res, gradAggs[r], modelAggs[r], r, i, barrier, r == 0)
 			}()
 		}
 		wg.Wait()
@@ -358,7 +401,7 @@ func (c *Cluster) RunDecentralized(opt RunOptions) (*Result, error) {
 	return res, nil
 }
 
-func (c *Cluster) decentralizedStep(res *Result, r, i int, b *barrier, record bool) error {
+func (c *Cluster) decentralizedStep(res *Result, gradAgg, modelAgg *Aggregator, r, i int, b *barrier, record bool) error {
 	cfg := c.cfg
 	s := c.servers[r]
 	n, f := cfg.NW, cfg.FW
@@ -378,7 +421,7 @@ func (c *Cluster) decentralizedStep(res *Result, r, i int, b *barrier, record bo
 		return releaseAndFail(b, 1+2*cfg.ContractSteps, err)
 	}
 	aggDone := metrics.Start()
-	aggr, err := Aggregate(cfg.Rule, f, grads)
+	aggr, err := gradAgg.Aggregate(grads)
 	if record {
 		res.Breakdown.AddAgg(aggDone())
 	}
@@ -387,7 +430,7 @@ func (c *Cluster) decentralizedStep(res *Result, r, i int, b *barrier, record bo
 	}
 
 	if cfg.NonIID {
-		aggr, err = c.contract(res, s, aggr, b, record)
+		aggr, err = c.contract(res, s, gradAgg, aggr, b, record)
 		if err != nil {
 			return err
 		}
@@ -413,7 +456,7 @@ func (c *Cluster) decentralizedStep(res *Result, r, i int, b *barrier, record bo
 		return err
 	}
 	aggDone = metrics.Start()
-	aggrModel, err := Aggregate(cfg.ModelRule, f, models)
+	aggrModel, err := modelAgg.Aggregate(models)
 	if record {
 		res.Breakdown.AddAgg(aggDone())
 	}
@@ -426,8 +469,11 @@ func (c *Cluster) decentralizedStep(res *Result, r, i int, b *barrier, record bo
 // contract is the multi-round gradient-contraction step of Listing 3
 // (lines 16-21): nodes repeatedly publish their aggregated gradient, pull
 // their peers', and re-aggregate, pulling the correct nodes' states closer
-// together under non-IID data.
-func (c *Cluster) contract(res *Result, s *Server, aggr tensor.Vector, b *barrier, record bool) (tensor.Vector, error) {
+// together under non-IID data. gradAgg is the node's gradient aggregator
+// (the pulled aggregate sets have the same shape as the gradient sets);
+// SetLatestAggrGrad clones, so overwriting gradAgg's buffer next round is
+// safe.
+func (c *Cluster) contract(res *Result, s *Server, gradAgg *Aggregator, aggr tensor.Vector, b *barrier, record bool) (tensor.Vector, error) {
 	cfg := c.cfg
 	n, f := cfg.NW, cfg.FW
 	q := n - f
@@ -448,7 +494,7 @@ func (c *Cluster) contract(res *Result, s *Server, aggr tensor.Vector, b *barrie
 			return nil, releaseAndFail(b, 1+2*(cfg.ContractSteps-step)-1, err)
 		}
 		aggDone := metrics.Start()
-		aggr, err = Aggregate(cfg.Rule, f, aggrs)
+		aggr, err = gradAgg.Aggregate(aggrs)
 		if record {
 			res.Breakdown.AddAgg(aggDone())
 		}

@@ -25,7 +25,7 @@ import (
 type Server struct {
 	arch    model.Model
 	opt     *sgd.Optimizer
-	client  *rpc.Client
+	client  rpc.Caller
 	workers []string
 	peers   []string // other server replicas
 	atk     attack.Attack
@@ -44,8 +44,9 @@ type ServerConfig struct {
 	Init tensor.Vector
 	// Optimizer applies aggregated gradients.
 	Optimizer *sgd.Optimizer
-	// Client issues pulls; Workers and Peers are the pull targets.
-	Client  *rpc.Client
+	// Client issues pulls; Workers and Peers are the pull targets. The
+	// pooled client is the standard choice (see rpc.PooledClient).
+	Client  rpc.Caller
 	Workers []string
 	Peers   []string
 	// Attack, when non-nil, makes this a Byzantine server.

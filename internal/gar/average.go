@@ -35,8 +35,13 @@ func (a *Average) F() int { return 0 }
 
 // Aggregate implements Rule.
 func (a *Average) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
+	return a.AggregateInto(nil, inputs)
+}
+
+// AggregateInto implements Rule.
+func (a *Average) AggregateInto(dst tensor.Vector, inputs []tensor.Vector) (tensor.Vector, error) {
 	if _, err := checkInputs(a, inputs); err != nil {
 		return nil, err
 	}
-	return tensor.Mean(inputs)
+	return tensor.MeanInto(dst, inputs)
 }

@@ -3,7 +3,6 @@ package gar
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"garfield/internal/tensor"
 )
@@ -17,6 +16,11 @@ import (
 type Bulyan struct {
 	n, f  int
 	inner string // inner selection rule: NameMultiKrum or NameMedian
+	s     *arena
+
+	// center is the inner-median selection's coordinate-wise median
+	// scratch (d-sized, grown on first use and reused across calls).
+	center tensor.Vector
 }
 
 var _ Rule = (*Bulyan)(nil)
@@ -39,7 +43,7 @@ func NewBulyanInner(n, f int, inner string) (*Bulyan, error) {
 	default:
 		return nil, fmt.Errorf("%w: bulyan inner rule %q (want multikrum or median)", ErrUnknownRule, inner)
 	}
-	return &Bulyan{n: n, f: f, inner: inner}, nil
+	return &Bulyan{n: n, f: f, inner: inner, s: newArena(n)}, nil
 }
 
 // Name implements Rule.
@@ -56,92 +60,88 @@ func (b *Bulyan) Inner() string { return b.inner }
 
 // Aggregate implements Rule.
 func (b *Bulyan) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
+	return b.AggregateInto(nil, inputs)
+}
+
+// AggregateInto implements Rule.
+func (b *Bulyan) AggregateInto(dst tensor.Vector, inputs []tensor.Vector) (tensor.Vector, error) {
 	d, err := checkInputs(b, inputs)
 	if err != nil {
 		return nil, err
 	}
+	b.s.mu.Lock()
+	defer b.s.mu.Unlock()
 	k := b.n - 2*b.f // number of selection iterations
-	selected, err := b.selectK(inputs, k)
+	selected, err := b.selectK(inputs, k, d)
 	if err != nil {
 		return nil, err
 	}
 	// Coordinate-wise median of the k selected gradients, then average of
-	// the k' = k - 2f values closest to the median, per coordinate.
-	kPrime := k - 2*b.f
-	out := tensor.New(d)
-	col := make([]float64, k)
-	order := make([]int, k)
-	for c := 0; c < d; c++ {
-		for i, v := range selected {
-			col[i] = v[c]
-		}
-		med := medianOfSorted(col, order)
-		// Average the kPrime values closest to med.
-		sort.Slice(order, func(a, bb int) bool {
-			return math.Abs(col[order[a]]-med) < math.Abs(col[order[bb]]-med)
-		})
-		var s float64
-		for _, idx := range order[:kPrime] {
-			s += col[idx]
-		}
-		out[c] = s / float64(kPrime)
-	}
-	return out, nil
+	// the k' = k - 2f values closest to the median, per coordinate — the
+	// coordinate-sharded bulyanKernel.
+	dst = tensor.Resize(dst, d)
+	a := b.s
+	a.cIn = append(a.cIn[:0], selected...)
+	a.cOut = dst
+	a.cKPrime = k - 2*b.f
+	a.runCoordinate(a.bulyanFn, d, 4*k)
+	a.selected = clearVectors(a.selected)
+	return dst, nil
 }
 
 // selectK runs the inner rule k times, each time extracting the selected
-// gradient and removing it from the pool, caching distance computations
-// across iterations as described in Section 4.4 of the paper.
-func (b *Bulyan) selectK(inputs []tensor.Vector, k int) ([]tensor.Vector, error) {
-	dist, err := pairwiseSquaredDistances(inputs)
-	if err != nil {
-		return nil, fmt.Errorf("gar: bulyan: %w", err)
+// gradient and removing it from the pool. The full distance matrix is
+// computed once; eliminations only update the alive-index view, so no
+// distance is ever recomputed across iterations — the caching described in
+// Section 4.4 of the paper. The arena lock must be held; the result aliases
+// b.s.selected.
+func (b *Bulyan) selectK(inputs []tensor.Vector, k, d int) ([]tensor.Vector, error) {
+	a := b.s
+	a.computeDistances(inputs, d)
+	alive := a.alive[:0]
+	for i := range inputs {
+		alive = append(alive, i)
 	}
-	alive := make([]int, len(inputs)) // indices into inputs still in the pool
-	for i := range alive {
-		alive[i] = i
-	}
-	selected := make([]tensor.Vector, 0, k)
+	selected := a.selected[:0]
 	for iter := 0; iter < k; iter++ {
-		pick, err := b.selectOne(dist, alive, inputs)
+		pick, err := b.selectOne(alive, inputs)
 		if err != nil {
 			return nil, err
 		}
 		selected = append(selected, inputs[alive[pick]])
 		alive = append(alive[:pick], alive[pick+1:]...)
 	}
+	a.alive = alive[:0]
+	a.selected = selected
 	return selected, nil
 }
 
 // selectOne returns the position (within alive) of the gradient the inner
 // rule selects from the current pool.
-func (b *Bulyan) selectOne(dist [][]float64, alive []int, inputs []tensor.Vector) (int, error) {
+func (b *Bulyan) selectOne(alive []int, inputs []tensor.Vector) (int, error) {
+	a := b.s
 	q := len(alive)
 	switch b.inner {
 	case NameMultiKrum:
 		// Krum score within the pool: sum of squared distances to the
-		// q-f-2 closest pool neighbours. The cached full distance matrix is
+		// q-f-2 closest pool neighbours. The cached distance matrix is
 		// re-indexed through alive, so no distance is recomputed.
 		kNeighbours := q - b.f - 2
 		if kNeighbours < 1 {
 			kNeighbours = 1
 		}
+		n := a.n
 		best := -1
 		bestScore := math.Inf(1)
-		row := make([]float64, 0, q-1)
 		for i := 0; i < q; i++ {
-			row = row[:0]
+			row := a.row[:0]
+			base := alive[i] * n
 			for j := 0; j < q; j++ {
 				if j != i {
-					row = append(row, dist[alive[i]][alive[j]])
+					row = append(row, a.dist[base+alive[j]])
 				}
 			}
-			sort.Float64s(row)
-			var s float64
-			for _, d2 := range row[:kNeighbours] {
-				s += d2
-			}
-			if s < bestScore {
+			if s := sumSmallestK(row, kNeighbours); s < bestScore {
 				bestScore = s
 				best = i
 			}
@@ -149,24 +149,24 @@ func (b *Bulyan) selectOne(dist [][]float64, alive []int, inputs []tensor.Vector
 		return best, nil
 	case NameMedian:
 		// Pick the pool element closest (in L2) to the coordinate-wise
-		// median of the pool.
-		pool := make([]tensor.Vector, q)
-		for i, idx := range alive {
-			pool[i] = inputs[idx]
+		// median of the pool, computed through the arena's median kernel
+		// (same order statistics as the Median rule, no per-iteration
+		// rule or pool construction).
+		pool := a.chosen[:0]
+		for _, idx := range alive {
+			pool = append(pool, inputs[idx])
 		}
-		med, err := NewMedian(q, 0)
-		if err != nil {
-			return 0, fmt.Errorf("gar: bulyan inner median: %w", err)
-		}
-		center, err := med.Aggregate(pool)
-		if err != nil {
-			return 0, fmt.Errorf("gar: bulyan inner median: %w", err)
-		}
+		d := len(inputs[0])
+		b.center = tensor.Resize(b.center, d)
+		a.cIn = append(a.cIn[:0], pool...)
+		a.cOut = b.center
+		a.runCoordinate(a.medianFn, d, 2*q)
 		best := 0
 		bestD := math.Inf(1)
 		for i, v := range pool {
-			d2, err := v.SquaredDistance(center)
+			d2, err := v.SquaredDistance(b.center)
 			if err != nil {
+				a.chosen = clearVectors(pool)
 				return 0, err
 			}
 			if d2 < bestD {
@@ -174,22 +174,9 @@ func (b *Bulyan) selectOne(dist [][]float64, alive []int, inputs []tensor.Vector
 				best = i
 			}
 		}
+		a.chosen = clearVectors(pool)
 		return best, nil
 	default:
 		return 0, fmt.Errorf("%w: bulyan inner rule %q", ErrUnknownRule, b.inner)
 	}
-}
-
-// medianOfSorted returns the median of col using order as scratch index
-// space; col is left unmodified.
-func medianOfSorted(col []float64, order []int) float64 {
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return col[order[a]] < col[order[b]] })
-	n := len(col)
-	if n%2 == 1 {
-		return col[order[n/2]]
-	}
-	return 0.5 * (col[order[n/2-1]] + col[order[n/2]])
 }

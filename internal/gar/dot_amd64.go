@@ -1,0 +1,15 @@
+//go:build amd64 && !purego
+
+package gar
+
+// useAsmDot gates the AVX2+FMA dot kernel on runtime CPU support (CPUID
+// feature bits plus OS support for the YMM register state).
+var useAsmDot = cpuSupportsAVX2FMA()
+
+// cpuSupportsAVX2FMA reports whether the CPU and OS support the AVX2 and FMA
+// instruction sets. Implemented in dot_amd64.s.
+func cpuSupportsAVX2FMA() bool
+
+// dotAsm returns the inner product of a and b (equal lengths) using
+// 4-way-unrolled 256-bit fused multiply-adds. Implemented in dot_amd64.s.
+func dotAsm(a, b []float64) float64

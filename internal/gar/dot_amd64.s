@@ -1,0 +1,97 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func cpuSupportsAVX2FMA() bool
+//
+// True when CPUID reports FMA, AVX and OSXSAVE (leaf 1 ECX bits 12/28/27),
+// the OS enabled XMM+YMM state saving (XCR0 bits 1-2), and CPUID leaf 7
+// reports AVX2 (EBX bit 5).
+TEXT ·cpuSupportsAVX2FMA(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, R8
+	ANDL $(1<<27 | 1<<28 | 1<<12), R8
+	CMPL R8, $(1<<27 | 1<<28 | 1<<12)
+	JNE  no
+
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $(1<<5), BX
+	JZ   no
+
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func dotAsm(a, b []float64) float64
+//
+// Inner product over min(len(a), len(b)) elements: four 256-bit FMA
+// accumulators (16 float64 per iteration) with a scalar FMA tail, reduced
+// lanes-then-halves at the end.
+TEXT ·dotAsm(SB), NOSPLIT, $0-56
+	MOVQ a_base+0(FP), SI
+	MOVQ b_base+24(FP), DI
+	MOVQ a_len+8(FP), CX
+	MOVQ b_len+32(FP), DX
+	CMPQ DX, CX
+	CMOVQLT DX, CX          // CX = min(len(a), len(b))
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPS X8, X8, X8       // scalar tail accumulator
+
+	MOVQ CX, AX
+	SHRQ $4, AX             // 16-element iterations
+	JZ   tail
+
+loop16:
+	VMOVUPD (SI), Y4
+	VMOVUPD 32(SI), Y5
+	VMOVUPD 64(SI), Y6
+	VMOVUPD 96(SI), Y7
+	VFMADD231PD (DI), Y4, Y0
+	VFMADD231PD 32(DI), Y5, Y1
+	VFMADD231PD 64(DI), Y6, Y2
+	VFMADD231PD 96(DI), Y7, Y3
+	ADDQ $128, SI
+	ADDQ $128, DI
+	DECQ AX
+	JNZ  loop16
+
+tail:
+	ANDQ $15, CX
+	JZ   reduce
+
+tailloop:
+	VMOVSD (SI), X4
+	VFMADD231SD (DI), X4, X8
+	ADDQ $8, SI
+	ADDQ $8, DI
+	DECQ CX
+	JNZ  tailloop
+
+reduce:
+	VADDPD Y1, Y0, Y0
+	VADDPD Y3, Y2, Y2
+	VADDPD Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD X1, X0, X0
+	VHADDPD X0, X0, X0
+	VZEROUPPER
+	ADDSD X8, X0
+	MOVSD X0, ret+48(FP)
+	RET

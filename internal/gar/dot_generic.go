@@ -1,0 +1,7 @@
+//go:build !amd64 || purego
+
+package gar
+
+const useAsmDot = false
+
+func dotAsm(a, b []float64) float64 { return dotGeneric(a, b) }

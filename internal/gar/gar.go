@@ -16,15 +16,17 @@
 //	Multi-Krum   n >= 2f+3   O(n^2 d)
 //	MDA          n >= 2f+1   O(C(n,f) + n^2 d)
 //	Bulyan       n >= 4f+3   O(n^2 d)
+//
+// The O(n^2 d) rules share a Gram-matrix distance kernel and a per-rule
+// scratch arena (see scratch.go), making steady-state aggregation through
+// AggregateInto allocation-free — the memory-management discipline of
+// Section 4.4 of the paper.
 package gar
 
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sort"
 	"strings"
-	"sync"
 
 	"garfield/internal/tensor"
 )
@@ -32,6 +34,11 @@ import (
 // Rule is the common interface of all aggregation rules. It mirrors the
 // paper's two-call interface: construction plays the role of init(name, n, f)
 // and Aggregate plays the role of aggregate(tensors...).
+//
+// A Rule value owns preallocated scratch state: Aggregate calls on one value
+// are serialized internally, so sharing a Rule across goroutines is safe but
+// not parallel. Callers wanting concurrent aggregation should construct one
+// Rule per goroutine.
 type Rule interface {
 	// Name returns the canonical lower-case rule name ("median", ...).
 	Name() string
@@ -39,8 +46,15 @@ type Rule interface {
 	N() int
 	// F returns the declared maximum number of Byzantine inputs.
 	F() int
-	// Aggregate combines exactly N() input vectors into one output vector.
+	// Aggregate combines exactly N() input vectors into one freshly
+	// allocated output vector.
 	Aggregate(inputs []tensor.Vector) (tensor.Vector, error)
+	// AggregateInto is Aggregate with caller-owned output storage: the
+	// result is written into dst when dst's capacity suffices, and into a
+	// fresh vector otherwise; the written vector is returned. dst may be
+	// nil and must not alias any input. Reusing one dst across calls makes
+	// steady-state aggregation allocation-free.
+	AggregateInto(dst tensor.Vector, inputs []tensor.Vector) (tensor.Vector, error)
 }
 
 var (
@@ -131,116 +145,4 @@ func checkInputs(r Rule, inputs []tensor.Vector) (int, error) {
 		return 0, fmt.Errorf("gar: %s: %w", r.Name(), err)
 	}
 	return d, nil
-}
-
-// pairwiseSquaredDistances computes the full symmetric matrix of squared
-// Euclidean distances between the inputs. Results are cached per Aggregate
-// call by the rules that need them (Krum, Multi-Krum, MDA, Bulyan), matching
-// the memory-management optimization described in Section 4.4 of the paper.
-// For large inputs the n(n-1)/2 distance computations — the O(n^2 d) term of
-// those rules — are spread across the available cores.
-func pairwiseSquaredDistances(vs []tensor.Vector) ([][]float64, error) {
-	n := len(vs)
-	m := make([][]float64, n)
-	for i := range m {
-		m[i] = make([]float64, n)
-	}
-	type pair struct{ i, j int }
-	pairs := make([]pair, 0, n*(n-1)/2)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			pairs = append(pairs, pair{i, j})
-		}
-	}
-	d := 0
-	if n > 0 {
-		d = len(vs[0])
-	}
-	workers := runtime.GOMAXPROCS(0)
-	// Parallelism only pays off once the total work is substantial.
-	if workers > len(pairs) {
-		workers = len(pairs)
-	}
-	if len(pairs)*d < 1<<16 {
-		workers = 1
-	}
-	if workers <= 1 {
-		for _, p := range pairs {
-			d2, err := vs[p.i].SquaredDistance(vs[p.j])
-			if err != nil {
-				return nil, err
-			}
-			m[p.i][p.j] = d2
-			m[p.j][p.i] = d2
-		}
-		return m, nil
-	}
-	var wg sync.WaitGroup
-	errs := make([]error, workers)
-	chunk := (len(pairs) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(pairs) {
-			hi = len(pairs)
-		}
-		if lo >= hi {
-			break
-		}
-		w := w
-		wg.Add(1)
-		go func(ps []pair) {
-			defer wg.Done()
-			for _, p := range ps {
-				d2, err := vs[p.i].SquaredDistance(vs[p.j])
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				m[p.i][p.j] = d2
-				m[p.j][p.i] = d2
-			}
-		}(pairs[lo:hi])
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return m, nil
-}
-
-// krumScores computes, for each input, the sum of squared distances to its
-// n-f-2 closest neighbours (the Krum score; lower is better).
-func krumScores(dist [][]float64, f int) []float64 {
-	n := len(dist)
-	k := n - f - 2 // number of neighbours summed
-	scores := make([]float64, n)
-	row := make([]float64, 0, n-1)
-	for i := 0; i < n; i++ {
-		row = row[:0]
-		for j := 0; j < n; j++ {
-			if j != i {
-				row = append(row, dist[i][j])
-			}
-		}
-		sort.Float64s(row)
-		var s float64
-		for _, d2 := range row[:k] {
-			s += d2
-		}
-		scores[i] = s
-	}
-	return scores
-}
-
-// argsortAscending returns the indices that would sort xs ascending.
-func argsortAscending(xs []float64) []int {
-	idx := make([]int, len(xs))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
-	return idx
 }

@@ -3,6 +3,9 @@ package gar
 import (
 	"errors"
 	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"garfield/internal/tensor"
@@ -558,6 +561,72 @@ func TestQuickselect(t *testing.T) {
 		got := quickselect(append([]float64(nil), xs...), k)
 		if got != sorted[k] {
 			t.Fatalf("quickselect(n=%d, k=%d) = %v, want %v", n, k, got, sorted[k])
+		}
+	}
+}
+
+// TestParallelForDeterministicPartition checks the pool executor covers
+// [0, total) exactly once per index for any worker count, writing through
+// disjoint slots.
+func TestParallelForDeterministicPartition(t *testing.T) {
+	var wg sync.WaitGroup
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		for _, total := range []int{1, 2, 16, 100, 1023} {
+			hits := make([]int32, total)
+			parallelFor(total, workers, &wg, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d total=%d: index %d visited %d times", workers, total, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestDotKernelAgainstGeneric cross-checks the dispatching kernel (assembly
+// when available) against the portable kernel within floating-point
+// tolerance, including tail lengths.
+func TestDotKernelAgainstGeneric(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	for _, n := range []int{0, 1, 3, 4, 15, 16, 17, 64, 1000, 4097} {
+		a := rng.NormalVector(n, 0, 1)
+		b := rng.NormalVector(n, 0, 1)
+		got := dotKernel(a, b)
+		want := dotGeneric(a, b)
+		scale := 1.0
+		for i := range a {
+			scale += math.Abs(a[i] * b[i])
+		}
+		if math.Abs(got-want) > 1e-12*scale {
+			t.Fatalf("n=%d: dotKernel = %v, dotGeneric = %v", n, got, want)
+		}
+	}
+}
+
+// TestSumSmallestKMatchesSort pins the introselect smallest-k sum to the
+// sort-based formulation bit for bit.
+func TestSumSmallestKMatchesSort(t *testing.T) {
+	rng := tensor.NewRNG(13)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Round(rng.Norm()*4) / 4 // provoke ties
+		}
+		k := 1 + rng.Intn(n)
+		ref := append([]float64(nil), xs...)
+		sort.Float64s(ref)
+		var want float64
+		for _, x := range ref[:k] {
+			want += x
+		}
+		got := sumSmallestK(append([]float64(nil), xs...), k)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("n=%d k=%d: sumSmallestK = %v, want %v", n, k, got, want)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package gar
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"garfield/internal/tensor"
 )
@@ -21,6 +22,10 @@ type GeoMedian struct {
 	// divide by zero.
 	iters int
 	eps   float64
+
+	mu      sync.Mutex
+	init    *Median       // robust starting point, constructed once
+	y, next tensor.Vector // iteration buffers, reused across calls
 }
 
 var _ Rule = (*GeoMedian)(nil)
@@ -31,7 +36,11 @@ func NewGeoMedian(n, f int) (*GeoMedian, error) {
 	if f < 0 || n < 2*f+1 {
 		return nil, fmt.Errorf("%w: geomedian needs n >= 2f+1, got n=%d f=%d", ErrRequirement, n, f)
 	}
-	return &GeoMedian{n: n, f: f, iters: 32, eps: 1e-9}, nil
+	init, err := NewMedian(n, 0)
+	if err != nil {
+		return nil, fmt.Errorf("gar: geomedian: %w", err)
+	}
+	return &GeoMedian{n: n, f: f, iters: 32, eps: 1e-9, init: init}, nil
 }
 
 // Name implements Rule.
@@ -45,23 +54,28 @@ func (g *GeoMedian) F() int { return g.f }
 
 // Aggregate implements Rule.
 func (g *GeoMedian) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
+	return g.AggregateInto(nil, inputs)
+}
+
+// AggregateInto implements Rule.
+func (g *GeoMedian) AggregateInto(dst tensor.Vector, inputs []tensor.Vector) (tensor.Vector, error) {
 	d, err := checkInputs(g, inputs)
 	if err != nil {
 		return nil, err
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	// Start from the coordinate-wise median — a robust initial point that
 	// keeps far-away Byzantine vectors from dominating the early
 	// iterations — and refine with Weiszfeld:
 	// y <- (sum_i w_i g_i) / (sum_i w_i), w_i = 1 / max(||y - g_i||, eps).
-	init, err := NewMedian(g.n, 0)
+	// The iteration ping-pongs between two rule-owned buffers; the Median
+	// rule serializes shared state internally.
+	y, err := g.init.AggregateInto(g.y, inputs)
 	if err != nil {
 		return nil, fmt.Errorf("gar: geomedian: %w", err)
 	}
-	y, err := init.Aggregate(inputs)
-	if err != nil {
-		return nil, fmt.Errorf("gar: geomedian: %w", err)
-	}
-	next := tensor.New(d)
+	next := tensor.Resize(g.next, d)
 	for it := 0; it < g.iters; it++ {
 		var wSum float64
 		for i := range next {
@@ -90,5 +104,8 @@ func (g *GeoMedian) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
 			break
 		}
 	}
-	return y.Clone(), nil
+	g.y, g.next = y, next
+	dst = tensor.Resize(dst, d)
+	copy(dst, y)
+	return dst, nil
 }

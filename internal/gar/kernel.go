@@ -1,0 +1,39 @@
+package gar
+
+// dotKernel returns the inner product <a, b> of two equal-length slices,
+// dispatching to the FMA-vectorized assembly kernel when the CPU supports it
+// and to the unrolled pure-Go kernel otherwise.
+//
+// The fused multiply-adds of the vector path round differently from the
+// scalar path, so absolute distance values differ across CPUs in the last
+// ulps; every consumer in this package uses distances only to *select*
+// inputs, and the selection comparisons are robust to that (see the
+// equivalence tests in golden_test.go). Within one process the kernel choice
+// is fixed, so aggregation remains fully deterministic.
+func dotKernel(a, b []float64) float64 {
+	if useAsmDot {
+		return dotAsm(a, b)
+	}
+	return dotGeneric(a, b)
+}
+
+// dotGeneric is the portable kernel. Four independent accumulators break the
+// loop-carried dependency of the naive "s += a[i]*b[i]" formulation: scalar
+// float64 adds have multi-cycle latency, so a single accumulator bounds the
+// loop at one element per add latency while four accumulators keep the FPU
+// pipeline full — the CPU analogue of the paper's Section 4.3 kernel tuning.
+func dotGeneric(a, b []float64) float64 {
+	var s0, s1, s2, s3 float64
+	for len(a) >= 4 && len(b) >= 4 {
+		s0 += a[0] * b[0]
+		s1 += a[1] * b[1]
+		s2 += a[2] * b[2]
+		s3 += a[3] * b[3]
+		a = a[4:]
+		b = b[4:]
+	}
+	for i := range a {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}

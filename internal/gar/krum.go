@@ -11,6 +11,7 @@ import (
 // the input with the smallest score. It requires n >= 2f+3.
 type Krum struct {
 	n, f int
+	s    *arena
 }
 
 var _ Rule = (*Krum)(nil)
@@ -20,7 +21,7 @@ func NewKrum(n, f int) (*Krum, error) {
 	if f < 0 || n < 2*f+3 {
 		return nil, fmt.Errorf("%w: krum needs n >= 2f+3, got n=%d f=%d", ErrRequirement, n, f)
 	}
-	return &Krum{n: n, f: f}, nil
+	return &Krum{n: n, f: f, s: newArena(n)}, nil
 }
 
 // Name implements Rule.
@@ -34,21 +35,29 @@ func (k *Krum) F() int { return k.f }
 
 // Aggregate implements Rule.
 func (k *Krum) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
-	if _, err := checkInputs(k, inputs); err != nil {
+	return k.AggregateInto(nil, inputs)
+}
+
+// AggregateInto implements Rule.
+func (k *Krum) AggregateInto(dst tensor.Vector, inputs []tensor.Vector) (tensor.Vector, error) {
+	d, err := checkInputs(k, inputs)
+	if err != nil {
 		return nil, err
 	}
-	dist, err := pairwiseSquaredDistances(inputs)
-	if err != nil {
-		return nil, fmt.Errorf("gar: krum: %w", err)
-	}
-	scores := krumScores(dist, k.f)
+	k.s.mu.Lock()
+	defer k.s.mu.Unlock()
+	k.s.computeDistances(inputs, d)
+	k.s.krumScoresInto(k.f)
+	scores := k.s.scores
 	best := 0
 	for i, s := range scores {
 		if s < scores[best] {
 			best = i
 		}
 	}
-	return inputs[best].Clone(), nil
+	dst = tensor.Resize(dst, d)
+	copy(dst, inputs[best])
+	return dst, nil
 }
 
 // MultiKrum generalizes Krum by averaging the m best-scoring inputs
@@ -56,6 +65,7 @@ func (k *Krum) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
 // reported in the AggregaThor paper. It requires n >= 2f+3.
 type MultiKrum struct {
 	n, f, m int
+	s       *arena
 }
 
 var _ Rule = (*MultiKrum)(nil)
@@ -66,7 +76,7 @@ func NewMultiKrum(n, f int) (*MultiKrum, error) {
 	if f < 0 || n < 2*f+3 {
 		return nil, fmt.Errorf("%w: multikrum needs n >= 2f+3, got n=%d f=%d", ErrRequirement, n, f)
 	}
-	return &MultiKrum{n: n, f: f, m: n - f}, nil
+	return &MultiKrum{n: n, f: f, m: n - f, s: newArena(n)}, nil
 }
 
 // NewMultiKrumM returns a Multi-Krum rule with an explicit selection size m,
@@ -96,33 +106,59 @@ func (mk *MultiKrum) F() int { return mk.f }
 // M returns the number of inputs averaged.
 func (mk *MultiKrum) M() int { return mk.m }
 
+// selectInto computes Krum scores for inputs and leaves the indices of the m
+// best-scoring ones (lowest score first, ties by index) in the first m slots
+// of mk.s.order. The arena lock must be held.
+func (mk *MultiKrum) selectInto(inputs []tensor.Vector, d int) {
+	mk.s.computeDistances(inputs, d)
+	mk.s.krumScoresInto(mk.f)
+	argsortStable(mk.s.order, mk.s.scores)
+}
+
 // Select returns the indices of the m best-scoring inputs, lowest score
 // first. Bulyan builds on this to extract selected gradients one by one.
 func (mk *MultiKrum) Select(inputs []tensor.Vector) ([]int, error) {
-	if _, err := checkInputs(mk, inputs); err != nil {
+	d, err := checkInputs(mk, inputs)
+	if err != nil {
 		return nil, err
 	}
-	dist, err := pairwiseSquaredDistances(inputs)
-	if err != nil {
-		return nil, fmt.Errorf("gar: multikrum: %w", err)
-	}
-	scores := krumScores(dist, mk.f)
-	return argsortAscending(scores)[:mk.m], nil
+	mk.s.mu.Lock()
+	defer mk.s.mu.Unlock()
+	mk.selectInto(inputs, d)
+	return append([]int(nil), mk.s.order[:mk.m]...), nil
 }
 
 // Aggregate implements Rule.
 func (mk *MultiKrum) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
-	sel, err := mk.Select(inputs)
+	return mk.AggregateInto(nil, inputs)
+}
+
+// AggregateInto implements Rule.
+func (mk *MultiKrum) AggregateInto(dst tensor.Vector, inputs []tensor.Vector) (tensor.Vector, error) {
+	d, err := checkInputs(mk, inputs)
 	if err != nil {
 		return nil, err
 	}
-	chosen := make([]tensor.Vector, len(sel))
-	for i, idx := range sel {
-		chosen[i] = inputs[idx]
+	mk.s.mu.Lock()
+	defer mk.s.mu.Unlock()
+	mk.selectInto(inputs, d)
+	chosen := mk.s.chosen[:0]
+	for _, idx := range mk.s.order[:mk.m] {
+		chosen = append(chosen, inputs[idx])
 	}
-	out, err := tensor.Mean(chosen)
+	out, err := tensor.MeanInto(dst, chosen)
+	mk.s.chosen = clearVectors(chosen)
 	if err != nil {
 		return nil, fmt.Errorf("gar: multikrum: %w", err)
 	}
 	return out, nil
+}
+
+// clearVectors nils out the retained input references and returns the empty
+// slice for reuse.
+func clearVectors(vs []tensor.Vector) []tensor.Vector {
+	for i := range vs {
+		vs[i] = nil
+	}
+	return vs[:0]
 }

@@ -14,6 +14,7 @@ import (
 // polynomial for constant f, which is the regime the paper benchmarks.
 type MDA struct {
 	n, f int
+	s    *arena
 }
 
 var _ Rule = (*MDA)(nil)
@@ -23,7 +24,11 @@ func NewMDA(n, f int) (*MDA, error) {
 	if f < 0 || n < 2*f+1 {
 		return nil, fmt.Errorf("%w: mda needs n >= 2f+1, got n=%d f=%d", ErrRequirement, n, f)
 	}
-	return &MDA{n: n, f: f}, nil
+	m := &MDA{n: n, f: f, s: newArena(n)}
+	keep := n - f
+	m.s.subset = make([]int, keep)
+	m.s.bestSubset = make([]int, keep)
+	return m, nil
 }
 
 // Name implements Rule.
@@ -37,41 +42,73 @@ func (m *MDA) F() int { return m.f }
 
 // Aggregate implements Rule.
 func (m *MDA) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
-	if _, err := checkInputs(m, inputs); err != nil {
+	return m.AggregateInto(nil, inputs)
+}
+
+// AggregateInto implements Rule.
+func (m *MDA) AggregateInto(dst tensor.Vector, inputs []tensor.Vector) (tensor.Vector, error) {
+	d, err := checkInputs(m, inputs)
+	if err != nil {
 		return nil, err
 	}
 	if m.f == 0 {
-		return tensor.Mean(inputs)
+		out, err := tensor.MeanInto(dst, inputs)
+		if err != nil {
+			return nil, fmt.Errorf("gar: mda: %w", err)
+		}
+		return out, nil
 	}
-	dist, err := pairwiseSquaredDistances(inputs)
-	if err != nil {
-		return nil, fmt.Errorf("gar: mda: %w", err)
-	}
+	m.s.mu.Lock()
+	defer m.s.mu.Unlock()
+	m.s.computeDistances(inputs, d)
 	keep := m.n - m.f
+	dist := m.s.dist
+	n := m.n
 	bestDiameter := math.Inf(1)
 	bestSpread := math.Inf(1)
-	var bestSubset []int
-	subset := make([]int, keep)
-	forEachCombination(m.n, keep, subset, func(s []int) {
-		diam := subsetDiameter(dist, s)
-		if diam > bestDiameter {
-			return
-		}
-		// Ties on the diameter are common (several subsets can share the
-		// pair realizing the maximum distance); break them by the total
-		// pairwise spread so the result is independent of input order.
-		spread := subsetSpread(dist, s)
-		if diam < bestDiameter || spread < bestSpread {
-			bestDiameter = diam
-			bestSpread = spread
-			bestSubset = append(bestSubset[:0], s...)
-		}
-	})
-	chosen := make([]tensor.Vector, keep)
-	for i, idx := range bestSubset {
-		chosen[i] = inputs[idx]
+	bestSubset := m.s.bestSubset[:0]
+	// Enumerate the C(n, keep) candidate subsets in lexicographic order —
+	// the same order the recursive formulation visited them in, so
+	// tie-breaking is unchanged — without per-combination allocation or
+	// call overhead.
+	s := m.s.subset
+	for i := range s {
+		s[i] = i
 	}
-	out, err := tensor.Mean(chosen)
+	for {
+		diam := subsetDiameter(dist, n, s)
+		if diam <= bestDiameter {
+			// Ties on the diameter are common (several subsets can share
+			// the pair realizing the maximum distance); break them by the
+			// total pairwise spread so the result is independent of input
+			// order.
+			spread := subsetSpread(dist, n, s)
+			if diam < bestDiameter || spread < bestSpread {
+				bestDiameter = diam
+				bestSpread = spread
+				bestSubset = append(bestSubset[:0], s...)
+			}
+		}
+		// Advance to the next lexicographic keep-subset of [0, n).
+		i := keep - 1
+		for i >= 0 && s[i] == n-keep+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		s[i]++
+		for j := i + 1; j < keep; j++ {
+			s[j] = s[j-1] + 1
+		}
+	}
+	m.s.bestSubset = bestSubset
+	chosen := m.s.chosen[:0]
+	for _, idx := range bestSubset {
+		chosen = append(chosen, inputs[idx])
+	}
+	out, err := tensor.MeanInto(dst, chosen)
+	m.s.chosen = clearVectors(chosen)
 	if err != nil {
 		return nil, fmt.Errorf("gar: mda: %w", err)
 	}
@@ -81,11 +118,12 @@ func (m *MDA) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
 // subsetSpread returns the sum of pairwise squared distances within the
 // subset s of indices, the permutation-invariant tie-breaker for equal
 // diameters.
-func subsetSpread(dist [][]float64, s []int) float64 {
+func subsetSpread(dist []float64, n int, s []int) float64 {
 	var sum float64
 	for i := 0; i < len(s); i++ {
+		base := s[i] * n
 		for j := i + 1; j < len(s); j++ {
-			sum += dist[s[i]][s[j]]
+			sum += dist[base+s[j]]
 		}
 	}
 	return sum
@@ -93,32 +131,15 @@ func subsetSpread(dist [][]float64, s []int) float64 {
 
 // subsetDiameter returns the maximum pairwise squared distance within the
 // subset s of indices.
-func subsetDiameter(dist [][]float64, s []int) float64 {
+func subsetDiameter(dist []float64, n int, s []int) float64 {
 	var maxD float64
 	for i := 0; i < len(s); i++ {
+		base := s[i] * n
 		for j := i + 1; j < len(s); j++ {
-			if d := dist[s[i]][s[j]]; d > maxD {
+			if d := dist[base+s[j]]; d > maxD {
 				maxD = d
 			}
 		}
 	}
 	return maxD
-}
-
-// forEachCombination calls fn with every k-subset of [0, n), reusing buf
-// (len k) as scratch to avoid per-combination allocation.
-func forEachCombination(n, k int, buf []int, fn func([]int)) {
-	var rec func(start, idx int)
-	rec = func(start, idx int) {
-		if idx == k {
-			fn(buf)
-			return
-		}
-		// Prune: need k-idx more elements from [start, n).
-		for i := start; i <= n-(k-idx); i++ {
-			buf[idx] = i
-			rec(i+1, idx+1)
-		}
-	}
-	rec(0, 0)
 }

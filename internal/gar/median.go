@@ -2,8 +2,6 @@ package gar
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"garfield/internal/tensor"
 )
@@ -20,6 +18,7 @@ import (
 // quickselect for larger n.
 type Median struct {
 	n, f int
+	s    *arena
 
 	// parallel controls whether coordinate shares are processed by multiple
 	// goroutines. It exists so the ablation benchmark can compare the
@@ -35,7 +34,7 @@ func NewMedian(n, f int) (*Median, error) {
 	if f < 0 || n < 2*f+1 {
 		return nil, fmt.Errorf("%w: median needs n >= 2f+1, got n=%d f=%d", ErrRequirement, n, f)
 	}
-	return &Median{n: n, f: f, parallel: true}, nil
+	return &Median{n: n, f: f, s: newArena(n), parallel: true}, nil
 }
 
 // NewSequentialMedian returns a median rule that processes all coordinates on
@@ -60,56 +59,27 @@ func (m *Median) F() int { return m.f }
 
 // Aggregate implements Rule.
 func (m *Median) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
+	return m.AggregateInto(nil, inputs)
+}
+
+// AggregateInto implements Rule.
+func (m *Median) AggregateInto(dst tensor.Vector, inputs []tensor.Vector) (tensor.Vector, error) {
 	d, err := checkInputs(m, inputs)
 	if err != nil {
 		return nil, err
 	}
-	out := tensor.New(d)
-	workers := 1
-	if m.parallel {
-		workers = runtime.GOMAXPROCS(0)
-		if workers > d {
-			workers = d
-		}
-		if workers < 1 {
-			workers = 1
-		}
+	m.s.mu.Lock()
+	defer m.s.mu.Unlock()
+	dst = tensor.Resize(dst, d)
+	a := m.s
+	a.cIn = append(a.cIn[:0], inputs...)
+	a.cOut = dst
+	perCoord := 2 * m.n
+	if !m.parallel {
+		perCoord = 0 // below any parallel threshold: stay on this goroutine
 	}
-	if workers == 1 {
-		medianShare(inputs, out, 0, d)
-		return out, nil
-	}
-	var wg sync.WaitGroup
-	chunk := (d + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > d {
-			hi = d
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			medianShare(inputs, out, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-	return out, nil
-}
-
-// medianShare fills out[lo:hi] with the coordinate-wise medians of inputs.
-func medianShare(inputs []tensor.Vector, out tensor.Vector, lo, hi int) {
-	n := len(inputs)
-	col := make([]float64, n)
-	for c := lo; c < hi; c++ {
-		for i, v := range inputs {
-			col[i] = v[c]
-		}
-		out[c] = medianOfColumn(col)
-	}
+	a.runCoordinate(a.medianFn, d, perCoord)
+	return dst, nil
 }
 
 // medianOfColumn selects the median of col, mutating col. For odd n it is the
@@ -132,90 +102,4 @@ func medianOfColumn(col []float64) float64 {
 	hi := quickselect(col, n/2)
 	lo := quickselect(col[:n/2+1], n/2-1) // after partition, lower half holds the smaller order stats
 	return 0.5 * (lo + hi)
-}
-
-// median3 selects the middle of three values via a 3-element sorting network
-// expressed with min/max only — the Go analogue of the paper's branchless
-// selection-instruction reordering primitive (Section 4.3): no data-dependent
-// branch is taken, so the same construction maps to SIMT lanes.
-func median3(a, b, c float64) float64 {
-	lo, hi := minmax(a, b)
-	lo2, _ := minmax(hi, c)
-	_, med := minmax(lo, lo2)
-	return med
-}
-
-func minmax(a, b float64) (lo, hi float64) {
-	if a < b {
-		return a, b
-	}
-	return b, a
-}
-
-// quickselect returns the k-th smallest element of xs (0-indexed), mutating
-// xs. It uses median-of-three pivoting with a fallback to a full sort on
-// pathological recursion depth (the "intro" part of introselect).
-func quickselect(xs []float64, k int) float64 {
-	lo, hi := 0, len(xs)-1
-	depth := 0
-	maxDepth := 2 * log2(len(xs))
-	for lo < hi {
-		if depth > maxDepth {
-			insertionSort(xs[lo : hi+1])
-			return xs[k]
-		}
-		depth++
-		p := partition(xs, lo, hi)
-		switch {
-		case k == p:
-			return xs[k]
-		case k < p:
-			hi = p - 1
-		default:
-			lo = p + 1
-		}
-	}
-	return xs[k]
-}
-
-func partition(xs []float64, lo, hi int) int {
-	mid := lo + (hi-lo)/2
-	// Median-of-three pivot: order xs[lo], xs[mid], xs[hi].
-	if xs[mid] < xs[lo] {
-		xs[mid], xs[lo] = xs[lo], xs[mid]
-	}
-	if xs[hi] < xs[lo] {
-		xs[hi], xs[lo] = xs[lo], xs[hi]
-	}
-	if xs[hi] < xs[mid] {
-		xs[hi], xs[mid] = xs[mid], xs[hi]
-	}
-	pivot := xs[mid]
-	xs[mid], xs[hi-1] = xs[hi-1], xs[mid]
-	i := lo
-	for j := lo; j < hi-1; j++ {
-		if xs[j] < pivot {
-			xs[i], xs[j] = xs[j], xs[i]
-			i++
-		}
-	}
-	xs[i], xs[hi-1] = xs[hi-1], xs[i]
-	return i
-}
-
-func insertionSort(xs []float64) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
-}
-
-func log2(n int) int {
-	l := 0
-	for n > 1 {
-		n >>= 1
-		l++
-	}
-	return l
 }

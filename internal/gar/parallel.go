@@ -1,0 +1,113 @@
+package gar
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file implements the deterministic work-partitioning executor shared by
+// the GAR kernels. Work is split into contiguous index ranges — "each of the
+// m cores processes a continuous share" (Section 4.3 of the paper), the same
+// static partitioning Bobpp-style deterministic parallel solvers use — and
+// every range writes only its own disjoint output slots, so results are
+// bit-identical to a sequential run regardless of scheduling.
+//
+// Tasks run on a small persistent pool of goroutines instead of goroutines
+// spawned per call: spawning allocates (closure + stack), and the aggregation
+// hot path is required to be allocation-free in steady state. Task descriptors
+// travel by value through a buffered channel, so dispatching allocates
+// nothing.
+
+// minParallelWork is the scalar-op threshold below which kernels stay on the
+// calling goroutine; tiny inputs lose more to handoff than they gain from
+// parallelism.
+const minParallelWork = 1 << 16
+
+// maxShares bounds the number of contiguous shares any kernel is split into,
+// and therefore the per-share scratch an arena preallocates.
+func maxShares() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+type poolTask struct {
+	fn            func(share, lo, hi int)
+	share, lo, hi int
+	wg            *sync.WaitGroup
+}
+
+var (
+	poolOnce  sync.Once
+	poolTasks chan poolTask
+)
+
+func ensurePool() {
+	poolOnce.Do(func() {
+		workers := runtime.GOMAXPROCS(0) - 1
+		if workers < 1 {
+			workers = 1
+		}
+		poolTasks = make(chan poolTask, 4*workers)
+		for i := 0; i < workers; i++ {
+			go func() {
+				for t := range poolTasks {
+					t.fn(t.share, t.lo, t.hi)
+					t.wg.Done()
+				}
+			}()
+		}
+	})
+}
+
+// kernelWorkers returns the number of shares to split a kernel with the given
+// total scalar-op count into, capped at limit (the scratch the caller owns).
+func kernelWorkers(work, limit int) int {
+	if work < minParallelWork {
+		return 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > limit {
+		w = limit
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelFor runs fn over [0, total) split into `workers` contiguous chunks;
+// fn receives the chunk ordinal (for per-share scratch selection) and its
+// index range. Chunk 0 runs on the calling goroutine; the rest are dispatched
+// to the pool. fn must confine its writes to state owned by its index range
+// or share. wg must be idle; it is reused so callers can keep one WaitGroup
+// alive across calls. parallelFor returns only after every chunk completed.
+// fn must not itself call parallelFor (the pool does not support nesting).
+func parallelFor(total, workers int, wg *sync.WaitGroup, fn func(share, lo, hi int)) {
+	if total <= 0 {
+		return
+	}
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		fn(0, 0, total)
+		return
+	}
+	ensurePool()
+	chunk := (total + workers - 1) / workers
+	share := 1
+	for lo := chunk; lo < total; lo += chunk {
+		hi := lo + chunk
+		if hi > total {
+			hi = total
+		}
+		wg.Add(1)
+		poolTasks <- poolTask{fn: fn, share: share, lo: lo, hi: hi, wg: wg}
+		share++
+	}
+	fn(0, 0, chunk)
+	wg.Wait()
+}

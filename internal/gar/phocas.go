@@ -2,8 +2,6 @@ package gar
 
 import (
 	"fmt"
-	"math"
-	"sort"
 
 	"garfield/internal/tensor"
 )
@@ -15,6 +13,7 @@ import (
 // library's extensibility. It requires n >= 2f+1.
 type Phocas struct {
 	n, f int
+	s    *arena
 }
 
 var _ Rule = (*Phocas)(nil)
@@ -24,7 +23,7 @@ func NewPhocas(n, f int) (*Phocas, error) {
 	if f < 0 || n < 2*f+1 {
 		return nil, fmt.Errorf("%w: phocas needs n >= 2f+1, got n=%d f=%d", ErrRequirement, n, f)
 	}
-	return &Phocas{n: n, f: f}, nil
+	return &Phocas{n: n, f: f, s: newArena(n)}, nil
 }
 
 // Name implements Rule.
@@ -38,38 +37,23 @@ func (p *Phocas) F() int { return p.f }
 
 // Aggregate implements Rule.
 func (p *Phocas) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
+	return p.AggregateInto(nil, inputs)
+}
+
+// AggregateInto implements Rule.
+func (p *Phocas) AggregateInto(dst tensor.Vector, inputs []tensor.Vector) (tensor.Vector, error) {
 	d, err := checkInputs(p, inputs)
 	if err != nil {
 		return nil, err
 	}
-	out := tensor.New(d)
-	col := make([]float64, p.n)
-	order := make([]int, p.n)
-	keep := p.n - p.f
-	trimKeep := float64(p.n - 2*p.f)
-	for c := 0; c < d; c++ {
-		for i, v := range inputs {
-			col[i] = v[c]
-		}
-		// Step 1: f-trimmed mean of the coordinate.
-		for i := range order {
-			order[i] = i
-		}
-		sort.Slice(order, func(a, b int) bool { return col[order[a]] < col[order[b]] })
-		var tm float64
-		for _, idx := range order[p.f : p.n-p.f] {
-			tm += col[idx]
-		}
-		tm /= trimKeep
-		// Step 2: average the n-f values closest to the trimmed mean.
-		sort.Slice(order, func(a, b int) bool {
-			return math.Abs(col[order[a]]-tm) < math.Abs(col[order[b]]-tm)
-		})
-		var s float64
-		for _, idx := range order[:keep] {
-			s += col[idx]
-		}
-		out[c] = s / float64(keep)
-	}
-	return out, nil
+	p.s.mu.Lock()
+	defer p.s.mu.Unlock()
+	dst = tensor.Resize(dst, d)
+	a := p.s
+	a.cIn = append(a.cIn[:0], inputs...)
+	a.cOut = dst
+	a.cTrim = p.f
+	a.cKeep = p.n - p.f
+	a.runCoordinate(a.phocasFn, d, 4*p.n)
+	return dst, nil
 }

@@ -1,0 +1,320 @@
+package gar
+
+import (
+	"math"
+	"sync"
+
+	"garfield/internal/tensor"
+)
+
+// arena is the per-Rule scratch space behind the zero-allocation aggregation
+// hot path (the memory-management optimization of Section 4.4 of the paper):
+// every buffer the distance and coordinate kernels touch is allocated once,
+// when the rule is constructed, and reused across Aggregate calls. All sizes
+// depend only on n, never on the input dimension d, so an arena is a few KiB
+// regardless of model size.
+//
+// The kernels dispatched to the worker pool are prebuilt method values that
+// read their per-call parameters (cIn, cOut, cKPrime) from arena fields, so
+// steady-state dispatch allocates nothing.
+//
+// An arena makes its rule stateful; the mutex serializes concurrent
+// Aggregate calls on one Rule value so the seed's any-goroutine safety is
+// preserved (concurrent callers wanting parallelism should use distinct Rule
+// instances).
+type arena struct {
+	mu sync.Mutex
+	n  int
+	wg sync.WaitGroup
+
+	// Pairwise-distance kernel state (Krum, Multi-Krum, MDA, Bulyan).
+	vs       []tensor.Vector // inputs pinned for the duration of the kernels
+	norms    []float64       // ||v_i||^2, computed once per Aggregate
+	dist     []float64       // flat n×n squared-distance matrix
+	allPairs [][2]int32      // (i,i) diagonal first, then (i,j) i < j row-major
+	partials []float64       // per-(pair, block) partial inner products
+	d, nb    int             // current input dimension and block count
+
+	row    []float64 // one matrix row minus the diagonal
+	scores []float64 // per-input Krum scores
+	order  []int     // argsort scratch
+	chosen []tensor.Vector
+
+	// Bulyan selection state.
+	alive    []int
+	selected []tensor.Vector
+
+	// MDA subset-enumeration state.
+	subset, bestSubset []int
+
+	// Coordinate-sharded kernels: one column + order buffer per share.
+	shareCols [][]float64
+	shareOrds [][]int
+
+	// Per-call parameters of the prebuilt coordinate kernels.
+	cIn     []tensor.Vector
+	cOut    tensor.Vector
+	cKPrime int
+	cKeep   int
+	cTrim   int
+
+	blockFn  func(share, lo, hi int)
+	medianFn func(share, lo, hi int)
+	bulyanFn func(share, lo, hi int)
+	phocasFn func(share, lo, hi int)
+}
+
+// blockDim is the coordinate-block width of the Gram kernel: 4096 float64 =
+// 32 KiB per vector block, so the full n-vector working set of one block sits
+// in L2 and the two blocks of the active pair in L1.
+const blockDim = 4096
+
+// gramCancelGuard is the relative threshold below which a Gram-identity
+// distance is treated as cancellation noise and recomputed directly: the
+// subtraction's error is O(d·eps) of the squared norms, comfortably under
+// this bound for any realistic dimension.
+const gramCancelGuard = 1e-8
+
+func newArena(n int) *arena {
+	a := &arena{
+		n:        n,
+		norms:    make([]float64, n),
+		dist:     make([]float64, n*n),
+		allPairs: make([][2]int32, 0, n*(n+1)/2),
+		row:      make([]float64, 0, n),
+		scores:   make([]float64, n),
+		order:    make([]int, n),
+		chosen:   make([]tensor.Vector, 0, n),
+		vs:       make([]tensor.Vector, 0, n),
+		alive:    make([]int, 0, n),
+		selected: make([]tensor.Vector, 0, n),
+		cIn:      make([]tensor.Vector, 0, n),
+	}
+	// Diagonal pairs (the norms) first, then the off-diagonal pairs in
+	// row-major order so the i-side block stays cache-hot across one row's
+	// inner products.
+	for i := 0; i < n; i++ {
+		a.allPairs = append(a.allPairs, [2]int32{int32(i), int32(i)})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a.allPairs = append(a.allPairs, [2]int32{int32(i), int32(j)})
+		}
+	}
+	shares := maxShares()
+	a.shareCols = make([][]float64, shares)
+	a.shareOrds = make([][]int, shares)
+	for s := range a.shareCols {
+		a.shareCols[s] = make([]float64, n)
+		a.shareOrds[s] = make([]int, n)
+	}
+	a.blockFn = a.blockKernel
+	a.medianFn = a.medianKernel
+	a.bulyanFn = a.bulyanKernel
+	a.phocasFn = a.phocasKernel
+	return a
+}
+
+// computeDistances fills norms and the flat distance matrix for vs using the
+// Gram identity d²(i,j) = ‖i‖² + ‖j‖² − 2⟨i,j⟩: each input is read once for
+// its norm and once per pair for the inner product, every inner product runs
+// through the FMA/unrolled dotKernel, and — the decisive part at large d —
+// the coordinate axis is tiled into blockDim-wide blocks so the n(n+1)/2
+// inner products of one block read L2-resident data instead of streaming the
+// full vectors from memory once per pair.
+//
+// Shares own disjoint block ranges and write disjoint partial slots, and the
+// per-pair partials are reduced in fixed block order afterwards, so the
+// matrix is bit-identical however many cores participate (the deterministic
+// work-partitioning of parallel.go).
+func (a *arena) computeDistances(vs []tensor.Vector, d int) {
+	a.vs = append(a.vs[:0], vs...)
+	a.d = d
+	nb := (d + blockDim - 1) / blockDim
+	if nb < 1 {
+		nb = 1
+	}
+	a.nb = nb
+	np := len(a.allPairs)
+	if cap(a.partials) < np*nb {
+		a.partials = make([]float64, np*nb)
+	}
+	a.partials = a.partials[:np*nb]
+	workers := kernelWorkers(np*d, maxShares())
+	parallelFor(nb, workers, &a.wg, a.blockFn)
+	// Reduce the per-block partials in ascending block order — a fixed
+	// summation order, independent of which share computed which block —
+	// then assemble norms and distances.
+	n := a.n
+	for p := 0; p < n; p++ {
+		a.norms[p] = sumBlocks(a.partials[p*nb : (p+1)*nb])
+	}
+	for p := n; p < np; p++ {
+		i, j := int(a.allPairs[p][0]), int(a.allPairs[p][1])
+		d2 := a.norms[i] + a.norms[j] - 2*sumBlocks(a.partials[p*nb:(p+1)*nb])
+		if d2 < gramCancelGuard*(a.norms[i]+a.norms[j]) {
+			// The Gram identity cancels catastrophically for inputs that
+			// are close together but far from the origin (late-training
+			// model vectors): when the result is within the subtraction's
+			// rounding-noise floor, fall back to the direct
+			// subtract-square pass, which stays accurate there. Identical
+			// inputs land here and yield an exact 0 either way.
+			direct, err := a.vs[i].SquaredDistance(a.vs[j])
+			if err == nil {
+				d2 = direct
+			}
+		}
+		if d2 < 0 {
+			d2 = 0 // Gram identity can go negative by rounding; distances cannot
+		}
+		a.dist[i*n+j] = d2
+		a.dist[j*n+i] = d2
+	}
+	// Release the input references: the matrix outlives the call, the
+	// gradients must not.
+	for i := range a.vs {
+		a.vs[i] = nil
+	}
+	a.vs = a.vs[:0]
+}
+
+// blockKernel computes, for every coordinate block in [lo, hi), the partial
+// inner product of every pair over that block.
+func (a *arena) blockKernel(_, lo, hi int) {
+	nb := a.nb
+	for blk := lo; blk < hi; blk++ {
+		c0 := blk * blockDim
+		c1 := c0 + blockDim
+		if c1 > a.d {
+			c1 = a.d
+		}
+		for p, pr := range a.allPairs {
+			a.partials[p*nb+blk] = dotKernel(a.vs[pr[0]][c0:c1], a.vs[pr[1]][c0:c1])
+		}
+	}
+}
+
+func sumBlocks(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// krumScoresInto fills a.scores with each input's Krum score: the sum of
+// squared distances to its n-f-2 closest neighbours (lower is better). The
+// per-row smallest-k sum uses introselect instead of a full sort; the
+// summation order matches the sort-based formulation bit for bit (see
+// sumSmallestK).
+func (a *arena) krumScoresInto(f int) {
+	n := a.n
+	k := n - f - 2
+	for i := 0; i < n; i++ {
+		row := a.row[:0]
+		base := i * n
+		for j := 0; j < n; j++ {
+			if j != i {
+				row = append(row, a.dist[base+j])
+			}
+		}
+		a.scores[i] = sumSmallestK(row, k)
+	}
+}
+
+// medianKernel fills a.cOut[lo:hi] with the coordinate-wise medians of a.cIn.
+func (a *arena) medianKernel(share, lo, hi int) {
+	in := a.cIn
+	col := a.shareCols[share][:len(in)]
+	for c := lo; c < hi; c++ {
+		for i, v := range in {
+			col[i] = v[c]
+		}
+		a.cOut[c] = medianOfColumn(col)
+	}
+}
+
+// bulyanKernel fills a.cOut[lo:hi] with Bulyan's coordinate-wise
+// median-then-closest-average over the selected gradients in a.cIn: per
+// coordinate, take the median of the k selected values, then average the
+// cKPrime values closest to it. Both orderings are stable insertion sorts,
+// which coincide with the sort.Slice small-array path they replace for
+// k <= 12 (ties between distinct equidistant values may break differently
+// beyond that; the aggregate remains within the same honest hull).
+func (a *arena) bulyanKernel(share, lo, hi int) {
+	in := a.cIn
+	k := len(in)
+	col := a.shareCols[share][:k]
+	ord := a.shareOrds[share][:k]
+	kPrime := a.cKPrime
+	for c := lo; c < hi; c++ {
+		for i, v := range in {
+			col[i] = v[c]
+		}
+		argsortStable(ord, col)
+		var med float64
+		if k%2 == 1 {
+			med = col[ord[k/2]]
+		} else {
+			med = 0.5 * (col[ord[k/2-1]] + col[ord[k/2]])
+		}
+		// Stable re-sort of the value-ordered indices by distance to the
+		// median.
+		for i := 1; i < k; i++ {
+			for j := i; j > 0 && math.Abs(col[ord[j]]-med) < math.Abs(col[ord[j-1]]-med); j-- {
+				ord[j], ord[j-1] = ord[j-1], ord[j]
+			}
+		}
+		var s float64
+		for _, idx := range ord[:kPrime] {
+			s += col[idx]
+		}
+		a.cOut[c] = s / float64(kPrime)
+	}
+}
+
+// phocasKernel fills a.cOut[lo:hi] with Phocas' two-step coordinate rule:
+// the cTrim-trimmed mean of the coordinate, then the average of the cKeep
+// values closest to it. Orderings are stable insertion sorts (see
+// bulyanKernel for the tie-break note).
+func (a *arena) phocasKernel(share, lo, hi int) {
+	in := a.cIn
+	n := len(in)
+	col := a.shareCols[share][:n]
+	ord := a.shareOrds[share][:n]
+	trim, keep := a.cTrim, a.cKeep
+	trimKeep := float64(n - 2*trim)
+	for c := lo; c < hi; c++ {
+		for i, v := range in {
+			col[i] = v[c]
+		}
+		argsortStable(ord, col)
+		var tm float64
+		for _, idx := range ord[trim : n-trim] {
+			tm += col[idx]
+		}
+		tm /= trimKeep
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && math.Abs(col[ord[j]]-tm) < math.Abs(col[ord[j-1]]-tm); j-- {
+				ord[j], ord[j-1] = ord[j-1], ord[j]
+			}
+		}
+		var s float64
+		for _, idx := range ord[:keep] {
+			s += col[idx]
+		}
+		a.cOut[c] = s / float64(keep)
+	}
+}
+
+// runCoordinate dispatches one of the prebuilt coordinate kernels over d
+// coordinates with the per-call parameters already stored in the arena.
+func (a *arena) runCoordinate(fn func(share, lo, hi int), d, perCoordWork int) {
+	workers := kernelWorkers(d*perCoordWork, len(a.shareCols))
+	parallelFor(d, workers, &a.wg, fn)
+	for i := range a.cIn {
+		a.cIn[i] = nil
+	}
+	a.cIn = a.cIn[:0]
+	a.cOut = nil
+}

@@ -14,6 +14,7 @@ import (
 // the other [GARs]" (Section 7). It requires n >= 2f+1.
 type TrimmedMean struct {
 	n, f int
+	s    *arena
 }
 
 var _ Rule = (*TrimmedMean)(nil)
@@ -24,7 +25,7 @@ func NewTrimmedMean(n, f int) (*TrimmedMean, error) {
 	if f < 0 || n < 2*f+1 {
 		return nil, fmt.Errorf("%w: trimmedmean needs n >= 2f+1, got n=%d f=%d", ErrRequirement, n, f)
 	}
-	return &TrimmedMean{n: n, f: f}, nil
+	return &TrimmedMean{n: n, f: f, s: newArena(n)}, nil
 }
 
 // Name implements Rule.
@@ -38,12 +39,19 @@ func (t *TrimmedMean) F() int { return t.f }
 
 // Aggregate implements Rule.
 func (t *TrimmedMean) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
+	return t.AggregateInto(nil, inputs)
+}
+
+// AggregateInto implements Rule.
+func (t *TrimmedMean) AggregateInto(dst tensor.Vector, inputs []tensor.Vector) (tensor.Vector, error) {
 	d, err := checkInputs(t, inputs)
 	if err != nil {
 		return nil, err
 	}
-	out := tensor.New(d)
-	col := make([]float64, t.n)
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	dst = tensor.Resize(dst, d)
+	col := t.s.shareCols[0][:t.n]
 	keep := float64(t.n - 2*t.f)
 	for c := 0; c < d; c++ {
 		for i, v := range inputs {
@@ -54,7 +62,7 @@ func (t *TrimmedMean) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
 		for _, x := range col[t.f : t.n-t.f] {
 			s += x
 		}
-		out[c] = s / keep
+		dst[c] = s / keep
 	}
-	return out, nil
+	return dst, nil
 }

@@ -10,6 +10,18 @@ import (
 	"garfield/internal/transport"
 )
 
+// Caller is the pull-call contract the protocol layer programs against: one
+// request/response round trip plus the first-q-of-n collection primitive.
+// Client (dial-per-call) and PooledClient (persistent connections, the
+// protocol default) both implement it.
+type Caller interface {
+	// Call performs one request/response round trip with a single peer.
+	Call(ctx context.Context, addr string, req Request) (tensor.Vector, error)
+	// PullFirstQ fans req out to every peer and returns the fastest q
+	// replies, cancelling the stragglers.
+	PullFirstQ(ctx context.Context, peers []string, q int, req Request) ([]Reply, error)
+}
+
 // Client issues pull requests to peers. Calls are parallelized across peers
 // (Section 4.1: "our implementation parallelizes RPC calls"), and the
 // first-q-of-n collection primitive implements the semantics of
@@ -17,6 +29,8 @@ import (
 type Client struct {
 	network transport.Network
 }
+
+var _ Caller = (*Client)(nil)
 
 // NewClient returns a client dialing over the given network.
 func NewClient(network transport.Network) *Client {
@@ -56,14 +70,15 @@ func (c *Client) Call(ctx context.Context, addr string, req Request) (tensor.Vec
 	}()
 	defer close(done)
 
-	if err := writeFrame(conn, encodeRequest(req)); err != nil {
+	if err := writeRequestFrame(conn, req); err != nil {
 		return nil, fmt.Errorf("rpc: send to %q: %w", addr, wrapCtx(ctx, err))
 	}
-	payload, err := readFrame(conn)
+	payload, err := readFramePooled(conn)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: receive from %q: %w", addr, wrapCtx(ctx, err))
 	}
-	resp, err := decodeResponse(payload)
+	resp, err := decodeResponse(*payload)
+	putBuf(payload)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: from %q: %w", addr, err)
 	}
@@ -71,6 +86,11 @@ func (c *Client) Call(ctx context.Context, addr string, req Request) (tensor.Vec
 		return nil, fmt.Errorf("rpc: %q: %w", addr, ErrNotServed)
 	}
 	return resp.Vec, nil
+}
+
+// PullFirstQ implements Caller; see pullFirstQ.
+func (c *Client) PullFirstQ(ctx context.Context, peers []string, q int, req Request) ([]Reply, error) {
+	return pullFirstQ(ctx, c, peers, q, req)
 }
 
 // wrapCtx surfaces context cancellation as the root cause when a connection
@@ -88,7 +108,27 @@ type Reply struct {
 	Vec  tensor.Vector
 }
 
-// PullFirstQ fans the request out to every peer in parallel and returns as
+type pullResult struct {
+	reply Reply
+	err   error
+}
+
+type pullTask struct {
+	c    Caller
+	ctx  context.Context
+	peer string
+	req  Request
+	out  chan<- pullResult
+	wg   *sync.WaitGroup
+}
+
+func runPullTask(t *pullTask) {
+	defer t.wg.Done()
+	vec, err := t.c.Call(t.ctx, t.peer, t.req)
+	t.out <- pullResult{reply: Reply{From: t.peer, Vec: vec}, err: err}
+}
+
+// pullFirstQ fans the request out to every peer in parallel and returns as
 // soon as q replies have arrived, cancelling the outstanding calls. With
 // q == len(peers) it behaves synchronously (wait for everyone); with
 // q < len(peers) it tolerates len(peers)-q slow, crashed or silent peers —
@@ -97,27 +137,23 @@ type Reply struct {
 // The returned replies preserve arrival order (fastest first). When fewer
 // than q replies arrive before ctx expires, the successful prefix is
 // returned along with ErrQuorum.
-func (c *Client) PullFirstQ(ctx context.Context, peers []string, q int, req Request) ([]Reply, error) {
+func pullFirstQ(ctx context.Context, c Caller, peers []string, q int, req Request) ([]Reply, error) {
 	if q <= 0 || q > len(peers) {
 		return nil, fmt.Errorf("rpc: invalid quorum %d of %d peers", q, len(peers))
 	}
 	subCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	type result struct {
-		reply Reply
-		err   error
-	}
-	results := make(chan result, len(peers))
+	results := make(chan pullResult, len(peers))
 	var wg sync.WaitGroup
-	for _, peer := range peers {
-		peer := peer
+	// One flat task slab and a named goroutine body instead of per-peer
+	// closures: the fan-out itself costs two allocations however many peers
+	// participate.
+	tasks := make([]pullTask, len(peers))
+	for i, peer := range peers {
+		tasks[i] = pullTask{c: c, ctx: subCtx, peer: peer, req: req, out: results, wg: &wg}
 		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			vec, err := c.Call(subCtx, peer, req)
-			results <- result{reply: Reply{From: peer, Vec: vec}, err: err}
-		}()
+		go runPullTask(&tasks[i])
 	}
 	// Drain the results channel fully once all calls returned so the
 	// goroutines above never block; the buffer already guarantees that,

@@ -2,9 +2,13 @@ package rpc
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"garfield/internal/tensor"
 	"garfield/internal/transport"
@@ -15,23 +19,85 @@ import (
 // gRPC deployments get from HTTP/2 channels. Requests to the same peer are
 // serialized over its connection (the wire protocol is strict
 // request/response); requests to different peers still run fully in
-// parallel, which is what Garfield's fan-out needs.
+// parallel, which is what Garfield's fan-out needs. For the same reason,
+// concurrent callers (e.g. several server replicas) should each own a
+// PooledClient rather than share one.
 //
-// Trade-off vs Client: no per-call dial latency and fewer allocations, but a
-// straggler request to a peer delays subsequent requests to that same peer,
-// and cancelling one call tears down the shared connection (it is re-dialed
-// lazily). The dial-per-call Client remains the default in protocols; the
-// pooled variant backs the connection-reuse ablation bench.
+// PooledClient is the protocol default (core.Cluster and cmd/garfield-node
+// both construct one per node): per-call dial latency and dial allocations
+// disappear from the steady-state pull loop. Per-call cancellation semantics
+// are retained for straggler handling, and cancellation is cheap: a
+// cancelled call poisons the connection's I/O deadline to unblock itself,
+// and when the request had been fully written and no byte of the reply
+// consumed, the connection survives — the late reply is owed on the wire and
+// drained by the next call to that peer, so steady-state straggler
+// cancellation causes no re-dial churn. Only a cancellation that interrupts
+// mid-frame tears the connection down (it is re-dialed lazily). The
+// dial-per-call Client remains available for one-shot use and backs the
+// connection-reuse ablation bench.
 type PooledClient struct {
 	network transport.Network
 
-	mu    sync.Mutex
-	conns map[string]*pooledConn
+	mu     sync.Mutex
+	closed bool
+	conns  map[string]*pooledConn
 }
 
+var _ Caller = (*PooledClient)(nil)
+
 type pooledConn struct {
-	mu   sync.Mutex
+	mu      sync.Mutex
+	conn    net.Conn
+	rd      countingReader // wraps conn; detects partially-consumed frames
+	pending int            // replies owed on the wire by cancelled calls
+	closed  bool
+
+	// Cancellation machinery: one persistent watcher goroutine per peer,
+	// armed and disarmed by value over channels, so watching a call for
+	// cancellation allocates nothing. state is the in-flight call's
+	// outcome register; the arm/disarm handshake guarantees the watcher
+	// never touches a successor call's connection.
+	state  atomic.Int32
+	arm    chan armReq
+	disarm chan struct{}
+}
+
+type armReq struct {
+	ctx  context.Context
 	conn net.Conn
+}
+
+// watch is the per-peer cancellation watcher: for every armed call it either
+// observes ctx cancellation — poisoning that call's connection deadline to
+// unblock its I/O — or is disarmed when the call completes first. The
+// disarm handshake in both branches means the watcher is provably idle
+// between calls.
+func (pc *pooledConn) watch() {
+	for a := range pc.arm {
+		select {
+		case <-a.ctx.Done():
+			if pc.state.CompareAndSwap(callInFlight, callCancelled) {
+				_ = a.conn.SetDeadline(pastDeadline)
+			}
+			<-pc.disarm
+		case <-pc.disarm:
+		}
+	}
+}
+
+func (pc *pooledConn) disarmCall() { pc.disarm <- struct{}{} }
+
+// countingReader counts consumed bytes so a cancelled read can prove the
+// reply frame was untouched (and the connection therefore reusable).
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // NewPooledClient returns a pooled client dialing over the given network.
@@ -42,77 +108,155 @@ func NewPooledClient(network transport.Network) *PooledClient {
 	}
 }
 
-// Close tears down every pooled connection.
+// Close tears down every pooled connection and stops the watchers. Calls
+// issued after Close fail.
 func (c *PooledClient) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
 	for _, pc := range c.conns {
 		pc.mu.Lock()
 		if pc.conn != nil {
 			_ = pc.conn.Close()
 			pc.conn = nil
 		}
+		if !pc.closed {
+			pc.closed = true
+			close(pc.arm)
+		}
 		pc.mu.Unlock()
 	}
 }
 
-func (c *PooledClient) peer(addr string) *pooledConn {
+func (c *PooledClient) peer(addr string) (*pooledConn, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errClientClosed
+	}
 	pc, ok := c.conns[addr]
 	if !ok {
-		pc = &pooledConn{}
+		pc = &pooledConn{
+			arm:    make(chan armReq),
+			disarm: make(chan struct{}),
+		}
+		go pc.watch()
 		c.conns[addr] = pc
 	}
-	return pc
+	return pc, nil
 }
+
+// Per-call cancellation states; see Call.
+const (
+	callInFlight int32 = iota
+	callFinished
+	callCancelled
+)
+
+// pastDeadline is the sentinel deadline a cancelled call sets to unblock its
+// connection I/O without closing the connection.
+var pastDeadline = time.Unix(1, 0)
+
+// errClientClosed is returned for calls issued after Close.
+var errClientClosed = errors.New("rpc: pooled client closed")
 
 // Call performs one round trip over the peer's persistent connection,
 // dialing lazily on first use and re-dialing after failures.
 func (c *PooledClient) Call(ctx context.Context, addr string, req Request) (tensor.Vector, error) {
-	pc := c.peer(addr)
+	pc, err := c.peer(addr)
+	if err != nil {
+		return nil, err
+	}
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 
+	if pc.closed {
+		return nil, errClientClosed
+	}
 	if pc.conn == nil {
 		conn, err := c.network.Dial(ctx, addr)
 		if err != nil {
 			return nil, fmt.Errorf("rpc: pooled dial %q: %w", addr, err)
 		}
 		pc.conn = conn
+		pc.rd = countingReader{r: conn}
+		pc.pending = 0
 	}
+	// A call that was cancelled before touching the stream must not poison
+	// the pooled connection for its successors.
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return nil, ctxErr
+	}
+	// Clear any deadline poison left by a previously-cancelled call (its
+	// watcher was disarmed before this call could acquire the lock).
+	_ = pc.conn.SetDeadline(time.Time{})
 
-	// Honour ctx cancellation while blocked on I/O; a cancelled call
-	// poisons the shared connection, so drop it for re-dial.
-	done := make(chan struct{})
-	conn := pc.conn
-	go func() {
-		select {
-		case <-ctx.Done():
-			_ = conn.Close()
-		case <-done:
-		}
-	}()
-	defer close(done)
+	// Arm the watcher: it either poisons this connection's deadline on ctx
+	// cancellation or is disarmed on return. The state CAS decides the
+	// race between cancellation and completion (e.g. PullFirstQ cancelling
+	// stragglers just as this peer's reply lands): whichever side
+	// transitions first wins, and the loser does not touch the connection.
+	pc.state.Store(callInFlight)
+	pc.arm <- armReq{ctx: ctx, conn: pc.conn}
+	defer pc.disarmCall()
 
 	fail := func(stage string, err error) (tensor.Vector, error) {
 		_ = pc.conn.Close()
 		pc.conn = nil
 		return nil, fmt.Errorf("rpc: pooled %s %q: %w", stage, addr, wrapCtx(ctx, err))
 	}
-	if err := writeFrame(pc.conn, encodeRequest(req)); err != nil {
+
+	// Drain replies owed by cancelled predecessors so the stream is
+	// positioned at this call's response.
+	for pc.pending > 0 {
+		start := pc.rd.n
+		stale, err := readFramePooled(&pc.rd)
+		if err != nil {
+			if pc.state.Load() == callCancelled && pc.rd.n == start {
+				// Cancelled before the stale reply arrived; the stream
+				// is still clean, leave the debt for the next call.
+				// Cancellation is caller-initiated: report it plainly.
+				return nil, wrapCtx(ctx, err)
+			}
+			return fail("drain", err)
+		}
+		putBuf(stale)
+		pc.pending--
+	}
+
+	if err := writeRequestFrame(pc.conn, req); err != nil {
+		// A failed or interrupted write leaves the request stream in an
+		// unknown state; the connection cannot be reused.
 		return fail("send to", err)
 	}
-	payload, err := readFrame(pc.conn)
+	start := pc.rd.n
+	payload, err := readFramePooled(&pc.rd)
 	if err != nil {
+		if pc.state.Load() == callCancelled && pc.rd.n == start {
+			// Request fully sent, no reply byte consumed: the peer still
+			// owes one response on this stream. Keep the connection and
+			// let the next call drain it. Cancellation is
+			// caller-initiated: report it plainly, without formatting.
+			pc.pending++
+			return nil, wrapCtx(ctx, err)
+		}
 		return fail("receive from", err)
 	}
-	resp, err := decodeResponse(payload)
+	resp, err := decodeResponse(*payload)
+	putBuf(payload)
 	if err != nil {
 		return fail("decode from", err)
 	}
+	pc.state.CompareAndSwap(callInFlight, callFinished)
 	if !resp.OK {
 		return nil, fmt.Errorf("rpc: %q: %w", addr, ErrNotServed)
 	}
 	return resp.Vec, nil
+}
+
+// PullFirstQ implements Caller; see pullFirstQ. Straggler cancellation
+// leaves the affected connections pooled whenever the reply stream is clean
+// (see Call), so repeated pull rounds do not re-dial.
+func (c *PooledClient) PullFirstQ(ctx context.Context, peers []string, q int, req Request) ([]Reply, error) {
+	return pullFirstQ(ctx, c, peers, q, req)
 }

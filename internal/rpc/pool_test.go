@@ -156,3 +156,79 @@ func (c *countingNetwork) Dial(ctx context.Context, addr string) (net.Conn, erro
 	c.dials.Add(1)
 	return c.Network.Dial(ctx, addr)
 }
+
+// TestPooledCancelKeepsConnection pins the cheap-cancellation contract: a
+// call cancelled while awaiting a slow peer leaves the connection pooled
+// (the reply is owed on the wire), and the next call to that peer drains the
+// stale reply and receives its own response — all over the original
+// connection, with no re-dial.
+func TestPooledCancelKeepsConnection(t *testing.T) {
+	inner := transport.NewMem()
+	counting := &countingNetwork{Network: inner}
+	release := make(chan struct{})
+	first := true
+	srv, err := Serve(inner, "peer", HandlerFunc(func(req Request) Response {
+		if first {
+			first = false
+			<-release // hold the first reply back until the call is cancelled
+		}
+		return Response{OK: true, Vec: tensor.Vector{float64(req.Step)}}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := NewPooledClient(counting)
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := c.Call(ctx, "peer", Request{Kind: KindGetModel, Step: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled call err = %v, want context.Canceled", err)
+	}
+	close(release) // the stale reply for step 1 now lands on the wire
+
+	out, err := c.Call(context.Background(), "peer", Request{Kind: KindGetModel, Step: 2})
+	if err != nil {
+		t.Fatalf("post-cancel call failed: %v", err)
+	}
+	if out[0] != 2 {
+		t.Fatalf("post-cancel call got reply %v, want the step-2 reply", out)
+	}
+	if got := counting.dials.Load(); got != 1 {
+		t.Fatalf("dials = %d, want 1 (cancellation must not tear down the connection)", got)
+	}
+}
+
+// TestPooledPullFirstQ exercises the first-q collection primitive over the
+// protocol-default pooled client, including repeated rounds with straggler
+// cancellation in between.
+func TestPooledPullFirstQ(t *testing.T) {
+	net := transport.NewMem()
+	addrs := []string{"a", "b", "c", "d", "e"}
+	for _, addr := range addrs {
+		addr := addr
+		srv, err := Serve(net, addr, HandlerFunc(func(req Request) Response {
+			return Response{OK: true, Vec: tensor.Vector{1}}
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+	}
+	c := NewPooledClient(net)
+	defer c.Close()
+	for round := 0; round < 20; round++ {
+		replies, err := c.PullFirstQ(context.Background(), addrs, 3, Request{Kind: KindGetModel})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if len(replies) != 3 {
+			t.Fatalf("round %d: %d replies", round, len(replies))
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 
+	"garfield/internal/tensor"
 	"garfield/internal/transport"
 )
 
@@ -15,7 +16,9 @@ type Handler interface {
 	// Handle produces the response for one request. Implementations must
 	// be safe for concurrent use: the server dispatches requests from many
 	// connections in parallel, which is how the paper parallelizes
-	// replicated communication.
+	// replicated communication. req.Vec is only valid for the duration of
+	// the call — the server reuses its backing array for the next request
+	// on the connection — so implementations must not retain it.
 	Handle(req Request) Response
 }
 
@@ -109,23 +112,37 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
+	// The request struct, its payload vector and the frame buffers are all
+	// reused across the connection's requests: a steady-state pull loop
+	// costs the server no per-request allocation beyond what the handler
+	// itself does.
+	var req Request
+	var spareVec tensor.Vector
 	for {
-		payload, err := readFrame(conn)
+		payload, err := readFramePooled(conn)
 		if err != nil {
 			return
 		}
-		req, err := decodeRequest(payload)
+		if req.Vec == nil {
+			req.Vec = spareVec
+		}
+		spare, err := decodeRequestInto(&req, *payload)
+		putBuf(payload)
+		if spare != nil {
+			spareVec = spare
+		}
 		if err != nil {
 			// A malformed request may come from a Byzantine peer;
 			// answer not-OK rather than tearing the conn down so
 			// honest retries on the same connection still work.
-			if werr := writeFrame(conn, encodeResponse(Response{})); werr != nil {
+			req = Request{}
+			if werr := writeResponseFrame(conn, Response{}); werr != nil {
 				return
 			}
 			continue
 		}
 		resp := s.handler.Handle(req)
-		if err := writeFrame(conn, encodeResponse(resp)); err != nil {
+		if err := writeResponseFrame(conn, resp); err != nil {
 			return
 		}
 	}

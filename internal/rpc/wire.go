@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"garfield/internal/tensor"
 )
@@ -78,18 +79,68 @@ var (
 	ErrMalformed = errors.New("rpc: malformed message")
 )
 
+// bufPool recycles wire buffers across calls and connections — the paper's
+// Section 4.4 memory-management optimization applied to the RPC layer. Both
+// the framed-send and framed-receive paths borrow from it, so a steady-state
+// pull loop stops allocating per-message byte slices entirely.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// getBuf borrows a buffer of length n from the pool.
+func getBuf(n int) *[]byte {
+	p := bufPool.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// putBuf returns a borrowed buffer to the pool.
+func putBuf(p *[]byte) { bufPool.Put(p) }
+
 // writeFrame writes a length-prefixed payload.
 func writeFrame(w io.Writer, payload []byte) error {
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	p := getBuf(4 + len(payload))
+	b := *p
+	binary.LittleEndian.PutUint32(b, uint32(len(payload)))
+	copy(b[4:], payload)
+	_, err := w.Write(b)
+	putBuf(p)
 	return err
 }
 
-// readFrame reads a length-prefixed payload.
+// writeRequestFrame encodes req and its length prefix into one pooled buffer
+// and writes it with a single Write call (one syscall / pipe handoff per
+// message instead of two, and no per-message allocation).
+func writeRequestFrame(w io.Writer, req Request) error {
+	size := encodedRequestSize(req)
+	p := getBuf(4 + size)
+	b := *p
+	binary.LittleEndian.PutUint32(b, uint32(size))
+	encodeRequestTo(b[4:], req)
+	_, err := w.Write(b)
+	putBuf(p)
+	return err
+}
+
+// writeResponseFrame is writeRequestFrame for responses.
+func writeResponseFrame(w io.Writer, resp Response) error {
+	size := encodedResponseSize(resp)
+	p := getBuf(4 + size)
+	b := *p
+	binary.LittleEndian.PutUint32(b, uint32(size))
+	encodeResponseTo(b[4:], resp)
+	_, err := w.Write(b)
+	putBuf(p)
+	return err
+}
+
+// readFrame reads a length-prefixed payload into a fresh slice.
 func readFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -106,53 +157,108 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return payload, nil
 }
 
-// encodeRequest serializes r: kind(1) step(4) hasVec(1) [vec].
-func encodeRequest(r Request) []byte {
+// readFramePooled reads a length-prefixed payload into a pooled buffer. The
+// caller must release the returned buffer with putBuf once the payload has
+// been decoded.
+func readFramePooled(r io.Reader) (*[]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	p := getBuf(int(n))
+	if _, err := io.ReadFull(r, *p); err != nil {
+		putBuf(p)
+		return nil, err
+	}
+	return p, nil
+}
+
+func encodedRequestSize(r Request) int {
 	size := 6
 	if r.Vec != nil {
 		size += r.Vec.EncodedSize()
 	}
-	buf := make([]byte, size)
+	return size
+}
+
+// encodeRequestTo serializes r into buf (len encodedRequestSize(r)):
+// kind(1) step(4) hasVec(1) [vec].
+func encodeRequestTo(buf []byte, r Request) {
 	buf[0] = byte(r.Kind)
 	binary.LittleEndian.PutUint32(buf[1:], r.Step)
+	buf[5] = 0
 	if r.Vec != nil {
 		buf[5] = 1
 		// Encoding into a correctly-sized buffer cannot fail.
 		_ = r.Vec.EncodeTo(buf[6:])
 	}
+}
+
+// encodeRequest serializes r into a fresh slice.
+func encodeRequest(r Request) []byte {
+	buf := make([]byte, encodedRequestSize(r))
+	encodeRequestTo(buf, r)
 	return buf
+}
+
+// decodeRequestInto parses the output of encodeRequest into req, reusing
+// req.Vec's backing array when its capacity suffices. On requests without a
+// payload req.Vec is nil; the previous buffer is handed back in spare so the
+// caller can keep it for the next request.
+func decodeRequestInto(req *Request, b []byte) (spare tensor.Vector, err error) {
+	if len(b) < 6 {
+		return req.Vec, fmt.Errorf("%w: request of %d bytes", ErrMalformed, len(b))
+	}
+	req.Kind = Kind(b[0])
+	req.Step = binary.LittleEndian.Uint32(b[1:])
+	if b[5] != 1 {
+		spare = req.Vec
+		req.Vec = nil
+		return spare, nil
+	}
+	if err := req.Vec.UnmarshalBinary(b[6:]); err != nil {
+		return req.Vec, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	return nil, nil
 }
 
 // decodeRequest parses the output of encodeRequest.
 func decodeRequest(b []byte) (Request, error) {
-	if len(b) < 6 {
-		return Request{}, fmt.Errorf("%w: request of %d bytes", ErrMalformed, len(b))
+	var req Request
+	if _, err := decodeRequestInto(&req, b); err != nil {
+		return Request{}, err
 	}
-	r := Request{
-		Kind: Kind(b[0]),
-		Step: binary.LittleEndian.Uint32(b[1:]),
-	}
-	if b[5] == 1 {
-		if err := r.Vec.UnmarshalBinary(b[6:]); err != nil {
-			return Request{}, fmt.Errorf("%w: %v", ErrMalformed, err)
-		}
-	}
-	return r, nil
+	return req, nil
 }
 
-// encodeResponse serializes r: ok(1) [vec].
-func encodeResponse(r Response) []byte {
+func encodedResponseSize(r Response) int {
 	size := 1
 	if r.OK && r.Vec != nil {
 		size += r.Vec.EncodedSize()
 	}
-	buf := make([]byte, size)
+	return size
+}
+
+// encodeResponseTo serializes r into buf (len encodedResponseSize(r)):
+// ok(1) [vec].
+func encodeResponseTo(buf []byte, r Response) {
+	buf[0] = 0
 	if r.OK {
 		buf[0] = 1
 		if r.Vec != nil {
 			_ = r.Vec.EncodeTo(buf[1:])
 		}
 	}
+}
+
+// encodeResponse serializes r into a fresh slice.
+func encodeResponse(r Response) []byte {
+	buf := make([]byte, encodedResponseSize(r))
+	encodeResponseTo(buf, r)
 	return buf
 }
 

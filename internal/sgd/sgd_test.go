@@ -173,3 +173,26 @@ func TestOptimizerConvergesOnQuadratic(t *testing.T) {
 		t.Fatalf("did not converge: distance %v", d)
 	}
 }
+
+// TestApplySteadyStateZeroAlloc pins the optimizer side of the
+// zero-allocation training iteration: once the momentum buffer exists,
+// Apply performs in-place updates only.
+func TestApplySteadyStateZeroAlloc(t *testing.T) {
+	opt, err := New(Constant(0.1), WithMomentum(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := tensor.Filled(1024, 1)
+	grad := tensor.Filled(1024, 0.01)
+	if err := opt.Apply(params, grad); err != nil {
+		t.Fatal(err) // first call allocates the velocity buffer
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := opt.Apply(params, grad); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Apply allocs/op = %v, want 0", allocs)
+	}
+}

@@ -179,11 +179,22 @@ func (v Vector) CosineSimilarity(w Vector) (float64, error) {
 // Mean returns the coordinate-wise average of the given vectors — the
 // aggregation rule used by vanilla (non-resilient) deployments.
 func Mean(vs []Vector) (Vector, error) {
+	return MeanInto(nil, vs)
+}
+
+// MeanInto computes the coordinate-wise average of the given vectors into
+// dst, reusing dst's backing array when its capacity suffices (dst may be nil
+// or of any length). dst must not alias any input vector. The accumulation
+// order is identical to Mean's, so the two produce bit-identical results.
+func MeanInto(dst Vector, vs []Vector) (Vector, error) {
 	if len(vs) == 0 {
 		return nil, ErrEmpty
 	}
 	d := len(vs[0])
-	out := make(Vector, d)
+	out := Resize(dst, d)
+	for i := range out {
+		out[i] = 0
+	}
 	for _, v := range vs {
 		if len(v) != d {
 			return nil, fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, d, len(v))
@@ -197,6 +208,16 @@ func Mean(vs []Vector) (Vector, error) {
 		out[i] *= inv
 	}
 	return out, nil
+}
+
+// Resize returns a vector of dimension d backed by v's array when possible:
+// v is truncated or extended in place if cap(v) >= d, and reallocated
+// otherwise. Contents are unspecified; callers overwrite every coordinate.
+func Resize(v Vector, d int) Vector {
+	if cap(v) >= d {
+		return v[:d]
+	}
+	return make(Vector, d)
 }
 
 // CheckSameDim validates that all vectors share one dimension and returns it.

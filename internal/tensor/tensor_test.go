@@ -395,3 +395,119 @@ func TestMeanPropertyBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMeanIntoMatchesMeanAndReuses(t *testing.T) {
+	rng := NewRNG(9)
+	vs := make([]Vector, 7)
+	for i := range vs {
+		vs[i] = rng.NormalVector(33, 0, 1)
+	}
+	want, err := Mean(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := New(33)
+	got, err := MeanInto(dst, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &dst[0] {
+		t.Fatal("MeanInto did not reuse dst")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MeanInto[%d] = %v, Mean = %v", i, got[i], want[i])
+		}
+	}
+	// Dirty destination contents must not leak into the result.
+	for i := range dst {
+		dst[i] = 1e18
+	}
+	got, err = MeanInto(dst, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dirty-dst MeanInto[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := MeanInto(nil, nil); err == nil {
+		t.Fatal("MeanInto(nil, nil) should fail")
+	}
+}
+
+func TestResize(t *testing.T) {
+	v := make(Vector, 4, 16)
+	if got := Resize(v, 10); &got[0] != &v[0] || len(got) != 10 {
+		t.Fatalf("Resize within capacity reallocated: len=%d", len(got))
+	}
+	if got := Resize(v, 32); len(got) != 32 {
+		t.Fatalf("Resize beyond capacity: len=%d", len(got))
+	}
+	if got := Resize(nil, 3); len(got) != 3 {
+		t.Fatalf("Resize(nil): len=%d", len(got))
+	}
+}
+
+func TestUnmarshalBinaryReusesReceiver(t *testing.T) {
+	rng := NewRNG(4)
+	v := rng.NormalVector(513, 0, 1) // odd length: exercises the unrolled tail
+	buf, err := v.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := New(1024) // plenty of capacity
+	backing := &w[:1][0]
+	if err := w.UnmarshalBinary(buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != len(v) {
+		t.Fatalf("decoded len %d, want %d", len(w), len(v))
+	}
+	if &w[0] != backing {
+		t.Fatal("UnmarshalBinary reallocated despite sufficient capacity")
+	}
+	for i := range v {
+		if w[i] != v[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+	// Insufficient capacity must still grow.
+	small := New(4)
+	if err := small.UnmarshalBinary(buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(small) != len(v) {
+		t.Fatalf("grown decode len %d, want %d", len(small), len(v))
+	}
+}
+
+func TestCodecSteadyStateZeroAlloc(t *testing.T) {
+	rng := NewRNG(6)
+	v := rng.NormalVector(10_001, 0, 1)
+	buf := make([]byte, v.EncodedSize())
+	var w Vector
+	if err := w.UnmarshalBinary(mustEncode(t, v, buf)); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := v.EncodeTo(buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.UnmarshalBinary(buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state codec round trip allocs/op = %v, want 0", allocs)
+	}
+}
+
+func mustEncode(t *testing.T, v Vector, buf []byte) []byte {
+	t.Helper()
+	if err := v.EncodeTo(buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}

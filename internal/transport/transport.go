@@ -150,14 +150,18 @@ func (a memAddr) Network() string { return "mem" }
 func (a memAddr) String() string  { return string(a) }
 
 // Faulty wraps a Network with crash and delay injection keyed by address.
-// Crashing an address makes dials to it fail (the node looks dead); a dial
-// delay models a slow link or straggler node.
+// Crashing an address makes dials to it fail and severs its established
+// connections (the node looks dead to old and new RPC attempts alike — the
+// fidelity persistent-connection clients need); a dial delay models a slow
+// link or straggler node, and setting one also severs established
+// connections so pooled callers re-dial through the delay.
 type Faulty struct {
 	inner Network
 
 	mu      sync.Mutex
 	crashed map[string]bool
 	delays  map[string]time.Duration
+	conns   map[string]map[*faultyConn]struct{} // live dials per remote addr
 }
 
 var _ Network = (*Faulty)(nil)
@@ -168,16 +172,50 @@ func NewFaulty(inner Network) *Faulty {
 		inner:   inner,
 		crashed: make(map[string]bool),
 		delays:  make(map[string]time.Duration),
+		conns:   make(map[string]map[*faultyConn]struct{}),
 	}
 }
 
-// Crash makes dials to addr fail until Recover is called. Existing
-// connections are unaffected, matching a process crash as observed by new
-// RPC attempts.
-func (f *Faulty) Crash(addr string) {
+// faultyConn tracks a dialed connection so injected faults can sever it.
+type faultyConn struct {
+	net.Conn
+	f    *Faulty
+	addr string
+}
+
+// Close implements net.Conn, deregistering the connection.
+func (c *faultyConn) Close() error {
+	c.f.forget(c)
+	return c.Conn.Close()
+}
+
+func (f *Faulty) forget(c *faultyConn) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if set, ok := f.conns[c.addr]; ok {
+		delete(set, c)
+	}
+}
+
+// sever closes every established connection to addr.
+func (f *Faulty) sever(addr string) {
+	f.mu.Lock()
+	set := f.conns[addr]
+	delete(f.conns, addr)
+	f.mu.Unlock()
+	for c := range set {
+		_ = c.Conn.Close()
+	}
+}
+
+// Crash makes dials to addr fail and severs its established connections
+// until Recover is called — a process crash as observed both by in-flight
+// traffic and by new RPC attempts.
+func (f *Faulty) Crash(addr string) {
+	f.mu.Lock()
 	f.crashed[addr] = true
+	f.mu.Unlock()
+	f.sever(addr)
 }
 
 // Recover clears a crash.
@@ -188,11 +226,13 @@ func (f *Faulty) Recover(addr string) {
 }
 
 // SetDelay makes every dial to addr wait d before connecting, modelling a
-// straggler or a slow link.
+// straggler or a slow link. Established connections are severed so clients
+// holding persistent connections observe the new delay on their next use.
 func (f *Faulty) SetDelay(addr string, d time.Duration) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	f.delays[addr] = d
+	f.mu.Unlock()
+	f.sever(addr)
 }
 
 // Listen implements Network.
@@ -218,5 +258,22 @@ func (f *Faulty) Dial(ctx context.Context, addr string) (net.Conn, error) {
 			return nil, ctx.Err()
 		}
 	}
-	return f.inner.Dial(ctx, addr)
+	conn, err := f.inner.Dial(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	fc := &faultyConn{Conn: conn, f: f, addr: addr}
+	f.mu.Lock()
+	if f.crashed[addr] {
+		// Crashed while the dial was in flight.
+		f.mu.Unlock()
+		_ = conn.Close()
+		return nil, fmt.Errorf("%w: %q (crashed)", ErrConnRefused, addr)
+	}
+	if f.conns[addr] == nil {
+		f.conns[addr] = make(map[*faultyConn]struct{})
+	}
+	f.conns[addr][fc] = struct{}{}
+	f.mu.Unlock()
+	return fc, nil
 }

@@ -234,3 +234,67 @@ func TestTCPRoundTrip(t *testing.T) {
 		t.Fatalf("echo = %q", buf)
 	}
 }
+
+// TestFaultyCrashSeversEstablishedConns pins the fidelity persistent-
+// connection clients rely on: crashing an address must kill its live
+// connections, not just refuse new dials.
+func TestFaultyCrashSeversEstablishedConns(t *testing.T) {
+	f := NewFaulty(NewMem())
+	l, err := f.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	conn, err := f.Dial(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Crash("a")
+	buf := make([]byte, 1)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := conn.Read(buf)
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("read on severed connection succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("read on severed connection did not unblock")
+	}
+}
+
+// TestFaultySetDelaySeversEstablishedConns: a newly-injected delay must also
+// apply to clients holding pooled connections, which requires severing them.
+func TestFaultySetDelaySeversEstablishedConns(t *testing.T) {
+	f := NewFaulty(NewMem())
+	l, err := f.Listen("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	conn, err := f.Dial(context.Background(), "slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetDelay("slow", time.Millisecond)
+	if _, err := conn.Write([]byte{1}); err == nil {
+		t.Fatal("write on severed connection succeeded")
+	}
+}
