@@ -1,0 +1,301 @@
+// Command garfield-scenarios is the CLI front end of the declarative
+// scenario engine (internal/scenario): it lists and describes the named
+// presets reproducing the paper's headline configurations, runs a single
+// scenario from a preset, a JSON file or flag overrides, and executes
+// scenario sweeps (cartesian matrices of topologies x GARs x attacks x f
+// values) with CSV + JSON artifacts.
+//
+// Usage:
+//
+//	garfield-scenarios list
+//	garfield-scenarios describe <preset>
+//	garfield-scenarios run [-preset name | -spec file.json] [overrides] [-format table|csv]
+//	garfield-scenarios sweep [-preset name | -spec file.json] -topologies a,b -rules c,d -attacks e,f [-fws 1,2] [-out dir] [-timing]
+//
+// Run overrides (zero values keep the loaded spec's setting): -topology,
+// -rule, -attack, -nw, -fw, -nps, -fps, -iters, -acc-every, -seed.
+//
+// A sweep at a fixed seed without -timing produces bit-identical artifacts
+// across runs; -timing adds the wall-clock columns, which naturally vary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"garfield/internal/metrics"
+	"garfield/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "garfield-scenarios:", err)
+		os.Exit(1)
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: garfield-scenarios <command> [flags]
+
+commands:
+  list                 list the named scenario presets
+  describe <preset>    print a preset's full spec as JSON
+  run                  run one scenario (preset, JSON file, or flag overrides)
+  sweep                expand and run a scenario matrix, emitting artifacts
+
+run 'garfield-scenarios <command> -h' for command flags`)
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		usage(out)
+		return fmt.Errorf("a command is required")
+	}
+	switch args[0] {
+	case "list":
+		return runList(out)
+	case "describe":
+		return runDescribe(args[1:], out)
+	case "run":
+		return runRun(args[1:], out)
+	case "sweep":
+		return runSweep(args[1:], out)
+	case "-h", "-help", "--help", "help":
+		usage(out)
+		return nil
+	}
+	usage(out)
+	return fmt.Errorf("unknown command %q", args[0])
+}
+
+func runList(out io.Writer) error {
+	for _, name := range scenario.Names() {
+		desc, err := scenario.Describe(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%-28s %s\n", name, desc)
+	}
+	return nil
+}
+
+func runDescribe(args []string, out io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: garfield-scenarios describe <preset>")
+	}
+	sp, err := scenario.ByName(args[0])
+	if err != nil {
+		return err
+	}
+	return sp.EncodeJSON(out)
+}
+
+// loadSpec resolves the -preset/-spec pair shared by run and sweep.
+func loadSpec(preset, specFile string) (scenario.Spec, error) {
+	if preset != "" && specFile != "" {
+		return scenario.Spec{}, fmt.Errorf("-preset and -spec are mutually exclusive")
+	}
+	if specFile != "" {
+		f, err := os.Open(specFile)
+		if err != nil {
+			return scenario.Spec{}, err
+		}
+		defer f.Close()
+		return scenario.DecodeJSON(f)
+	}
+	if preset == "" {
+		return scenario.Spec{}, fmt.Errorf("one of -preset or -spec is required")
+	}
+	return scenario.ByName(preset)
+}
+
+func runRun(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("garfield-scenarios run", flag.ContinueOnError)
+	preset := fs.String("preset", "", "named preset to run (see list)")
+	specFile := fs.String("spec", "", "JSON spec file to run")
+	format := fs.String("format", "table", "output format: table or csv")
+	topology := fs.String("topology", "", "override topology")
+	rule := fs.String("rule", "", "override the GAR")
+	atk := fs.String("attack", "", "override the worker attack (none clears it)")
+	nw := fs.Int("nw", 0, "override total workers")
+	fw := fs.Int("fw", -1, "override Byzantine workers")
+	nps := fs.Int("nps", 0, "override server replicas")
+	fps := fs.Int("fps", -1, "override Byzantine servers")
+	iters := fs.Int("iters", 0, "override iterations")
+	accEvery := fs.Int("acc-every", -1, "override accuracy-measurement period")
+	seed := fs.Uint64("seed", 0, "override the cluster seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	sp, err := loadSpec(*preset, *specFile)
+	if err != nil {
+		return err
+	}
+	if *topology != "" {
+		sp.Topology = *topology
+	}
+	if *rule != "" {
+		sp.Rule = *rule
+	}
+	if *atk != "" {
+		if *atk == "none" {
+			sp.WorkerAttack = scenario.AttackSpec{}
+		} else {
+			sp.WorkerAttack.Name = *atk
+		}
+	}
+	if *nw > 0 {
+		sp.NW = *nw
+	}
+	if *fw >= 0 {
+		sp.FW = *fw
+	}
+	if *nps > 0 {
+		sp.NPS = *nps
+	}
+	if *fps >= 0 {
+		sp.FPS = *fps
+	}
+	if *iters > 0 {
+		sp.Iterations = *iters
+	}
+	if *accEvery >= 0 {
+		sp.AccEvery = *accEvery
+	}
+	if *seed != 0 {
+		sp.Seed = *seed
+	}
+
+	res, err := scenario.Run(sp)
+	if err != nil {
+		return err
+	}
+	name := sp.Name
+	if name == "" {
+		name = sp.Topology
+	}
+	fig := &metrics.Figure{
+		Title:  fmt.Sprintf("%s: %s x %s (nw=%d fw=%d)", name, sp.Topology, sp.Rule, sp.NW, sp.FW),
+		XLabel: "iteration", YLabel: "accuracy",
+	}
+	s := fig.AddSeries("accuracy")
+	s.Points = append(s.Points, res.Accuracy.Points...)
+	switch *format {
+	case "table":
+		if err := fig.Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "final accuracy %.4f after %d updates (%.1f updates/sec)\n",
+			res.Accuracy.Last(), res.Updates, res.UpdatesPerSec())
+		return nil
+	case "csv":
+		return fig.RenderCSV(out)
+	}
+	return fmt.Errorf("unknown format %q (want table or csv)", *format)
+}
+
+func runSweep(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("garfield-scenarios sweep", flag.ContinueOnError)
+	preset := fs.String("preset", "sweep-default", "preset used as the sweep base")
+	specFile := fs.String("spec", "", "JSON spec file used as the sweep base")
+	name := fs.String("name", "", "sweep name in the report")
+	topologies := fs.String("topologies", "", "comma-separated topologies to sweep")
+	rules := fs.String("rules", "", "comma-separated GARs to sweep")
+	attacks := fs.String("attacks", "", "comma-separated worker attacks to sweep (none = honest)")
+	fws := fs.String("fws", "", "comma-separated Byzantine worker counts to sweep")
+	iters := fs.Int("iters", 0, "override base iterations")
+	seed := fs.Uint64("seed", 0, "override the base seed")
+	outDir := fs.String("out", "", "artifact directory (per-cell CSVs, summary.csv, sweep.json)")
+	parallel := fs.Int("parallel", 0, "max concurrently-running cells (0: GOMAXPROCS)")
+	timing := fs.Bool("timing", false, "include wall-clock columns (non-deterministic run to run)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	basePreset := *preset
+	if *specFile != "" {
+		basePreset = "" // an explicit spec file wins over the preset default
+	}
+	base, err := loadSpec(basePreset, *specFile)
+	if err != nil {
+		return err
+	}
+	if *iters > 0 {
+		base.Iterations = *iters
+	}
+	if *seed != 0 {
+		base.Seed = *seed
+	}
+	m := scenario.Matrix{
+		Name:       *name,
+		Base:       base,
+		Topologies: splitList(*topologies),
+		Rules:      splitList(*rules),
+		Attacks:    splitList(*attacks),
+		FWs:        nil,
+	}
+	for _, s := range splitList(*fws) {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return fmt.Errorf("bad -fws entry %q: %w", s, err)
+		}
+		m.FWs = append(m.FWs, v)
+	}
+
+	rep, err := scenario.RunSweep(m, scenario.SweepOptions{
+		Parallel: *parallel, OutDir: *outDir, Timing: *timing,
+	})
+	if err != nil {
+		return err
+	}
+
+	t := &metrics.Table{
+		Title:  fmt.Sprintf("Sweep: %d cells (seed %d)", len(rep.Cells), rep.Seed),
+		Header: []string{"cell", "status", "final acc", "max acc", "updates"},
+	}
+	failures := 0
+	for _, c := range rep.Cells {
+		status := c.Status
+		if c.Status != "ok" {
+			failures++
+			status = "error: " + c.Error
+		}
+		t.AddRow(c.ID, status,
+			fmt.Sprintf("%.4f", c.FinalAccuracy),
+			fmt.Sprintf("%.4f", c.MaxAccuracy),
+			strconv.Itoa(c.Updates))
+	}
+	if err := t.Render(out); err != nil {
+		return err
+	}
+	if *outDir != "" {
+		fmt.Fprintf(out, "artifacts written to %s\n", *outDir)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d cells failed", failures, len(rep.Cells))
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"garfield/internal/scenario"
+)
+
+func TestList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"quickstart", "msmw-demo", "sweep-default"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("list output missing preset %q", want)
+		}
+	}
+}
+
+func TestDescribeEmitsValidSpec(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"describe", "quickstart"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := scenario.DecodeJSON(&buf)
+	if err != nil {
+		t.Fatalf("describe output is not a decodable spec: %v", err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("described spec fails validation: %v", err)
+	}
+}
+
+func TestDescribeUnknown(t *testing.T) {
+	if err := run([]string{"describe", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("want error for unknown preset")
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	if err := run([]string{"frobnicate"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("want error for unknown command")
+	}
+}
+
+// tinySpecFile writes a fast-running spec to disk and returns its path.
+func tinySpecFile(t *testing.T) string {
+	t.Helper()
+	sp := scenario.Spec{
+		Name:     "tiny",
+		Topology: scenario.TopoSSMW,
+		NW:       5, FW: 1,
+		NPS:        3,
+		Rule:       "median",
+		SyncQuorum: true, Deterministic: true,
+		Model:     scenario.ModelSpec{Kind: scenario.ModelLinear, In: 8, Classes: 4},
+		Dataset:   scenario.DatasetSpec{Name: "t", Dim: 8, Classes: 4, Train: 120, Test: 40, Separation: 1, Noise: 1, Seed: 2},
+		BatchSize: 8,
+		Seed:      2, Iterations: 4, AccEvery: 2,
+	}
+	path := filepath.Join(t.TempDir(), "tiny.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := sp.EncodeJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFromSpecFileWithOverrides(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"run", "-spec", tinySpecFile(t), "-iters", "3", "-rule", "krum", "-format", "csv"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "iteration,accuracy") {
+		t.Errorf("csv output missing header: %q", out)
+	}
+}
+
+func TestSweepArtifacts(t *testing.T) {
+	outDir := filepath.Join(t.TempDir(), "artifacts")
+	var buf bytes.Buffer
+	err := run([]string{"sweep", "-spec", tinySpecFile(t),
+		"-topologies", "ssmw,msmw", "-rules", "median,krum", "-out", outDir}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(outDir, "sweep.json"))
+	if err != nil {
+		t.Fatalf("sweep.json not written: %v", err)
+	}
+	var rep scenario.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("sweep.json not parseable: %v", err)
+	}
+	if len(rep.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Status != "ok" {
+			t.Errorf("cell %s failed: %s", c.ID, c.Error)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(outDir, "summary.csv")); err != nil {
+		t.Errorf("summary.csv not written: %v", err)
+	}
+}

@@ -5,6 +5,10 @@
 // reversed-vectors attack — only the latter survives, which is the paper's
 // Figure 5 in miniature.
 //
+// Each of the three parts is one scenario preset; the primary crash is a
+// declarative fault-schedule entry ({"after": 75, "kind": "crash-server"})
+// rather than hand-driven cluster surgery.
+//
 // Run with: go run ./examples/crashvsbyz
 package main
 
@@ -21,47 +25,18 @@ func main() {
 	}
 }
 
-func task() (garfield.Model, *garfield.Dataset, *garfield.Dataset, error) {
-	train, test, err := garfield.GenerateDataset(garfield.SyntheticSpec{
-		Name: "crashvsbyz", Dim: 64, Classes: 10,
-		Train: 4000, Test: 1000,
-		Separation: 0.45, Noise: 1.0, Seed: 4,
-	})
+func runPreset(name string) (*garfield.Result, error) {
+	sp, err := garfield.ScenarioByName(name)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
-	arch, err := garfield.NewLinearSoftmax(64, 10)
-	return arch, train, test, err
+	return garfield.RunScenario(sp)
 }
 
 func run() error {
-	arch, train, test, err := task()
-	if err != nil {
-		return err
-	}
-	base := garfield.Config{
-		Arch: arch, Train: train, Test: test,
-		BatchSize: 32,
-		NW:        9, FW: 1,
-		NPS: 4, FPS: 1,
-		Rule: garfield.RuleMedian,
-		LR:   garfield.ConstantLR(0.25),
-		Seed: 4,
-	}
-
-	// Part 1: crash fail-over. Train halfway, kill the primary, continue.
-	crashCfg := base
-	crashCfg.FW, crashCfg.FPS = 0, 0
-	crashCluster, err := garfield.NewCluster(crashCfg)
-	if err != nil {
-		return err
-	}
-	defer crashCluster.Close()
-	if _, err := crashCluster.RunCrashTolerant(garfield.RunOptions{Iterations: 75}); err != nil {
-		return err
-	}
-	crashCluster.CrashServer(0)
-	after, err := crashCluster.RunCrashTolerant(garfield.RunOptions{Iterations: 75})
+	// Part 1: crash fail-over. The fault schedule kills the primary at
+	// iteration 75 of 150; the backup replica takes over.
+	after, err := runPreset("crashvsbyz-failover")
 	if err != nil {
 		return err
 	}
@@ -69,29 +44,13 @@ func run() error {
 		after.Accuracy.Last())
 
 	// Part 2: the same crash-tolerant protocol under a Byzantine attack.
-	reversed, err := garfield.NewAttack(garfield.AttackReversed, nil)
-	if err != nil {
-		return err
-	}
-	atkCfg := base
-	atkCfg.WorkerAttack = reversed
-	atkCluster, err := garfield.NewCluster(atkCfg)
-	if err != nil {
-		return err
-	}
-	defer atkCluster.Close()
-	crashUnderAttack, err := atkCluster.RunCrashTolerant(garfield.RunOptions{Iterations: 150})
+	crashUnderAttack, err := runPreset("crashvsbyz-attack")
 	if err != nil {
 		return err
 	}
 
 	// Part 3: Byzantine-resilient MSMW under the same attack.
-	msmwCluster, err := garfield.NewCluster(atkCfg)
-	if err != nil {
-		return err
-	}
-	defer msmwCluster.Close()
-	msmwUnderAttack, err := msmwCluster.RunMSMW(garfield.RunOptions{Iterations: 150})
+	msmwUnderAttack, err := runPreset("crashvsbyz-msmw")
 	if err != nil {
 		return err
 	}

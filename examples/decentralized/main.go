@@ -1,7 +1,8 @@
 // Decentralized learning: the paper's Listing 3 — peer-to-peer training
 // with no parameter server, on non-IID data (each node sees only a couple of
 // classes), using the multi-round contract step to pull the correct nodes'
-// states together.
+// states together. The deployment is the "decentralized-demo" preset of the
+// scenario engine.
 //
 // Run with: go run ./examples/decentralized
 package main
@@ -20,39 +21,14 @@ func main() {
 }
 
 func run() error {
-	train, test, err := garfield.GenerateDataset(garfield.SyntheticSpec{
-		Name: "decentralized-demo", Dim: 64, Classes: 10,
-		Train: 5000, Test: 1000,
-		Separation: 0.45, Noise: 1.0, Seed: 3,
-	})
+	// 6 peers, 1 Byzantine; every node owns a Server and a Worker object.
+	// Data is sharded by label, so no single node can learn the task
+	// alone.
+	sp, err := garfield.ScenarioByName("decentralized-demo")
 	if err != nil {
 		return err
 	}
-	arch, err := garfield.NewLinearSoftmax(64, 10)
-	if err != nil {
-		return err
-	}
-
-	// 6 peers, 1 Byzantine; every node owns a Server and a Worker
-	// object (NPS == NW pairs them up). Data is sharded by label, so no
-	// single node can learn the task alone.
-	cluster, err := garfield.NewCluster(garfield.Config{
-		Arch: arch, Train: train, Test: test,
-		BatchSize: 32,
-		NW:        6, FW: 1,
-		NPS:           6,
-		Rule:          garfield.RuleMedian,
-		NonIID:        true,
-		ContractSteps: 2,
-		LR:            garfield.ConstantLR(0.25),
-		Seed:          3,
-	})
-	if err != nil {
-		return err
-	}
-	defer cluster.Close()
-
-	res, err := cluster.RunDecentralized(garfield.RunOptions{Iterations: 200, AccEvery: 25})
+	res, err := garfield.RunScenario(sp)
 	if err != nil {
 		return err
 	}

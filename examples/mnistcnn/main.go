@@ -1,7 +1,8 @@
 // MNIST_CNN: trains the paper's smallest Table-1 architecture family — a
 // convolutional network on 28x28 images — through the Byzantine-resilient
 // SSMW protocol, with one worker mounting the little-is-enough attack
-// (stealthy collusion), the hardest published attack implemented here.
+// (stealthy collusion), the hardest published attack implemented here. The
+// deployment is the "mnistcnn-lie" preset of the scenario engine.
 //
 // Run with: go run ./examples/mnistcnn
 package main
@@ -20,13 +21,7 @@ func main() {
 }
 
 func run() error {
-	// Synthetic MNIST: same 28x28x1 shape and 10 classes as the real
-	// dataset (drop-in replaceable via the data loaders, see README).
-	train, test, err := garfield.GenerateDataset(garfield.SyntheticSpec{
-		Name: "synthetic-mnist", Dim: 28 * 28, Classes: 10,
-		Train: 1200, Test: 400,
-		Separation: 0.25, Noise: 0.5, Seed: 6,
-	})
+	sp, err := garfield.ScenarioByName("mnistcnn-lie")
 	if err != nil {
 		return err
 	}
@@ -34,30 +29,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-
-	lie, err := garfield.NewAttack(garfield.AttackLittleIsEnough, garfield.NewRNG(6))
-	if err != nil {
-		return err
-	}
-	cluster, err := garfield.NewCluster(garfield.Config{
-		Arch: arch, Train: train, Test: test,
-		BatchSize: 16,
-		NW:        5, FW: 1,
-		Rule:         garfield.RuleMedian,
-		WorkerAttack: lie,
-		// The attacker estimates honest statistics from its own shard,
-		// the strongest realistic adversary (no omniscience).
-		AttackSelfPeers: 3,
-		LR:              garfield.ConstantLR(0.1),
-		Seed:            6,
-	})
-	if err != nil {
-		return err
-	}
-	defer cluster.Close()
-
 	fmt.Printf("training MNIST_CNN (%d parameters) under the little-is-enough attack\n", arch.Dim())
-	res, err := cluster.RunSSMW(garfield.RunOptions{Iterations: 60, AccEvery: 15})
+	res, err := garfield.RunScenario(sp)
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,10 @@
 // a Byzantine server serves random models. Vanilla averaging collapses under
 // this attack; the Garfield deployment converges.
 //
+// Both runs derive from the "msmw-demo" scenario preset — the baseline is
+// the same spec with its topology flipped to vanilla, which is the whole
+// point of declarative scenarios.
+//
 // Run with: go run ./examples/msmw
 package main
 
@@ -21,59 +25,21 @@ func main() {
 }
 
 func run() error {
-	train, test, err := garfield.GenerateDataset(garfield.SyntheticSpec{
-		Name: "msmw-demo", Dim: 64, Classes: 10,
-		Train: 4000, Test: 1000,
-		Separation: 0.45, Noise: 1.0, Seed: 2,
-	})
+	sp, err := garfield.ScenarioByName("msmw-demo")
 	if err != nil {
 		return err
-	}
-	arch, err := garfield.NewLinearSoftmax(64, 10)
-	if err != nil {
-		return err
-	}
-
-	reversed, err := garfield.NewAttack(garfield.AttackReversed, nil)
-	if err != nil {
-		return err
-	}
-	random, err := garfield.NewAttack(garfield.AttackRandom, garfield.NewRNG(99))
-	if err != nil {
-		return err
-	}
-
-	cfg := garfield.Config{
-		Arch: arch, Train: train, Test: test,
-		BatchSize: 32,
-		NW:        11, FW: 1,
-		NPS: 4, FPS: 1,
-		Rule:         garfield.RuleMultiKrum,
-		SyncQuorum:   true,
-		WorkerAttack: reversed,
-		ServerAttack: random,
-		LR:           garfield.ConstantLR(0.25),
-		Seed:         2,
 	}
 
 	// Byzantine-resilient deployment under attack.
-	cluster, err := garfield.NewCluster(cfg)
-	if err != nil {
-		return err
-	}
-	defer cluster.Close()
-	robust, err := cluster.RunMSMW(garfield.RunOptions{Iterations: 150, AccEvery: 25})
+	robust, err := garfield.RunScenario(sp)
 	if err != nil {
 		return err
 	}
 
 	// The same attack against the vanilla (averaging) baseline.
-	vanillaCluster, err := garfield.NewCluster(cfg)
-	if err != nil {
-		return err
-	}
-	defer vanillaCluster.Close()
-	vanilla, err := vanillaCluster.RunVanilla(garfield.RunOptions{Iterations: 150, AccEvery: 25})
+	vanillaSpec := sp
+	vanillaSpec.Topology = "vanilla"
+	vanilla, err := garfield.RunScenario(vanillaSpec)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,11 @@
 // workers, some of which are Byzantine, trained with a statistically-robust
 // gradient aggregation rule (SSMW).
 //
+// The deployment is the "quickstart" preset of the declarative scenario
+// engine: one spec instead of hand-wired cluster setup. Print it with
+//
+//	garfield-scenarios describe quickstart
+//
 // Run with: go run ./examples/quickstart
 package main
 
@@ -19,38 +24,17 @@ func main() {
 }
 
 func run() error {
-	// A synthetic MNIST-like task (the repository substitutes deterministic
-	// Gaussian mixtures for the real datasets; see DESIGN.md).
-	train, test, err := garfield.GenerateDataset(garfield.SyntheticSpec{
-		Name: "quickstart", Dim: 64, Classes: 10,
-		Train: 4000, Test: 1000,
-		Separation: 0.45, Noise: 1.0, Seed: 1,
-	})
+	// The preset bundles the synthetic MNIST-like task, 9 workers of
+	// which up to 2 Byzantine, and Multi-Krum aggregation; tweak any field
+	// before running (it is a plain value).
+	sp, err := garfield.ScenarioByName("quickstart")
 	if err != nil {
 		return err
 	}
-	arch, err := garfield.NewLinearSoftmax(64, 10)
-	if err != nil {
-		return err
-	}
-
-	// 9 workers, up to 2 of them Byzantine, aggregated with Multi-Krum.
-	cluster, err := garfield.NewCluster(garfield.Config{
-		Arch: arch, Train: train, Test: test,
-		BatchSize: 32,
-		NW:        9, FW: 2,
-		Rule: garfield.RuleMultiKrum,
-		LR:   garfield.ConstantLR(0.25),
-		Seed: 1,
-	})
-	if err != nil {
-		return err
-	}
-	defer cluster.Close()
 
 	// The training loop of Listing 1 — get_gradients, aggregate,
-	// update_model, compute_accuracy — packaged as RunSSMW.
-	res, err := cluster.RunSSMW(garfield.RunOptions{Iterations: 150, AccEvery: 25})
+	// update_model, compute_accuracy — driven by the scenario engine.
+	res, err := garfield.RunScenario(sp)
 	if err != nil {
 		return err
 	}

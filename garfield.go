@@ -42,6 +42,7 @@ import (
 	"garfield/internal/data"
 	"garfield/internal/gar"
 	"garfield/internal/model"
+	"garfield/internal/scenario"
 	"garfield/internal/sgd"
 	"garfield/internal/tensor"
 )
@@ -107,8 +108,44 @@ const (
 	AttackFallOfEmpires  = attack.NameFallOfEmpires
 )
 
+// Declarative scenario engine types (internal/scenario): serializable
+// deployment descriptions, named presets and matrix sweeps.
+type (
+	// Scenario declaratively describes one deployment: topology, n/f,
+	// GAR, attacks, task, fault schedule and seeds. It round-trips
+	// through JSON.
+	Scenario = scenario.Spec
+	// ScenarioMatrix crosses a base scenario with topology/GAR/attack/f
+	// value lists for sweep runs.
+	ScenarioMatrix = scenario.Matrix
+	// SweepOptions tunes RunScenarioSweep (parallelism, artifact
+	// directory, timing columns).
+	SweepOptions = scenario.SweepOptions
+	// SweepReport aggregates the per-cell results of a sweep.
+	SweepReport = scenario.Report
+)
+
 // NewCluster shards the data and wires up an in-process deployment.
 func NewCluster(cfg Config) (*Cluster, error) { return core.NewCluster(cfg) }
+
+// ScenarioNames returns the named scenario presets: the paper's headline
+// configurations plus the example deployments.
+func ScenarioNames() []string { return scenario.Names() }
+
+// ScenarioByName returns a copy of the named preset, ready to run or to
+// tweak first.
+func ScenarioByName(name string) (Scenario, error) { return scenario.ByName(name) }
+
+// RunScenario materializes a scenario, drives its protocol through the
+// fault schedule and returns the result.
+func RunScenario(sp Scenario) (*Result, error) { return scenario.Run(sp) }
+
+// RunScenarioSweep expands a scenario matrix and runs every cell in
+// parallel with deterministic per-cell seeding, optionally emitting CSV and
+// JSON artifacts.
+func RunScenarioSweep(m ScenarioMatrix, opt SweepOptions) (*SweepReport, error) {
+	return scenario.RunSweep(m, opt)
+}
 
 // Aggregate applies the named GAR, tolerating up to f Byzantine inputs, to
 // the given vectors — the `gar(gradients, f)` call of the paper's listings.

@@ -1,13 +1,3 @@
-// Package attack implements the Byzantine behaviours evaluated in the paper
-// (Section 3.2): the simple attacks — random vectors, reversed/amplified
-// vectors, dropped vectors — and the state-of-the-art ones — "a little is
-// enough" (Baruch et al.) and "fall of empires" (Xie et al.).
-//
-// An Attack transforms the vector an honest node would have sent into the
-// vector the Byzantine node actually sends. Omission faults are modelled by
-// returning ok=false. Collusion-based attacks (little-is-enough, fall of
-// empires) additionally need the honest gradients' statistics, which the
-// Byzantine node is assumed to observe — the strongest adversary model.
 package attack
 
 import (

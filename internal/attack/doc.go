@@ -1,0 +1,34 @@
+// Package attack implements the Byzantine behaviours evaluated in the paper
+// (Section 3.2): the simple attacks — random vectors, reversed/amplified
+// vectors, dropped vectors — the state-of-the-art ones — "a little is
+// enough" (Baruch et al.) and "fall of empires" (Xie et al.) — and a stale
+// replay fault.
+//
+// # The Attack contract
+//
+// An Attack transforms the vector an honest node would have sent into the
+// vector the Byzantine node actually sends, via Apply(honest, honestPeers):
+//
+//   - honest is the payload an honest node would send (a gradient estimate
+//     at a worker, a model or aggregated gradient at a server). Apply must
+//     not mutate it.
+//   - honestPeers carries a sample of the correct nodes' gradients for
+//     collusion-style attacks, which are assumed to observe honest
+//     statistics — the strongest adversary model. It is nil for oblivious
+//     attacks and at servers; collusion attacks must degrade gracefully
+//     (they fall back to sign-flipping) rather than fail.
+//   - Returning ok == false means the node omits its reply entirely — the
+//     omission fault. Quorum-based collection (q < n) rides it out;
+//     synchronous collection (q = n) cannot, by design.
+//   - One Attack value may back several Byzantine nodes and is invoked from
+//     the RPC server's concurrent handlers, so implementations with state
+//     (a shared RNG, the stale attack's frozen payload) must be
+//     self-synchronizing.
+//
+// Construction goes through New(name, rng) with the paper-default
+// parameters (reversed factor -100, little-is-enough z 1.5, fall-of-empires
+// epsilon 1.1, random scale 1.0); the rng seeds stochastic attacks and may
+// be nil for deterministic ones. The scenario engine's AttackSpec wraps
+// exactly this constructor, so every name accepted here is addressable from
+// a JSON scenario.
+package attack

@@ -87,6 +87,18 @@ type Config struct {
 	Seed uint64
 	// PullTimeout bounds each pull round (default 30s).
 	PullTimeout time.Duration
+
+	// Deterministic makes runs bit-identical across repetitions at the
+	// same seed, at the cost of extra synchronization: workers compute one
+	// gradient estimate per step and serve it to every puller (the
+	// paper's broadcast semantics) instead of drawing a fresh mini-batch
+	// per pull, servers aggregate pulled vectors in canonical (address)
+	// order instead of arrival order, and the MSMW replicas run their
+	// model-exchange phase in lockstep. Replicated topologies additionally
+	// need SyncQuorum (with q < n the responding subset itself depends on
+	// timing) and an order-insensitive ModelRule such as median. Used by
+	// the scenario sweep runner.
+	Deterministic bool
 }
 
 func (c *Config) defaults() {
@@ -181,6 +193,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		if cfg.WorkerMomentum > 0 {
 			opts = append(opts, WithWorkerMomentum(cfg.WorkerMomentum))
 		}
+		if cfg.Deterministic {
+			opts = append(opts, WithDeterministicReplies())
+		}
 		if i >= cfg.NW-cfg.FW {
 			atk = cfg.WorkerAttack
 			if cfg.AttackSelfPeers > 0 {
@@ -227,13 +242,14 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		client := rpc.NewPooledClient(c.net)
 		c.clients = append(c.clients, client)
 		s, err := NewServer(ServerConfig{
-			Arch:      cfg.Arch,
-			Init:      c.initParams,
-			Optimizer: opt,
-			Client:    client,
-			Workers:   c.workerAddrs,
-			Peers:     c.serverAddrs,
-			Attack:    atk,
+			Arch:          cfg.Arch,
+			Init:          c.initParams,
+			Optimizer:     opt,
+			Client:        client,
+			Workers:       c.workerAddrs,
+			Peers:         c.serverAddrs,
+			Attack:        atk,
+			Deterministic: cfg.Deterministic,
 		})
 		if err != nil {
 			c.Close()

@@ -1,14 +1,3 @@
-// Package core implements Garfield's main objects and applications
-// (Sections 3.2 and 5 of the paper): the Server and Worker node objects,
-// their Byzantine variants, the get_gradients / get_models / get_aggr_grads
-// communication abstractions, and the training protocols built from them —
-// vanilla, AggregaThor-style, crash-tolerant, SSMW, MSMW and decentralized
-// learning.
-//
-// Nodes communicate exclusively through the pull-based RPC layer
-// (internal/rpc) over an injectable transport, so the same protocol code
-// runs over in-memory pipes in tests, over loopback TCP in cmd/garfield-node,
-// and under fault injection in the Byzantine experiments.
 package core
 
 import (

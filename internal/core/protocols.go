@@ -257,6 +257,15 @@ func (c *Cluster) RunMSMW(opt RunOptions) (*Result, error) {
 	}
 	start := time.Now()
 	for i := 0; i < opt.Iterations; i++ {
+		// In deterministic mode the replicas run the model-exchange phase
+		// in lockstep: all replicas update before anyone pulls models, and
+		// all pull before anyone overwrites its state. Without it a fast
+		// replica can observe a mix of pre- and post-update peer models,
+		// making the aggregated multiset timing-dependent.
+		var b *barrier
+		if cfg.Deterministic {
+			b = newBarrier(honest)
+		}
 		var wg sync.WaitGroup
 		errs := make([]error, honest)
 		// Drive the honest replicas; Byzantine replicas do not need a
@@ -267,7 +276,7 @@ func (c *Cluster) RunMSMW(opt RunOptions) (*Result, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				errs[r] = c.msmwStep(res, gradAggs[r], modelAggs[r], r, i, r == 0)
+				errs[r] = c.msmwStep(res, gradAggs[r], modelAggs[r], r, i, b, r == 0)
 			}()
 		}
 		wg.Wait()
@@ -286,7 +295,7 @@ func (c *Cluster) RunMSMW(opt RunOptions) (*Result, error) {
 	return res, nil
 }
 
-func (c *Cluster) msmwStep(res *Result, gradAgg, modelAgg *Aggregator, r, i int, record bool) error {
+func (c *Cluster) msmwStep(res *Result, gradAgg, modelAgg *Aggregator, r, i int, b *barrier, record bool) error {
 	cfg := c.cfg
 	s := c.servers[r]
 	qw := cfg.NW - cfg.FW
@@ -303,7 +312,7 @@ func (c *Cluster) msmwStep(res *Result, gradAgg, modelAgg *Aggregator, r, i int,
 		res.Breakdown.AddComm(commDone())
 	}
 	if err != nil {
-		return err
+		return msmwFail(b, err)
 	}
 	aggDone := metrics.Start()
 	aggr, err := gradAgg.Aggregate(grads)
@@ -311,13 +320,16 @@ func (c *Cluster) msmwStep(res *Result, gradAgg, modelAgg *Aggregator, r, i int,
 		res.Breakdown.AddAgg(aggDone())
 	}
 	if err != nil {
-		return err
+		return msmwFail(b, err)
 	}
 	if err := s.UpdateModel(aggr); err != nil {
-		return err
+		return msmwFail(b, err)
 	}
 	if (i+1)%cfg.ModelAggEvery != 0 {
 		return nil // contraction is periodic; no model exchange this round
+	}
+	if b != nil {
+		b.wait() // all replicas updated before anyone pulls models
 	}
 
 	commDone = metrics.Start()
@@ -326,7 +338,10 @@ func (c *Cluster) msmwStep(res *Result, gradAgg, modelAgg *Aggregator, r, i int,
 		res.Breakdown.AddComm(commDone())
 	}
 	if err != nil {
-		return err
+		return msmwFail(b, err)
+	}
+	if b != nil {
+		b.wait() // all replicas pulled before anyone overwrites its state
 	}
 	aggDone = metrics.Start()
 	aggrModel, err := modelAgg.Aggregate(models)
@@ -334,9 +349,18 @@ func (c *Cluster) msmwStep(res *Result, gradAgg, modelAgg *Aggregator, r, i int,
 		res.Breakdown.AddAgg(aggDone())
 	}
 	if err != nil {
-		return err
+		return msmwFail(b, err)
 	}
 	return s.WriteModel(aggrModel)
+}
+
+// msmwFail breaks the deterministic-mode barrier (if any) so lockstep peers
+// of a failing replica do not deadlock, and returns err.
+func msmwFail(b *barrier, err error) error {
+	if b != nil {
+		b.break_()
+	}
+	return err
 }
 
 // RunDecentralized trains the peer-to-peer application of Listing 3: every
@@ -453,7 +477,13 @@ func (c *Cluster) decentralizedStep(res *Result, gradAgg, modelAgg *Aggregator, 
 		res.Breakdown.AddComm(commDone())
 	}
 	if err != nil {
-		return err
+		return releaseAndFail(b, 1, err)
+	}
+	if cfg.Deterministic {
+		// Lockstep model exchange: all nodes pulled before anyone
+		// overwrites its state, so the observed multiset of peer models
+		// does not depend on scheduling.
+		b.wait()
 	}
 	aggDone = metrics.Start()
 	aggrModel, err := modelAgg.Aggregate(models)
@@ -461,7 +491,7 @@ func (c *Cluster) decentralizedStep(res *Result, gradAgg, modelAgg *Aggregator, 
 		res.Breakdown.AddAgg(aggDone())
 	}
 	if err != nil {
-		return err
+		return releaseAndFail(b, 1, err)
 	}
 	return s.WriteModel(aggrModel)
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"garfield/internal/attack"
@@ -29,11 +30,23 @@ type Server struct {
 	workers []string
 	peers   []string // other server replicas
 	atk     attack.Attack
+	det     bool
 
 	mu          sync.RWMutex
 	params      tensor.Vector
 	latestAggr  tensor.Vector
 	currentStep uint32
+
+	// Deterministic-mode reply cache for Byzantine servers: a stochastic
+	// attack draws once per (kind, step) and every puller of that step
+	// receives the same corrupted vector, mirroring the worker's
+	// per-step broadcast cache. Honest servers (attack.None) bypass it.
+	detMu   sync.Mutex
+	detKind rpc.Kind
+	detStep uint32
+	detHas  bool
+	detOK   bool
+	detVec  tensor.Vector
 }
 
 // ServerConfig collects the dependencies of a Server.
@@ -51,6 +64,9 @@ type ServerConfig struct {
 	Peers   []string
 	// Attack, when non-nil, makes this a Byzantine server.
 	Attack attack.Attack
+	// Deterministic orders pulled reply sets canonically (by peer
+	// address) instead of by arrival; see Config.Deterministic.
+	Deterministic bool
 }
 
 var _ rpc.Handler = (*Server)(nil)
@@ -75,6 +91,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		workers: append([]string(nil), cfg.Workers...),
 		peers:   append([]string(nil), cfg.Peers...),
 		atk:     atk,
+		det:     cfg.Deterministic,
 		params:  cfg.Init.Clone(),
 	}, nil
 }
@@ -103,7 +120,7 @@ func (s *Server) GetGradients(ctx context.Context, t int, q int) ([]tensor.Vecto
 	if err != nil {
 		return nil, fmt.Errorf("core: get_gradients(t=%d, q=%d): %w", t, q, err)
 	}
-	return replyVectors(replies), nil
+	return s.replyVectors(replies), nil
 }
 
 // GetModels implements the paper's get_models(q): it pulls the current model
@@ -114,7 +131,7 @@ func (s *Server) GetModels(ctx context.Context, q int) ([]tensor.Vector, error) 
 	if err != nil {
 		return nil, fmt.Errorf("core: get_models(q=%d): %w", q, err)
 	}
-	return replyVectors(replies), nil
+	return s.replyVectors(replies), nil
 }
 
 // GetAggrGrads pulls the latest aggregated gradient of the fastest q peers —
@@ -126,10 +143,17 @@ func (s *Server) GetAggrGrads(ctx context.Context, q int) ([]tensor.Vector, erro
 	if err != nil {
 		return nil, fmt.Errorf("core: get_aggr_grads(q=%d): %w", q, err)
 	}
-	return replyVectors(replies), nil
+	return s.replyVectors(replies), nil
 }
 
-func replyVectors(replies []rpc.Reply) []tensor.Vector {
+// replyVectors extracts the pulled vectors. Replies arrive fastest-first;
+// in deterministic mode they are re-ordered canonically by peer address so
+// that aggregation input order — and with it the floating-point reduction
+// order of order-sensitive GARs — does not depend on scheduling.
+func (s *Server) replyVectors(replies []rpc.Reply) []tensor.Vector {
+	if s.det {
+		sort.Slice(replies, func(i, j int) bool { return replies[i].From < replies[j].From })
+	}
 	out := make([]tensor.Vector, len(replies))
 	for i, r := range replies {
 		out[i] = r.Vec
@@ -180,7 +204,7 @@ func (s *Server) ComputeAccuracy(test *data.Dataset) (float64, error) {
 func (s *Server) Handle(req rpc.Request) rpc.Response {
 	switch req.Kind {
 	case rpc.KindGetModel:
-		return s.serveVector(s.Params())
+		return s.serveVector(req, s.Params())
 	case rpc.KindGetAggrGrad:
 		s.mu.RLock()
 		aggr := s.latestAggr
@@ -188,7 +212,7 @@ func (s *Server) Handle(req rpc.Request) rpc.Response {
 		if aggr == nil {
 			return rpc.Response{}
 		}
-		return s.serveVector(aggr.Clone())
+		return s.serveVector(req, aggr.Clone())
 	case rpc.KindPing:
 		return rpc.Response{OK: true}
 	default:
@@ -196,10 +220,39 @@ func (s *Server) Handle(req rpc.Request) rpc.Response {
 	}
 }
 
-func (s *Server) serveVector(v tensor.Vector) rpc.Response {
+func (s *Server) serveVector(req rpc.Request, v tensor.Vector) rpc.Response {
+	if _, honest := s.atk.(attack.None); s.det && !honest {
+		return s.serveVectorDeterministic(req, v)
+	}
 	out, ok := s.atk.Apply(v, nil)
 	if !ok {
 		return rpc.Response{}
 	}
+	return rpc.Response{OK: true, Vec: out}
+}
+
+// serveVectorDeterministic serves Byzantine replies in deterministic mode:
+// the attack is applied once per (kind, step) — a stochastic attack draws
+// once — and every puller of that step receives the identical corrupted
+// vector. A Byzantine server's state is static (its training loop is not
+// driven), so the step alone keys the cache. With several Byzantine
+// replicas sharing one stochastic attack instance the draw interleaving
+// across replicas remains scheduling-dependent; deterministic runs use at
+// most one stochastic Byzantine server (fps <= 1), as the presets do.
+func (s *Server) serveVectorDeterministic(req rpc.Request, v tensor.Vector) rpc.Response {
+	s.detMu.Lock()
+	defer s.detMu.Unlock()
+	if s.detHas && s.detKind == req.Kind && s.detStep == req.Step {
+		if !s.detOK {
+			return rpc.Response{}
+		}
+		return rpc.Response{OK: true, Vec: s.detVec}
+	}
+	s.detKind, s.detStep, s.detHas, s.detOK, s.detVec = req.Kind, req.Step, true, false, nil
+	out, ok := s.atk.Apply(v, nil)
+	if !ok {
+		return rpc.Response{} // omission, replayed for the step
+	}
+	s.detOK, s.detVec = true, out
 	return rpc.Response{OK: true, Vec: out}
 }

@@ -41,6 +41,20 @@ type Worker struct {
 	mu       sync.Mutex
 	sampler  *data.Sampler
 	velocity tensor.Vector
+
+	// det enables deterministic replies: the worker computes one reply
+	// per step and serves it to every puller — the paper's semantics of a
+	// worker broadcasting its gradient estimate to all parameter servers —
+	// instead of drawing a fresh mini-batch per pull. detMu serializes the
+	// per-step computation so the sampler advances exactly once per step
+	// regardless of how many replicas pull concurrently.
+	det       bool
+	detMu     sync.Mutex
+	detStep   uint32
+	detHas    bool
+	detOK     bool
+	detReply  tensor.Vector
+	detParams tensor.Vector
 }
 
 var _ rpc.Handler = (*Worker)(nil)
@@ -69,6 +83,15 @@ func WithSelfEstimatedPeers(k int) WorkerOption {
 			return fmt.Errorf("%w: self-estimated peers %d < 1", ErrConfig, k)
 		}
 		w.selfPeers = k
+		return nil
+	}
+}
+
+// WithDeterministicReplies makes the worker serve one cached reply per
+// step; see Config.Deterministic.
+func WithDeterministicReplies() WorkerOption {
+	return func(w *Worker) error {
+		w.det = true
 		return nil
 	}
 }
@@ -151,6 +174,9 @@ func (w *Worker) Handle(req rpc.Request) rpc.Response {
 		if req.Vec == nil {
 			return rpc.Response{}
 		}
+		if w.det {
+			return w.handleDeterministic(req)
+		}
 		g, err := w.ComputeGradient(req.Vec)
 		if err != nil {
 			return rpc.Response{}
@@ -165,4 +191,38 @@ func (w *Worker) Handle(req rpc.Request) rpc.Response {
 	default:
 		return rpc.Response{}
 	}
+}
+
+// handleDeterministic serves gradient pulls in deterministic mode: the
+// first pull of a step computes the reply (post-attack, so stochastic
+// attacks also draw once per step) under detMu, and every later pull of the
+// same step receives the cached vector. The reply is computed at the first
+// puller's parameters; replicated deterministic runs keep their replicas in
+// lockstep (sync quorums plus the MSMW barrier), so every puller carries
+// identical parameters and the choice of "first" does not matter.
+func (w *Worker) handleDeterministic(req rpc.Request) rpc.Response {
+	w.detMu.Lock()
+	defer w.detMu.Unlock()
+	// The cache matches on both the step and the puller's parameters:
+	// protocol segments (fault schedules, chunked runs) restart their
+	// step numbering, so a bare step match could replay a reply from a
+	// previous segment against evolved parameters.
+	if w.detHas && w.detStep == req.Step && req.Vec.Equal(w.detParams) {
+		if !w.detOK {
+			return rpc.Response{}
+		}
+		return rpc.Response{OK: true, Vec: w.detReply}
+	}
+	w.detStep, w.detHas, w.detOK = req.Step, true, false
+	w.detReply, w.detParams = nil, req.Vec.Clone()
+	g, err := w.ComputeGradient(req.Vec)
+	if err != nil {
+		return rpc.Response{}
+	}
+	out, ok := w.atk.Apply(g, w.estimatePeers(req.Vec))
+	if !ok {
+		return rpc.Response{} // omission fault, replayed for the step
+	}
+	w.detOK, w.detReply = true, out
+	return rpc.Response{OK: true, Vec: out}
 }

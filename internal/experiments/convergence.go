@@ -5,146 +5,107 @@ import (
 
 	"garfield/internal/attack"
 	"garfield/internal/core"
-	"garfield/internal/data"
 	"garfield/internal/gar"
 	"garfield/internal/metrics"
-	"garfield/internal/model"
-	"garfield/internal/sgd"
+	"garfield/internal/scenario"
 	"garfield/internal/tensor"
 )
 
-// The convergence experiments run live in-process clusters. Two task scales
+// The convergence experiments run live in-process clusters through the
+// declarative scenario engine: each experiment is a scenario.Spec (task +
+// deployment) crossed with the systems under comparison. Two task scales
 // stand in for the paper's CifarNet/CPU and ResNet-50/GPU settings; the
 // cluster shapes follow Section 6.1's setups, scaled down in quick mode.
-
-// convTask bundles one learnable task.
-type convTask struct {
-	arch  model.Model
-	train *data.Dataset
-	test  *data.Dataset
-}
 
 // cifarStyleTask is the CifarNet stand-in: a linear softmax over a CIFAR-
 // shaped synthetic mixture (flattened to a reduced dimension so the full
 // suite stays tractable).
-func cifarStyleTask(opt Options) (convTask, error) {
+func cifarStyleTask(opt Options) (scenario.ModelSpec, scenario.DatasetSpec) {
 	dim, train, test := 128, 3000, 600
 	if opt.Quick {
 		dim, train, test = 24, 500, 200
 	}
-	tr, te, err := data.Generate(data.SyntheticSpec{
-		Name: "cifar-style", Dim: dim, Classes: 10,
-		Train: train, Test: test, Separation: 1.1, Noise: 1.0, Seed: opt.seed(),
-	})
-	if err != nil {
-		return convTask{}, err
-	}
-	arch, err := model.NewLinearSoftmax(dim, 10)
-	if err != nil {
-		return convTask{}, err
-	}
-	return convTask{arch: arch, train: tr, test: te}, nil
+	return scenario.ModelSpec{Kind: scenario.ModelLinear, In: dim, Classes: 10},
+		scenario.DatasetSpec{
+			Name: "cifar-style", Dim: dim, Classes: 10,
+			Train: train, Test: test, Separation: 1.1, Noise: 1.0, Seed: opt.seed(),
+		}
 }
 
 // resnetStyleTask is the ResNet-50 stand-in: a one-hidden-layer MLP (deeper,
 // non-convex) over the same data family.
-func resnetStyleTask(opt Options) (convTask, error) {
+func resnetStyleTask(opt Options) (scenario.ModelSpec, scenario.DatasetSpec) {
 	dim, hidden, train, test := 128, 48, 3000, 600
 	if opt.Quick {
 		dim, hidden, train, test = 24, 12, 500, 200
 	}
-	tr, te, err := data.Generate(data.SyntheticSpec{
-		Name: "resnet-style", Dim: dim, Classes: 10,
-		Train: train, Test: test, Separation: 1.0, Noise: 1.0, Seed: opt.seed() + 1,
-	})
-	if err != nil {
-		return convTask{}, err
-	}
-	arch, err := model.NewMLP(dim, hidden, 10)
-	if err != nil {
-		return convTask{}, err
-	}
-	return convTask{arch: arch, train: tr, test: te}, nil
+	return scenario.ModelSpec{Kind: scenario.ModelMLP, In: dim, Hidden: hidden, Classes: 10},
+		scenario.DatasetSpec{
+			Name: "resnet-style", Dim: dim, Classes: 10,
+			Train: train, Test: test, Separation: 1.0, Noise: 1.0, Seed: opt.seed() + 1,
+		}
 }
 
 // tfSetup is the paper's TensorFlow deployment (nw=18, fw=3, nps=6, fps=1,
-// batch 32, Bulyan + asynchrony), scaled down in quick mode.
-func tfSetup(opt Options, task convTask) core.Config {
-	cfg := core.Config{
-		Arch: task.arch, Train: task.train, Test: task.test,
+// batch 32, Bulyan + asynchrony), scaled down in quick mode. The returned
+// spec has no topology yet: convergenceFigure runs it once per system.
+func tfSetup(opt Options, m scenario.ModelSpec, d scenario.DatasetSpec) scenario.Spec {
+	sp := scenario.Spec{
+		Model: m, Dataset: d,
 		BatchSize: 32,
 		NW:        18, FW: 3,
 		NPS: 6, FPS: 1,
 		Rule: gar.NameBulyan,
-		LR:   sgd.Constant(0.25),
+		LR:   scenario.LRSpec{Kind: scenario.LRConstant, Base: 0.25},
 		Seed: opt.seed(),
 	}
 	if opt.Quick {
-		cfg.NW, cfg.FW = 9, 1
-		cfg.NPS, cfg.FPS = 4, 1
-		cfg.BatchSize = 16
+		sp.NW, sp.FW = 9, 1
+		sp.NPS, sp.FPS = 4, 1
+		sp.BatchSize = 16
 	}
-	return cfg
+	return sp
 }
 
 // ptSetup is the paper's PyTorch deployment (nw=10, fw=3, nps=3, fps=1,
 // batch 100, Multi-Krum + synchrony).
-func ptSetup(opt Options, task convTask) core.Config {
-	cfg := core.Config{
-		Arch: task.arch, Train: task.train, Test: task.test,
+func ptSetup(opt Options, m scenario.ModelSpec, d scenario.DatasetSpec) scenario.Spec {
+	sp := scenario.Spec{
+		Model: m, Dataset: d,
 		BatchSize: 100,
 		NW:        10, FW: 3,
 		NPS: 3, FPS: 1,
 		Rule:       gar.NameMultiKrum,
 		SyncQuorum: true,
-		LR:         sgd.Constant(0.25),
+		LR:         scenario.LRSpec{Kind: scenario.LRConstant, Base: 0.25},
 		Seed:       opt.seed(),
 	}
 	if opt.Quick {
-		cfg.BatchSize = 16
+		sp.BatchSize = 16
 	}
-	return cfg
+	return sp
 }
 
-// runSystem builds a fresh cluster for cfg adapted to the named system and
-// trains it.
-func runSystem(system string, cfg core.Config, ro core.RunOptions) (*core.Result, error) {
-	switch system {
-	case "vanilla", "ssmw", "aggregathor", "crash-tolerant", "msmw":
-	case "decentralized":
-		cfg.NPS, cfg.FPS = cfg.NW, 0
-	default:
-		return nil, fmt.Errorf("experiments: unknown system %q", system)
-	}
-	c, err := core.NewCluster(cfg)
+// runSystem runs the spec as the named system (a scenario topology) on a
+// fresh cluster through the scenario engine.
+func runSystem(system string, sp scenario.Spec, ro core.RunOptions) (*core.Result, error) {
+	sp.Topology = system
+	sp.Iterations, sp.AccEvery = ro.Iterations, ro.AccEvery
+	res, err := scenario.Run(sp)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s cluster: %w", system, err)
+		return nil, fmt.Errorf("experiments: %s: %w", system, err)
 	}
-	defer c.Close()
-	switch system {
-	case "vanilla":
-		return c.RunVanilla(ro)
-	case "ssmw":
-		return c.RunSSMW(ro)
-	case "aggregathor":
-		return c.RunAggregaThor(ro)
-	case "crash-tolerant":
-		return c.RunCrashTolerant(ro)
-	case "msmw":
-		return c.RunMSMW(ro)
-	default:
-		return c.RunDecentralized(ro)
-	}
+	return res, nil
 }
 
 // convergenceFigure runs each system on a fresh cluster over the same task
 // and collects accuracy series; overTime selects the x axis (iterations vs
 // seconds).
-func convergenceFigure(title, xlabel string, systems []string, cfg core.Config,
+func convergenceFigure(title, xlabel string, systems []string, sp scenario.Spec,
 	ro core.RunOptions, overTime bool) (Renderable, error) {
 	fig := &metrics.Figure{Title: title, XLabel: xlabel, YLabel: "accuracy"}
 	for _, system := range systems {
-		res, err := runSystem(system, cfg, ro)
+		res, err := runSystem(system, sp, ro)
 		if err != nil {
 			return nil, err
 		}
@@ -160,17 +121,17 @@ func convergenceFigure(title, xlabel string, systems []string, cfg core.Config,
 
 func displayName(system string) string {
 	switch system {
-	case "vanilla":
+	case scenario.TopoVanilla:
 		return "Vanilla"
-	case "ssmw":
+	case scenario.TopoSSMW:
 		return "SSMW"
-	case "msmw":
+	case scenario.TopoMSMW:
 		return "MSMW"
-	case "crash-tolerant":
+	case scenario.TopoCrashTolerant:
 		return "Crash-tolerant"
-	case "decentralized":
+	case scenario.TopoDecentralized:
 		return "Decentralized"
-	case "aggregathor":
+	case scenario.TopoAggregaThor:
 		return "AggregaThor"
 	default:
 		return system
@@ -198,81 +159,69 @@ func fig4bSystems() []string {
 // Fig4a regenerates convergence-vs-iterations on the CifarNet-style task
 // under the TensorFlow setup.
 func Fig4a(opt Options) (Renderable, error) {
-	task, err := cifarStyleTask(opt)
-	if err != nil {
-		return nil, err
-	}
+	m, d := cifarStyleTask(opt)
 	return convergenceFigure(
 		"Figure 4a: Convergence with CifarNet-style task (TF setup)",
-		"iterations", fig4aSystems(), tfSetup(opt, task), convIters(opt), false)
+		"iterations", fig4aSystems(), tfSetup(opt, m, d), convIters(opt), false)
 }
 
 // Fig4b regenerates convergence-vs-iterations on the ResNet-50-style task
 // under the PyTorch setup.
 func Fig4b(opt Options) (Renderable, error) {
-	task, err := resnetStyleTask(opt)
-	if err != nil {
-		return nil, err
-	}
+	m, d := resnetStyleTask(opt)
 	return convergenceFigure(
 		"Figure 4b: Convergence with ResNet-50-style task (PT setup)",
-		"iterations", fig4bSystems(), ptSetup(opt, task), convIters(opt), false)
+		"iterations", fig4bSystems(), ptSetup(opt, m, d), convIters(opt), false)
 }
 
 // Fig11a regenerates convergence-vs-time for the Figure 4a runs.
 func Fig11a(opt Options) (Renderable, error) {
-	task, err := cifarStyleTask(opt)
-	if err != nil {
-		return nil, err
-	}
+	m, d := cifarStyleTask(opt)
 	return convergenceFigure(
 		"Figure 11a: Convergence over time, CifarNet-style task",
 		"time (s)", []string{"vanilla", "aggregathor", "crash-tolerant", "msmw"},
-		tfSetup(opt, task), convIters(opt), true)
+		tfSetup(opt, m, d), convIters(opt), true)
 }
 
 // Fig11b regenerates convergence-vs-time for the Figure 4b runs.
 func Fig11b(opt Options) (Renderable, error) {
-	task, err := resnetStyleTask(opt)
-	if err != nil {
-		return nil, err
-	}
+	m, d := resnetStyleTask(opt)
 	return convergenceFigure(
 		"Figure 11b: Convergence over time, ResNet-50-style task",
 		"time (s)", []string{"vanilla", "crash-tolerant", "msmw"},
-		ptSetup(opt, task), convIters(opt), true)
+		ptSetup(opt, m, d), convIters(opt), true)
 }
 
-// fig5Config is the attack experiment setup: CifarNet-style task, 11 workers
+// fig5Spec is the attack experiment setup: CifarNet-style task, 11 workers
 // and (in the fault-tolerant systems) a replicated server, 1 Byzantine node
-// on each side.
-func fig5Config(opt Options, task convTask, workerAtk, serverAtk attack.Attack) core.Config {
-	cfg := core.Config{
-		Arch: task.arch, Train: task.train, Test: task.test,
+// on each side. The attacks are live instances deliberately shared across
+// the compared systems: a stochastic attack's stream then continues from
+// one system run to the next, as the paper's methodology samples one
+// adversary across its comparison.
+func fig5Spec(opt Options, workerAtk, serverAtk attack.Attack) scenario.Spec {
+	m, d := cifarStyleTask(opt)
+	sp := scenario.Spec{
+		Model: m, Dataset: d,
 		BatchSize: 32,
 		NW:        11, FW: 1,
 		NPS: 4, FPS: 1,
-		Rule:         gar.NameMultiKrum,
-		SyncQuorum:   true,
-		WorkerAttack: workerAtk,
-		ServerAttack: serverAtk,
-		LR:           sgd.Constant(0.25),
-		Seed:         opt.seed(),
+		Rule:             gar.NameMultiKrum,
+		SyncQuorum:       true,
+		LiveWorkerAttack: workerAtk,
+		LiveServerAttack: serverAtk,
+		LR:               scenario.LRSpec{Kind: scenario.LRConstant, Base: 0.25},
+		Seed:             opt.seed(),
 	}
 	if opt.Quick {
-		cfg.BatchSize = 16
+		sp.BatchSize = 16
 	}
-	return cfg
+	return sp
 }
 
 func fig5(opt Options, title string, workerAtk, serverAtk attack.Attack) (Renderable, error) {
-	task, err := cifarStyleTask(opt)
-	if err != nil {
-		return nil, err
-	}
-	cfg := fig5Config(opt, task, workerAtk, serverAtk)
 	return convergenceFigure(title, "iterations",
-		[]string{"vanilla", "crash-tolerant", "msmw"}, cfg, convIters(opt), false)
+		[]string{"vanilla", "crash-tolerant", "msmw"},
+		fig5Spec(opt, workerAtk, serverAtk), convIters(opt), false)
 }
 
 // Fig5a regenerates the random-vectors attack experiment.
@@ -299,46 +248,44 @@ func Fig12b(opt Options) (Renderable, error) {
 }
 
 func fig12(opt Options, title string, overTime bool) (Renderable, error) {
-	task, err := cifarStyleTask(opt)
-	if err != nil {
-		return nil, err
-	}
-	cfg := tfSetup(opt, task)
-	cfg.Rule = gar.NameMDA
+	m, d := cifarStyleTask(opt)
+	sp := tfSetup(opt, m, d)
+	sp.Rule = gar.NameMDA
 	xlabel := "iterations"
 	if overTime {
 		xlabel = "time (s)"
 	}
 	return convergenceFigure(title, xlabel,
-		[]string{"vanilla", "crash-tolerant", "msmw"}, cfg, convIters(opt), overTime)
+		[]string{"vanilla", "crash-tolerant", "msmw"}, sp, convIters(opt), overTime)
 }
 
 // Table2 regenerates the parameter-vector alignment study: during an MSMW
 // run, every sampleEvery steps the correct replicas' parameter vectors are
 // collected, the two largest-norm pairwise difference vectors are kept, and
-// cos(phi) between them is reported.
+// cos(phi) between them is reported. The cluster is materialized through
+// the scenario engine but driven in chunks directly (the study needs access
+// to replica state between chunks).
 func Table2(opt Options) (Renderable, error) {
-	task, err := cifarStyleTask(opt)
-	if err != nil {
-		return nil, err
+	iters, warmup, sampleEvery := 205, 100, 5
+	if opt.Quick {
+		iters, warmup, sampleEvery = 45, 10, 5
 	}
-	cfg := tfSetup(opt, task)
+	m, d := cifarStyleTask(opt)
+	sp := tfSetup(opt, m, d)
+	sp.Topology = scenario.TopoMSMW
+	sp.Iterations = iters
 	// Contraction runs every other iteration, so the replicas sampled at
 	// odd chunk boundaries carry genuine divergence — per-iteration
 	// contraction would make the correct replicas bit-identical and the
 	// alignment study vacuous.
-	cfg.ModelAggEvery = 2
-	c, err := core.NewCluster(cfg)
+	sp.ModelAggEvery = 2
+	c, err := scenario.NewCluster(sp)
 	if err != nil {
 		return nil, err
 	}
 	defer c.Close()
 
-	iters, warmup, sampleEvery := 205, 100, 5
-	if opt.Quick {
-		iters, warmup, sampleEvery = 45, 10, 5
-	}
-	honest := cfg.NPS - cfg.FPS
+	honest := sp.NPS - sp.FPS
 
 	table := &metrics.Table{
 		Title:  "Table 2: Parameter-vector alignment at correct servers",

@@ -9,6 +9,7 @@ import (
 	"garfield/internal/gar"
 	"garfield/internal/metrics"
 	"garfield/internal/model"
+	"garfield/internal/scenario"
 	"garfield/internal/tensor"
 )
 
@@ -119,12 +120,9 @@ func ExtMomentum(opt Options) (Renderable, error) {
 
 // ExtGARs compares every robust rule's final accuracy under the
 // reversed-vectors attack in the same SSMW deployment — the library-level
-// "which GAR should I pick" table.
+// "which GAR should I pick" table. It is a one-dimensional scenario sweep:
+// one base spec, a Rules axis.
 func ExtGARs(opt Options) (Renderable, error) {
-	task, err := cifarStyleTask(opt)
-	if err != nil {
-		return nil, err
-	}
 	iters := 120
 	if opt.Quick {
 		iters = 30
@@ -134,25 +132,23 @@ func ExtGARs(opt Options) (Renderable, error) {
 		gar.NameMedian, gar.NameTrimmedMean, gar.NameKrum, gar.NameMultiKrum,
 		gar.NameMDA, gar.NameBulyan, gar.NameGeoMedian, gar.NamePhocas,
 	}
+	m, d := cifarStyleTask(opt)
 	t := &metrics.Table{
 		Title:  "Extension: final accuracy per GAR under the reversed-vectors attack (nw=15, fw=3)",
 		Header: []string{"GAR", "final accuracy"},
 	}
 	for _, rule := range rules {
-		cfg := core.Config{
-			Arch: task.arch, Train: task.train, Test: task.test,
+		sp := scenario.Spec{
+			Topology: scenario.TopoSSMW,
+			Model:    m, Dataset: d,
 			BatchSize: 16,
 			NW:        15, FW: 3,
 			Rule:         rule,
-			WorkerAttack: attack.Reversed{Factor: -100},
+			WorkerAttack: scenario.AttackSpec{Name: attack.NameReversed},
 			Seed:         opt.seed(),
+			Iterations:   iters,
 		}
-		c, err := core.NewCluster(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("ext-gars %s: %w", rule, err)
-		}
-		res, err := c.RunSSMW(core.RunOptions{Iterations: iters, AccEvery: 0})
-		c.Close()
+		res, err := scenario.Run(sp)
 		if err != nil {
 			return nil, fmt.Errorf("ext-gars %s: %w", rule, err)
 		}
@@ -167,25 +163,22 @@ func ExtGARs(opt Options) (Renderable, error) {
 // the actual Go implementation (at laptop scale the network term is pipes,
 // so only the protocol-structure ordering carries over, not the ratios).
 func ExtLiveThroughput(opt Options) (Renderable, error) {
-	task, err := cifarStyleTask(opt)
-	if err != nil {
-		return nil, err
-	}
 	iters := 60
 	if opt.Quick {
 		iters = 20
 	}
-	cfg := tfSetup(opt, task)
+	m, d := cifarStyleTask(opt)
+	sp := tfSetup(opt, m, d)
 	if !opt.Quick {
 		// Keep the live sweep affordable even in full mode.
-		cfg.NW, cfg.FW, cfg.NPS, cfg.FPS = 9, 1, 4, 1
+		sp.NW, sp.FW, sp.NPS, sp.FPS = 9, 1, 4, 1
 	}
 	t := &metrics.Table{
 		Title:  fmt.Sprintf("Extension: live throughput over %d iterations (in-process cluster)", iters),
 		Header: []string{"System", "updates/sec"},
 	}
 	for _, sys := range []string{"vanilla", "ssmw", "crash-tolerant", "msmw", "decentralized"} {
-		res, err := runSystem(sys, cfg, core.RunOptions{Iterations: iters, AccEvery: 0})
+		res, err := runSystem(sys, sp, core.RunOptions{Iterations: iters, AccEvery: 0})
 		if err != nil {
 			return nil, fmt.Errorf("ext-live %s: %w", sys, err)
 		}
@@ -198,28 +191,25 @@ func ExtLiveThroughput(opt Options) (Renderable, error) {
 // a live node that keeps replaying its first gradient. Robust aggregation
 // must contain it; plain averaging absorbs a persistent bias.
 func ExtStale(opt Options) (Renderable, error) {
-	task, err := cifarStyleTask(opt)
-	if err != nil {
-		return nil, err
-	}
 	iters := 120
 	if opt.Quick {
 		iters = 30
 	}
+	m, d := cifarStyleTask(opt)
 	t := &metrics.Table{
 		Title:  "Extension: accuracy with one stale node (replays its first gradient)",
 		Header: []string{"System", "final accuracy"},
 	}
 	for _, sys := range []string{"vanilla", "ssmw"} {
-		cfg := core.Config{
-			Arch: task.arch, Train: task.train, Test: task.test,
+		sp := scenario.Spec{
+			Model: m, Dataset: d,
 			BatchSize: 16,
 			NW:        9, FW: 1,
 			Rule:         gar.NameMedian,
-			WorkerAttack: &attack.Stale{},
+			WorkerAttack: scenario.AttackSpec{Name: attack.NameStale},
 			Seed:         opt.seed(),
 		}
-		res, err := runSystem(sys, cfg, core.RunOptions{Iterations: iters, AccEvery: 0})
+		res, err := runSystem(sys, sp, core.RunOptions{Iterations: iters, AccEvery: 0})
 		if err != nil {
 			return nil, fmt.Errorf("ext-stale %s: %w", sys, err)
 		}

@@ -1,26 +1,3 @@
-// Package gar implements the statistically-robust gradient aggregation rules
-// (GARs) at the heart of Garfield (Section 3.1 of the paper): coordinate-wise
-// Median, Krum and Multi-Krum, MDA (minimum-diameter averaging) and Bulyan,
-// together with the non-resilient Average baseline and a TrimmedMean
-// extension.
-//
-// A GAR is a function (R^d)^q -> R^d: it takes q input vectors of which at
-// most f may be Byzantine, and outputs one vector with statistical guarantees
-// that make it safe to apply as an SGD step. Every rule validates the paper's
-// resilience precondition relating n and f at construction time:
-//
-//	Average      f == 0      O(nd)
-//	Median       n >= 2f+1   O(nd) best, O(n^2 d) worst
-//	TrimmedMean  n >= 2f+1   O(nd log n)
-//	Krum         n >= 2f+3   O(n^2 d)
-//	Multi-Krum   n >= 2f+3   O(n^2 d)
-//	MDA          n >= 2f+1   O(C(n,f) + n^2 d)
-//	Bulyan       n >= 4f+3   O(n^2 d)
-//
-// The O(n^2 d) rules share a Gram-matrix distance kernel and a per-rule
-// scratch arena (see scratch.go), making steady-state aggregation through
-// AggregateInto allocation-free — the memory-management discipline of
-// Section 4.4 of the paper.
 package gar
 
 import (

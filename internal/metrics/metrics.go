@@ -214,6 +214,21 @@ func (b *Breakdown) EndIteration() {
 	b.iters++
 }
 
+// Merge folds another breakdown's accumulated phase times and iteration
+// count into b — used when one logical run is driven as several protocol
+// segments (e.g. around injected faults).
+func (b *Breakdown) Merge(o *Breakdown) {
+	o.mu.Lock()
+	compute, comm, agg, iters := o.compute, o.comm, o.agg, o.iters
+	o.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.compute += compute
+	b.comm += comm
+	b.agg += agg
+	b.iters += iters
+}
+
 // Means returns average per-iteration compute, comm, and aggregation times.
 func (b *Breakdown) Means() (compute, comm, agg time.Duration) {
 	b.mu.Lock()

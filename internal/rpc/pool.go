@@ -161,7 +161,12 @@ var pastDeadline = time.Unix(1, 0)
 var errClientClosed = errors.New("rpc: pooled client closed")
 
 // Call performs one round trip over the peer's persistent connection,
-// dialing lazily on first use and re-dialing after failures.
+// dialing lazily on first use and re-dialing after failures. A pooled
+// connection can die while idle — a peer restart, or injected faults
+// severing links (transport.Faulty severs on Crash and SetDelay) — in which
+// case the first reuse fails before any reply byte arrives. Pull requests
+// are idempotent reads, so that one failure is retried transparently over a
+// fresh connection instead of surfacing to the protocol layer.
 func (c *PooledClient) Call(ctx context.Context, addr string, req Request) (tensor.Vector, error) {
 	pc, err := c.peer(addr)
 	if err != nil {
@@ -170,13 +175,27 @@ func (c *PooledClient) Call(ctx context.Context, addr string, req Request) (tens
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 
-	if pc.closed {
-		return nil, errClientClosed
+	vec, retry, err := c.callLocked(ctx, pc, addr, req)
+	if retry && ctx.Err() == nil {
+		vec, _, err = c.callLocked(ctx, pc, addr, req)
 	}
+	return vec, err
+}
+
+// callLocked is one call attempt over pc (held locked by the caller). retry
+// reports a failure mode that is safe to repeat over a fresh connection: the
+// connection had been reused (so it may simply have died while idle), no
+// byte of this call's reply was consumed, and the failure was not a
+// caller-initiated cancellation.
+func (c *PooledClient) callLocked(ctx context.Context, pc *pooledConn, addr string, req Request) (vec tensor.Vector, retry bool, err error) {
+	if pc.closed {
+		return nil, false, errClientClosed
+	}
+	reused := pc.conn != nil
 	if pc.conn == nil {
 		conn, err := c.network.Dial(ctx, addr)
 		if err != nil {
-			return nil, fmt.Errorf("rpc: pooled dial %q: %w", addr, err)
+			return nil, false, fmt.Errorf("rpc: pooled dial %q: %w", addr, err)
 		}
 		pc.conn = conn
 		pc.rd = countingReader{r: conn}
@@ -185,7 +204,7 @@ func (c *PooledClient) Call(ctx context.Context, addr string, req Request) (tens
 	// A call that was cancelled before touching the stream must not poison
 	// the pooled connection for its successors.
 	if ctxErr := ctx.Err(); ctxErr != nil {
-		return nil, ctxErr
+		return nil, false, ctxErr
 	}
 	// Clear any deadline poison left by a previously-cancelled call (its
 	// watcher was disarmed before this call could acquire the lock).
@@ -200,10 +219,13 @@ func (c *PooledClient) Call(ctx context.Context, addr string, req Request) (tens
 	pc.arm <- armReq{ctx: ctx, conn: pc.conn}
 	defer pc.disarmCall()
 
-	fail := func(stage string, err error) (tensor.Vector, error) {
+	fail := func(stage string, err error) (tensor.Vector, bool, error) {
 		_ = pc.conn.Close()
 		pc.conn = nil
-		return nil, fmt.Errorf("rpc: pooled %s %q: %w", stage, addr, wrapCtx(ctx, err))
+		// Cancellation is never retried; a fresh dial is pointless work
+		// the caller has already abandoned.
+		retriable := reused && pc.state.Load() != callCancelled
+		return nil, retriable, fmt.Errorf("rpc: pooled %s %q: %w", stage, addr, wrapCtx(ctx, err))
 	}
 
 	// Drain replies owed by cancelled predecessors so the stream is
@@ -216,7 +238,7 @@ func (c *PooledClient) Call(ctx context.Context, addr string, req Request) (tens
 				// Cancelled before the stale reply arrived; the stream
 				// is still clean, leave the debt for the next call.
 				// Cancellation is caller-initiated: report it plainly.
-				return nil, wrapCtx(ctx, err)
+				return nil, false, wrapCtx(ctx, err)
 			}
 			return fail("drain", err)
 		}
@@ -238,20 +260,26 @@ func (c *PooledClient) Call(ctx context.Context, addr string, req Request) (tens
 			// let the next call drain it. Cancellation is
 			// caller-initiated: report it plainly, without formatting.
 			pc.pending++
-			return nil, wrapCtx(ctx, err)
+			return nil, false, wrapCtx(ctx, err)
+		}
+		if pc.rd.n != start {
+			// A partially-consumed reply is a genuine mid-stream
+			// failure, not an idle death: never retry.
+			reused = false
 		}
 		return fail("receive from", err)
 	}
 	resp, err := decodeResponse(*payload)
 	putBuf(payload)
 	if err != nil {
+		reused = false // protocol corruption, not an idle death
 		return fail("decode from", err)
 	}
 	pc.state.CompareAndSwap(callInFlight, callFinished)
 	if !resp.OK {
-		return nil, fmt.Errorf("rpc: %q: %w", addr, ErrNotServed)
+		return nil, false, fmt.Errorf("rpc: %q: %w", addr, ErrNotServed)
 	}
-	return resp.Vec, nil
+	return resp.Vec, false, nil
 }
 
 // PullFirstQ implements Caller; see pullFirstQ. Straggler cancellation

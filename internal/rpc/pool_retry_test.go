@@ -1,0 +1,37 @@
+package rpc
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"garfield/internal/tensor"
+	"garfield/internal/transport"
+)
+
+// TestPooledRetriesIdleDeath: a pooled connection severed while idle (a
+// peer restart or an injected fault — transport.Faulty severs links on
+// Crash and SetDelay) must be re-dialed transparently within one Call, not
+// surface a failure to the protocol layer. Pulls are idempotent reads, so
+// the single retry is safe.
+func TestPooledRetriesIdleDeath(t *testing.T) {
+	faulty := transport.NewFaulty(transport.NewMem())
+	srv, err := Serve(faulty, "peer", echoHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewPooledClient(faulty)
+	defer c.Close()
+
+	req := Request{Kind: KindGetGradient, Vec: tensor.Vector{1}}
+	if _, err := c.Call(context.Background(), "peer", req); err != nil {
+		t.Fatal(err)
+	}
+	// Injecting a link delay severs the established connection; the next
+	// single Call must ride through via redial.
+	faulty.SetDelay("peer", time.Millisecond)
+	if _, err := c.Call(context.Background(), "peer", req); err != nil {
+		t.Fatalf("one Call over a severed-idle connection failed: %v", err)
+	}
+}

@@ -1,8 +1,3 @@
-// Package rpc implements Garfield's pull-based communication layer
-// (Section 4.1 of the paper): a compact binary protocol over any
-// transport.Network, a per-node RPC server, and a client whose
-// PullFirstQ primitive returns the fastest q replies out of n peers —
-// the mechanism behind get_gradients(t, q) and get_models(q).
 package rpc
 
 import (

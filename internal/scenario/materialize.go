@@ -1,0 +1,177 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"garfield/internal/attack"
+	"garfield/internal/core"
+	"garfield/internal/data"
+	"garfield/internal/model"
+	"garfield/internal/sgd"
+	"garfield/internal/tensor"
+)
+
+// Materialize validates the spec and turns it into a wired core.Config:
+// the model is constructed, the synthetic dataset generated, the
+// learning-rate schedule and the attack behaviours instantiated. The
+// decentralized topology forces nps == nw (one server+worker pair per node,
+// as Listing 3 requires).
+func Materialize(sp Spec) (core.Config, error) {
+	if err := sp.Validate(); err != nil {
+		return core.Config{}, err
+	}
+	arch, err := buildModel(sp.Model)
+	if err != nil {
+		return core.Config{}, fmt.Errorf("%w: model: %v", ErrSpec, err)
+	}
+	train, test, err := data.Generate(sp.Dataset.synthetic())
+	if err != nil {
+		return core.Config{}, fmt.Errorf("%w: dataset: %v", ErrSpec, err)
+	}
+	workerAtk, serverAtk, err := buildAttacks(sp)
+	if err != nil {
+		return core.Config{}, err
+	}
+	lr, err := buildLR(sp.LR)
+	if err != nil {
+		return core.Config{}, err
+	}
+
+	cfg := core.Config{
+		Arch: arch, Train: train, Test: test,
+		BatchSize: sp.BatchSize,
+		NW:        sp.NW, FW: sp.FW,
+		NPS: sp.NPS, FPS: sp.FPS,
+		Rule:            sp.Rule,
+		ModelRule:       sp.ModelRule,
+		SyncQuorum:      sp.SyncQuorum,
+		ModelAggEvery:   sp.ModelAggEvery,
+		NonIID:          sp.NonIID,
+		ContractSteps:   sp.ContractSteps,
+		WorkerAttack:    workerAtk,
+		ServerAttack:    serverAtk,
+		LR:              lr,
+		Momentum:        sp.Momentum,
+		WorkerMomentum:  sp.WorkerMomentum,
+		AttackSelfPeers: sp.AttackSelfPeers,
+		Seed:            sp.Seed,
+		Deterministic:   sp.Deterministic,
+	}
+	if sp.PullTimeoutMS > 0 {
+		cfg.PullTimeout = time.Duration(sp.PullTimeoutMS) * time.Millisecond
+	}
+	if sp.Topology == TopoDecentralized {
+		cfg.NPS, cfg.FPS = cfg.NW, 0
+	}
+	return cfg, nil
+}
+
+// NewCluster materializes the spec and spawns the in-process deployment.
+// Callers own the cluster and must Close it; most callers want Run instead,
+// which also drives the protocol and the fault schedule.
+func NewCluster(sp Spec) (*core.Cluster, error) {
+	cfg, err := Materialize(sp)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewCluster(cfg)
+}
+
+func buildModel(m ModelSpec) (model.Model, error) {
+	switch m.Kind {
+	case ModelLinear:
+		return model.NewLinearSoftmax(m.In, m.Classes)
+	case ModelMLP:
+		return model.NewMLP(m.In, m.Hidden, m.Classes)
+	case ModelCNN:
+		return model.NewCNN(m.H, m.W, m.C, m.Kernel, m.Filters, m.Classes)
+	case ModelMNISTCNN:
+		return model.NewMNISTCNN()
+	}
+	return nil, fmt.Errorf("unknown model kind %q", m.Kind)
+}
+
+func buildLR(lr LRSpec) (sgd.Schedule, error) {
+	switch lr.Kind {
+	case "":
+		return nil, nil // core default: constant 0.1
+	case LRConstant:
+		return sgd.Constant(lr.Base), nil
+	case LRInverseDecay:
+		return sgd.InverseDecay{Base: lr.Base, HalfLife: lr.HalfLife}, nil
+	case LRStepDecay:
+		return sgd.StepDecay{Base: lr.Base, Factor: lr.Factor, Every: lr.Every}, nil
+	}
+	return nil, fmt.Errorf("%w: unknown lr kind %q", ErrSpec, lr.Kind)
+}
+
+// buildAttacks instantiates both attack slots. Randomness wiring follows
+// the construction convention of the paper's attack experiments: a seeded
+// stochastic worker attack owns a generator, and a stochastic server attack
+// without its own seed splits its stream off that generator (both faulty
+// sides then derive from one declared seed).
+func buildAttacks(sp Spec) (worker, server attack.Attack, err error) {
+	// A live instance overrides only its own slot; the other slot still
+	// materializes from its declarative spec. (A declarative server
+	// attack paired with a live worker attack has no worker generator to
+	// split from, so a stochastic one falls back to its own Seed or the
+	// package default stream.)
+	worker, server = sp.LiveWorkerAttack, sp.LiveServerAttack
+	var workerRNG *tensor.RNG
+	if worker == nil && sp.WorkerAttack.enabled() {
+		if sp.WorkerAttack.stochastic() && sp.WorkerAttack.Seed != 0 {
+			workerRNG = tensor.NewRNG(sp.WorkerAttack.Seed)
+		}
+		worker, err = buildAttack(sp.WorkerAttack, workerRNG)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if server == nil && sp.ServerAttack.enabled() {
+		var rng *tensor.RNG
+		switch {
+		case sp.ServerAttack.stochastic() && sp.ServerAttack.Seed != 0:
+			rng = tensor.NewRNG(sp.ServerAttack.Seed)
+		case sp.ServerAttack.stochastic() && workerRNG != nil:
+			rng = workerRNG.Split()
+		}
+		server, err = buildAttack(sp.ServerAttack, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return worker, server, nil
+}
+
+// buildAttack constructs one attack with spec parameters, falling back to
+// the attack package's paper defaults for zero-valued fields. rng may be
+// nil; stochastic attacks then use the package's fixed default stream.
+func buildAttack(a AttackSpec, rng *tensor.RNG) (attack.Attack, error) {
+	base, err := attack.New(a.Name, rng)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	switch atk := base.(type) {
+	case *attack.Random:
+		if a.Scale != 0 {
+			return attack.NewRandom(rng, a.Scale), nil
+		}
+	case attack.Reversed:
+		if a.Factor != 0 {
+			atk.Factor = a.Factor
+			return atk, nil
+		}
+	case attack.LittleIsEnough:
+		if a.Z != 0 {
+			atk.Z = a.Z
+			return atk, nil
+		}
+	case attack.FallOfEmpires:
+		if a.Epsilon != 0 {
+			atk.Epsilon = a.Epsilon
+			return atk, nil
+		}
+	}
+	return base, nil
+}

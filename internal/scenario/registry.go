@@ -1,0 +1,278 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"garfield/internal/attack"
+	"garfield/internal/gar"
+)
+
+// The preset registry: named specs reproducing the paper's headline
+// configurations and the repository's example programs. Presets are plain
+// Specs — Describe one as JSON, tweak it, and feed it back through Run.
+
+// ErrUnknownScenario is returned by ByName for an unknown preset name.
+var ErrUnknownScenario = fmt.Errorf("scenario: unknown scenario")
+
+// demoTask is the examples' learning task: a 64-dimensional 10-class
+// Gaussian mixture under a linear softmax — small enough to train in
+// seconds, structured enough that attacks visibly break plain averaging.
+func demoTask(name string, seed uint64) (ModelSpec, DatasetSpec) {
+	return ModelSpec{Kind: ModelLinear, In: 64, Classes: 10},
+		DatasetSpec{
+			Name: name, Dim: 64, Classes: 10,
+			Train: 4000, Test: 1000,
+			Separation: 0.45, Noise: 1.0, Seed: seed,
+		}
+}
+
+// sweepTask is the default sweep cell task: smaller than the demo task so a
+// full matrix stays affordable in one invocation.
+func sweepTask(seed uint64) (ModelSpec, DatasetSpec) {
+	return ModelSpec{Kind: ModelLinear, In: 32, Classes: 10},
+		DatasetSpec{
+			Name: "sweep", Dim: 32, Classes: 10,
+			Train: 1200, Test: 300,
+			Separation: 0.4, Noise: 1.0, Seed: seed,
+		}
+}
+
+func presets() map[string]Spec {
+	out := map[string]Spec{}
+	add := func(sp Spec) {
+		if _, dup := out[sp.Name]; dup {
+			panic("scenario: duplicate preset " + sp.Name)
+		}
+		out[sp.Name] = sp
+	}
+
+	// --- The example programs, one spec each. ---
+	qm, qd := demoTask("quickstart", 1)
+	add(Spec{
+		Name:        "quickstart",
+		Description: "Listing 1 (SSMW): trusted server, 9 workers, 2 Byzantine, Multi-Krum",
+		Topology:    TopoSSMW,
+		NW:          9, FW: 2,
+		Rule:  gar.NameMultiKrum,
+		Model: qm, Dataset: qd, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 1, Iterations: 150, AccEvery: 25,
+	})
+
+	mm, md := demoTask("msmw-demo", 2)
+	add(Spec{
+		Name:        "msmw-demo",
+		Description: "Listing 2 (MSMW) under live attack: reversed workers, a random server",
+		Topology:    TopoMSMW,
+		NW:          11, FW: 1,
+		NPS: 4, FPS: 1,
+		Rule:         gar.NameMultiKrum,
+		SyncQuorum:   true,
+		WorkerAttack: AttackSpec{Name: attack.NameReversed},
+		ServerAttack: AttackSpec{Name: attack.NameRandom, Seed: 99},
+		Model:        mm, Dataset: md, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 2, Iterations: 150, AccEvery: 25,
+	})
+
+	dm, dd := demoTask("decentralized-demo", 3)
+	dd.Train = 5000
+	add(Spec{
+		Name:        "decentralized-demo",
+		Description: "Listing 3 (decentralized): 6 peers, 1 Byzantine, non-IID shards, contract step",
+		Topology:    TopoDecentralized,
+		NW:          6, FW: 1,
+		Rule:   gar.NameMedian,
+		NonIID: true, ContractSteps: 2,
+		Model: dm, Dataset: dd, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 3, Iterations: 200, AccEvery: 25,
+	})
+
+	cm, cd := demoTask("crashvsbyz", 4)
+	add(Spec{
+		Name:        "crashvsbyz-failover",
+		Description: "crash-tolerant baseline through a live primary crash at iteration 75",
+		Topology:    TopoCrashTolerant,
+		NW:          9, NPS: 4,
+		Rule:  gar.NameMedian,
+		Model: cm, Dataset: cd, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 4, Iterations: 150,
+		Faults: []Fault{{After: 75, Kind: FaultCrashServer, Node: 0}},
+	})
+	add(Spec{
+		Name:        "crashvsbyz-attack",
+		Description: "crash-tolerant baseline under the reversed-vectors attack (collapses)",
+		Topology:    TopoCrashTolerant,
+		NW:          9, FW: 1,
+		NPS: 4, FPS: 1,
+		Rule:         gar.NameMedian,
+		WorkerAttack: AttackSpec{Name: attack.NameReversed},
+		Model:        cm, Dataset: cd, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 4, Iterations: 150,
+	})
+	add(Spec{
+		Name:        "crashvsbyz-msmw",
+		Description: "MSMW under the same reversed-vectors attack (converges)",
+		Topology:    TopoMSMW,
+		NW:          9, FW: 1,
+		NPS: 4, FPS: 1,
+		Rule:         gar.NameMedian,
+		WorkerAttack: AttackSpec{Name: attack.NameReversed},
+		Model:        cm, Dataset: cd, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 4, Iterations: 150,
+	})
+
+	add(Spec{
+		Name:        "mnistcnn-lie",
+		Description: "MNIST_CNN through SSMW with one little-is-enough attacker",
+		Topology:    TopoSSMW,
+		NW:          5, FW: 1,
+		Rule:         gar.NameMedian,
+		WorkerAttack: AttackSpec{Name: attack.NameLittleIsEnough},
+		// The attacker estimates honest statistics from its own shard —
+		// the strongest realistic adversary (no omniscience).
+		AttackSelfPeers: 3,
+		Model:           ModelSpec{Kind: ModelMNISTCNN},
+		Dataset: DatasetSpec{
+			Name: "synthetic-mnist", Dim: 28 * 28, Classes: 10,
+			Train: 1200, Test: 400,
+			Separation: 0.25, Noise: 0.5, Seed: 6,
+		},
+		BatchSize: 16,
+		LR:        LRSpec{Kind: LRConstant, Base: 0.1},
+		Seed:      6, Iterations: 60, AccEvery: 15,
+	})
+
+	// --- The paper's headline configurations. ---
+	am, ad := demoTask("aggregathor", 7)
+	add(Spec{
+		Name:        "aggregathor",
+		Description: "AggregaThor baseline: SSMW topology fixed to Multi-Krum",
+		Topology:    TopoAggregaThor,
+		NW:          11, FW: 2,
+		Rule:  gar.NameMultiKrum,
+		Model: am, Dataset: ad, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 7, Iterations: 150, AccEvery: 25,
+	})
+	vm, vd := demoTask("vanilla-baseline", 8)
+	add(Spec{
+		Name:        "vanilla-baseline",
+		Description: "fault-intolerant baseline: single server, plain averaging",
+		Topology:    TopoVanilla,
+		NW:          9,
+		Rule:        gar.NameAverage,
+		Model:       vm, Dataset: vd, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 8, Iterations: 150, AccEvery: 25,
+	})
+
+	// SSMW and MSMW under each published attack (Figure 5's methodology,
+	// one preset per cell). The drop attack gets its own preset below: the
+	// synchronous runs here pull all n workers, and a dropper never
+	// replies, so drop needs the q = n - f quorum of the MSMW runner.
+	for _, atk := range []string{
+		attack.NameRandom, attack.NameReversed,
+		attack.NameLittleIsEnough, attack.NameFallOfEmpires,
+	} {
+		sm, sd := demoTask("ssmw-"+atk, 10)
+		add(Spec{
+			Name:        "ssmw-" + atk,
+			Description: "SSMW (Median, 11 workers, 2 Byzantine) under the " + atk + " attack",
+			Topology:    TopoSSMW,
+			NW:          11, FW: 2,
+			Rule:            gar.NameMedian,
+			WorkerAttack:    AttackSpec{Name: atk, Seed: 10},
+			AttackSelfPeers: 3,
+			Model:           sm, Dataset: sd, BatchSize: 32,
+			LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+			Seed: 10, Iterations: 150, AccEvery: 25,
+		})
+		xm, xd := demoTask("msmw-"+atk, 11)
+		add(Spec{
+			Name:        "msmw-" + atk,
+			Description: "MSMW (Multi-Krum, 4 replicas) under the " + atk + " attack on workers and servers",
+			Topology:    TopoMSMW,
+			NW:          11, FW: 2,
+			NPS: 4, FPS: 1,
+			Rule:            gar.NameMultiKrum,
+			SyncQuorum:      true,
+			WorkerAttack:    AttackSpec{Name: atk, Seed: 11},
+			ServerAttack:    AttackSpec{Name: atk},
+			AttackSelfPeers: 3,
+			Model:           xm, Dataset: xd, BatchSize: 32,
+			LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+			Seed: 11, Iterations: 150, AccEvery: 25,
+		})
+	}
+
+	// The omission fault: live nodes that never reply. Collected with
+	// q_w = n_w - f_w (asynchronous quorum), the only mode that tolerates
+	// mute nodes.
+	om, od := demoTask("msmw-drop", 12)
+	add(Spec{
+		Name:        "msmw-drop",
+		Description: "MSMW with q = n - f quorums riding out 2 mute (dropping) workers",
+		Topology:    TopoMSMW,
+		NW:          11, FW: 2,
+		NPS: 4, FPS: 1,
+		Rule:         gar.NameMultiKrum,
+		WorkerAttack: AttackSpec{Name: attack.NameDrop},
+		Model:        om, Dataset: od, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 12, Iterations: 150, AccEvery: 25,
+	})
+
+	// --- The default sweep base (see Matrix). ---
+	wm, wd := sweepTask(20211)
+	add(Spec{
+		Name:        "sweep-default",
+		Description: "default sweep cell: 11 workers, 2 Byzantine, sync quorums, small task",
+		Topology:    TopoSSMW,
+		NW:          11, FW: 2,
+		NPS: 4, FPS: 1,
+		Rule:          gar.NameMedian,
+		SyncQuorum:    true,
+		Deterministic: true,
+		WorkerAttack:  AttackSpec{Name: attack.NameReversed},
+		Model:         wm, Dataset: wd, BatchSize: 16,
+		Seed: 20211, Iterations: 30, AccEvery: 10,
+	})
+
+	return out
+}
+
+var registry = presets()
+
+// Names returns the preset names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName returns a copy of the named preset.
+func ByName(name string) (Spec, error) {
+	sp, ok := registry[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("%w: %q (known: %v)", ErrUnknownScenario, name, Names())
+	}
+	return sp.clone(), nil
+}
+
+// Describe returns the one-line description of a preset.
+func Describe(name string) (string, error) {
+	sp, ok := registry[name]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownScenario, name)
+	}
+	return sp.Description, nil
+}

@@ -1,0 +1,124 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"garfield/internal/core"
+	"garfield/internal/metrics"
+)
+
+// Run materializes the spec, spawns the cluster, drives the topology's
+// protocol through the spec's fault schedule and returns the merged result.
+// It is the one-call entry point of the engine: every example and every
+// live-cluster experiment generator goes through it.
+func Run(sp Spec) (*core.Result, error) {
+	c, err := NewCluster(sp) // Materialize validates
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	return runOn(c, sp)
+}
+
+// RunOn drives the spec's protocol on an already-materialized cluster.
+// Without faults it is exactly one protocol run; a fault schedule splits
+// the run at each fault's After boundary, injects the fault through the
+// cluster's fault-injecting transport, resumes training, and merges the
+// segment results (iteration and wall-clock offsets are shifted so the
+// merged curves read as one run).
+func RunOn(c *core.Cluster, sp Spec) (*core.Result, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	return runOn(c, sp)
+}
+
+// runOn is RunOn for specs already validated by Materialize.
+func runOn(c *core.Cluster, sp Spec) (*core.Result, error) {
+	faults := sp.sortedFaults()
+	if len(faults) == 0 {
+		return runTopology(c, sp.Topology, core.RunOptions{
+			Iterations: sp.Iterations, AccEvery: sp.AccEvery,
+		})
+	}
+
+	merged := &core.Result{
+		Accuracy:         &metrics.Series{Name: sp.Topology},
+		AccuracyOverTime: &metrics.Series{Name: sp.Topology},
+		Breakdown:        &metrics.Breakdown{},
+	}
+	done := 0
+	next := 0
+	for done < sp.Iterations {
+		// Find the segment end: the next fault boundary after done, or
+		// the end of the run.
+		end := sp.Iterations
+		for next < len(faults) && faults[next].After <= done {
+			next++ // schedule entries at or before done already fired
+		}
+		if next < len(faults) && faults[next].After < end {
+			end = faults[next].After
+		}
+		seg, err := runTopology(c, sp.Topology, core.RunOptions{
+			Iterations: end - done, AccEvery: sp.AccEvery,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scenario: segment [%d, %d): %w", done, end, err)
+		}
+		mergeResult(merged, seg, done)
+		done = end
+		for next < len(faults) && faults[next].After == done {
+			applyFault(c, faults[next])
+			next++
+		}
+	}
+	return merged, nil
+}
+
+// runTopology dispatches to the protocol runner the topology names.
+func runTopology(c *core.Cluster, topology string, ro core.RunOptions) (*core.Result, error) {
+	switch topology {
+	case TopoVanilla:
+		return c.RunVanilla(ro)
+	case TopoSSMW:
+		return c.RunSSMW(ro)
+	case TopoAggregaThor:
+		return c.RunAggregaThor(ro)
+	case TopoCrashTolerant:
+		return c.RunCrashTolerant(ro)
+	case TopoMSMW:
+		return c.RunMSMW(ro)
+	case TopoDecentralized:
+		return c.RunDecentralized(ro)
+	}
+	return nil, fmt.Errorf("%w: unknown topology %q", ErrSpec, topology)
+}
+
+// applyFault injects one scheduled fault into the cluster's transport.
+func applyFault(c *core.Cluster, flt Fault) {
+	switch flt.Kind {
+	case FaultCrashServer:
+		c.CrashServer(flt.Node)
+	case FaultCrashWorker:
+		c.CrashWorker(flt.Node)
+	case FaultDelayWorker:
+		c.DelayWorker(flt.Node, time.Duration(flt.DelayMS)*time.Millisecond)
+	}
+}
+
+// mergeResult folds one segment into the merged result, shifting the
+// segment's iteration axis by the iterations already completed and its
+// wall-clock axis by the time already spent.
+func mergeResult(dst *core.Result, seg *core.Result, iterOffset int) {
+	secOffset := dst.WallTime.Seconds()
+	for _, p := range seg.Accuracy.Points {
+		dst.Accuracy.Append(p.X+float64(iterOffset), p.Y)
+	}
+	for _, p := range seg.AccuracyOverTime.Points {
+		dst.AccuracyOverTime.Append(p.X+secOffset, p.Y)
+	}
+	dst.Breakdown.Merge(seg.Breakdown)
+	dst.Updates += seg.Updates
+	dst.WallTime += seg.WallTime
+}

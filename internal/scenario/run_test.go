@@ -1,0 +1,115 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"garfield/internal/core"
+)
+
+// TestRunMatchesDirectCore pins the engine's zero-overhead contract: a spec
+// without faults runs exactly one protocol invocation, bit-identical to
+// wiring the same deployment through core by hand.
+func TestRunMatchesDirectCore(t *testing.T) {
+	sp := validSpec()
+	sp.Deterministic = true
+	sp.AccEvery = 2
+
+	viaEngine, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg, err := Materialize(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	direct, err := c.RunSSMW(core.RunOptions{Iterations: sp.Iterations, AccEvery: sp.AccEvery})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(viaEngine.Accuracy.Points, direct.Accuracy.Points) {
+		t.Errorf("engine accuracy %v != direct %v", viaEngine.Accuracy.Points, direct.Accuracy.Points)
+	}
+	if viaEngine.Updates != direct.Updates {
+		t.Errorf("engine updates %d != direct %d", viaEngine.Updates, direct.Updates)
+	}
+}
+
+// TestFaultScheduleCrashServer drives a crash-tolerant run through a
+// primary crash: the run must complete all iterations, fail over, and the
+// merged accuracy curve must span both segments with shifted x values.
+func TestFaultScheduleCrashServer(t *testing.T) {
+	sp := validSpec()
+	sp.Topology = TopoCrashTolerant
+	sp.NPS = 3
+	sp.Iterations = 6
+	sp.AccEvery = 2
+	sp.Faults = []Fault{{After: 3, Kind: FaultCrashServer, Node: 0}}
+
+	res, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != sp.Iterations {
+		t.Fatalf("updates %d, want %d (crash must not eat iterations)", res.Updates, sp.Iterations)
+	}
+	pts := res.Accuracy.Points
+	if len(pts) == 0 {
+		t.Fatal("no accuracy points recorded")
+	}
+	last := pts[len(pts)-1]
+	if last.X != float64(sp.Iterations) {
+		t.Errorf("last accuracy at x=%v, want %v (segment offsets lost)", last.X, sp.Iterations)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X <= pts[i-1].X {
+			t.Errorf("accuracy x values not increasing across segments: %v", pts)
+			break
+		}
+	}
+}
+
+// TestFaultScheduleDelayWorker exercises the transport-level delay fault.
+func TestFaultScheduleDelayWorker(t *testing.T) {
+	sp := validSpec()
+	sp.Iterations = 4
+	sp.Faults = []Fault{{After: 2, Kind: FaultDelayWorker, Node: 1, DelayMS: 1}}
+	res, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != sp.Iterations {
+		t.Fatalf("updates %d, want %d", res.Updates, sp.Iterations)
+	}
+}
+
+// TestFaultScheduleDeterministic: fault segmentation preserves the
+// determinism contract — two runs of a faulted deterministic spec agree.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	sp := validSpec()
+	sp.Deterministic = true
+	sp.Topology = TopoCrashTolerant
+	sp.NPS = 3
+	sp.Iterations = 6
+	sp.AccEvery = 1
+	sp.Faults = []Fault{{After: 3, Kind: FaultCrashServer, Node: 0}}
+
+	a, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Accuracy.Points, b.Accuracy.Points) {
+		t.Errorf("faulted deterministic runs disagree:\n%v\n%v", a.Accuracy.Points, b.Accuracy.Points)
+	}
+}

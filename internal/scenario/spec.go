@@ -1,0 +1,495 @@
+// Package scenario is the declarative deployment engine: it turns the
+// paper's evaluation matrix — topologies (SSMW, MSMW, decentralized and the
+// baselines) crossed with GARs, attacks and fault conditions — into
+// serializable specifications instead of hand-written main functions.
+//
+// A Spec fully describes one cell of that matrix: cluster shape (n/f on both
+// the worker and server side), the GAR, the Byzantine behaviours, the
+// learning task (model, synthetic dataset, batch size, learning-rate
+// schedule), a network-fault schedule injected through transport.Faulty, and
+// the seeds that make the whole run reproducible. Specs round-trip through
+// JSON, so scenarios can live in files, flags or version control rather than
+// in Go code.
+//
+// The package provides three layers on top of Spec:
+//
+//   - a registry of named presets reproducing the paper's headline
+//     configurations (registry.go);
+//   - a runner that materializes a Spec into an in-process core.Cluster and
+//     drives the right protocol through its fault schedule (run.go);
+//   - a sweep runner that expands a scenario Matrix (topologies x GARs x
+//     attacks x f values) and executes the cells in parallel with
+//     deterministic per-cell seeding, emitting CSV and JSON artifacts
+//     (sweep.go).
+//
+// cmd/garfield-scenarios is the CLI front end; the root garfield package
+// re-exports the entry points.
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"garfield/internal/attack"
+	"garfield/internal/data"
+	"garfield/internal/gar"
+)
+
+// ErrSpec reports an invalid scenario specification.
+var ErrSpec = errors.New("scenario: invalid spec")
+
+// Topology names accepted by Spec.Topology. They are exactly the protocol
+// runners of internal/core: the three applications of the paper plus its
+// three baselines.
+const (
+	// TopoVanilla is the fault-intolerant single-server baseline (plain
+	// averaging over all workers).
+	TopoVanilla = "vanilla"
+	// TopoSSMW is Listing 1: single trusted server, multiple workers,
+	// robust gradient aggregation.
+	TopoSSMW = "ssmw"
+	// TopoAggregaThor is SSMW fixed to Multi-Krum, the AggregaThor
+	// comparison baseline.
+	TopoAggregaThor = "aggregathor"
+	// TopoCrashTolerant is the replicated-server strawman that survives
+	// crashes but not Byzantine behaviour.
+	TopoCrashTolerant = "crash-tolerant"
+	// TopoMSMW is Listing 2: replicated Byzantine-resilient servers.
+	TopoMSMW = "msmw"
+	// TopoDecentralized is Listing 3: peer-to-peer training, every node
+	// a server+worker pair.
+	TopoDecentralized = "decentralized"
+)
+
+// Topologies returns the recognized topology names in a stable order.
+func Topologies() []string {
+	return []string{TopoVanilla, TopoSSMW, TopoAggregaThor,
+		TopoCrashTolerant, TopoMSMW, TopoDecentralized}
+}
+
+// Model kinds accepted by ModelSpec.Kind.
+const (
+	ModelLinear   = "linear"
+	ModelMLP      = "mlp"
+	ModelCNN      = "cnn"
+	ModelMNISTCNN = "mnistcnn"
+)
+
+// ModelSpec declaratively describes a model architecture.
+type ModelSpec struct {
+	// Kind selects the architecture: linear, mlp, cnn or mnistcnn.
+	Kind string `json:"kind"`
+	// In is the flattened input dimension (linear, mlp).
+	In int `json:"in,omitempty"`
+	// Hidden is the hidden-layer width (mlp).
+	Hidden int `json:"hidden,omitempty"`
+	// Classes is the number of output classes (all kinds except mnistcnn,
+	// which is fixed at 10).
+	Classes int `json:"classes,omitempty"`
+	// H, W, C describe the input image (cnn).
+	H int `json:"h,omitempty"`
+	W int `json:"w,omitempty"`
+	C int `json:"c,omitempty"`
+	// Kernel and Filters describe the convolution (cnn).
+	Kernel  int `json:"kernel,omitempty"`
+	Filters int `json:"filters,omitempty"`
+}
+
+// inputDim returns the flattened input dimension the model expects, or 0
+// when the kind is unknown.
+func (m ModelSpec) inputDim() int {
+	switch m.Kind {
+	case ModelLinear, ModelMLP:
+		return m.In
+	case ModelCNN:
+		return m.H * m.W * m.C
+	case ModelMNISTCNN:
+		return 28 * 28
+	}
+	return 0
+}
+
+// DatasetSpec mirrors data.SyntheticSpec with JSON tags: a deterministic
+// Gaussian-mixture stand-in for the paper's datasets.
+type DatasetSpec struct {
+	// Name labels the dataset.
+	Name string `json:"name,omitempty"`
+	// Dim is the flattened feature dimension.
+	Dim int `json:"dim"`
+	// Classes is the number of mixture components / labels.
+	Classes int `json:"classes"`
+	// Train and Test are the example counts of each split.
+	Train int `json:"train"`
+	Test  int `json:"test"`
+	// Separation scales the distance between class means.
+	Separation float64 `json:"separation"`
+	// Noise is the within-class standard deviation.
+	Noise float64 `json:"noise"`
+	// Seed makes generation deterministic.
+	Seed uint64 `json:"seed"`
+}
+
+// synthetic converts the spec to the data package's generation input.
+func (d DatasetSpec) synthetic() data.SyntheticSpec {
+	return data.SyntheticSpec{
+		Name: d.Name, Dim: d.Dim, Classes: d.Classes,
+		Train: d.Train, Test: d.Test,
+		Separation: d.Separation, Noise: d.Noise, Seed: d.Seed,
+	}
+}
+
+// Learning-rate schedule kinds accepted by LRSpec.Kind.
+const (
+	LRConstant     = "constant"
+	LRInverseDecay = "inverse-decay"
+	LRStepDecay    = "step"
+)
+
+// LRSpec declaratively describes a learning-rate schedule. The zero value
+// selects the core default (constant 0.1).
+type LRSpec struct {
+	// Kind selects the schedule: constant, inverse-decay or step.
+	Kind string `json:"kind,omitempty"`
+	// Base is gamma_0.
+	Base float64 `json:"base,omitempty"`
+	// HalfLife is the inverse-decay half life.
+	HalfLife float64 `json:"half_life,omitempty"`
+	// Factor and Every parameterize step decay.
+	Factor float64 `json:"factor,omitempty"`
+	Every  int     `json:"every,omitempty"`
+}
+
+// AttackSpec declaratively describes a Byzantine behaviour. The zero value
+// (empty name) means honest. Parameter fields left zero take the attack
+// package's paper defaults (random scale 1.0, reversed factor -100,
+// little-is-enough z 1.5, fall-of-empires epsilon 1.1).
+type AttackSpec struct {
+	// Name is an attack name accepted by attack.New, or "" for honest.
+	Name string `json:"name,omitempty"`
+	// Seed seeds stochastic attacks (random). Seed 0 on a stochastic
+	// server attack derives its stream by splitting the worker attack's
+	// generator — the construction the paper's attack experiments use —
+	// and falls back to the attack package's fixed default stream when
+	// the worker attack is not stochastic either.
+	Seed uint64 `json:"seed,omitempty"`
+	// Scale is the random attack's noise scale.
+	Scale float64 `json:"scale,omitempty"`
+	// Factor is the reversed attack's multiplier.
+	Factor float64 `json:"factor,omitempty"`
+	// Z is the little-is-enough shift in standard deviations.
+	Z float64 `json:"z,omitempty"`
+	// Epsilon is the fall-of-empires scaling.
+	Epsilon float64 `json:"epsilon,omitempty"`
+}
+
+// enabled reports whether the spec names an actual behaviour.
+func (a AttackSpec) enabled() bool {
+	return a.Name != "" && !strings.EqualFold(a.Name, attack.NameNone)
+}
+
+// stochastic reports whether the named attack consumes randomness.
+func (a AttackSpec) stochastic() bool {
+	return strings.EqualFold(a.Name, attack.NameRandom)
+}
+
+// Fault kinds accepted by Fault.Kind.
+const (
+	// FaultCrashServer crashes server replica Node: subsequent dials to
+	// it fail (transport.Faulty severs its links).
+	FaultCrashServer = "crash-server"
+	// FaultCrashWorker crashes worker Node.
+	FaultCrashWorker = "crash-worker"
+	// FaultDelayWorker makes worker Node a straggler: every pull to it
+	// waits DelayMS first.
+	FaultDelayWorker = "delay-worker"
+)
+
+// Fault is one entry of a network-fault schedule: after After iterations
+// have completed, the fault is injected through the cluster's
+// transport.Faulty layer and training resumes for the remaining iterations.
+type Fault struct {
+	// After is the number of completed iterations before injection; it
+	// must lie in [1, Iterations-1].
+	After int `json:"after"`
+	// Kind is one of crash-server, crash-worker, delay-worker.
+	Kind string `json:"kind"`
+	// Node is the target node index (server replica or worker).
+	Node int `json:"node"`
+	// DelayMS is the injected per-pull delay for delay-worker.
+	DelayMS int `json:"delay_ms,omitempty"`
+}
+
+// Spec fully describes one scenario: a deployment topology, the learning
+// task, the adversary, a fault schedule and the run length. It is the
+// serializable counterpart of core.Config + core.RunOptions.
+type Spec struct {
+	// Name identifies the scenario (registry key, sweep cell label).
+	Name string `json:"name,omitempty"`
+	// Description is a one-line human summary.
+	Description string `json:"description,omitempty"`
+
+	// Topology selects the protocol runner; see Topologies.
+	Topology string `json:"topology"`
+
+	// NW and FW are total and Byzantine worker counts.
+	NW int `json:"nw"`
+	FW int `json:"fw,omitempty"`
+	// NPS and FPS are total and Byzantine server-replica counts. The
+	// decentralized topology ignores them (every node is a server+worker
+	// pair, so nps is forced to nw).
+	NPS int `json:"nps,omitempty"`
+	FPS int `json:"fps,omitempty"`
+
+	// Rule is the gradient GAR; ModelRule the server-model GAR (MSMW,
+	// decentralized), defaulting to median.
+	Rule      string `json:"rule"`
+	ModelRule string `json:"model_rule,omitempty"`
+	// SyncQuorum collects from all n workers/peers instead of n - f.
+	SyncQuorum bool `json:"sync_quorum,omitempty"`
+	// ModelAggEvery spaces MSMW model contraction to every k iterations.
+	ModelAggEvery int `json:"model_agg_every,omitempty"`
+	// NonIID shards by label and enables the decentralized contract step;
+	// ContractSteps is the number of contract rounds per iteration.
+	NonIID        bool `json:"non_iid,omitempty"`
+	ContractSteps int  `json:"contract_steps,omitempty"`
+
+	// WorkerAttack and ServerAttack are the Byzantine behaviours of the
+	// last FW workers / last FPS servers.
+	WorkerAttack AttackSpec `json:"worker_attack,omitempty"`
+	ServerAttack AttackSpec `json:"server_attack,omitempty"`
+	// LiveWorkerAttack and LiveServerAttack override the declarative
+	// attack specs with caller-constructed instances — the escape hatch
+	// for custom adversaries or stateful attack objects deliberately
+	// shared across several runs. They do not serialize; a spec loaded
+	// from JSON always uses the declarative fields.
+	LiveWorkerAttack attack.Attack `json:"-"`
+	LiveServerAttack attack.Attack `json:"-"`
+	// AttackSelfPeers gives Byzantine workers that many self-estimated
+	// honest gradients per request (collusion attacks).
+	AttackSelfPeers int `json:"attack_self_peers,omitempty"`
+
+	// Model, Dataset and BatchSize describe the learning task.
+	Model     ModelSpec   `json:"model"`
+	Dataset   DatasetSpec `json:"dataset"`
+	BatchSize int         `json:"batch_size"`
+	// LR is the learning-rate schedule (zero value: constant 0.1).
+	LR LRSpec `json:"lr,omitempty"`
+	// Momentum is server-side momentum; WorkerMomentum worker-side.
+	Momentum       float64 `json:"momentum,omitempty"`
+	WorkerMomentum float64 `json:"worker_momentum,omitempty"`
+
+	// Deterministic makes repeated runs bit-identical at the same seed:
+	// workers serve one cached gradient estimate per step, servers
+	// aggregate pulled vectors in canonical peer order, and replicated
+	// topologies exchange models in lockstep (see core.Config). Combine
+	// with SyncQuorum on replicated topologies — a q < n quorum's
+	// responding subset is inherently timing-dependent.
+	Deterministic bool `json:"deterministic,omitempty"`
+
+	// Seed drives all cluster randomness (sharding, init, sampling).
+	Seed uint64 `json:"seed"`
+	// Iterations and AccEvery tune the run (accuracy is measured every
+	// AccEvery iterations and at the end; 0 = final only). A fault
+	// schedule splits the run into segments; the AccEvery cadence
+	// restarts at each segment boundary.
+	Iterations int `json:"iterations"`
+	AccEvery   int `json:"acc_every,omitempty"`
+	// PullTimeoutMS bounds each pull round (0: core default 30s).
+	PullTimeoutMS int `json:"pull_timeout_ms,omitempty"`
+
+	// Faults is the network-fault schedule, applied in After order.
+	Faults []Fault `json:"faults,omitempty"`
+}
+
+// clone returns a deep copy of the spec (the only reference field is the
+// fault schedule).
+func (sp Spec) clone() Spec {
+	out := sp
+	if len(sp.Faults) > 0 {
+		out.Faults = append([]Fault(nil), sp.Faults...)
+	}
+	return out
+}
+
+// gradShape returns the (q, f) pair the topology's gradient aggregation
+// runs with — the shape Validate checks the GAR's resilience requirement
+// against.
+func (sp Spec) gradShape() (q, f int) {
+	switch sp.Topology {
+	case TopoVanilla, TopoCrashTolerant:
+		return sp.NW, 0
+	case TopoSSMW, TopoAggregaThor:
+		return sp.NW, sp.FW
+	default: // msmw, decentralized
+		if sp.SyncQuorum {
+			return sp.NW, sp.FW
+		}
+		return sp.NW - sp.FW, sp.FW
+	}
+}
+
+// Validate checks the spec without materializing it: topology, cluster
+// shape, GAR resilience requirements for the shape the topology will
+// aggregate with, attack names, task dimensions and the fault schedule.
+func (sp Spec) Validate() error {
+	switch sp.Topology {
+	case TopoVanilla, TopoSSMW, TopoAggregaThor, TopoCrashTolerant,
+		TopoMSMW, TopoDecentralized:
+	case "":
+		return fmt.Errorf("%w: topology is required (one of %v)", ErrSpec, Topologies())
+	default:
+		return fmt.Errorf("%w: unknown topology %q (want one of %v)", ErrSpec, sp.Topology, Topologies())
+	}
+	if sp.NW < 1 {
+		return fmt.Errorf("%w: nw=%d", ErrSpec, sp.NW)
+	}
+	if sp.FW < 0 || sp.FW >= sp.NW {
+		return fmt.Errorf("%w: fw=%d of nw=%d", ErrSpec, sp.FW, sp.NW)
+	}
+	nps := sp.NPS
+	if sp.Topology == TopoDecentralized {
+		nps = sp.NW
+	}
+	if sp.FPS < 0 || (nps > 0 && sp.FPS >= nps) {
+		return fmt.Errorf("%w: fps=%d of nps=%d", ErrSpec, sp.FPS, nps)
+	}
+	if sp.Topology == TopoMSMW && nps < 2 {
+		return fmt.Errorf("%w: msmw needs nps >= 2, got %d", ErrSpec, nps)
+	}
+	if sp.BatchSize < 1 {
+		return fmt.Errorf("%w: batch_size=%d", ErrSpec, sp.BatchSize)
+	}
+	if sp.Iterations < 1 {
+		return fmt.Errorf("%w: iterations=%d", ErrSpec, sp.Iterations)
+	}
+	if sp.AccEvery < 0 {
+		return fmt.Errorf("%w: acc_every=%d", ErrSpec, sp.AccEvery)
+	}
+
+	// GAR requirement for the shape this topology aggregates gradients
+	// with; surfaces gar.ErrUnknownRule and gar.ErrRequirement (the
+	// paper's n >= g(f) preconditions).
+	if sp.Rule == "" {
+		return fmt.Errorf("%w: rule is required (one of %v)", ErrSpec, gar.Names())
+	}
+	rule := sp.Rule
+	if sp.Topology == TopoAggregaThor {
+		rule = gar.NameMultiKrum
+	}
+	if sp.Topology == TopoVanilla || sp.Topology == TopoCrashTolerant {
+		rule = gar.NameAverage
+	}
+	q, f := sp.gradShape()
+	if _, err := gar.New(rule, q, f); err != nil {
+		return fmt.Errorf("%w: rule %q with (q=%d, f=%d): %v", ErrSpec, rule, q, f, err)
+	}
+	if sp.Topology == TopoMSMW || sp.Topology == TopoDecentralized {
+		modelRule := sp.ModelRule
+		if modelRule == "" {
+			modelRule = gar.NameMedian
+		}
+		qps, fps := nps-sp.FPS, sp.FPS
+		if sp.Topology == TopoDecentralized {
+			qps, fps = sp.NW-sp.FW, sp.FW
+			if sp.SyncQuorum {
+				qps = sp.NW
+			}
+		} else if sp.SyncQuorum {
+			qps = nps
+		}
+		if _, err := gar.New(modelRule, qps, fps); err != nil {
+			return fmt.Errorf("%w: model_rule %q with (q=%d, f=%d): %v", ErrSpec, modelRule, qps, fps, err)
+		}
+	}
+
+	for _, a := range []AttackSpec{sp.WorkerAttack, sp.ServerAttack} {
+		if !a.enabled() {
+			continue
+		}
+		if _, err := attack.New(a.Name, nil); err != nil {
+			return fmt.Errorf("%w: %v", ErrSpec, err)
+		}
+	}
+
+	if err := sp.validateTask(); err != nil {
+		return err
+	}
+	return sp.validateFaults(nps)
+}
+
+func (sp Spec) validateTask() error {
+	switch sp.Model.Kind {
+	case ModelLinear, ModelMLP, ModelCNN, ModelMNISTCNN:
+	case "":
+		return fmt.Errorf("%w: model kind is required (linear, mlp, cnn, mnistcnn)", ErrSpec)
+	default:
+		return fmt.Errorf("%w: unknown model kind %q", ErrSpec, sp.Model.Kind)
+	}
+	d := sp.Dataset
+	if d.Dim <= 0 || d.Classes <= 0 || d.Train <= 0 || d.Test <= 0 {
+		return fmt.Errorf("%w: dataset needs positive dim/classes/train/test, got %+v", ErrSpec, d)
+	}
+	if in := sp.Model.inputDim(); in != 0 && in != d.Dim {
+		return fmt.Errorf("%w: model input dim %d != dataset dim %d", ErrSpec, in, d.Dim)
+	}
+	return nil
+}
+
+func (sp Spec) validateFaults(nps int) error {
+	for i, flt := range sp.Faults {
+		if flt.After < 1 || flt.After >= sp.Iterations {
+			return fmt.Errorf("%w: fault %d: after=%d outside [1, %d)", ErrSpec, i, flt.After, sp.Iterations)
+		}
+		switch flt.Kind {
+		case FaultCrashServer:
+			if flt.Node < 0 || flt.Node >= nps {
+				return fmt.Errorf("%w: fault %d: server %d of %d", ErrSpec, i, flt.Node, nps)
+			}
+		case FaultCrashWorker, FaultDelayWorker:
+			if flt.Node < 0 || flt.Node >= sp.NW {
+				return fmt.Errorf("%w: fault %d: worker %d of %d", ErrSpec, i, flt.Node, sp.NW)
+			}
+			if flt.Kind == FaultDelayWorker && flt.DelayMS <= 0 {
+				return fmt.Errorf("%w: fault %d: delay-worker needs delay_ms > 0", ErrSpec, i)
+			}
+		default:
+			return fmt.Errorf("%w: fault %d: unknown kind %q", ErrSpec, i, flt.Kind)
+		}
+	}
+	return nil
+}
+
+// EncodeJSON writes the spec as indented JSON.
+func (sp Spec) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sp)
+}
+
+// DecodeJSON parses a spec from JSON, rejecting unknown fields so typos in
+// scenario files fail loudly. The decoded spec is not validated; call
+// Validate (or let Run do it).
+func DecodeJSON(r io.Reader) (Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sp Spec
+	if err := dec.Decode(&sp); err != nil {
+		return Spec{}, fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	return sp, nil
+}
+
+// sortedFaults returns the fault schedule ordered by After (stable for
+// equal boundaries).
+func (sp Spec) sortedFaults() []Fault {
+	if len(sp.Faults) == 0 {
+		return nil
+	}
+	out := append([]Fault(nil), sp.Faults...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].After < out[j].After })
+	return out
+}

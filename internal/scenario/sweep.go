@@ -1,0 +1,331 @@
+package scenario
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+
+	"garfield/internal/attack"
+	"garfield/internal/metrics"
+)
+
+// Matrix describes a scenario sweep: a base spec crossed with per-dimension
+// value lists. Empty dimensions keep the base spec's value, so a Matrix
+// with only Rules set sweeps GARs over one fixed deployment. Expansion is
+// a cartesian product in declaration order (topology outermost, f
+// innermost), which fixes cell indices and artifact ordering.
+type Matrix struct {
+	// Name labels the sweep in reports.
+	Name string `json:"name,omitempty"`
+	// Base is the spec every cell starts from.
+	Base Spec `json:"base"`
+	// Topologies, Rules, Attacks and FWs are the swept dimensions.
+	// Attacks name worker attacks; "none" (or "") clears the base's.
+	Topologies []string `json:"topologies,omitempty"`
+	Rules      []string `json:"rules,omitempty"`
+	Attacks    []string `json:"attacks,omitempty"`
+	FWs        []int    `json:"fws,omitempty"`
+}
+
+// Cell is one expanded matrix entry.
+type Cell struct {
+	// Index is the cell's position in expansion order.
+	Index int `json:"index"`
+	// ID is the cell's stable identifier ("msmw/krum/reversed/fw=2").
+	ID string `json:"id"`
+	// Spec is the fully-derived cell spec.
+	Spec Spec `json:"spec"`
+}
+
+// cellSeed derives a cell's seed from the base seed and the cell id: a
+// 64-bit FNV-1a hash of the id folded into the base. Identical (base seed,
+// id) pairs — and therefore identical sweeps — always produce identical
+// cell seeds, while distinct cells get decorrelated streams.
+func cellSeed(base uint64, id string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(id))
+	return base ^ h.Sum64()
+}
+
+// Expand materializes the cartesian product into concrete cells. Per cell
+// it overrides topology, rule, worker attack and fw; derives the cell seed
+// via cellSeed (the cluster seed and, for stochastic attacks, the attack
+// seed); and stamps name and id. The task (model, dataset, iterations)
+// stays the base's, so cells remain comparable.
+//
+// Every cell runs in deterministic mode regardless of the base spec — the
+// sweep's contract is reproducible artifacts. One timing dependence remains
+// out of reach: replicated topologies without SyncQuorum collect from the
+// fastest q < n peers, and *which* peers answer is inherently
+// scheduling-dependent, so give the base SyncQuorum (as sweep-default does)
+// when bit-identical artifacts matter.
+func (m Matrix) Expand() []Cell {
+	topos := m.Topologies
+	if len(topos) == 0 {
+		topos = []string{m.Base.Topology}
+	}
+	rules := m.Rules
+	if len(rules) == 0 {
+		rules = []string{m.Base.Rule}
+	}
+	attacks := m.Attacks
+	if len(attacks) == 0 {
+		attacks = []string{m.Base.WorkerAttack.Name}
+	}
+	fws := m.FWs
+	if len(fws) == 0 {
+		fws = []int{m.Base.FW}
+	}
+
+	cells := make([]Cell, 0, len(topos)*len(rules)*len(attacks)*len(fws))
+	for _, topo := range topos {
+		for _, rule := range rules {
+			for _, atk := range attacks {
+				for _, fw := range fws {
+					atkLabel := atk
+					if atkLabel == "" {
+						atkLabel = attack.NameNone
+					}
+					id := fmt.Sprintf("%s/%s/%s/fw=%d", topo, rule, atkLabel, fw)
+					sp := m.Base.clone()
+					sp.Name = id
+					sp.Description = ""
+					sp.Deterministic = true
+					sp.Topology = topo
+					sp.Rule = rule
+					sp.FW = fw
+					sp.Seed = cellSeed(m.Base.Seed, id)
+					if atkLabel == attack.NameNone {
+						sp.WorkerAttack = AttackSpec{}
+					} else {
+						sp.WorkerAttack.Name = atk
+						if sp.WorkerAttack.stochastic() {
+							sp.WorkerAttack.Seed = cellSeed(m.Base.Seed, id) ^ 0xa77ac
+						}
+					}
+					cells = append(cells, Cell{Index: len(cells), ID: id, Spec: sp})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// SweepOptions tunes a sweep run.
+type SweepOptions struct {
+	// Parallel bounds concurrently-running cells (0: GOMAXPROCS).
+	Parallel int
+	// OutDir, when non-empty, receives the artifacts: one accuracy-curve
+	// CSV per cell, a summary.csv, and the aggregate sweep.json report.
+	OutDir string
+	// Timing adds the wall-clock columns (wall_ms, updates_per_sec) to
+	// the report and summary. Off by default: timing is the one
+	// non-deterministic part of a cell result, and leaving it out keeps
+	// sweep artifacts bit-identical across runs at the same seed.
+	Timing bool
+}
+
+// CellResult is one cell's outcome in the aggregate report. All fields
+// except the timing pair are deterministic functions of the cell spec.
+type CellResult struct {
+	ID       string `json:"id"`
+	Topology string `json:"topology"`
+	Rule     string `json:"rule"`
+	Attack   string `json:"attack,omitempty"`
+	NW       int    `json:"nw"`
+	FW       int    `json:"fw"`
+	Seed     uint64 `json:"seed"`
+
+	// Status is "ok" or "error"; Error carries the failure (spec
+	// validation or run error). A failing cell never aborts the sweep.
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+
+	// FinalAccuracy and MaxAccuracy summarize the accuracy curve;
+	// Updates is the number of model updates applied.
+	FinalAccuracy float64 `json:"final_accuracy"`
+	MaxAccuracy   float64 `json:"max_accuracy"`
+	Updates       int     `json:"updates"`
+	// Accuracy is the (iteration, accuracy) curve, also written as the
+	// cell's CSV artifact.
+	Accuracy []metrics.Point `json:"accuracy,omitempty"`
+
+	// WallMS and UpdatesPerSec are only populated with
+	// SweepOptions.Timing; they vary run to run.
+	WallMS        float64 `json:"wall_ms,omitempty"`
+	UpdatesPerSec float64 `json:"updates_per_sec,omitempty"`
+}
+
+// Report aggregates a sweep.
+type Report struct {
+	Name  string       `json:"name,omitempty"`
+	Seed  uint64       `json:"seed"`
+	Cells []CellResult `json:"cells"`
+}
+
+// RunSweep expands the matrix and runs every cell, Parallel at a time.
+// Cell results keep expansion order regardless of completion order. When
+// OutDir is set the artifacts are written before returning. Cell failures
+// are recorded per cell; the returned error covers only artifact I/O.
+func RunSweep(m Matrix, opt SweepOptions) (*Report, error) {
+	cells := m.Expand()
+	workers := opt.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	results := make([]CellResult, len(cells))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for _, cell := range cells {
+		wg.Add(1)
+		go func(cell Cell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[cell.Index] = runCell(cell, opt.Timing)
+		}(cell)
+	}
+	wg.Wait()
+
+	rep := &Report{Name: m.Name, Seed: m.Base.Seed, Cells: results}
+	if opt.OutDir != "" {
+		if err := writeArtifacts(rep, opt); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+func runCell(cell Cell, timing bool) CellResult {
+	sp := cell.Spec
+	out := CellResult{
+		ID: cell.ID, Topology: sp.Topology, Rule: sp.Rule,
+		Attack: sp.WorkerAttack.Name,
+		NW:     sp.NW, FW: sp.FW, Seed: sp.Seed,
+	}
+	res, err := Run(sp)
+	if err != nil {
+		out.Status = "error"
+		out.Error = err.Error()
+		return out
+	}
+	out.Status = "ok"
+	out.FinalAccuracy = res.Accuracy.Last()
+	out.MaxAccuracy = res.Accuracy.MaxY()
+	out.Updates = res.Updates
+	out.Accuracy = append([]metrics.Point(nil), res.Accuracy.Points...)
+	if timing {
+		out.WallMS = float64(res.WallTime.Milliseconds())
+		out.UpdatesPerSec = res.UpdatesPerSec()
+	}
+	return out
+}
+
+// cellFileName flattens a cell id into a file name ("msmw/krum/reversed/
+// fw=2" -> "msmw_krum_reversed_fw2.csv").
+func cellFileName(id string) string {
+	return strings.NewReplacer("/", "_", "=", "").Replace(id) + ".csv"
+}
+
+// writeArtifacts emits the per-cell accuracy CSVs, the summary CSV and the
+// JSON report into opt.OutDir.
+func writeArtifacts(rep *Report, opt SweepOptions) error {
+	if err := os.MkdirAll(opt.OutDir, 0o755); err != nil {
+		return fmt.Errorf("scenario: sweep artifacts: %w", err)
+	}
+	for _, cell := range rep.Cells {
+		if cell.Status != "ok" {
+			continue
+		}
+		if err := writeCurveCSV(filepath.Join(opt.OutDir, cellFileName(cell.ID)), cell); err != nil {
+			return err
+		}
+	}
+	if err := writeSummaryCSV(filepath.Join(opt.OutDir, "summary.csv"), rep, opt.Timing); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(opt.OutDir, "sweep.json"))
+	if err != nil {
+		return fmt.Errorf("scenario: sweep report: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return fmt.Errorf("scenario: sweep report: %w", err)
+	}
+	return f.Close()
+}
+
+func writeCurveCSV(path string, cell CellResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("scenario: cell artifact: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"iteration", "accuracy"}); err != nil {
+		return err
+	}
+	for _, p := range cell.Accuracy {
+		if err := w.Write([]string{
+			strconv.FormatFloat(p.X, 'g', -1, 64),
+			strconv.FormatFloat(p.Y, 'g', -1, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeSummaryCSV(path string, rep *Report, timing bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("scenario: sweep summary: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := []string{"id", "topology", "rule", "attack", "nw", "fw", "seed",
+		"status", "final_accuracy", "max_accuracy", "updates"}
+	if timing {
+		header = append(header, "wall_ms", "updates_per_sec")
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for _, c := range rep.Cells {
+		row := []string{
+			c.ID, c.Topology, c.Rule, c.Attack,
+			strconv.Itoa(c.NW), strconv.Itoa(c.FW),
+			strconv.FormatUint(c.Seed, 10), c.Status,
+			strconv.FormatFloat(c.FinalAccuracy, 'g', -1, 64),
+			strconv.FormatFloat(c.MaxAccuracy, 'g', -1, 64),
+			strconv.Itoa(c.Updates),
+		}
+		if timing {
+			row = append(row,
+				strconv.FormatFloat(c.WallMS, 'g', -1, 64),
+				strconv.FormatFloat(c.UpdatesPerSec, 'g', -1, 64))
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return f.Close()
+}

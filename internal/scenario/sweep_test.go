@@ -1,0 +1,138 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sweepBase returns a matrix base small enough that multi-cell sweeps run
+// in well under a second. Deterministic + sync quorums: repeated sweeps
+// must be bit-identical.
+func sweepBase() Spec {
+	sp := validSpec()
+	sp.NPS, sp.FPS = 3, 0
+	sp.SyncQuorum = true
+	sp.Deterministic = true
+	sp.Iterations = 6
+	sp.AccEvery = 2
+	sp.Seed = 77
+	return sp
+}
+
+func TestExpandDeterministicSeeds(t *testing.T) {
+	m := Matrix{
+		Base:       sweepBase(),
+		Topologies: []string{TopoSSMW, TopoMSMW},
+		Rules:      []string{"median", "krum"},
+		Attacks:    []string{"reversed", "none"},
+	}
+	cells := m.Expand()
+	if want := 2 * 2 * 2; len(cells) != want {
+		t.Fatalf("got %d cells, want %d", len(cells), want)
+	}
+	// Expansion is pure: a second expansion reproduces ids and seeds.
+	again := m.Expand()
+	if !reflect.DeepEqual(cells, again) {
+		t.Fatal("two expansions of the same matrix differ")
+	}
+	// Distinct cells get decorrelated seeds; identical id => identical seed.
+	seeds := map[uint64]string{}
+	for _, c := range cells {
+		if c.Spec.Seed != cellSeed(m.Base.Seed, c.ID) {
+			t.Errorf("cell %s: seed not derived from (base seed, id)", c.ID)
+		}
+		if prev, dup := seeds[c.Spec.Seed]; dup {
+			t.Errorf("cells %s and %s share seed %d", prev, c.ID, c.Spec.Seed)
+		}
+		seeds[c.Spec.Seed] = c.ID
+	}
+	// The task is shared across cells so results stay comparable.
+	for _, c := range cells {
+		if !reflect.DeepEqual(c.Spec.Dataset, m.Base.Dataset) {
+			t.Errorf("cell %s: dataset diverged from the base", c.ID)
+		}
+	}
+	// The sweep contract: every cell runs in deterministic mode.
+	for _, c := range cells {
+		if !c.Spec.Deterministic {
+			t.Errorf("cell %s: deterministic mode not forced", c.ID)
+		}
+	}
+	// "none" cells run honest: the worker attack is cleared entirely.
+	for _, c := range cells {
+		if strings.Contains(c.ID, "/none/") && c.Spec.WorkerAttack != (AttackSpec{}) {
+			t.Errorf("cell %s: none attack not cleared: %+v", c.ID, c.Spec.WorkerAttack)
+		}
+	}
+}
+
+// TestSweepBitIdentical is the engine's determinism contract: the same
+// matrix at the same seed produces byte-identical artifacts, run to run,
+// including the replicated MSMW topology.
+func TestSweepBitIdentical(t *testing.T) {
+	m := Matrix{
+		Name:       "determinism",
+		Base:       sweepBase(),
+		Topologies: []string{TopoSSMW, TopoMSMW},
+		Rules:      []string{"median", "krum"},
+	}
+	dirA, dirB := filepath.Join(t.TempDir(), "a"), filepath.Join(t.TempDir(), "b")
+	repA, err := RunSweep(m, SweepOptions{OutDir: dirA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := RunSweep(m, SweepOptions{OutDir: dirB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range repA.Cells {
+		if c.Status != "ok" {
+			t.Fatalf("cell %s failed: %s", c.ID, c.Error)
+		}
+	}
+	if !reflect.DeepEqual(repA, repB) {
+		t.Fatal("two sweeps at the same seed produced different reports")
+	}
+	entries, err := os.ReadDir(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 cell curves + summary.csv + sweep.json.
+	if want := len(repA.Cells) + 2; len(entries) != want {
+		t.Fatalf("got %d artifacts, want %d", len(entries), want)
+	}
+	for _, e := range entries {
+		a, err := os.ReadFile(filepath.Join(dirA, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, e.Name()))
+		if err != nil {
+			t.Fatalf("artifact %s missing from second run: %v", e.Name(), err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("artifact %s differs between runs", e.Name())
+		}
+	}
+}
+
+// TestSweepRecordsCellFailure: an invalid cell is reported, not fatal.
+func TestSweepRecordsCellFailure(t *testing.T) {
+	m := Matrix{
+		Base:  sweepBase(),
+		Rules: []string{"median", "bulyan"}, // bulyan needs 4f+3 = 7 > nw=5
+	}
+	rep, err := RunSweep(m, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cells[0].Status != "ok" {
+		t.Errorf("median cell failed: %s", rep.Cells[0].Error)
+	}
+	if rep.Cells[1].Status != "error" || rep.Cells[1].Error == "" {
+		t.Errorf("bulyan cell should fail validation, got %+v", rep.Cells[1])
+	}
+}

@@ -1,0 +1,39 @@
+// Package simnet is the deterministic performance model used to regenerate
+// the paper's throughput experiments (Figures 6-10 and the appendix ones).
+//
+// The paper measures wall-clock throughput on Grid5000 clusters; that
+// hardware is unavailable here, so the scaling experiments run against an
+// analytic cost model instead of a stopwatch. The model is deliberately
+// simple — four additive terms per iteration — yet captures every effect the
+// paper attributes its results to:
+//
+//	compute        gradient computation, linear in the model dimension d;
+//	NIC time       messages serialized through the busiest node's link
+//	               (bandwidth term) plus one latency per communication round;
+//	fabric time    total message volume through the shared switch fabric —
+//	               the term that makes decentralized O(n^2)-message protocols
+//	               stop scaling (Figure 9a);
+//	serialization  per-byte marshalling cost at the busiest endpoint; this
+//	               models the tensor <-> wire conversions (Section 4.1 notes
+//	               "the overhead of these conversions ... is non-negligible")
+//	               that vanilla frameworks avoid with their native runtimes;
+//	aggregation    per-element GAR cost with the asymptotics of Section 3.1.
+//
+// A Deployment pairs a System (vanilla, AggregaThor, crash-tolerant, SSMW,
+// MSMW, decentralized — the same six the live protocols implement) with a
+// hardware Profile (the paper's CPU and GPU cluster settings) and a cluster
+// shape; Iteration returns the modelled per-iteration breakdown and
+// UpdatesPerSec the modelled throughput.
+//
+// Vanilla deployments use the frameworks' optimized collective runtime,
+// which both skips serialization and overlaps transfers; this is modelled by
+// a collective-efficiency factor < 1 on the NIC term and no serialization
+// cost. Numbers produced by this package are not the paper's absolute
+// numbers; the experiments compare shapes (orderings, ratios, crossovers).
+//
+// The live counterpart to this model is the in-process cluster of
+// internal/core driven through internal/scenario: simnet answers "how does
+// this topology scale on datacenter hardware", the live path answers "what
+// does this exact Go implementation do" — the ext-throughput experiment
+// checks that the model's orderings hold for the latter.
+package simnet

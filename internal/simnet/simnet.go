@@ -1,30 +1,3 @@
-// Package simnet is the deterministic performance model used to regenerate
-// the paper's throughput experiments (Figures 6-10 and the appendix ones).
-//
-// The paper measures wall-clock throughput on Grid5000 clusters; that
-// hardware is unavailable here, so the scaling experiments run against an
-// analytic cost model instead of a stopwatch. The model is deliberately
-// simple — four additive terms per iteration — yet captures every effect the
-// paper attributes its results to:
-//
-//	compute        gradient computation, linear in the model dimension d;
-//	NIC time       messages serialized through the busiest node's link
-//	               (bandwidth term) plus one latency per communication round;
-//	fabric time    total message volume through the shared switch fabric —
-//	               the term that makes decentralized O(n^2)-message protocols
-//	               stop scaling (Figure 9a);
-//	serialization  per-byte marshalling cost at the busiest endpoint; this
-//	               models the tensor <-> wire conversions (Section 4.1 notes
-//	               "the overhead of these conversions ... is non-negligible")
-//	               that vanilla frameworks avoid with their native runtimes;
-//	aggregation    per-element GAR cost with the asymptotics of Section 3.1.
-//
-// Vanilla deployments use the frameworks' optimized collective runtime, which
-// both skips serialization and overlaps transfers; this is modelled by a
-// collective-efficiency factor < 1 on the NIC term and no serialization cost.
-// Numbers produced by this package are not the paper's absolute numbers; the
-// experiments compare shapes (orderings, ratios, crossovers), which is also
-// what EXPERIMENTS.md records.
 package simnet
 
 import (

@@ -45,6 +45,20 @@ func (v Vector) Clone() Vector {
 	return out
 }
 
+// Equal reports whether v and w have the same dimension and bit-identical
+// coordinates (no tolerance; NaN != NaN as in IEEE comparison).
+func (v Vector) Equal(w Vector) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Dim returns the dimension of the vector.
 func (v Vector) Dim() int { return len(v) }
 
