@@ -13,7 +13,8 @@
 //	garfield-scenarios sweep [-preset name | -spec file.json] -topologies a,b -rules c,d -attacks e,f [-fws 1,2] [-out dir] [-timing]
 //
 // Run overrides (zero values keep the loaded spec's setting): -topology,
-// -rule, -attack, -nw, -fw, -nps, -fps, -iters, -acc-every, -seed.
+// -rule, -attack, -nw, -fw, -nps, -fps, -iters, -acc-every, -seed, -async,
+// -staleness-bound.
 //
 // A sweep at a fixed seed without -timing produces bit-identical artifacts
 // across runs; -timing adds the wall-clock columns, which naturally vary.
@@ -128,6 +129,8 @@ func runRun(args []string, out io.Writer) error {
 	iters := fs.Int("iters", 0, "override iterations")
 	accEvery := fs.Int("acc-every", -1, "override accuracy-measurement period")
 	seed := fs.Uint64("seed", 0, "override the cluster seed")
+	async := fs.Bool("async", false, "run the bounded-staleness async engine (ssmw, msmw)")
+	stalenessBound := fs.Int("staleness-bound", 0, "override the async staleness bound tau (0: core default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -172,6 +175,12 @@ func runRun(args []string, out io.Writer) error {
 	if *seed != 0 {
 		sp.Seed = *seed
 	}
+	if *async {
+		sp.Async = true
+	}
+	if *stalenessBound > 0 {
+		sp.StalenessBound = *stalenessBound
+	}
 
 	res, err := scenario.Run(sp)
 	if err != nil {
@@ -194,6 +203,10 @@ func runRun(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "final accuracy %.4f after %d updates (%.1f updates/sec)\n",
 			res.Accuracy.Last(), res.Updates, res.UpdatesPerSec())
+		if sp.Async {
+			fmt.Fprintf(out, "avg staleness %.2f steps, %d gradients dropped beyond the bound\n",
+				res.AvgStaleness, res.StaleDrops)
+		}
 		return nil
 	case "csv":
 		return fig.RenderCSV(out)

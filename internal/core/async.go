@@ -1,0 +1,542 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"garfield/internal/metrics"
+	"garfield/internal/rpc"
+	"garfield/internal/tensor"
+)
+
+// The asynchronous bounded-staleness execution path. The lockstep protocols
+// of protocols.go advance one iteration at a time, waiting for a full pull
+// round before every update; here the servers and workers are decoupled the
+// way the paper's asynchronous deployment mode describes: per-worker fetcher
+// loops keep pulling gradient estimates against whatever model state is
+// current, tag each estimate with the step its parameters came from, and
+// enqueue it. The server-side step loop aggregates as soon as a quorum
+// q = n_w - f_w of sufficiently fresh gradients is available — a straggler
+// or crashed worker delays nothing, it simply stops contributing.
+//
+// Staleness control follows the standard bounded-staleness recipe: a
+// gradient computed at step t0 and consumed at step t has staleness t - t0.
+// Entries staler than the bound tau are discarded; accepted stale entries
+// are damped by damping^staleness, shrinking the contribution of gradients
+// computed against old parameters instead of letting them drag the model
+// back. Config.StalenessBound / Config.StalenessDamping tune both knobs.
+//
+// Two determinism regimes exist, mirroring the lockstep protocols:
+//
+//   - the live engine (goroutine fetchers, real queues) is throughput-true
+//     but scheduling-dependent, like any async system;
+//   - with Config.Deterministic set, RunAsyncSSMW switches to a
+//     single-threaded seeded replay (runAsyncSSMWReplay): worker fetch
+//     latencies are drawn from an RNG derived from the cluster seed, and
+//     the whole queue/staleness-filter/damping pipeline runs over that
+//     synthetic schedule, so a run is bit-identical at the same seed.
+
+// Default async tuning; see Config.StalenessBound / StalenessDamping.
+const (
+	DefaultStalenessBound   = 3
+	DefaultStalenessDamping = 0.5
+)
+
+// asyncQueueDepth bounds each worker's queue: a slow consumer sees at most
+// this many pending estimates per worker, newest kept, oldest evicted.
+const asyncQueueDepth = 2
+
+// taggedGrad is one queued gradient estimate and the step of the model state
+// it was computed against.
+type taggedGrad struct {
+	vec  tensor.Vector
+	step uint32
+}
+
+// gradQueues is the per-worker bounded queue set shared by the fetchers
+// (producers) and the server step loop (consumer).
+type gradQueues struct {
+	mu    sync.Mutex
+	slots [][]taggedGrad // per worker, oldest first
+	drops int            // entries discarded for exceeding the bound
+	// notify wakes the consumer after a push; capacity 1 is enough because
+	// the consumer re-scans all slots on every wake.
+	notify chan struct{}
+}
+
+func newGradQueues(n int) *gradQueues {
+	return &gradQueues{
+		slots:  make([][]taggedGrad, n),
+		notify: make(chan struct{}, 1),
+	}
+}
+
+// push enqueues a tagged gradient for worker w, evicting the oldest entry
+// when the slot is full, and wakes the consumer.
+func (g *gradQueues) push(w int, tg taggedGrad) {
+	g.mu.Lock()
+	slot := g.slots[w]
+	if len(slot) >= asyncQueueDepth {
+		copy(slot, slot[1:])
+		slot = slot[:len(slot)-1]
+	}
+	g.slots[w] = append(slot, tg)
+	g.mu.Unlock()
+	select {
+	case g.notify <- struct{}{}:
+	default:
+	}
+}
+
+// asyncPick is one selected gradient with its provenance.
+type asyncPick struct {
+	worker    int
+	staleness int
+	vec       tensor.Vector
+}
+
+// tryCollect scans the queues at model step now: entries staler than tau are
+// dropped, and if at least q workers still have a fresh entry, the q
+// freshest (ties broken by worker index, so selection is reproducible given
+// the same queue state) are popped and returned.
+func (g *gradQueues) tryCollect(now uint32, q, tau int) []asyncPick {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	candidates := make([]asyncPick, 0, len(g.slots))
+	for w, slot := range g.slots {
+		// Evict entries beyond the bound; the slot is oldest-first, so the
+		// fresh suffix survives.
+		keep := 0
+		for keep < len(slot) && int(now-slot[keep].step) > tau {
+			keep++
+		}
+		if keep > 0 {
+			g.drops += keep
+			copy(slot, slot[keep:])
+			g.slots[w] = slot[:len(slot)-keep]
+			slot = g.slots[w]
+		}
+		if len(slot) == 0 {
+			continue
+		}
+		newest := slot[len(slot)-1]
+		candidates = append(candidates, asyncPick{
+			worker: w, staleness: int(now - newest.step), vec: newest.vec,
+		})
+	}
+	if len(candidates) < q {
+		return nil
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].staleness != candidates[j].staleness {
+			return candidates[i].staleness < candidates[j].staleness
+		}
+		return candidates[i].worker < candidates[j].worker
+	})
+	picked := candidates[:q]
+	for _, p := range picked {
+		slot := g.slots[p.worker]
+		g.slots[p.worker] = slot[:len(slot)-1] // pop the newest (the one selected)
+	}
+	return picked
+}
+
+// collect blocks until tryCollect succeeds or the deadline passes.
+func (g *gradQueues) collect(now uint32, q, tau int, timeout time.Duration) ([]asyncPick, error) {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		if picked := g.tryCollect(now, q, tau); picked != nil {
+			return picked, nil
+		}
+		select {
+		case <-g.notify:
+		case <-timer.C:
+			return nil, fmt.Errorf("core: async step %d: %w: fewer than %d fresh gradients within %v",
+				now, rpc.ErrQuorum, q, timeout)
+		}
+	}
+}
+
+// dropCount returns the number of bound-exceeding entries discarded so far.
+func (g *gradQueues) dropCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.drops
+}
+
+// asyncFetch is one worker's fetcher loop: snapshot the replica's model,
+// pull a gradient estimate against it, tag it with the snapshot step and
+// enqueue. Failures (a crashed worker, an omitted Byzantine reply) back off
+// and retry — in the async regime a missing worker costs freshness, never
+// progress.
+func (c *Cluster) asyncFetch(ctx context.Context, s *Server, queues *gradQueues, w int) {
+	addr := c.workerAddrs[w]
+	backoff := time.Millisecond
+	for ctx.Err() == nil {
+		params, step := s.Snapshot()
+		callCtx, cancel := context.WithTimeout(ctx, c.cfg.PullTimeout)
+		vec, err := s.client.Call(callCtx, addr, rpc.Request{
+			Kind: rpc.KindGetGradient, Step: step, Vec: params,
+		})
+		cancel()
+		if err != nil {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(backoff):
+			}
+			if backoff < 50*time.Millisecond {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = time.Millisecond
+		queues.push(w, taggedGrad{vec: vec, step: step})
+	}
+}
+
+// dampPicks scales stale gradients by damping^staleness in place (the popped
+// vectors are owned by the caller) and returns the summed staleness.
+func dampPicks(picks []asyncPick, damping float64) (staleSum int) {
+	for _, p := range picks {
+		staleSum += p.staleness
+		if p.staleness == 0 || damping == 1 {
+			continue
+		}
+		f := math.Pow(damping, float64(p.staleness))
+		for i := range p.vec {
+			p.vec[i] *= f
+		}
+	}
+	return staleSum
+}
+
+// pickVectors extracts the gradient vectors in selection order.
+func pickVectors(picks []asyncPick) []tensor.Vector {
+	out := make([]tensor.Vector, len(picks))
+	for i, p := range picks {
+		out[i] = p.vec
+	}
+	return out
+}
+
+// RunAsyncSSMW trains the single-server multi-worker topology with the
+// bounded-staleness engine: the server updates as soon as q_w = n_w - f_w
+// sufficiently fresh gradients are queued, instead of barrier-waiting a full
+// pull round. With Config.Deterministic it switches to the seeded
+// single-threaded replay, which is bit-identical across runs at one seed.
+func (c *Cluster) RunAsyncSSMW(opt RunOptions) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if c.cfg.Deterministic {
+		return c.runAsyncSSMWReplay(opt)
+	}
+	q := c.cfg.NW - c.cfg.FW
+	agg, err := NewAggregator(c.cfg.Rule, q, c.cfg.FW)
+	if err != nil {
+		return nil, fmt.Errorf("core: async-ssmw: %w", err)
+	}
+	res := newResult("async-ssmw")
+	start := time.Now()
+	if err := c.asyncReplicaLoop(res, c.servers[0], agg, nil, opt, start, true); err != nil {
+		return nil, fmt.Errorf("core: async-ssmw: %w", err)
+	}
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// RunAsyncMSMW trains the replicated topology asynchronously: every honest
+// replica runs its own bounded-staleness gradient loop (own fetchers, own
+// queues), and every Config.ModelAggEvery updates it pulls q_ps = n_ps -
+// f_ps peer models and robust-aggregates them — without any cross-replica
+// barrier, so replicas observe each other mid-update and contraction is what
+// keeps them close. Accuracy, throughput and staleness are observed at
+// replica 0. Deterministic mode is not supported here (the replay story
+// covers the single-server topology); RunAsyncMSMW returns ErrConfig for it.
+func (c *Cluster) RunAsyncMSMW(opt RunOptions) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	cfg := c.cfg
+	if c.Servers() < 2 {
+		return nil, fmt.Errorf("%w: async msmw needs at least 2 server replicas", ErrConfig)
+	}
+	if cfg.Deterministic {
+		return nil, fmt.Errorf("%w: deterministic async replay supports the single-server topology only", ErrConfig)
+	}
+	honest := c.Servers() - cfg.FPS
+	qw := cfg.NW - cfg.FW
+	qps := c.Servers() - cfg.FPS
+	res := newResult("async-msmw")
+	gradAggs := make([]*Aggregator, honest)
+	modelAggs := make([]*Aggregator, honest)
+	for r := 0; r < honest; r++ {
+		var err error
+		if gradAggs[r], err = NewAggregator(cfg.Rule, qw, cfg.FW); err != nil {
+			return nil, fmt.Errorf("core: async-msmw: %w", err)
+		}
+		if modelAggs[r], err = NewAggregator(cfg.ModelRule, qps, cfg.FPS); err != nil {
+			return nil, fmt.Errorf("core: async-msmw: %w", err)
+		}
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, honest)
+	for r := 0; r < honest; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[r] = c.asyncReplicaLoop(res, c.servers[r], gradAggs[r], modelAggs[r], opt, start, r == 0)
+		}()
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: async-msmw replica %d: %w", r, err)
+		}
+	}
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// asyncReplicaLoop drives one replica's bounded-staleness training loop:
+// fetchers feed the queues, each iteration collects a fresh quorum, damps,
+// aggregates and updates, and (when modelAgg is non-nil) every ModelAggEvery
+// updates the replica contracts toward its peers by pulling and
+// robust-aggregating q_ps models. Only the recording replica writes into
+// res.
+func (c *Cluster) asyncReplicaLoop(res *Result, s *Server, gradAgg, modelAgg *Aggregator, opt RunOptions, start time.Time, record bool) error {
+	cfg := c.cfg
+	q := cfg.NW - cfg.FW
+	tau, damping := cfg.asyncParams()
+	qps := c.Servers() - cfg.FPS
+
+	ctx, cancel := context.WithCancel(context.Background())
+	queues := newGradQueues(cfg.NW)
+	var fetchers sync.WaitGroup
+	// Stop order matters: cancel the fetchers, then wait them out (defers
+	// run last-in first-out).
+	defer fetchers.Wait()
+	defer cancel()
+	for w := 0; w < cfg.NW; w++ {
+		w := w
+		fetchers.Add(1)
+		go func() {
+			defer fetchers.Done()
+			c.asyncFetch(ctx, s, queues, w)
+		}()
+	}
+
+	staleSum := 0
+	for i := 0; i < opt.Iterations; i++ {
+		commDone := metrics.Start()
+		picks, err := queues.collect(s.Step(), q, tau, cfg.PullTimeout)
+		if record {
+			res.Breakdown.AddComm(commDone())
+		}
+		if err != nil {
+			return err
+		}
+		aggDone := metrics.Start()
+		staleSum += dampPicks(picks, damping)
+		aggr, err := gradAgg.Aggregate(pickVectors(picks))
+		if record {
+			res.Breakdown.AddAgg(aggDone())
+		}
+		if err != nil {
+			return fmt.Errorf("async iteration %d: %w", i, err)
+		}
+		if err := s.UpdateModel(aggr); err != nil {
+			return err
+		}
+		if modelAgg != nil && (i+1)%cfg.ModelAggEvery == 0 {
+			if err := c.asyncModelExchange(s, modelAgg, qps); err != nil {
+				return fmt.Errorf("async iteration %d: %w", i, err)
+			}
+		}
+		if record {
+			res.Breakdown.EndIteration()
+			res.Updates++
+			if err := c.recordAccuracy(res, s, opt, i, start); err != nil {
+				return err
+			}
+		}
+	}
+	if record {
+		if opt.Iterations > 0 && q > 0 {
+			res.AvgStaleness = float64(staleSum) / float64(opt.Iterations*q)
+		}
+		res.StaleDrops = queues.dropCount()
+	}
+	return nil
+}
+
+// asyncModelExchange is the barrier-free contraction step: pull the fastest
+// q_ps peer models (whatever state they are in) and overwrite local state
+// with their robust aggregate.
+func (c *Cluster) asyncModelExchange(s *Server, modelAgg *Aggregator, qps int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.PullTimeout)
+	defer cancel()
+	models, err := s.GetModels(ctx, qps)
+	if err != nil {
+		return err
+	}
+	aggr, err := modelAgg.Aggregate(models)
+	if err != nil {
+		return err
+	}
+	return s.WriteModel(aggr)
+}
+
+// asyncReplaySalt domain-separates the replay schedule RNG from every other
+// consumer of the cluster seed.
+const asyncReplaySalt = 0x61737963 // "asyc"
+
+// replayFetch models one worker's in-flight pull in the seeded replay.
+type replayFetch struct {
+	tag  uint32  // step of the parameters the fetch observes
+	done float64 // virtual completion time
+	dead bool    // worker no longer answers (crashed or always-omitting)
+}
+
+// replayLatency draws one fetch duration (in model steps) from the replay's
+// latency process: most fetches take about one step, a seeded minority
+// straggle by up to tau+1 extra steps so the staleness filter and damping
+// genuinely engage.
+func replayLatency(rng *tensor.RNG, tau int) float64 {
+	l := 0.6 + 0.8*rng.Float64()
+	if rng.Float64() < 0.2 {
+		l += float64(1 + rng.Intn(tau+1))
+	}
+	return l
+}
+
+// runAsyncSSMWReplay is the deterministic counterpart of the live async
+// engine: a single-threaded event simulation in which worker fetch latencies
+// come from an RNG seeded by the cluster seed instead of the scheduler. The
+// same queue semantics apply — gradients are tagged with the step of the
+// parameters they observed, filtered by the staleness bound and damped — but
+// fetch completion order is a pure function of the seed, so two runs are
+// bit-identical. Gradient pulls still travel the real RPC path (issued
+// sequentially, in completion order), so attacks, momentum and fault
+// injection behave exactly as in the live engine.
+func (c *Cluster) runAsyncSSMWReplay(opt RunOptions) (*Result, error) {
+	cfg := c.cfg
+	q := cfg.NW - cfg.FW
+	tau, damping := cfg.asyncParams()
+	agg, err := NewAggregator(cfg.Rule, q, cfg.FW)
+	if err != nil {
+		return nil, fmt.Errorf("core: async-ssmw: %w", err)
+	}
+	res := newResult("async-ssmw")
+	s := c.servers[0]
+	rng := tensor.NewRNG(cfg.Seed ^ asyncReplaySalt)
+
+	// Ring of parameter snapshots for the last tau+1 steps: a fetch tagged
+	// with step t0 reads snapshots[t0 % depth], valid exactly while the
+	// result could still pass the staleness filter.
+	depth := uint32(tau + 1)
+	snapshots := make([]tensor.Vector, depth)
+
+	fetches := make([]replayFetch, cfg.NW)
+	vt := 0.0 // virtual clock
+	for w := range fetches {
+		fetches[w] = replayFetch{tag: s.Step(), done: replayLatency(rng, tau)}
+	}
+
+	start := time.Now()
+	staleSum, drops := 0, 0
+	for i := 0; i < opt.Iterations; i++ {
+		now := s.Step()
+		snapshots[now%depth] = s.Params()
+
+		// Run fetch completions, earliest virtual finisher first, until q
+		// distinct workers hold a fresh gradient for this step.
+		ready := make(map[int]asyncPick, q)
+		guard := 0
+		for len(ready) < q {
+			if guard++; guard > 4*cfg.NW*(tau+2)+16 {
+				return nil, fmt.Errorf("core: async-ssmw replay step %d: schedule failed to produce a quorum", now)
+			}
+			w, live := -1, 0
+			for j := range fetches {
+				if fetches[j].dead {
+					continue
+				}
+				live++
+				if w < 0 || fetches[j].done < fetches[w].done {
+					w = j
+				}
+			}
+			if live < q {
+				return nil, fmt.Errorf("core: async-ssmw replay step %d: %w: %d live workers for quorum %d",
+					now, rpc.ErrQuorum, live, q)
+			}
+			if fetches[w].done > vt {
+				vt = fetches[w].done
+			}
+			if staleness := int(now - fetches[w].tag); staleness <= tau {
+				vec, err := c.replayPull(s, w, fetches[w].tag, snapshots[fetches[w].tag%depth])
+				if err != nil {
+					// A crashed or always-omitting worker: out of the
+					// schedule for the rest of this run segment.
+					fetches[w].dead = true
+					continue
+				}
+				ready[w] = asyncPick{worker: w, staleness: staleness, vec: vec}
+			} else {
+				drops++ // completed too stale to be worth pulling
+			}
+			// Start the next fetch against the current model state.
+			fetches[w].tag = now
+			fetches[w].done = vt + replayLatency(rng, tau)
+		}
+
+		picks := make([]asyncPick, 0, len(ready))
+		for _, p := range ready {
+			picks = append(picks, p)
+		}
+		sort.Slice(picks, func(a, b int) bool {
+			if picks[a].staleness != picks[b].staleness {
+				return picks[a].staleness < picks[b].staleness
+			}
+			return picks[a].worker < picks[b].worker
+		})
+		staleSum += dampPicks(picks, damping)
+		aggr, err := agg.Aggregate(pickVectors(picks))
+		if err != nil {
+			return nil, fmt.Errorf("core: async-ssmw replay iteration %d: %w", i, err)
+		}
+		if err := s.UpdateModel(aggr); err != nil {
+			return nil, err
+		}
+		res.Breakdown.EndIteration()
+		res.Updates++
+		if err := c.recordAccuracy(res, s, opt, i, start); err != nil {
+			return nil, err
+		}
+	}
+	if opt.Iterations > 0 && q > 0 {
+		res.AvgStaleness = float64(staleSum) / float64(opt.Iterations*q)
+	}
+	res.StaleDrops = drops
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// replayPull issues one sequential gradient pull over the real RPC path for
+// the replay engine.
+func (c *Cluster) replayPull(s *Server, w int, step uint32, params tensor.Vector) (tensor.Vector, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.PullTimeout)
+	defer cancel()
+	return s.client.Call(ctx, c.workerAddrs[w], rpc.Request{
+		Kind: rpc.KindGetGradient, Step: step, Vec: params,
+	})
+}

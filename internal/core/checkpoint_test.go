@@ -1,0 +1,162 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"garfield/internal/attack"
+	"garfield/internal/rpc"
+	"garfield/internal/tensor"
+)
+
+// Integrity tests for the v2 checkpoint format (checksum trailer) and the
+// derived-state reset on restore. The happy-path round trip lives in
+// extensions_test.go.
+
+func savedCheckpoint(t *testing.T, c *Cluster) []byte {
+	t.Helper()
+	if _, err := c.RunSSMW(RunOptions{Iterations: 5}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Server(0).SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCheckpointRejectsTruncation(t *testing.T) {
+	cfg := baseConfig(t)
+	c := newTestCluster(t, cfg)
+	data := savedCheckpoint(t, c)
+	s := c.Server(0)
+
+	// Every proper prefix must be rejected — in particular cuts that drop
+	// a multiple of 8 bytes, where the final 8 bytes of the remaining
+	// payload still parse as a plausible trailer.
+	for _, cut := range []int{1, 8, 16, len(data) / 2, len(data) - 1} {
+		trunc := data[:len(data)-cut]
+		if err := s.LoadCheckpoint(bytes.NewReader(trunc)); !errors.Is(err, ErrBadCheckpoint) {
+			t.Errorf("truncated by %d bytes: err = %v, want ErrBadCheckpoint", cut, err)
+		}
+	}
+}
+
+func TestCheckpointRejectsTrailingGarbage(t *testing.T) {
+	cfg := baseConfig(t)
+	c := newTestCluster(t, cfg)
+	data := savedCheckpoint(t, c)
+	s := c.Server(0)
+
+	// The tensor decoder ignores trailing bytes, so without the checksum a
+	// shorter checkpoint written over a longer file would "decode". The
+	// trailer must catch it.
+	garbled := append(append([]byte(nil), data...), 0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4)
+	if err := s.LoadCheckpoint(bytes.NewReader(garbled)); !errors.Is(err, ErrBadCheckpoint) {
+		t.Errorf("trailing garbage: err = %v, want ErrBadCheckpoint", err)
+	}
+	// A flipped payload byte must also fail.
+	flipped := append([]byte(nil), data...)
+	flipped[20] ^= 0xff
+	if err := s.LoadCheckpoint(bytes.NewReader(flipped)); !errors.Is(err, ErrBadCheckpoint) {
+		t.Errorf("flipped byte: err = %v, want ErrBadCheckpoint", err)
+	}
+}
+
+// TestCheckpointResetsDerivedState: a restore must not leave pre-restore
+// serving state behind — the published aggregated gradient belongs to the
+// timeline the server just rolled back.
+func TestCheckpointResetsDerivedState(t *testing.T) {
+	cfg := baseConfig(t)
+	c := newTestCluster(t, cfg)
+	s := c.Server(0)
+	data := savedCheckpoint(t, c)
+
+	s.SetLatestAggrGrad(tensor.Filled(cfg.Arch.Dim(), 1))
+	if resp := s.Handle(rpc.Request{Kind: rpc.KindGetAggrGrad}); !resp.OK {
+		t.Fatal("aggregated gradient should be served before the restore")
+	}
+	if err := s.LoadCheckpoint(bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	if resp := s.Handle(rpc.Request{Kind: rpc.KindGetAggrGrad}); resp.OK {
+		t.Fatal("pre-restore aggregated gradient served after the restore")
+	}
+}
+
+// TestCheckpointResetsOptimizerState: restoring must also rewind the
+// optimizer's derived training state — the learning-rate schedule continues
+// from the checkpointed step, and momentum accumulated on the abandoned
+// timeline is cleared.
+func TestCheckpointResetsOptimizerState(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.Momentum = 0.9
+	c := newTestCluster(t, cfg)
+	s := c.Server(0)
+
+	var buf bytes.Buffer
+	if _, err := c.RunSSMW(RunOptions{Iterations: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunSSMW(RunOptions{Iterations: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.opt.Step(); got != 5 {
+		t.Fatalf("optimizer step after restore = %d, want the checkpointed 5", got)
+	}
+	// Momentum velocity must be gone: applying a zero gradient may not move
+	// the parameters (a stale velocity would).
+	before := s.Params()
+	if err := s.UpdateModel(tensor.New(cfg.Arch.Dim())); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Params().Equal(before) {
+		t.Fatal("pre-restore momentum velocity still applied after the restore")
+	}
+}
+
+// TestCheckpointResetsDeterministicReplyCache: a Byzantine server in
+// deterministic mode caches one corrupted reply per (kind, step); after a
+// restore the cache must be dropped so pullers do not receive a reply drawn
+// against pre-restore state.
+func TestCheckpointResetsDeterministicReplyCache(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.Deterministic = true
+	cfg.FPS = 1
+	cfg.ServerAttack = attack.NewRandom(tensor.NewRNG(3), 1.0)
+	c := newTestCluster(t, cfg)
+	byz := c.Server(cfg.NPS - 1)
+
+	var buf bytes.Buffer
+	if err := byz.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	req := rpc.Request{Kind: rpc.KindGetModel, Step: 0}
+	before := byz.Handle(req)
+	if !before.OK {
+		t.Fatal("Byzantine server should serve")
+	}
+	// Cached: the same pull replays the identical corrupted vector.
+	if again := byz.Handle(req); !again.Vec.Equal(before.Vec) {
+		t.Fatal("deterministic reply cache not in effect")
+	}
+	if err := byz.LoadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	after := byz.Handle(req)
+	if !after.OK {
+		t.Fatal("Byzantine server should serve after restore")
+	}
+	// The stochastic attack must have drawn afresh: a replayed cache would
+	// return the bit-identical pre-restore vector.
+	if after.Vec.Equal(before.Vec) {
+		t.Fatal("pre-restore deterministic reply cache served after the restore")
+	}
+}

@@ -83,6 +83,17 @@ type Config struct {
 	// (little-is-enough, fall-of-empires) in live runs.
 	AttackSelfPeers int
 
+	// StalenessBound and StalenessDamping tune the asynchronous protocols
+	// (RunAsyncSSMW, RunAsyncMSMW). A gradient computed against the model
+	// at step t0 and aggregated at step t has staleness t - t0: gradients
+	// staler than the bound tau are discarded, and accepted stale gradients
+	// are scaled by damping^staleness before aggregation. Zero values
+	// select the defaults (bound 3, damping 0.5) — not "fresh only" /
+	// zero-weighting, which are expressed as bound 1 plus a tiny positive
+	// damping. Lockstep protocols ignore both.
+	StalenessBound   int
+	StalenessDamping float64
+
 	// Seed drives all randomness (sharding, sampling, attacks, init).
 	Seed uint64
 	// PullTimeout bounds each pull round (default 30s).
@@ -138,7 +149,25 @@ func (c *Config) validate() error {
 	if c.Rule == "" {
 		return fmt.Errorf("%w: rule is required", ErrConfig)
 	}
+	if c.StalenessBound < 0 {
+		return fmt.Errorf("%w: staleness bound %d < 0", ErrConfig, c.StalenessBound)
+	}
+	if c.StalenessDamping < 0 || c.StalenessDamping > 1 {
+		return fmt.Errorf("%w: staleness damping %v not in [0, 1]", ErrConfig, c.StalenessDamping)
+	}
 	return nil
+}
+
+// asyncParams resolves the async tuning knobs to their effective values.
+func (c Config) asyncParams() (tau int, damping float64) {
+	tau, damping = c.StalenessBound, c.StalenessDamping
+	if tau == 0 {
+		tau = DefaultStalenessBound
+	}
+	if damping == 0 {
+		damping = DefaultStalenessDamping
+	}
+	return tau, damping
 }
 
 // Cluster is a fully-wired in-process deployment: every node runs an RPC
@@ -322,4 +351,13 @@ func (c *Cluster) CrashWorker(i int) {
 // DelayWorker makes worker i a straggler: every pull to it waits d first.
 func (c *Cluster) DelayWorker(i int, d time.Duration) {
 	c.net.SetDelay(c.workerAddrs[i], d)
+}
+
+// SlowWorker makes worker i serve every request d late — a slow node rather
+// than a slow link: unlike DelayWorker (which delays dials, paid once per
+// connection by pooled clients), the service delay applies to every request
+// even over persistent connections, which is what a steady straggler in the
+// async-vs-lockstep comparisons needs. d = 0 clears the fault.
+func (c *Cluster) SlowWorker(i int, d time.Duration) {
+	c.workers[i].SetServeDelay(d)
 }

@@ -19,11 +19,15 @@
 // RunAggregaThor, RunCrashTolerant, RunMSMW, RunDecentralized — each of
 // which executes the corresponding listing's training loop and returns a
 // Result (accuracy curves, throughput, a per-phase latency breakdown).
-// Runners may be invoked repeatedly on one cluster: model state persists, so
-// callers can interleave training segments with fault injection
-// (CrashServer, CrashWorker, DelayWorker), which is how the scenario
-// engine's declarative fault schedules execute. Close shuts every node down;
-// it must be called exactly once.
+// RunAsyncSSMW and RunAsyncMSMW run the bounded-staleness asynchronous
+// engine instead (see async.go): no lockstep rounds, per-worker gradient
+// queues with staleness tags, aggregation over the q = nw - fw freshest
+// estimates with stale-gradient damping. Runners may be invoked repeatedly
+// on one cluster: model state persists, so callers can interleave training
+// segments with fault injection (CrashServer, CrashWorker, DelayWorker,
+// SlowWorker), which is how the scenario engine's declarative fault
+// schedules execute. Close shuts every node down; it must be called exactly
+// once.
 //
 // Nodes communicate exclusively through the pull-based RPC layer
 // (internal/rpc) over an injectable transport, so the same protocol code

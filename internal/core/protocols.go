@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -27,6 +28,13 @@ type Result struct {
 	Updates int
 	// WallTime is the total run duration.
 	WallTime time.Duration
+
+	// AvgStaleness is the mean staleness (in steps) of the gradients the
+	// observed server aggregated; always 0 for the lockstep protocols.
+	AvgStaleness float64
+	// StaleDrops counts gradients the observed server discarded for
+	// exceeding the staleness bound (async protocols only).
+	StaleDrops int
 }
 
 // UpdatesPerSec returns observed throughput in the paper's updates/sec
@@ -280,10 +288,8 @@ func (c *Cluster) RunMSMW(opt RunOptions) (*Result, error) {
 			}()
 		}
 		wg.Wait()
-		for r, err := range errs {
-			if err != nil {
-				return nil, fmt.Errorf("core: msmw iteration %d replica %d: %w", i, r, err)
-			}
+		if r, err := firstRootCause(errs); err != nil {
+			return nil, fmt.Errorf("core: msmw iteration %d replica %d: %w", i, r, err)
 		}
 		res.Breakdown.EndIteration()
 		res.Updates++
@@ -328,8 +334,8 @@ func (c *Cluster) msmwStep(res *Result, gradAgg, modelAgg *Aggregator, r, i int,
 	if (i+1)%cfg.ModelAggEvery != 0 {
 		return nil // contraction is periodic; no model exchange this round
 	}
-	if b != nil {
-		b.wait() // all replicas updated before anyone pulls models
+	if b != nil && !b.wait() { // all replicas updated before anyone pulls models
+		return errBarrierBroken
 	}
 
 	commDone = metrics.Start()
@@ -340,8 +346,8 @@ func (c *Cluster) msmwStep(res *Result, gradAgg, modelAgg *Aggregator, r, i int,
 	if err != nil {
 		return msmwFail(b, err)
 	}
-	if b != nil {
-		b.wait() // all replicas pulled before anyone overwrites its state
+	if b != nil && !b.wait() { // all replicas pulled before anyone overwrites its state
+		return errBarrierBroken
 	}
 	aggDone = metrics.Start()
 	aggrModel, err := modelAgg.Aggregate(models)
@@ -410,10 +416,8 @@ func (c *Cluster) RunDecentralized(opt RunOptions) (*Result, error) {
 			}()
 		}
 		wg.Wait()
-		for r, err := range errs {
-			if err != nil {
-				return nil, fmt.Errorf("core: decentralized iteration %d node %d: %w", i, r, err)
-			}
+		if r, err := firstRootCause(errs); err != nil {
+			return nil, fmt.Errorf("core: decentralized iteration %d node %d: %w", i, r, err)
 		}
 		res.Breakdown.EndIteration()
 		res.Updates++
@@ -442,7 +446,7 @@ func (c *Cluster) decentralizedStep(res *Result, gradAgg, modelAgg *Aggregator, 
 		res.Breakdown.AddComm(commDone())
 	}
 	if err != nil {
-		return releaseAndFail(b, 1+2*cfg.ContractSteps, err)
+		return releaseAndFail(b, err)
 	}
 	aggDone := metrics.Start()
 	aggr, err := gradAgg.Aggregate(grads)
@@ -450,7 +454,7 @@ func (c *Cluster) decentralizedStep(res *Result, gradAgg, modelAgg *Aggregator, 
 		res.Breakdown.AddAgg(aggDone())
 	}
 	if err != nil {
-		return releaseAndFail(b, 1+2*cfg.ContractSteps, err)
+		return releaseAndFail(b, err)
 	}
 
 	if cfg.NonIID {
@@ -461,15 +465,18 @@ func (c *Cluster) decentralizedStep(res *Result, gradAgg, modelAgg *Aggregator, 
 	} else {
 		// Keep barrier phase counts aligned across nodes.
 		for step := 0; step < cfg.ContractSteps; step++ {
-			b.wait()
-			b.wait()
+			if !b.wait() || !b.wait() {
+				return errBarrierBroken
+			}
 		}
 	}
 
 	if err := s.UpdateModel(aggr); err != nil {
-		return releaseAndFail(b, 1, err)
+		return releaseAndFail(b, err)
 	}
-	b.wait() // all nodes updated before model exchange
+	if !b.wait() { // all nodes updated before model exchange
+		return errBarrierBroken
+	}
 
 	commDone = metrics.Start()
 	models, err := s.GetModels(ctx, q)
@@ -477,13 +484,15 @@ func (c *Cluster) decentralizedStep(res *Result, gradAgg, modelAgg *Aggregator, 
 		res.Breakdown.AddComm(commDone())
 	}
 	if err != nil {
-		return releaseAndFail(b, 1, err)
+		return releaseAndFail(b, err)
 	}
 	if cfg.Deterministic {
 		// Lockstep model exchange: all nodes pulled before anyone
 		// overwrites its state, so the observed multiset of peer models
 		// does not depend on scheduling.
-		b.wait()
+		if !b.wait() {
+			return errBarrierBroken
+		}
 	}
 	aggDone = metrics.Start()
 	aggrModel, err := modelAgg.Aggregate(models)
@@ -491,7 +500,7 @@ func (c *Cluster) decentralizedStep(res *Result, gradAgg, modelAgg *Aggregator, 
 		res.Breakdown.AddAgg(aggDone())
 	}
 	if err != nil {
-		return releaseAndFail(b, 1, err)
+		return releaseAndFail(b, err)
 	}
 	return s.WriteModel(aggrModel)
 }
@@ -512,7 +521,9 @@ func (c *Cluster) contract(res *Result, s *Server, gradAgg *Aggregator, aggr ten
 	}
 	for step := 0; step < cfg.ContractSteps; step++ {
 		s.SetLatestAggrGrad(aggr)
-		b.wait() // everyone published before anyone pulls
+		if !b.wait() { // everyone published before anyone pulls
+			return nil, errBarrierBroken
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.PullTimeout)
 		commDone := metrics.Start()
 		aggrs, err := s.GetAggrGrads(ctx, q)
@@ -521,7 +532,7 @@ func (c *Cluster) contract(res *Result, s *Server, gradAgg *Aggregator, aggr ten
 			res.Breakdown.AddComm(commDone())
 		}
 		if err != nil {
-			return nil, releaseAndFail(b, 1+2*(cfg.ContractSteps-step)-1, err)
+			return nil, releaseAndFail(b, err)
 		}
 		aggDone := metrics.Start()
 		aggr, err = gradAgg.Aggregate(aggrs)
@@ -529,9 +540,11 @@ func (c *Cluster) contract(res *Result, s *Server, gradAgg *Aggregator, aggr ten
 			res.Breakdown.AddAgg(aggDone())
 		}
 		if err != nil {
-			return nil, releaseAndFail(b, 1+2*(cfg.ContractSteps-step)-1, err)
+			return nil, releaseAndFail(b, err)
 		}
-		b.wait() // everyone pulled before the next publish overwrites
+		if !b.wait() { // everyone pulled before the next publish overwrites
+			return nil, errBarrierBroken
+		}
 	}
 	return aggr, nil
 }
@@ -548,31 +561,39 @@ type barrier struct {
 	broken bool
 }
 
+// errBarrierBroken is returned by a step whose round was aborted because a
+// peer broke the phase barrier (the peer's own failure is the root cause).
+var errBarrierBroken = errors.New("core: round aborted: a peer failed and broke the phase barrier")
+
 func newBarrier(n int) *barrier {
 	b := &barrier{n: n}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
 
-// wait blocks until all n participants arrive (or the barrier is broken by
-// a failing participant, in which case it returns immediately).
-func (b *barrier) wait() {
+// wait blocks until all n participants arrive and reports whether the
+// barrier is intact: false means a failing participant broke it, and the
+// caller must abort its round rather than proceed — completing the round
+// would record a step (and mutate model state) on a phase alignment that no
+// longer holds.
+func (b *barrier) wait() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.broken {
-		return
+		return false
 	}
 	b.count++
 	if b.count == b.n {
 		b.count = 0
 		b.round++
 		b.cond.Broadcast()
-		return
+		return true
 	}
 	round := b.round
 	for b.round == round && !b.broken {
 		b.cond.Wait()
 	}
+	return !b.broken
 }
 
 // break_ permanently releases the barrier so peers of a failed node do not
@@ -584,9 +605,27 @@ func (b *barrier) break_() {
 	b.cond.Broadcast()
 }
 
-// releaseAndFail breaks the barrier (releasing peers awaiting the remaining
-// phases) and returns err.
-func releaseAndFail(b *barrier, _ int, err error) error {
+// releaseAndFail breaks the barrier — permanently releasing peers awaiting
+// any remaining phase — and returns err.
+func releaseAndFail(b *barrier, err error) error {
 	b.break_()
 	return err
+}
+
+// firstRootCause picks the error to surface from a round's per-node error
+// slice: a node's own failure is the root cause, and peers that merely
+// observed the broken barrier are secondary. Returns the node index and its
+// error, or (-1, nil) when the round succeeded everywhere.
+func firstRootCause(errs []error) (int, error) {
+	for r, err := range errs {
+		if err != nil && !errors.Is(err, errBarrierBroken) {
+			return r, err
+		}
+	}
+	for r, err := range errs {
+		if err != nil {
+			return r, err
+		}
+	}
+	return -1, nil
 }

@@ -110,6 +110,15 @@ func (s *Server) Step() uint32 {
 	return s.currentStep
 }
 
+// Snapshot returns a copy of the model state together with the step it
+// belongs to, as one consistent read — the async fetchers tag gradients with
+// the step their parameters came from, so the pair must not tear.
+func (s *Server) Snapshot() (tensor.Vector, uint32) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.params.Clone(), s.currentStep
+}
+
 // GetGradients implements the paper's get_gradients(t, q): it broadcasts the
 // current model to the workers (folded into the pull request) and returns
 // the fastest q gradient estimates. q == len(workers) is the synchronous

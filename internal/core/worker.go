@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"garfield/internal/attack"
 	"garfield/internal/data"
@@ -41,6 +43,11 @@ type Worker struct {
 	mu       sync.Mutex
 	sampler  *data.Sampler
 	velocity tensor.Vector
+
+	// serveDelay is an injected per-request service delay in nanoseconds —
+	// a slow node (overloaded or under-provisioned worker) as opposed to a
+	// slow link. Set through Cluster.SlowWorker / SetServeDelay.
+	serveDelay atomic.Int64
 
 	// det enables deterministic replies: the worker computes one reply
 	// per step and serves it to every puller — the paper's semantics of a
@@ -166,9 +173,19 @@ func (w *Worker) estimatePeers(params tensor.Vector) []tensor.Vector {
 	return peers
 }
 
+// SetServeDelay makes every subsequent request to the worker take at least d
+// of service time — the slow-node fault of the async experiments. d = 0
+// clears the delay.
+func (w *Worker) SetServeDelay(d time.Duration) {
+	w.serveDelay.Store(int64(d))
+}
+
 // Handle implements rpc.Handler: it serves KindGetGradient requests and
 // declines everything else.
 func (w *Worker) Handle(req rpc.Request) rpc.Response {
+	if d := w.serveDelay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
 	switch req.Kind {
 	case rpc.KindGetGradient:
 		if req.Vec == nil {

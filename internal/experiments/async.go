@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"garfield/internal/core"
+	"garfield/internal/gar"
+	"garfield/internal/metrics"
+	"garfield/internal/scenario"
+)
+
+// ExtAsyncThroughput compares the lockstep and bounded-staleness SSMW
+// engines under a straggler fault schedule: one worker serves every request
+// late, so the synchronous q = n runner is paced by it while the async
+// engine keeps updating from the fresh quorum. The table reports updates/sec
+// and final accuracy for both modes plus the async engine's staleness
+// profile — the throughput-vs-freshness trade the paper's asynchronous
+// deployment mode is about.
+func ExtAsyncThroughput(opt Options) (Renderable, error) {
+	// The straggler delay is the lockstep engine's per-iteration sleep
+	// floor; it is sized well above scheduler noise so the reported ratio
+	// reflects the engines, not machine load.
+	const delayMS = 10
+	iters := 60
+	if opt.Quick {
+		iters = 16
+	}
+	m, d := cifarStyleTask(opt)
+	base := scenario.Spec{
+		Topology: scenario.TopoSSMW,
+		NW:       9, FW: 1,
+		Rule:  gar.NameMedian,
+		Model: m, Dataset: d, BatchSize: 16,
+		LR:         scenario.LRSpec{Kind: scenario.LRConstant, Base: 0.25},
+		Seed:       opt.seed(),
+		Iterations: iters,
+		Faults: []scenario.Fault{
+			{After: 1, Kind: scenario.FaultSlowWorker, Node: 8, DelayMS: delayMS},
+		},
+	}
+
+	sync := base
+	syncRes, err := scenario.Run(sync)
+	if err != nil {
+		return nil, fmt.Errorf("ext-async sync: %w", err)
+	}
+	async := base
+	async.Async = true
+	async.StalenessBound = 3
+	asyncRes, err := scenario.Run(async)
+	if err != nil {
+		return nil, fmt.Errorf("ext-async async: %w", err)
+	}
+
+	t := &metrics.Table{
+		Title: fmt.Sprintf("Extension: async vs lockstep SSMW under a straggler (%d iterations, one worker %dms slow)",
+			iters, delayMS),
+		Header: []string{"Engine", "updates/sec", "final accuracy", "avg staleness", "stale drops"},
+	}
+	addRow := func(name string, res *core.Result) {
+		t.AddRow(name,
+			fmt.Sprintf("%.1f", res.UpdatesPerSec()),
+			fmt.Sprintf("%.4f", res.Accuracy.Last()),
+			fmt.Sprintf("%.2f", res.AvgStaleness),
+			fmt.Sprintf("%d", res.StaleDrops))
+	}
+	addRow("lockstep (q = n)", syncRes)
+	addRow("async (q = n-f, tau = 3)", asyncRes)
+	speedup := 0.0
+	if s := syncRes.UpdatesPerSec(); s > 0 {
+		speedup = asyncRes.UpdatesPerSec() / s
+	}
+	t.AddRow("async speedup", fmt.Sprintf("%.2fx", speedup), "", "", "")
+	return t, nil
+}

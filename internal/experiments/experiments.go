@@ -86,6 +86,7 @@ var registry = map[string]struct {
 	"ext-gars":       {ExtGARs, "EXT: every robust GAR under the reversed-vectors attack"},
 	"ext-stale":      {ExtStale, "EXT: staleness fault vs robust aggregation"},
 	"ext-throughput": {ExtLiveThroughput, "EXT: live in-process throughput of every protocol"},
+	"ext-async":      {ExtAsyncThroughput, "EXT: async bounded-staleness vs lockstep SSMW under a straggler"},
 }
 
 // IDs returns all experiment ids in sorted order.

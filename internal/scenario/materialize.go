@@ -43,20 +43,22 @@ func Materialize(sp Spec) (core.Config, error) {
 		BatchSize: sp.BatchSize,
 		NW:        sp.NW, FW: sp.FW,
 		NPS: sp.NPS, FPS: sp.FPS,
-		Rule:            sp.Rule,
-		ModelRule:       sp.ModelRule,
-		SyncQuorum:      sp.SyncQuorum,
-		ModelAggEvery:   sp.ModelAggEvery,
-		NonIID:          sp.NonIID,
-		ContractSteps:   sp.ContractSteps,
-		WorkerAttack:    workerAtk,
-		ServerAttack:    serverAtk,
-		LR:              lr,
-		Momentum:        sp.Momentum,
-		WorkerMomentum:  sp.WorkerMomentum,
-		AttackSelfPeers: sp.AttackSelfPeers,
-		Seed:            sp.Seed,
-		Deterministic:   sp.Deterministic,
+		Rule:             sp.Rule,
+		ModelRule:        sp.ModelRule,
+		SyncQuorum:       sp.SyncQuorum,
+		StalenessBound:   sp.StalenessBound,
+		StalenessDamping: sp.StalenessDamping,
+		ModelAggEvery:    sp.ModelAggEvery,
+		NonIID:           sp.NonIID,
+		ContractSteps:    sp.ContractSteps,
+		WorkerAttack:     workerAtk,
+		ServerAttack:     serverAtk,
+		LR:               lr,
+		Momentum:         sp.Momentum,
+		WorkerMomentum:   sp.WorkerMomentum,
+		AttackSelfPeers:  sp.AttackSelfPeers,
+		Seed:             sp.Seed,
+		Deterministic:    sp.Deterministic,
 	}
 	if sp.PullTimeoutMS > 0 {
 		cfg.PullTimeout = time.Duration(sp.PullTimeoutMS) * time.Millisecond

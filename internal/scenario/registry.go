@@ -228,6 +228,53 @@ func presets() map[string]Spec {
 		Seed: 12, Iterations: 150, AccEvery: 25,
 	})
 
+	// --- The asynchronous bounded-staleness deployments. ---
+	// The three cells the async engine opens up: a steady straggler the
+	// lockstep runner would pace itself by, a worker crash the q = n - f
+	// quorum rides out without losing a round, and Byzantine behaviour on
+	// both sides under asynchrony.
+	sgm, sgd := demoTask("async-straggler", 30)
+	add(Spec{
+		Name:        "async-straggler",
+		Description: "async SSMW riding out a steady straggler (5ms slow worker, tau=3 staleness bound)",
+		Topology:    TopoSSMW,
+		Async:       true, StalenessBound: 3,
+		NW: 9, FW: 1,
+		Rule:  gar.NameMedian,
+		Model: sgm, Dataset: sgd, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 30, Iterations: 150, AccEvery: 25,
+		Faults: []Fault{{After: 1, Kind: FaultSlowWorker, Node: 8, DelayMS: 5}},
+	})
+	crm, crd := demoTask("async-crash", 31)
+	add(Spec{
+		Name:        "async-crash",
+		Description: "async SSMW through a worker crash at iteration 50 (no round is lost)",
+		Topology:    TopoSSMW,
+		Async:       true, StalenessBound: 3,
+		NW: 9, FW: 1,
+		Rule:  gar.NameMedian,
+		Model: crm, Dataset: crd, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 31, Iterations: 150, AccEvery: 25,
+		Faults: []Fault{{After: 50, Kind: FaultCrashWorker, Node: 8}},
+	})
+	bzm, bzd := demoTask("async-byzantine", 32)
+	add(Spec{
+		Name:        "async-byzantine",
+		Description: "async MSMW under reversed workers and a random Byzantine server (barrier-free contraction)",
+		Topology:    TopoMSMW,
+		Async:       true, StalenessBound: 3,
+		NW: 11, FW: 2,
+		NPS: 4, FPS: 1,
+		Rule:         gar.NameMultiKrum,
+		WorkerAttack: AttackSpec{Name: attack.NameReversed},
+		ServerAttack: AttackSpec{Name: attack.NameRandom, Seed: 32},
+		Model:        bzm, Dataset: bzd, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 32, Iterations: 150, AccEvery: 25,
+	})
+
 	// --- The default sweep base (see Matrix). ---
 	wm, wd := sweepTask(20211)
 	add(Spec{

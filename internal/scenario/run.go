@@ -38,7 +38,7 @@ func RunOn(c *core.Cluster, sp Spec) (*core.Result, error) {
 func runOn(c *core.Cluster, sp Spec) (*core.Result, error) {
 	faults := sp.sortedFaults()
 	if len(faults) == 0 {
-		return runTopology(c, sp.Topology, core.RunOptions{
+		return runTopology(c, sp, core.RunOptions{
 			Iterations: sp.Iterations, AccEvery: sp.AccEvery,
 		})
 	}
@@ -60,7 +60,7 @@ func runOn(c *core.Cluster, sp Spec) (*core.Result, error) {
 		if next < len(faults) && faults[next].After < end {
 			end = faults[next].After
 		}
-		seg, err := runTopology(c, sp.Topology, core.RunOptions{
+		seg, err := runTopology(c, sp, core.RunOptions{
 			Iterations: end - done, AccEvery: sp.AccEvery,
 		})
 		if err != nil {
@@ -76,9 +76,19 @@ func runOn(c *core.Cluster, sp Spec) (*core.Result, error) {
 	return merged, nil
 }
 
-// runTopology dispatches to the protocol runner the topology names.
-func runTopology(c *core.Cluster, topology string, ro core.RunOptions) (*core.Result, error) {
-	switch topology {
+// runTopology dispatches to the protocol runner the topology (and execution
+// mode) names.
+func runTopology(c *core.Cluster, sp Spec, ro core.RunOptions) (*core.Result, error) {
+	if sp.Async {
+		switch sp.Topology {
+		case TopoSSMW:
+			return c.RunAsyncSSMW(ro)
+		case TopoMSMW:
+			return c.RunAsyncMSMW(ro)
+		}
+		return nil, fmt.Errorf("%w: async does not support topology %q", ErrSpec, sp.Topology)
+	}
+	switch sp.Topology {
 	case TopoVanilla:
 		return c.RunVanilla(ro)
 	case TopoSSMW:
@@ -92,7 +102,7 @@ func runTopology(c *core.Cluster, topology string, ro core.RunOptions) (*core.Re
 	case TopoDecentralized:
 		return c.RunDecentralized(ro)
 	}
-	return nil, fmt.Errorf("%w: unknown topology %q", ErrSpec, topology)
+	return nil, fmt.Errorf("%w: unknown topology %q", ErrSpec, sp.Topology)
 }
 
 // applyFault injects one scheduled fault into the cluster's transport.
@@ -104,6 +114,8 @@ func applyFault(c *core.Cluster, flt Fault) {
 		c.CrashWorker(flt.Node)
 	case FaultDelayWorker:
 		c.DelayWorker(flt.Node, time.Duration(flt.DelayMS)*time.Millisecond)
+	case FaultSlowWorker:
+		c.SlowWorker(flt.Node, time.Duration(flt.DelayMS)*time.Millisecond)
 	}
 }
 
@@ -119,6 +131,11 @@ func mergeResult(dst *core.Result, seg *core.Result, iterOffset int) {
 		dst.AccuracyOverTime.Append(p.X+secOffset, p.Y)
 	}
 	dst.Breakdown.Merge(seg.Breakdown)
+	if dst.Updates+seg.Updates > 0 {
+		dst.AvgStaleness = (dst.AvgStaleness*float64(dst.Updates) +
+			seg.AvgStaleness*float64(seg.Updates)) / float64(dst.Updates+seg.Updates)
+	}
+	dst.StaleDrops += seg.StaleDrops
 	dst.Updates += seg.Updates
 	dst.WallTime += seg.WallTime
 }

@@ -90,6 +90,65 @@ func TestFaultScheduleDelayWorker(t *testing.T) {
 	}
 }
 
+// TestAsyncSpecRuns drives the async engine end to end through the scenario
+// layer, including a mid-run slow-worker fault segment.
+func TestAsyncSpecRuns(t *testing.T) {
+	sp := validSpec()
+	sp.Async = true
+	sp.StalenessBound = 3
+	sp.Iterations = 8
+	sp.AccEvery = 2
+	sp.Faults = []Fault{{After: 4, Kind: FaultSlowWorker, Node: 4, DelayMS: 2}}
+	res, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != sp.Iterations {
+		t.Fatalf("updates %d, want %d", res.Updates, sp.Iterations)
+	}
+}
+
+// TestAsyncMSMWSpecRuns covers the replicated async runner dispatch.
+func TestAsyncMSMWSpecRuns(t *testing.T) {
+	sp := validSpec()
+	sp.Topology = TopoMSMW
+	sp.NPS, sp.FPS = 3, 0
+	sp.Async = true
+	sp.Iterations = 6
+	res, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != sp.Iterations {
+		t.Fatalf("updates %d, want %d", res.Updates, sp.Iterations)
+	}
+}
+
+// TestAsyncDeterministicReplayThroughEngine: the async seeded replay is
+// reproducible through the scenario layer as well.
+func TestAsyncDeterministicReplayThroughEngine(t *testing.T) {
+	sp := validSpec()
+	sp.Async = true
+	sp.Deterministic = true
+	sp.Iterations = 8
+	sp.AccEvery = 2
+	a, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Accuracy.Points, b.Accuracy.Points) {
+		t.Errorf("async deterministic runs disagree:\n%v\n%v", a.Accuracy.Points, b.Accuracy.Points)
+	}
+	if a.AvgStaleness != b.AvgStaleness || a.StaleDrops != b.StaleDrops {
+		t.Errorf("staleness accounting disagrees: (%v, %d) vs (%v, %d)",
+			a.AvgStaleness, a.StaleDrops, b.AvgStaleness, b.StaleDrops)
+	}
+}
+
 // TestFaultScheduleDeterministic: fault segmentation preserves the
 // determinism contract — two runs of a faulted deterministic spec agree.
 func TestFaultScheduleDeterministic(t *testing.T) {

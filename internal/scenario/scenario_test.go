@@ -105,6 +105,41 @@ func TestValidateErrors(t *testing.T) {
 		{"delay fault needs delay", func(sp *Spec) {
 			sp.Faults = []Fault{{After: 1, Kind: FaultDelayWorker, Node: 0}}
 		}, "delay_ms"},
+		{"slow fault needs delay", func(sp *Spec) {
+			sp.Faults = []Fault{{After: 1, Kind: FaultSlowWorker, Node: 0}}
+		}, "delay_ms"},
+		{"async unsupported topology", func(sp *Spec) {
+			sp.Topology = TopoDecentralized
+			sp.Async = true
+		}, "async supports"},
+		{"async contradicts sync quorum", func(sp *Spec) {
+			sp.Async = true
+			sp.SyncQuorum = true
+		}, "sync_quorum"},
+		{"async deterministic msmw", func(sp *Spec) {
+			sp.Topology = TopoMSMW
+			sp.NPS = 3
+			sp.Async = true
+			sp.Deterministic = true
+		}, "replay"},
+		{"staleness without async", func(sp *Spec) {
+			sp.StalenessBound = 3
+		}, "require async"},
+		{"negative staleness bound", func(sp *Spec) {
+			sp.Async = true
+			sp.StalenessBound = -1
+		}, "staleness_bound"},
+		{"damping out of range", func(sp *Spec) {
+			sp.Async = true
+			sp.StalenessDamping = 1.5
+		}, "staleness_damping"},
+		{"async rule requirement at q = n - f", func(sp *Spec) {
+			// krum needs n >= 2f+3: lockstep ssmw aggregates n=5 inputs
+			// (fine at f=1), async only q = n - f = 4 (violating it). The
+			// async shape must be what validation checks.
+			sp.Rule = "krum"
+			sp.Async = true
+		}, "requirement"},
 	}
 	for _, tc := range cases {
 		sp := validSpec()

@@ -203,9 +203,13 @@ const (
 	FaultCrashServer = "crash-server"
 	// FaultCrashWorker crashes worker Node.
 	FaultCrashWorker = "crash-worker"
-	// FaultDelayWorker makes worker Node a straggler: every pull to it
-	// waits DelayMS first.
+	// FaultDelayWorker makes worker Node a straggler: every dial to it
+	// waits DelayMS first (a slow link; pooled clients pay it on re-dial).
 	FaultDelayWorker = "delay-worker"
+	// FaultSlowWorker makes worker Node serve every request DelayMS late
+	// (a slow node: the delay applies per request, even over persistent
+	// connections — the steady straggler of the async experiments).
+	FaultSlowWorker = "slow-worker"
 )
 
 // Fault is one entry of a network-fault schedule: after After iterations
@@ -250,6 +254,23 @@ type Spec struct {
 	ModelRule string `json:"model_rule,omitempty"`
 	// SyncQuorum collects from all n workers/peers instead of n - f.
 	SyncQuorum bool `json:"sync_quorum,omitempty"`
+	// Async selects the bounded-staleness execution engine instead of the
+	// lockstep runner (ssmw and msmw topologies): servers aggregate as
+	// soon as q = nw - fw sufficiently fresh gradients are queued, so
+	// stragglers cost freshness rather than progress. Incompatible with
+	// SyncQuorum; combined with Deterministic it runs the seeded
+	// single-threaded replay (ssmw only).
+	Async bool `json:"async,omitempty"`
+	// StalenessBound is the async engine's tau: gradients computed more
+	// than that many steps ago are discarded. Following the config
+	// convention, 0 selects the core default (3) rather than "fresh only";
+	// the smallest expressible bound is 1.
+	StalenessBound int `json:"staleness_bound,omitempty"`
+	// StalenessDamping scales an accepted stale gradient by
+	// damping^staleness. 0 selects the core default (0.5) rather than
+	// zero-weighting; to effectively silence stale gradients use a tiny
+	// positive value, and 1 disables damping.
+	StalenessDamping float64 `json:"staleness_damping,omitempty"`
 	// ModelAggEvery spaces MSMW model contraction to every k iterations.
 	ModelAggEvery int `json:"model_agg_every,omitempty"`
 	// NonIID shards by label and enables the decentralized contract step;
@@ -323,9 +344,12 @@ func (sp Spec) gradShape() (q, f int) {
 	case TopoVanilla, TopoCrashTolerant:
 		return sp.NW, 0
 	case TopoSSMW, TopoAggregaThor:
+		if sp.Async {
+			return sp.NW - sp.FW, sp.FW // async collects q = n - f
+		}
 		return sp.NW, sp.FW
 	default: // msmw, decentralized
-		if sp.SyncQuorum {
+		if sp.SyncQuorum && !sp.Async {
 			return sp.NW, sp.FW
 		}
 		return sp.NW - sp.FW, sp.FW
@@ -368,6 +392,9 @@ func (sp Spec) Validate() error {
 	}
 	if sp.AccEvery < 0 {
 		return fmt.Errorf("%w: acc_every=%d", ErrSpec, sp.AccEvery)
+	}
+	if err := sp.validateAsync(); err != nil {
+		return err
 	}
 
 	// GAR requirement for the shape this topology aggregates gradients
@@ -421,6 +448,36 @@ func (sp Spec) Validate() error {
 	return sp.validateFaults(nps)
 }
 
+// validateAsync checks the bounded-staleness engine's constraints: it backs
+// the ssmw and msmw topologies, its quorum is inherently q = n - f
+// (SyncQuorum contradicts it), and the seeded deterministic replay exists
+// for the single-server topology only.
+func (sp Spec) validateAsync() error {
+	if !sp.Async {
+		if sp.StalenessBound != 0 || sp.StalenessDamping != 0 {
+			return fmt.Errorf("%w: staleness_bound/staleness_damping require async", ErrSpec)
+		}
+		return nil
+	}
+	if sp.Topology != TopoSSMW && sp.Topology != TopoMSMW {
+		return fmt.Errorf("%w: async supports topologies %q and %q, not %q",
+			ErrSpec, TopoSSMW, TopoMSMW, sp.Topology)
+	}
+	if sp.SyncQuorum {
+		return fmt.Errorf("%w: async collects q = n - f and contradicts sync_quorum", ErrSpec)
+	}
+	if sp.Deterministic && sp.Topology != TopoSSMW {
+		return fmt.Errorf("%w: deterministic async replay supports %q only", ErrSpec, TopoSSMW)
+	}
+	if sp.StalenessBound < 0 {
+		return fmt.Errorf("%w: staleness_bound=%d", ErrSpec, sp.StalenessBound)
+	}
+	if sp.StalenessDamping < 0 || sp.StalenessDamping > 1 {
+		return fmt.Errorf("%w: staleness_damping=%v not in [0, 1]", ErrSpec, sp.StalenessDamping)
+	}
+	return nil
+}
+
 func (sp Spec) validateTask() error {
 	switch sp.Model.Kind {
 	case ModelLinear, ModelMLP, ModelCNN, ModelMNISTCNN:
@@ -449,12 +506,12 @@ func (sp Spec) validateFaults(nps int) error {
 			if flt.Node < 0 || flt.Node >= nps {
 				return fmt.Errorf("%w: fault %d: server %d of %d", ErrSpec, i, flt.Node, nps)
 			}
-		case FaultCrashWorker, FaultDelayWorker:
+		case FaultCrashWorker, FaultDelayWorker, FaultSlowWorker:
 			if flt.Node < 0 || flt.Node >= sp.NW {
 				return fmt.Errorf("%w: fault %d: worker %d of %d", ErrSpec, i, flt.Node, sp.NW)
 			}
-			if flt.Kind == FaultDelayWorker && flt.DelayMS <= 0 {
-				return fmt.Errorf("%w: fault %d: delay-worker needs delay_ms > 0", ErrSpec, i)
+			if flt.Kind != FaultCrashWorker && flt.DelayMS <= 0 {
+				return fmt.Errorf("%w: fault %d: %s needs delay_ms > 0", ErrSpec, i, flt.Kind)
 			}
 		default:
 			return fmt.Errorf("%w: fault %d: unknown kind %q", ErrSpec, i, flt.Kind)

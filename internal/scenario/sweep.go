@@ -54,6 +54,17 @@ func cellSeed(base uint64, id string) uint64 {
 	return base ^ h.Sum64()
 }
 
+// attackSeed derives a cell's stochastic-attack seed by domain separation:
+// the same FNV construction as cellSeed, over the id extended with an
+// "/attack" suffix no cell id can end in (ids end in "fw=<n>"). The earlier
+// XOR-constant derivation (cellSeed ^ 0xa77ac) could collide with another
+// cell's cluster seed — two FNV outputs an XOR-constant apart — silently
+// correlating that cell's sharding/init/sampling stream with this cell's
+// attack stream; hashing a distinct message cannot.
+func attackSeed(base uint64, id string) uint64 {
+	return cellSeed(base, id+"/attack")
+}
+
 // Expand materializes the cartesian product into concrete cells. Per cell
 // it overrides topology, rule, worker attack and fw; derives the cell seed
 // via cellSeed (the cluster seed and, for stochastic attacks, the attack
@@ -107,7 +118,7 @@ func (m Matrix) Expand() []Cell {
 					} else {
 						sp.WorkerAttack.Name = atk
 						if sp.WorkerAttack.stochastic() {
-							sp.WorkerAttack.Seed = cellSeed(m.Base.Seed, id) ^ 0xa77ac
+							sp.WorkerAttack.Seed = attackSeed(m.Base.Seed, id)
 						}
 					}
 					cells = append(cells, Cell{Index: len(cells), ID: id, Spec: sp})

@@ -69,6 +69,44 @@ func TestExpandDeterministicSeeds(t *testing.T) {
 	}
 }
 
+// TestAttackSeedDomainSeparated locks the attack-seed derivation in: the
+// seed of a stochastic attack must come from hashing id+"/attack" — never
+// from XOR-ing a constant into the cell seed, which could collide with
+// another cell's cluster seed and correlate the two streams.
+func TestAttackSeedDomainSeparated(t *testing.T) {
+	m := Matrix{
+		Base:       sweepBase(),
+		Topologies: []string{TopoSSMW, TopoMSMW},
+		Rules:      []string{"median", "krum"},
+		Attacks:    []string{"random", "none"},
+		FWs:        []int{1, 2},
+	}
+	cells := m.Expand()
+	clusterSeeds := map[uint64]string{}
+	for _, c := range cells {
+		clusterSeeds[c.Spec.Seed] = c.ID
+	}
+	checked := 0
+	for _, c := range cells {
+		if !c.Spec.WorkerAttack.stochastic() {
+			continue
+		}
+		checked++
+		// The derivation is pinned: FNV over the domain-separated message.
+		if want := cellSeed(m.Base.Seed, c.ID+"/attack"); c.Spec.WorkerAttack.Seed != want {
+			t.Errorf("cell %s: attack seed %d, want domain-separated %d",
+				c.ID, c.Spec.WorkerAttack.Seed, want)
+		}
+		// No attack seed may coincide with any cell's cluster seed.
+		if other, clash := clusterSeeds[c.Spec.WorkerAttack.Seed]; clash {
+			t.Errorf("cell %s: attack seed collides with cluster seed of %s", c.ID, other)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no stochastic-attack cells expanded; the test is vacuous")
+	}
+}
+
 // TestSweepBitIdentical is the engine's determinism contract: the same
 // matrix at the same seed produces byte-identical artifacts, run to run,
 // including the replicated MSMW topology.

@@ -133,6 +133,13 @@ func (o *Optimizer) Apply(params, grad tensor.Vector) error {
 // Reset clears the step counter and momentum state (used when a server
 // replica overwrites its model after model aggregation).
 func (o *Optimizer) Reset() {
-	o.step = 0
+	o.ResetTo(0)
+}
+
+// ResetTo clears the momentum state and sets the step counter, so a server
+// restored from a checkpoint resumes its learning-rate schedule at the
+// checkpointed step instead of wherever the abandoned timeline left it.
+func (o *Optimizer) ResetTo(step int) {
+	o.step = step
 	o.velocity = nil
 }
