@@ -142,6 +142,9 @@ func TestEndToEndSSMWOverTCP(t *testing.T) {
 // over loopback TCP, each running the Listing-3 loop with the retry-based
 // contract step.
 func TestEndToEndDecentralizedOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second TCP e2e; skipped in -short runs")
+	}
 	addrs := freePorts(t, 3)
 	peerArgs := func(index int) []string {
 		return []string{
@@ -193,6 +196,9 @@ func TestEndToEndDecentralizedOverTCP(t *testing.T) {
 // TCP, each replica driven by its own goroutine, exchanging models through
 // the get_models pull.
 func TestEndToEndMSMWOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second TCP e2e; skipped in -short runs")
+	}
 	workerAddrs := freePorts(t, 3)
 	serverAddrs := freePorts(t, 2)
 

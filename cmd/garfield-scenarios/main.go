@@ -11,6 +11,7 @@
 //	garfield-scenarios describe <preset>
 //	garfield-scenarios run [-preset name | -spec file.json] [overrides] [-format table|csv]
 //	garfield-scenarios sweep [-preset name | -spec file.json] -topologies a,b -rules c,d -attacks e,f [-fws 1,2] [-out dir] [-timing]
+//	garfield-scenarios chaos [-preset chaos-name] [-quick] [-seed n]
 //
 // Run overrides (zero values keep the loaded spec's setting): -topology,
 // -rule, -attack, -nw, -fw, -nps, -fps, -iters, -acc-every, -seed, -async,
@@ -28,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 
+	"garfield/internal/chaos"
 	"garfield/internal/metrics"
 	"garfield/internal/scenario"
 )
@@ -47,6 +49,7 @@ commands:
   describe <preset>    print a preset's full spec as JSON
   run                  run one scenario (preset, JSON file, or flag overrides)
   sweep                expand and run a scenario matrix, emitting artifacts
+  chaos                run the chaos presets under their resilience invariants
 
 run 'garfield-scenarios <command> -h' for command flags`)
 }
@@ -65,6 +68,8 @@ func run(args []string, out io.Writer) error {
 		return runRun(args[1:], out)
 	case "sweep":
 		return runSweep(args[1:], out)
+	case "chaos":
+		return runChaos(args[1:], out)
 	case "-h", "-help", "--help", "help":
 		usage(out)
 		return nil
@@ -297,6 +302,56 @@ func runSweep(args []string, out io.Writer) error {
 		return fmt.Errorf("%d of %d cells failed", failures, len(rep.Cells))
 	}
 	return nil
+}
+
+// runChaos executes the chaos invariant harness: every chaos preset (or one
+// named with -preset) runs under a seeded fault program and its machine-
+// checked resilience properties; any failed invariant makes the command exit
+// non-zero.
+func runChaos(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("garfield-scenarios chaos", flag.ContinueOnError)
+	preset := fs.String("preset", "", "run one chaos preset (default: all)")
+	quick := fs.Bool("quick", false, "shrink runs ~3x for a fast smoke pass")
+	seed := fs.Uint64("seed", 0, "override preset seeds")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	opt := chaos.Options{Quick: *quick, Seed: *seed}
+	var reports []*chaos.Report
+	if *preset != "" {
+		rep, err := chaos.Run(*preset, opt)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+	} else {
+		var err error
+		if reports, err = chaos.RunAll(opt); err != nil {
+			return err
+		}
+	}
+
+	t, failed := chaos.ReportTable("Chaos invariants", reports)
+	if err := t.Render(out); err != nil {
+		return err
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d chaos invariants failed", failed)
+	}
+	fmt.Fprintf(out, "all %d invariants held across %d presets\n", rows(reports), len(reports))
+	return nil
+}
+
+// rows counts invariant verdicts across reports.
+func rows(reports []*chaos.Report) int {
+	n := 0
+	for _, rep := range reports {
+		n += len(rep.Checks)
+	}
+	return n
 }
 
 func splitList(s string) []string {

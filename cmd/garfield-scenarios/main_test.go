@@ -116,3 +116,27 @@ func TestSweepArtifacts(t *testing.T) {
 		t.Errorf("summary.csv not written: %v", err)
 	}
 }
+
+func TestChaosCommandSinglePreset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"chaos", "-preset", "chaos-corrupt-link", "-quick"}, &buf); err != nil {
+		t.Fatalf("chaos command failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"chaos-corrupt-link", "corruption-rejected", "PASS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("an invariant failed:\n%s", out)
+	}
+}
+
+func TestChaosCommandRejectsUnknownPreset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"chaos", "-preset", "chaos-imaginary"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "unknown chaos preset") {
+		t.Fatalf("err = %v", err)
+	}
+}

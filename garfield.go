@@ -38,6 +38,7 @@ package garfield
 
 import (
 	"garfield/internal/attack"
+	"garfield/internal/chaos"
 	"garfield/internal/core"
 	"garfield/internal/data"
 	"garfield/internal/gar"
@@ -145,6 +146,26 @@ func RunScenario(sp Scenario) (*Result, error) { return scenario.Run(sp) }
 // JSON artifacts.
 func RunScenarioSweep(m ScenarioMatrix, opt SweepOptions) (*SweepReport, error) {
 	return scenario.RunSweep(m, opt)
+}
+
+// Chaos-engine types (internal/chaos): seeded fault programs checked
+// against machine-readable resilience invariants.
+type (
+	// ChaosOptions tunes a chaos harness run (quick mode, seed override).
+	ChaosOptions = chaos.Options
+	// ChaosReport is one preset's invariant verdicts.
+	ChaosReport = chaos.Report
+)
+
+// ChaosPresets returns the chaos preset names the invariant harness knows.
+func ChaosPresets() []string { return chaos.Presets() }
+
+// RunChaos executes one chaos preset under its resilience-invariant suite:
+// safety (bounded honest-model drift with a diverging non-robust contrast),
+// liveness (post-heal throughput recovery), determinism (bit-identical
+// metrics CSV per seed) and corruption rejection (checksummed RPC frames).
+func RunChaos(preset string, opt ChaosOptions) (*ChaosReport, error) {
+	return chaos.Run(preset, opt)
 }
 
 // Aggregate applies the named GAR, tolerating up to f Byzantine inputs, to

@@ -140,3 +140,17 @@ func TestFacadeMLP(t *testing.T) {
 		t.Fatalf("dim = %d", m.Dim())
 	}
 }
+
+func TestFacadeChaos(t *testing.T) {
+	names := garfield.ChaosPresets()
+	if len(names) < 4 {
+		t.Fatalf("chaos presets = %v, want at least 4", names)
+	}
+	rep, err := garfield.RunChaos("chaos-corrupt-link", garfield.ChaosOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("chaos invariants failed: %+v", rep.Checks)
+	}
+}

@@ -1,0 +1,152 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"garfield/internal/scenario"
+)
+
+// TestChaosInvariantsHoldOnEveryPreset is the acceptance suite of the chaos
+// engine: every preset's machine-checked resilience properties must hold —
+// safety (bounded honest-model drift under <= f/fs adversaries, with the
+// plain-averaging contrast diverging), liveness (post-heal throughput
+// recovery), determinism (bit-identical metrics CSV at a fixed seed) and
+// corruption rejection (checksums catch every mangled payload).
+func TestChaosInvariantsHoldOnEveryPreset(t *testing.T) {
+	for _, preset := range Presets() {
+		preset := preset
+		t.Run(preset, func(t *testing.T) {
+			rep, err := Run(preset, Options{Quick: testing.Short()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range rep.Checks {
+				if !c.Passed {
+					t.Errorf("invariant %s failed: %s", c.Name, c.Detail)
+				} else {
+					t.Logf("invariant %s: %s", c.Name, c.Detail)
+				}
+			}
+		})
+	}
+}
+
+// TestEquivocationContrastDiverges re-asserts the safety invariant's two
+// halves separately, so a regression points at the right half: the robust
+// (median-contraction) run stays bounded AND the plain-averaging run under
+// the same equivocating replica drifts past the contrast ratio.
+func TestEquivocationContrastDiverges(t *testing.T) {
+	sp, err := scenario.ByName("chaos-equivocate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp = shrink(sp, 3)
+	robust, err := execute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if robust.modelNorm > SafetyNormBound {
+		t.Fatalf("median contraction drifted to %.3g under equivocation", robust.modelNorm)
+	}
+	contrast := sp
+	contrast.ModelRule = "average"
+	poisoned, err := execute(contrast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poisoned.modelNorm < ContrastRatio*robust.modelNorm {
+		t.Fatalf("averaging contraction norm %.3g vs robust %.3g: the equivocator should dominate the average",
+			poisoned.modelNorm, robust.modelNorm)
+	}
+}
+
+// TestDeterminismCSVBitIdentical locks the determinism property directly on
+// the CSV artifact (the acceptance criterion's wording), plus its failure
+// mode: different seeds must produce different curves, proving the
+// comparison is not vacuous.
+func TestDeterminismCSVBitIdentical(t *testing.T) {
+	sp, err := scenario.ByName("chaos-equivocate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp = shrink(sp, 3)
+	a, err := execute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := execute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.metricsCSV() != b.metricsCSV() {
+		t.Fatalf("same seed, different metrics CSV:\n%s\nvs\n%s", a.metricsCSV(), b.metricsCSV())
+	}
+	sp.Seed = sp.Seed + 1
+	sp.Dataset.Seed = sp.Dataset.Seed + 1
+	c, err := execute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.metricsCSV() == c.metricsCSV() {
+		t.Fatal("different seeds produced identical metrics CSV; the determinism check is vacuous")
+	}
+}
+
+// TestLivenessRecoversThroughPartitionHeal measures the liveness property's
+// three segments explicitly: training continues during the partition (the
+// q = n - f quorum absorbs the cut-off workers) and throughput recovers
+// after the heal.
+func TestLivenessRecoversThroughPartitionHeal(t *testing.T) {
+	sp, err := scenario.ByName("chaos-partition-heal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testing.Short() {
+		sp = shrink(sp, 3)
+	}
+	run, err := execute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.segments) != 3 {
+		t.Fatalf("want 3 segments (pre, partitioned, healed), got %d", len(run.segments))
+	}
+	mid := run.segments[1]
+	if mid.Result.Updates != mid.End-mid.Start {
+		t.Fatalf("partitioned segment lost rounds: %d updates over [%d, %d)",
+			mid.Result.Updates, mid.Start, mid.End)
+	}
+	pre, post := run.segments[0].Result.UpdatesPerSec(), run.segments[2].Result.UpdatesPerSec()
+	if post < RecoveryRatio*pre {
+		t.Fatalf("post-heal %.1f ups did not recover to %.0f%% of pre-fault %.1f ups",
+			post, RecoveryRatio*100, pre)
+	}
+}
+
+// TestRunRejectsUnknownPreset pins the harness error path.
+func TestRunRejectsUnknownPreset(t *testing.T) {
+	if _, err := Run("chaos-imaginary", Options{}); err == nil ||
+		!strings.Contains(err.Error(), "unknown chaos preset") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestShrinkKeepsSchedulesValid: quick mode must never produce a spec whose
+// fault schedule fails validation.
+func TestShrinkKeepsSchedulesValid(t *testing.T) {
+	for _, preset := range Presets() {
+		sp, err := scenario.ByName(preset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		small := shrink(sp, 3)
+		if err := small.Validate(); err != nil {
+			t.Fatalf("%s shrunk spec invalid: %v", preset, err)
+		}
+		tiny := shrink(sp, 1000)
+		if err := tiny.Validate(); err != nil {
+			t.Fatalf("%s degenerate shrink invalid: %v", preset, err)
+		}
+	}
+}

@@ -116,6 +116,9 @@ func TestAsyncSSMWOutpacesLockstepUnderStraggler(t *testing.T) {
 }
 
 func TestAsyncMSMWConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convergence run; skipped in -short runs")
+	}
 	cfg := baseConfig(t)
 	c := newTestCluster(t, cfg)
 	res, err := c.RunAsyncMSMW(RunOptions{Iterations: 80, AccEvery: 20})
@@ -128,6 +131,9 @@ func TestAsyncMSMWConverges(t *testing.T) {
 }
 
 func TestAsyncMSMWToleratesByzantineServersAndWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convergence run; skipped in -short runs")
+	}
 	cfg := baseConfig(t)
 	cfg.FW, cfg.FPS = 1, 1
 	cfg.WorkerAttack = attack.Reversed{Factor: -100}
@@ -250,6 +256,9 @@ func TestGradQueuesDepthEvictsOldest(t *testing.T) {
 // meaningful mainly under -race, but the invariants (quorum size, bound,
 // distinct workers) are asserted in any mode.
 func TestGradQueuesConcurrentStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long stress loop; skipped in -short runs")
+	}
 	const (
 		workers = 8
 		quorum  = 6

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"garfield/internal/rpc"
+)
+
+// byzFixture builds a tiny MSMW cluster with one declared-Byzantine replica
+// and returns it plus that replica's index.
+func byzFixture(t *testing.T, mode string) (*Cluster, int) {
+	t.Helper()
+	cfg := baseConfig(t)
+	cfg.NPS, cfg.FPS = 3, 1
+	cfg.ServerByz = ByzServerConfig{Mode: mode}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c, cfg.NPS - 1
+}
+
+// pullModel asks replica i for its model as an identified puller.
+func pullModel(t *testing.T, c *Cluster, i int, from string, step uint32) rpc.Response {
+	t.Helper()
+	handler := rpc.Handler(c.ByzServer(i))
+	if c.ByzServer(i) == nil {
+		handler = c.Server(i)
+	}
+	return handler.Handle(rpc.Request{Kind: rpc.KindGetModel, Step: step, From: from})
+}
+
+func TestByzantineServerEquivocates(t *testing.T) {
+	c, i := byzFixture(t, ByzModeEquivocate)
+	honest := c.Server(i).Params()
+
+	a := pullModel(t, c, i, "server-0", 5)
+	b := pullModel(t, c, i, "server-1", 5)
+	if !a.OK || !b.OK {
+		t.Fatal("equivocating server declined to serve")
+	}
+	if a.Vec.Equal(b.Vec) {
+		t.Fatal("equivocating server served identical models to different pullers")
+	}
+	if a.Vec.Equal(honest) || b.Vec.Equal(honest) {
+		t.Fatal("equivocating server served the honest model")
+	}
+	// Determinism: the same (step, puller) pair must replay bit-identically.
+	a2 := pullModel(t, c, i, "server-0", 5)
+	if !a2.Vec.Equal(a.Vec) {
+		t.Fatal("equivocation is not deterministic per (step, puller)")
+	}
+	// A new step draws fresh noise.
+	a3 := pullModel(t, c, i, "server-0", 6)
+	if a3.Vec.Equal(a.Vec) {
+		t.Fatal("equivocation noise did not change across steps")
+	}
+}
+
+func TestByzantineServerModes(t *testing.T) {
+	c, i := byzFixture(t, ByzModeHonest)
+	honest := c.Server(i).Params()
+
+	if got := pullModel(t, c, i, "server-0", 1); !got.OK || !got.Vec.Equal(honest) {
+		t.Fatal("honest mode corrupted the model")
+	}
+	if err := c.SetServerByzMode(i, ByzModeReversed); err != nil {
+		t.Fatal(err)
+	}
+	rev := pullModel(t, c, i, "server-0", 1)
+	want := honest.Clone()
+	want.ScaleInPlace(-100)
+	if !rev.Vec.Equal(want) {
+		t.Fatal("reversed mode did not serve -100x the model")
+	}
+	if err := c.SetServerByzMode(i, ByzModeRandom); err != nil {
+		t.Fatal(err)
+	}
+	r1 := pullModel(t, c, i, "server-0", 2)
+	r2 := pullModel(t, c, i, "server-1", 2)
+	if r1.Vec.Equal(honest) {
+		t.Fatal("random mode served the honest model")
+	}
+	if !r1.Vec.Equal(r2.Vec) {
+		t.Fatal("random mode must not equivocate: same step, same noise for all pullers")
+	}
+	if err := c.SetServerByzMode(i, ByzModeStale); err != nil {
+		t.Fatal(err)
+	}
+	if got := pullModel(t, c, i, "server-0", 3); !got.Vec.Equal(honest) {
+		t.Fatal("stale mode must serve the frozen state unchanged")
+	}
+	// Pings pass through in every mode.
+	if got := c.ByzServer(i).Handle(rpc.Request{Kind: rpc.KindPing}); !got.OK {
+		t.Fatal("ping did not pass through the wrapper")
+	}
+}
+
+func TestSetServerByzModeRejectsHonestReplicaAndBadMode(t *testing.T) {
+	c, i := byzFixture(t, ByzModeHonest)
+	if err := c.SetServerByzMode(0, ByzModeRandom); err == nil ||
+		!strings.Contains(err.Error(), "not a declared-Byzantine replica") {
+		t.Fatalf("flipping an honest replica: err = %v", err)
+	}
+	if err := c.SetServerByzMode(i, "nonsense"); err == nil ||
+		!strings.Contains(err.Error(), "unknown byzantine server mode") {
+		t.Fatalf("bad mode: err = %v", err)
+	}
+	if err := c.SetServerByzMode(99, ByzModeRandom); err == nil {
+		t.Fatal("out-of-range replica accepted")
+	}
+}
+
+func TestConfigValidatesServerByz(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.ServerByz = ByzServerConfig{Mode: "wat"}
+	if _, err := NewCluster(cfg); !errors.Is(err, ErrConfig) {
+		t.Fatalf("unknown byz mode: err = %v", err)
+	}
+	cfg = baseConfig(t)
+	cfg.NPS, cfg.FPS = 2, 0
+	cfg.ServerByz = ByzServerConfig{Mode: ByzModeEquivocate}
+	if _, err := NewCluster(cfg); err == nil ||
+		!strings.Contains(err.Error(), "needs fps >= 1") {
+		t.Fatalf("byz mode without declared replicas: err = %v", err)
+	}
+}
+
+// TestMSMWContractionDefusesEquivocation is the paper's headline defense in
+// miniature: with one equivocating replica out of three, the robust (median)
+// model contraction keeps the honest replicas' model bounded, while swapping
+// the contraction to plain averaging lets the equivocator drag the model
+// away. The chaos harness runs the full-size version of this comparison.
+func TestMSMWContractionDefusesEquivocation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convergence comparison; skipped in -short runs")
+	}
+	run := func(modelRule string) float64 {
+		cfg := baseConfig(t)
+		cfg.NPS, cfg.FPS = 3, 1
+		cfg.ModelRule = modelRule
+		cfg.SyncQuorum = true
+		cfg.ServerByz = ByzServerConfig{Mode: ByzModeEquivocate}
+		c, err := NewCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.RunMSMW(RunOptions{Iterations: 25}); err != nil {
+			t.Fatal(err)
+		}
+		return c.Server(0).Params().Norm()
+	}
+	robust := run("median")
+	poisoned := run("average")
+	if robust > 5 {
+		t.Fatalf("median contraction drifted to norm %.2f under equivocation", robust)
+	}
+	if poisoned < 3*robust {
+		t.Fatalf("average contraction norm %.2f vs median %.2f: equivocation should dominate the average",
+			poisoned, robust)
+	}
+}

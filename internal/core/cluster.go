@@ -1,7 +1,9 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -60,6 +62,15 @@ type Config struct {
 	// (declared-Byzantine-but-benign, as in the throughput experiments).
 	WorkerAttack attack.Attack
 	ServerAttack attack.Attack
+
+	// ServerByz selects the initial ByzantineServer wrapper mode of the
+	// declared-Byzantine replicas — the stateful server-side adversaries
+	// (equivocation, seeded per-puller noise) that ServerAttack's per-reply
+	// corruption cannot express. The wrapper always exists on declared-
+	// Byzantine replicas so a scheduled byz-server fault can flip an
+	// initially-honest one adversarial mid-run; an empty Mode starts them
+	// honest.
+	ServerByz ByzServerConfig
 
 	// NonIID shards training data by label instead of IID, triggering the
 	// decentralized contract step.
@@ -133,6 +144,17 @@ func (c *Config) defaults() {
 	}
 }
 
+// ByzServerConfig parameterizes the ByzantineServer wrappers of a cluster's
+// declared-Byzantine replicas.
+type ByzServerConfig struct {
+	// Mode is the initial behaviour ("" or "honest": benign until a
+	// scheduled byz-server fault flips it); see ByzModes.
+	Mode string
+	// Scale is the noise scale of the random and equivocate modes
+	// (0 selects DefaultByzScale).
+	Scale float64
+}
+
 func (c *Config) validate() error {
 	if c.Arch == nil || c.Train == nil || c.Test == nil {
 		return fmt.Errorf("%w: arch, train and test are required", ErrConfig)
@@ -154,6 +176,16 @@ func (c *Config) validate() error {
 	}
 	if c.StalenessDamping < 0 || c.StalenessDamping > 1 {
 		return fmt.Errorf("%w: staleness damping %v not in [0, 1]", ErrConfig, c.StalenessDamping)
+	}
+	if c.ServerByz.Mode != "" {
+		if !ValidByzMode(c.ServerByz.Mode) {
+			return fmt.Errorf("%w: unknown byzantine server mode %q (want one of %v)",
+				ErrConfig, c.ServerByz.Mode, ByzModes())
+		}
+		if c.ServerByz.Mode != ByzModeHonest && c.FPS < 1 {
+			return fmt.Errorf("%w: server byzantine mode %q needs fps >= 1 declared replicas",
+				ErrConfig, c.ServerByz.Mode)
+		}
 	}
 	return nil
 }
@@ -182,6 +214,7 @@ type Cluster struct {
 	serverAddrs []string
 	workers     []*Worker
 	servers     []*Server
+	byzServers  []*ByzantineServer // per replica; nil for honest replicas
 	rpcServers  []*rpc.Server
 	crashed     []atomic.Bool
 
@@ -267,8 +300,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		// dial. Each replica owns its own pooled client — the pool
 		// serializes same-peer calls per client, so sharing one across
 		// replicas would serialize the replicas' concurrent pulls to the
-		// same worker.
-		client := rpc.NewPooledClient(c.net)
+		// same worker. The client is bound to the replica's address (so
+		// partition cuts know the dial's source) and stamps it as the
+		// caller identity (so adversarial handlers can equivocate
+		// deterministically per puller).
+		client := rpc.NewPooledClientAs(c.net.Bind(c.serverAddrs[i]), c.serverAddrs[i])
 		c.clients = append(c.clients, client)
 		s, err := NewServer(ServerConfig{
 			Arch:          cfg.Arch,
@@ -284,16 +320,42 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			c.Close()
 			return nil, err
 		}
-		srv, err := rpc.Serve(c.net, c.serverAddrs[i], s)
+		// Declared-Byzantine replicas get the ByzantineServer wrapper —
+		// honest passthrough unless ServerByz names a mode — so scheduled
+		// byz-server faults can flip their behaviour at runtime.
+		var handler rpc.Handler = s
+		var byz *ByzantineServer
+		if i >= cfg.NPS-cfg.FPS {
+			byz, err = NewByzantineServer(s, cfg.ServerByz.Mode, byzSeed(cfg.Seed, i), cfg.ServerByz.Scale)
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			handler = byz
+		}
+		srv, err := rpc.Serve(c.net, c.serverAddrs[i], handler)
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("core: start server %d: %w", i, err)
 		}
 		c.servers = append(c.servers, s)
+		c.byzServers = append(c.byzServers, byz)
 		c.rpcServers = append(c.rpcServers, srv)
 	}
 	c.crashed = make([]atomic.Bool, cfg.NPS)
 	return c, nil
+}
+
+// byzSeed derives a replica's Byzantine noise seed from the cluster seed by
+// domain separation (FNV-64a over a tagged message), so it cannot collide
+// with the worker seeds (seed+i+1) or the attack streams.
+func byzSeed(seed uint64, replica int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], seed)
+	_, _ = h.Write(buf[:])
+	_, _ = h.Write([]byte("/byz-server/" + strconv.Itoa(replica)))
+	return h.Sum64()
 }
 
 func newOptimizer(cfg Config) (*sgd.Optimizer, error) {
@@ -361,3 +423,71 @@ func (c *Cluster) DelayWorker(i int, d time.Duration) {
 func (c *Cluster) SlowWorker(i int, d time.Duration) {
 	c.workers[i].SetServeDelay(d)
 }
+
+// WorkerAddr returns worker i's network address ("worker-<i>"), the name
+// partition groups and chaos programs refer to nodes by.
+func (c *Cluster) WorkerAddr(i int) string { return c.workerAddrs[i] }
+
+// ServerAddr returns server replica i's network address ("server-<i>").
+func (c *Cluster) ServerAddr(i int) string { return c.serverAddrs[i] }
+
+// Partition blocks traffic between the two node groups (addresses from
+// WorkerAddr/ServerAddr) and severs established connections crossing the
+// cut, until HealPartitions. Server-side dials carry their replica's source
+// address, so server-server cuts work; workers never dial, so a worker-side
+// group entry cuts the servers' pulls to it.
+func (c *Cluster) Partition(groupA, groupB []string) {
+	c.net.Partition(groupA, groupB)
+}
+
+// HealPartitions removes every partition injected so far. Link-fault
+// programs and delays stay in place — healing restores reachability, not
+// link quality.
+func (c *Cluster) HealPartitions() {
+	c.net.Heal()
+}
+
+// SetWorkerLinkFault installs a seeded chaos program on every connection to
+// worker i: each framed message is dropped, duplicated, reordered or
+// corrupted with the program's probabilities. A zero LinkFault clears it.
+func (c *Cluster) SetWorkerLinkFault(i int, lf transport.LinkFault, seed uint64) {
+	c.net.SetLinkFault(c.workerAddrs[i], lf, seed)
+}
+
+// SetServerLinkFault is SetWorkerLinkFault for server replica i's links.
+func (c *Cluster) SetServerLinkFault(i int, lf transport.LinkFault, seed uint64) {
+	c.net.SetLinkFault(c.serverAddrs[i], lf, seed)
+}
+
+// WorkerLinkStats returns the fault decisions taken so far by worker i's
+// current link program (zero when none is installed).
+func (c *Cluster) WorkerLinkStats(i int) transport.LinkStats {
+	return c.net.LinkStats(c.workerAddrs[i])
+}
+
+// ServerLinkStats is WorkerLinkStats for server replica i.
+func (c *Cluster) ServerLinkStats(i int) transport.LinkStats {
+	return c.net.LinkStats(c.serverAddrs[i])
+}
+
+// SetServerByzMode flips the ByzantineServer wrapper of replica i to the
+// given mode — the byz-server scheduled fault. Only declared-Byzantine
+// replicas (the last fps) carry the wrapper; flipping an honest replica is
+// an error, because the protocol runners drive honest replicas' training
+// loops and an adversarial handler under a driven loop would break the
+// declared f/fs resilience budget rather than test it.
+func (c *Cluster) SetServerByzMode(i int, mode string) error {
+	if i < 0 || i >= len(c.byzServers) {
+		return fmt.Errorf("%w: server %d of %d", ErrConfig, i, len(c.byzServers))
+	}
+	byz := c.byzServers[i]
+	if byz == nil {
+		return fmt.Errorf("%w: server %d is not a declared-Byzantine replica (last fps=%d of nps=%d)",
+			ErrConfig, i, c.cfg.FPS, c.cfg.NPS)
+	}
+	return byz.SetMode(mode)
+}
+
+// ByzServer returns replica i's ByzantineServer wrapper, or nil for honest
+// replicas.
+func (c *Cluster) ByzServer(i int) *ByzantineServer { return c.byzServers[i] }

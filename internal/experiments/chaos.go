@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"garfield/internal/chaos"
+)
+
+// ExtChaos runs the chaos engine's invariant suites over every chaos preset
+// and tabulates the verdicts: one row per (preset, invariant) with the
+// measured evidence. It is the experiment-harness face of internal/chaos —
+// the same properties the package's tests assert in CI, rendered for humans.
+// Verdicts render even when an invariant fails — the table is the
+// diagnostic; the chaos package tests and the CLI exit code are the
+// enforcement points.
+func ExtChaos(opt Options) (Renderable, error) {
+	reports, err := chaos.RunAll(chaos.Options{Quick: opt.Quick, Seed: opt.Seed})
+	if err != nil {
+		return nil, err
+	}
+	t, _ := chaos.ReportTable(
+		"Chaos invariants: seeded fault programs vs machine-checked resilience properties", reports)
+	return t, nil
+}

@@ -87,6 +87,7 @@ var registry = map[string]struct {
 	"ext-stale":      {ExtStale, "EXT: staleness fault vs robust aggregation"},
 	"ext-throughput": {ExtLiveThroughput, "EXT: live in-process throughput of every protocol"},
 	"ext-async":      {ExtAsyncThroughput, "EXT: async bounded-staleness vs lockstep SSMW under a straggler"},
+	"chaos":          {ExtChaos, "EXT: chaos-engine invariants (safety/liveness/determinism/corruption) per preset"},
 }
 
 // IDs returns all experiment ids in sorted order.

@@ -13,7 +13,7 @@ func quick() Options { return Options{Quick: true, Seed: 9} }
 
 func TestIDsStableAndDescribed(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 32 {
+	if len(ids) != 33 {
 		t.Fatalf("IDs = %d entries: %v", len(ids), ids)
 	}
 	for _, id := range ids {
@@ -107,6 +107,9 @@ func TestFig3aShape(t *testing.T) {
 
 // TestFig3bLinearInD verifies all GARs scale roughly linearly with d.
 func TestFig3bLinearInD(t *testing.T) {
+	if testing.Short() {
+		t.Skip("high-dimension GAR timing; skipped in -short runs")
+	}
 	r, err := Fig3b(quick())
 	if err != nil {
 		t.Fatal(err)

@@ -28,6 +28,7 @@ type Caller interface {
 // get_gradients(t, q): return the fastest q replies, cancel the stragglers.
 type Client struct {
 	network transport.Network
+	self    string
 }
 
 var _ Caller = (*Client)(nil)
@@ -35,6 +36,20 @@ var _ Caller = (*Client)(nil)
 // NewClient returns a client dialing over the given network.
 func NewClient(network transport.Network) *Client {
 	return &Client{network: network}
+}
+
+// NewClientAs is NewClient with a caller identity: every request that does
+// not already carry one is stamped with self (see Request.From).
+func NewClientAs(network transport.Network, self string) *Client {
+	return &Client{network: network, self: self}
+}
+
+// stamp fills in the caller identity on requests that lack one.
+func stamp(req Request, self string) Request {
+	if req.From == "" {
+		req.From = self
+	}
+	return req
 }
 
 var (
@@ -45,13 +60,37 @@ var (
 	// ErrNotServed is returned by Call when the peer answered but had
 	// nothing to serve (Response.OK == false).
 	ErrNotServed = errors.New("rpc: peer declined request")
+
+	// ErrMismatchedReply is returned when a reply's request echo does not
+	// match the call that read it — the stream delivered some other
+	// request's response (e.g. a chaos link duplicated a request frame and
+	// desynchronized the strict request/response conversation). The reply
+	// may be authentic and checksummed, but it answers the wrong question;
+	// callers treat it as a transport failure, never as data.
+	ErrMismatchedReply = errors.New("rpc: reply does not correlate with the request")
 )
+
+// correlate checks a decoded response against the request that awaited it.
+// A zero echo on a decline is the server's "anonymous decline" for an
+// unreadable (corrupted/malformed) request and passes; anything else must
+// echo the request exactly.
+func correlate(req Request, resp Response) error {
+	if resp.EchoKind == req.Kind && resp.EchoStep == req.Step {
+		return nil
+	}
+	if !resp.OK && resp.EchoKind == 0 && resp.EchoStep == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w: got %v/step %d for %v/step %d",
+		ErrMismatchedReply, resp.EchoKind, resp.EchoStep, req.Kind, req.Step)
+}
 
 // Call performs one request/response round trip with a single peer. Each
 // call uses a dedicated connection, torn down afterwards; connection cost on
 // the in-memory and loopback transports is negligible, and independence
 // between calls is what lets PullFirstQ cancel stragglers safely.
 func (c *Client) Call(ctx context.Context, addr string, req Request) (tensor.Vector, error) {
+	req = stamp(req, c.self)
 	conn, err := c.network.Dial(ctx, addr)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: dial %q: %w", addr, err)
@@ -81,6 +120,9 @@ func (c *Client) Call(ctx context.Context, addr string, req Request) (tensor.Vec
 	putBuf(payload)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: from %q: %w", addr, err)
+	}
+	if err := correlate(req, resp); err != nil {
+		return nil, fmt.Errorf("rpc: %q: %w", addr, err)
 	}
 	if !resp.OK {
 		return nil, fmt.Errorf("rpc: %q: %w", addr, ErrNotServed)

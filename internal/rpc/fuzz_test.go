@@ -15,9 +15,13 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add([]byte{1, 2, 3})
 	f.Add(encodeRequest(Request{Kind: KindPing, Step: 7}))
 	f.Add(encodeRequest(Request{Kind: KindGetGradient, Step: 1, Vec: tensor.Vector{1, 2, 3}}))
+	f.Add(encodeRequest(Request{Kind: KindGetModel, Step: 2, From: "server-1"}))
+	f.Add(encodeRequest(Request{Kind: KindGetGradient, Step: 3, From: "s", Vec: tensor.Vector{4}}))
 	// hasVec flag set, truncated payload.
 	bad := encodeRequest(Request{Kind: KindGetGradient, Vec: tensor.Vector{1, 2}})
-	f.Add(bad[:8])
+	f.Add(bad[:9])
+	// from length pointing past the buffer.
+	f.Add([]byte{1, 0, 0, 0, 0, 200, 'x'})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := decodeRequest(data)
 		if err != nil {
@@ -29,7 +33,7 @@ func FuzzDecodeRequest(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}
-		if again.Kind != req.Kind || again.Step != req.Step {
+		if again.Kind != req.Kind || again.Step != req.Step || again.From != req.From {
 			t.Fatalf("round trip mismatch: %+v vs %+v", again, req)
 		}
 		if len(again.Vec) != len(req.Vec) {
@@ -42,7 +46,9 @@ func FuzzDecodeResponse(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{1})
 	f.Add(encodeResponse(Response{OK: true, Vec: tensor.Vector{4, 5}}))
+	f.Add(encodeResponse(Response{OK: true, EchoKind: KindGetModel, EchoStep: 9, Vec: tensor.Vector{6}}))
 	f.Add(encodeResponse(Response{}))
+	f.Add(encodeResponse(Response{EchoKind: KindPing, EchoStep: 3}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		resp, err := decodeResponse(data)
 		if err != nil {
@@ -52,8 +58,8 @@ func FuzzDecodeResponse(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}
-		if again.OK != resp.OK {
-			t.Fatalf("OK mismatch")
+		if again.OK != resp.OK || again.EchoKind != resp.EchoKind || again.EchoStep != resp.EchoStep {
+			t.Fatalf("round trip mismatch: %+v vs %+v", again, resp)
 		}
 	})
 }

@@ -37,6 +37,7 @@ import (
 // connection-reuse ablation bench.
 type PooledClient struct {
 	network transport.Network
+	self    string
 
 	mu     sync.Mutex
 	closed bool
@@ -102,8 +103,15 @@ func (c *countingReader) Read(p []byte) (int, error) {
 
 // NewPooledClient returns a pooled client dialing over the given network.
 func NewPooledClient(network transport.Network) *PooledClient {
+	return NewPooledClientAs(network, "")
+}
+
+// NewPooledClientAs is NewPooledClient with a caller identity: every request
+// that does not already carry one is stamped with self (see Request.From).
+func NewPooledClientAs(network transport.Network, self string) *PooledClient {
 	return &PooledClient{
 		network: network,
+		self:    self,
 		conns:   make(map[string]*pooledConn),
 	}
 }
@@ -168,6 +176,7 @@ var errClientClosed = errors.New("rpc: pooled client closed")
 // are idempotent reads, so that one failure is retried transparently over a
 // fresh connection instead of surfacing to the protocol layer.
 func (c *PooledClient) Call(ctx context.Context, addr string, req Request) (tensor.Vector, error) {
+	req = stamp(req, c.self)
 	pc, err := c.peer(addr)
 	if err != nil {
 		return nil, err
@@ -274,6 +283,15 @@ func (c *PooledClient) callLocked(ctx context.Context, pc *pooledConn, addr stri
 	if err != nil {
 		reused = false // protocol corruption, not an idle death
 		return fail("decode from", err)
+	}
+	if err := correlate(req, resp); err != nil {
+		// The stream handed this call some other request's reply (e.g. a
+		// duplicated request frame shifted the conversation): the
+		// connection's request/response alignment is unknowable, so tear
+		// it down. Not retried on this attempt — the desync, unlike an
+		// idle death, may reproduce systematically.
+		reused = false
+		return fail("correlate from", err)
 	}
 	pc.state.CompareAndSwap(callInFlight, callFinished)
 	if !resp.OK {

@@ -121,6 +121,16 @@ func (s *Server) serveConn(conn net.Conn) {
 	for {
 		payload, err := readFramePooled(conn)
 		if err != nil {
+			if errors.Is(err, ErrChecksum) {
+				// The frame arrived corrupted but fully framed: the
+				// stream is positioned at the next frame boundary, so
+				// decline the request and keep serving rather than
+				// punishing the caller for a mangling network.
+				if werr := writeResponseFrame(conn, Response{}); werr != nil {
+					return
+				}
+				continue
+			}
 			return
 		}
 		if req.Vec == nil {
@@ -142,6 +152,11 @@ func (s *Server) serveConn(conn net.Conn) {
 			continue
 		}
 		resp := s.handler.Handle(req)
+		// Correlate the reply with the request it answers (see
+		// Response.EchoKind): handlers stay oblivious, the serving loop
+		// stamps. The decline paths above deliberately send a zero echo —
+		// an "anonymous decline" for requests the server could not read.
+		resp.EchoKind, resp.EchoStep = req.Kind, req.Step
 		if err := writeResponseFrame(conn, resp); err != nil {
 			return
 		}

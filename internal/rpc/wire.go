@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"garfield/internal/tensor"
 )
@@ -44,20 +46,37 @@ func (k Kind) String() string {
 	}
 }
 
-// Request is one pull: kind + step + optional vector payload (the model
-// state for KindGetGradient).
+// Request is one pull: kind + step + optional caller identity + optional
+// vector payload (the model state for KindGetGradient).
 type Request struct {
 	Kind Kind
 	Step uint32
+	// From is the caller's self-declared address ("" when anonymous). It
+	// is advisory — a Byzantine caller can lie — and exists so adversarial
+	// handlers (the equivocating Byzantine server) can answer different
+	// pullers differently and deterministically. Honest handlers must not
+	// trust it. At most 255 bytes survive encoding.
+	From string
 	// Vec is the optional request payload (nil when absent).
 	Vec tensor.Vector
 }
 
 // Response carries the pulled vector, or OK=false when the node has nothing
 // to serve (e.g. a Byzantine node dropping its reply, or a step mismatch).
+// EchoKind and EchoStep correlate the response with its request: the serving
+// loop stamps them from the request it answered, and clients reject replies
+// whose echo does not match the call they issued. Without correlation, a
+// network that duplicates a request frame desynchronizes the strict
+// request/response stream one-for-all: every later call on the connection
+// would silently receive its predecessor's reply — an authentic, checksummed,
+// wrong-step vector. The echo turns that silent poisoning into a detected
+// transport failure (ErrMismatchedReply; the connection is torn down and the
+// call retried or surfaced).
 type Response struct {
-	OK  bool
-	Vec tensor.Vector
+	OK       bool
+	EchoKind Kind
+	EchoStep uint32
+	Vec      tensor.Vector
 }
 
 const (
@@ -72,7 +91,27 @@ var (
 
 	// ErrMalformed is returned for syntactically invalid messages.
 	ErrMalformed = errors.New("rpc: malformed message")
+
+	// ErrChecksum is returned when a frame's payload fails checksum
+	// verification — bytes were corrupted in flight (an adversarial
+	// network element, modelled by transport.LinkFault). The payload is
+	// rejected before it reaches the decoder: a corrupted gradient or
+	// model can never silently poison aggregation.
+	ErrChecksum = errors.New("rpc: payload checksum mismatch")
 )
+
+// castagnoli is the CRC-32C table; Castagnoli is hardware-accelerated on
+// amd64/arm64, so the integrity pass costs a small fraction of the codec.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// checksumRejects counts frames rejected for checksum mismatch, process
+// wide. The chaos invariant harness reads it to prove injected corruption
+// was detected rather than absorbed.
+var checksumRejects atomic.Uint64
+
+// ChecksumRejects returns the number of frames this process has rejected
+// for payload checksum mismatch.
+func ChecksumRejects() uint64 { return checksumRejects.Load() }
 
 // bufPool recycles wire buffers across calls and connections — the paper's
 // Section 4.4 memory-management optimization applied to the RPC layer. Both
@@ -98,26 +137,44 @@ func getBuf(n int) *[]byte {
 // putBuf returns a borrowed buffer to the pool.
 func putBuf(p *[]byte) { bufPool.Put(p) }
 
-// writeFrame writes a length-prefixed payload.
+// The frame layout is a 4-byte little-endian length prefix followed by the
+// frame body: a 4-byte CRC-32C of the payload, then the payload itself. The
+// length counts the body (checksum word included), so the stream remains
+// generically "length-prefixed frames" — which is the shape
+// transport.LinkFault's frame-wise chaos programs reassemble. Readers verify
+// the checksum before handing the payload to a decoder and reject mismatches
+// with ErrChecksum; a network that flips body bytes (the chaos corrupt
+// program, or a real mangling middlebox) therefore cannot silently feed
+// garbage into model or gradient aggregation.
+const frameHeaderSize = 8 // length prefix + checksum word
+
+// putFrameHeader writes the length prefix and checksum word for payload into
+// b[:frameHeaderSize].
+func putFrameHeader(b, payload []byte) {
+	binary.LittleEndian.PutUint32(b, uint32(4+len(payload)))
+	binary.LittleEndian.PutUint32(b[4:], crc32.Checksum(payload, castagnoli))
+}
+
+// writeFrame writes a checksummed, length-prefixed payload.
 func writeFrame(w io.Writer, payload []byte) error {
-	p := getBuf(4 + len(payload))
+	p := getBuf(frameHeaderSize + len(payload))
 	b := *p
-	binary.LittleEndian.PutUint32(b, uint32(len(payload)))
-	copy(b[4:], payload)
+	copy(b[frameHeaderSize:], payload)
+	putFrameHeader(b, b[frameHeaderSize:])
 	_, err := w.Write(b)
 	putBuf(p)
 	return err
 }
 
-// writeRequestFrame encodes req and its length prefix into one pooled buffer
+// writeRequestFrame encodes req and its frame header into one pooled buffer
 // and writes it with a single Write call (one syscall / pipe handoff per
 // message instead of two, and no per-message allocation).
 func writeRequestFrame(w io.Writer, req Request) error {
 	size := encodedRequestSize(req)
-	p := getBuf(4 + size)
+	p := getBuf(frameHeaderSize + size)
 	b := *p
-	binary.LittleEndian.PutUint32(b, uint32(size))
-	encodeRequestTo(b[4:], req)
+	encodeRequestTo(b[frameHeaderSize:], req)
+	putFrameHeader(b, b[frameHeaderSize:])
 	_, err := w.Write(b)
 	putBuf(p)
 	return err
@@ -126,54 +183,79 @@ func writeRequestFrame(w io.Writer, req Request) error {
 // writeResponseFrame is writeRequestFrame for responses.
 func writeResponseFrame(w io.Writer, resp Response) error {
 	size := encodedResponseSize(resp)
-	p := getBuf(4 + size)
+	p := getBuf(frameHeaderSize + size)
 	b := *p
-	binary.LittleEndian.PutUint32(b, uint32(size))
-	encodeResponseTo(b[4:], resp)
+	encodeResponseTo(b[frameHeaderSize:], resp)
+	putFrameHeader(b, b[frameHeaderSize:])
 	_, err := w.Write(b)
 	putBuf(p)
 	return err
 }
 
-// readFrame reads a length-prefixed payload into a fresh slice.
+// readFrame reads a checksummed frame's payload into a fresh slice.
 func readFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
+	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := binary.LittleEndian.Uint32(hdr[:4])
 	if n > maxFrame {
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
-	payload := make([]byte, n)
+	if n < 4 {
+		return nil, fmt.Errorf("%w: frame body of %d bytes", ErrMalformed, n)
+	}
+	payload := make([]byte, n-4)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, err
+	}
+	if sum := crc32.Checksum(payload, castagnoli); sum != binary.LittleEndian.Uint32(hdr[4:]) {
+		checksumRejects.Add(1)
+		return nil, fmt.Errorf("%w: %d-byte payload", ErrChecksum, n-4)
 	}
 	return payload, nil
 }
 
-// readFramePooled reads a length-prefixed payload into a pooled buffer. The
-// caller must release the returned buffer with putBuf once the payload has
-// been decoded.
+// readFramePooled reads a checksummed frame's payload into a pooled buffer.
+// The caller must release the returned buffer with putBuf once the payload
+// has been decoded. A checksum mismatch consumes the whole frame (the stream
+// stays positioned at the next frame boundary) and returns ErrChecksum.
 func readFramePooled(r io.Reader) (*[]byte, error) {
-	var hdr [4]byte
+	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := binary.LittleEndian.Uint32(hdr[:4])
 	if n > maxFrame {
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
-	p := getBuf(int(n))
+	if n < 4 {
+		return nil, fmt.Errorf("%w: frame body of %d bytes", ErrMalformed, n)
+	}
+	p := getBuf(int(n - 4))
 	if _, err := io.ReadFull(r, *p); err != nil {
 		putBuf(p)
 		return nil, err
 	}
+	if sum := crc32.Checksum(*p, castagnoli); sum != binary.LittleEndian.Uint32(hdr[4:]) {
+		putBuf(p)
+		checksumRejects.Add(1)
+		return nil, fmt.Errorf("%w: %d-byte payload", ErrChecksum, n-4)
+	}
 	return p, nil
 }
 
+// fromLen bounds the encoded caller identity to one length byte, truncating
+// longer strings (identities are short node addresses in practice).
+func fromLen(r Request) int {
+	if len(r.From) > 255 {
+		return 255
+	}
+	return len(r.From)
+}
+
 func encodedRequestSize(r Request) int {
-	size := 6
+	size := 7 + fromLen(r)
 	if r.Vec != nil {
 		size += r.Vec.EncodedSize()
 	}
@@ -181,15 +263,18 @@ func encodedRequestSize(r Request) int {
 }
 
 // encodeRequestTo serializes r into buf (len encodedRequestSize(r)):
-// kind(1) step(4) hasVec(1) [vec].
+// kind(1) step(4) fromLen(1) from(n) hasVec(1) [vec].
 func encodeRequestTo(buf []byte, r Request) {
 	buf[0] = byte(r.Kind)
 	binary.LittleEndian.PutUint32(buf[1:], r.Step)
-	buf[5] = 0
+	n := fromLen(r)
+	buf[5] = byte(n)
+	copy(buf[6:], r.From[:n])
+	buf[6+n] = 0
 	if r.Vec != nil {
-		buf[5] = 1
+		buf[6+n] = 1
 		// Encoding into a correctly-sized buffer cannot fail.
-		_ = r.Vec.EncodeTo(buf[6:])
+		_ = r.Vec.EncodeTo(buf[7+n:])
 	}
 }
 
@@ -205,17 +290,22 @@ func encodeRequest(r Request) []byte {
 // payload req.Vec is nil; the previous buffer is handed back in spare so the
 // caller can keep it for the next request.
 func decodeRequestInto(req *Request, b []byte) (spare tensor.Vector, err error) {
-	if len(b) < 6 {
+	if len(b) < 7 {
 		return req.Vec, fmt.Errorf("%w: request of %d bytes", ErrMalformed, len(b))
 	}
 	req.Kind = Kind(b[0])
 	req.Step = binary.LittleEndian.Uint32(b[1:])
-	if b[5] != 1 {
+	n := int(b[5])
+	if len(b) < 7+n {
+		return req.Vec, fmt.Errorf("%w: request of %d bytes, from of %d", ErrMalformed, len(b), n)
+	}
+	req.From = string(b[6 : 6+n])
+	if b[6+n] != 1 {
 		spare = req.Vec
 		req.Vec = nil
 		return spare, nil
 	}
-	if err := req.Vec.UnmarshalBinary(b[6:]); err != nil {
+	if err := req.Vec.UnmarshalBinary(b[7+n:]); err != nil {
 		return req.Vec, fmt.Errorf("%w: %v", ErrMalformed, err)
 	}
 	return nil, nil
@@ -231,7 +321,7 @@ func decodeRequest(b []byte) (Request, error) {
 }
 
 func encodedResponseSize(r Response) int {
-	size := 1
+	size := 6
 	if r.OK && r.Vec != nil {
 		size += r.Vec.EncodedSize()
 	}
@@ -239,14 +329,16 @@ func encodedResponseSize(r Response) int {
 }
 
 // encodeResponseTo serializes r into buf (len encodedResponseSize(r)):
-// ok(1) [vec].
+// ok(1) echoKind(1) echoStep(4) [vec].
 func encodeResponseTo(buf []byte, r Response) {
 	buf[0] = 0
 	if r.OK {
 		buf[0] = 1
-		if r.Vec != nil {
-			_ = r.Vec.EncodeTo(buf[1:])
-		}
+	}
+	buf[1] = byte(r.EchoKind)
+	binary.LittleEndian.PutUint32(buf[2:], r.EchoStep)
+	if r.OK && r.Vec != nil {
+		_ = r.Vec.EncodeTo(buf[6:])
 	}
 }
 
@@ -259,12 +351,16 @@ func encodeResponse(r Response) []byte {
 
 // decodeResponse parses the output of encodeResponse.
 func decodeResponse(b []byte) (Response, error) {
-	if len(b) < 1 {
-		return Response{}, fmt.Errorf("%w: empty response", ErrMalformed)
+	if len(b) < 6 {
+		return Response{}, fmt.Errorf("%w: response of %d bytes", ErrMalformed, len(b))
 	}
-	r := Response{OK: b[0] == 1}
-	if r.OK && len(b) > 1 {
-		if err := r.Vec.UnmarshalBinary(b[1:]); err != nil {
+	r := Response{
+		OK:       b[0] == 1,
+		EchoKind: Kind(b[1]),
+		EchoStep: binary.LittleEndian.Uint32(b[2:]),
+	}
+	if r.OK && len(b) > 6 {
+		if err := r.Vec.UnmarshalBinary(b[6:]); err != nil {
 			return Response{}, fmt.Errorf("%w: %v", ErrMalformed, err)
 		}
 	}

@@ -53,6 +53,7 @@ func Materialize(sp Spec) (core.Config, error) {
 		ContractSteps:    sp.ContractSteps,
 		WorkerAttack:     workerAtk,
 		ServerAttack:     serverAtk,
+		ServerByz:        core.ByzServerConfig{Mode: sp.ServerByzMode, Scale: sp.ServerByzScale},
 		LR:               lr,
 		Momentum:         sp.Momentum,
 		WorkerMomentum:   sp.WorkerMomentum,

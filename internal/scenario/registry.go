@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"garfield/internal/attack"
+	"garfield/internal/core"
 	"garfield/internal/gar"
 )
 
@@ -273,6 +274,113 @@ func presets() map[string]Spec {
 		Model:        bzm, Dataset: bzd, BatchSize: 32,
 		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
 		Seed: 32, Iterations: 150, AccEvery: 25,
+	})
+
+	// --- The chaos presets (internal/chaos runs these under machine-
+	// checked resilience invariants; `garfield-scenarios chaos` is the CLI
+	// front end). Each exercises one adversary class the plain fault menu
+	// cannot express. ---
+
+	// An equivocating Byzantine replica from iteration 0, in the
+	// deterministic lockstep mode: the safety invariant bounds the honest
+	// replicas' model drift, the determinism invariant requires two runs
+	// at this seed to emit bit-identical metrics CSV, and the contrast run
+	// (same spec, model_rule=average) must diverge.
+	eqm, eqd := demoTask("chaos-equivocate", 50)
+	add(Spec{
+		Name:        "chaos-equivocate",
+		Description: "MSMW vs an equivocating Byzantine server (fs=1): contraction bounds drift; averaging diverges",
+		Topology:    TopoMSMW,
+		NW:          9, FW: 0,
+		NPS: 4, FPS: 1,
+		Rule:          gar.NameMedian,
+		SyncQuorum:    true,
+		Deterministic: true,
+		ServerByzMode: core.ByzModeEquivocate,
+		Model:         eqm, Dataset: eqd, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 50, Iterations: 40, AccEvery: 10,
+	})
+
+	// A replica that serves honestly for 15 iterations and then turns
+	// Byzantine (random models) — the mid-run flip only the byz-server
+	// scheduled fault can express.
+	bfm, bfd := demoTask("chaos-byz-flip", 51)
+	add(Spec{
+		Name:        "chaos-byz-flip",
+		Description: "MSMW replica flips honest->random at iteration 15 (byz-server scheduled fault)",
+		Topology:    TopoMSMW,
+		NW:          9, FW: 0,
+		NPS: 4, FPS: 1,
+		Rule:          gar.NameMedian,
+		SyncQuorum:    true,
+		Deterministic: true,
+		Model:         bfm, Dataset: bfd, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 51, Iterations: 40, AccEvery: 10,
+		Faults: []Fault{{After: 15, Kind: FaultByzServer, Node: 3, Mode: core.ByzModeRandom}},
+	})
+
+	// A network partition cutting two workers off the servers for the
+	// middle third of the run, then healing: the liveness invariant
+	// requires post-heal steps/sec to recover to >= 80% of the
+	// pre-partition segment.
+	phm, phd := demoTask("chaos-partition-heal", 52)
+	add(Spec{
+		Name:        "chaos-partition-heal",
+		Description: "MSMW rides out a partition of 2 workers (q = n - f), heals, and recovers throughput",
+		Topology:    TopoMSMW,
+		NW:          9, FW: 2,
+		NPS: 2, FPS: 0,
+		Rule:  gar.NameMedian,
+		Model: phm, Dataset: phd, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 52, Iterations: 45, AccEvery: 15,
+		Faults: []Fault{
+			{After: 15, Kind: FaultPartition,
+				GroupA: []string{"server-0", "server-1"},
+				GroupB: []string{"worker-7", "worker-8"}},
+			{After: 30, Kind: FaultHeal},
+		},
+	})
+
+	// A link that corrupts every message to and from one worker: the RPC
+	// checksum layer must reject the mangled payloads (the corruption
+	// invariant counts the rejections), and the q = n - f quorum must ride
+	// out the effectively-mute node.
+	clm, cld := demoTask("chaos-corrupt-link", 53)
+	add(Spec{
+		Name:        "chaos-corrupt-link",
+		Description: "worker-8's link corrupts every message; checksums reject them and MSMW rides it out",
+		Topology:    TopoMSMW,
+		NW:          9, FW: 1,
+		NPS: 2, FPS: 0,
+		Rule:  gar.NameMedian,
+		Model: clm, Dataset: cld, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 53, Iterations: 30, AccEvery: 10,
+		Faults: []Fault{{After: 5, Kind: FaultCorruptLink, Node: 8}},
+	})
+
+	// Two links that reorder about half their messages: replies arrive one
+	// round late and stale, the strict request/response streams desync and
+	// resynchronize through the pooled client's drain machinery, and
+	// training must neither stall nor lose a round.
+	rom, rod := demoTask("chaos-reorder", 54)
+	add(Spec{
+		Name:        "chaos-reorder",
+		Description: "two workers' links reorder half their messages; MSMW absorbs the stale replies",
+		Topology:    TopoMSMW,
+		NW:          9, FW: 2,
+		NPS: 2, FPS: 0,
+		Rule:  gar.NameMedian,
+		Model: rom, Dataset: rod, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 54, Iterations: 30, AccEvery: 10,
+		Faults: []Fault{
+			{After: 5, Kind: FaultReorderLink, Node: 7},
+			{After: 5, Kind: FaultReorderLink, Node: 8},
+		},
 	})
 
 	// --- The default sweep base (see Matrix). ---

@@ -1,11 +1,14 @@
 package scenario
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"time"
 
 	"garfield/internal/core"
 	"garfield/internal/metrics"
+	"garfield/internal/transport"
 )
 
 // Run materializes the spec, spawns the cluster, drives the topology's
@@ -34,20 +37,36 @@ func RunOn(c *core.Cluster, sp Spec) (*core.Result, error) {
 	return runOn(c, sp)
 }
 
-// runOn is RunOn for specs already validated by Materialize.
-func runOn(c *core.Cluster, sp Spec) (*core.Result, error) {
-	faults := sp.sortedFaults()
-	if len(faults) == 0 {
-		return runTopology(c, sp, core.RunOptions{
-			Iterations: sp.Iterations, AccEvery: sp.AccEvery,
-		})
-	}
+// Segment is one fault-free stretch of a segmented run: the iteration range
+// it covered, its own Result (unmerged, so per-segment throughput is
+// preserved), and the faults injected at its end boundary. The chaos
+// invariant harness compares segments — e.g. steps/sec before a partition
+// against steps/sec after the heal.
+type Segment struct {
+	// Start and End delimit the segment's iterations: [Start, End).
+	Start, End int
+	// Result is the segment's own measurement.
+	Result *core.Result
+	// FaultsApplied lists the schedule entries injected after the segment
+	// completed (empty for the final segment).
+	FaultsApplied []Fault
+}
 
-	merged := &core.Result{
-		Accuracy:         &metrics.Series{Name: sp.Topology},
-		AccuracyOverTime: &metrics.Series{Name: sp.Topology},
-		Breakdown:        &metrics.Breakdown{},
+// RunSegmented is RunOn without the merge: it drives the spec through its
+// fault schedule and returns one Segment per fault-free stretch. Callers
+// that want the usual merged curves use RunOn/Run; callers that need
+// per-segment measurements (the chaos liveness invariant) use this.
+func RunSegmented(c *core.Cluster, sp Spec) ([]Segment, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
 	}
+	return runSegmented(c, sp)
+}
+
+// runSegmented drives the validated spec segment by segment.
+func runSegmented(c *core.Cluster, sp Spec) ([]Segment, error) {
+	faults := sp.sortedFaults()
+	var segments []Segment
 	done := 0
 	next := 0
 	for done < sp.Iterations {
@@ -60,18 +79,42 @@ func runOn(c *core.Cluster, sp Spec) (*core.Result, error) {
 		if next < len(faults) && faults[next].After < end {
 			end = faults[next].After
 		}
-		seg, err := runTopology(c, sp, core.RunOptions{
+		res, err := runTopology(c, sp, core.RunOptions{
 			Iterations: end - done, AccEvery: sp.AccEvery,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("scenario: segment [%d, %d): %w", done, end, err)
+			return segments, fmt.Errorf("scenario: segment [%d, %d): %w", done, end, err)
 		}
-		mergeResult(merged, seg, done)
+		seg := Segment{Start: done, End: end, Result: res}
 		done = end
 		for next < len(faults) && faults[next].After == done {
-			applyFault(c, faults[next])
+			applyFault(c, sp, faults[next])
+			seg.FaultsApplied = append(seg.FaultsApplied, faults[next])
 			next++
 		}
+		segments = append(segments, seg)
+	}
+	return segments, nil
+}
+
+// runOn is RunOn for specs already validated by Materialize.
+func runOn(c *core.Cluster, sp Spec) (*core.Result, error) {
+	if len(sp.Faults) == 0 {
+		return runTopology(c, sp, core.RunOptions{
+			Iterations: sp.Iterations, AccEvery: sp.AccEvery,
+		})
+	}
+	segments, err := runSegmented(c, sp)
+	if err != nil {
+		return nil, err
+	}
+	merged := &core.Result{
+		Accuracy:         &metrics.Series{Name: sp.Topology},
+		AccuracyOverTime: &metrics.Series{Name: sp.Topology},
+		Breakdown:        &metrics.Breakdown{},
+	}
+	for _, seg := range segments {
+		mergeResult(merged, seg.Result, seg.Start)
 	}
 	return merged, nil
 }
@@ -105,8 +148,28 @@ func runTopology(c *core.Cluster, sp Spec, ro core.RunOptions) (*core.Result, er
 	return nil, fmt.Errorf("%w: unknown topology %q", ErrSpec, sp.Topology)
 }
 
-// applyFault injects one scheduled fault into the cluster's transport.
-func applyFault(c *core.Cluster, flt Fault) {
+// linkSeed derives a link program's seed from the spec seed and the target
+// node, domain-separated (FNV-64a over a tagged message) from the cluster,
+// attack and byz-server streams.
+func linkSeed(seed uint64, kind string, node int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], seed)
+	_, _ = h.Write(buf[:])
+	_, _ = h.Write([]byte(fmt.Sprintf("/link/%s/%d", kind, node)))
+	return h.Sum64()
+}
+
+// Default per-message probabilities when a link fault's Prob is zero:
+// corrupt-link mangles every message (the strongest test of the checksum
+// path), reorder-link swaps about half.
+const (
+	defaultCorruptProb = 1.0
+	defaultReorderProb = 0.5
+)
+
+// applyFault injects one scheduled fault into the cluster.
+func applyFault(c *core.Cluster, sp Spec, flt Fault) {
 	switch flt.Kind {
 	case FaultCrashServer:
 		c.CrashServer(flt.Node)
@@ -116,6 +179,37 @@ func applyFault(c *core.Cluster, flt Fault) {
 		c.DelayWorker(flt.Node, time.Duration(flt.DelayMS)*time.Millisecond)
 	case FaultSlowWorker:
 		c.SlowWorker(flt.Node, time.Duration(flt.DelayMS)*time.Millisecond)
+	case FaultPartition:
+		c.Partition(flt.GroupA, flt.GroupB)
+	case FaultHeal:
+		c.HealPartitions()
+	case FaultCorruptLink:
+		prob := flt.Prob
+		if prob == 0 {
+			prob = defaultCorruptProb
+		}
+		lf := transport.LinkFault{Corrupt: prob}
+		if flt.Target == "server" {
+			c.SetServerLinkFault(flt.Node, lf, linkSeed(sp.Seed, flt.Kind, flt.Node))
+		} else {
+			c.SetWorkerLinkFault(flt.Node, lf, linkSeed(sp.Seed, flt.Kind, flt.Node))
+		}
+	case FaultReorderLink:
+		prob := flt.Prob
+		if prob == 0 {
+			prob = defaultReorderProb
+		}
+		lf := transport.LinkFault{Reorder: prob}
+		if flt.Target == "server" {
+			c.SetServerLinkFault(flt.Node, lf, linkSeed(sp.Seed, flt.Kind, flt.Node))
+		} else {
+			c.SetWorkerLinkFault(flt.Node, lf, linkSeed(sp.Seed, flt.Kind, flt.Node))
+		}
+	case FaultByzServer:
+		// Validate pinned the node to the declared-Byzantine tail, so the
+		// wrapper exists and SetServerByzMode cannot fail on a validated
+		// spec.
+		_ = c.SetServerByzMode(flt.Node, flt.Mode)
 	}
 }
 

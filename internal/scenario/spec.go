@@ -35,6 +35,7 @@ import (
 	"strings"
 
 	"garfield/internal/attack"
+	"garfield/internal/core"
 	"garfield/internal/data"
 	"garfield/internal/gar"
 )
@@ -210,21 +211,56 @@ const (
 	// (a slow node: the delay applies per request, even over persistent
 	// connections — the steady straggler of the async experiments).
 	FaultSlowWorker = "slow-worker"
+
+	// FaultPartition splits the network between GroupA and GroupB (node
+	// names like "server-0", "worker-3"): dials across the cut are refused
+	// and established crossing connections severed, until a heal fault.
+	FaultPartition = "partition"
+	// FaultHeal removes every partition injected so far.
+	FaultHeal = "heal"
+	// FaultCorruptLink installs a seeded chaos program on the target
+	// node's links that flips one byte of each framed message with
+	// probability Prob (default 1). The RPC checksum layer detects and
+	// rejects the mangled payloads, so the node looks faulty, not subtly
+	// poisonous.
+	FaultCorruptLink = "corrupt-link"
+	// FaultReorderLink installs a seeded chaos program that holds back
+	// each framed message with probability Prob (default 0.5), delivering
+	// it after its successor — adjacent message swaps on the link.
+	FaultReorderLink = "reorder-link"
+	// FaultByzServer flips the ByzantineServer wrapper of a declared-
+	// Byzantine replica (index in [nps-fps, nps)) to Mode: a replica that
+	// served honestly turns adversarial mid-run. See core.ByzModes.
+	FaultByzServer = "byz-server"
 )
 
 // Fault is one entry of a network-fault schedule: after After iterations
 // have completed, the fault is injected through the cluster's
-// transport.Faulty layer and training resumes for the remaining iterations.
+// transport.Faulty layer (or, for byz-server, its ByzantineServer wrapper)
+// and training resumes for the remaining iterations.
 type Fault struct {
 	// After is the number of completed iterations before injection; it
 	// must lie in [1, Iterations-1].
 	After int `json:"after"`
-	// Kind is one of crash-server, crash-worker, delay-worker.
+	// Kind is one of the Fault* kind constants.
 	Kind string `json:"kind"`
-	// Node is the target node index (server replica or worker).
+	// Node is the target node index (server replica or worker); unused by
+	// partition and heal.
 	Node int `json:"node"`
-	// DelayMS is the injected per-pull delay for delay-worker.
+	// DelayMS is the injected per-pull delay for delay-worker/slow-worker.
 	DelayMS int `json:"delay_ms,omitempty"`
+	// Prob is the per-message probability of corrupt-link/reorder-link
+	// (0 selects the kind's default).
+	Prob float64 `json:"prob,omitempty"`
+	// Mode is the byz-server behaviour to flip to (core.ByzModes).
+	Mode string `json:"mode,omitempty"`
+	// Target says which side corrupt-link/reorder-link's Node indexes:
+	// "worker" (the default) or "server".
+	Target string `json:"target,omitempty"`
+	// GroupA and GroupB are the two sides of a partition, as node names
+	// ("server-<i>", "worker-<i>").
+	GroupA []string `json:"group_a,omitempty"`
+	GroupB []string `json:"group_b,omitempty"`
 }
 
 // Spec fully describes one scenario: a deployment topology, the learning
@@ -292,6 +328,15 @@ type Spec struct {
 	// AttackSelfPeers gives Byzantine workers that many self-estimated
 	// honest gradients per request (collusion attacks).
 	AttackSelfPeers int `json:"attack_self_peers,omitempty"`
+
+	// ServerByzMode selects the ByzantineServer wrapper behaviour of the
+	// declared-Byzantine replicas from iteration 0 (core.ByzModes:
+	// honest, random, reversed, stale, equivocate). Empty starts them
+	// honest; a byz-server fault can still flip them mid-run.
+	ServerByzMode string `json:"server_byz_mode,omitempty"`
+	// ServerByzScale is the noise scale of the random/equivocate modes
+	// (0 selects the core default).
+	ServerByzScale float64 `json:"server_byz_scale,omitempty"`
 
 	// Model, Dataset and BatchSize describe the learning task.
 	Model     ModelSpec   `json:"model"`
@@ -441,6 +486,16 @@ func (sp Spec) Validate() error {
 			return fmt.Errorf("%w: %v", ErrSpec, err)
 		}
 	}
+	if sp.ServerByzMode != "" {
+		if !core.ValidByzMode(sp.ServerByzMode) {
+			return fmt.Errorf("%w: unknown server_byz_mode %q (want one of %v)",
+				ErrSpec, sp.ServerByzMode, core.ByzModes())
+		}
+		if sp.ServerByzMode != core.ByzModeHonest && sp.FPS < 1 {
+			return fmt.Errorf("%w: server_byz_mode %q needs fps >= 1 declared Byzantine servers",
+				ErrSpec, sp.ServerByzMode)
+		}
+	}
 
 	if err := sp.validateTask(); err != nil {
 		return err
@@ -513,11 +568,93 @@ func (sp Spec) validateFaults(nps int) error {
 			if flt.Kind != FaultCrashWorker && flt.DelayMS <= 0 {
 				return fmt.Errorf("%w: fault %d: %s needs delay_ms > 0", ErrSpec, i, flt.Kind)
 			}
+		case FaultPartition:
+			if len(flt.GroupA) == 0 || len(flt.GroupB) == 0 {
+				return fmt.Errorf("%w: fault %d: partition needs non-empty group_a and group_b", ErrSpec, i)
+			}
+			seen := map[string]bool{}
+			for _, g := range [][]string{flt.GroupA, flt.GroupB} {
+				for _, name := range g {
+					if err := validNodeName(name, sp.NW, nps); err != nil {
+						return fmt.Errorf("%w: fault %d: %v", ErrSpec, i, err)
+					}
+					if seen[name] {
+						return fmt.Errorf("%w: fault %d: node %q appears on both sides of the partition", ErrSpec, i, name)
+					}
+					seen[name] = true
+				}
+			}
+		case FaultHeal:
+			// No fields; heal clears every partition.
+		case FaultCorruptLink, FaultReorderLink:
+			limit, side := sp.NW, "worker"
+			if flt.Target == "server" {
+				limit, side = nps, "server"
+			} else if flt.Target != "" && flt.Target != "worker" {
+				return fmt.Errorf("%w: fault %d: %s target %q (want worker or server)", ErrSpec, i, flt.Kind, flt.Target)
+			}
+			if flt.Node < 0 || flt.Node >= limit {
+				return fmt.Errorf("%w: fault %d: %s %d of %d", ErrSpec, i, side, flt.Node, limit)
+			}
+			if flt.Prob < 0 || flt.Prob > 1 {
+				return fmt.Errorf("%w: fault %d: %s prob %v not in [0, 1]", ErrSpec, i, flt.Kind, flt.Prob)
+			}
+		case FaultByzServer:
+			// The target must sit in the declared-Byzantine tail: only the
+			// last fps replicas are undriven adversary slots, so the
+			// schedule can flip at most fps servers Byzantine — the
+			// resilience budget the model GAR was validated against.
+			lo := nps - sp.FPS
+			if sp.FPS < 1 {
+				return fmt.Errorf("%w: fault %d: byz-server needs fps >= 1 declared Byzantine servers", ErrSpec, i)
+			}
+			if flt.Node < lo || flt.Node >= nps {
+				return fmt.Errorf("%w: fault %d: byz-server node %d outside the declared-Byzantine tail [%d, %d) (at most fps=%d Byzantine servers)",
+					ErrSpec, i, flt.Node, lo, nps, sp.FPS)
+			}
+			if flt.Mode != "" && !core.ValidByzMode(flt.Mode) {
+				return fmt.Errorf("%w: fault %d: unknown byz-server mode %q (want one of %v)",
+					ErrSpec, i, flt.Mode, core.ByzModes())
+			}
 		default:
 			return fmt.Errorf("%w: fault %d: unknown kind %q", ErrSpec, i, flt.Kind)
 		}
 	}
 	return nil
+}
+
+// validNodeName checks a partition-group entry: "worker-<i>" or
+// "server-<i>" with the index in range.
+func validNodeName(name string, nw, nps int) error {
+	var idx int
+	var limit int
+	switch {
+	case strings.HasPrefix(name, "worker-"):
+		idx, limit = parseIndex(name[len("worker-"):]), nw
+	case strings.HasPrefix(name, "server-"):
+		idx, limit = parseIndex(name[len("server-"):]), nps
+	default:
+		return fmt.Errorf("bad node name %q (want worker-<i> or server-<i>)", name)
+	}
+	if idx < 0 || idx >= limit {
+		return fmt.Errorf("node %q out of range (%d nodes on that side)", name, limit)
+	}
+	return nil
+}
+
+// parseIndex parses a non-negative decimal index, returning -1 on junk.
+func parseIndex(s string) int {
+	if s == "" {
+		return -1
+	}
+	n := 0
+	for _, r := range s {
+		if r < '0' || r > '9' || n > 1<<20 {
+			return -1
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n
 }
 
 // EncodeJSON writes the spec as indented JSON.

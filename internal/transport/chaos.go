@@ -1,0 +1,352 @@
+package transport
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"net"
+	"sync"
+	"time"
+)
+
+// This file is the adversarial-network half of the fault injector: seeded,
+// per-link fault programs that mangle the framed byte streams flowing over a
+// connection. Where Crash and SetDelay model fail-stop and slow nodes, a
+// LinkFault models a Byzantine network element — a router that drops,
+// duplicates, reorders or corrupts messages in flight. Programs are seeded,
+// so a chaos run replays the same fault decisions for the same seed and
+// frame sequence.
+//
+// All Garfield traffic is length-prefixed frames (the RPC layer's wire
+// format), so the programs operate frame-wise: a chaos conn reassembles the
+// 4-byte little-endian length prefix + body structure from the byte stream
+// and applies one seeded decision per frame. Operating on frames rather than
+// raw bytes keeps the faults meaningful — a dropped frame is a lost message
+// (the peer looks mute for that exchange), not a desynchronized stream that
+// merely looks like a connection reset, which Crash already models. Payload
+// corruption flips a byte inside the frame body while preserving the length
+// prefix; the RPC checksum path is responsible for detecting and rejecting
+// the mangled payload (proven by tests in internal/rpc).
+
+// LinkFault is a per-link fault program: independent per-frame probabilities
+// for each fault class. The zero value injects nothing.
+type LinkFault struct {
+	// Drop is the probability a frame is silently discarded.
+	Drop float64
+	// Duplicate is the probability a frame is delivered twice.
+	Duplicate float64
+	// Reorder is the probability a frame is held back and delivered after
+	// the frame that follows it (swapping adjacent messages). A held frame
+	// with no successor by the time the connection closes is lost.
+	Reorder float64
+	// Corrupt is the probability one byte of the frame body is flipped
+	// (XORed with a non-zero mask). The length prefix is preserved, so the
+	// corruption reaches the decoder as a well-framed, mangled payload.
+	Corrupt float64
+}
+
+// enabled reports whether the program injects any fault at all.
+func (lf LinkFault) enabled() bool {
+	return lf.Drop > 0 || lf.Duplicate > 0 || lf.Reorder > 0 || lf.Corrupt > 0
+}
+
+// LinkStats counts the fault decisions a link's program has taken, summed
+// over both directions and all connections to the link's address.
+type LinkStats struct {
+	Frames     uint64 // frames that traversed the link
+	Dropped    uint64
+	Duplicated uint64
+	Reordered  uint64
+	Corrupted  uint64
+}
+
+// linkProgram is the shared per-address program state: the fault spec, the
+// seed new connection streams derive from, and the accumulated stats.
+type linkProgram struct {
+	lf   LinkFault
+	seed uint64
+
+	mu    sync.Mutex
+	dials uint64 // distinct chaos conns opened under this program
+	stats LinkStats
+}
+
+// streamSeed derives an independent seed for one direction of one
+// connection: FNV-64a over the program seed, a connection counter and a
+// direction tag, so replaying a run with deterministic per-link connection
+// order replays the same fault decisions.
+func (p *linkProgram) streamSeed(conn uint64, dir string) uint64 {
+	h := fnv.New64a()
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], p.seed)
+	binary.LittleEndian.PutUint64(b[8:], conn)
+	_, _ = h.Write(b[:])
+	_, _ = h.Write([]byte(dir))
+	return h.Sum64()
+}
+
+func (p *linkProgram) add(delta LinkStats) {
+	p.mu.Lock()
+	p.stats.Frames += delta.Frames
+	p.stats.Dropped += delta.Dropped
+	p.stats.Duplicated += delta.Duplicated
+	p.stats.Reordered += delta.Reordered
+	p.stats.Corrupted += delta.Corrupted
+	p.mu.Unlock()
+}
+
+// splitmix64 is the same tiny deterministic generator tensor.RNG uses,
+// reimplemented locally so transport stays dependency-free.
+type splitmix64 struct{ state uint64 }
+
+func (r *splitmix64) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *splitmix64) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// frameMangler applies one direction's fault program to a framed byte
+// stream: feed bytes in, take mangled bytes out. It reassembles frames
+// incrementally, so writes and reads may split frames arbitrarily.
+type frameMangler struct {
+	prog *linkProgram
+	rng  splitmix64
+
+	partial []byte // accumulating bytes of the frame being reassembled
+	need    int    // total frame size once the header is known (0: header pending)
+	held    []byte // a reorder-held frame awaiting its successor
+}
+
+func newFrameMangler(prog *linkProgram, seed uint64) *frameMangler {
+	return &frameMangler{prog: prog, rng: splitmix64{state: seed}}
+}
+
+// push feeds raw stream bytes through the program and returns the bytes to
+// deliver. The returned slice is freshly allocated per call (chaos links are
+// a test facility; fidelity beats allocation count here).
+func (m *frameMangler) push(b []byte) []byte {
+	var out []byte
+	var delta LinkStats
+	for len(b) > 0 {
+		if m.need == 0 {
+			// Accumulate the 4-byte length prefix.
+			take := 4 - len(m.partial)
+			if take > len(b) {
+				take = len(b)
+			}
+			m.partial = append(m.partial, b[:take]...)
+			b = b[take:]
+			if len(m.partial) < 4 {
+				continue
+			}
+			m.need = 4 + int(binary.LittleEndian.Uint32(m.partial))
+		}
+		take := m.need - len(m.partial)
+		if take > len(b) {
+			take = len(b)
+		}
+		m.partial = append(m.partial, b[:take]...)
+		b = b[take:]
+		if len(m.partial) < m.need {
+			continue
+		}
+		out = m.emit(out, m.partial, &delta)
+		m.partial, m.need = nil, 0
+	}
+	m.prog.add(delta)
+	return out
+}
+
+// emit applies one frame's fault decisions and appends the surviving bytes
+// to out. Decision order is fixed (drop, duplicate, reorder, corrupt) so a
+// seed fully determines the outcome sequence.
+func (m *frameMangler) emit(out, frame []byte, delta *LinkStats) []byte {
+	lf := m.prog.lf
+	delta.Frames++
+	if lf.Drop > 0 && m.rng.float64() < lf.Drop {
+		delta.Dropped++
+		return m.flush(out)
+	}
+	copies := 1
+	if lf.Duplicate > 0 && m.rng.float64() < lf.Duplicate {
+		delta.Duplicated++
+		copies = 2
+	}
+	hold := lf.Reorder > 0 && m.rng.float64() < lf.Reorder
+	if lf.Corrupt > 0 && m.rng.float64() < lf.Corrupt && len(frame) > 4 {
+		delta.Corrupted++
+		frame = append([]byte(nil), frame...)
+		i := 4 + int(m.rng.next()%uint64(len(frame)-4))
+		mask := byte(m.rng.next())
+		if mask == 0 {
+			mask = 0xff
+		}
+		frame[i] ^= mask
+	}
+	if hold && m.held == nil {
+		// Hold this frame; it rides out behind the next one.
+		delta.Reordered++
+		held := make([]byte, 0, len(frame)*copies)
+		for c := 0; c < copies; c++ {
+			held = append(held, frame...)
+		}
+		m.held = held
+		return out
+	}
+	for c := 0; c < copies; c++ {
+		out = append(out, frame...)
+	}
+	return m.flush(out)
+}
+
+// flush releases a reorder-held frame behind the frame just emitted.
+func (m *frameMangler) flush(out []byte) []byte {
+	if m.held != nil {
+		out = append(out, m.held...)
+		m.held = nil
+	}
+	return out
+}
+
+// chaosConn wraps a dialed connection with the link's fault program, one
+// mangler per direction: writes traverse the dialer-to-peer direction, reads
+// the peer-to-dialer direction. Both directions consume independent seeded
+// streams, so request and response faults do not correlate.
+//
+// Outbound bytes are flushed by a background goroutine through an ordered
+// queue rather than written inline. The decoupling models the buffering any
+// real network path has — and is required for correctness over the
+// in-memory transport: net.Pipe is a synchronous rendezvous, so a
+// duplicated frame inline-written while the peer is itself blocked writing
+// (a strict request/response server that has stopped reading) would
+// deadlock both ends, where a real kernel socket buffer simply absorbs the
+// amplification.
+type chaosConn struct {
+	net.Conn
+
+	wmu   sync.Mutex
+	wm    *frameMangler
+	rmu   sync.Mutex
+	rm    *frameMangler
+	rdBuf []byte // mangled bytes awaiting delivery to the reader
+
+	fmu     sync.Mutex
+	fcond   *sync.Cond
+	fqueue  [][]byte // mangled writes awaiting flush, in order
+	fclosed bool
+	ferr    error
+}
+
+func newChaosConn(inner net.Conn, prog *linkProgram) *chaosConn {
+	prog.mu.Lock()
+	conn := prog.dials
+	prog.dials++
+	prog.mu.Unlock()
+	c := &chaosConn{
+		Conn: inner,
+		wm:   newFrameMangler(prog, prog.streamSeed(conn, "w")),
+		rm:   newFrameMangler(prog, prog.streamSeed(conn, "r")),
+	}
+	c.fcond = sync.NewCond(&c.fmu)
+	go c.flush()
+	return c
+}
+
+// flush drains the outbound queue into the underlying connection, in order.
+// A write error parks the connection (surfaced on the next Write); Close
+// unblocks an in-flight underlying write and ends the goroutine.
+func (c *chaosConn) flush() {
+	for {
+		c.fmu.Lock()
+		for len(c.fqueue) == 0 && !c.fclosed && c.ferr == nil {
+			c.fcond.Wait()
+		}
+		if c.ferr != nil || (c.fclosed && len(c.fqueue) == 0) {
+			c.fmu.Unlock()
+			return
+		}
+		out := c.fqueue[0]
+		c.fqueue = c.fqueue[1:]
+		c.fmu.Unlock()
+		if _, err := c.Conn.Write(out); err != nil {
+			c.fmu.Lock()
+			c.ferr = err
+			c.fmu.Unlock()
+			return
+		}
+	}
+}
+
+// Write implements net.Conn: the program decides the fate of every complete
+// frame in b; surviving bytes are queued for the flusher. A fully-dropped
+// write still reports success — the sender of a lost message observes
+// nothing.
+func (c *chaosConn) Write(b []byte) (int, error) {
+	c.wmu.Lock()
+	out := c.wm.push(b)
+	c.wmu.Unlock()
+	c.fmu.Lock()
+	defer c.fmu.Unlock()
+	if c.ferr != nil {
+		return 0, c.ferr
+	}
+	if c.fclosed {
+		return 0, net.ErrClosed
+	}
+	if len(out) > 0 {
+		c.fqueue = append(c.fqueue, out)
+		c.fcond.Signal()
+	}
+	return len(b), nil
+}
+
+// Close implements net.Conn, stopping the flusher (any queued-but-unflushed
+// bytes are lost with the connection, as on a real teardown).
+func (c *chaosConn) Close() error {
+	c.fmu.Lock()
+	c.fclosed = true
+	c.fcond.Broadcast()
+	c.fmu.Unlock()
+	return c.Conn.Close()
+}
+
+// SetDeadline applies to reads only: once Write has queued bytes, they are
+// "in the network" — a caller-side deadline (the pooled client poisons the
+// deadline to unblock a cancelled call's I/O) must not abort the flusher's
+// delivery, exactly as cancelling a call does not recall bytes a kernel
+// socket buffer already accepted. Close remains the way to stop delivery.
+func (c *chaosConn) SetDeadline(t time.Time) error {
+	return c.Conn.SetReadDeadline(t)
+}
+
+// SetWriteDeadline is a no-op; see SetDeadline.
+func (c *chaosConn) SetWriteDeadline(time.Time) error { return nil }
+
+// Read implements net.Conn, delivering the mangled inbound stream. A read
+// that yields only dropped frames loops back to the underlying connection
+// rather than returning zero bytes.
+func (c *chaosConn) Read(p []byte) (int, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	for len(c.rdBuf) == 0 {
+		buf := make([]byte, 32*1024)
+		n, err := c.Conn.Read(buf)
+		if n > 0 {
+			c.rdBuf = append(c.rdBuf, c.rm.push(buf[:n])...)
+		}
+		if err != nil {
+			if len(c.rdBuf) > 0 {
+				break
+			}
+			return 0, err
+		}
+	}
+	n := copy(p, c.rdBuf)
+	c.rdBuf = c.rdBuf[n:]
+	return n, nil
+}

@@ -1,0 +1,454 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// frame encodes a length-prefixed message the way the RPC layer does.
+func frame(body []byte) []byte {
+	out := make([]byte, 4+len(body))
+	binary.LittleEndian.PutUint32(out, uint32(len(body)))
+	copy(out[4:], body)
+	return out
+}
+
+// echoServer accepts connections at addr and echoes every byte.
+func echoServer(t *testing.T, n Network, addr string) {
+	t.Helper()
+	l, err := n.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				_, _ = io.Copy(c, c)
+			}()
+		}
+	}()
+}
+
+// readFrames reads k frames off conn, returning their bodies.
+func readFrames(t *testing.T, conn net.Conn, k int) [][]byte {
+	t.Helper()
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	out := make([][]byte, 0, k)
+	for i := 0; i < k; i++ {
+		var hdr [4]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			t.Fatalf("frame %d header: %v", i, err)
+		}
+		body := make([]byte, binary.LittleEndian.Uint32(hdr[:]))
+		if _, err := io.ReadFull(conn, body); err != nil {
+			t.Fatalf("frame %d body: %v", i, err)
+		}
+		out = append(out, body)
+	}
+	return out
+}
+
+func TestLinkFaultCorruptFlipsOneBodyByte(t *testing.T) {
+	f := NewFaulty(NewMem())
+	echoServer(t, f, "a")
+	f.SetLinkFault("a", LinkFault{Corrupt: 1}, 7)
+
+	conn, err := f.Dial(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	body := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if _, err := conn.Write(frame(body)); err != nil {
+		t.Fatal(err)
+	}
+	// The echo reflects the (write-corrupted) frame; the read direction
+	// corrupts again. Either way the framing must survive and at least one
+	// body byte must differ while the length is preserved.
+	got := readFrames(t, conn, 1)[0]
+	if len(got) != len(body) {
+		t.Fatalf("body length %d, want %d (length prefix must survive corruption)", len(got), len(body))
+	}
+	diff := 0
+	for i := range body {
+		if got[i] != body[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("corrupt program with probability 1 left the body intact")
+	}
+	stats := f.LinkStats("a")
+	if stats.Corrupted == 0 || stats.Frames == 0 {
+		t.Fatalf("stats = %+v, want corrupted frames recorded", stats)
+	}
+}
+
+func TestLinkFaultDropLosesMessages(t *testing.T) {
+	f := NewFaulty(NewMem())
+	echoServer(t, f, "a")
+	f.SetLinkFault("a", LinkFault{Drop: 1}, 3)
+
+	conn, err := f.Dial(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(frame([]byte{9, 9})); err != nil {
+		t.Fatal(err) // the sender of a dropped message observes success
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err == nil {
+		t.Fatal("read returned data for a fully-dropped link")
+	}
+	if stats := f.LinkStats("a"); stats.Dropped == 0 {
+		t.Fatalf("stats = %+v, want drops recorded", stats)
+	}
+}
+
+func TestLinkFaultDuplicateDeliversTwice(t *testing.T) {
+	f := NewFaulty(NewMem())
+	echoServer(t, f, "a")
+	// Duplicate only on the write path's first frame: probability 1 means
+	// every frame duplicates; the echo then duplicates again on read, so
+	// one sent frame comes back fourfold.
+	f.SetLinkFault("a", LinkFault{Duplicate: 1}, 5)
+
+	conn, err := f.Dial(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	body := []byte{42}
+	if _, err := conn.Write(frame(body)); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range readFrames(t, conn, 4) {
+		if len(got) != 1 || got[0] != 42 {
+			t.Fatalf("copy %d = %v, want [42]", i, got)
+		}
+	}
+	if stats := f.LinkStats("a"); stats.Duplicated == 0 {
+		t.Fatalf("stats = %+v, want duplicates recorded", stats)
+	}
+}
+
+func TestLinkFaultReorderSwapsAdjacentFrames(t *testing.T) {
+	f := NewFaulty(NewMem())
+	echoServer(t, f, "a")
+	// Reorder applies per frame with probability 1: frame 0 is held, frame
+	// 1 is emitted then held... With two frames written in one direction,
+	// the wire sees 1 then 0. Read direction: disable by clearing after
+	// writing? The read mangler would also reorder the echoed pair back.
+	// Double reorder restores order, so assert on the server side instead:
+	// dial a raw listener that records arrival order.
+	l, err := f.Listen("rec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	got := make(chan [][]byte, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		var bodies [][]byte
+		for i := 0; i < 2; i++ {
+			var hdr [4]byte
+			if _, err := io.ReadFull(c, hdr[:]); err != nil {
+				return
+			}
+			body := make([]byte, binary.LittleEndian.Uint32(hdr[:]))
+			if _, err := io.ReadFull(c, body); err != nil {
+				return
+			}
+			bodies = append(bodies, body)
+		}
+		got <- bodies
+	}()
+	f.SetLinkFault("rec", LinkFault{Reorder: 1}, 11)
+	conn, err := f.Dial(context.Background(), "rec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(frame([]byte{1})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(frame([]byte{2})); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case bodies := <-got:
+		if bodies[0][0] != 2 || bodies[1][0] != 1 {
+			t.Fatalf("arrival order = %v,%v; want 2,1 (adjacent swap)", bodies[0], bodies[1])
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("receiver did not observe both frames")
+	}
+	if stats := f.LinkStats("rec"); stats.Reordered == 0 {
+		t.Fatalf("stats = %+v, want reorders recorded", stats)
+	}
+}
+
+func TestLinkFaultSeededDeterminism(t *testing.T) {
+	run := func(seed uint64) []byte {
+		f := NewFaulty(NewMem())
+		echoServer(t, f, "a")
+		f.SetLinkFault("a", LinkFault{Corrupt: 0.5, Drop: 0}, seed)
+		conn, err := f.Dial(context.Background(), "a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		var out []byte
+		for i := 0; i < 8; i++ {
+			if _, err := conn.Write(frame([]byte{byte(i), byte(i), byte(i), byte(i)})); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, readFrames(t, conn, 1)[0]...)
+		}
+		return out
+	}
+	a, b := run(99), run(99)
+	if string(a) != string(b) {
+		t.Fatalf("same seed produced different fault decisions:\n%v\n%v", a, b)
+	}
+	c := run(100)
+	if string(a) == string(c) {
+		t.Fatal("different seeds produced identical 8-frame corruption patterns (suspicious)")
+	}
+}
+
+func TestLinkFaultSplitWritesReassembleFrames(t *testing.T) {
+	// Frames split across many tiny writes must still be reassembled and
+	// mangled frame-wise, not byte-wise.
+	f := NewFaulty(NewMem())
+	echoServer(t, f, "a")
+	f.SetLinkFault("a", LinkFault{Corrupt: 1}, 17)
+	conn, err := f.Dial(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := frame([]byte{5, 6, 7, 8, 9})
+	for _, b := range msg {
+		if _, err := conn.Write([]byte{b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := readFrames(t, conn, 1)[0]
+	if len(got) != 5 {
+		t.Fatalf("reassembled body length %d, want 5", len(got))
+	}
+}
+
+func TestPartitionBlocksCrossGroupDialsAndSevers(t *testing.T) {
+	f := NewFaulty(NewMem())
+	echoServer(t, f, "server-1")
+	a := f.Bind("server-0")
+
+	conn, err := a.Dial(context.Background(), "server-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Partition([]string{"server-0"}, []string{"server-1"})
+
+	// The established cross-cut connection is severed.
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read on a partitioned connection succeeded")
+	}
+	// New cross-cut dials are refused, in both directions.
+	if _, err := a.Dial(context.Background(), "server-1"); !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("cross-cut dial err = %v, want ErrConnRefused", err)
+	}
+	echoServer(t, f, "server-0")
+	if _, err := f.Bind("server-1").Dial(context.Background(), "server-0"); !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("reverse cross-cut dial err = %v, want ErrConnRefused", err)
+	}
+	// Unbound dials carry no source and are never partitioned.
+	c2, err := f.Dial(context.Background(), "server-1")
+	if err != nil {
+		t.Fatalf("unbound dial: %v", err)
+	}
+	c2.Close()
+
+	f.Heal()
+	c3, err := a.Dial(context.Background(), "server-1")
+	if err != nil {
+		t.Fatalf("post-heal dial: %v", err)
+	}
+	c3.Close()
+}
+
+func TestPartitionLeavesSameSideTrafficAlone(t *testing.T) {
+	f := NewFaulty(NewMem())
+	echoServer(t, f, "server-1")
+	echoServer(t, f, "worker-0")
+	s0 := f.Bind("server-0")
+
+	f.Partition([]string{"server-0", "server-1"}, []string{"worker-0"})
+	// server-0 -> server-1 stays within group A.
+	conn, err := s0.Dial(context.Background(), "server-1")
+	if err != nil {
+		t.Fatalf("same-side dial: %v", err)
+	}
+	conn.Close()
+	if _, err := s0.Dial(context.Background(), "worker-0"); !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("cross-cut dial err = %v, want ErrConnRefused", err)
+	}
+}
+
+// TestRecoverAfterCrashRefusesMidDialConn locks the mid-dial bookkeeping:
+// a connection whose inner dial straddles a Crash/Recover cycle belongs to
+// the pre-crash world and must be refused, not registered as live.
+func TestRecoverAfterCrashRefusesMidDialConn(t *testing.T) {
+	slow := &slowDialNet{Network: NewMem(), entered: make(chan struct{}), gate: make(chan struct{})}
+	f := NewFaulty(slow)
+	echoServer(t, slow.Network, "a")
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.Dial(context.Background(), "a")
+		done <- err
+	}()
+	<-slow.entered // the dial is in flight
+	f.Crash("a")
+	f.Recover("a")
+	close(slow.gate) // let the inner dial complete
+	if err := <-done; !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("mid-dial crash/recover: err = %v, want ErrConnRefused", err)
+	}
+}
+
+// slowDialNet gates inner dials so tests can interleave faults mid-dial.
+type slowDialNet struct {
+	Network
+	once    sync.Once
+	entered chan struct{}
+	gate    chan struct{}
+}
+
+func (s *slowDialNet) Dial(ctx context.Context, addr string) (net.Conn, error) {
+	s.once.Do(func() { close(s.entered) })
+	<-s.gate
+	return s.Network.Dial(ctx, addr)
+}
+
+// TestSeverThenOwnerCloseSingleUnderlyingClose locks the double-close fix: a
+// sever and the owner's Close race to close the same underlying conn; it
+// must be closed exactly once.
+func TestSeverThenOwnerCloseSingleUnderlyingClose(t *testing.T) {
+	cc := &closeCounting{Network: NewMem()}
+	f := NewFaulty(cc)
+	echoServer(t, cc.Network, "a")
+
+	conn, err := f.Dial(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Crash("a") // severs: first underlying close
+	_ = conn.Close()
+	_ = conn.Close() // owner closes (twice, even)
+	if got := cc.closes.Load(); got != 1 {
+		t.Fatalf("underlying conn closed %d times, want exactly 1", got)
+	}
+}
+
+type closeCounting struct {
+	Network
+	closes atomic64
+}
+
+type atomic64 struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (a *atomic64) Add(d int64) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
+func (a *atomic64) Load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.n }
+
+func (c *closeCounting) Dial(ctx context.Context, addr string) (net.Conn, error) {
+	conn, err := c.Network.Dial(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &closeCountingConn{Conn: conn, n: &c.closes}, nil
+}
+
+type closeCountingConn struct {
+	net.Conn
+	n *atomic64
+}
+
+func (c *closeCountingConn) Close() error {
+	c.n.Add(1)
+	return c.Conn.Close()
+}
+
+// TestConcurrentCrashRecoverDialStress hammers Crash/Recover/Dial/Close from
+// many goroutines; run under -race it locks the Faulty bookkeeping. The
+// invariant checked at the end: after a final Crash, no connection remains
+// registered (nothing leaked past the sever).
+func TestConcurrentCrashRecoverDialStress(t *testing.T) {
+	f := NewFaulty(NewMem())
+	echoServer(t, f, "a")
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+				conn, err := f.Dial(ctx, "a")
+				cancel()
+				if err == nil {
+					_, _ = conn.Write(frame([]byte{1}))
+					_ = conn.Close()
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			f.Crash("a")
+			f.Recover("a")
+		}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	f.Crash("a")
+	f.mu.Lock()
+	remaining := len(f.conns["a"])
+	f.mu.Unlock()
+	if remaining != 0 {
+		t.Fatalf("%d connections leaked past the final crash's sever", remaining)
+	}
+}

@@ -4,8 +4,10 @@
 //
 //   - TCP on the local machine (the deployment path used by cmd/garfield-node),
 //   - a fully in-memory network (used by tests and in-process clusters), and
-//   - a fault-injecting wrapper that adds per-node crashes and link delays,
-//     so protocol code never special-cases failures.
+//   - a fault-injecting wrapper that adds per-node crashes, link delays,
+//     network partitions and seeded per-link chaos programs (message drop,
+//     duplication, reordering, byte corruption — see chaos.go), so protocol
+//     code never special-cases failures.
 package transport
 
 import (
@@ -149,19 +151,50 @@ type memAddr string
 func (a memAddr) Network() string { return "mem" }
 func (a memAddr) String() string  { return string(a) }
 
-// Faulty wraps a Network with crash and delay injection keyed by address.
-// Crashing an address makes dials to it fail and severs its established
-// connections (the node looks dead to old and new RPC attempts alike — the
-// fidelity persistent-connection clients need); a dial delay models a slow
-// link or straggler node, and setting one also severs established
-// connections so pooled callers re-dial through the delay.
+// Faulty wraps a Network with fault injection keyed by address. Crashing an
+// address makes dials to it fail and severs its established connections (the
+// node looks dead to old and new RPC attempts alike — the fidelity
+// persistent-connection clients need); a dial delay models a slow link or
+// straggler node; a LinkFault program mangles the framed traffic of every
+// connection to an address (see chaos.go); and Partition blocks traffic
+// between two node groups until Heal. Every fault that changes how a link
+// behaves also severs its established connections, so pooled callers
+// re-dial through the new behaviour.
 type Faulty struct {
 	inner Network
 
 	mu      sync.Mutex
 	crashed map[string]bool
 	delays  map[string]time.Duration
-	conns   map[string]map[*faultyConn]struct{} // live dials per remote addr
+	links   map[string]*linkProgram
+	cuts    []cut
+	// epochs counts sever events per address. A dial records the target's
+	// epoch before handing off to the inner network; if the epoch moved
+	// while the dial was in flight the connection predates a Crash,
+	// SetDelay, SetLinkFault or Partition and is refused instead of
+	// registered — otherwise a conn dialed before the fault would slip
+	// past the sever and survive it.
+	epochs map[string]uint64
+	conns  map[string]map[*faultyConn]struct{} // live dials per remote addr
+}
+
+// cut is one partition: traffic between the two groups is blocked.
+type cut struct {
+	a, b map[string]struct{}
+}
+
+// crosses reports whether a (src, dst) link spans the cut. An empty src (a
+// dial through the unbound Faulty rather than a Bind view) belongs to no
+// group and is never partitioned.
+func (c cut) crosses(src, dst string) bool {
+	if src == "" {
+		return false
+	}
+	_, srcA := c.a[src]
+	_, srcB := c.b[src]
+	_, dstA := c.a[dst]
+	_, dstB := c.b[dst]
+	return (srcA && dstB) || (srcB && dstA)
 }
 
 var _ Network = (*Faulty)(nil)
@@ -172,6 +205,8 @@ func NewFaulty(inner Network) *Faulty {
 		inner:   inner,
 		crashed: make(map[string]bool),
 		delays:  make(map[string]time.Duration),
+		links:   make(map[string]*linkProgram),
+		epochs:  make(map[string]uint64),
 		conns:   make(map[string]map[*faultyConn]struct{}),
 	}
 }
@@ -180,13 +215,25 @@ func NewFaulty(inner Network) *Faulty {
 type faultyConn struct {
 	net.Conn
 	f    *Faulty
+	src  string // the Bind address the dial originated from ("" if unbound)
 	addr string
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
-// Close implements net.Conn, deregistering the connection.
+// Close implements net.Conn, deregistering the connection. Both the owner
+// and an injected sever may race to close; the underlying Close runs once.
 func (c *faultyConn) Close() error {
 	c.f.forget(c)
-	return c.Conn.Close()
+	c.closeOnce.Do(func() { c.closeErr = c.Conn.Close() })
+	return c.closeErr
+}
+
+// severClose closes the underlying connection without deregistering (the
+// caller already removed it from the conn table).
+func (c *faultyConn) severClose() {
+	c.closeOnce.Do(func() { c.closeErr = c.Conn.Close() })
 }
 
 func (f *Faulty) forget(c *faultyConn) {
@@ -194,17 +241,22 @@ func (f *Faulty) forget(c *faultyConn) {
 	defer f.mu.Unlock()
 	if set, ok := f.conns[c.addr]; ok {
 		delete(set, c)
+		if len(set) == 0 {
+			delete(f.conns, c.addr)
+		}
 	}
 }
 
-// sever closes every established connection to addr.
+// sever closes every established connection to addr and bumps the address
+// epoch so in-flight dials from before the sever are refused on completion.
 func (f *Faulty) sever(addr string) {
 	f.mu.Lock()
+	f.epochs[addr]++
 	set := f.conns[addr]
 	delete(f.conns, addr)
 	f.mu.Unlock()
 	for c := range set {
-		_ = c.Conn.Close()
+		c.severClose()
 	}
 }
 
@@ -235,6 +287,132 @@ func (f *Faulty) SetDelay(addr string, d time.Duration) {
 	f.sever(addr)
 }
 
+// SetLinkFault installs a seeded fault program on every connection to addr:
+// each framed message crossing the link is independently dropped, duplicated,
+// reordered or corrupted with the program's probabilities (see LinkFault).
+// Established connections are severed so pooled callers re-dial through the
+// program. A zero-valued LinkFault clears the program (as does
+// ClearLinkFault).
+func (f *Faulty) SetLinkFault(addr string, lf LinkFault, seed uint64) {
+	f.mu.Lock()
+	if lf.enabled() {
+		f.links[addr] = &linkProgram{lf: lf, seed: seed}
+	} else {
+		delete(f.links, addr)
+	}
+	f.mu.Unlock()
+	f.sever(addr)
+}
+
+// ClearLinkFault removes addr's fault program and severs its connections so
+// subsequent traffic flows clean.
+func (f *Faulty) ClearLinkFault(addr string) {
+	f.SetLinkFault(addr, LinkFault{}, 0)
+}
+
+// LinkStats returns the accumulated fault decisions of addr's current
+// program (zero stats when none is installed).
+func (f *Faulty) LinkStats(addr string) LinkStats {
+	f.mu.Lock()
+	prog := f.links[addr]
+	f.mu.Unlock()
+	if prog == nil {
+		return LinkStats{}
+	}
+	prog.mu.Lock()
+	defer prog.mu.Unlock()
+	return prog.stats
+}
+
+// Partition blocks traffic between groupA and groupB (addresses on one side
+// cannot dial the other, in either direction) and severs every established
+// connection crossing the cut. Partitions accumulate; Heal removes them all.
+// Source addresses are only known for dials through Bind views — dials
+// through the Faulty itself carry no source and are never partitioned.
+func (f *Faulty) Partition(groupA, groupB []string) {
+	c := cut{a: make(map[string]struct{}, len(groupA)), b: make(map[string]struct{}, len(groupB))}
+	for _, addr := range groupA {
+		c.a[addr] = struct{}{}
+	}
+	for _, addr := range groupB {
+		c.b[addr] = struct{}{}
+	}
+	f.mu.Lock()
+	f.cuts = append(f.cuts, c)
+	// Bump epochs on both sides so in-flight dials crossing the new cut
+	// are refused when they complete.
+	for _, addr := range groupA {
+		f.epochs[addr]++
+	}
+	for _, addr := range groupB {
+		f.epochs[addr]++
+	}
+	var crossing []*faultyConn
+	for _, set := range f.conns {
+		for fc := range set {
+			if c.crosses(fc.src, fc.addr) {
+				crossing = append(crossing, fc)
+			}
+		}
+	}
+	for _, fc := range crossing {
+		if set, ok := f.conns[fc.addr]; ok {
+			delete(set, fc)
+			if len(set) == 0 {
+				delete(f.conns, fc.addr)
+			}
+		}
+	}
+	f.mu.Unlock()
+	for _, fc := range crossing {
+		fc.severClose()
+	}
+}
+
+// Heal removes every partition. Link programs, delays and crashes are
+// unaffected — healing restores reachability, not link quality.
+func (f *Faulty) Heal() {
+	f.mu.Lock()
+	f.cuts = nil
+	f.mu.Unlock()
+}
+
+// partitioned reports whether the (src, dst) link crosses any active cut.
+// Callers hold f.mu.
+func (f *Faulty) partitioned(src, dst string) bool {
+	for _, c := range f.cuts {
+		if c.crosses(src, dst) {
+			return true
+		}
+	}
+	return false
+}
+
+// Bind returns a view of the network bound to a local address: dials through
+// the view carry local as their source, which is what partition cuts match
+// against. Listen passes through unchanged.
+func (f *Faulty) Bind(local string) Network {
+	return &boundNetwork{f: f, local: local}
+}
+
+// boundNetwork is a source-addressed view of a Faulty network.
+type boundNetwork struct {
+	f     *Faulty
+	local string
+}
+
+var _ Network = (*boundNetwork)(nil)
+
+// Listen implements Network.
+func (b *boundNetwork) Listen(addr string) (net.Listener, error) {
+	return b.f.Listen(addr)
+}
+
+// Dial implements Network.
+func (b *boundNetwork) Dial(ctx context.Context, addr string) (net.Conn, error) {
+	return b.f.dialFrom(ctx, b.local, addr)
+}
+
 // Listen implements Network.
 func (f *Faulty) Listen(addr string) (net.Listener, error) {
 	return f.inner.Listen(addr)
@@ -242,12 +420,23 @@ func (f *Faulty) Listen(addr string) (net.Listener, error) {
 
 // Dial implements Network.
 func (f *Faulty) Dial(ctx context.Context, addr string) (net.Conn, error) {
+	return f.dialFrom(ctx, "", addr)
+}
+
+// dialFrom is Dial with a known source address (empty for unbound dials).
+func (f *Faulty) dialFrom(ctx context.Context, src, addr string) (net.Conn, error) {
 	f.mu.Lock()
 	crashed := f.crashed[addr]
+	cutOff := f.partitioned(src, addr)
 	delay := f.delays[addr]
+	prog := f.links[addr]
+	epoch := f.epochs[addr]
 	f.mu.Unlock()
 	if crashed {
 		return nil, fmt.Errorf("%w: %q (crashed)", ErrConnRefused, addr)
+	}
+	if cutOff {
+		return nil, fmt.Errorf("%w: %q (partitioned from %q)", ErrConnRefused, addr, src)
 	}
 	if delay > 0 {
 		t := time.NewTimer(delay)
@@ -262,13 +451,20 @@ func (f *Faulty) Dial(ctx context.Context, addr string) (net.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	fc := &faultyConn{Conn: conn, f: f, addr: addr}
+	inner := conn
+	if prog != nil {
+		inner = newChaosConn(conn, prog)
+	}
+	fc := &faultyConn{Conn: inner, f: f, src: src, addr: addr}
 	f.mu.Lock()
-	if f.crashed[addr] {
-		// Crashed while the dial was in flight.
+	if f.crashed[addr] || f.partitioned(src, addr) || f.epochs[addr] != epoch {
+		// The node crashed, a cut appeared, or a sever event (crash/
+		// recover cycle, delay or link-fault change) happened while the
+		// dial was in flight: this connection belongs to the pre-fault
+		// world and must not survive into the post-fault one.
 		f.mu.Unlock()
 		_ = conn.Close()
-		return nil, fmt.Errorf("%w: %q (crashed)", ErrConnRefused, addr)
+		return nil, fmt.Errorf("%w: %q (faulted mid-dial)", ErrConnRefused, addr)
 	}
 	if f.conns[addr] == nil {
 		f.conns[addr] = make(map[*faultyConn]struct{})
