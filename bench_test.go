@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"garfield"
+	"garfield/internal/compress"
 	"garfield/internal/experiments"
 	"garfield/internal/gar"
 	"garfield/internal/rpc"
@@ -238,6 +239,75 @@ func BenchmarkVectorCodec(b *testing.B) {
 			b.Fatal(err)
 		}
 		if err := w.UnmarshalBinary(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Gradient-compression codec benchmarks (internal/compress) ---
+
+// benchCodec measures one compress+decode round trip of a 1M-coordinate
+// gradient — the serve-side cost a worker pays per pull reply plus the
+// client-side decompression, the pair that must stay cheap relative to the
+// network bytes it saves. The compressor and decode receiver are reused
+// across iterations (the steady-state shape of the pull loop).
+func benchCodec(b *testing.B, enc compress.Encoding, k int) {
+	b.Helper()
+	const d = 1_000_000
+	rng := tensor.NewRNG(5)
+	v := rng.NormalVector(d, 0, 1)
+	comp, err := compress.NewCompressor(enc, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 0, comp.MaxEncodedSize(d))
+	var out tensor.Vector
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload := comp.Compress(buf[:0], v)
+		if err := compress.Decode(&out, enc, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(compress.FP64EncodedSize(d)))
+}
+
+func BenchmarkCompressFP64(b *testing.B) { benchCodec(b, compress.EncFP64, 0) }
+func BenchmarkCompressFP16(b *testing.B) { benchCodec(b, compress.EncFP16, 0) }
+func BenchmarkCompressInt8(b *testing.B) { benchCodec(b, compress.EncInt8, 0) }
+func BenchmarkCompressTopK(b *testing.B) { benchCodec(b, compress.EncTopK, 10_000) }
+
+// BenchmarkCompressedPull measures the full RPC pull with int8-compressed
+// replies against the fp64 baseline of BenchmarkRPCPullFirstQ's shape: the
+// wire moves ~7.8x fewer payload bytes per reply.
+func BenchmarkCompressedPull(b *testing.B) {
+	net := transport.NewMem()
+	const d = 10_000
+	rng := tensor.NewRNG(3)
+	vec := rng.NormalVector(d, 0, 1)
+	comp, err := compress.NewCompressor(compress.EncInt8, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := rpc.Serve(net, "peer", rpc.HandlerFunc(func(req rpc.Request) rpc.Response {
+		if req.Accept != compress.EncInt8 {
+			return rpc.Response{OK: true, Vec: vec}
+		}
+		buf := compress.GetBuf(comp.MaxEncodedSize(d))
+		return rpc.Response{OK: true, Enc: compress.EncInt8, Payload: comp.Compress(buf, vec), FreePayload: true}
+	}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	client := rpc.NewPooledClient(net)
+	defer client.Close()
+	req := rpc.Request{Kind: rpc.KindGetModel, Accept: compress.EncInt8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Call(context.Background(), "peer", req); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -15,7 +15,9 @@
 //
 // Run overrides (zero values keep the loaded spec's setting): -topology,
 // -rule, -attack, -nw, -fw, -nps, -fps, -iters, -acc-every, -seed, -async,
-// -staleness-bound.
+// -staleness-bound, -compress (gradient codec: fp64/none, fp16, int8, topk),
+// -topk (top-k coordinate budget). Runs report a wire line with pull-reply
+// bytes shipped and bytes saved against the fp64 baseline.
 //
 // A sweep at a fixed seed without -timing produces bit-identical artifacts
 // across runs; -timing adds the wall-clock columns, which naturally vary.
@@ -136,6 +138,8 @@ func runRun(args []string, out io.Writer) error {
 	seed := fs.Uint64("seed", 0, "override the cluster seed")
 	async := fs.Bool("async", false, "run the bounded-staleness async engine (ssmw, msmw)")
 	stalenessBound := fs.Int("staleness-bound", 0, "override the async staleness bound tau (0: core default)")
+	compressCodec := fs.String("compress", "", "override the gradient codec: fp64/none, fp16, int8, topk")
+	topK := fs.Int("topk", 0, "override the top-k coordinate budget (with -compress topk)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -186,6 +190,21 @@ func runRun(args []string, out io.Writer) error {
 	if *stalenessBound > 0 {
 		sp.StalenessBound = *stalenessBound
 	}
+	if *compressCodec != "" {
+		sp.Compression = *compressCodec
+		if sp.Compression == "none" || sp.Compression == "fp64" {
+			sp.Compression = ""
+		}
+		if sp.Compression != "topk" {
+			// A top-k budget inherited from the loaded spec only makes
+			// sense for the top-k codec; clear it so overriding a topk
+			// preset with a dense codec validates.
+			sp.TopK = 0
+		}
+	}
+	if *topK > 0 {
+		sp.TopK = *topK
+	}
 
 	res, err := scenario.Run(sp)
 	if err != nil {
@@ -211,6 +230,16 @@ func runRun(args []string, out io.Writer) error {
 		if sp.Async {
 			fmt.Fprintf(out, "avg staleness %.2f steps, %d gradients dropped beyond the bound\n",
 				res.AvgStaleness, res.StaleDrops)
+		}
+		if w := res.Wire; w.Replies > 0 {
+			saved := int64(w.ReplyFP64Bytes) - int64(w.ReplyPayloadBytes)
+			codec := sp.Compression
+			if codec == "" {
+				codec = "fp64"
+			}
+			fmt.Fprintf(out, "wire: %d pull replies, %.1f KB shipped (%s), %.1f KB saved vs fp64 (%.2fx)\n",
+				w.Replies, float64(w.ReplyPayloadBytes)/1024, codec,
+				float64(saved)/1024, w.ReplyCompressionRatio())
 		}
 		return nil
 	case "csv":

@@ -88,6 +88,50 @@ func TestRunFromSpecFileWithOverrides(t *testing.T) {
 	}
 }
 
+// TestRunCompressOverride: the -compress override enables the codec on any
+// preset and the run reports the wire line with bytes saved vs fp64.
+func TestRunCompressOverride(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"run", "-spec", tinySpecFile(t), "-iters", "3", "-compress", "int8"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "saved vs fp64") || !strings.Contains(out, "(int8)") {
+		t.Errorf("run output missing the wire accounting line: %q", out)
+	}
+}
+
+// TestRunCompressOverrideClearsStaleTopK: overriding a topk preset with a
+// dense codec must drop the inherited top-k budget, or validation rejects
+// the pairing.
+func TestRunCompressOverrideClearsStaleTopK(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"run", "-preset", "compress-topk", "-iters", "3", "-compress", "int8"}, &buf)
+	if err != nil {
+		t.Fatalf("int8 override on the topk preset rejected: %v", err)
+	}
+	if !strings.Contains(buf.String(), "(int8)") {
+		t.Errorf("override did not take effect: %q", buf.String())
+	}
+}
+
+// TestRunTopKOverride: -compress topk needs -topk, and validation rejects a
+// missing budget loudly.
+func TestRunTopKOverride(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"run", "-spec", tinySpecFile(t), "-iters", "3", "-compress", "topk"}, &buf); err == nil {
+		t.Fatal("topk without -topk accepted")
+	}
+	buf.Reset()
+	if err := run([]string{"run", "-spec", tinySpecFile(t), "-iters", "3", "-compress", "topk", "-topk", "8"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(topk)") {
+		t.Errorf("run output missing topk wire line: %q", buf.String())
+	}
+}
+
 func TestSweepArtifacts(t *testing.T) {
 	outDir := filepath.Join(t.TempDir(), "artifacts")
 	var buf bytes.Buffer

@@ -18,7 +18,10 @@
 //   - the published attacks (random / reversed / dropped vectors, little is
 //     enough, fall of empires) for adversarial evaluation;
 //   - synthetic datasets, differentiable models, an SGD optimizer, and the
-//     experiment harness regenerating every table and figure of the paper.
+//     experiment harness regenerating every table and figure of the paper;
+//   - a gradient-compression subsystem (fp16 / int8 quantization and top-k
+//     sparsification with error feedback) negotiated per pull reply on the
+//     wire, with byte accounting exposed through Result.Wire.
 //
 // # Quickstart
 //
@@ -39,10 +42,12 @@ package garfield
 import (
 	"garfield/internal/attack"
 	"garfield/internal/chaos"
+	"garfield/internal/compress"
 	"garfield/internal/core"
 	"garfield/internal/data"
 	"garfield/internal/gar"
 	"garfield/internal/model"
+	"garfield/internal/rpc"
 	"garfield/internal/scenario"
 	"garfield/internal/sgd"
 	"garfield/internal/tensor"
@@ -125,6 +130,25 @@ type (
 	// SweepReport aggregates the per-cell results of a sweep.
 	SweepReport = scenario.Report
 )
+
+// WireStats is one run's byte accounting (Result.Wire): frame bytes in and
+// out, plus pull-reply payload bytes as shipped versus their fp64 baseline —
+// the pair gradient-compression ratios derive from.
+type WireStats = rpc.WireStats
+
+// Gradient-compression codec names accepted by Config.Compression and
+// Scenario.Compression. CodecFP64 (or "") is the lossless passthrough;
+// CodecTopK additionally needs the TopK coordinate budget and carries a
+// per-worker error-feedback residual across steps.
+const (
+	CodecFP64 = "fp64"
+	CodecFP16 = "fp16"
+	CodecInt8 = "int8"
+	CodecTopK = "topk"
+)
+
+// CompressionCodecs returns the gradient codec names in wire-value order.
+func CompressionCodecs() []string { return compress.Names() }
 
 // NewCluster shards the data and wires up an in-process deployment.
 func NewCluster(cfg Config) (*Cluster, error) { return core.NewCluster(cfg) }

@@ -1,0 +1,140 @@
+package compress
+
+import (
+	"testing"
+
+	"garfield/internal/tensor"
+)
+
+// Fuzz and corruption suites for the codec decoders. A compressed payload
+// normally rides inside a CRC-32C-checksummed RPC frame, but the decoders
+// cannot assume that: a Byzantine peer authors its payload bytes directly,
+// checksummed and all, so Decode must never panic and must reject every
+// structural inconsistency (mirroring FuzzCheckpointDecode for the
+// checkpoint format). Value-level flips the structure cannot witness decode
+// to different numbers — that is the GARs' problem, and exactly what the
+// checksummed frames exist to keep honest links from introducing.
+
+// fuzzPayloads returns one canonical payload per codec.
+func fuzzPayloads(tb testing.TB) map[Encoding][]byte {
+	tb.Helper()
+	v := testVector(300, 99) // spans one full int8 chunk plus a remainder
+	out := map[Encoding][]byte{}
+	for _, enc := range []Encoding{EncFP64, EncFP16, EncInt8, EncTopK} {
+		c, err := NewCompressor(enc, 9)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out[enc] = c.Compress(nil, v)
+	}
+	return out
+}
+
+// FuzzCompressDecode fuzzes Decode across every encoding byte: arbitrary
+// (enc, payload) pairs must either decode cleanly or return an error —
+// never panic, never read out of bounds — and a successful decode must
+// re-encode/re-decode to the identical vector under the stateless codecs.
+func FuzzCompressDecode(f *testing.F) {
+	for enc, payload := range fuzzPayloads(f) {
+		f.Add(byte(enc), payload)
+	}
+	f.Add(byte(EncTopK), []byte{4, 0, 0, 0, 9, 0, 0, 0}) // k > d
+	f.Add(byte(255), []byte{1, 2, 3})
+	f.Add(byte(EncInt8), []byte{})
+	f.Fuzz(func(t *testing.T, encByte byte, data []byte) {
+		enc := Encoding(encByte)
+		var out tensor.Vector
+		if err := Decode(&out, enc, data); err != nil {
+			return
+		}
+		if !enc.Valid() {
+			t.Fatalf("unknown encoding %d decoded successfully", encByte)
+		}
+		// Deterministic re-encode for the dense codecs: decode(enc(x)) is a
+		// fixed point once the first lossy pass has happened.
+		if enc == EncFP64 || enc == EncFP16 {
+			c, err := NewCompressor(enc, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var again tensor.Vector
+			if err := Decode(&again, enc, c.Compress(nil, out)); err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if len(again) != len(out) {
+				t.Fatalf("re-decode length %d != %d", len(again), len(out))
+			}
+		}
+	})
+}
+
+// TestDecodeRejectsTruncation exhaustively truncates each codec's canonical
+// payload: every strict prefix must be rejected — the decoders validate the
+// exact expected length before reading values, so truncation can never
+// silently decode to a shorter vector.
+func TestDecodeRejectsTruncation(t *testing.T) {
+	for enc, payload := range fuzzPayloads(t) {
+		for cut := 0; cut < len(payload); cut++ {
+			var out tensor.Vector
+			if err := Decode(&out, enc, payload[:cut]); err == nil {
+				t.Fatalf("%v: truncation to %d of %d bytes decoded successfully", enc, cut, len(payload))
+			}
+		}
+	}
+}
+
+// TestDecodeRejectsTrailingGarbage: appended bytes are structural corruption
+// for every codec (payloads are exactly one vector).
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	for enc, payload := range fuzzPayloads(t) {
+		grown := append(append([]byte{}, payload...), 0xab)
+		var out tensor.Vector
+		if err := Decode(&out, enc, grown); err == nil {
+			t.Fatalf("%v: trailing garbage decoded successfully", enc)
+		}
+	}
+}
+
+// TestDecodeSurvivesByteFlips exhaustively flips every byte of each codec's
+// canonical payload: the decoder must never panic; it may reject (a length,
+// index or header flip) or decode to different values (a value flip — the
+// frame checksum, not the codec, guards value integrity on the wire).
+func TestDecodeSurvivesByteFlips(t *testing.T) {
+	for enc, payload := range fuzzPayloads(t) {
+		for i := range payload {
+			mutated := append([]byte{}, payload...)
+			mutated[i] ^= 0xff
+			var out tensor.Vector
+			_ = Decode(&out, enc, mutated) // must not panic
+		}
+	}
+}
+
+// TestTopKRejectsDisorderedIndices: duplicate, descending or out-of-range
+// index lists are adversarial payloads, not value noise, and must fail.
+func TestTopKRejectsDisorderedIndices(t *testing.T) {
+	mk := func(d, k uint32, entries ...uint32) []byte {
+		b := make([]byte, 8+12*len(entries))
+		le := func(off int, v uint32) {
+			b[off], b[off+1], b[off+2], b[off+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		}
+		le(0, d)
+		le(4, k)
+		for n, idx := range entries {
+			le(8+12*n, idx)
+		}
+		return b
+	}
+	cases := map[string][]byte{
+		"duplicate index":  mk(8, 2, 3, 3),
+		"descending index": mk(8, 2, 5, 2),
+		"index >= d":       mk(8, 1, 8),
+		"k > d":            mk(2, 3, 0, 1, 1),
+	}
+	for name, payload := range cases {
+		var out tensor.Vector
+		if err := Decode(&out, EncTopK, payload); err == nil {
+			t.Fatalf("top-k accepted %s", name)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"garfield/internal/tensor"
+)
+
+// The dense codecs. All layouts are little-endian and carry the coordinate
+// count up front, so a decoder can check the payload's exact expected length
+// before touching a single value — truncation and trailing garbage both fail
+// structurally, which is what the byte-flip/truncation suites lock in.
+
+// --- fp64 passthrough ---
+
+// appendFP64 appends the lossless encoding of v (the tensor wire format:
+// uint32 len + 8 bytes per coordinate).
+func appendFP64(dst []byte, v tensor.Vector) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, v.EncodedSize())...)
+	// Encoding into a correctly-sized buffer cannot fail.
+	_ = v.EncodeTo(dst[off:])
+	return dst
+}
+
+// decodeFP64 is the strict inverse of appendFP64: unlike the tensor
+// decoder — which tolerates trailing bytes so framed streams can over-read —
+// a compressed payload is exactly one vector, so excess length is corruption.
+func decodeFP64(out *tensor.Vector, data []byte, maxDim int) error {
+	if len(data) < 4 {
+		return fmt.Errorf("%w: fp64 header of %d bytes", ErrCorrupt, len(data))
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	if n > maxDim {
+		return fmt.Errorf("%w: fp64 d=%d exceeds the %d-coordinate bound", ErrCorrupt, n, maxDim)
+	}
+	if len(data) != 4+8*n {
+		return fmt.Errorf("%w: fp64 payload of %d bytes for %d values", ErrCorrupt, len(data), n)
+	}
+	if err := out.UnmarshalBinary(data); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return nil
+}
+
+// --- fp16 half-precision ---
+
+// fp16Size returns the encoded size of a d-dimensional vector: uint32 len +
+// 2 bytes per coordinate (4x smaller than fp64).
+func fp16Size(d int) int { return 4 + 2*d }
+
+// appendFP16 appends the IEEE-754 binary16 encoding of v. Conversion rounds
+// to nearest-even — bit-identical across runs and platforms — and saturates
+// out-of-range magnitudes to ±Inf (gradients at training scale never get
+// there; a Byzantine vector that does survives as ±Inf, which the GARs'
+// distance filters reject like any other outlier).
+func appendFP16(dst []byte, v tensor.Vector) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, fp16Size(len(v)))...)
+	b := dst[off:]
+	binary.LittleEndian.PutUint32(b, uint32(len(v)))
+	b = b[4:]
+	for i, x := range v {
+		binary.LittleEndian.PutUint16(b[2*i:], float16bits(x))
+	}
+	return dst
+}
+
+func decodeFP16(out *tensor.Vector, data []byte, maxDim int) error {
+	if len(data) < 4 {
+		return fmt.Errorf("%w: fp16 header of %d bytes", ErrCorrupt, len(data))
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	if n > maxDim {
+		return fmt.Errorf("%w: fp16 d=%d exceeds the %d-coordinate bound", ErrCorrupt, n, maxDim)
+	}
+	if len(data) != fp16Size(n) {
+		return fmt.Errorf("%w: fp16 payload of %d bytes for %d values", ErrCorrupt, len(data), n)
+	}
+	dst := resize(out, n)
+	b := data[4:]
+	for i := range dst {
+		dst[i] = float16frombits(binary.LittleEndian.Uint16(b[2*i:]))
+	}
+	return nil
+}
+
+// float16bits converts x to IEEE-754 binary16, rounding to nearest-even.
+// The conversion goes through float32 first (exact for every float64 a
+// gradient pipeline produces at half-precision scale) and then narrows
+// mantissa and exponent by hand.
+func float16bits(x float64) uint16 {
+	f := math.Float32bits(float32(x))
+	sign := uint16(f>>16) & 0x8000
+	exp := int32(f>>23&0xff) - 127 + 15
+	mant := f & 0x7fffff
+
+	switch {
+	case exp >= 0x1f:
+		// Overflow to Inf; NaN keeps a mantissa bit.
+		if int32(f>>23&0xff) == 0xff && mant != 0 {
+			return sign | 0x7e00 // quiet NaN
+		}
+		return sign | 0x7c00 // ±Inf
+	case exp <= 0:
+		// Subnormal or underflow to zero.
+		if exp < -10 {
+			return sign
+		}
+		mant |= 0x800000 // implicit leading bit
+		shift := uint32(14 - exp)
+		half := uint32(1) << (shift - 1)
+		m := mant >> shift
+		// Round to nearest, ties to even.
+		if rem := mant & ((1 << shift) - 1); rem > half || (rem == half && m&1 == 1) {
+			m++
+		}
+		return sign | uint16(m)
+	default:
+		m := mant >> 13
+		if rem := mant & 0x1fff; rem > 0x1000 || (rem == 0x1000 && m&1 == 1) {
+			m++
+			if m == 0x400 { // mantissa overflow carries into the exponent
+				m = 0
+				exp++
+				if exp >= 0x1f {
+					return sign | 0x7c00
+				}
+			}
+		}
+		return sign | uint16(exp)<<10 | uint16(m)
+	}
+}
+
+// float16frombits expands an IEEE-754 binary16 value to float64 (exact).
+func float16frombits(h uint16) float64 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	mant := uint32(h & 0x3ff)
+	var f uint32
+	switch {
+	case exp == 0x1f: // Inf / NaN
+		f = sign | 0xff<<23 | mant<<13
+	case exp == 0: // zero / subnormal
+		if mant == 0 {
+			f = sign
+		} else {
+			// Normalize the subnormal.
+			e := int32(-1)
+			for mant&0x400 == 0 {
+				mant <<= 1
+				e--
+			}
+			f = sign | uint32(e+127-15+1)<<23 | (mant&0x3ff)<<13
+		}
+	default:
+		f = sign | (exp-15+127)<<23 | mant<<13
+	}
+	return float64(math.Float32frombits(f))
+}
+
+// --- int8 per-chunk linear quantization ---
+
+// int8Chunk is the quantization granularity: each chunk carries its own
+// (lo, hi) range as float32, so one outlier coordinate cannot destroy the
+// resolution of the whole vector — only of its 256-coordinate neighbourhood.
+// At 8 header bytes per 256 values the overhead is ~0.25 bits/coordinate:
+// ~7.8x smaller than fp64.
+const int8Chunk = 256
+
+// int8Size returns the encoded size of a d-dimensional vector: uint32 len +
+// per chunk (lo float32, hi float32, 1 byte per coordinate).
+func int8Size(d int) int {
+	chunks := (d + int8Chunk - 1) / int8Chunk
+	return 4 + 8*chunks + d
+}
+
+// appendInt8 appends the per-chunk linear quantization of v: each value maps
+// to round((x-lo)/(hi-lo)*255) with round-half-away-from-zero (math.Round),
+// a deterministic pure function of the chunk. NaN in the input makes the
+// chunk's range NaN and every value decode as NaN — faithfully preserving a
+// Byzantine poison value rather than laundering it into a finite number.
+func appendInt8(dst []byte, v tensor.Vector) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, int8Size(len(v)))...)
+	b := dst[off:]
+	binary.LittleEndian.PutUint32(b, uint32(len(v)))
+	b = b[4:]
+	for len(v) > 0 {
+		n := len(v)
+		if n > int8Chunk {
+			n = int8Chunk
+		}
+		chunk := v[:n]
+		lo, hi := chunk[0], chunk[0]
+		for _, x := range chunk[1:] {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+			if math.IsNaN(x) {
+				// NaN compares false against everything, so the min/max
+				// scan alone would skip a mid-chunk NaN and quantize it
+				// through byte(NaN) — an implementation-defined conversion
+				// that launders the poison into a finite in-range value.
+				// Poison the whole chunk's range instead.
+				lo, hi = math.NaN(), math.NaN()
+				break
+			}
+		}
+		// The stored float32 range is what the decoder will reconstruct
+		// against, so quantize relative to it, not the float64 range.
+		lo32, hi32 := float32(lo), float32(hi)
+		binary.LittleEndian.PutUint32(b, math.Float32bits(lo32))
+		binary.LittleEndian.PutUint32(b[4:], math.Float32bits(hi32))
+		step := (float64(hi32) - float64(lo32)) / 255
+		q := b[8 : 8+n]
+		if step == 0 || math.IsNaN(step) || math.IsInf(step, 0) {
+			// Constant chunk (every value decodes to lo), or a non-finite
+			// range that decodes to NaN/Inf regardless of the codes.
+			for i := range q {
+				q[i] = 0
+			}
+		} else {
+			for i, x := range chunk {
+				c := math.Round((x - float64(lo32)) / step)
+				if c < 0 {
+					c = 0
+				} else if c > 255 {
+					c = 255
+				}
+				q[i] = byte(c)
+			}
+		}
+		b = b[8+n:]
+		v = v[n:]
+	}
+	return dst
+}
+
+func decodeInt8(out *tensor.Vector, data []byte, maxDim int) error {
+	if len(data) < 4 {
+		return fmt.Errorf("%w: int8 header of %d bytes", ErrCorrupt, len(data))
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	if n > maxDim {
+		return fmt.Errorf("%w: int8 d=%d exceeds the %d-coordinate bound", ErrCorrupt, n, maxDim)
+	}
+	if len(data) != int8Size(n) {
+		return fmt.Errorf("%w: int8 payload of %d bytes for %d values", ErrCorrupt, len(data), n)
+	}
+	dst := resize(out, n)
+	b := data[4:]
+	for len(dst) > 0 {
+		m := len(dst)
+		if m > int8Chunk {
+			m = int8Chunk
+		}
+		lo := float64(math.Float32frombits(binary.LittleEndian.Uint32(b)))
+		hi := float64(math.Float32frombits(binary.LittleEndian.Uint32(b[4:])))
+		step := (hi - lo) / 255
+		q := b[8 : 8+m]
+		for i, c := range q {
+			dst[i] = lo + step*float64(c)
+		}
+		b = b[8+m:]
+		dst = dst[m:]
+	}
+	return nil
+}
+
+// resize points *out at a vector of n coordinates via tensor.Resize (reuse
+// the backing array when capacity suffices); every decoder overwrites all
+// coordinates.
+func resize(out *tensor.Vector, n int) tensor.Vector {
+	*out = tensor.Resize(*out, n)
+	return *out
+}

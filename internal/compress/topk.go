@@ -1,0 +1,180 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"garfield/internal/tensor"
+)
+
+// Top-k sparsification: only the k largest-magnitude coordinates of the
+// gradient ship; everything else is dropped — but not lost. The Compressor
+// keeps a per-node error-feedback residual: each round the pending residual
+// is added to the fresh gradient before selection, and whatever the
+// selection leaves behind becomes the next residual. Small coordinates
+// therefore accumulate until they cross the selection threshold instead of
+// being silenced forever, which is the property that preserves convergence
+// under aggressive sparsity.
+//
+// Selection is deterministic: coordinates are ordered by (|value| desc,
+// index asc) — the index tie-break makes the kept set a pure function of the
+// input — and the encoded entries are emitted in ascending index order, so
+// identical inputs produce identical bytes.
+
+// topKSize returns the encoded size for k kept coordinates: uint32 d,
+// uint32 k, then (uint32 index, float64 value) per entry.
+func topKSize(k int) int { return 8 + 12*k }
+
+// topKScratch is the selection workspace a Compressor reuses across calls.
+type topKScratch struct {
+	idx []int
+}
+
+// compressTopK appends the top-k encoding of v + residual and updates the
+// residual to the un-transmitted remainder. The lock serializes concurrent
+// pulls, so each reply sees — and deposits — a consistent residual.
+func (c *Compressor) compressTopK(dst []byte, v tensor.Vector) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	d := len(v)
+	k := c.k
+	if k > d {
+		k = d
+	}
+	// Fold the pending residual into the signal being compressed.
+	if len(c.residual) != d {
+		c.residual = tensor.New(d)
+	}
+	acc := c.residual // after this call, acc IS the new residual
+	for i := range acc {
+		acc[i] += v[i]
+	}
+
+	// Deterministic selection: |value| descending, index ascending on ties.
+	// Quickselect instead of a full sort — selection is the per-reply hot
+	// path and only the top k of d matter, so O(d) expected beats
+	// O(d log d) by ~30x at d = 1M.
+	if cap(c.scratch.idx) < d {
+		c.scratch.idx = make([]int, d)
+	}
+	idx := c.scratch.idx[:d]
+	for i := range idx {
+		idx[i] = i
+	}
+	selectTopK(acc, idx, k)
+	kept := idx[:k]
+	sort.Ints(kept)
+
+	off := len(dst)
+	dst = append(dst, make([]byte, topKSize(k))...)
+	b := dst[off:]
+	binary.LittleEndian.PutUint32(b, uint32(d))
+	binary.LittleEndian.PutUint32(b[4:], uint32(k))
+	b = b[8:]
+	for n, i := range kept {
+		binary.LittleEndian.PutUint32(b[12*n:], uint32(i))
+		binary.LittleEndian.PutUint64(b[12*n+4:], math.Float64bits(acc[i]))
+		acc[i] = 0 // transmitted exactly; nothing left to feed back
+	}
+	return dst
+}
+
+// ranksBefore is the selection's total order: a ranks before b when its
+// magnitude is larger, ties broken toward the lower index — a pure function
+// of the input, so the kept set never depends on scheduling or pivot luck.
+func ranksBefore(acc tensor.Vector, a, b int) bool {
+	ma, mb := math.Abs(acc[a]), math.Abs(acc[b])
+	if ma != mb {
+		return ma > mb
+	}
+	return a < b
+}
+
+// selectTopK partially orders idx so its first k entries are the k
+// best-ranked coordinates (in arbitrary internal order): an iterative
+// quickselect with a deterministic median-of-three pivot.
+func selectTopK(acc tensor.Vector, idx []int, k int) {
+	lo, hi := 0, len(idx)-1
+	for lo < hi {
+		// Deterministic median-of-three pivot, moved to hi.
+		mid := lo + (hi-lo)/2
+		if ranksBefore(acc, idx[mid], idx[lo]) {
+			idx[lo], idx[mid] = idx[mid], idx[lo]
+		}
+		if ranksBefore(acc, idx[hi], idx[lo]) {
+			idx[lo], idx[hi] = idx[hi], idx[lo]
+		}
+		if ranksBefore(acc, idx[hi], idx[mid]) {
+			idx[mid], idx[hi] = idx[hi], idx[mid]
+		}
+		idx[mid], idx[hi] = idx[hi], idx[mid]
+		pivot := idx[hi]
+		// Lomuto partition: everything ranking before the pivot moves left.
+		store := lo
+		for i := lo; i < hi; i++ {
+			if ranksBefore(acc, idx[i], pivot) {
+				idx[store], idx[i] = idx[i], idx[store]
+				store++
+			}
+		}
+		idx[store], idx[hi] = idx[hi], idx[store]
+		switch {
+		case store == k || store == k-1:
+			return
+		case k < store:
+			hi = store - 1
+		default:
+			lo = store + 1
+		}
+	}
+}
+
+// AppendTopK is the stateless top-k encoder (no error feedback): it keeps
+// the k largest-magnitude coordinates of v as-is. The round-trip property
+// tests and the codec benchmarks use it; live workers go through Compressor.
+func AppendTopK(dst []byte, v tensor.Vector, k int) []byte {
+	c := Compressor{enc: EncTopK, k: k}
+	return c.compressTopK(dst, v)
+}
+
+func decodeTopK(out *tensor.Vector, data []byte, maxDim int) error {
+	if len(data) < 8 {
+		return fmt.Errorf("%w: top-k header of %d bytes", ErrCorrupt, len(data))
+	}
+	d := int(binary.LittleEndian.Uint32(data))
+	k := int(binary.LittleEndian.Uint32(data[4:]))
+	if d > maxDim {
+		// The sparse layout is the one codec whose payload does not grow
+		// with d, so a mangled or adversarial header could otherwise make a
+		// twenty-byte payload demand a multi-gigabyte output vector. Pullers
+		// pass their model dimension as the bound (DecodeBounded); MaxDim is
+		// the backstop.
+		return fmt.Errorf("%w: top-k d=%d exceeds the %d-coordinate bound", ErrCorrupt, d, maxDim)
+	}
+	if k > d {
+		return fmt.Errorf("%w: top-k k=%d > d=%d", ErrCorrupt, k, d)
+	}
+	if len(data) != topKSize(k) {
+		return fmt.Errorf("%w: top-k payload of %d bytes for k=%d", ErrCorrupt, len(data), k)
+	}
+	dst := resize(out, d)
+	for i := range dst {
+		dst[i] = 0
+	}
+	b := data[8:]
+	prev := -1
+	for n := 0; n < k; n++ {
+		i := int(binary.LittleEndian.Uint32(b[12*n:]))
+		if i <= prev || i >= d {
+			// Indices must be strictly ascending and in range — anything
+			// else is a mangled or adversarial payload.
+			return fmt.Errorf("%w: top-k index %d after %d (d=%d)", ErrCorrupt, i, prev, d)
+		}
+		prev = i
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[12*n+4:]))
+	}
+	return nil
+}

@@ -181,7 +181,7 @@ func (c *Cluster) asyncFetch(ctx context.Context, s *Server, queues *gradQueues,
 		params, step := s.Snapshot()
 		callCtx, cancel := context.WithTimeout(ctx, c.cfg.PullTimeout)
 		vec, err := s.client.Call(callCtx, addr, rpc.Request{
-			Kind: rpc.KindGetGradient, Step: step, Vec: params,
+			Kind: rpc.KindGetGradient, Step: step, Accept: s.accept, Vec: params,
 		})
 		cancel()
 		if err != nil {
@@ -244,10 +244,12 @@ func (c *Cluster) RunAsyncSSMW(opt RunOptions) (*Result, error) {
 	}
 	res := newResult("async-ssmw")
 	start := time.Now()
+	wire0 := c.WireStats()
 	if err := c.asyncReplicaLoop(res, c.servers[0], agg, nil, opt, start, true); err != nil {
 		return nil, fmt.Errorf("core: async-ssmw: %w", err)
 	}
 	res.WallTime = time.Since(start)
+	res.Wire = c.WireStats().Sub(wire0)
 	return res, nil
 }
 
@@ -286,6 +288,7 @@ func (c *Cluster) RunAsyncMSMW(opt RunOptions) (*Result, error) {
 		}
 	}
 	start := time.Now()
+	wire0 := c.WireStats()
 	var wg sync.WaitGroup
 	errs := make([]error, honest)
 	for r := 0; r < honest; r++ {
@@ -303,6 +306,7 @@ func (c *Cluster) RunAsyncMSMW(opt RunOptions) (*Result, error) {
 		}
 	}
 	res.WallTime = time.Since(start)
+	res.Wire = c.WireStats().Sub(wire0)
 	return res, nil
 }
 
@@ -452,6 +456,7 @@ func (c *Cluster) runAsyncSSMWReplay(opt RunOptions) (*Result, error) {
 	}
 
 	start := time.Now()
+	wire0 := c.WireStats()
 	staleSum, drops := 0, 0
 	for i := 0; i < opt.Iterations; i++ {
 		now := s.Step()
@@ -528,6 +533,7 @@ func (c *Cluster) runAsyncSSMWReplay(opt RunOptions) (*Result, error) {
 	}
 	res.StaleDrops = drops
 	res.WallTime = time.Since(start)
+	res.Wire = c.WireStats().Sub(wire0)
 	return res, nil
 }
 
@@ -537,6 +543,6 @@ func (c *Cluster) replayPull(s *Server, w int, step uint32, params tensor.Vector
 	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.PullTimeout)
 	defer cancel()
 	return s.client.Call(ctx, c.workerAddrs[w], rpc.Request{
-		Kind: rpc.KindGetGradient, Step: step, Vec: params,
+		Kind: rpc.KindGetGradient, Step: step, Accept: s.accept, Vec: params,
 	})
 }

@@ -41,6 +41,9 @@ func TestAsyncSSMWToleratesReversedAttack(t *testing.T) {
 }
 
 func TestAsyncSSMWRidesOutWorkerCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live async engine with crash backoff (~2s)")
+	}
 	cfg := baseConfig(t)
 	c := newTestCluster(t, cfg)
 	if _, err := c.RunAsyncSSMW(RunOptions{Iterations: 20, AccEvery: 0}); err != nil {

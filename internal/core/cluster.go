@@ -4,11 +4,13 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"strconv"
 	"sync/atomic"
 	"time"
 
 	"garfield/internal/attack"
+	"garfield/internal/compress"
 	"garfield/internal/data"
 	"garfield/internal/model"
 	"garfield/internal/rpc"
@@ -94,6 +96,16 @@ type Config struct {
 	// (little-is-enough, fall-of-empires) in live runs.
 	AttackSelfPeers int
 
+	// Compression names the gradient codec of the deployment ("" or
+	// "fp64": passthrough; "fp16", "int8", "topk" — see internal/compress).
+	// Workers compress their gradient replies for servers that advertise
+	// the codec; servers decompress transparently at the RPC layer. TopK is
+	// the coordinate budget of the "topk" codec (required with it, ignored
+	// otherwise); top-k workers carry an error-feedback residual across
+	// steps so dropped coordinates accumulate instead of vanishing.
+	Compression string
+	TopK        int
+
 	// StalenessBound and StalenessDamping tune the asynchronous protocols
 	// (RunAsyncSSMW, RunAsyncMSMW). A gradient computed against the model
 	// at step t0 and aggregated at step t has staleness t - t0: gradients
@@ -174,6 +186,13 @@ func (c *Config) validate() error {
 	if c.StalenessBound < 0 {
 		return fmt.Errorf("%w: staleness bound %d < 0", ErrConfig, c.StalenessBound)
 	}
+	if enc, err := compress.Parse(c.Compression); err != nil {
+		return fmt.Errorf("%w: %v", ErrConfig, err)
+	} else if enc == compress.EncTopK && c.TopK < 1 {
+		return fmt.Errorf("%w: compression %q needs top_k >= 1, got %d", ErrConfig, c.Compression, c.TopK)
+	} else if enc != compress.EncTopK && c.TopK != 0 {
+		return fmt.Errorf("%w: top_k=%d requires compression \"topk\" (got %q)", ErrConfig, c.TopK, c.Compression)
+	}
 	if c.StalenessDamping < 0 || c.StalenessDamping > 1 {
 		return fmt.Errorf("%w: staleness damping %v not in [0, 1]", ErrConfig, c.StalenessDamping)
 	}
@@ -247,6 +266,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	rng := tensor.NewRNG(cfg.Seed)
 	c.initParams = cfg.Arch.InitParams(rng)
+	// validate() vetted the codec name already.
+	encoding, _ := compress.Parse(cfg.Compression)
 
 	// Workers.
 	for i := 0; i < cfg.NW; i++ {
@@ -257,6 +278,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 		if cfg.Deterministic {
 			opts = append(opts, WithDeterministicReplies())
+		}
+		if encoding != compress.EncFP64 {
+			// Every worker compresses — Byzantine ones included: the codec
+			// is deployment infrastructure, and whether an attack survives
+			// quantization is exactly what the ext-compress study measures.
+			opts = append(opts, WithCompression(encoding, cfg.TopK))
 		}
 		if i >= cfg.NW-cfg.FW {
 			atk = cfg.WorkerAttack
@@ -315,6 +342,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			Peers:         c.serverAddrs,
 			Attack:        atk,
 			Deterministic: cfg.Deterministic,
+			Accept:        encoding,
 		})
 		if err != nil {
 			c.Close()
@@ -491,3 +519,36 @@ func (c *Cluster) SetServerByzMode(i int, mode string) error {
 // ByzServer returns replica i's ByzantineServer wrapper, or nil for honest
 // replicas.
 func (c *Cluster) ByzServer(i int) *ByzantineServer { return c.byzServers[i] }
+
+// WireStats returns the summed byte accounting of every server replica's
+// pooled client — the cluster's whole pull traffic, since workers never
+// dial. Snapshot before and after a run (or read Result.Wire, which the
+// protocol runners populate with exactly that delta) to measure one run's
+// bytes on the wire.
+func (c *Cluster) WireStats() rpc.WireStats {
+	var s rpc.WireStats
+	for _, cl := range c.clients {
+		s = s.Add(cl.Stats())
+	}
+	return s
+}
+
+// RestoreServerCheckpoint restores replica i from checkpoint bytes and
+// resets every worker's compression error-feedback residual. The residual
+// is the un-transmitted remainder of gradients computed against the
+// pre-restore timeline; replaying it against the rolled-back model would
+// inject corrections for updates that no longer exist. (With several
+// replicas, a real deployment restores them together; the residual reset is
+// idempotent, so restoring each replica through this method is safe.)
+func (c *Cluster) RestoreServerCheckpoint(i int, r io.Reader) error {
+	if i < 0 || i >= len(c.servers) {
+		return fmt.Errorf("%w: server %d of %d", ErrConfig, i, len(c.servers))
+	}
+	if err := c.servers[i].LoadCheckpoint(r); err != nil {
+		return err
+	}
+	for _, w := range c.workers {
+		w.ResetCompression()
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"garfield/internal/compress"
+	"garfield/internal/gar"
+	"garfield/internal/rpc"
+	"garfield/internal/tensor"
+)
+
+// compressConfig is baseConfig with a gradient codec enabled.
+func compressConfig(t *testing.T, codec string, topK int) Config {
+	cfg := baseConfig(t)
+	cfg.Compression = codec
+	cfg.TopK = topK
+	return cfg
+}
+
+// TestCompressionConfigValidation: codec knobs are vetted at construction.
+func TestCompressionConfigValidation(t *testing.T) {
+	bad := []struct {
+		name  string
+		codec string
+		topK  int
+	}{
+		{"unknown codec", "gzip", 0},
+		{"topk without budget", "topk", 0},
+		{"budget without topk", "int8", 9},
+	}
+	for _, tc := range bad {
+		if _, err := NewCluster(compressConfig(t, tc.codec, tc.topK)); err == nil {
+			t.Errorf("%s: NewCluster accepted compression=%q top_k=%d", tc.name, tc.codec, tc.topK)
+		}
+	}
+}
+
+// TestInt8ReducesReplyBytes is the subsystem's headline acceptance check:
+// with int8 quantization, the run's pull-reply payload bytes shrink at least
+// 4x against the fp64 baseline the byte counters track reply by reply — and
+// the run still trains.
+func TestInt8ReducesReplyBytes(t *testing.T) {
+	cfg := compressConfig(t, "int8", 0)
+	c := newTestCluster(t, cfg)
+	res, err := c.RunSSMW(RunOptions{Iterations: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Wire
+	if w.Replies == 0 || w.ReplyPayloadBytes == 0 {
+		t.Fatalf("no reply accounting recorded: %+v", w)
+	}
+	if w.ReplyFP64Bytes < 4*w.ReplyPayloadBytes {
+		t.Fatalf("int8 reply bytes %d vs fp64 baseline %d: ratio %.2fx < 4x",
+			w.ReplyPayloadBytes, w.ReplyFP64Bytes, w.ReplyCompressionRatio())
+	}
+	if res.Accuracy.Last() < 0.5 {
+		t.Fatalf("compressed run failed to train: final accuracy %v", res.Accuracy.Last())
+	}
+}
+
+// TestUncompressedBaselineRatioIsOne: without a codec the shipped bytes ARE
+// the baseline, so the ratio collapses to exactly 1 — the counters agree
+// with themselves.
+func TestUncompressedBaselineRatioIsOne(t *testing.T) {
+	c := newTestCluster(t, baseConfig(t))
+	res, err := c.RunSSMW(RunOptions{Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Wire
+	if w.ReplyPayloadBytes != w.ReplyFP64Bytes {
+		t.Fatalf("uncompressed run: shipped %d != baseline %d", w.ReplyPayloadBytes, w.ReplyFP64Bytes)
+	}
+	if w.BytesIn == 0 || w.BytesOut == 0 || w.Calls == 0 {
+		t.Fatalf("wire accounting empty: %+v", w)
+	}
+}
+
+// TestCompressedConvergesLikeUncompressed: the dense codecs are near-lossless
+// at gradient scale, so final accuracy must match the uncompressed run
+// closely on the same task and seed.
+func TestCompressedConvergesLikeUncompressed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run convergence comparison")
+	}
+	run := func(codec string, topK int) float64 {
+		cfg := compressConfig(t, codec, topK)
+		c := newTestCluster(t, cfg)
+		res, err := c.RunSSMW(RunOptions{Iterations: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Accuracy.Last()
+	}
+	base := run("", 0)
+	for _, tc := range []struct {
+		codec string
+		topK  int
+	}{{"fp16", 0}, {"int8", 0}, {"topk", 16}} {
+		acc := run(tc.codec, tc.topK)
+		if acc < base-0.1 {
+			t.Errorf("%s final accuracy %v vs uncompressed %v", tc.codec, acc, base)
+		}
+	}
+}
+
+// TestCompressionNegotiation exercises the Accept byte end to end at the
+// worker: a matching Accept gets the compressed payload, everything else —
+// no Accept, a different codec, an encoding this build does not know — gets
+// the fp64 passthrough. Mixed fleets always interoperate.
+func TestCompressionNegotiation(t *testing.T) {
+	arch, train, _ := testTask(t)
+	shard := train
+	w, err := NewWorker(arch, shard, 8, 1, nil, WithCompression(compress.EncInt8, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := tensor.New(arch.Dim())
+	req := rpc.Request{Kind: rpc.KindGetGradient, Step: 0, Vec: params}
+
+	plain := w.Handle(req)
+	if !plain.OK || plain.Enc != compress.EncFP64 || plain.Vec == nil || plain.Payload != nil {
+		t.Fatalf("no-Accept reply not passthrough: %+v", plain)
+	}
+
+	req.Accept = compress.EncFP16 // worker speaks int8, not fp16
+	mismatch := w.Handle(req)
+	if !mismatch.OK || mismatch.Enc != compress.EncFP64 || mismatch.Vec == nil {
+		t.Fatalf("codec-mismatch reply not passthrough: %+v", mismatch)
+	}
+
+	req.Accept = compress.Encoding(200) // future/unknown encoding
+	unknown := w.Handle(req)
+	if !unknown.OK || unknown.Enc != compress.EncFP64 || unknown.Vec == nil {
+		t.Fatalf("unknown-Accept reply not passthrough: %+v", unknown)
+	}
+
+	req.Accept = compress.EncInt8
+	matched := w.Handle(req)
+	if !matched.OK || matched.Enc != compress.EncInt8 || matched.Payload == nil || !matched.FreePayload {
+		t.Fatalf("matching Accept did not compress: %+v", matched)
+	}
+	var decoded tensor.Vector
+	if err := compress.Decode(&decoded, matched.Enc, matched.Payload); err != nil {
+		t.Fatalf("compressed reply does not decode: %v", err)
+	}
+	if len(decoded) != arch.Dim() {
+		t.Fatalf("decoded gradient dim %d, want %d", len(decoded), arch.Dim())
+	}
+}
+
+// TestErrorFeedbackResetOnRestore: restoring a checkpoint through the
+// cluster resets every worker's top-k error-feedback residual — the
+// residual encodes corrections for a timeline the restore discarded.
+func TestErrorFeedbackResetOnRestore(t *testing.T) {
+	cfg := compressConfig(t, "topk", 4)
+	cfg.NPS, cfg.FPS = 1, 0
+	c := newTestCluster(t, cfg)
+	if _, err := c.RunSSMW(RunOptions{Iterations: 3}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Server(0).SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunSSMW(RunOptions{Iterations: 3}); err != nil {
+		t.Fatal(err)
+	}
+	dirty := 0
+	for _, w := range c.workers {
+		if w.compressionResidualNorm() > 0 {
+			dirty++
+		}
+	}
+	if dirty == 0 {
+		t.Fatal("no worker accumulated a residual; the reset assertion would be vacuous")
+	}
+	if err := c.RestoreServerCheckpoint(0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range c.workers {
+		if n := w.compressionResidualNorm(); n != 0 {
+			t.Errorf("worker %d residual %v after restore, want 0", i, n)
+		}
+	}
+	// And the restored cluster keeps training.
+	if _, err := c.RunSSMW(RunOptions{Iterations: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterministicCompressedBitIdentical: deterministic mode stays
+// bit-identical per seed with every codec enabled — the per-step payload
+// cache advances the error-feedback residual once per step, however many
+// pulls arrive, so accuracy curves and byte counts both reproduce exactly.
+func TestDeterministicCompressedBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		codec string
+		topK  int
+	}{{"int8", 0}, {"fp16", 0}, {"topk", 8}} {
+		run := func() (*Result, error) {
+			cfg := compressConfig(t, tc.codec, tc.topK)
+			cfg.Deterministic = true
+			cfg.SyncQuorum = true
+			cfg.NPS, cfg.FPS = 2, 0
+			cfg.Rule = gar.NameMedian
+			c := newTestCluster(t, cfg)
+			return c.RunMSMW(RunOptions{Iterations: 6, AccEvery: 2})
+		}
+		a, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Accuracy.Points) != len(b.Accuracy.Points) {
+			t.Fatalf("%s: curve lengths differ", tc.codec)
+		}
+		for i := range a.Accuracy.Points {
+			if a.Accuracy.Points[i] != b.Accuracy.Points[i] {
+				t.Fatalf("%s: accuracy point %d differs: %v vs %v",
+					tc.codec, i, a.Accuracy.Points[i], b.Accuracy.Points[i])
+			}
+		}
+		if a.Wire.ReplyPayloadBytes != b.Wire.ReplyPayloadBytes || a.Wire.BytesOut != b.Wire.BytesOut {
+			t.Fatalf("%s: wire accounting differs between identical runs: %+v vs %+v",
+				tc.codec, a.Wire, b.Wire)
+		}
+	}
+}
+
+// TestCompressedAsyncSSMW: the bounded-staleness engine's fetchers advertise
+// the codec too, so async runs also ship compressed replies.
+func TestCompressedAsyncSSMW(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live async engine")
+	}
+	cfg := compressConfig(t, "int8", 0)
+	cfg.NPS, cfg.FPS = 1, 0
+	c := newTestCluster(t, cfg)
+	res, err := c.RunAsyncSSMW(RunOptions{Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Wire.ReplyFP64Bytes < 4*res.Wire.ReplyPayloadBytes {
+		t.Fatalf("async int8 ratio %.2fx < 4x", res.Wire.ReplyCompressionRatio())
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"garfield/internal/gar"
 	"garfield/internal/metrics"
+	"garfield/internal/rpc"
 	"garfield/internal/tensor"
 )
 
@@ -35,6 +36,12 @@ type Result struct {
 	// StaleDrops counts gradients the observed server discarded for
 	// exceeding the staleness bound (async protocols only).
 	StaleDrops int
+
+	// Wire is the run's byte accounting, summed over every replica's
+	// pooled client: frame bytes in/out, and the pull-reply payload bytes
+	// as shipped versus their fp64-passthrough baseline — the pair the
+	// compression ratio derives from. See rpc.WireStats.
+	Wire rpc.WireStats
 }
 
 // UpdatesPerSec returns observed throughput in the paper's updates/sec
@@ -121,6 +128,7 @@ func (c *Cluster) runSingleServer(opt RunOptions, rule string, f, q int, name st
 	res := newResult(name)
 	s := c.servers[0]
 	start := time.Now()
+	wire0 := c.WireStats()
 	for i := 0; i < opt.Iterations; i++ {
 		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.PullTimeout)
 		commDone := metrics.Start()
@@ -146,6 +154,7 @@ func (c *Cluster) runSingleServer(opt RunOptions, rule string, f, q int, name st
 		}
 	}
 	res.WallTime = time.Since(start)
+	res.Wire = c.WireStats().Sub(wire0)
 	return res, nil
 }
 
@@ -171,6 +180,7 @@ func (c *Cluster) RunCrashTolerant(opt RunOptions) (*Result, error) {
 		}
 	}
 	start := time.Now()
+	wire0 := c.WireStats()
 	for i := 0; i < opt.Iterations; i++ {
 		p, ok := c.primary()
 		if !ok {
@@ -202,6 +212,7 @@ func (c *Cluster) RunCrashTolerant(opt RunOptions) (*Result, error) {
 		}
 	}
 	res.WallTime = time.Since(start)
+	res.Wire = c.WireStats().Sub(wire0)
 	return res, nil
 }
 
@@ -264,6 +275,7 @@ func (c *Cluster) RunMSMW(opt RunOptions) (*Result, error) {
 		}
 	}
 	start := time.Now()
+	wire0 := c.WireStats()
 	for i := 0; i < opt.Iterations; i++ {
 		// In deterministic mode the replicas run the model-exchange phase
 		// in lockstep: all replicas update before anyone pulls models, and
@@ -298,6 +310,7 @@ func (c *Cluster) RunMSMW(opt RunOptions) (*Result, error) {
 		}
 	}
 	res.WallTime = time.Since(start)
+	res.Wire = c.WireStats().Sub(wire0)
 	return res, nil
 }
 
@@ -403,6 +416,7 @@ func (c *Cluster) RunDecentralized(opt RunOptions) (*Result, error) {
 		}
 	}
 	start := time.Now()
+	wire0 := c.WireStats()
 	for i := 0; i < opt.Iterations; i++ {
 		barrier := newBarrier(honest)
 		var wg sync.WaitGroup
@@ -426,6 +440,7 @@ func (c *Cluster) RunDecentralized(opt RunOptions) (*Result, error) {
 		}
 	}
 	res.WallTime = time.Since(start)
+	res.Wire = c.WireStats().Sub(wire0)
 	return res, nil
 }
 

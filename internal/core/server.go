@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"garfield/internal/attack"
+	"garfield/internal/compress"
 	"garfield/internal/data"
 	"garfield/internal/model"
 	"garfield/internal/rpc"
@@ -31,6 +32,13 @@ type Server struct {
 	peers   []string // other server replicas
 	atk     attack.Attack
 	det     bool
+	// accept is the payload encoding this server advertises on gradient
+	// pulls (Request.Accept): workers configured with the matching codec
+	// compress their replies; everything else falls back to fp64. Model
+	// and aggregated-gradient pulls between replicas stay passthrough —
+	// model state has no error-feedback stream to absorb quantization
+	// noise, so compressing it would compound error across contractions.
+	accept compress.Encoding
 
 	mu          sync.RWMutex
 	params      tensor.Vector
@@ -67,6 +75,9 @@ type ServerConfig struct {
 	// Deterministic orders pulled reply sets canonically (by peer
 	// address) instead of by arrival; see Config.Deterministic.
 	Deterministic bool
+	// Accept is the payload encoding to advertise on gradient pulls
+	// (compress.EncFP64 requests plain passthrough replies).
+	Accept compress.Encoding
 }
 
 var _ rpc.Handler = (*Server)(nil)
@@ -92,6 +103,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		peers:   append([]string(nil), cfg.Peers...),
 		atk:     atk,
 		det:     cfg.Deterministic,
+		accept:  cfg.Accept,
 		params:  cfg.Init.Clone(),
 	}, nil
 }
@@ -124,7 +136,7 @@ func (s *Server) Snapshot() (tensor.Vector, uint32) {
 // the fastest q gradient estimates. q == len(workers) is the synchronous
 // mode; q < len(workers) tolerates stragglers and faults.
 func (s *Server) GetGradients(ctx context.Context, t int, q int) ([]tensor.Vector, error) {
-	req := rpc.Request{Kind: rpc.KindGetGradient, Step: uint32(t), Vec: s.Params()}
+	req := rpc.Request{Kind: rpc.KindGetGradient, Step: uint32(t), Accept: s.accept, Vec: s.Params()}
 	replies, err := s.client.PullFirstQ(ctx, s.workers, q, req)
 	if err != nil {
 		return nil, fmt.Errorf("core: get_gradients(t=%d, q=%d): %w", t, q, err)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"garfield/internal/attack"
+	"garfield/internal/compress"
 	"garfield/internal/data"
 	"garfield/internal/model"
 	"garfield/internal/rpc"
@@ -40,6 +41,14 @@ type Worker struct {
 	// (little-is-enough, fall-of-empires) as the peer sample.
 	selfPeers int
 
+	// comp, when non-nil, is the worker's gradient compressor: a reply to
+	// a puller that advertises the matching Accept encoding ships
+	// compressed (internal/compress), everyone else gets the fp64
+	// passthrough. The compressor carries the per-worker error-feedback
+	// residual for top-k, so it must live here — where the gradient stream
+	// lives — not in the transport.
+	comp *compress.Compressor
+
 	mu       sync.Mutex
 	sampler  *data.Sampler
 	velocity tensor.Vector
@@ -62,6 +71,11 @@ type Worker struct {
 	detOK     bool
 	detReply  tensor.Vector
 	detParams tensor.Vector
+	// detPayload caches the step's compressed reply alongside detReply, so
+	// the error-feedback residual advances exactly once per step however
+	// many replicas pull — the property that keeps deterministic runs
+	// bit-identical under compression.
+	detPayload []byte
 }
 
 var _ rpc.Handler = (*Worker)(nil)
@@ -99,6 +113,24 @@ func WithSelfEstimatedPeers(k int) WorkerOption {
 func WithDeterministicReplies() WorkerOption {
 	return func(w *Worker) error {
 		w.det = true
+		return nil
+	}
+}
+
+// WithCompression makes the worker compress gradient replies with the given
+// codec for pullers that advertise it (Request.Accept); topK is the
+// coordinate budget of the top-k codec, ignored by the others. EncFP64 is a
+// no-op (passthrough is the default).
+func WithCompression(enc compress.Encoding, topK int) WorkerOption {
+	return func(w *Worker) error {
+		if enc == compress.EncFP64 {
+			return nil
+		}
+		c, err := compress.NewCompressor(enc, topK)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrConfig, err)
+		}
+		w.comp = c
 		return nil
 	}
 }
@@ -202,11 +234,32 @@ func (w *Worker) Handle(req rpc.Request) rpc.Response {
 		if !ok {
 			return rpc.Response{} // omission fault
 		}
-		return rpc.Response{OK: true, Vec: out}
+		return w.reply(req, out)
 	case rpc.KindPing:
 		return rpc.Response{OK: true}
 	default:
 		return rpc.Response{}
+	}
+}
+
+// reply wraps a computed gradient into a response under the negotiated
+// payload encoding: compressed when the puller's Accept matches the
+// worker's codec exactly, fp64 passthrough otherwise (the mixed-fleet
+// fallback). The compressed payload is borrowed from the shared buffer pool
+// and handed back by the RPC serving loop after the frame is written, so
+// steady-state compression allocates no payload slices. For top-k the call
+// also advances the error-feedback residual — each pull is a fresh gradient
+// estimate in live mode, so each pull deposits its own un-sent remainder.
+func (w *Worker) reply(req rpc.Request, vec tensor.Vector) rpc.Response {
+	if w.comp == nil || req.Accept != w.comp.Encoding() {
+		return rpc.Response{OK: true, Vec: vec}
+	}
+	buf := compress.GetBuf(w.comp.MaxEncodedSize(len(vec)))
+	return rpc.Response{
+		OK:          true,
+		Enc:         w.comp.Encoding(),
+		Payload:     w.comp.Compress(buf, vec),
+		FreePayload: true,
 	}
 }
 
@@ -228,10 +281,10 @@ func (w *Worker) handleDeterministic(req rpc.Request) rpc.Response {
 		if !w.detOK {
 			return rpc.Response{}
 		}
-		return rpc.Response{OK: true, Vec: w.detReply}
+		return w.detResponse(req)
 	}
 	w.detStep, w.detHas, w.detOK = req.Step, true, false
-	w.detReply, w.detParams = nil, req.Vec.Clone()
+	w.detReply, w.detParams, w.detPayload = nil, req.Vec.Clone(), nil
 	g, err := w.ComputeGradient(req.Vec)
 	if err != nil {
 		return rpc.Response{}
@@ -241,5 +294,41 @@ func (w *Worker) handleDeterministic(req rpc.Request) rpc.Response {
 		return rpc.Response{} // omission fault, replayed for the step
 	}
 	w.detOK, w.detReply = true, out
-	return rpc.Response{OK: true, Vec: out}
+	if w.comp != nil {
+		// Compress once per step, into a cached (non-pooled) buffer every
+		// puller shares: the error-feedback residual must advance once per
+		// gradient estimate, not once per replica pull, or the run would
+		// depend on pull arrival order.
+		w.detPayload = w.comp.Compress(make([]byte, 0, w.comp.MaxEncodedSize(len(out))), out)
+	}
+	return w.detResponse(req)
+}
+
+// detResponse serves the step's cached reply under the puller's negotiated
+// encoding: the cached compressed payload when the Accept byte matches the
+// worker's codec, the fp64 passthrough vector otherwise.
+func (w *Worker) detResponse(req rpc.Request) rpc.Response {
+	if w.detPayload != nil && req.Accept == w.comp.Encoding() {
+		return rpc.Response{OK: true, Enc: w.comp.Encoding(), Payload: w.detPayload}
+	}
+	return rpc.Response{OK: true, Vec: w.detReply}
+}
+
+// ResetCompression clears the compressor's error-feedback residual (a no-op
+// without compression). Checkpoint restores call it through the cluster: the
+// accumulated residual encodes corrections for model updates the restored
+// timeline no longer contains.
+func (w *Worker) ResetCompression() {
+	if w.comp != nil {
+		w.comp.Reset()
+	}
+}
+
+// compressionResidualNorm exposes the pending error-feedback residual to
+// tests (0 without compression).
+func (w *Worker) compressionResidualNorm() float64 {
+	if w.comp == nil {
+		return 0
+	}
+	return w.comp.ResidualNorm()
 }

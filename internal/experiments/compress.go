@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"garfield/internal/attack"
+	"garfield/internal/gar"
+	"garfield/internal/metrics"
+	"garfield/internal/scenario"
+)
+
+// ExtCompress is the gradient-compression study: for each codec it measures
+// bytes-on-wire (pull-reply payloads against their fp64 baseline),
+// throughput, and — the part that matters for a Byzantine-ML system — final
+// accuracy both honestly and under the collusion attacks. The robustness
+// question is whether a lossy codec lets little-is-enough / fall-of-empires
+// slip past the selection GARs: quantization noise shrinks the margin those
+// attacks already exploit, so the study pins Krum-family rules against them
+// under every codec. A codec passes when honest accuracy matches fp64 and
+// the attacked runs still converge (the GAR keeps rejecting the attack).
+func ExtCompress(opt Options) (Renderable, error) {
+	iters := 120
+	if opt.Quick {
+		iters = 30
+	}
+	m, d := cifarStyleTask(opt)
+	// nw=15, fw=3 satisfies bulyan's 4f+3; topK keeps 25% of coordinates.
+	const nw, fw = 15, 3
+	codecs := []struct {
+		name string
+		topK int
+	}{
+		{"fp64", 0},
+		{"fp16", 0},
+		{"int8", 0},
+		{"topk", 0}, // budget filled in below (depends on model dim)
+	}
+	// A quarter of the gradient's coordinates per reply; the model is
+	// linear over d.Dim inputs with 10 classes (plus biases), so derive the
+	// budget from the task rather than hard-coding a dimension.
+	topKBudget := (d.Dim*10 + 10) / 4
+
+	base := func(codec string, topK int) scenario.Spec {
+		return scenario.Spec{
+			Topology: scenario.TopoSSMW,
+			Model:    m, Dataset: d,
+			BatchSize: 16,
+			NW:        nw, FW: fw,
+			Rule:        gar.NameMDA,
+			Compression: codec, TopK: topK,
+			LR:   scenario.LRSpec{Kind: scenario.LRConstant, Base: 0.25},
+			Seed: opt.seed(), Iterations: iters,
+		}
+	}
+
+	t := &metrics.Table{
+		Title: fmt.Sprintf("Extension: gradient compression — bytes vs accuracy vs robustness over %d iterations (nw=%d, fw=%d)", iters, nw, fw),
+		Header: []string{"codec", "reply KB", "ratio", "updates/sec",
+			"acc honest", "acc LIE/mda", "acc empire/krum", "acc LIE/bulyan"},
+	}
+	for _, codec := range codecs {
+		topK := codec.topK
+		if codec.name == "topk" {
+			topK = topKBudget
+		}
+
+		honest := base(codec.name, topK)
+		honest.FW = 0 // no declared Byzantine workers in the honest run
+		resHonest, err := scenario.Run(honest)
+		if err != nil {
+			return nil, fmt.Errorf("ext-compress %s honest: %w", codec.name, err)
+		}
+
+		attacked := func(rule, atk string) (float64, error) {
+			sp := base(codec.name, topK)
+			sp.Rule = rule
+			sp.WorkerAttack = scenario.AttackSpec{Name: atk}
+			sp.AttackSelfPeers = 3
+			res, err := scenario.Run(sp)
+			if err != nil {
+				return 0, fmt.Errorf("ext-compress %s %s/%s: %w", codec.name, rule, atk, err)
+			}
+			return res.Accuracy.Last(), nil
+		}
+		lieMDA, err := attacked(gar.NameMDA, attack.NameLittleIsEnough)
+		if err != nil {
+			return nil, err
+		}
+		empireKrum, err := attacked(gar.NameKrum, attack.NameFallOfEmpires)
+		if err != nil {
+			return nil, err
+		}
+		lieBulyan, err := attacked(gar.NameBulyan, attack.NameLittleIsEnough)
+		if err != nil {
+			return nil, err
+		}
+
+		w := resHonest.Wire
+		t.AddRow(codec.name,
+			fmt.Sprintf("%.1f", float64(w.ReplyPayloadBytes)/1024),
+			fmt.Sprintf("%.2fx", w.ReplyCompressionRatio()),
+			fmt.Sprintf("%.1f", resHonest.UpdatesPerSec()),
+			fmt.Sprintf("%.4f", resHonest.Accuracy.Last()),
+			fmt.Sprintf("%.4f", lieMDA),
+			fmt.Sprintf("%.4f", empireKrum),
+			fmt.Sprintf("%.4f", lieBulyan))
+	}
+	return t, nil
+}

@@ -87,6 +87,7 @@ var registry = map[string]struct {
 	"ext-stale":      {ExtStale, "EXT: staleness fault vs robust aggregation"},
 	"ext-throughput": {ExtLiveThroughput, "EXT: live in-process throughput of every protocol"},
 	"ext-async":      {ExtAsyncThroughput, "EXT: async bounded-staleness vs lockstep SSMW under a straggler"},
+	"ext-compress":   {ExtCompress, "EXT: gradient compression codecs — bytes-on-wire vs accuracy vs attack rejection"},
 	"chaos":          {ExtChaos, "EXT: chaos-engine invariants (safety/liveness/determinism/corruption) per preset"},
 }
 

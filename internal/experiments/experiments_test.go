@@ -13,7 +13,7 @@ func quick() Options { return Options{Quick: true, Seed: 9} }
 
 func TestIDsStableAndDescribed(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 33 {
+	if len(ids) != 34 {
 		t.Fatalf("IDs = %d entries: %v", len(ids), ids)
 	}
 	for _, id := range ids {
@@ -232,6 +232,68 @@ func TestExtGARsAllRobust(t *testing.T) {
 		}
 		if acc < 0.6 {
 			t.Fatalf("%s failed under attack: %v", row[0], acc)
+		}
+	}
+}
+
+// TestExtCompressAccuracyAndRobustness asserts the compression study's
+// acceptance criteria: every codec's honest accuracy stays within tolerance
+// of uncompressed fp64, the selection GARs (Krum/MDA/Bulyan) keep rejecting
+// the collusion attacks under every codec, and the quantizing codecs
+// actually shrink the reply stream (int8 by at least 4x).
+func TestExtCompressAccuracyAndRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	r, err := ExtCompress(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, ok := r.(*metrics.Table)
+	if !ok {
+		t.Fatal("not a table")
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want one per codec", len(tab.Rows))
+	}
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := fmt.Sscanf(s, "%f", &v); err != nil {
+			t.Fatalf("cell %q: %v", s, err)
+		}
+		return v
+	}
+	var fp64Honest float64
+	for i, row := range tab.Rows {
+		codec := row[0]
+		ratio := parse(row[2])
+		honest := parse(row[4])
+		if i == 0 {
+			if codec != "fp64" {
+				t.Fatalf("first row is %q, want the fp64 baseline", codec)
+			}
+			fp64Honest = honest
+			if ratio < 0.99 || ratio > 1.01 {
+				t.Fatalf("fp64 baseline ratio %.2f, want 1.0", ratio)
+			}
+		} else {
+			if ratio < 2 {
+				t.Errorf("%s reply ratio %.2fx, want >= 2x", codec, ratio)
+			}
+			if honest < fp64Honest-0.1 {
+				t.Errorf("%s honest accuracy %.4f vs fp64 %.4f: outside tolerance", codec, honest, fp64Honest)
+			}
+		}
+		if codec == "int8" && ratio < 4 {
+			t.Errorf("int8 reply ratio %.2fx, want >= 4x", ratio)
+		}
+		// Attack columns: LIE vs MDA, fall-of-empires vs Krum, LIE vs
+		// Bulyan. Rejection = the attacked run still converges.
+		for col := 5; col <= 7; col++ {
+			if acc := parse(row[col]); acc < 0.5 {
+				t.Errorf("%s: attacked run (column %s) collapsed to %.4f — the GAR let the attack through",
+					codec, tab.Header[col], acc)
+			}
 		}
 	}
 }

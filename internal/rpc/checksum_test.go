@@ -6,6 +6,7 @@ import (
 	"errors"
 	"testing"
 
+	"garfield/internal/compress"
 	"garfield/internal/tensor"
 	"garfield/internal/transport"
 )
@@ -40,7 +41,7 @@ func TestFrameChecksumRejectsCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := decodeResponse(payload)
+	got, err := decodeResponse(payload, compress.MaxDim)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestServerSurvivesCorruptedRequestFrame(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := decodeResponse(payload)
+	resp, err := decodeResponse(payload, compress.MaxDim)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestServerSurvivesCorruptedRequestFrame(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err = decodeResponse(payload)
+	resp, err = decodeResponse(payload, compress.MaxDim)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -116,7 +116,7 @@ func (c *Client) Call(ctx context.Context, addr string, req Request) (tensor.Vec
 	if err != nil {
 		return nil, fmt.Errorf("rpc: receive from %q: %w", addr, wrapCtx(ctx, err))
 	}
-	resp, err := decodeResponse(*payload)
+	resp, err := decodeResponse(*payload, replyDimBound(req))
 	putBuf(payload)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: from %q: %w", addr, err)

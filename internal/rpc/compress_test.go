@@ -1,0 +1,204 @@
+package rpc
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"garfield/internal/compress"
+	"garfield/internal/tensor"
+	"garfield/internal/transport"
+)
+
+// compressingHandler serves vec compressed when the request's Accept byte
+// matches enc, passthrough otherwise — the negotiation contract every
+// serving node follows.
+func compressingHandler(enc compress.Encoding, k int, vec tensor.Vector) Handler {
+	comp, err := compress.NewCompressor(enc, k)
+	if err != nil {
+		panic(err)
+	}
+	return HandlerFunc(func(req Request) Response {
+		if req.Accept != enc {
+			return Response{OK: true, Vec: vec}
+		}
+		buf := compress.GetBuf(comp.MaxEncodedSize(len(vec)))
+		return Response{OK: true, Enc: enc, Payload: comp.Compress(buf, vec), FreePayload: true}
+	})
+}
+
+// TestCompressedReplyRoundTrip: a compressed reply crosses the full framed
+// wire path — encode, checksum, decode, decompress — and the protocol layer
+// receives a plain vector within the codec's tolerance.
+func TestCompressedReplyRoundTrip(t *testing.T) {
+	net := transport.NewMem()
+	rng := tensor.NewRNG(4)
+	vec := rng.NormalVector(2000, 0, 1)
+	srv, err := Serve(net, "peer", compressingHandler(compress.EncInt8, 0, vec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewPooledClient(net)
+	defer c.Close()
+
+	got, err := c.Call(context.Background(), "peer", Request{Kind: KindGetModel, Accept: compress.EncInt8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vec) {
+		t.Fatalf("got %d coords, want %d", len(got), len(vec))
+	}
+	for i := range vec {
+		if math.Abs(got[i]-vec[i]) > 0.02 {
+			t.Fatalf("coord %d: %v vs %v", i, got[i], vec[i])
+		}
+	}
+	// Counters: the shipped reply must be far below its fp64 baseline.
+	s := c.Stats()
+	if s.Replies != 1 || s.ReplyPayloadBytes == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.ReplyFP64Bytes < 4*s.ReplyPayloadBytes {
+		t.Fatalf("int8 over the wire: shipped %d baseline %d", s.ReplyPayloadBytes, s.ReplyFP64Bytes)
+	}
+
+	// Without the Accept byte the same peer serves passthrough — the
+	// mixed-fleet fallback — and the counters agree ratio == 1 for it.
+	c2 := NewPooledClient(net)
+	defer c2.Close()
+	plain, err := c2.Call(context.Background(), "peer", Request{Kind: KindGetModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Equal(vec) {
+		t.Fatal("passthrough fallback did not return the exact vector")
+	}
+	if s2 := c2.Stats(); s2.ReplyPayloadBytes != s2.ReplyFP64Bytes {
+		t.Fatalf("passthrough stats disagree with themselves: %+v", s2)
+	}
+}
+
+// TestUnknownReplyEncodingRejected: a reply stamped with an encoding byte
+// this build does not know must fail the call — never be guessed at.
+func TestUnknownReplyEncodingRejected(t *testing.T) {
+	net := transport.NewMem()
+	srv, err := Serve(net, "peer", HandlerFunc(func(Request) Response {
+		return Response{OK: true, Enc: compress.Encoding(200), Payload: []byte{1, 2, 3}}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewPooledClient(net)
+	defer c.Close()
+	_, err = c.Call(context.Background(), "peer", Request{Kind: KindGetModel})
+	if !errors.Is(err, ErrBadEncoding) {
+		t.Fatalf("err = %v, want ErrBadEncoding", err)
+	}
+}
+
+// TestCorruptCompressedPayloadRejected: a structurally-invalid compressed
+// payload (here: a truncated top-k body under an honest length claim) is
+// rejected at decode, not silently mis-read.
+func TestCorruptCompressedPayloadRejected(t *testing.T) {
+	net := transport.NewMem()
+	srv, err := Serve(net, "peer", HandlerFunc(func(Request) Response {
+		return Response{OK: true, Enc: compress.EncTopK, Payload: []byte{9, 0, 0, 0, 2, 0, 0, 0, 5}}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewPooledClient(net)
+	defer c.Close()
+	_, err = c.Call(context.Background(), "peer", Request{Kind: KindGetModel})
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v, want ErrMalformed", err)
+	}
+}
+
+// TestOversizedSparseReplyRejected: a Byzantine peer answering a gradient
+// pull with a tiny top-k payload that claims a huge dimension must be
+// rejected by the puller's dimension bound (the model travelled in the
+// request, so the reply cannot plausibly exceed it) — twenty attacker
+// bytes never buy a multi-gigabyte allocation.
+func TestOversizedSparseReplyRejected(t *testing.T) {
+	net := transport.NewMem()
+	bomb := make([]byte, 20)
+	binary.LittleEndian.PutUint32(bomb, uint32(compress.MaxDim)) // d = 268M
+	binary.LittleEndian.PutUint32(bomb[4:], 1)                   // k = 1
+	srv, err := Serve(net, "peer", HandlerFunc(func(Request) Response {
+		return Response{OK: true, Enc: compress.EncTopK, Payload: bomb}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewPooledClient(net)
+	defer c.Close()
+	req := Request{Kind: KindGetGradient, Accept: compress.EncTopK, Vec: make(tensor.Vector, 64)}
+	if _, err := c.Call(context.Background(), "peer", req); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v, want ErrMalformed (dimension bound)", err)
+	}
+}
+
+// TestRequestAcceptRoundTrip: the Accept byte survives the request codec,
+// including values this build does not know (they ride through for the
+// handler to ignore).
+func TestRequestAcceptRoundTrip(t *testing.T) {
+	for _, acc := range []compress.Encoding{compress.EncFP64, compress.EncInt8, compress.EncTopK, 250} {
+		req := Request{Kind: KindGetGradient, Step: 9, Accept: acc, From: "server-1", Vec: tensor.Vector{1, 2}}
+		back, err := decodeRequest(encodeRequest(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Accept != acc || back.From != req.From || back.Step != req.Step {
+			t.Fatalf("accept %d: round trip %+v", acc, back)
+		}
+	}
+}
+
+// TestPooledClientStatsAccounting pins the counter arithmetic on the plain
+// path: N identical calls, exact payload sizes both ways.
+func TestPooledClientStatsAccounting(t *testing.T) {
+	net := transport.NewMem()
+	const d = 100
+	vec := make(tensor.Vector, d)
+	srv, err := Serve(net, "peer", HandlerFunc(func(Request) Response {
+		return Response{OK: true, Vec: vec}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewPooledClient(net)
+	defer c.Close()
+	const calls = 5
+	req := Request{Kind: KindGetModel, Step: 3, From: "me"}
+	for i := 0; i < calls; i++ {
+		if _, err := c.Call(context.Background(), "peer", req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	wantReply := uint64(calls) * uint64(7+4+8*d)
+	if s.Calls != calls || s.Replies != calls {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.ReplyPayloadBytes != wantReply || s.ReplyFP64Bytes != wantReply {
+		t.Fatalf("reply bytes %d/%d, want %d", s.ReplyPayloadBytes, s.ReplyFP64Bytes, wantReply)
+	}
+	wantOut := uint64(calls) * uint64(frameHeaderSize+encodedRequestSize(req))
+	if s.BytesOut != wantOut {
+		t.Fatalf("bytes out %d, want %d", s.BytesOut, wantOut)
+	}
+	if s.BytesIn != wantReply+uint64(calls)*frameHeaderSize {
+		t.Fatalf("bytes in %d", s.BytesIn)
+	}
+	if got := s.ReplyCompressionRatio(); got != 1 {
+		t.Fatalf("ratio = %v, want 1", got)
+	}
+}

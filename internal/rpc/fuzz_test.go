@@ -3,6 +3,7 @@ package rpc
 import (
 	"testing"
 
+	"garfield/internal/compress"
 	"garfield/internal/tensor"
 )
 
@@ -17,6 +18,7 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add(encodeRequest(Request{Kind: KindGetGradient, Step: 1, Vec: tensor.Vector{1, 2, 3}}))
 	f.Add(encodeRequest(Request{Kind: KindGetModel, Step: 2, From: "server-1"}))
 	f.Add(encodeRequest(Request{Kind: KindGetGradient, Step: 3, From: "s", Vec: tensor.Vector{4}}))
+	f.Add(encodeRequest(Request{Kind: KindGetGradient, Step: 4, Accept: compress.EncInt8, Vec: tensor.Vector{5, 6}}))
 	// hasVec flag set, truncated payload.
 	bad := encodeRequest(Request{Kind: KindGetGradient, Vec: tensor.Vector{1, 2}})
 	f.Add(bad[:9])
@@ -49,17 +51,28 @@ func FuzzDecodeResponse(f *testing.F) {
 	f.Add(encodeResponse(Response{OK: true, EchoKind: KindGetModel, EchoStep: 9, Vec: tensor.Vector{6}}))
 	f.Add(encodeResponse(Response{}))
 	f.Add(encodeResponse(Response{EchoKind: KindPing, EchoStep: 3}))
+	comp, _ := compress.NewCompressor(compress.EncTopK, 2)
+	f.Add(encodeResponse(Response{OK: true, Enc: compress.EncTopK,
+		Payload: comp.Compress(nil, tensor.Vector{1, -7, 3, 0.5})}))
+	f.Add(encodeResponse(Response{OK: true, Enc: compress.Encoding(250), Payload: []byte{1, 2}}))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		resp, err := decodeResponse(data)
+		resp, err := decodeResponse(data, compress.MaxDim)
 		if err != nil {
 			return
 		}
-		again, err := decodeResponse(encodeResponse(resp))
+		// Decoding decompresses into Vec and never populates Payload, so a
+		// compressed reply re-encodes as passthrough: normalize before the
+		// round trip.
+		resp.Enc = compress.EncFP64
+		again, err := decodeResponse(encodeResponse(resp), compress.MaxDim)
 		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}
 		if again.OK != resp.OK || again.EchoKind != resp.EchoKind || again.EchoStep != resp.EchoStep {
 			t.Fatalf("round trip mismatch: %+v vs %+v", again, resp)
+		}
+		if len(again.Vec) != len(resp.Vec) {
+			t.Fatalf("vec length mismatch: %d vs %d", len(again.Vec), len(resp.Vec))
 		}
 	})
 }

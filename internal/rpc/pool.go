@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"garfield/internal/compress"
 	"garfield/internal/tensor"
 	"garfield/internal/transport"
 )
@@ -39,9 +40,88 @@ type PooledClient struct {
 	network transport.Network
 	self    string
 
+	// Wire accounting (see WireStats): updated lock-free on every call so
+	// compression ratios are observable in every run artifact.
+	calls        atomic.Uint64
+	bytesOut     atomic.Uint64
+	bytesIn      atomic.Uint64
+	replies      atomic.Uint64
+	replyPayload atomic.Uint64
+	replyFP64    atomic.Uint64
+
 	mu     sync.Mutex
 	closed bool
 	conns  map[string]*pooledConn
+}
+
+// WireStats is a snapshot of a PooledClient's byte accounting: how many
+// frame bytes moved in each direction, and — for the pull replies that
+// actually carried vectors — what they cost on the wire versus what the
+// same replies would have cost under the fp64 passthrough encoding. The
+// fp64 baseline is computed from each decoded reply's dimension, so
+// ReplyFP64Bytes / ReplyPayloadBytes is the exact end-to-end compression
+// ratio of the reply stream.
+type WireStats struct {
+	// Calls counts call attempts that reached the wire.
+	Calls uint64
+	// BytesOut and BytesIn are total frame bytes written and read
+	// (headers and checksums included; drained late replies count too).
+	BytesOut uint64
+	BytesIn  uint64
+	// Replies counts successfully decoded OK replies.
+	Replies uint64
+	// ReplyPayloadBytes is the frame-body bytes of those replies as
+	// shipped; ReplyFP64Bytes is what the same replies would have cost
+	// under the passthrough encoding.
+	ReplyPayloadBytes uint64
+	ReplyFP64Bytes    uint64
+}
+
+// Add returns the field-wise sum of two snapshots (aggregating a cluster's
+// per-replica clients).
+func (s WireStats) Add(o WireStats) WireStats {
+	return WireStats{
+		Calls:             s.Calls + o.Calls,
+		BytesOut:          s.BytesOut + o.BytesOut,
+		BytesIn:           s.BytesIn + o.BytesIn,
+		Replies:           s.Replies + o.Replies,
+		ReplyPayloadBytes: s.ReplyPayloadBytes + o.ReplyPayloadBytes,
+		ReplyFP64Bytes:    s.ReplyFP64Bytes + o.ReplyFP64Bytes,
+	}
+}
+
+// Sub returns the field-wise difference s - o (delta between two snapshots
+// of the same client set).
+func (s WireStats) Sub(o WireStats) WireStats {
+	return WireStats{
+		Calls:             s.Calls - o.Calls,
+		BytesOut:          s.BytesOut - o.BytesOut,
+		BytesIn:           s.BytesIn - o.BytesIn,
+		Replies:           s.Replies - o.Replies,
+		ReplyPayloadBytes: s.ReplyPayloadBytes - o.ReplyPayloadBytes,
+		ReplyFP64Bytes:    s.ReplyFP64Bytes - o.ReplyFP64Bytes,
+	}
+}
+
+// ReplyCompressionRatio returns fp64-baseline bytes over shipped bytes for
+// the reply stream (1.0 for an uncompressed fleet, 0 when no replies).
+func (s WireStats) ReplyCompressionRatio() float64 {
+	if s.ReplyPayloadBytes == 0 {
+		return 0
+	}
+	return float64(s.ReplyFP64Bytes) / float64(s.ReplyPayloadBytes)
+}
+
+// Stats returns a snapshot of the client's wire accounting.
+func (c *PooledClient) Stats() WireStats {
+	return WireStats{
+		Calls:             c.calls.Load(),
+		BytesOut:          c.bytesOut.Load(),
+		BytesIn:           c.bytesIn.Load(),
+		Replies:           c.replies.Load(),
+		ReplyPayloadBytes: c.replyPayload.Load(),
+		ReplyFP64Bytes:    c.replyFP64.Load(),
+	}
 }
 
 var _ Caller = (*PooledClient)(nil)
@@ -251,10 +331,13 @@ func (c *PooledClient) callLocked(ctx context.Context, pc *pooledConn, addr stri
 			}
 			return fail("drain", err)
 		}
+		c.bytesIn.Add(uint64(frameHeaderSize + len(*stale)))
 		putBuf(stale)
 		pc.pending--
 	}
 
+	c.calls.Add(1)
+	c.bytesOut.Add(uint64(frameHeaderSize + encodedRequestSize(req)))
 	if err := writeRequestFrame(pc.conn, req); err != nil {
 		// A failed or interrupted write leaves the request stream in an
 		// unknown state; the connection cannot be reused.
@@ -278,7 +361,9 @@ func (c *PooledClient) callLocked(ctx context.Context, pc *pooledConn, addr stri
 		}
 		return fail("receive from", err)
 	}
-	resp, err := decodeResponse(*payload)
+	c.bytesIn.Add(uint64(frameHeaderSize + len(*payload)))
+	payloadLen := len(*payload)
+	resp, err := decodeResponse(*payload, replyDimBound(req))
 	putBuf(payload)
 	if err != nil {
 		reused = false // protocol corruption, not an idle death
@@ -297,6 +382,17 @@ func (c *PooledClient) callLocked(ctx context.Context, pc *pooledConn, addr stri
 	if !resp.OK {
 		return nil, false, fmt.Errorf("rpc: %q: %w", addr, ErrNotServed)
 	}
+	// Reply accounting: what this reply cost as shipped, and what the same
+	// vector would have cost under the fp64 passthrough (7-byte response
+	// header + the tensor wire format) — the pair every compression ratio
+	// in the artifacts derives from.
+	c.replies.Add(1)
+	c.replyPayload.Add(uint64(payloadLen))
+	baseline := respHeaderSize // vector-less OK reply (ping)
+	if resp.Vec != nil {
+		baseline += compress.FP64EncodedSize(len(resp.Vec))
+	}
+	c.replyFP64.Add(uint64(baseline))
 	return resp.Vec, false, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"garfield/internal/compress"
 	"garfield/internal/tensor"
 	"garfield/internal/transport"
 )
@@ -54,7 +55,7 @@ func TestWireResponseRoundTrip(t *testing.T) {
 		{OK: true}, // ok with no vector
 	}
 	for _, resp := range tests {
-		got, err := decodeResponse(encodeResponse(resp))
+		got, err := decodeResponse(encodeResponse(resp), compress.MaxDim)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,7 +69,7 @@ func TestWireMalformed(t *testing.T) {
 	if _, err := decodeRequest([]byte{1, 2}); !errors.Is(err, ErrMalformed) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := decodeResponse(nil); !errors.Is(err, ErrMalformed) {
+	if _, err := decodeResponse(nil, compress.MaxDim); !errors.Is(err, ErrMalformed) {
 		t.Fatalf("err = %v", err)
 	}
 	// hasVec flag set but payload truncated
@@ -182,7 +183,7 @@ func TestServerSurvivesMalformedFrame(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := decodeResponse(payload)
+	resp, err := decodeResponse(payload, compress.MaxDim)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestServerSurvivesMalformedFrame(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err = decodeResponse(payload)
+	resp, err = decodeResponse(payload, compress.MaxDim)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 
+	"garfield/internal/compress"
 	"garfield/internal/tensor"
 	"garfield/internal/transport"
 )
@@ -157,7 +158,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		// stamps. The decline paths above deliberately send a zero echo —
 		// an "anonymous decline" for requests the server could not read.
 		resp.EchoKind, resp.EchoStep = req.Kind, req.Step
-		if err := writeResponseFrame(conn, resp); err != nil {
+		err = writeResponseFrame(conn, resp)
+		if resp.FreePayload && resp.Payload != nil {
+			// The handler borrowed its compressed payload from the shared
+			// pool; the frame has been copied out, so hand it back.
+			compress.PutBuf(resp.Payload)
+		}
+		if err != nil {
 			return
 		}
 	}

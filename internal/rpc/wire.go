@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"garfield/internal/compress"
 	"garfield/internal/tensor"
 )
 
@@ -51,6 +52,15 @@ func (k Kind) String() string {
 type Request struct {
 	Kind Kind
 	Step uint32
+	// Accept is the payload-encoding negotiation byte: the one compressed
+	// encoding (internal/compress) the caller is prepared to decode in the
+	// reply, besides the always-acceptable fp64 passthrough. A serving node
+	// compresses only when its configured codec matches Accept exactly;
+	// every other pairing — an old caller that never sets the byte, a new
+	// caller pulling an uncompressed node, or an encoding this build does
+	// not know — falls back to passthrough, which is how mixed fleets
+	// interoperate.
+	Accept compress.Encoding
 	// From is the caller's self-declared address ("" when anonymous). It
 	// is advisory — a Byzantine caller can lie — and exists so adversarial
 	// handlers (the equivocating Byzantine server) can answer different
@@ -72,11 +82,31 @@ type Request struct {
 // wrong-step vector. The echo turns that silent poisoning into a detected
 // transport failure (ErrMismatchedReply; the connection is torn down and the
 // call retried or surfaced).
+// A response's vector travels under a negotiated payload encoding: Enc names
+// it, and for anything other than the fp64 passthrough the handler supplies
+// the pre-compressed bytes in Payload (produced by a compress.Compressor —
+// for error-feedback codecs the residual update must happen where the
+// gradient stream lives, not in the transport). The encoding byte sits
+// inside the checksummed frame body like every other payload byte, so it is
+// integrity-protected; decoders reject unknown encodings outright.
 type Response struct {
 	OK       bool
 	EchoKind Kind
 	EchoStep uint32
-	Vec      tensor.Vector
+	// Enc is the encoding of the reply payload. EncFP64 (the zero value)
+	// means Vec is serialized directly — the seed wire format.
+	Enc compress.Encoding
+	// Vec is the reply vector (passthrough encoding). Ignored by the
+	// encoder when Enc != EncFP64.
+	Vec tensor.Vector
+	// Payload is the pre-compressed reply body when Enc != EncFP64. On the
+	// decode side it is never populated: decodeResponse decompresses
+	// straight into Vec, so the protocol layer only ever sees vectors.
+	Payload []byte
+	// FreePayload tells the serving loop that Payload was borrowed from
+	// compress.GetBuf and may be recycled once the frame is written (a
+	// handler serving a long-lived cached payload leaves it false).
+	FreePayload bool
 }
 
 const (
@@ -255,7 +285,7 @@ func fromLen(r Request) int {
 }
 
 func encodedRequestSize(r Request) int {
-	size := 7 + fromLen(r)
+	size := 8 + fromLen(r)
 	if r.Vec != nil {
 		size += r.Vec.EncodedSize()
 	}
@@ -263,18 +293,19 @@ func encodedRequestSize(r Request) int {
 }
 
 // encodeRequestTo serializes r into buf (len encodedRequestSize(r)):
-// kind(1) step(4) fromLen(1) from(n) hasVec(1) [vec].
+// kind(1) step(4) accept(1) fromLen(1) from(n) hasVec(1) [vec].
 func encodeRequestTo(buf []byte, r Request) {
 	buf[0] = byte(r.Kind)
 	binary.LittleEndian.PutUint32(buf[1:], r.Step)
+	buf[5] = byte(r.Accept)
 	n := fromLen(r)
-	buf[5] = byte(n)
-	copy(buf[6:], r.From[:n])
-	buf[6+n] = 0
+	buf[6] = byte(n)
+	copy(buf[7:], r.From[:n])
+	buf[7+n] = 0
 	if r.Vec != nil {
-		buf[6+n] = 1
+		buf[7+n] = 1
 		// Encoding into a correctly-sized buffer cannot fail.
-		_ = r.Vec.EncodeTo(buf[7+n:])
+		_ = r.Vec.EncodeTo(buf[8+n:])
 	}
 }
 
@@ -290,22 +321,26 @@ func encodeRequest(r Request) []byte {
 // payload req.Vec is nil; the previous buffer is handed back in spare so the
 // caller can keep it for the next request.
 func decodeRequestInto(req *Request, b []byte) (spare tensor.Vector, err error) {
-	if len(b) < 7 {
+	if len(b) < 8 {
 		return req.Vec, fmt.Errorf("%w: request of %d bytes", ErrMalformed, len(b))
 	}
 	req.Kind = Kind(b[0])
 	req.Step = binary.LittleEndian.Uint32(b[1:])
-	n := int(b[5])
-	if len(b) < 7+n {
+	// An unknown Accept byte is not an error: the negotiation contract is
+	// "compress only on exact codec match", so a value this build does not
+	// know simply never matches and the reply falls back to passthrough.
+	req.Accept = compress.Encoding(b[5])
+	n := int(b[6])
+	if len(b) < 8+n {
 		return req.Vec, fmt.Errorf("%w: request of %d bytes, from of %d", ErrMalformed, len(b), n)
 	}
-	req.From = string(b[6 : 6+n])
-	if b[6+n] != 1 {
+	req.From = string(b[7 : 7+n])
+	if b[7+n] != 1 {
 		spare = req.Vec
 		req.Vec = nil
 		return spare, nil
 	}
-	if err := req.Vec.UnmarshalBinary(b[7+n:]); err != nil {
+	if err := req.Vec.UnmarshalBinary(b[8+n:]); err != nil {
 		return req.Vec, fmt.Errorf("%w: %v", ErrMalformed, err)
 	}
 	return nil, nil
@@ -320,16 +355,29 @@ func decodeRequest(b []byte) (Request, error) {
 	return req, nil
 }
 
+// respHeaderSize is the fixed response prefix: ok(1) echoKind(1)
+// echoStep(4) enc(1). The baseline byte accounting (WireStats) and every
+// encode/decode below derive from this one constant.
+const respHeaderSize = 7
+
 func encodedResponseSize(r Response) int {
-	size := 6
-	if r.OK && r.Vec != nil {
+	size := respHeaderSize
+	if !r.OK {
+		return size
+	}
+	if r.Enc != compress.EncFP64 {
+		return size + len(r.Payload)
+	}
+	if r.Vec != nil {
 		size += r.Vec.EncodedSize()
 	}
 	return size
 }
 
 // encodeResponseTo serializes r into buf (len encodedResponseSize(r)):
-// ok(1) echoKind(1) echoStep(4) [vec].
+// ok(1) echoKind(1) echoStep(4) enc(1) [payload]. The payload is the
+// passthrough-encoded Vec under EncFP64, the handler-supplied compressed
+// bytes otherwise.
 func encodeResponseTo(buf []byte, r Response) {
 	buf[0] = 0
 	if r.OK {
@@ -337,8 +385,17 @@ func encodeResponseTo(buf []byte, r Response) {
 	}
 	buf[1] = byte(r.EchoKind)
 	binary.LittleEndian.PutUint32(buf[2:], r.EchoStep)
-	if r.OK && r.Vec != nil {
-		_ = r.Vec.EncodeTo(buf[6:])
+	buf[6] = byte(r.Enc)
+	if !r.OK {
+		buf[6] = 0
+		return
+	}
+	if r.Enc != compress.EncFP64 {
+		copy(buf[7:], r.Payload)
+		return
+	}
+	if r.Vec != nil {
+		_ = r.Vec.EncodeTo(buf[7:])
 	}
 }
 
@@ -349,20 +406,57 @@ func encodeResponse(r Response) []byte {
 	return buf
 }
 
-// decodeResponse parses the output of encodeResponse.
-func decodeResponse(b []byte) (Response, error) {
-	if len(b) < 6 {
+// ErrBadEncoding is returned for a reply whose payload-encoding byte names
+// a codec this build does not know. It is rejected, never guessed at: the
+// byte is integrity-protected by the frame checksum, so an unknown value
+// means a newer or Byzantine peer, and decoding its payload as some other
+// codec would be silent poisoning.
+var ErrBadEncoding = errors.New("rpc: unknown payload encoding")
+
+// decodeResponse parses the output of encodeResponse, decompressing a
+// non-passthrough payload into Vec — the protocol layer above only ever
+// sees plain vectors, whatever travelled on the wire. dimBound caps the
+// dimension a compressed payload may claim (see replyDimBound): the sparse
+// codec's payload does not grow with the dimension, so without the bound a
+// Byzantine peer's twenty-byte reply could demand a multi-gigabyte output
+// allocation.
+func decodeResponse(b []byte, dimBound int) (Response, error) {
+	if len(b) < respHeaderSize {
 		return Response{}, fmt.Errorf("%w: response of %d bytes", ErrMalformed, len(b))
 	}
 	r := Response{
 		OK:       b[0] == 1,
 		EchoKind: Kind(b[1]),
 		EchoStep: binary.LittleEndian.Uint32(b[2:]),
+		Enc:      compress.Encoding(b[6]),
 	}
-	if r.OK && len(b) > 6 {
-		if err := r.Vec.UnmarshalBinary(b[6:]); err != nil {
+	if !r.OK {
+		return r, nil
+	}
+	if !r.Enc.Valid() {
+		return Response{}, fmt.Errorf("%w: byte %d", ErrBadEncoding, b[6])
+	}
+	if r.Enc != compress.EncFP64 {
+		if err := compress.DecodeBounded(&r.Vec, r.Enc, b[respHeaderSize:], dimBound); err != nil {
+			return Response{}, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		return r, nil
+	}
+	if len(b) > respHeaderSize {
+		if err := r.Vec.UnmarshalBinary(b[respHeaderSize:]); err != nil {
 			return Response{}, fmt.Errorf("%w: %v", ErrMalformed, err)
 		}
 	}
 	return r, nil
+}
+
+// replyDimBound returns the decoder's output-dimension cap for one call: a
+// gradient pull folds the model into the request, so its reply cannot
+// plausibly exceed that dimension; calls without a request vector fall back
+// to the global compress.MaxDim backstop.
+func replyDimBound(req Request) int {
+	if req.Vec != nil {
+		return len(req.Vec)
+	}
+	return compress.MaxDim
 }

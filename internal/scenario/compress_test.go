@@ -1,0 +1,138 @@
+package scenario
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestCompressionSpecValidation: the codec knobs are vetted like every
+// other spec field — unknown names and inconsistent top-k budgets fail
+// loudly before a cluster is built.
+func TestCompressionSpecValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Spec)
+		errPart string
+	}{
+		{"unknown codec", func(sp *Spec) { sp.Compression = "gzip" }, "unknown encoding"},
+		{"topk without budget", func(sp *Spec) { sp.Compression = "topk" }, "top_k >= 1"},
+		{"budget without topk", func(sp *Spec) { sp.TopK = 8 }, `requires compression "topk"`},
+		{"budget on dense codec", func(sp *Spec) { sp.Compression = "int8"; sp.TopK = 8 }, `requires compression "topk"`},
+	}
+	for _, tc := range cases {
+		sp := validSpec()
+		tc.mutate(&sp)
+		err := sp.Validate()
+		if !errors.Is(err, ErrSpec) {
+			t.Errorf("%s: err = %v, want ErrSpec", tc.name, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.errPart) {
+			t.Errorf("%s: err %q does not mention %q", tc.name, err, tc.errPart)
+		}
+	}
+	// And the valid shapes pass.
+	for _, ok := range []struct {
+		codec string
+		topK  int
+	}{{"", 0}, {"fp64", 0}, {"fp16", 0}, {"int8", 0}, {"topk", 16}} {
+		sp := validSpec()
+		sp.Compression, sp.TopK = ok.codec, ok.topK
+		if err := sp.Validate(); err != nil {
+			t.Errorf("compression=%q top_k=%d rejected: %v", ok.codec, ok.topK, err)
+		}
+	}
+}
+
+// TestCompressionSpecJSONRoundTrip: the new knobs serialize with the spec.
+func TestCompressionSpecJSONRoundTrip(t *testing.T) {
+	sp := validSpec()
+	sp.Compression = "topk"
+	sp.TopK = 12
+	var buf strings.Builder
+	if err := sp.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Compression != "topk" || back.TopK != 12 {
+		t.Fatalf("round trip lost compression knobs: %+v", back)
+	}
+}
+
+// TestCompressedRunAccountsBytes: a compressed scenario run reports wire
+// accounting through Result, with the int8 ratio the acceptance criteria
+// demand.
+func TestCompressedRunAccountsBytes(t *testing.T) {
+	sp := validSpec()
+	sp.Compression = "int8"
+	res, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Wire.Replies == 0 {
+		t.Fatal("no reply accounting in scenario result")
+	}
+	if res.Wire.ReplyFP64Bytes < 4*res.Wire.ReplyPayloadBytes {
+		t.Fatalf("int8 reply ratio %.2fx < 4x", res.Wire.ReplyCompressionRatio())
+	}
+}
+
+// TestSweepBitIdenticalWithCompression extends the engine's determinism
+// contract to the compression path: identical compressed sweeps — top-k
+// error feedback included — produce byte-identical artifacts, now carrying
+// the wire-byte columns.
+func TestSweepBitIdenticalWithCompression(t *testing.T) {
+	base := sweepBase()
+	base.Compression = "topk"
+	base.TopK = 8
+	m := Matrix{
+		Name:  "determinism-compressed",
+		Base:  base,
+		Rules: []string{"median", "krum"},
+	}
+	dirA, dirB := filepath.Join(t.TempDir(), "a"), filepath.Join(t.TempDir(), "b")
+	repA, err := RunSweep(m, SweepOptions{OutDir: dirA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := RunSweep(m, SweepOptions{OutDir: dirB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range repA.Cells {
+		if c.Status != "ok" {
+			t.Fatalf("cell %s failed: %s", c.ID, c.Error)
+		}
+		if c.ReplyPayloadBytes == 0 || c.ReplyFP64Bytes <= c.ReplyPayloadBytes {
+			t.Fatalf("cell %s: top-k accounting not compressed: shipped %d baseline %d",
+				c.ID, c.ReplyPayloadBytes, c.ReplyFP64Bytes)
+		}
+	}
+	if !reflect.DeepEqual(repA, repB) {
+		t.Fatal("two compressed sweeps at the same seed produced different reports")
+	}
+	summaryA, err := os.ReadFile(filepath.Join(dirA, "summary.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	summaryB, err := os.ReadFile(filepath.Join(dirB, "summary.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(summaryA) != string(summaryB) {
+		t.Fatal("summary.csv differs between identical compressed sweeps")
+	}
+	header := strings.SplitN(string(summaryA), "\n", 2)[0]
+	for _, col := range []string{"wire_in", "wire_out", "reply_payload_bytes", "reply_fp64_bytes"} {
+		if !strings.Contains(header, col) {
+			t.Fatalf("summary.csv header %q missing column %q", header, col)
+		}
+	}
+}

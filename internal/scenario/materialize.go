@@ -49,6 +49,8 @@ func Materialize(sp Spec) (core.Config, error) {
 		StalenessBound:   sp.StalenessBound,
 		StalenessDamping: sp.StalenessDamping,
 		ModelAggEvery:    sp.ModelAggEvery,
+		Compression:      sp.Compression,
+		TopK:             sp.TopK,
 		NonIID:           sp.NonIID,
 		ContractSteps:    sp.ContractSteps,
 		WorkerAttack:     workerAtk,

@@ -276,6 +276,54 @@ func presets() map[string]Spec {
 		Seed: 32, Iterations: 150, AccEvery: 25,
 	})
 
+	// --- The gradient-compression deployments (internal/compress). Each
+	// pairs a codec with a live attack, because the interesting question is
+	// not the ratio (that is fixed by the codec) but whether robustness
+	// survives quantization: the GAR must keep rejecting the attack when
+	// every reply — Byzantine ones included — rides the lossy codec. ---
+	cim, cid := demoTask("compress-int8", 60)
+	add(Spec{
+		Name:        "compress-int8",
+		Description: "SSMW with int8-quantized gradient replies (~7.8x fewer reply bytes) under little-is-enough",
+		Topology:    TopoSSMW,
+		NW:          11, FW: 2,
+		Rule:            gar.NameMDA,
+		Compression:     "int8",
+		WorkerAttack:    AttackSpec{Name: attack.NameLittleIsEnough},
+		AttackSelfPeers: 3,
+		Model:           cim, Dataset: cid, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 60, Iterations: 150, AccEvery: 25,
+	})
+	cfm, cfd := demoTask("compress-fp16", 61)
+	add(Spec{
+		Name:        "compress-fp16",
+		Description: "MSMW with fp16 gradient replies (4x) under the reversed-vectors attack",
+		Topology:    TopoMSMW,
+		NW:          11, FW: 2,
+		NPS: 4, FPS: 1,
+		Rule:         gar.NameMultiKrum,
+		SyncQuorum:   true,
+		Compression:  "fp16",
+		WorkerAttack: AttackSpec{Name: attack.NameReversed},
+		Model:        cfm, Dataset: cfd, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 61, Iterations: 150, AccEvery: 25,
+	})
+	ctm, ctd := demoTask("compress-topk", 62)
+	add(Spec{
+		Name:        "compress-topk",
+		Description: "SSMW with top-64 sparsified replies (~8x) and per-worker error feedback, one reversed worker",
+		Topology:    TopoSSMW,
+		NW:          9, FW: 1,
+		Rule:        gar.NameMedian,
+		Compression: "topk", TopK: 64,
+		WorkerAttack: AttackSpec{Name: attack.NameReversed},
+		Model:        ctm, Dataset: ctd, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 62, Iterations: 150, AccEvery: 25,
+	})
+
 	// --- The chaos presets (internal/chaos runs these under machine-
 	// checked resilience invariants; `garfield-scenarios chaos` is the CLI
 	// front end). Each exercises one adversary class the plain fault menu

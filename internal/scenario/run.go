@@ -232,4 +232,5 @@ func mergeResult(dst *core.Result, seg *core.Result, iterOffset int) {
 	dst.StaleDrops += seg.StaleDrops
 	dst.Updates += seg.Updates
 	dst.WallTime += seg.WallTime
+	dst.Wire = dst.Wire.Add(seg.Wire)
 }

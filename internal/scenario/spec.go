@@ -35,6 +35,7 @@ import (
 	"strings"
 
 	"garfield/internal/attack"
+	"garfield/internal/compress"
 	"garfield/internal/core"
 	"garfield/internal/data"
 	"garfield/internal/gar"
@@ -338,6 +339,14 @@ type Spec struct {
 	// (0 selects the core default).
 	ServerByzScale float64 `json:"server_byz_scale,omitempty"`
 
+	// Compression names the gradient codec workers apply to their pull
+	// replies: "" or "fp64" (passthrough), "fp16", "int8", "topk" — see
+	// internal/compress. TopK is the coordinate budget of the "topk" codec
+	// (required with it, rejected otherwise); top-k workers carry an
+	// error-feedback residual across steps.
+	Compression string `json:"compression,omitempty"`
+	TopK        int    `json:"top_k,omitempty"`
+
 	// Model, Dataset and BatchSize describe the learning task.
 	Model     ModelSpec   `json:"model"`
 	Dataset   DatasetSpec `json:"dataset"`
@@ -441,6 +450,9 @@ func (sp Spec) Validate() error {
 	if err := sp.validateAsync(); err != nil {
 		return err
 	}
+	if err := sp.validateCompression(); err != nil {
+		return err
+	}
 
 	// GAR requirement for the shape this topology aggregates gradients
 	// with; surfaces gar.ErrUnknownRule and gar.ErrRequirement (the
@@ -529,6 +541,22 @@ func (sp Spec) validateAsync() error {
 	}
 	if sp.StalenessDamping < 0 || sp.StalenessDamping > 1 {
 		return fmt.Errorf("%w: staleness_damping=%v not in [0, 1]", ErrSpec, sp.StalenessDamping)
+	}
+	return nil
+}
+
+// validateCompression checks the gradient-codec knobs: a known codec name,
+// and a top-k budget exactly when the top-k codec asks for one.
+func (sp Spec) validateCompression() error {
+	enc, err := compress.Parse(sp.Compression)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	if enc == compress.EncTopK && sp.TopK < 1 {
+		return fmt.Errorf("%w: compression %q needs top_k >= 1, got %d", ErrSpec, sp.Compression, sp.TopK)
+	}
+	if enc != compress.EncTopK && sp.TopK != 0 {
+		return fmt.Errorf("%w: top_k=%d requires compression \"topk\" (got %q)", ErrSpec, sp.TopK, sp.Compression)
 	}
 	return nil
 }

@@ -164,6 +164,18 @@ type CellResult struct {
 	FinalAccuracy float64 `json:"final_accuracy"`
 	MaxAccuracy   float64 `json:"max_accuracy"`
 	Updates       int     `json:"updates"`
+
+	// WireIn and WireOut are the cell's total RPC frame bytes read/written
+	// by the cluster's pooled clients; ReplyPayloadBytes and ReplyFP64Bytes
+	// are the pull-reply bodies as shipped versus their fp64-passthrough
+	// baseline (ratio = compression factor). All four are deterministic
+	// functions of the cell spec — deterministic mode fixes call counts and
+	// payload sizes — so they sit in the bit-identical artifact set, not
+	// with the timing pair.
+	WireIn            uint64 `json:"wire_in"`
+	WireOut           uint64 `json:"wire_out"`
+	ReplyPayloadBytes uint64 `json:"reply_payload_bytes"`
+	ReplyFP64Bytes    uint64 `json:"reply_fp64_bytes"`
 	// Accuracy is the (iteration, accuracy) curve, also written as the
 	// cell's CSV artifact.
 	Accuracy []metrics.Point `json:"accuracy,omitempty"`
@@ -232,6 +244,10 @@ func runCell(cell Cell, timing bool) CellResult {
 	out.FinalAccuracy = res.Accuracy.Last()
 	out.MaxAccuracy = res.Accuracy.MaxY()
 	out.Updates = res.Updates
+	out.WireIn = res.Wire.BytesIn
+	out.WireOut = res.Wire.BytesOut
+	out.ReplyPayloadBytes = res.Wire.ReplyPayloadBytes
+	out.ReplyFP64Bytes = res.Wire.ReplyFP64Bytes
 	out.Accuracy = append([]metrics.Point(nil), res.Accuracy.Points...)
 	if timing {
 		out.WallMS = float64(res.WallTime.Milliseconds())
@@ -309,7 +325,8 @@ func writeSummaryCSV(path string, rep *Report, timing bool) error {
 	defer f.Close()
 	w := csv.NewWriter(f)
 	header := []string{"id", "topology", "rule", "attack", "nw", "fw", "seed",
-		"status", "final_accuracy", "max_accuracy", "updates"}
+		"status", "final_accuracy", "max_accuracy", "updates",
+		"wire_in", "wire_out", "reply_payload_bytes", "reply_fp64_bytes"}
 	if timing {
 		header = append(header, "wall_ms", "updates_per_sec")
 	}
@@ -324,6 +341,10 @@ func writeSummaryCSV(path string, rep *Report, timing bool) error {
 			strconv.FormatFloat(c.FinalAccuracy, 'g', -1, 64),
 			strconv.FormatFloat(c.MaxAccuracy, 'g', -1, 64),
 			strconv.Itoa(c.Updates),
+			strconv.FormatUint(c.WireIn, 10),
+			strconv.FormatUint(c.WireOut, 10),
+			strconv.FormatUint(c.ReplyPayloadBytes, 10),
+			strconv.FormatUint(c.ReplyFP64Bytes, 10),
 		}
 		if timing {
 			row = append(row,
