@@ -45,8 +45,14 @@ const (
 	// than "harmless".
 	ContrastRatio = 2.0
 	// RecoveryRatio is the minimum post-heal / pre-fault steps-per-second
-	// ratio of the liveness invariant.
+	// ratio of the liveness invariant. The churn-liveness invariant reuses
+	// it for the post-stabilization / pre-churn ratio.
 	RecoveryRatio = 0.8
+	// JoinSpreadBound is the largest L2 distance a just-bootstrapped
+	// replica may end from the rest of the honest fleet for the
+	// join-converges invariant to hold (the model contraction should pull
+	// it far below this).
+	JoinSpreadBound = 1.0
 )
 
 // Options tunes a harness run.
@@ -98,13 +104,16 @@ var suites = map[string][]string{
 	"chaos-partition-heal": {"completes", "liveness"},
 	"chaos-corrupt-link":   {"completes", "safety", "corruption-rejected"},
 	"chaos-reorder":        {"completes", "safety"},
+	"chaos-churn-attack":   {"completes", "safety", "membership", "churn-liveness", "determinism"},
+	"chaos-join-bootstrap": {"completes", "safety", "membership", "join-converges"},
 }
 
 // Presets returns the chaos preset names the harness knows, in a stable
 // order (the scenario registry holds the specs themselves).
 func Presets() []string {
 	return []string{"chaos-equivocate", "chaos-byz-flip",
-		"chaos-partition-heal", "chaos-corrupt-link", "chaos-reorder"}
+		"chaos-partition-heal", "chaos-corrupt-link", "chaos-reorder",
+		"chaos-churn-attack", "chaos-join-bootstrap"}
 }
 
 // Run executes one chaos preset's invariant suite.
@@ -162,6 +171,21 @@ func Run(preset string, opt Options) (*Report, error) {
 			c = checkDeterminism(sp, run)
 		case "corruption-rejected":
 			c = checkCorruptionRejected(run, rejectsDelta)
+		case "membership":
+			c = checkMembership(sp, run)
+		case "churn-liveness":
+			c = checkChurnLiveness(sp, run)
+			// Same wall-clock caveat as liveness: re-measure a transient
+			// throughput miss on a fresh run before the verdict sticks.
+			for attempt := 0; !c.Passed && attempt < 2; attempt++ {
+				again, err := execute(sp)
+				if err != nil {
+					break
+				}
+				c = checkChurnLiveness(sp, again)
+			}
+		case "join-converges":
+			c = checkJoinConverges(run)
 		}
 		rep.Checks = append(rep.Checks, c)
 	}
@@ -203,11 +227,19 @@ func shrink(sp scenario.Spec, k int) scenario.Spec {
 }
 
 // runOutcome bundles one executed spec: its per-segment results, the honest
-// model norm at the end, and the corruption stats of any chaos links.
+// model norm at the end, the final membership roster, and the corruption
+// stats of any chaos links.
 type runOutcome struct {
 	segments  []scenario.Segment
 	modelNorm float64
 	corrupted uint64 // frames the link programs corrupted
+
+	// Final roster state, read before the cluster closes: the membership
+	// epoch, the active fleet counts, and the largest L2 distance between
+	// live honest replicas' models (the join-converges evidence).
+	epoch            uint64
+	workers, servers int
+	spread           float64
 }
 
 func (r *runOutcome) updates() int {
@@ -254,9 +286,14 @@ func execute(sp scenario.Spec) (*runOutcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	ro := c.Roster()
 	out := &runOutcome{
 		segments:  segments,
 		modelNorm: c.Server(0).Params().Norm(),
+		epoch:     ro.Epoch,
+		workers:   ro.NW(),
+		servers:   ro.NPS(),
+		spread:    c.ModelSpread(),
 	}
 	for i := 0; i < sp.NW; i++ {
 		out.corrupted += c.WorkerLinkStats(i).Corrupted
@@ -392,6 +429,98 @@ func ReportTable(title string, reports []*Report) (t *metrics.Table, failed int)
 		}
 	}
 	return t, failed
+}
+
+// churnExpectations folds the spec's fault schedule into the membership
+// outcome it promises: the number of epoch transitions (one per churn
+// fault, batch scale included) and the final active fleet counts.
+func churnExpectations(sp scenario.Spec) (transitions, workers, servers int) {
+	workers = sp.NW
+	switch sp.Topology {
+	case scenario.TopoDecentralized:
+		servers = sp.NW
+	default:
+		servers = sp.NPS
+		if servers == 0 {
+			servers = 1 // single-server topologies materialize one replica
+		}
+	}
+	for _, flt := range sp.Faults {
+		n := 0
+		switch flt.Kind {
+		case scenario.FaultJoin:
+			n = 1
+		case scenario.FaultLeave:
+			n = -1
+		case scenario.FaultScale:
+			n = flt.Delta
+		default:
+			continue
+		}
+		transitions++
+		if flt.Target == "server" {
+			servers += n
+		} else {
+			workers += n
+		}
+	}
+	return transitions, workers, servers
+}
+
+// checkMembership: every churn fault cost exactly one epoch transition
+// (batch scale is one epoch, crash recovery is none), and the final active
+// fleet matches the schedule's net delta — no ghost members, no lost slots.
+func checkMembership(sp scenario.Spec, run *runOutcome) Check {
+	transitions, workers, servers := churnExpectations(sp)
+	ok := run.epoch == uint64(transitions) &&
+		run.workers == workers && run.servers == servers
+	return Check{
+		Name:   "membership",
+		Passed: ok,
+		Detail: fmt.Sprintf("epoch %d after %d churn faults; fleet %dw/%ds (schedule promises %dw/%ds)",
+			run.epoch, transitions, run.workers, run.servers, workers, servers),
+	}
+}
+
+// checkChurnLiveness: throughput after the last membership transition
+// recovers to RecoveryRatio of the pre-churn segment — joins, drains and
+// rebinding fetch queues cost a transition blip, not sustained rate.
+func checkChurnLiveness(sp scenario.Spec, run *runOutcome) Check {
+	if len(run.segments) < 2 {
+		return Check{Name: "churn-liveness", Passed: false,
+			Detail: fmt.Sprintf("need pre-churn and post-churn segments; got %d", len(run.segments))}
+	}
+	pre := run.segments[0].Result.UpdatesPerSec()
+	post := run.segments[len(run.segments)-1].Result.UpdatesPerSec()
+	if pre <= 0 {
+		return Check{Name: "churn-liveness", Passed: false, Detail: "pre-churn segment measured no throughput"}
+	}
+	ratio := post / pre
+	return Check{
+		Name:   "churn-liveness",
+		Passed: ratio >= RecoveryRatio,
+		Detail: fmt.Sprintf("post-churn %.1f ups vs pre-churn %.1f ups (ratio %.2f, needs >= %.2f)",
+			post, pre, ratio, RecoveryRatio),
+	}
+}
+
+// checkJoinConverges: the replica that bootstrapped from a checkpoint ends
+// the run within JoinSpreadBound of every other live honest replica — the
+// checkpoint plus the model contraction absorbed it into the fleet.
+func checkJoinConverges(run *runOutcome) Check {
+	if run.servers < 2 {
+		return Check{Name: "join-converges", Passed: false,
+			Detail: fmt.Sprintf("need >= 2 live replicas to measure spread; got %d", run.servers)}
+	}
+	if math.IsNaN(run.spread) || math.IsInf(run.spread, 0) || run.spread > JoinSpreadBound {
+		return Check{Name: "join-converges", Passed: false,
+			Detail: fmt.Sprintf("honest replica spread %.3g exceeds %.3g across %d replicas", run.spread, JoinSpreadBound, run.servers)}
+	}
+	return Check{
+		Name:   "join-converges",
+		Passed: true,
+		Detail: fmt.Sprintf("max honest replica spread %.3g <= %.3g across %d replicas", run.spread, JoinSpreadBound, run.servers),
+	}
 }
 
 // checkCorruptionRejected: the link program provably mangled frames, and the

@@ -124,6 +124,62 @@ func TestLivenessRecoversThroughPartitionHeal(t *testing.T) {
 	}
 }
 
+// TestJoinBootstrapConvergesUnderAttack asserts the elastic-membership
+// acceptance story piece by piece: a replica bootstraps from the primary's
+// checkpoint at the boundary where a partition heals, with two
+// little-is-enough workers attacking throughout — no round is lost, the
+// transition costs exactly one epoch, and the joiner ends within the spread
+// bound of the honest fleet's model.
+func TestJoinBootstrapConvergesUnderAttack(t *testing.T) {
+	sp, err := scenario.ByName("chaos-join-bootstrap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testing.Short() {
+		sp = shrink(sp, 3)
+	}
+	run, err := execute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.updates() != sp.Iterations {
+		t.Fatalf("updates = %d, want %d: the partition and the join must not cost rounds", run.updates(), sp.Iterations)
+	}
+	if run.epoch != 1 || run.servers != sp.NPS+1 {
+		t.Fatalf("epoch %d, %d replicas; want epoch 1 and %d replicas", run.epoch, run.servers, sp.NPS+1)
+	}
+	if run.spread > JoinSpreadBound {
+		t.Fatalf("bootstrapped replica ended %v from the fleet, want <= %v", run.spread, JoinSpreadBound)
+	}
+}
+
+// TestChurnSweepBitIdenticalPerSeed pins the determinism half of the churn
+// acceptance criterion directly: two deterministic runs through the full
+// join/leave/scale schedule at the same seed produce bit-identical metrics
+// CSV, the same final model norm, and the same epoch trajectory.
+func TestChurnSweepBitIdenticalPerSeed(t *testing.T) {
+	sp, err := scenario.ByName("chaos-churn-attack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp = shrink(sp, 3)
+	a, err := execute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := execute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.metricsCSV() != b.metricsCSV() {
+		t.Fatalf("same seed, different metrics CSV through churn:\n%s\nvs\n%s", a.metricsCSV(), b.metricsCSV())
+	}
+	if a.modelNorm != b.modelNorm || a.epoch != b.epoch || a.workers != b.workers {
+		t.Fatalf("churn replay diverged: norm %v/%v epoch %d/%d workers %d/%d",
+			a.modelNorm, b.modelNorm, a.epoch, b.epoch, a.workers, b.workers)
+	}
+}
+
 // TestRunRejectsUnknownPreset pins the harness error path.
 func TestRunRejectsUnknownPreset(t *testing.T) {
 	if _, err := Run("chaos-imaginary", Options{}); err == nil ||

@@ -30,6 +30,12 @@ import (
 // computed against old parameters instead of letting them drag the model
 // back. Config.StalenessBound / Config.StalenessDamping tune both knobs.
 //
+// The engine is roster-aware: the step loop polls the cluster's roster epoch
+// between iterations; on a transition it rebinds — fetchers of departed
+// workers are cancelled, fetchers for joiners are spawned, their queues are
+// dropped or created, and the quorum and aggregator shapes track the new
+// fleet. The iteration in flight completes against the old roster.
+//
 // Two determinism regimes exist, mirroring the lockstep protocols:
 //
 //   - the live engine (goroutine fetchers, real queues) is throughput-true
@@ -38,7 +44,9 @@ import (
 //     single-threaded seeded replay (runAsyncSSMWReplay): worker fetch
 //     latencies are drawn from an RNG derived from the cluster seed, and
 //     the whole queue/staleness-filter/damping pipeline runs over that
-//     synthetic schedule, so a run is bit-identical at the same seed.
+//     synthetic schedule, so a run is bit-identical at the same seed. The
+//     replay snapshots the roster once at run start — segmented scenarios
+//     apply churn between runs, and each run re-reads the roster.
 
 // Default async tuning; see Config.StalenessBound / StalenessDamping.
 const (
@@ -58,27 +66,59 @@ type taggedGrad struct {
 }
 
 // gradQueues is the per-worker bounded queue set shared by the fetchers
-// (producers) and the server step loop (consumer).
+// (producers) and the server step loop (consumer). Queues are keyed by the
+// worker's stable slot index and gated by a membership set, so a roster
+// rebind drops departed workers' queues and a straggling fetcher of a
+// departed worker cannot re-insert one.
 type gradQueues struct {
-	mu    sync.Mutex
-	slots [][]taggedGrad // per worker, oldest first
-	drops int            // entries discarded for exceeding the bound
+	mu     sync.Mutex
+	slots  map[int][]taggedGrad // per member worker, oldest first
+	member map[int]bool
+	drops  int // entries discarded for exceeding the bound
 	// notify wakes the consumer after a push; capacity 1 is enough because
 	// the consumer re-scans all slots on every wake.
 	notify chan struct{}
 }
 
-func newGradQueues(n int) *gradQueues {
-	return &gradQueues{
-		slots:  make([][]taggedGrad, n),
+func newGradQueues(workers []int) *gradQueues {
+	g := &gradQueues{
+		slots:  make(map[int][]taggedGrad, len(workers)),
+		member: make(map[int]bool, len(workers)),
 		notify: make(chan struct{}, 1),
 	}
+	for _, w := range workers {
+		g.member[w] = true
+	}
+	return g
+}
+
+// rebind replaces the membership set: departed workers' queues (and any
+// estimate they hold — computed for the old roster) are dropped, joiners get
+// an empty queue on their first push.
+func (g *gradQueues) rebind(workers []int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	fresh := make(map[int]bool, len(workers))
+	for _, w := range workers {
+		fresh[w] = true
+	}
+	for w := range g.slots {
+		if !fresh[w] {
+			delete(g.slots, w)
+		}
+	}
+	g.member = fresh
 }
 
 // push enqueues a tagged gradient for worker w, evicting the oldest entry
-// when the slot is full, and wakes the consumer.
+// when the slot is full, and wakes the consumer. Pushes from non-members
+// (a fetcher racing its own cancellation across a rebind) are ignored.
 func (g *gradQueues) push(w int, tg taggedGrad) {
 	g.mu.Lock()
+	if !g.member[w] {
+		g.mu.Unlock()
+		return
+	}
 	slot := g.slots[w]
 	if len(slot) >= asyncQueueDepth {
 		copy(slot, slot[1:])
@@ -173,9 +213,10 @@ func (g *gradQueues) dropCount() int {
 // pull a gradient estimate against it, tag it with the snapshot step and
 // enqueue. Failures (a crashed worker, an omitted Byzantine reply) back off
 // and retry — in the async regime a missing worker costs freshness, never
-// progress.
-func (c *Cluster) asyncFetch(ctx context.Context, s *Server, queues *gradQueues, w int) {
-	addr := c.workerAddrs[w]
+// progress. The worker's address is resolved at spawn time: a fetcher
+// belongs to one roster binding and is cancelled, not retargeted, when the
+// worker departs.
+func (c *Cluster) asyncFetch(ctx context.Context, s *Server, queues *gradQueues, w int, addr string) {
 	backoff := time.Millisecond
 	for ctx.Err() == nil {
 		params, step := s.Snapshot()
@@ -237,15 +278,11 @@ func (c *Cluster) RunAsyncSSMW(opt RunOptions) (*Result, error) {
 	if c.cfg.Deterministic {
 		return c.runAsyncSSMWReplay(opt)
 	}
-	q := c.cfg.NW - c.cfg.FW
-	agg, err := NewAggregator(c.cfg.Rule, q, c.cfg.FW)
-	if err != nil {
-		return nil, fmt.Errorf("core: async-ssmw: %w", err)
-	}
 	res := newResult("async-ssmw")
 	start := time.Now()
 	wire0 := c.WireStats()
-	if err := c.asyncReplicaLoop(res, c.servers[0], agg, nil, opt, start, true); err != nil {
+	s := c.Server(c.Roster().Servers[0])
+	if err := c.asyncReplicaLoop(res, s, false, opt, start, true); err != nil {
 		return nil, fmt.Errorf("core: async-ssmw: %w", err)
 	}
 	res.WallTime = time.Since(start)
@@ -258,51 +295,38 @@ func (c *Cluster) RunAsyncSSMW(opt RunOptions) (*Result, error) {
 // queues), and every Config.ModelAggEvery updates it pulls q_ps = n_ps -
 // f_ps peer models and robust-aggregates them — without any cross-replica
 // barrier, so replicas observe each other mid-update and contraction is what
-// keeps them close. Accuracy, throughput and staleness are observed at
-// replica 0. Deterministic mode is not supported here (the replay story
-// covers the single-server topology); RunAsyncMSMW returns ErrConfig for it.
+// keeps them close. Accuracy, throughput and staleness are observed at the
+// first honest replica. Deterministic mode is not supported here (the replay
+// story covers the single-server topology); RunAsyncMSMW returns ErrConfig
+// for it.
 func (c *Cluster) RunAsyncMSMW(opt RunOptions) (*Result, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	cfg := c.cfg
-	if c.Servers() < 2 {
+	if c.Roster().NPS() < 2 {
 		return nil, fmt.Errorf("%w: async msmw needs at least 2 server replicas", ErrConfig)
 	}
-	if cfg.Deterministic {
+	if c.cfg.Deterministic {
 		return nil, fmt.Errorf("%w: deterministic async replay supports the single-server topology only", ErrConfig)
 	}
-	honest := c.Servers() - cfg.FPS
-	qw := cfg.NW - cfg.FW
-	qps := c.Servers() - cfg.FPS
+	honest := c.Roster().HonestServers()
 	res := newResult("async-msmw")
-	gradAggs := make([]*Aggregator, honest)
-	modelAggs := make([]*Aggregator, honest)
-	for r := 0; r < honest; r++ {
-		var err error
-		if gradAggs[r], err = NewAggregator(cfg.Rule, qw, cfg.FW); err != nil {
-			return nil, fmt.Errorf("core: async-msmw: %w", err)
-		}
-		if modelAggs[r], err = NewAggregator(cfg.ModelRule, qps, cfg.FPS); err != nil {
-			return nil, fmt.Errorf("core: async-msmw: %w", err)
-		}
-	}
 	start := time.Now()
 	wire0 := c.WireStats()
 	var wg sync.WaitGroup
-	errs := make([]error, honest)
-	for r := 0; r < honest; r++ {
-		r := r
+	errs := make([]error, len(honest))
+	for k, r := range honest {
+		k, s := k, c.Server(r)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			errs[r] = c.asyncReplicaLoop(res, c.servers[r], gradAggs[r], modelAggs[r], opt, start, r == 0)
+			errs[k] = c.asyncReplicaLoop(res, s, true, opt, start, k == 0)
 		}()
 	}
 	wg.Wait()
-	for r, err := range errs {
+	for k, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("core: async-msmw replica %d: %w", r, err)
+			return nil, fmt.Errorf("core: async-msmw replica %d: %w", honest[k], err)
 		}
 	}
 	res.WallTime = time.Since(start)
@@ -312,34 +336,68 @@ func (c *Cluster) RunAsyncMSMW(opt RunOptions) (*Result, error) {
 
 // asyncReplicaLoop drives one replica's bounded-staleness training loop:
 // fetchers feed the queues, each iteration collects a fresh quorum, damps,
-// aggregates and updates, and (when modelAgg is non-nil) every ModelAggEvery
+// aggregates and updates, and (with contract set) every ModelAggEvery
 // updates the replica contracts toward its peers by pulling and
-// robust-aggregating q_ps models. Only the recording replica writes into
-// res.
-func (c *Cluster) asyncReplicaLoop(res *Result, s *Server, gradAgg, modelAgg *Aggregator, opt RunOptions, start time.Time, record bool) error {
+// robust-aggregating q_ps models. Between iterations the loop polls the
+// roster epoch and rebinds on a transition: departed workers' fetchers are
+// cancelled and their queues dropped, joiners get fresh fetchers, and the
+// quorums and aggregator shapes follow the new fleet. Only the recording
+// replica writes into res.
+func (c *Cluster) asyncReplicaLoop(res *Result, s *Server, contract bool, opt RunOptions, start time.Time, record bool) error {
 	cfg := c.cfg
-	q := cfg.NW - cfg.FW
 	tau, damping := cfg.asyncParams()
-	qps := c.Servers() - cfg.FPS
 
 	ctx, cancel := context.WithCancel(context.Background())
-	queues := newGradQueues(cfg.NW)
 	var fetchers sync.WaitGroup
 	// Stop order matters: cancel the fetchers, then wait them out (defers
 	// run last-in first-out).
 	defer fetchers.Wait()
 	defer cancel()
-	for w := 0; w < cfg.NW; w++ {
-		w := w
+
+	ro := c.Roster()
+	queues := newGradQueues(ro.Workers)
+	cancels := make(map[int]context.CancelFunc, len(ro.Workers))
+	spawn := func(w int, addr string) {
+		fctx, fcancel := context.WithCancel(ctx)
+		cancels[w] = fcancel
 		fetchers.Add(1)
 		go func() {
 			defer fetchers.Done()
-			c.asyncFetch(ctx, s, queues, w)
+			c.asyncFetch(fctx, s, queues, w, addr)
 		}()
 	}
+	for k, w := range ro.Workers {
+		spawn(w, ro.WorkerAddrs[k])
+	}
 
-	staleSum := 0
+	var gradAgg, modelAgg *Aggregator
+	var gradKey, modelKey aggKey
+	staleSum, quorumSum := 0, 0
 	for i := 0; i < opt.Iterations; i++ {
+		if fresh := c.Roster(); fresh.Epoch != ro.Epoch {
+			ro = fresh
+			queues.rebind(ro.Workers)
+			member := make(map[int]bool, len(ro.Workers))
+			for _, w := range ro.Workers {
+				member[w] = true
+			}
+			for w, fcancel := range cancels {
+				if !member[w] {
+					fcancel()
+					delete(cancels, w)
+				}
+			}
+			for k, w := range ro.Workers {
+				if _, ok := cancels[w]; !ok {
+					spawn(w, ro.WorkerAddrs[k])
+				}
+			}
+		}
+		q := ro.NW() - ro.FW
+		ga, err := cachedAggregator(&gradAgg, &gradKey, cfg.Rule, q, ro.FW)
+		if err != nil {
+			return fmt.Errorf("async iteration %d: %w", i, err)
+		}
 		commDone := metrics.Start()
 		picks, err := queues.collect(s.Step(), q, tau, cfg.PullTimeout)
 		if record {
@@ -350,7 +408,8 @@ func (c *Cluster) asyncReplicaLoop(res *Result, s *Server, gradAgg, modelAgg *Ag
 		}
 		aggDone := metrics.Start()
 		staleSum += dampPicks(picks, damping)
-		aggr, err := gradAgg.Aggregate(pickVectors(picks))
+		quorumSum += q
+		aggr, err := ga.Aggregate(pickVectors(picks))
 		if record {
 			res.Breakdown.AddAgg(aggDone())
 		}
@@ -360,8 +419,13 @@ func (c *Cluster) asyncReplicaLoop(res *Result, s *Server, gradAgg, modelAgg *Ag
 		if err := s.UpdateModel(aggr); err != nil {
 			return err
 		}
-		if modelAgg != nil && (i+1)%cfg.ModelAggEvery == 0 {
-			if err := c.asyncModelExchange(s, modelAgg, qps); err != nil {
+		if contract && (i+1)%cfg.ModelAggEvery == 0 {
+			qps := ro.NPS() - ro.FPS
+			ma, err := cachedAggregator(&modelAgg, &modelKey, cfg.ModelRule, qps, ro.FPS)
+			if err != nil {
+				return fmt.Errorf("async iteration %d: %w", i, err)
+			}
+			if err := c.asyncModelExchange(s, ma, qps); err != nil {
 				return fmt.Errorf("async iteration %d: %w", i, err)
 			}
 		}
@@ -374,8 +438,8 @@ func (c *Cluster) asyncReplicaLoop(res *Result, s *Server, gradAgg, modelAgg *Ag
 		}
 	}
 	if record {
-		if opt.Iterations > 0 && q > 0 {
-			res.AvgStaleness = float64(staleSum) / float64(opt.Iterations*q)
+		if quorumSum > 0 {
+			res.AvgStaleness = float64(staleSum) / float64(quorumSum)
 		}
 		res.StaleDrops = queues.dropCount()
 	}
@@ -430,17 +494,21 @@ func replayLatency(rng *tensor.RNG, tau int) float64 {
 // fetch completion order is a pure function of the seed, so two runs are
 // bit-identical. Gradient pulls still travel the real RPC path (issued
 // sequentially, in completion order), so attacks, momentum and fault
-// injection behave exactly as in the live engine.
+// injection behave exactly as in the live engine. The roster is snapshotted
+// once at run start: segmented scenarios apply churn between runs, and the
+// fleet shape at that point (not the construction-time Config) defines the
+// schedule, so the replay stays bit-identical per (seed, roster).
 func (c *Cluster) runAsyncSSMWReplay(opt RunOptions) (*Result, error) {
 	cfg := c.cfg
-	q := cfg.NW - cfg.FW
+	ro := c.Roster()
+	q := ro.NW() - ro.FW
 	tau, damping := cfg.asyncParams()
-	agg, err := NewAggregator(cfg.Rule, q, cfg.FW)
+	agg, err := NewAggregator(cfg.Rule, q, ro.FW)
 	if err != nil {
 		return nil, fmt.Errorf("core: async-ssmw: %w", err)
 	}
 	res := newResult("async-ssmw")
-	s := c.servers[0]
+	s := c.Server(ro.Servers[0])
 	rng := tensor.NewRNG(cfg.Seed ^ asyncReplaySalt)
 
 	// Ring of parameter snapshots for the last tau+1 steps: a fetch tagged
@@ -449,10 +517,10 @@ func (c *Cluster) runAsyncSSMWReplay(opt RunOptions) (*Result, error) {
 	depth := uint32(tau + 1)
 	snapshots := make([]tensor.Vector, depth)
 
-	fetches := make([]replayFetch, cfg.NW)
+	fetches := make([]replayFetch, ro.NW())
 	vt := 0.0 // virtual clock
-	for w := range fetches {
-		fetches[w] = replayFetch{tag: s.Step(), done: replayLatency(rng, tau)}
+	for k := range fetches {
+		fetches[k] = replayFetch{tag: s.Step(), done: replayLatency(rng, tau)}
 	}
 
 	start := time.Now()
@@ -467,41 +535,41 @@ func (c *Cluster) runAsyncSSMWReplay(opt RunOptions) (*Result, error) {
 		ready := make(map[int]asyncPick, q)
 		guard := 0
 		for len(ready) < q {
-			if guard++; guard > 4*cfg.NW*(tau+2)+16 {
+			if guard++; guard > 4*ro.NW()*(tau+2)+16 {
 				return nil, fmt.Errorf("core: async-ssmw replay step %d: schedule failed to produce a quorum", now)
 			}
-			w, live := -1, 0
+			k, live := -1, 0
 			for j := range fetches {
 				if fetches[j].dead {
 					continue
 				}
 				live++
-				if w < 0 || fetches[j].done < fetches[w].done {
-					w = j
+				if k < 0 || fetches[j].done < fetches[k].done {
+					k = j
 				}
 			}
 			if live < q {
 				return nil, fmt.Errorf("core: async-ssmw replay step %d: %w: %d live workers for quorum %d",
 					now, rpc.ErrQuorum, live, q)
 			}
-			if fetches[w].done > vt {
-				vt = fetches[w].done
+			if fetches[k].done > vt {
+				vt = fetches[k].done
 			}
-			if staleness := int(now - fetches[w].tag); staleness <= tau {
-				vec, err := c.replayPull(s, w, fetches[w].tag, snapshots[fetches[w].tag%depth])
+			if staleness := int(now - fetches[k].tag); staleness <= tau {
+				vec, err := c.replayPull(s, ro.WorkerAddrs[k], fetches[k].tag, snapshots[fetches[k].tag%depth])
 				if err != nil {
 					// A crashed or always-omitting worker: out of the
 					// schedule for the rest of this run segment.
-					fetches[w].dead = true
+					fetches[k].dead = true
 					continue
 				}
-				ready[w] = asyncPick{worker: w, staleness: staleness, vec: vec}
+				ready[k] = asyncPick{worker: ro.Workers[k], staleness: staleness, vec: vec}
 			} else {
 				drops++ // completed too stale to be worth pulling
 			}
 			// Start the next fetch against the current model state.
-			fetches[w].tag = now
-			fetches[w].done = vt + replayLatency(rng, tau)
+			fetches[k].tag = now
+			fetches[k].done = vt + replayLatency(rng, tau)
 		}
 
 		picks := make([]asyncPick, 0, len(ready))
@@ -539,10 +607,10 @@ func (c *Cluster) runAsyncSSMWReplay(opt RunOptions) (*Result, error) {
 
 // replayPull issues one sequential gradient pull over the real RPC path for
 // the replay engine.
-func (c *Cluster) replayPull(s *Server, w int, step uint32, params tensor.Vector) (tensor.Vector, error) {
+func (c *Cluster) replayPull(s *Server, addr string, step uint32, params tensor.Vector) (tensor.Vector, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.PullTimeout)
 	defer cancel()
-	return s.client.Call(ctx, c.workerAddrs[w], rpc.Request{
+	return s.client.Call(ctx, addr, rpc.Request{
 		Kind: rpc.KindGetGradient, Step: step, Accept: s.accept, Vec: params,
 	})
 }

@@ -214,7 +214,7 @@ func TestAsyncReplayExercisesStaleness(t *testing.T) {
 // bound filtering, freshest-first selection, pop-on-select and drop
 // accounting.
 func TestGradQueuesCollectSemantics(t *testing.T) {
-	g := newGradQueues(4)
+	g := newGradQueues([]int{0, 1, 2, 3})
 	vec := func(x float64) tensor.Vector { return tensor.Vector{x} }
 	g.push(0, taggedGrad{vec: vec(0), step: 10}) // staleness 0
 	g.push(1, taggedGrad{vec: vec(1), step: 8})  // staleness 2
@@ -244,7 +244,7 @@ func TestGradQueuesCollectSemantics(t *testing.T) {
 }
 
 func TestGradQueuesDepthEvictsOldest(t *testing.T) {
-	g := newGradQueues(1)
+	g := newGradQueues([]int{0})
 	for s := uint32(0); s < 5; s++ {
 		g.push(0, taggedGrad{vec: tensor.Vector{float64(s)}, step: s})
 	}
@@ -268,7 +268,7 @@ func TestGradQueuesConcurrentStress(t *testing.T) {
 		tau     = 3
 		rounds  = 200
 	)
-	g := newGradQueues(workers)
+	g := newGradQueues([]int{0, 1, 2, 3, 4, 5, 6, 7})
 	var step uint32 // the consumer's model clock, read by producers
 	var stepMu sync.Mutex
 	now := func() uint32 {

@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"io"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -223,19 +224,39 @@ func (c Config) asyncParams() (tau int, damping float64) {
 
 // Cluster is a fully-wired in-process deployment: every node runs an RPC
 // server over a fault-injectable transport, and protocol runners drive the
-// training loops of Section 5.
+// training loops of Section 5. The deployment is elastic: workers and server
+// replicas can join, leave and scale mid-run through the membership layer
+// (membership.go), which owns a versioned roster epoch.
 type Cluster struct {
-	cfg     Config
-	net     *transport.Faulty
+	cfg Config
+	net *transport.Faulty
+
+	// memMu guards the node tables and the roster epoch. The tables are
+	// append-only — an index, once assigned, permanently names its node and
+	// its address — and departure is expressed through the active flags, so
+	// protocol state keyed by node index survives roster transitions.
+	// Slices handed out by accessors are replaced wholesale on growth,
+	// never mutated in place.
+	memMu   sync.RWMutex
+	epoch   uint64              // roster version; bumped by every transition
 	clients []*rpc.PooledClient // one per server replica; see NewCluster
 
-	workerAddrs []string
-	serverAddrs []string
-	workers     []*Worker
-	servers     []*Server
-	byzServers  []*ByzantineServer // per replica; nil for honest replicas
-	rpcServers  []*rpc.Server
-	crashed     []atomic.Bool
+	workerAddrs  []string
+	serverAddrs  []string
+	workers      []*Worker
+	servers      []*Server
+	byzServers   []*ByzantineServer // per replica; nil for honest replicas
+	workerSrv    []*rpc.Server
+	serverSrv    []*rpc.Server
+	workerActive []bool
+	serverActive []bool
+	workerByz    []bool // declared-Byzantine flag per worker (joiners: false)
+	serverByz    []bool
+	crashed      []*atomic.Bool
+	// severBase records each node's transport sever epoch at registration;
+	// a later advance is the failure-detector evidence crash-detected
+	// departure (DepartWorker/DepartServer) requires.
+	severBase map[string]uint64
 
 	initParams tensor.Vector
 }
@@ -261,8 +282,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 
 	c := &Cluster{
-		cfg: cfg,
-		net: transport.NewFaulty(transport.NewMem()),
+		cfg:       cfg,
+		net:       transport.NewFaulty(transport.NewMem()),
+		severBase: make(map[string]uint64),
 	}
 	rng := tensor.NewRNG(cfg.Seed)
 	c.initParams = cfg.Arch.InitParams(rng)
@@ -304,7 +326,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 		c.workers = append(c.workers, w)
 		c.workerAddrs = append(c.workerAddrs, addr)
-		c.rpcServers = append(c.rpcServers, srv)
+		c.workerSrv = append(c.workerSrv, srv)
+		c.workerActive = append(c.workerActive, true)
+		c.workerByz = append(c.workerByz, i >= cfg.NW-cfg.FW)
+		c.severBase[addr] = c.net.SeverEpoch(addr)
 	}
 
 	// Server replica addresses are fixed before construction so each
@@ -368,9 +393,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 		c.servers = append(c.servers, s)
 		c.byzServers = append(c.byzServers, byz)
-		c.rpcServers = append(c.rpcServers, srv)
+		c.serverSrv = append(c.serverSrv, srv)
+		c.serverActive = append(c.serverActive, true)
+		c.serverByz = append(c.serverByz, i >= cfg.NPS-cfg.FPS)
+		c.crashed = append(c.crashed, new(atomic.Bool))
+		c.severBase[c.serverAddrs[i]] = c.net.SeverEpoch(c.serverAddrs[i])
 	}
-	c.crashed = make([]atomic.Bool, cfg.NPS)
 	return c, nil
 }
 
@@ -400,33 +428,80 @@ func newOptimizer(cfg Config) (*sgd.Optimizer, error) {
 
 // Close shuts every node down and waits for their goroutines.
 func (c *Cluster) Close() {
-	for _, cl := range c.clients {
+	c.memMu.RLock()
+	clients := append([]*rpc.PooledClient(nil), c.clients...)
+	srvs := append(append([]*rpc.Server(nil), c.workerSrv...), c.serverSrv...)
+	c.memMu.RUnlock()
+	for _, cl := range clients {
 		cl.Close()
 	}
-	for _, s := range c.rpcServers {
-		_ = s.Close()
+	for _, s := range srvs {
+		if s != nil {
+			_ = s.Close()
+		}
 	}
 }
 
 // Server returns replica i (0 is the primary for single-server protocols).
-func (c *Cluster) Server(i int) *Server { return c.servers[i] }
+// Indices are stable across roster transitions: a departed replica keeps its
+// index (and remains inspectable), it just stops being part of the roster.
+func (c *Cluster) Server(i int) *Server {
+	c.memMu.RLock()
+	defer c.memMu.RUnlock()
+	return c.servers[i]
+}
 
-// Servers returns the number of server replicas.
-func (c *Cluster) Servers() int { return len(c.servers) }
+// Servers returns the number of server replica slots ever created (active
+// or departed); see Roster for the live view.
+func (c *Cluster) Servers() int {
+	c.memMu.RLock()
+	defer c.memMu.RUnlock()
+	return len(c.servers)
+}
+
+// Worker returns worker i (stable index, like Server).
+func (c *Cluster) Worker(i int) *Worker {
+	c.memMu.RLock()
+	defer c.memMu.RUnlock()
+	return c.workers[i]
+}
+
+// Workers returns the number of worker slots ever created.
+func (c *Cluster) Workers() int {
+	c.memMu.RLock()
+	defer c.memMu.RUnlock()
+	return len(c.workers)
+}
 
 // CrashServer injects a crash of server replica i: subsequent dials to it
 // fail and the protocol runners stop driving its loop.
 func (c *Cluster) CrashServer(i int) {
-	c.crashed[i].Store(true)
-	c.net.Crash(c.serverAddrs[i])
+	c.memMu.RLock()
+	flag, addr := c.crashed[i], c.serverAddrs[i]
+	c.memMu.RUnlock()
+	flag.Store(true)
+	c.net.Crash(addr)
 }
 
-// primary returns the lowest-index non-crashed server replica — the
+// serverCrashed reports whether replica i is currently crash-injected.
+func (c *Cluster) serverCrashed(i int) bool {
+	c.memMu.RLock()
+	defer c.memMu.RUnlock()
+	return c.crashed[i].Load()
+}
+
+// primary returns the lowest-index active, non-crashed server replica — the
 // fail-over order of the crash-tolerant baseline. ok is false when every
-// replica is down.
+// replica is down or departed.
 func (c *Cluster) primary() (int, bool) {
+	c.memMu.RLock()
+	defer c.memMu.RUnlock()
+	return c.primaryLocked()
+}
+
+func (c *Cluster) primaryLocked() (int, bool) {
 	for i := range c.crashed {
-		if !c.crashed[i].Load() {
+		if c.serverActive[i] && !c.crashed[i].Load() {
 			return i, true
 		}
 	}
@@ -435,12 +510,12 @@ func (c *Cluster) primary() (int, bool) {
 
 // CrashWorker injects a crash of worker i.
 func (c *Cluster) CrashWorker(i int) {
-	c.net.Crash(c.workerAddrs[i])
+	c.net.Crash(c.WorkerAddr(i))
 }
 
 // DelayWorker makes worker i a straggler: every pull to it waits d first.
 func (c *Cluster) DelayWorker(i int, d time.Duration) {
-	c.net.SetDelay(c.workerAddrs[i], d)
+	c.net.SetDelay(c.WorkerAddr(i), d)
 }
 
 // SlowWorker makes worker i serve every request d late — a slow node rather
@@ -449,15 +524,23 @@ func (c *Cluster) DelayWorker(i int, d time.Duration) {
 // even over persistent connections, which is what a steady straggler in the
 // async-vs-lockstep comparisons needs. d = 0 clears the fault.
 func (c *Cluster) SlowWorker(i int, d time.Duration) {
-	c.workers[i].SetServeDelay(d)
+	c.Worker(i).SetServeDelay(d)
 }
 
 // WorkerAddr returns worker i's network address ("worker-<i>"), the name
 // partition groups and chaos programs refer to nodes by.
-func (c *Cluster) WorkerAddr(i int) string { return c.workerAddrs[i] }
+func (c *Cluster) WorkerAddr(i int) string {
+	c.memMu.RLock()
+	defer c.memMu.RUnlock()
+	return c.workerAddrs[i]
+}
 
 // ServerAddr returns server replica i's network address ("server-<i>").
-func (c *Cluster) ServerAddr(i int) string { return c.serverAddrs[i] }
+func (c *Cluster) ServerAddr(i int) string {
+	c.memMu.RLock()
+	defer c.memMu.RUnlock()
+	return c.serverAddrs[i]
+}
 
 // Partition blocks traffic between the two node groups (addresses from
 // WorkerAddr/ServerAddr) and severs established connections crossing the
@@ -479,23 +562,23 @@ func (c *Cluster) HealPartitions() {
 // worker i: each framed message is dropped, duplicated, reordered or
 // corrupted with the program's probabilities. A zero LinkFault clears it.
 func (c *Cluster) SetWorkerLinkFault(i int, lf transport.LinkFault, seed uint64) {
-	c.net.SetLinkFault(c.workerAddrs[i], lf, seed)
+	c.net.SetLinkFault(c.WorkerAddr(i), lf, seed)
 }
 
 // SetServerLinkFault is SetWorkerLinkFault for server replica i's links.
 func (c *Cluster) SetServerLinkFault(i int, lf transport.LinkFault, seed uint64) {
-	c.net.SetLinkFault(c.serverAddrs[i], lf, seed)
+	c.net.SetLinkFault(c.ServerAddr(i), lf, seed)
 }
 
 // WorkerLinkStats returns the fault decisions taken so far by worker i's
 // current link program (zero when none is installed).
 func (c *Cluster) WorkerLinkStats(i int) transport.LinkStats {
-	return c.net.LinkStats(c.workerAddrs[i])
+	return c.net.LinkStats(c.WorkerAddr(i))
 }
 
 // ServerLinkStats is WorkerLinkStats for server replica i.
 func (c *Cluster) ServerLinkStats(i int) transport.LinkStats {
-	return c.net.LinkStats(c.serverAddrs[i])
+	return c.net.LinkStats(c.ServerAddr(i))
 }
 
 // SetServerByzMode flips the ByzantineServer wrapper of replica i to the
@@ -505,6 +588,8 @@ func (c *Cluster) ServerLinkStats(i int) transport.LinkStats {
 // loops and an adversarial handler under a driven loop would break the
 // declared f/fs resilience budget rather than test it.
 func (c *Cluster) SetServerByzMode(i int, mode string) error {
+	c.memMu.RLock()
+	defer c.memMu.RUnlock()
 	if i < 0 || i >= len(c.byzServers) {
 		return fmt.Errorf("%w: server %d of %d", ErrConfig, i, len(c.byzServers))
 	}
@@ -518,7 +603,11 @@ func (c *Cluster) SetServerByzMode(i int, mode string) error {
 
 // ByzServer returns replica i's ByzantineServer wrapper, or nil for honest
 // replicas.
-func (c *Cluster) ByzServer(i int) *ByzantineServer { return c.byzServers[i] }
+func (c *Cluster) ByzServer(i int) *ByzantineServer {
+	c.memMu.RLock()
+	defer c.memMu.RUnlock()
+	return c.byzServers[i]
+}
 
 // WireStats returns the summed byte accounting of every server replica's
 // pooled client — the cluster's whole pull traffic, since workers never
@@ -526,8 +615,11 @@ func (c *Cluster) ByzServer(i int) *ByzantineServer { return c.byzServers[i] }
 // protocol runners populate with exactly that delta) to measure one run's
 // bytes on the wire.
 func (c *Cluster) WireStats() rpc.WireStats {
+	c.memMu.RLock()
+	clients := append([]*rpc.PooledClient(nil), c.clients...)
+	c.memMu.RUnlock()
 	var s rpc.WireStats
-	for _, cl := range c.clients {
+	for _, cl := range clients {
 		s = s.Add(cl.Stats())
 	}
 	return s
@@ -541,13 +633,19 @@ func (c *Cluster) WireStats() rpc.WireStats {
 // replicas, a real deployment restores them together; the residual reset is
 // idempotent, so restoring each replica through this method is safe.)
 func (c *Cluster) RestoreServerCheckpoint(i int, r io.Reader) error {
+	c.memMu.RLock()
 	if i < 0 || i >= len(c.servers) {
-		return fmt.Errorf("%w: server %d of %d", ErrConfig, i, len(c.servers))
+		n := len(c.servers)
+		c.memMu.RUnlock()
+		return fmt.Errorf("%w: server %d of %d", ErrConfig, i, n)
 	}
-	if err := c.servers[i].LoadCheckpoint(r); err != nil {
+	srv := c.servers[i]
+	workers := append([]*Worker(nil), c.workers...)
+	c.memMu.RUnlock()
+	if err := srv.LoadCheckpoint(r); err != nil {
 		return err
 	}
-	for _, w := range c.workers {
+	for _, w := range workers {
 		w.ResetCompression()
 	}
 	return nil

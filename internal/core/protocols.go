@@ -101,35 +101,47 @@ func (c *Cluster) recordAccuracy(res *Result, s *Server, opt RunOptions, i int, 
 // averaging, synchronous collection from all workers. It is the TensorFlow /
 // PyTorch stand-in every experiment normalizes against.
 func (c *Cluster) RunVanilla(opt RunOptions) (*Result, error) {
-	return c.runSingleServer(opt, gar.NameAverage, 0, c.cfg.NW, "vanilla")
+	return c.runSingleServer(opt, gar.NameAverage, false, "vanilla")
 }
 
 // RunSSMW trains the single-server multi-worker application of Listing 1:
 // a trusted server aggregates worker gradients with a robust GAR,
 // synchronously (q_w = n_w).
 func (c *Cluster) RunSSMW(opt RunOptions) (*Result, error) {
-	return c.runSingleServer(opt, c.cfg.Rule, c.cfg.FW, c.cfg.NW, "ssmw")
+	return c.runSingleServer(opt, c.cfg.Rule, true, "ssmw")
 }
 
 // RunAggregaThor trains with the AggregaThor baseline: the SSMW topology
 // fixed to Multi-Krum, as in the paper's comparisons.
 func (c *Cluster) RunAggregaThor(opt RunOptions) (*Result, error) {
-	return c.runSingleServer(opt, gar.NameMultiKrum, c.cfg.FW, c.cfg.NW, "aggregathor")
+	return c.runSingleServer(opt, gar.NameMultiKrum, true, "aggregathor")
 }
 
-func (c *Cluster) runSingleServer(opt RunOptions, rule string, f, q int, name string) (*Result, error) {
+// runSingleServer drives the roster's first server replica. The roster is
+// re-read every iteration, so mid-run joins/leaves take effect at the next
+// round: the worker quorum tracks the active worker count (and, for robust
+// rules, the active declared-Byzantine count), and the aggregator is
+// rebuilt only when the fleet shape actually changes.
+func (c *Cluster) runSingleServer(opt RunOptions, rule string, robust bool, name string) (*Result, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	agg, err := NewAggregator(rule, q, f)
-	if err != nil {
-		return nil, fmt.Errorf("core: %s: %w", name, err)
-	}
 	res := newResult(name)
-	s := c.servers[0]
+	var agg *Aggregator
+	var key aggKey
 	start := time.Now()
 	wire0 := c.WireStats()
 	for i := 0; i < opt.Iterations; i++ {
+		ro := c.Roster()
+		s := c.Server(ro.Servers[0])
+		q, f := ro.NW(), 0
+		if robust {
+			f = ro.FW
+		}
+		ag, err := cachedAggregator(&agg, &key, rule, q, f)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", name, err)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.PullTimeout)
 		commDone := metrics.Start()
 		grads, err := s.GetGradients(ctx, i, q)
@@ -139,7 +151,7 @@ func (c *Cluster) runSingleServer(opt RunOptions, rule string, f, q int, name st
 			return nil, fmt.Errorf("core: %s iteration %d: %w", name, i, err)
 		}
 		aggDone := metrics.Start()
-		aggr, err := agg.Aggregate(grads)
+		aggr, err := ag.Aggregate(grads)
 		res.Breakdown.AddAgg(aggDone())
 		if err != nil {
 			return nil, fmt.Errorf("core: %s iteration %d: %w", name, i, err)
@@ -172,42 +184,51 @@ func (c *Cluster) RunCrashTolerant(opt RunOptions) (*Result, error) {
 		return nil, fmt.Errorf("%w: crash-tolerant needs server replicas", ErrConfig)
 	}
 	res := newResult("crash-tolerant")
-	aggs := make([]*Aggregator, c.Servers())
-	for r := range aggs {
-		var err error
-		if aggs[r], err = NewAggregator(gar.NameAverage, c.cfg.NW, 0); err != nil {
-			return nil, fmt.Errorf("core: crash-tolerant: %w", err)
-		}
-	}
+	// Aggregators are cached per replica slot: slots are stable across
+	// roster transitions, and the cache rebuilds a slot's rule only when
+	// the active worker count changes under it.
+	aggs := make(map[int]*Aggregator)
+	keys := make(map[int]aggKey)
 	start := time.Now()
 	wire0 := c.WireStats()
 	for i := 0; i < opt.Iterations; i++ {
+		ro := c.Roster()
 		p, ok := c.primary()
 		if !ok {
-			return nil, fmt.Errorf("core: crash-tolerant: all %d replicas crashed", c.Servers())
+			return nil, fmt.Errorf("core: crash-tolerant: all %d replicas crashed or departed", c.Servers())
 		}
 		// Every live replica performs the averaging step so a backup's
 		// model stays close to the primary's.
 		var wg sync.WaitGroup
-		errs := make([]error, c.Servers())
-		for r := 0; r < c.Servers(); r++ {
-			if c.crashed[r].Load() {
+		errs := make([]error, len(ro.Servers))
+		var pErr *error
+		for k, r := range ro.Servers {
+			if c.serverCrashed(r) {
 				continue
 			}
-			r := r
+			slot, key := aggs[r], keys[r]
+			agg, err := cachedAggregator(&slot, &key, gar.NameAverage, ro.NW(), 0)
+			if err != nil {
+				return nil, fmt.Errorf("core: crash-tolerant: %w", err)
+			}
+			aggs[r], keys[r] = slot, key
+			k, r := k, r
+			if r == p {
+				pErr = &errs[k]
+			}
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				errs[r] = c.crashStep(res, aggs[r], r, i, r == p)
+				errs[k] = c.crashStep(res, agg, r, i, ro.NW(), r == p)
 			}()
 		}
 		wg.Wait()
-		if errs[p] != nil {
-			return nil, fmt.Errorf("core: crash-tolerant iteration %d: %w", i, errs[p])
+		if pErr != nil && *pErr != nil {
+			return nil, fmt.Errorf("core: crash-tolerant iteration %d: %w", i, *pErr)
 		}
 		res.Breakdown.EndIteration()
 		res.Updates++
-		if err := c.recordAccuracy(res, c.servers[p], opt, i, start); err != nil {
+		if err := c.recordAccuracy(res, c.Server(p), opt, i, start); err != nil {
 			return nil, err
 		}
 	}
@@ -217,14 +238,14 @@ func (c *Cluster) RunCrashTolerant(opt RunOptions) (*Result, error) {
 }
 
 // crashStep performs one average-and-update step at replica r with its
-// per-replica aggregator. Only the primary's timings feed the breakdown to
-// keep per-iteration semantics.
-func (c *Cluster) crashStep(res *Result, agg *Aggregator, r, i int, isPrimary bool) error {
-	s := c.servers[r]
+// per-replica aggregator and the round's worker quorum q. Only the primary's
+// timings feed the breakdown to keep per-iteration semantics.
+func (c *Cluster) crashStep(res *Result, agg *Aggregator, r, i, q int, isPrimary bool) error {
+	s := c.Server(r)
 	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.PullTimeout)
 	defer cancel()
 	commDone := metrics.Start()
-	grads, err := s.GetGradients(ctx, i, c.cfg.NW)
+	grads, err := s.GetGradients(ctx, i, q)
 	if isPrimary {
 		res.Breakdown.AddComm(commDone())
 	}
@@ -253,30 +274,29 @@ func (c *Cluster) RunMSMW(opt RunOptions) (*Result, error) {
 		return nil, err
 	}
 	cfg := c.cfg
-	if c.Servers() < 2 {
+	if c.Roster().NPS() < 2 {
 		return nil, fmt.Errorf("%w: msmw needs at least 2 server replicas", ErrConfig)
 	}
 	res := newResult("msmw")
-	honest := c.Servers() - cfg.FPS
-	qw := cfg.NW - cfg.FW
-	qps := c.Servers() - cfg.FPS
-	if cfg.SyncQuorum {
-		qw, qps = cfg.NW, c.Servers()
-	}
-	gradAggs := make([]*Aggregator, honest)
-	modelAggs := make([]*Aggregator, honest)
-	for r := 0; r < honest; r++ {
-		var err error
-		if gradAggs[r], err = NewAggregator(cfg.Rule, qw, cfg.FW); err != nil {
-			return nil, fmt.Errorf("core: msmw: %w", err)
-		}
-		if modelAggs[r], err = NewAggregator(cfg.ModelRule, qps, cfg.FPS); err != nil {
-			return nil, fmt.Errorf("core: msmw: %w", err)
-		}
-	}
+	// Per-slot aggregator caches: replica indices are stable across roster
+	// transitions, and a slot's rules rebuild only when the quorum shape
+	// changes under it (a join/leave between rounds).
+	gradAggs := make(map[int]*Aggregator)
+	gradKeys := make(map[int]aggKey)
+	modelAggs := make(map[int]*Aggregator)
+	modelKeys := make(map[int]aggKey)
 	start := time.Now()
 	wire0 := c.WireStats()
 	for i := 0; i < opt.Iterations; i++ {
+		ro := c.Roster()
+		honest := ro.HonestServers()
+		if len(honest) == 0 {
+			return nil, fmt.Errorf("%w: msmw iteration %d: no honest replicas left", ErrConfig, i)
+		}
+		qw, qps := ro.NW()-ro.FW, ro.NPS()-ro.FPS
+		if cfg.SyncQuorum {
+			qw, qps = ro.NW(), ro.NPS()
+		}
 		// In deterministic mode the replicas run the model-exchange phase
 		// in lockstep: all replicas update before anyone pulls models, and
 		// all pull before anyone overwrites its state. Without it a fast
@@ -284,28 +304,40 @@ func (c *Cluster) RunMSMW(opt RunOptions) (*Result, error) {
 		// making the aggregated multiset timing-dependent.
 		var b *barrier
 		if cfg.Deterministic {
-			b = newBarrier(honest)
+			b = newBarrier(len(honest))
 		}
 		var wg sync.WaitGroup
-		errs := make([]error, honest)
+		errs := make([]error, len(honest))
 		// Drive the honest replicas; Byzantine replicas do not need a
 		// training loop — their adversarial behaviour lives in how they
 		// answer pulls (attack-corrupted models).
-		for r := 0; r < honest; r++ {
-			r := r
+		for k, r := range honest {
+			gradSlot, gradKey := gradAggs[r], gradKeys[r]
+			gradAgg, err := cachedAggregator(&gradSlot, &gradKey, cfg.Rule, qw, ro.FW)
+			if err != nil {
+				return nil, fmt.Errorf("core: msmw: %w", err)
+			}
+			gradAggs[r], gradKeys[r] = gradSlot, gradKey
+			modelSlot, modelKey := modelAggs[r], modelKeys[r]
+			modelAgg, err := cachedAggregator(&modelSlot, &modelKey, cfg.ModelRule, qps, ro.FPS)
+			if err != nil {
+				return nil, fmt.Errorf("core: msmw: %w", err)
+			}
+			modelAggs[r], modelKeys[r] = modelSlot, modelKey
+			k, r := k, r
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				errs[r] = c.msmwStep(res, gradAggs[r], modelAggs[r], r, i, b, r == 0)
+				errs[k] = c.msmwStep(res, gradAgg, modelAgg, r, i, qw, qps, b, k == 0)
 			}()
 		}
 		wg.Wait()
-		if r, err := firstRootCause(errs); err != nil {
-			return nil, fmt.Errorf("core: msmw iteration %d replica %d: %w", i, r, err)
+		if k, err := firstRootCause(errs); err != nil {
+			return nil, fmt.Errorf("core: msmw iteration %d replica %d: %w", i, honest[k], err)
 		}
 		res.Breakdown.EndIteration()
 		res.Updates++
-		if err := c.recordAccuracy(res, c.servers[0], opt, i, start); err != nil {
+		if err := c.recordAccuracy(res, c.Server(honest[0]), opt, i, start); err != nil {
 			return nil, err
 		}
 	}
@@ -314,14 +346,9 @@ func (c *Cluster) RunMSMW(opt RunOptions) (*Result, error) {
 	return res, nil
 }
 
-func (c *Cluster) msmwStep(res *Result, gradAgg, modelAgg *Aggregator, r, i int, b *barrier, record bool) error {
+func (c *Cluster) msmwStep(res *Result, gradAgg, modelAgg *Aggregator, r, i, qw, qps int, b *barrier, record bool) error {
 	cfg := c.cfg
-	s := c.servers[r]
-	qw := cfg.NW - cfg.FW
-	qps := c.Servers() - cfg.FPS
-	if cfg.SyncQuorum {
-		qw, qps = cfg.NW, c.Servers()
-	}
+	s := c.Server(r)
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.PullTimeout)
 	defer cancel()
 
@@ -435,7 +462,7 @@ func (c *Cluster) RunDecentralized(opt RunOptions) (*Result, error) {
 		}
 		res.Breakdown.EndIteration()
 		res.Updates++
-		if err := c.recordAccuracy(res, c.servers[0], opt, i, start); err != nil {
+		if err := c.recordAccuracy(res, c.Server(0), opt, i, start); err != nil {
 			return nil, err
 		}
 	}
@@ -446,7 +473,7 @@ func (c *Cluster) RunDecentralized(opt RunOptions) (*Result, error) {
 
 func (c *Cluster) decentralizedStep(res *Result, gradAgg, modelAgg *Aggregator, r, i int, b *barrier, record bool) error {
 	cfg := c.cfg
-	s := c.servers[r]
+	s := c.Server(r)
 	n, f := cfg.NW, cfg.FW
 	q := n - f
 	if cfg.SyncQuorum {

@@ -25,13 +25,20 @@ import (
 // A Byzantine server is the same object with a non-nil attack, which
 // corrupts the models and aggregated gradients it serves.
 type Server struct {
-	arch    model.Model
-	opt     *sgd.Optimizer
-	client  rpc.Caller
-	workers []string
-	peers   []string // other server replicas
-	atk     attack.Attack
-	det     bool
+	arch   model.Model
+	opt    *sgd.Optimizer
+	client rpc.Caller
+	atk    attack.Attack
+	det    bool
+
+	// rosterMu guards the pull target lists, which the membership layer
+	// rebinds on every roster epoch transition (Cluster join/leave/scale).
+	// The lists are replaced wholesale, never mutated in place, so a pull
+	// round that snapshotted them keeps running against the old roster
+	// while new rounds observe the new one.
+	rosterMu sync.RWMutex
+	workers  []string
+	peers    []string // other server replicas
 	// accept is the payload encoding this server advertises on gradient
 	// pulls (Request.Accept): workers configured with the matching codec
 	// compress their replies; everything else falls back to fp64. Model
@@ -131,13 +138,60 @@ func (s *Server) Snapshot() (tensor.Vector, uint32) {
 	return s.params.Clone(), s.currentStep
 }
 
+// workerList returns the current worker pull targets. The slice is replaced,
+// never mutated, so the snapshot is safe to iterate without the lock.
+func (s *Server) workerList() []string {
+	s.rosterMu.RLock()
+	defer s.rosterMu.RUnlock()
+	return s.workers
+}
+
+// peerList returns the current server-replica pull targets.
+func (s *Server) peerList() []string {
+	s.rosterMu.RLock()
+	defer s.rosterMu.RUnlock()
+	return s.peers
+}
+
+// SetWorkers rebinds the server's worker pull targets — a roster epoch
+// transition. In-flight pull rounds keep their snapshot of the old list.
+func (s *Server) SetWorkers(workers []string) {
+	fresh := append([]string(nil), workers...)
+	s.rosterMu.Lock()
+	s.workers = fresh
+	s.rosterMu.Unlock()
+}
+
+// SetPeers rebinds the server's replica pull targets.
+func (s *Server) SetPeers(peers []string) {
+	fresh := append([]string(nil), peers...)
+	s.rosterMu.Lock()
+	s.peers = fresh
+	s.rosterMu.Unlock()
+}
+
+// ResetDerived clears the server's derived state — the published aggregated
+// gradient and the deterministic per-step reply cache — without touching the
+// model or the optimizer. Crash recovery goes through it: both pieces were
+// produced on the pre-crash timeline, and serving them after the replica
+// rejoins would hand peers vectors from rounds the rest of the fleet has
+// moved past (exactly what checkpoint restore resets, minus the rollback).
+func (s *Server) ResetDerived() {
+	s.mu.Lock()
+	s.latestAggr = nil
+	s.mu.Unlock()
+	s.detMu.Lock()
+	s.detHas, s.detOK, s.detVec = false, false, nil
+	s.detMu.Unlock()
+}
+
 // GetGradients implements the paper's get_gradients(t, q): it broadcasts the
 // current model to the workers (folded into the pull request) and returns
 // the fastest q gradient estimates. q == len(workers) is the synchronous
 // mode; q < len(workers) tolerates stragglers and faults.
 func (s *Server) GetGradients(ctx context.Context, t int, q int) ([]tensor.Vector, error) {
 	req := rpc.Request{Kind: rpc.KindGetGradient, Step: uint32(t), Accept: s.accept, Vec: s.Params()}
-	replies, err := s.client.PullFirstQ(ctx, s.workers, q, req)
+	replies, err := s.client.PullFirstQ(ctx, s.workerList(), q, req)
 	if err != nil {
 		return nil, fmt.Errorf("core: get_gradients(t=%d, q=%d): %w", t, q, err)
 	}
@@ -148,7 +202,7 @@ func (s *Server) GetGradients(ctx context.Context, t int, q int) ([]tensor.Vecto
 // state of the fastest q server replicas (out of all peers).
 func (s *Server) GetModels(ctx context.Context, q int) ([]tensor.Vector, error) {
 	req := rpc.Request{Kind: rpc.KindGetModel, Step: s.Step()}
-	replies, err := s.client.PullFirstQ(ctx, s.peers, q, req)
+	replies, err := s.client.PullFirstQ(ctx, s.peerList(), q, req)
 	if err != nil {
 		return nil, fmt.Errorf("core: get_models(q=%d): %w", q, err)
 	}
@@ -160,7 +214,7 @@ func (s *Server) GetModels(ctx context.Context, q int) ([]tensor.Vector, error) 
 // (Listing 3).
 func (s *Server) GetAggrGrads(ctx context.Context, q int) ([]tensor.Vector, error) {
 	req := rpc.Request{Kind: rpc.KindGetAggrGrad, Step: s.Step()}
-	replies, err := s.client.PullFirstQ(ctx, s.peers, q, req)
+	replies, err := s.client.PullFirstQ(ctx, s.peerList(), q, req)
 	if err != nil {
 		return nil, fmt.Errorf("core: get_aggr_grads(q=%d): %w", q, err)
 	}

@@ -88,7 +88,7 @@ var registry = map[string]struct {
 	"ext-throughput": {ExtLiveThroughput, "EXT: live in-process throughput of every protocol"},
 	"ext-async":      {ExtAsyncThroughput, "EXT: async bounded-staleness vs lockstep SSMW under a straggler"},
 	"ext-compress":   {ExtCompress, "EXT: gradient compression codecs — bytes-on-wire vs accuracy vs attack rejection"},
-	"chaos":          {ExtChaos, "EXT: chaos-engine invariants (safety/liveness/determinism/corruption) per preset"},
+	"chaos":          {ExtChaos, "EXT: chaos-engine invariants (safety/liveness/determinism/corruption/membership churn) per preset"},
 }
 
 // IDs returns all experiment ids in sorted order.

@@ -48,6 +48,13 @@ type PooledClient struct {
 	replies      atomic.Uint64
 	replyPayload atomic.Uint64
 	replyFP64    atomic.Uint64
+	retries      atomic.Uint64
+	backoffNanos atomic.Uint64
+
+	// jitterState seeds the retry-backoff jitter (splitmix64 per draw): a
+	// per-client stream so concurrent retriers against one rejoining peer
+	// spread out without contending on a shared RNG.
+	jitterState atomic.Uint64
 
 	mu     sync.Mutex
 	closed bool
@@ -75,6 +82,13 @@ type WireStats struct {
 	// under the passthrough encoding.
 	ReplyPayloadBytes uint64
 	ReplyFP64Bytes    uint64
+	// Retries counts call attempts repeated after a retriable idle-death
+	// failure; BackoffNanos is the total time those retries spent sleeping
+	// in the jittered exponential backoff. Together they make churn storms
+	// observable: a rejoining replica that forces the fleet through the
+	// backoff path shows up here, not as silent latency.
+	Retries      uint64
+	BackoffNanos uint64
 }
 
 // Add returns the field-wise sum of two snapshots (aggregating a cluster's
@@ -87,6 +101,8 @@ func (s WireStats) Add(o WireStats) WireStats {
 		Replies:           s.Replies + o.Replies,
 		ReplyPayloadBytes: s.ReplyPayloadBytes + o.ReplyPayloadBytes,
 		ReplyFP64Bytes:    s.ReplyFP64Bytes + o.ReplyFP64Bytes,
+		Retries:           s.Retries + o.Retries,
+		BackoffNanos:      s.BackoffNanos + o.BackoffNanos,
 	}
 }
 
@@ -100,6 +116,8 @@ func (s WireStats) Sub(o WireStats) WireStats {
 		Replies:           s.Replies - o.Replies,
 		ReplyPayloadBytes: s.ReplyPayloadBytes - o.ReplyPayloadBytes,
 		ReplyFP64Bytes:    s.ReplyFP64Bytes - o.ReplyFP64Bytes,
+		Retries:           s.Retries - o.Retries,
+		BackoffNanos:      s.BackoffNanos - o.BackoffNanos,
 	}
 }
 
@@ -121,6 +139,8 @@ func (c *PooledClient) Stats() WireStats {
 		Replies:           c.replies.Load(),
 		ReplyPayloadBytes: c.replyPayload.Load(),
 		ReplyFP64Bytes:    c.replyFP64.Load(),
+		Retries:           c.retries.Load(),
+		BackoffNanos:      c.backoffNanos.Load(),
 	}
 }
 
@@ -248,27 +268,92 @@ var pastDeadline = time.Unix(1, 0)
 // errClientClosed is returned for calls issued after Close.
 var errClientClosed = errors.New("rpc: pooled client closed")
 
+// Retry policy for retriable idle-death failures: the first retry is
+// immediate (the overwhelmingly common case is a single severed idle
+// connection, and an instant re-dial restores it), later retries back off
+// exponentially with jitter so a churn storm — every replica in the fleet
+// re-dialing a node that just rejoined — spreads out instead of thundering
+// in lockstep. maxCallAttempts bounds the total attempts per Call.
+const (
+	maxCallAttempts  = 4
+	retryBackoffBase = 2 * time.Millisecond
+	retryBackoffCap  = 16 * time.Millisecond
+)
+
+// DefaultCallDeadline bounds a Call whose context carries no deadline of its
+// own: with retries in the loop, an unbounded call against a peer that dies
+// mid-churn could otherwise block its connection slot indefinitely.
+const DefaultCallDeadline = 30 * time.Second
+
+// jitterBackoff draws a jittered sleep in [d/2, d] from the client's
+// splitmix64 stream (equal-jitter policy: half deterministic so backoff
+// still separates attempt rounds, half random so concurrent retriers
+// decorrelate).
+func (c *PooledClient) jitterBackoff(d time.Duration) time.Duration {
+	x := c.jitterState.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	half := uint64(d) / 2
+	if half == 0 {
+		return d
+	}
+	return time.Duration(half + x%(half+1))
+}
+
 // Call performs one round trip over the peer's persistent connection,
 // dialing lazily on first use and re-dialing after failures. A pooled
-// connection can die while idle — a peer restart, or injected faults
-// severing links (transport.Faulty severs on Crash and SetDelay) — in which
-// case the first reuse fails before any reply byte arrives. Pull requests
-// are idempotent reads, so that one failure is retried transparently over a
-// fresh connection instead of surfacing to the protocol layer.
+// connection can die while idle — a peer restart, a membership departure, or
+// injected faults severing links (transport.Faulty severs on Crash and
+// SetDelay) — in which case the first reuse fails before any reply byte
+// arrives. Pull requests are idempotent reads, so such failures — and
+// refused dials, the signature of a peer mid-rejoin — are retried
+// transparently over a fresh connection instead of surfacing to the protocol
+// layer: immediately first, then under bounded exponential backoff with
+// jitter (see maxCallAttempts). Retry counts and backoff time are exposed in
+// WireStats. A context without a deadline is bounded by DefaultCallDeadline.
 func (c *PooledClient) Call(ctx context.Context, addr string, req Request) (tensor.Vector, error) {
 	req = stamp(req, c.self)
 	pc, err := c.peer(addr)
 	if err != nil {
 		return nil, err
 	}
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, DefaultCallDeadline)
+		defer cancel()
+	}
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 
-	vec, retry, err := c.callLocked(ctx, pc, addr, req)
-	if retry && ctx.Err() == nil {
-		vec, _, err = c.callLocked(ctx, pc, addr, req)
+	backoff := retryBackoffBase
+	for attempt := 1; ; attempt++ {
+		vec, retry, err := c.callLocked(ctx, pc, addr, req)
+		if err == nil || !retry || attempt >= maxCallAttempts || ctx.Err() != nil {
+			return vec, err
+		}
+		c.retries.Add(1)
+		if attempt > 1 {
+			// Second and later retries sleep; the connection slot is held
+			// across the sleep, which is intentional — same-peer calls are
+			// serialized anyway, and releasing the lock mid-retry would
+			// reorder the request stream.
+			d := c.jitterBackoff(backoff)
+			timer := time.NewTimer(d)
+			select {
+			case <-timer.C:
+				c.backoffNanos.Add(uint64(d))
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, err
+			}
+			if backoff < retryBackoffCap {
+				backoff *= 2
+			}
+		}
 	}
-	return vec, err
 }
 
 // callLocked is one call attempt over pc (held locked by the caller). retry
@@ -284,7 +369,11 @@ func (c *PooledClient) callLocked(ctx context.Context, pc *pooledConn, addr stri
 	if pc.conn == nil {
 		conn, err := c.network.Dial(ctx, addr)
 		if err != nil {
-			return nil, false, fmt.Errorf("rpc: pooled dial %q: %w", addr, err)
+			// A refused dial is the transient signature of churn — the peer
+			// is mid-rejoin, or a partition is healing — so it is retried
+			// under the bounded backoff. A peer that is genuinely gone keeps
+			// refusing and the attempt budget bounds the cost.
+			return nil, true, fmt.Errorf("rpc: pooled dial %q: %w", addr, err)
 		}
 		pc.conn = conn
 		pc.rd = countingReader{r: conn}

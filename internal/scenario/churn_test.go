@@ -1,0 +1,128 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestChurnFaultValidation drives the trajectory-simulating validator: churn
+// schedules are checked in application order against the fleet they evolve,
+// so later faults may target joiners, and any transition that would strand
+// the fleet below the GAR floors is rejected before a cluster exists.
+func TestChurnFaultValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Spec)
+		wantSub string // "" means the schedule must validate
+	}{
+		{"crash of a future joiner is legal", func(sp *Spec) {
+			sp.Faults = []Fault{
+				{After: 5, Kind: FaultJoin},
+				{After: 10, Kind: FaultCrashWorker, Node: 9}, // the joiner's slot
+			}
+		}, ""},
+		{"crash beyond the evolved fleet", func(sp *Spec) {
+			sp.Faults = []Fault{{After: 5, Kind: FaultCrashWorker, Node: 9}}
+		}, "worker 9 of 9"},
+		{"leave sequence hits the async quorum floor", func(sp *Spec) {
+			// median at fw=2 needs g(f)=5; after the third leave the quorum
+			// q = n - f = 6 - 2 = 4 dips under it.
+			sp.Faults = []Fault{
+				{After: 5, Kind: FaultLeave, Node: 0},
+				{After: 6, Kind: FaultLeave, Node: 1},
+				{After: 7, Kind: FaultLeave, Node: 2},
+			}
+		}, "below g(f)=5"},
+		{"leave twice", func(sp *Spec) {
+			sp.Faults = []Fault{
+				{After: 5, Kind: FaultLeave, Node: 0},
+				{After: 10, Kind: FaultLeave, Node: 0},
+			}
+		}, "worker 0 already left"},
+		{"server leaves break the model-rule floor", func(sp *Spec) {
+			// nps=4 fps=1 median: two honest departures leave nps=2 < g(1)=3.
+			sp.Faults = []Fault{
+				{After: 5, Kind: FaultLeave, Node: 0, Target: "server"},
+				{After: 10, Kind: FaultLeave, Node: 1, Target: "server"},
+			}
+		}, `model rule "median"`},
+		{"scale needs a delta", func(sp *Spec) {
+			sp.Faults = []Fault{{After: 5, Kind: FaultScale}}
+		}, "delta != 0"},
+		{"scale down past the fleet", func(sp *Spec) {
+			sp.Faults = []Fault{{After: 5, Kind: FaultScale, Delta: -9}}
+		}, "roster left with"},
+		{"membership faults on decentralized", func(sp *Spec) {
+			sp.Topology = TopoDecentralized
+			sp.NPS, sp.FPS = 0, 0
+			sp.Faults = []Fault{{After: 5, Kind: FaultJoin}}
+		}, "not supported on the decentralized topology"},
+		{"bad churn target", func(sp *Spec) {
+			sp.Faults = []Fault{{After: 5, Kind: FaultJoin, Target: "moon"}}
+		}, `target "moon"`},
+		{"batch scale within floors is legal", func(sp *Spec) {
+			sp.Faults = []Fault{
+				{After: 5, Kind: FaultScale, Delta: 3},
+				{After: 10, Kind: FaultScale, Delta: -3},
+				{After: 15, Kind: FaultJoin, Target: "server"},
+			}
+		}, ""},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			sp := chaosValidSpec()
+			tc.mutate(&sp)
+			err := sp.Validate()
+			if tc.wantSub == "" {
+				if err != nil {
+					t.Fatalf("want valid, got %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, ErrSpec) {
+				t.Fatalf("err = %v, want ErrSpec", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("err = %q, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestChurnElasticPresetRunsSegmented drives the full elastic-membership
+// demo preset — worker join, server join from checkpoint, graceful drain,
+// batch scale — and checks the roster arithmetic and that no round is lost
+// across any transition.
+func TestChurnElasticPresetRunsSegmented(t *testing.T) {
+	sp, err := ByName("churn-elastic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	segments, err := RunSegmented(c, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segments) != 5 {
+		t.Fatalf("segments = %d, want 5 (four churn boundaries)", len(segments))
+	}
+	total := 0
+	for _, seg := range segments {
+		total += seg.Result.Updates
+	}
+	if total != sp.Iterations {
+		t.Fatalf("updates = %d, want %d: churn must not cost rounds", total, sp.Iterations)
+	}
+	ro := c.Roster()
+	if ro.Epoch != 4 {
+		t.Fatalf("epoch = %d, want 4 (one per churn fault)", ro.Epoch)
+	}
+	if ro.NW() != sp.NW+1-1+2 || ro.NPS() != sp.NPS+1 {
+		t.Fatalf("final fleet %dw/%ds, want %dw/%ds", ro.NW(), ro.NPS(), sp.NW+2, sp.NPS+1)
+	}
+}

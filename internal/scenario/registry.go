@@ -431,6 +431,78 @@ func presets() map[string]Spec {
 		},
 	})
 
+	// Elastic membership under attack: two little-is-enough workers press
+	// the whole run while the fleet churns — a worker joins at 10, worker 0
+	// drains out at 20, and two more scale in at 30. The membership
+	// invariant requires one epoch per churn fault and the scheduled final
+	// fleet; churn-liveness requires post-churn throughput recovery.
+	cam, cad := demoTask("chaos-churn-attack", 55)
+	add(Spec{
+		Name:        "chaos-churn-attack",
+		Description: "SSMW fleet churns (join, drain, scale +2) while 2 little-is-enough workers attack; safety and throughput hold",
+		Topology:    TopoSSMW,
+		NW:          9, FW: 2,
+		Rule:            gar.NameMedian,
+		Deterministic:   true,
+		WorkerAttack:    AttackSpec{Name: attack.NameLittleIsEnough},
+		AttackSelfPeers: 3,
+		Model:           cam, Dataset: cad, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 55, Iterations: 40, AccEvery: 10,
+		Faults: []Fault{
+			{After: 10, Kind: FaultJoin},
+			{After: 20, Kind: FaultLeave, Node: 0},
+			{After: 30, Kind: FaultScale, Delta: 2},
+		},
+	})
+
+	// A server replica joins from the primary's checkpoint at the very
+	// boundary where a partition heals, with two Byzantine workers attacking
+	// throughout: the join-converges invariant requires the bootstrapped
+	// replica to end within a small spread of the honest fleet's model.
+	jbm, jbd := demoTask("chaos-join-bootstrap", 56)
+	add(Spec{
+		Name:        "chaos-join-bootstrap",
+		Description: "a replica bootstraps from checkpoint as a partition heals, under little-is-enough workers; it converges to the fleet",
+		Topology:    TopoMSMW,
+		NW:          9, FW: 2,
+		NPS: 2, FPS: 0,
+		Rule:            gar.NameMedian,
+		WorkerAttack:    AttackSpec{Name: attack.NameLittleIsEnough},
+		AttackSelfPeers: 3,
+		Model:           jbm, Dataset: jbd, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 56, Iterations: 30, AccEvery: 10,
+		Faults: []Fault{
+			{After: 10, Kind: FaultPartition,
+				GroupA: []string{"server-0", "server-1"},
+				GroupB: []string{"worker-7", "worker-8"}},
+			{After: 20, Kind: FaultHeal},
+			{After: 20, Kind: FaultJoin, Target: "server"},
+		},
+	})
+
+	// The fault-free elastic-membership demo (README quickstart, CI smoke):
+	// every membership transition in one short run, no adversary.
+	cem, ced := demoTask("churn-elastic", 57)
+	add(Spec{
+		Name:        "churn-elastic",
+		Description: "elastic membership demo: a worker joins, a server bootstraps in, worker 0 drains, two more workers scale in",
+		Topology:    TopoMSMW,
+		NW:          6, FW: 1,
+		NPS: 2, FPS: 0,
+		Rule:  gar.NameMedian,
+		Model: cem, Dataset: ced, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 57, Iterations: 24, AccEvery: 8,
+		Faults: []Fault{
+			{After: 6, Kind: FaultJoin},
+			{After: 12, Kind: FaultJoin, Target: "server"},
+			{After: 16, Kind: FaultLeave, Node: 0},
+			{After: 20, Kind: FaultScale, Delta: 2},
+		},
+	})
+
 	// --- The default sweep base (see Matrix). ---
 	wm, wd := sweepTask(20211)
 	add(Spec{

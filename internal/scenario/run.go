@@ -88,7 +88,10 @@ func runSegmented(c *core.Cluster, sp Spec) ([]Segment, error) {
 		seg := Segment{Start: done, End: end, Result: res}
 		done = end
 		for next < len(faults) && faults[next].After == done {
-			applyFault(c, sp, faults[next])
+			if err := applyFault(c, sp, faults[next]); err != nil {
+				segments = append(segments, seg)
+				return segments, fmt.Errorf("scenario: fault at iteration %d: %w", done, err)
+			}
 			seg.FaultsApplied = append(seg.FaultsApplied, faults[next])
 			next++
 		}
@@ -168,8 +171,11 @@ const (
 	defaultReorderProb = 0.5
 )
 
-// applyFault injects one scheduled fault into the cluster.
-func applyFault(c *core.Cluster, sp Spec, flt Fault) {
+// applyFault injects one scheduled fault into the cluster. Network faults
+// cannot fail on a validated spec; the membership faults can in principle
+// (the cluster re-validates every roster transition), and their error
+// aborts the run.
+func applyFault(c *core.Cluster, sp Spec, flt Fault) error {
 	switch flt.Kind {
 	case FaultCrashServer:
 		c.CrashServer(flt.Node)
@@ -210,7 +216,25 @@ func applyFault(c *core.Cluster, sp Spec, flt Fault) {
 		// wrapper exists and SetServerByzMode cannot fail on a validated
 		// spec.
 		_ = c.SetServerByzMode(flt.Node, flt.Mode)
+	case FaultJoin:
+		if flt.Target == "server" {
+			_, err := c.JoinServer(nil)
+			return err
+		}
+		_, err := c.JoinWorker()
+		return err
+	case FaultLeave:
+		if flt.Target == "server" {
+			return c.LeaveServer(flt.Node)
+		}
+		return c.LeaveWorker(flt.Node)
+	case FaultScale:
+		if flt.Target == "server" {
+			return c.ScaleServers(flt.Delta)
+		}
+		return c.ScaleWorkers(flt.Delta)
 	}
+	return nil
 }
 
 // mergeResult folds one segment into the merged result, shifting the

@@ -233,6 +233,21 @@ const (
 	// Byzantine replica (index in [nps-fps, nps)) to Mode: a replica that
 	// served honestly turns adversarial mid-run. See core.ByzModes.
 	FaultByzServer = "byz-server"
+
+	// FaultJoin adds one honest node to the roster (Target side: "worker",
+	// the default, or "server") — a membership epoch transition. A joining
+	// server bootstraps model, optimizer and step from the current
+	// primary's checkpoint; a joining worker gets a deterministic shard.
+	FaultJoin = "join"
+	// FaultLeave gracefully drains node Node of the Target side out of the
+	// roster. The transition is validated against the GAR's n >= g(f)
+	// floor and the async q = n - f requirement; a schedule that would
+	// break them is rejected.
+	FaultLeave = "leave"
+	// FaultScale applies a batch membership change in one epoch: Delta > 0
+	// joins that many nodes on the Target side, Delta < 0 drains the
+	// highest-indexed active ones.
+	FaultScale = "scale"
 )
 
 // Fault is one entry of a network-fault schedule: after After iterations
@@ -255,9 +270,13 @@ type Fault struct {
 	Prob float64 `json:"prob,omitempty"`
 	// Mode is the byz-server behaviour to flip to (core.ByzModes).
 	Mode string `json:"mode,omitempty"`
-	// Target says which side corrupt-link/reorder-link's Node indexes:
-	// "worker" (the default) or "server".
+	// Target says which side corrupt-link/reorder-link's and the membership
+	// faults' (join/leave/scale) Node indexes: "worker" (the default) or
+	// "server".
 	Target string `json:"target,omitempty"`
+	// Delta is the scale fault's batch size: positive joins, negative
+	// drains.
+	Delta int `json:"delta,omitempty"`
 	// GroupA and GroupB are the two sides of a partition, as node names
 	// ("server-<i>", "worker-<i>").
 	GroupA []string `json:"group_a,omitempty"`
@@ -580,18 +599,38 @@ func (sp Spec) validateTask() error {
 }
 
 func (sp Spec) validateFaults(nps int) error {
-	for i, flt := range sp.Faults {
+	if len(sp.Faults) == 0 {
+		return nil
+	}
+	// Validate in application (After) order: the membership faults change
+	// the fleet that later entries are checked against, so a crash of a
+	// joiner or a partition naming it is legal, while a leave of an
+	// already-drained node is not.
+	order := make([]int, len(sp.Faults))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return sp.Faults[order[a]].After < sp.Faults[order[b]].After
+	})
+	if nps == 0 {
+		nps = 1 // single-server topologies materialize one server (core default)
+	}
+	m := newChurnTrajectory(sp.NW, sp.FW, nps, sp.FPS)
+	for _, i := range order {
+		flt := sp.Faults[i]
 		if flt.After < 1 || flt.After >= sp.Iterations {
 			return fmt.Errorf("%w: fault %d: after=%d outside [1, %d)", ErrSpec, i, flt.After, sp.Iterations)
 		}
+		nwSlots, npsSlots := len(m.workerActive), len(m.serverActive)
 		switch flt.Kind {
 		case FaultCrashServer:
-			if flt.Node < 0 || flt.Node >= nps {
-				return fmt.Errorf("%w: fault %d: server %d of %d", ErrSpec, i, flt.Node, nps)
+			if flt.Node < 0 || flt.Node >= npsSlots {
+				return fmt.Errorf("%w: fault %d: server %d of %d", ErrSpec, i, flt.Node, npsSlots)
 			}
 		case FaultCrashWorker, FaultDelayWorker, FaultSlowWorker:
-			if flt.Node < 0 || flt.Node >= sp.NW {
-				return fmt.Errorf("%w: fault %d: worker %d of %d", ErrSpec, i, flt.Node, sp.NW)
+			if flt.Node < 0 || flt.Node >= nwSlots {
+				return fmt.Errorf("%w: fault %d: worker %d of %d", ErrSpec, i, flt.Node, nwSlots)
 			}
 			if flt.Kind != FaultCrashWorker && flt.DelayMS <= 0 {
 				return fmt.Errorf("%w: fault %d: %s needs delay_ms > 0", ErrSpec, i, flt.Kind)
@@ -603,7 +642,7 @@ func (sp Spec) validateFaults(nps int) error {
 			seen := map[string]bool{}
 			for _, g := range [][]string{flt.GroupA, flt.GroupB} {
 				for _, name := range g {
-					if err := validNodeName(name, sp.NW, nps); err != nil {
+					if err := validNodeName(name, nwSlots, npsSlots); err != nil {
 						return fmt.Errorf("%w: fault %d: %v", ErrSpec, i, err)
 					}
 					if seen[name] {
@@ -615,9 +654,9 @@ func (sp Spec) validateFaults(nps int) error {
 		case FaultHeal:
 			// No fields; heal clears every partition.
 		case FaultCorruptLink, FaultReorderLink:
-			limit, side := sp.NW, "worker"
+			limit, side := nwSlots, "worker"
 			if flt.Target == "server" {
-				limit, side = nps, "server"
+				limit, side = npsSlots, "server"
 			} else if flt.Target != "" && flt.Target != "worker" {
 				return fmt.Errorf("%w: fault %d: %s target %q (want worker or server)", ErrSpec, i, flt.Kind, flt.Target)
 			}
@@ -628,24 +667,160 @@ func (sp Spec) validateFaults(nps int) error {
 				return fmt.Errorf("%w: fault %d: %s prob %v not in [0, 1]", ErrSpec, i, flt.Kind, flt.Prob)
 			}
 		case FaultByzServer:
-			// The target must sit in the declared-Byzantine tail: only the
-			// last fps replicas are undriven adversary slots, so the
+			// The target must be a declared-Byzantine replica still on the
+			// roster: only those are undriven adversary slots, so the
 			// schedule can flip at most fps servers Byzantine — the
 			// resilience budget the model GAR was validated against.
-			lo := nps - sp.FPS
 			if sp.FPS < 1 {
 				return fmt.Errorf("%w: fault %d: byz-server needs fps >= 1 declared Byzantine servers", ErrSpec, i)
 			}
-			if flt.Node < lo || flt.Node >= nps {
-				return fmt.Errorf("%w: fault %d: byz-server node %d outside the declared-Byzantine tail [%d, %d) (at most fps=%d Byzantine servers)",
-					ErrSpec, i, flt.Node, lo, nps, sp.FPS)
+			if flt.Node < 0 || flt.Node >= npsSlots || !m.serverByz[flt.Node] {
+				return fmt.Errorf("%w: fault %d: byz-server node %d is not a declared-Byzantine replica (the last fps=%d of the initial nps=%d)",
+					ErrSpec, i, flt.Node, sp.FPS, nps)
+			}
+			if !m.serverActive[flt.Node] {
+				return fmt.Errorf("%w: fault %d: byz-server node %d already left the roster", ErrSpec, i, flt.Node)
 			}
 			if flt.Mode != "" && !core.ValidByzMode(flt.Mode) {
 				return fmt.Errorf("%w: fault %d: unknown byz-server mode %q (want one of %v)",
 					ErrSpec, i, flt.Mode, core.ByzModes())
 			}
+		case FaultJoin, FaultLeave, FaultScale:
+			if sp.Topology == TopoDecentralized {
+				return fmt.Errorf("%w: fault %d: membership faults are not supported on the decentralized topology (every node is a server+worker pair)", ErrSpec, i)
+			}
+			if err := m.apply(sp, i, flt); err != nil {
+				return err
+			}
 		default:
 			return fmt.Errorf("%w: fault %d: unknown kind %q", ErrSpec, i, flt.Kind)
+		}
+	}
+	return nil
+}
+
+// churnTrajectory simulates the membership layer's roster across a fault
+// schedule so Validate can reject a churn plan that would be refused (or
+// strand the fleet) at runtime, before any cluster is built. Slots mirror
+// core.Cluster's append-only node tables: joiners extend the tables, leavers
+// flip active flags, and indices are stable.
+type churnTrajectory struct {
+	workerActive, workerByz []bool
+	serverActive, serverByz []bool
+}
+
+func newChurnTrajectory(nw, fw, nps, fps int) *churnTrajectory {
+	m := &churnTrajectory{
+		workerActive: make([]bool, nw),
+		workerByz:    make([]bool, nw),
+		serverActive: make([]bool, nps),
+		serverByz:    make([]bool, nps),
+	}
+	for i := range m.workerActive {
+		m.workerActive[i] = true
+		m.workerByz[i] = i >= nw-fw
+	}
+	for i := range m.serverActive {
+		m.serverActive[i] = true
+		m.serverByz[i] = i >= nps-fps
+	}
+	return m
+}
+
+// apply executes one membership fault on the simulated roster and validates
+// the resulting fleet shape the same way core.Cluster does per epoch.
+func (m *churnTrajectory) apply(sp Spec, i int, flt Fault) error {
+	side := flt.Target
+	if side == "" {
+		side = "worker"
+	}
+	if side != "worker" && side != "server" {
+		return fmt.Errorf("%w: fault %d: %s target %q (want worker or server)", ErrSpec, i, flt.Kind, side)
+	}
+	active, byz := &m.workerActive, &m.workerByz
+	if side == "server" {
+		active, byz = &m.serverActive, &m.serverByz
+	}
+	switch flt.Kind {
+	case FaultJoin:
+		*active = append(*active, true)
+		*byz = append(*byz, false)
+	case FaultLeave:
+		if flt.Node < 0 || flt.Node >= len(*active) {
+			return fmt.Errorf("%w: fault %d: leave %s %d of %d", ErrSpec, i, side, flt.Node, len(*active))
+		}
+		if !(*active)[flt.Node] {
+			return fmt.Errorf("%w: fault %d: %s %d already left the roster", ErrSpec, i, side, flt.Node)
+		}
+		(*active)[flt.Node] = false
+	case FaultScale:
+		if flt.Delta == 0 {
+			return fmt.Errorf("%w: fault %d: scale needs delta != 0", ErrSpec, i)
+		}
+		for k := 0; k < flt.Delta; k++ {
+			*active = append(*active, true)
+			*byz = append(*byz, false)
+		}
+		for k, drained := 0, 0; k < -flt.Delta; k++ {
+			j := len(*active) - 1
+			for ; j >= 0 && !(*active)[j]; j-- {
+			}
+			if j < 0 {
+				return fmt.Errorf("%w: fault %d: scale %s by %d, only %d active", ErrSpec, i, side, flt.Delta, drained)
+			}
+			(*active)[j] = false
+			drained++
+		}
+	}
+	return m.check(sp, i)
+}
+
+// check mirrors the membership layer's per-transition validation: the
+// gradient GAR's n >= g(f) floor, the async quorum q = n - f, and the
+// replicated-topology requirements on the server side.
+func (m *churnTrajectory) check(sp Spec, i int) error {
+	count := func(active, byz []bool) (n, f int) {
+		for j, a := range active {
+			if a {
+				n++
+				if byz[j] {
+					f++
+				}
+			}
+		}
+		return n, f
+	}
+	nw, fw := count(m.workerActive, m.workerByz)
+	nps, fps := count(m.serverActive, m.serverByz)
+	if nw < 1 || fw >= nw {
+		return fmt.Errorf("%w: fault %d: roster left with nw=%d fw=%d", ErrSpec, i, nw, fw)
+	}
+	min, err := gar.MinN(sp.Rule, fw)
+	if err != nil {
+		return fmt.Errorf("%w: fault %d: %v", ErrSpec, i, err)
+	}
+	if nw < min || nw-fw < min {
+		return fmt.Errorf("%w: fault %d: roster transition leaves nw=%d (q=%d) below g(f)=%d for rule %q at fw=%d",
+			ErrSpec, i, nw, nw-fw, min, sp.Rule, fw)
+	}
+	if nps < 1 || fps >= nps {
+		return fmt.Errorf("%w: fault %d: roster left with nps=%d fps=%d", ErrSpec, i, nps, fps)
+	}
+	if sp.Topology == TopoMSMW && nps < 2 {
+		return fmt.Errorf("%w: fault %d: msmw needs nps >= 2, roster transition leaves %d", ErrSpec, i, nps)
+	}
+	if nps >= 2 {
+		modelRule := sp.ModelRule
+		if modelRule == "" {
+			modelRule = gar.NameMedian
+		}
+		minM, err := gar.MinN(modelRule, fps)
+		if err != nil {
+			return fmt.Errorf("%w: fault %d: %v", ErrSpec, i, err)
+		}
+		if nps < minM {
+			return fmt.Errorf("%w: fault %d: roster transition leaves nps=%d below g(f)=%d for model rule %q at fps=%d",
+				ErrSpec, i, nps, minM, modelRule, fps)
 		}
 	}
 	return nil

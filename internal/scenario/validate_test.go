@@ -139,7 +139,7 @@ func TestSpecValidationErrorPaths(t *testing.T) {
 			// nps=4 fps=1: only replica 3 is a declared adversary slot,
 			// so at most fs servers can ever be flipped Byzantine.
 			sp.Faults = []Fault{{After: 5, Kind: FaultByzServer, Node: 1, Mode: core.ByzModeRandom}}
-		}, "outside the declared-Byzantine tail [3, 4)"},
+		}, "not a declared-Byzantine replica (the last fps=1 of the initial nps=4)"},
 		{"byz-server without fps", func(sp *Spec) {
 			sp.FPS = 0
 			sp.Faults = []Fault{{After: 5, Kind: FaultByzServer, Node: 3, Mode: core.ByzModeRandom}}

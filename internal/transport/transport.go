@@ -277,6 +277,26 @@ func (f *Faulty) Recover(addr string) {
 	delete(f.crashed, addr)
 }
 
+// Crashed reports whether addr is currently crashed (Crash without a
+// matching Recover).
+func (f *Faulty) Crashed(addr string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed[addr]
+}
+
+// SeverEpoch returns the number of sever events addr has seen so far: every
+// Crash, SetDelay, SetLinkFault or Partition touching the address bumps it.
+// The counter is the transport's failure-detector signal — a membership
+// layer records the epoch when a node registers and treats any later advance
+// as evidence the node's connections were torn down (see
+// core.Cluster.DepartWorker).
+func (f *Faulty) SeverEpoch(addr string) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epochs[addr]
+}
+
 // SetDelay makes every dial to addr wait d before connecting, modelling a
 // straggler or a slow link. Established connections are severed so clients
 // holding persistent connections observe the new delay on their next use.
