@@ -11,7 +11,15 @@
 //	garfield-scenarios describe <preset>
 //	garfield-scenarios run [-preset name | -spec file.json] [overrides] [-format table|csv]
 //	garfield-scenarios sweep [-preset name | -spec file.json] -topologies a,b -rules c,d -attacks e,f [-fws 1,2] [-out dir] [-timing]
+//	garfield-scenarios sim [-n 5000] [-fw 500] [-replicas 20] [-topology msmw] [-rule median] [-iters 10] [-latency-ms 1] [-jitter-ms 0.2] [-bandwidth-mbps 0] [-seed n] [-out dir]
 //	garfield-scenarios chaos [-preset chaos-name] [-quick] [-seed n]
+//
+// The sim command runs one deployment on the discrete-event cluster
+// simulator (internal/sim): thousands of nodes in one process on a virtual
+// clock, reporting step-latency p50/p99 and rounds per simulated second.
+// At a fixed seed the run — timing included — is bit-identical across
+// hosts; -out writes the standard sweep artifacts (curve CSV, summary.csv,
+// sweep.json) with the sim columns filled.
 //
 // Run overrides (zero values keep the loaded spec's setting): -topology,
 // -rule, -attack, -nw, -fw, -nps, -fps, -iters, -acc-every, -seed, -async,
@@ -51,6 +59,7 @@ commands:
   describe <preset>    print a preset's full spec as JSON
   run                  run one scenario (preset, JSON file, or flag overrides)
   sweep                expand and run a scenario matrix, emitting artifacts
+  sim                  run one deployment on the discrete-event cluster simulator
   chaos                run the chaos presets under their resilience invariants
 
 run 'garfield-scenarios <command> -h' for command flags`)
@@ -70,6 +79,8 @@ func run(args []string, out io.Writer) error {
 		return runRun(args[1:], out)
 	case "sweep":
 		return runSweep(args[1:], out)
+	case "sim":
+		return runSim(args[1:], out)
 	case "chaos":
 		return runChaos(args[1:], out)
 	case "-h", "-help", "--help", "help":
@@ -329,6 +340,91 @@ func runSweep(args []string, out io.Writer) error {
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d of %d cells failed", failures, len(rep.Cells))
+	}
+	return nil
+}
+
+// runSim runs one deployment on the discrete-event simulator. The learning
+// task is a fixed small linear-softmax problem sized to the worker count
+// (every worker gets a shard), because at simulator scale the question is
+// protocol throughput and robustness versus n, f, codec and staleness — not
+// the task. The run goes through the sweep runner as a single-cell matrix,
+// so -out emits exactly the standard artifact set.
+func runSim(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("garfield-scenarios sim", flag.ContinueOnError)
+	n := fs.Int("n", 5000, "total simulated workers")
+	fw := fs.Int("fw", 500, "Byzantine (reversed) workers among them")
+	replicas := fs.Int("replicas", 20, "server replicas (msmw topology)")
+	topology := fs.String("topology", "msmw", "topology: vanilla, ssmw, aggregathor, msmw")
+	rule := fs.String("rule", "median", "gradient GAR")
+	iters := fs.Int("iters", 10, "training iterations")
+	latency := fs.Float64("latency-ms", 1.0, "base one-way link latency (virtual ms)")
+	jitter := fs.Float64("jitter-ms", 0.2, "per-message uniform jitter bound (virtual ms)")
+	bandwidth := fs.Float64("bandwidth-mbps", 0, "per-link bandwidth in MB/s (0: infinite)")
+	async := fs.Bool("async", false, "run the deterministic async replay (ssmw only)")
+	stalenessBound := fs.Int("staleness-bound", 0, "async staleness bound tau (0: core default)")
+	compressCodec := fs.String("compress", "", "gradient codec: fp16, int8, topk")
+	topK := fs.Int("topk", 0, "top-k coordinate budget (with -compress topk)")
+	seed := fs.Uint64("seed", 20210, "base seed (artifacts are bit-identical per seed)")
+	outDir := fs.String("out", "", "artifact directory (curve CSV, summary.csv, sweep.json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+
+	sp := scenario.Spec{
+		Name:     "sim",
+		Topology: *topology,
+		NW:       *n, FW: *fw,
+		Rule:          *rule,
+		Deterministic: true,
+		Engine:        scenario.EngineSim,
+		SimLatencyMS:  *latency,
+		SimJitterMS:   *jitter, SimBandwidthMBps: *bandwidth,
+		Compression: *compressCodec, TopK: *topK,
+		Model: scenario.ModelSpec{Kind: scenario.ModelLinear, In: 16, Classes: 4},
+		Dataset: scenario.DatasetSpec{
+			Name: "sim-scale", Dim: 16, Classes: 4,
+			Train: 2 * *n, Test: 64,
+			Separation: 1.0, Noise: 0.2, Seed: 1,
+		},
+		BatchSize: 2,
+		Seed:      *seed, Iterations: *iters,
+	}
+	if *fw > 0 {
+		sp.WorkerAttack = scenario.AttackSpec{Name: "reversed"}
+	}
+	if *topology == scenario.TopoMSMW {
+		sp.NPS = *replicas
+		sp.SyncQuorum = true
+	}
+	if *async {
+		sp.Async = true
+		sp.SyncQuorum = false
+		sp.StalenessBound = *stalenessBound
+	}
+
+	rep, err := scenario.RunSweep(scenario.Matrix{Name: "sim", Base: sp},
+		scenario.SweepOptions{OutDir: *outDir})
+	if err != nil {
+		return err
+	}
+	c := rep.Cells[0]
+	if c.Status != "ok" {
+		return fmt.Errorf("sim run failed: %s", c.Error)
+	}
+	fmt.Fprintf(out, "sim: %s nw=%d fw=%d", c.Topology, c.NW, c.FW)
+	if sp.NPS > 0 {
+		fmt.Fprintf(out, " replicas=%d", sp.NPS)
+	}
+	fmt.Fprintf(out, " seed=%d\n", c.Seed)
+	fmt.Fprintf(out, "updates %d, final accuracy %.4f\n", c.Updates, c.FinalAccuracy)
+	fmt.Fprintf(out, "step latency p50 %.3f ms, p99 %.3f ms; %.2f rounds/virtual-sec\n",
+		c.SimStepP50MS, c.SimStepP99MS, c.SimRoundsPerSec)
+	if *outDir != "" {
+		fmt.Fprintf(out, "artifacts written to %s\n", *outDir)
 	}
 	return nil
 }

@@ -161,6 +161,32 @@ func TestSweepArtifacts(t *testing.T) {
 	}
 }
 
+// TestSimCommand runs a small deployment on the discrete-event engine and
+// checks the step-latency/throughput report plus the artifact set with the
+// sim columns.
+func TestSimCommand(t *testing.T) {
+	outDir := filepath.Join(t.TempDir(), "sim")
+	var buf bytes.Buffer
+	err := run([]string{"sim", "-n", "100", "-fw", "10", "-replicas", "3",
+		"-iters", "3", "-out", outDir}, &buf)
+	if err != nil {
+		t.Fatalf("sim command failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"step latency p50", "rounds/virtual-sec", "updates 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sim output missing %q:\n%s", want, out)
+		}
+	}
+	summary, err := os.ReadFile(filepath.Join(outDir, "summary.csv"))
+	if err != nil {
+		t.Fatalf("summary.csv not written: %v", err)
+	}
+	if !strings.Contains(string(summary), "sim_step_p50_ms") {
+		t.Errorf("summary.csv missing sim columns:\n%s", summary)
+	}
+}
+
 func TestChaosCommandSinglePreset(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"chaos", "-preset", "chaos-corrupt-link", "-quick"}, &buf); err != nil {

@@ -8,7 +8,6 @@ import (
 	"sync"
 	"time"
 
-	"garfield/internal/metrics"
 	"garfield/internal/rpc"
 	"garfield/internal/tensor"
 )
@@ -226,11 +225,13 @@ func (c *Cluster) asyncFetch(ctx context.Context, s *Server, queues *gradQueues,
 		})
 		cancel()
 		if err != nil {
-			select {
-			case <-ctx.Done():
+			if ctx.Err() != nil {
 				return
-			case <-time.After(backoff):
 			}
+			// Back off on the cluster clock (virtual under the simulator
+			// wiring) so retry pacing cannot leak wall time into a
+			// simulated run.
+			c.clock.Sleep(backoff)
 			if backoff < 50*time.Millisecond {
 				backoff *= 2
 			}
@@ -279,13 +280,13 @@ func (c *Cluster) RunAsyncSSMW(opt RunOptions) (*Result, error) {
 		return c.runAsyncSSMWReplay(opt)
 	}
 	res := newResult("async-ssmw")
-	start := time.Now()
+	start := c.clock.Now()
 	wire0 := c.WireStats()
 	s := c.Server(c.Roster().Servers[0])
 	if err := c.asyncReplicaLoop(res, s, false, opt, start, true); err != nil {
 		return nil, fmt.Errorf("core: async-ssmw: %w", err)
 	}
-	res.WallTime = time.Since(start)
+	res.WallTime = c.clock.Now().Sub(start)
 	res.Wire = c.WireStats().Sub(wire0)
 	return res, nil
 }
@@ -311,7 +312,7 @@ func (c *Cluster) RunAsyncMSMW(opt RunOptions) (*Result, error) {
 	}
 	honest := c.Roster().HonestServers()
 	res := newResult("async-msmw")
-	start := time.Now()
+	start := c.clock.Now()
 	wire0 := c.WireStats()
 	var wg sync.WaitGroup
 	errs := make([]error, len(honest))
@@ -329,7 +330,7 @@ func (c *Cluster) RunAsyncMSMW(opt RunOptions) (*Result, error) {
 			return nil, fmt.Errorf("core: async-msmw replica %d: %w", honest[k], err)
 		}
 	}
-	res.WallTime = time.Since(start)
+	res.WallTime = c.clock.Now().Sub(start)
 	res.Wire = c.WireStats().Sub(wire0)
 	return res, nil
 }
@@ -398,7 +399,7 @@ func (c *Cluster) asyncReplicaLoop(res *Result, s *Server, contract bool, opt Ru
 		if err != nil {
 			return fmt.Errorf("async iteration %d: %w", i, err)
 		}
-		commDone := metrics.Start()
+		commDone := c.phaseTimer()
 		picks, err := queues.collect(s.Step(), q, tau, cfg.PullTimeout)
 		if record {
 			res.Breakdown.AddComm(commDone())
@@ -406,7 +407,7 @@ func (c *Cluster) asyncReplicaLoop(res *Result, s *Server, contract bool, opt Ru
 		if err != nil {
 			return err
 		}
-		aggDone := metrics.Start()
+		aggDone := c.phaseTimer()
 		staleSum += dampPicks(picks, damping)
 		quorumSum += q
 		aggr, err := ga.Aggregate(pickVectors(picks))
@@ -523,7 +524,7 @@ func (c *Cluster) runAsyncSSMWReplay(opt RunOptions) (*Result, error) {
 		fetches[k] = replayFetch{tag: s.Step(), done: replayLatency(rng, tau)}
 	}
 
-	start := time.Now()
+	start := c.clock.Now()
 	wire0 := c.WireStats()
 	staleSum, drops := 0, 0
 	for i := 0; i < opt.Iterations; i++ {
@@ -600,7 +601,7 @@ func (c *Cluster) runAsyncSSMWReplay(opt RunOptions) (*Result, error) {
 		res.AvgStaleness = float64(staleSum) / float64(opt.Iterations*q)
 	}
 	res.StaleDrops = drops
-	res.WallTime = time.Since(start)
+	res.WallTime = c.clock.Now().Sub(start)
 	res.Wire = c.WireStats().Sub(wire0)
 	return res, nil
 }

@@ -1,0 +1,27 @@
+package core
+
+import "time"
+
+// Clock is the time source protocol runners measure and sleep on. The live
+// wiring uses the wall clock; the discrete-event simulator substitutes a
+// virtual clock so wall time, accuracy-over-time axes and phase breakdowns
+// become simulated quantities — deterministic for a given seed and immune
+// to host load. Any new time.Now()/time.Sleep call in a runner path is a
+// bug: it would leak wall time into simulated runs.
+type Clock interface {
+	// Now returns the current time on this clock. Values from one clock are
+	// only comparable to other values from the same clock.
+	Now() time.Time
+	// Sleep blocks (or, for a virtual clock, advances simulated time) for d.
+	Sleep(d time.Duration)
+}
+
+// wallClock is the real-time Clock of live deployments.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time        { return time.Now() }
+func (wallClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// WallClock returns the real-time clock — the default Clock of the live
+// wiring.
+func WallClock() Clock { return wallClock{} }

@@ -228,7 +228,13 @@ func (c Config) asyncParams() (tau int, damping float64) {
 // replicas can join, leave and scale mid-run through the membership layer
 // (membership.go), which owns a versioned roster epoch.
 type Cluster struct {
-	cfg Config
+	cfg    Config
+	wiring Wiring
+	clock  Clock
+	// net is the fault-injectable transport of the live wiring; nil under
+	// other wirings (the discrete-event simulator), in which case the
+	// transport-level fault injectors below are inert no-ops and the
+	// crash-evidence failure detector has no sever epochs to read.
 	net *transport.Faulty
 
 	// memMu guards the node tables and the roster epoch. The tables are
@@ -238,16 +244,16 @@ type Cluster struct {
 	// Slices handed out by accessors are replaced wholesale on growth,
 	// never mutated in place.
 	memMu   sync.RWMutex
-	epoch   uint64              // roster version; bumped by every transition
-	clients []*rpc.PooledClient // one per server replica; see NewCluster
+	epoch   uint64       // roster version; bumped by every transition
+	clients []rpc.Caller // one per server replica; see NewCluster
 
 	workerAddrs  []string
 	serverAddrs  []string
 	workers      []*Worker
 	servers      []*Server
 	byzServers   []*ByzantineServer // per replica; nil for honest replicas
-	workerSrv    []*rpc.Server
-	serverSrv    []*rpc.Server
+	workerSrv    []io.Closer
+	serverSrv    []io.Closer
 	workerActive []bool
 	serverActive []bool
 	workerByz    []bool // declared-Byzantine flag per worker (joiners: false)
@@ -265,6 +271,16 @@ type Cluster struct {
 // replicas over an in-memory network, and returns the ready cluster.
 // Byzantine roles are assigned to the last fw workers and last fps servers.
 func NewCluster(cfg Config) (*Cluster, error) {
+	return NewClusterWith(cfg, nil)
+}
+
+// NewClusterWith is NewCluster over an explicit Wiring. A nil wiring selects
+// the live default (fault-injectable in-memory transport, pooled clients,
+// wall clock); the discrete-event simulator passes its virtual-time wiring
+// here. Construction order — sharding, init-params RNG draw, worker seeds,
+// replica wiring — is identical either way, so a simulated cluster starts
+// from exactly the state its live counterpart would.
+func NewClusterWith(cfg Config, wiring Wiring) (*Cluster, error) {
 	cfg.defaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -281,10 +297,17 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("core: shard data: %w", err)
 	}
 
+	if wiring == nil {
+		wiring = liveWiring{net: transport.NewFaulty(transport.NewMem())}
+	}
 	c := &Cluster{
 		cfg:       cfg,
-		net:       transport.NewFaulty(transport.NewMem()),
+		wiring:    wiring,
+		clock:     wiring.Clock(),
 		severBase: make(map[string]uint64),
+	}
+	if lw, ok := wiring.(liveWiring); ok {
+		c.net = lw.net
 	}
 	rng := tensor.NewRNG(cfg.Seed)
 	c.initParams = cfg.Arch.InitParams(rng)
@@ -313,13 +336,14 @@ func NewCluster(cfg Config) (*Cluster, error) {
 				opts = append(opts, WithSelfEstimatedPeers(cfg.AttackSelfPeers))
 			}
 		}
+		opts = append(opts, withWorkerClock(c.clock))
 		w, err := NewWorker(cfg.Arch, shards[i], cfg.BatchSize, cfg.Seed+uint64(i)+1, atk, opts...)
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
 		addr := "worker-" + strconv.Itoa(i)
-		srv, err := rpc.Serve(c.net, addr, w)
+		srv, err := c.wiring.Serve(addr, w)
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("core: start worker %d: %w", i, err)
@@ -329,7 +353,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.workerSrv = append(c.workerSrv, srv)
 		c.workerActive = append(c.workerActive, true)
 		c.workerByz = append(c.workerByz, i >= cfg.NW-cfg.FW)
-		c.severBase[addr] = c.net.SeverEpoch(addr)
+		if c.net != nil {
+			c.severBase[addr] = c.net.SeverEpoch(addr)
+		}
 	}
 
 	// Server replica addresses are fixed before construction so each
@@ -347,16 +373,16 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			c.Close()
 			return nil, err
 		}
-		// Persistent connections are the protocol default (Section 4.1's
-		// channel reuse): the steady-state pull loop pays no per-call
-		// dial. Each replica owns its own pooled client — the pool
+		// Under the live wiring this is a pooled persistent client
+		// (Section 4.1's channel reuse): the steady-state pull loop pays no
+		// per-call dial. Each replica owns its own caller — the pool
 		// serializes same-peer calls per client, so sharing one across
 		// replicas would serialize the replicas' concurrent pulls to the
-		// same worker. The client is bound to the replica's address (so
+		// same worker. The caller is bound to the replica's address (so
 		// partition cuts know the dial's source) and stamps it as the
 		// caller identity (so adversarial handlers can equivocate
 		// deterministically per puller).
-		client := rpc.NewPooledClientAs(c.net.Bind(c.serverAddrs[i]), c.serverAddrs[i])
+		client := c.wiring.NewCaller(c.serverAddrs[i])
 		c.clients = append(c.clients, client)
 		s, err := NewServer(ServerConfig{
 			Arch:          cfg.Arch,
@@ -386,7 +412,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			}
 			handler = byz
 		}
-		srv, err := rpc.Serve(c.net, c.serverAddrs[i], handler)
+		srv, err := c.wiring.Serve(c.serverAddrs[i], handler)
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("core: start server %d: %w", i, err)
@@ -397,7 +423,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.serverActive = append(c.serverActive, true)
 		c.serverByz = append(c.serverByz, i >= cfg.NPS-cfg.FPS)
 		c.crashed = append(c.crashed, new(atomic.Bool))
-		c.severBase[c.serverAddrs[i]] = c.net.SeverEpoch(c.serverAddrs[i])
+		if c.net != nil {
+			c.severBase[c.serverAddrs[i]] = c.net.SeverEpoch(c.serverAddrs[i])
+		}
 	}
 	return c, nil
 }
@@ -429,11 +457,13 @@ func newOptimizer(cfg Config) (*sgd.Optimizer, error) {
 // Close shuts every node down and waits for their goroutines.
 func (c *Cluster) Close() {
 	c.memMu.RLock()
-	clients := append([]*rpc.PooledClient(nil), c.clients...)
-	srvs := append(append([]*rpc.Server(nil), c.workerSrv...), c.serverSrv...)
+	clients := append([]rpc.Caller(nil), c.clients...)
+	srvs := append(append([]io.Closer(nil), c.workerSrv...), c.serverSrv...)
 	c.memMu.RUnlock()
 	for _, cl := range clients {
-		cl.Close()
+		if closer, ok := cl.(io.Closer); ok {
+			_ = closer.Close()
+		}
 	}
 	for _, s := range srvs {
 		if s != nil {
@@ -480,7 +510,9 @@ func (c *Cluster) CrashServer(i int) {
 	flag, addr := c.crashed[i], c.serverAddrs[i]
 	c.memMu.RUnlock()
 	flag.Store(true)
-	c.net.Crash(addr)
+	if c.net != nil {
+		c.net.Crash(addr)
+	}
 }
 
 // serverCrashed reports whether replica i is currently crash-injected.
@@ -510,12 +542,16 @@ func (c *Cluster) primaryLocked() (int, bool) {
 
 // CrashWorker injects a crash of worker i.
 func (c *Cluster) CrashWorker(i int) {
-	c.net.Crash(c.WorkerAddr(i))
+	if c.net != nil {
+		c.net.Crash(c.WorkerAddr(i))
+	}
 }
 
 // DelayWorker makes worker i a straggler: every pull to it waits d first.
 func (c *Cluster) DelayWorker(i int, d time.Duration) {
-	c.net.SetDelay(c.WorkerAddr(i), d)
+	if c.net != nil {
+		c.net.SetDelay(c.WorkerAddr(i), d)
+	}
 }
 
 // SlowWorker makes worker i serve every request d late — a slow node rather
@@ -548,36 +584,50 @@ func (c *Cluster) ServerAddr(i int) string {
 // address, so server-server cuts work; workers never dial, so a worker-side
 // group entry cuts the servers' pulls to it.
 func (c *Cluster) Partition(groupA, groupB []string) {
-	c.net.Partition(groupA, groupB)
+	if c.net != nil {
+		c.net.Partition(groupA, groupB)
+	}
 }
 
 // HealPartitions removes every partition injected so far. Link-fault
 // programs and delays stay in place — healing restores reachability, not
 // link quality.
 func (c *Cluster) HealPartitions() {
-	c.net.Heal()
+	if c.net != nil {
+		c.net.Heal()
+	}
 }
 
 // SetWorkerLinkFault installs a seeded chaos program on every connection to
 // worker i: each framed message is dropped, duplicated, reordered or
 // corrupted with the program's probabilities. A zero LinkFault clears it.
 func (c *Cluster) SetWorkerLinkFault(i int, lf transport.LinkFault, seed uint64) {
-	c.net.SetLinkFault(c.WorkerAddr(i), lf, seed)
+	if c.net != nil {
+		c.net.SetLinkFault(c.WorkerAddr(i), lf, seed)
+	}
 }
 
 // SetServerLinkFault is SetWorkerLinkFault for server replica i's links.
 func (c *Cluster) SetServerLinkFault(i int, lf transport.LinkFault, seed uint64) {
-	c.net.SetLinkFault(c.ServerAddr(i), lf, seed)
+	if c.net != nil {
+		c.net.SetLinkFault(c.ServerAddr(i), lf, seed)
+	}
 }
 
 // WorkerLinkStats returns the fault decisions taken so far by worker i's
 // current link program (zero when none is installed).
 func (c *Cluster) WorkerLinkStats(i int) transport.LinkStats {
+	if c.net == nil {
+		return transport.LinkStats{}
+	}
 	return c.net.LinkStats(c.WorkerAddr(i))
 }
 
 // ServerLinkStats is WorkerLinkStats for server replica i.
 func (c *Cluster) ServerLinkStats(i int) transport.LinkStats {
+	if c.net == nil {
+		return transport.LinkStats{}
+	}
 	return c.net.LinkStats(c.ServerAddr(i))
 }
 
@@ -613,14 +663,17 @@ func (c *Cluster) ByzServer(i int) *ByzantineServer {
 // pooled client — the cluster's whole pull traffic, since workers never
 // dial. Snapshot before and after a run (or read Result.Wire, which the
 // protocol runners populate with exactly that delta) to measure one run's
-// bytes on the wire.
+// bytes on the wire. Callers that keep no byte accounting (the simulator's
+// direct-dispatch caller ships no frames) contribute zero.
 func (c *Cluster) WireStats() rpc.WireStats {
 	c.memMu.RLock()
-	clients := append([]*rpc.PooledClient(nil), c.clients...)
+	clients := append([]rpc.Caller(nil), c.clients...)
 	c.memMu.RUnlock()
 	var s rpc.WireStats
 	for _, cl := range clients {
-		s = s.Add(cl.Stats())
+		if counted, ok := cl.(interface{ Stats() rpc.WireStats }); ok {
+			s = s.Add(counted.Stats())
+		}
 	}
 	return s
 }

@@ -13,7 +13,6 @@ import (
 	"garfield/internal/compress"
 	"garfield/internal/data"
 	"garfield/internal/gar"
-	"garfield/internal/rpc"
 )
 
 // This file is the membership/reconfiguration layer: the roster of workers
@@ -236,13 +235,14 @@ func (c *Cluster) joinWorkerLocked() (int, error) {
 	if encoding != compress.EncFP64 {
 		opts = append(opts, WithCompression(encoding, c.cfg.TopK))
 	}
+	opts = append(opts, withWorkerClock(c.clock))
 	w, err := NewWorker(c.cfg.Arch, shards[idx%c.cfg.NW], c.cfg.BatchSize,
 		c.cfg.Seed+uint64(idx)+1, nil, opts...)
 	if err != nil {
 		return 0, fmt.Errorf("core: join worker %d: %w", idx, err)
 	}
 	addr := "worker-" + strconv.Itoa(idx)
-	srv, err := rpc.Serve(c.net, addr, w)
+	srv, err := c.wiring.Serve(addr, w)
 	if err != nil {
 		return 0, fmt.Errorf("core: join worker %d: %w", idx, err)
 	}
@@ -251,7 +251,9 @@ func (c *Cluster) joinWorkerLocked() (int, error) {
 	c.workerSrv = append(c.workerSrv, srv)
 	c.workerActive = append(c.workerActive, true)
 	c.workerByz = append(c.workerByz, false)
-	c.severBase[addr] = c.net.SeverEpoch(addr)
+	if c.net != nil {
+		c.severBase[addr] = c.net.SeverEpoch(addr)
+	}
 	return idx, nil
 }
 
@@ -291,7 +293,7 @@ func (c *Cluster) joinServerLocked(checkpoint io.Reader) (int, error) {
 		return 0, err
 	}
 	addr := "server-" + strconv.Itoa(idx)
-	client := rpc.NewPooledClientAs(c.net.Bind(addr), addr)
+	client := c.wiring.NewCaller(addr)
 	r := c.rosterLocked()
 	encoding, _ := compress.Parse(c.cfg.Compression)
 	s, err := NewServer(ServerConfig{
@@ -305,16 +307,16 @@ func (c *Cluster) joinServerLocked(checkpoint io.Reader) (int, error) {
 		Accept:        encoding,
 	})
 	if err != nil {
-		client.Close()
+		closeCaller(client)
 		return 0, fmt.Errorf("core: join server %d: %w", idx, err)
 	}
 	if err := s.LoadCheckpoint(checkpoint); err != nil {
-		client.Close()
+		closeCaller(client)
 		return 0, fmt.Errorf("core: join server %d: bootstrap: %w", idx, err)
 	}
-	srv, err := rpc.Serve(c.net, addr, s)
+	srv, err := c.wiring.Serve(addr, s)
 	if err != nil {
-		client.Close()
+		closeCaller(client)
 		return 0, fmt.Errorf("core: join server %d: %w", idx, err)
 	}
 	c.clients = append(c.clients, client)
@@ -325,7 +327,9 @@ func (c *Cluster) joinServerLocked(checkpoint io.Reader) (int, error) {
 	c.serverActive = append(c.serverActive, true)
 	c.serverByz = append(c.serverByz, false)
 	c.crashed = append(c.crashed, new(atomic.Bool))
-	c.severBase[addr] = c.net.SeverEpoch(addr)
+	if c.net != nil {
+		c.severBase[addr] = c.net.SeverEpoch(addr)
+	}
 	// The bootstrap rolled the joiner's timeline back to the checkpoint;
 	// worker residuals reference the pre-join timeline.
 	for i, active := range c.workerActive {
@@ -444,6 +448,10 @@ func (c *Cluster) DepartServer(i int) error {
 }
 
 func (c *Cluster) severEvidenceLocked(addr string) error {
+	if c.net == nil {
+		return fmt.Errorf("%w: no failure detector on this wiring (crash evidence needs the live transport); use the graceful leave",
+			ErrConfig)
+	}
 	if c.net.Crashed(addr) {
 		return nil
 	}
@@ -571,7 +579,9 @@ func (c *Cluster) RecoverServer(i int) error {
 			ErrConfig, i)
 	}
 	addr := c.serverAddrs[i]
-	c.net.Recover(addr)
+	if c.net != nil {
+		c.net.Recover(addr)
+	}
 	c.crashed[i].Store(false)
 	c.servers[i].ResetDerived()
 	for j, active := range c.workerActive {
@@ -581,7 +591,9 @@ func (c *Cluster) RecoverServer(i int) error {
 	}
 	// Re-baseline the failure detector: the sever epoch advance caused by
 	// the crash itself must not count as departure evidence later.
-	c.severBase[addr] = c.net.SeverEpoch(addr)
+	if c.net != nil {
+		c.severBase[addr] = c.net.SeverEpoch(addr)
+	}
 	return nil
 }
 

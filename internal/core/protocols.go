@@ -93,7 +93,7 @@ func (c *Cluster) recordAccuracy(res *Result, s *Server, opt RunOptions, i int, 
 		return fmt.Errorf("core: accuracy at iteration %d: %w", i, err)
 	}
 	res.Accuracy.Append(float64(i+1), acc)
-	res.AccuracyOverTime.Append(time.Since(start).Seconds(), acc)
+	res.AccuracyOverTime.Append(c.clock.Now().Sub(start).Seconds(), acc)
 	return nil
 }
 
@@ -117,57 +117,18 @@ func (c *Cluster) RunAggregaThor(opt RunOptions) (*Result, error) {
 	return c.runSingleServer(opt, gar.NameMultiKrum, true, "aggregathor")
 }
 
-// runSingleServer drives the roster's first server replica. The roster is
-// re-read every iteration, so mid-run joins/leaves take effect at the next
-// round: the worker quorum tracks the active worker count (and, for robust
-// rules, the active declared-Byzantine count), and the aggregator is
-// rebuilt only when the fleet shape actually changes.
+// runSingleServer drives the roster's first server replica through the
+// shared run loop. The stepper re-reads the roster every iteration, so
+// mid-run joins/leaves take effect at the next round: the worker quorum
+// tracks the active worker count (and, for robust rules, the active
+// declared-Byzantine count), and the aggregator is rebuilt only when the
+// fleet shape actually changes.
 func (c *Cluster) runSingleServer(opt RunOptions, rule string, robust bool, name string) (*Result, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
 	res := newResult(name)
-	var agg *Aggregator
-	var key aggKey
-	start := time.Now()
-	wire0 := c.WireStats()
-	for i := 0; i < opt.Iterations; i++ {
-		ro := c.Roster()
-		s := c.Server(ro.Servers[0])
-		q, f := ro.NW(), 0
-		if robust {
-			f = ro.FW
-		}
-		ag, err := cachedAggregator(&agg, &key, rule, q, f)
-		if err != nil {
-			return nil, fmt.Errorf("core: %s: %w", name, err)
-		}
-		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.PullTimeout)
-		commDone := metrics.Start()
-		grads, err := s.GetGradients(ctx, i, q)
-		cancel()
-		res.Breakdown.AddComm(commDone())
-		if err != nil {
-			return nil, fmt.Errorf("core: %s iteration %d: %w", name, i, err)
-		}
-		aggDone := metrics.Start()
-		aggr, err := ag.Aggregate(grads)
-		res.Breakdown.AddAgg(aggDone())
-		if err != nil {
-			return nil, fmt.Errorf("core: %s iteration %d: %w", name, i, err)
-		}
-		if err := s.UpdateModel(aggr); err != nil {
-			return nil, err
-		}
-		res.Breakdown.EndIteration()
-		res.Updates++
-		if err := c.recordAccuracy(res, s, opt, i, start); err != nil {
-			return nil, err
-		}
-	}
-	res.WallTime = time.Since(start)
-	res.Wire = c.WireStats().Sub(wire0)
-	return res, nil
+	return c.driveSteps(res, &singleServerStepper{c: c, res: res, rule: rule, robust: robust, name: name}, opt)
 }
 
 // RunCrashTolerant trains with the strawman crash-tolerant protocol of
@@ -184,57 +145,8 @@ func (c *Cluster) RunCrashTolerant(opt RunOptions) (*Result, error) {
 		return nil, fmt.Errorf("%w: crash-tolerant needs server replicas", ErrConfig)
 	}
 	res := newResult("crash-tolerant")
-	// Aggregators are cached per replica slot: slots are stable across
-	// roster transitions, and the cache rebuilds a slot's rule only when
-	// the active worker count changes under it.
-	aggs := make(map[int]*Aggregator)
-	keys := make(map[int]aggKey)
-	start := time.Now()
-	wire0 := c.WireStats()
-	for i := 0; i < opt.Iterations; i++ {
-		ro := c.Roster()
-		p, ok := c.primary()
-		if !ok {
-			return nil, fmt.Errorf("core: crash-tolerant: all %d replicas crashed or departed", c.Servers())
-		}
-		// Every live replica performs the averaging step so a backup's
-		// model stays close to the primary's.
-		var wg sync.WaitGroup
-		errs := make([]error, len(ro.Servers))
-		var pErr *error
-		for k, r := range ro.Servers {
-			if c.serverCrashed(r) {
-				continue
-			}
-			slot, key := aggs[r], keys[r]
-			agg, err := cachedAggregator(&slot, &key, gar.NameAverage, ro.NW(), 0)
-			if err != nil {
-				return nil, fmt.Errorf("core: crash-tolerant: %w", err)
-			}
-			aggs[r], keys[r] = slot, key
-			k, r := k, r
-			if r == p {
-				pErr = &errs[k]
-			}
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				errs[k] = c.crashStep(res, agg, r, i, ro.NW(), r == p)
-			}()
-		}
-		wg.Wait()
-		if pErr != nil && *pErr != nil {
-			return nil, fmt.Errorf("core: crash-tolerant iteration %d: %w", i, *pErr)
-		}
-		res.Breakdown.EndIteration()
-		res.Updates++
-		if err := c.recordAccuracy(res, c.Server(p), opt, i, start); err != nil {
-			return nil, err
-		}
-	}
-	res.WallTime = time.Since(start)
-	res.Wire = c.WireStats().Sub(wire0)
-	return res, nil
+	st := &crashStepper{c: c, res: res, aggs: make(map[int]*Aggregator), keys: make(map[int]aggKey)}
+	return c.driveSteps(res, st, opt)
 }
 
 // crashStep performs one average-and-update step at replica r with its
@@ -244,7 +156,7 @@ func (c *Cluster) crashStep(res *Result, agg *Aggregator, r, i, q int, isPrimary
 	s := c.Server(r)
 	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.PullTimeout)
 	defer cancel()
-	commDone := metrics.Start()
+	commDone := c.phaseTimer()
 	grads, err := s.GetGradients(ctx, i, q)
 	if isPrimary {
 		res.Breakdown.AddComm(commDone())
@@ -252,7 +164,7 @@ func (c *Cluster) crashStep(res *Result, agg *Aggregator, r, i, q int, isPrimary
 	if err != nil {
 		return err
 	}
-	aggDone := metrics.Start()
+	aggDone := c.phaseTimer()
 	aggr, err := agg.Aggregate(grads)
 	if isPrimary {
 		res.Breakdown.AddAgg(aggDone())
@@ -268,145 +180,71 @@ func (c *Cluster) crashStep(res *Result, agg *Aggregator, r, i, q int, isPrimary
 // updates its model, then pulls n_ps - f_ps models from its peers,
 // robust-aggregates those and overwrites its own state. Byzantine replicas
 // serve corrupted models; Byzantine workers serve corrupted gradients.
-// Accuracy is observed at replica 0 (a correct one).
+// Accuracy is observed at the first honest replica. In deterministic mode
+// the replicas run in lockstep phase order (all update before anyone pulls
+// models, all pull before anyone overwrites its state — see
+// msmwStepper.stepLockstep); otherwise they run concurrently.
 func (c *Cluster) RunMSMW(opt RunOptions) (*Result, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	cfg := c.cfg
 	if c.Roster().NPS() < 2 {
 		return nil, fmt.Errorf("%w: msmw needs at least 2 server replicas", ErrConfig)
 	}
 	res := newResult("msmw")
-	// Per-slot aggregator caches: replica indices are stable across roster
-	// transitions, and a slot's rules rebuild only when the quorum shape
-	// changes under it (a join/leave between rounds).
-	gradAggs := make(map[int]*Aggregator)
-	gradKeys := make(map[int]aggKey)
-	modelAggs := make(map[int]*Aggregator)
-	modelKeys := make(map[int]aggKey)
-	start := time.Now()
-	wire0 := c.WireStats()
-	for i := 0; i < opt.Iterations; i++ {
-		ro := c.Roster()
-		honest := ro.HonestServers()
-		if len(honest) == 0 {
-			return nil, fmt.Errorf("%w: msmw iteration %d: no honest replicas left", ErrConfig, i)
-		}
-		qw, qps := ro.NW()-ro.FW, ro.NPS()-ro.FPS
-		if cfg.SyncQuorum {
-			qw, qps = ro.NW(), ro.NPS()
-		}
-		// In deterministic mode the replicas run the model-exchange phase
-		// in lockstep: all replicas update before anyone pulls models, and
-		// all pull before anyone overwrites its state. Without it a fast
-		// replica can observe a mix of pre- and post-update peer models,
-		// making the aggregated multiset timing-dependent.
-		var b *barrier
-		if cfg.Deterministic {
-			b = newBarrier(len(honest))
-		}
-		var wg sync.WaitGroup
-		errs := make([]error, len(honest))
-		// Drive the honest replicas; Byzantine replicas do not need a
-		// training loop — their adversarial behaviour lives in how they
-		// answer pulls (attack-corrupted models).
-		for k, r := range honest {
-			gradSlot, gradKey := gradAggs[r], gradKeys[r]
-			gradAgg, err := cachedAggregator(&gradSlot, &gradKey, cfg.Rule, qw, ro.FW)
-			if err != nil {
-				return nil, fmt.Errorf("core: msmw: %w", err)
-			}
-			gradAggs[r], gradKeys[r] = gradSlot, gradKey
-			modelSlot, modelKey := modelAggs[r], modelKeys[r]
-			modelAgg, err := cachedAggregator(&modelSlot, &modelKey, cfg.ModelRule, qps, ro.FPS)
-			if err != nil {
-				return nil, fmt.Errorf("core: msmw: %w", err)
-			}
-			modelAggs[r], modelKeys[r] = modelSlot, modelKey
-			k, r := k, r
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				errs[k] = c.msmwStep(res, gradAgg, modelAgg, r, i, qw, qps, b, k == 0)
-			}()
-		}
-		wg.Wait()
-		if k, err := firstRootCause(errs); err != nil {
-			return nil, fmt.Errorf("core: msmw iteration %d replica %d: %w", i, honest[k], err)
-		}
-		res.Breakdown.EndIteration()
-		res.Updates++
-		if err := c.recordAccuracy(res, c.Server(honest[0]), opt, i, start); err != nil {
-			return nil, err
-		}
-	}
-	res.WallTime = time.Since(start)
-	res.Wire = c.WireStats().Sub(wire0)
-	return res, nil
+	return c.driveSteps(res, newMSMWStepper(c, res), opt)
 }
 
-func (c *Cluster) msmwStep(res *Result, gradAgg, modelAgg *Aggregator, r, i, qw, qps int, b *barrier, record bool) error {
+// msmwStep performs one concurrent-mode round at replica r: pull qw
+// gradients, robust-aggregate, update, then (on contraction rounds) pull
+// qps peer models, robust-aggregate and overwrite. Only replica honest[0]'s
+// timings feed the breakdown.
+func (c *Cluster) msmwStep(res *Result, gradAgg, modelAgg *Aggregator, r, i, qw, qps int, record bool) error {
 	cfg := c.cfg
 	s := c.Server(r)
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.PullTimeout)
 	defer cancel()
 
-	commDone := metrics.Start()
+	commDone := c.phaseTimer()
 	grads, err := s.GetGradients(ctx, i, qw)
 	if record {
 		res.Breakdown.AddComm(commDone())
 	}
 	if err != nil {
-		return msmwFail(b, err)
+		return err
 	}
-	aggDone := metrics.Start()
+	aggDone := c.phaseTimer()
 	aggr, err := gradAgg.Aggregate(grads)
 	if record {
 		res.Breakdown.AddAgg(aggDone())
 	}
 	if err != nil {
-		return msmwFail(b, err)
+		return err
 	}
 	if err := s.UpdateModel(aggr); err != nil {
-		return msmwFail(b, err)
+		return err
 	}
 	if (i+1)%cfg.ModelAggEvery != 0 {
 		return nil // contraction is periodic; no model exchange this round
 	}
-	if b != nil && !b.wait() { // all replicas updated before anyone pulls models
-		return errBarrierBroken
-	}
 
-	commDone = metrics.Start()
+	commDone = c.phaseTimer()
 	models, err := s.GetModels(ctx, qps)
 	if record {
 		res.Breakdown.AddComm(commDone())
 	}
 	if err != nil {
-		return msmwFail(b, err)
+		return err
 	}
-	if b != nil && !b.wait() { // all replicas pulled before anyone overwrites its state
-		return errBarrierBroken
-	}
-	aggDone = metrics.Start()
+	aggDone = c.phaseTimer()
 	aggrModel, err := modelAgg.Aggregate(models)
 	if record {
 		res.Breakdown.AddAgg(aggDone())
 	}
 	if err != nil {
-		return msmwFail(b, err)
+		return err
 	}
 	return s.WriteModel(aggrModel)
-}
-
-// msmwFail breaks the deterministic-mode barrier (if any) so lockstep peers
-// of a failing replica do not deadlock, and returns err.
-func msmwFail(b *barrier, err error) error {
-	if b != nil {
-		b.break_()
-	}
-	return err
 }
 
 // RunDecentralized trains the peer-to-peer application of Listing 3: every
@@ -442,33 +280,8 @@ func (c *Cluster) RunDecentralized(opt RunOptions) (*Result, error) {
 			return nil, fmt.Errorf("core: decentralized: %w", err)
 		}
 	}
-	start := time.Now()
-	wire0 := c.WireStats()
-	for i := 0; i < opt.Iterations; i++ {
-		barrier := newBarrier(honest)
-		var wg sync.WaitGroup
-		errs := make([]error, honest)
-		for r := 0; r < honest; r++ {
-			r := r
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				errs[r] = c.decentralizedStep(res, gradAggs[r], modelAggs[r], r, i, barrier, r == 0)
-			}()
-		}
-		wg.Wait()
-		if r, err := firstRootCause(errs); err != nil {
-			return nil, fmt.Errorf("core: decentralized iteration %d node %d: %w", i, r, err)
-		}
-		res.Breakdown.EndIteration()
-		res.Updates++
-		if err := c.recordAccuracy(res, c.Server(0), opt, i, start); err != nil {
-			return nil, err
-		}
-	}
-	res.WallTime = time.Since(start)
-	res.Wire = c.WireStats().Sub(wire0)
-	return res, nil
+	st := &decentralizedStepper{c: c, res: res, gradAggs: gradAggs, modelAggs: modelAggs}
+	return c.driveSteps(res, st, opt)
 }
 
 func (c *Cluster) decentralizedStep(res *Result, gradAgg, modelAgg *Aggregator, r, i int, b *barrier, record bool) error {
@@ -482,7 +295,7 @@ func (c *Cluster) decentralizedStep(res *Result, gradAgg, modelAgg *Aggregator, 
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.PullTimeout)
 	defer cancel()
 
-	commDone := metrics.Start()
+	commDone := c.phaseTimer()
 	grads, err := s.GetGradients(ctx, i, q)
 	if record {
 		res.Breakdown.AddComm(commDone())
@@ -490,7 +303,7 @@ func (c *Cluster) decentralizedStep(res *Result, gradAgg, modelAgg *Aggregator, 
 	if err != nil {
 		return releaseAndFail(b, err)
 	}
-	aggDone := metrics.Start()
+	aggDone := c.phaseTimer()
 	aggr, err := gradAgg.Aggregate(grads)
 	if record {
 		res.Breakdown.AddAgg(aggDone())
@@ -520,7 +333,7 @@ func (c *Cluster) decentralizedStep(res *Result, gradAgg, modelAgg *Aggregator, 
 		return errBarrierBroken
 	}
 
-	commDone = metrics.Start()
+	commDone = c.phaseTimer()
 	models, err := s.GetModels(ctx, q)
 	if record {
 		res.Breakdown.AddComm(commDone())
@@ -536,7 +349,7 @@ func (c *Cluster) decentralizedStep(res *Result, gradAgg, modelAgg *Aggregator, 
 			return errBarrierBroken
 		}
 	}
-	aggDone = metrics.Start()
+	aggDone = c.phaseTimer()
 	aggrModel, err := modelAgg.Aggregate(models)
 	if record {
 		res.Breakdown.AddAgg(aggDone())
@@ -567,7 +380,7 @@ func (c *Cluster) contract(res *Result, s *Server, gradAgg *Aggregator, aggr ten
 			return nil, errBarrierBroken
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.PullTimeout)
-		commDone := metrics.Start()
+		commDone := c.phaseTimer()
 		aggrs, err := s.GetAggrGrads(ctx, q)
 		cancel()
 		if record {
@@ -576,7 +389,7 @@ func (c *Cluster) contract(res *Result, s *Server, gradAgg *Aggregator, aggr ten
 		if err != nil {
 			return nil, releaseAndFail(b, err)
 		}
-		aggDone := metrics.Start()
+		aggDone := c.phaseTimer()
 		aggr, err = gradAgg.Aggregate(aggrs)
 		if record {
 			res.Breakdown.AddAgg(aggDone())

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"garfield/internal/gar"
+	"garfield/internal/tensor"
+)
+
+// Stepper is the per-round protocol state machine, decoupled from the run
+// loop that drives it. Step(i) executes iteration i — pulls, aggregation,
+// model updates, whatever the topology's round consists of — and Observed
+// returns the replica accuracy is measured at after the step. Extracting
+// the state machine behind this interface is what lets one loop
+// (driveSteps) serve both execution engines: the live runner drives
+// steppers over goroutine-per-node RPC and the wall clock, the
+// discrete-event simulator drives the same steppers over direct
+// virtual-time dispatch.
+type Stepper interface {
+	// Step executes iteration i and returns the round's root-cause error.
+	Step(i int) error
+	// Observed returns the replica the run's accuracy is measured at —
+	// valid after a successful Step.
+	Observed() *Server
+}
+
+// phaseTimer starts a per-phase duration measurement on the cluster's clock
+// and returns its stop function. Under the simulator wiring the measured
+// spans are virtual time, so phase breakdowns are deterministic per seed
+// instead of scheduler noise.
+func (c *Cluster) phaseTimer() func() time.Duration {
+	start := c.clock.Now()
+	return func() time.Duration { return c.clock.Now().Sub(start) }
+}
+
+// driveSteps is the engine-agnostic run loop shared by every lockstep
+// protocol runner: one Step, one throughput tick and one accuracy check per
+// iteration, all measured on the cluster's clock. Whether the stepper
+// underneath fans out goroutines over real RPC or advances a virtual clock
+// over direct dispatch is invisible from here.
+func (c *Cluster) driveSteps(res *Result, st Stepper, opt RunOptions) (*Result, error) {
+	start := c.clock.Now()
+	wire0 := c.WireStats()
+	for i := 0; i < opt.Iterations; i++ {
+		if err := st.Step(i); err != nil {
+			return nil, err
+		}
+		res.Breakdown.EndIteration()
+		res.Updates++
+		if err := c.recordAccuracy(res, st.Observed(), opt, i, start); err != nil {
+			return nil, err
+		}
+	}
+	res.WallTime = c.clock.Now().Sub(start)
+	res.Wire = c.WireStats().Sub(wire0)
+	return res, nil
+}
+
+// singleServerStepper is the round of the single-server topologies (vanilla,
+// SSMW, AggregaThor): the roster's first replica pulls a full worker quorum,
+// aggregates with the topology's rule and applies the update. The roster is
+// re-read every step, so mid-run joins/leaves take effect at the next round,
+// and the aggregator rebuilds only when the fleet shape changes.
+type singleServerStepper struct {
+	c      *Cluster
+	res    *Result
+	rule   string
+	robust bool
+	name   string
+	agg    *Aggregator
+	key    aggKey
+	obs    *Server
+}
+
+func (st *singleServerStepper) Step(i int) error {
+	c := st.c
+	ro := c.Roster()
+	s := c.Server(ro.Servers[0])
+	st.obs = s
+	q, f := ro.NW(), 0
+	if st.robust {
+		f = ro.FW
+	}
+	ag, err := cachedAggregator(&st.agg, &st.key, st.rule, q, f)
+	if err != nil {
+		return fmt.Errorf("core: %s: %w", st.name, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.PullTimeout)
+	commDone := c.phaseTimer()
+	grads, err := s.GetGradients(ctx, i, q)
+	cancel()
+	st.res.Breakdown.AddComm(commDone())
+	if err != nil {
+		return fmt.Errorf("core: %s iteration %d: %w", st.name, i, err)
+	}
+	aggDone := c.phaseTimer()
+	aggr, err := ag.Aggregate(grads)
+	st.res.Breakdown.AddAgg(aggDone())
+	if err != nil {
+		return fmt.Errorf("core: %s iteration %d: %w", st.name, i, err)
+	}
+	return s.UpdateModel(aggr)
+}
+
+func (st *singleServerStepper) Observed() *Server { return st.obs }
+
+// crashStepper is the round of the strawman crash-tolerant baseline of
+// Section 6.2: every live replica collects all worker gradients and
+// averages, the primary's failure aborts the run, a backup's does not.
+// Aggregators are cached per replica slot — slots are stable across roster
+// transitions, and a slot's rule rebuilds only when the active worker count
+// changes under it.
+type crashStepper struct {
+	c    *Cluster
+	res  *Result
+	aggs map[int]*Aggregator
+	keys map[int]aggKey
+	obs  *Server
+}
+
+func (st *crashStepper) Step(i int) error {
+	c := st.c
+	ro := c.Roster()
+	p, ok := c.primary()
+	if !ok {
+		return fmt.Errorf("core: crash-tolerant: all %d replicas crashed or departed", c.Servers())
+	}
+	st.obs = c.Server(p)
+	// Every live replica performs the averaging step so a backup's model
+	// stays close to the primary's.
+	var wg sync.WaitGroup
+	errs := make([]error, len(ro.Servers))
+	var pErr *error
+	for k, r := range ro.Servers {
+		if c.serverCrashed(r) {
+			continue
+		}
+		slot, key := st.aggs[r], st.keys[r]
+		agg, err := cachedAggregator(&slot, &key, gar.NameAverage, ro.NW(), 0)
+		if err != nil {
+			return fmt.Errorf("core: crash-tolerant: %w", err)
+		}
+		st.aggs[r], st.keys[r] = slot, key
+		k, r := k, r
+		if r == p {
+			pErr = &errs[k]
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[k] = c.crashStep(st.res, agg, r, i, ro.NW(), r == p)
+		}()
+	}
+	wg.Wait()
+	if pErr != nil && *pErr != nil {
+		return fmt.Errorf("core: crash-tolerant iteration %d: %w", i, *pErr)
+	}
+	return nil
+}
+
+func (st *crashStepper) Observed() *Server { return st.obs }
+
+// msmwStepper is the round of the multi-server multi-worker application of
+// Listing 2. It has two schedules with identical semantics: the concurrent
+// one fans a goroutine per honest replica (barrier-free — the default
+// execution whose timing the throughput experiments measure), and the
+// lockstep one runs the replicas in explicit phase order on one goroutine.
+// Deterministic mode uses the lockstep schedule: it is the barrier
+// alignment of the concurrent path expressed as program order, and the only
+// schedule a virtual clock can drive reproducibly — so live deterministic
+// runs and simulated runs share the exact same code path.
+type msmwStepper struct {
+	c         *Cluster
+	res       *Result
+	gradAggs  map[int]*Aggregator
+	gradKeys  map[int]aggKey
+	modelAggs map[int]*Aggregator
+	modelKeys map[int]aggKey
+	obs       *Server
+}
+
+func newMSMWStepper(c *Cluster, res *Result) *msmwStepper {
+	return &msmwStepper{
+		c: c, res: res,
+		gradAggs: make(map[int]*Aggregator), gradKeys: make(map[int]aggKey),
+		modelAggs: make(map[int]*Aggregator), modelKeys: make(map[int]aggKey),
+	}
+}
+
+func (st *msmwStepper) Step(i int) error {
+	c, cfg := st.c, st.c.cfg
+	ro := c.Roster()
+	honest := ro.HonestServers()
+	if len(honest) == 0 {
+		return fmt.Errorf("%w: msmw iteration %d: no honest replicas left", ErrConfig, i)
+	}
+	st.obs = c.Server(honest[0])
+	qw, qps := ro.NW()-ro.FW, ro.NPS()-ro.FPS
+	if cfg.SyncQuorum {
+		qw, qps = ro.NW(), ro.NPS()
+	}
+	// Per-slot aggregator caches: replica indices are stable across roster
+	// transitions, and a slot's rules rebuild only when the quorum shape
+	// changes under it (a join/leave between rounds).
+	gradAgg := make([]*Aggregator, len(honest))
+	modelAgg := make([]*Aggregator, len(honest))
+	for k, r := range honest {
+		gradSlot, gradKey := st.gradAggs[r], st.gradKeys[r]
+		ga, err := cachedAggregator(&gradSlot, &gradKey, cfg.Rule, qw, ro.FW)
+		if err != nil {
+			return fmt.Errorf("core: msmw: %w", err)
+		}
+		st.gradAggs[r], st.gradKeys[r] = gradSlot, gradKey
+		modelSlot, modelKey := st.modelAggs[r], st.modelKeys[r]
+		ma, err := cachedAggregator(&modelSlot, &modelKey, cfg.ModelRule, qps, ro.FPS)
+		if err != nil {
+			return fmt.Errorf("core: msmw: %w", err)
+		}
+		st.modelAggs[r], st.modelKeys[r] = modelSlot, modelKey
+		gradAgg[k], modelAgg[k] = ga, ma
+	}
+	if cfg.Deterministic {
+		return st.stepLockstep(i, honest, gradAgg, modelAgg, qw, qps)
+	}
+	return st.stepConcurrent(i, honest, gradAgg, modelAgg, qw, qps)
+}
+
+func (st *msmwStepper) Observed() *Server { return st.obs }
+
+// stepConcurrent drives the honest replicas concurrently; Byzantine
+// replicas do not need a training loop — their adversarial behaviour lives
+// in how they answer pulls (attack-corrupted models).
+func (st *msmwStepper) stepConcurrent(i int, honest []int, gradAgg, modelAgg []*Aggregator, qw, qps int) error {
+	c := st.c
+	var wg sync.WaitGroup
+	errs := make([]error, len(honest))
+	for k, r := range honest {
+		k, r := k, r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[k] = c.msmwStep(st.res, gradAgg[k], modelAgg[k], r, i, qw, qps, k == 0)
+		}()
+	}
+	wg.Wait()
+	if k, err := firstRootCause(errs); err != nil {
+		return fmt.Errorf("core: msmw iteration %d replica %d: %w", i, honest[k], err)
+	}
+	return nil
+}
+
+// stepLockstep runs the round in explicit phase order on one goroutine:
+// every replica pulls gradients, aggregates and updates its model; then
+// every replica pulls peer models; then every replica aggregates those and
+// overwrites its state. All pulls complete before any write — the property
+// the concurrent path needs a barrier for — by construction.
+func (st *msmwStepper) stepLockstep(i int, honest []int, gradAgg, modelAgg []*Aggregator, qw, qps int) error {
+	c, cfg := st.c, st.c.cfg
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.PullTimeout)
+	defer cancel()
+	for k, r := range honest {
+		s := c.Server(r)
+		record := k == 0
+		commDone := c.phaseTimer()
+		grads, err := s.GetGradients(ctx, i, qw)
+		if record {
+			st.res.Breakdown.AddComm(commDone())
+		}
+		if err != nil {
+			return fmt.Errorf("core: msmw iteration %d replica %d: %w", i, r, err)
+		}
+		aggDone := c.phaseTimer()
+		aggr, err := gradAgg[k].Aggregate(grads)
+		if record {
+			st.res.Breakdown.AddAgg(aggDone())
+		}
+		if err != nil {
+			return fmt.Errorf("core: msmw iteration %d replica %d: %w", i, r, err)
+		}
+		if err := s.UpdateModel(aggr); err != nil {
+			return fmt.Errorf("core: msmw iteration %d replica %d: %w", i, r, err)
+		}
+	}
+	if (i+1)%cfg.ModelAggEvery != 0 {
+		return nil // contraction is periodic; no model exchange this round
+	}
+	pulled := make([][]tensor.Vector, len(honest))
+	for k, r := range honest {
+		s := c.Server(r)
+		commDone := c.phaseTimer()
+		models, err := s.GetModels(ctx, qps)
+		if k == 0 {
+			st.res.Breakdown.AddComm(commDone())
+		}
+		if err != nil {
+			return fmt.Errorf("core: msmw iteration %d replica %d: %w", i, r, err)
+		}
+		pulled[k] = models
+	}
+	for k, r := range honest {
+		s := c.Server(r)
+		aggDone := c.phaseTimer()
+		aggrModel, err := modelAgg[k].Aggregate(pulled[k])
+		if k == 0 {
+			st.res.Breakdown.AddAgg(aggDone())
+		}
+		if err != nil {
+			return fmt.Errorf("core: msmw iteration %d replica %d: %w", i, r, err)
+		}
+		if err := s.WriteModel(aggrModel); err != nil {
+			return fmt.Errorf("core: msmw iteration %d replica %d: %w", i, r, err)
+		}
+	}
+	return nil
+}
+
+// decentralizedStepper is the round of the peer-to-peer application of
+// Listing 3: every node pairs a Worker with a Server, and each round runs
+// collect → aggregate → (contract) → update → model exchange across all
+// honest nodes, aligned by an in-process barrier. Goroutine-per-node by
+// nature, so it runs on the live wiring only.
+type decentralizedStepper struct {
+	c         *Cluster
+	res       *Result
+	gradAggs  []*Aggregator
+	modelAggs []*Aggregator
+}
+
+func (st *decentralizedStepper) Step(i int) error {
+	c := st.c
+	honest := len(st.gradAggs)
+	b := newBarrier(honest)
+	var wg sync.WaitGroup
+	errs := make([]error, honest)
+	for r := 0; r < honest; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[r] = c.decentralizedStep(st.res, st.gradAggs[r], st.modelAggs[r], r, i, b, r == 0)
+		}()
+	}
+	wg.Wait()
+	if r, err := firstRootCause(errs); err != nil {
+		return fmt.Errorf("core: decentralized iteration %d node %d: %w", i, r, err)
+	}
+	return nil
+}
+
+func (st *decentralizedStepper) Observed() *Server { return st.c.Server(0) }

@@ -55,8 +55,11 @@ type Worker struct {
 
 	// serveDelay is an injected per-request service delay in nanoseconds —
 	// a slow node (overloaded or under-provisioned worker) as opposed to a
-	// slow link. Set through Cluster.SlowWorker / SetServeDelay.
+	// slow link. Set through Cluster.SlowWorker / SetServeDelay. The delay
+	// sleeps on clock, so a simulated slow worker burns virtual time, not
+	// wall time.
 	serveDelay atomic.Int64
+	clock      Clock
 
 	// det enables deterministic replies: the worker computes one reply
 	// per step and serves it to every puller — the paper's semantics of a
@@ -117,6 +120,19 @@ func WithDeterministicReplies() WorkerOption {
 	}
 }
 
+// withWorkerClock routes the worker's time reads (the serve-delay sleep)
+// through the cluster's clock, so injected service delays cost virtual time
+// under the simulator wiring.
+func withWorkerClock(clock Clock) WorkerOption {
+	return func(w *Worker) error {
+		if clock == nil {
+			return fmt.Errorf("%w: nil worker clock", ErrConfig)
+		}
+		w.clock = clock
+		return nil
+	}
+}
+
 // WithCompression makes the worker compress gradient replies with the given
 // codec for pullers that advertise it (Request.Accept); topK is the
 // coordinate budget of the top-k codec, ignored by the others. EncFP64 is a
@@ -151,7 +167,7 @@ func NewWorker(arch model.Model, shard *data.Dataset, batchSize int, seed uint64
 	if atk == nil {
 		atk = attack.None{}
 	}
-	w := &Worker{arch: arch, batchSize: batchSize, atk: atk, sampler: s}
+	w := &Worker{arch: arch, batchSize: batchSize, atk: atk, sampler: s, clock: WallClock()}
 	for _, opt := range opts {
 		if err := opt(w); err != nil {
 			return nil, err
@@ -216,7 +232,7 @@ func (w *Worker) SetServeDelay(d time.Duration) {
 // declines everything else.
 func (w *Worker) Handle(req rpc.Request) rpc.Response {
 	if d := w.serveDelay.Load(); d > 0 {
-		time.Sleep(time.Duration(d))
+		w.clock.Sleep(time.Duration(d))
 	}
 	switch req.Kind {
 	case rpc.KindGetGradient:

@@ -10,9 +10,12 @@ import (
 // arena is the per-Rule scratch space behind the zero-allocation aggregation
 // hot path (the memory-management optimization of Section 4.4 of the paper):
 // every buffer the distance and coordinate kernels touch is allocated once,
-// when the rule is constructed, and reused across Aggregate calls. All sizes
-// depend only on n, never on the input dimension d, so an arena is a few KiB
-// regardless of model size.
+// on first use, and reused across Aggregate calls. All sizes depend only on
+// n, never on the input dimension d. The O(n) buffers are built at
+// construction; the O(n²) pairwise-distance machinery (dist, allPairs) is
+// built lazily on the first computeDistances call, so coordinate-wise rules
+// (median, trimmed mean, Phocas) never pay for it — at n = 10,000 the
+// distance matrix alone is 800 MB.
 //
 // The kernels dispatched to the worker pool are prebuilt method values that
 // read their per-call parameters (cIn, cOut, cKPrime) from arena fields, so
@@ -79,8 +82,6 @@ func newArena(n int) *arena {
 	a := &arena{
 		n:        n,
 		norms:    make([]float64, n),
-		dist:     make([]float64, n*n),
-		allPairs: make([][2]int32, 0, n*(n+1)/2),
 		row:      make([]float64, 0, n),
 		scores:   make([]float64, n),
 		order:    make([]int, n),
@@ -89,17 +90,6 @@ func newArena(n int) *arena {
 		alive:    make([]int, 0, n),
 		selected: make([]tensor.Vector, 0, n),
 		cIn:      make([]tensor.Vector, 0, n),
-	}
-	// Diagonal pairs (the norms) first, then the off-diagonal pairs in
-	// row-major order so the i-side block stays cache-hot across one row's
-	// inner products.
-	for i := 0; i < n; i++ {
-		a.allPairs = append(a.allPairs, [2]int32{int32(i), int32(i)})
-	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			a.allPairs = append(a.allPairs, [2]int32{int32(i), int32(j)})
-		}
 	}
 	shares := maxShares()
 	a.shareCols = make([][]float64, shares)
@@ -115,6 +105,26 @@ func newArena(n int) *arena {
 	return a
 }
 
+// ensurePairwise builds the O(n²) pairwise state on first use. Diagonal
+// pairs (the norms) first, then the off-diagonal pairs in row-major order so
+// the i-side block stays cache-hot across one row's inner products.
+func (a *arena) ensurePairwise() {
+	if a.dist != nil {
+		return
+	}
+	n := a.n
+	a.dist = make([]float64, n*n)
+	a.allPairs = make([][2]int32, 0, n*(n+1)/2)
+	for i := 0; i < n; i++ {
+		a.allPairs = append(a.allPairs, [2]int32{int32(i), int32(i)})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a.allPairs = append(a.allPairs, [2]int32{int32(i), int32(j)})
+		}
+	}
+}
+
 // computeDistances fills norms and the flat distance matrix for vs using the
 // Gram identity d²(i,j) = ‖i‖² + ‖j‖² − 2⟨i,j⟩: each input is read once for
 // its norm and once per pair for the inner product, every inner product runs
@@ -128,6 +138,7 @@ func newArena(n int) *arena {
 // matrix is bit-identical however many cores participate (the deterministic
 // work-partitioning of parallel.go).
 func (a *arena) computeDistances(vs []tensor.Vector, d int) {
+	a.ensurePairwise()
 	a.vs = append(a.vs[:0], vs...)
 	a.d = d
 	nb := (d + blockDim - 1) / blockDim

@@ -11,11 +11,16 @@ import (
 	"garfield/internal/transport"
 )
 
-// Run materializes the spec, spawns the cluster, drives the topology's
-// protocol through the spec's fault schedule and returns the merged result.
-// It is the one-call entry point of the engine: every example and every
-// live-cluster experiment generator goes through it.
+// Run materializes the spec, spawns the cluster on the engine the spec
+// names (live transport by default, the discrete-event simulator for
+// Engine "sim"), drives the topology's protocol through the spec's fault
+// schedule and returns the merged result. It is the one-call entry point of
+// the engine: every example and every experiment generator goes through it.
 func Run(sp Spec) (*core.Result, error) {
+	if sp.Engine == EngineSim {
+		res, _, err := RunWithSimMetrics(sp)
+		return res, err
+	}
 	c, err := NewCluster(sp) // Materialize validates
 	if err != nil {
 		return nil, err

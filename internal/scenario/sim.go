@@ -1,0 +1,90 @@
+package scenario
+
+import (
+	"time"
+
+	"garfield/internal/core"
+	"garfield/internal/sim"
+)
+
+// SimMetrics is the discrete-event engine's measurement of one simulated
+// run: quorum pull rounds, virtual step-latency percentiles, and throughput
+// in simulated time. Every field is a deterministic function of (spec,
+// seed) — the values sit in the bit-identical artifact set.
+type SimMetrics struct {
+	// Pulls counts completed quorum pull rounds.
+	Pulls int `json:"pulls"`
+	// StepP50MS and StepP99MS are virtual-time percentiles of the pull
+	// round latency from start to quorum completion, in milliseconds.
+	StepP50MS float64 `json:"step_p50_ms"`
+	StepP99MS float64 `json:"step_p99_ms"`
+	// VirtualSeconds is the run's simulated duration.
+	VirtualSeconds float64 `json:"virtual_seconds"`
+	// RoundsPerSec is model updates per simulated second (0 when the
+	// simulated network is instantaneous — no virtual time elapses).
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+}
+
+// simWiring builds the discrete-event wiring the spec's sim knobs describe.
+func simWiring(sp Spec) *sim.Wiring {
+	return sim.New(sim.Config{
+		Seed:          sp.Seed,
+		Latency:       time.Duration(sp.SimLatencyMS * float64(time.Millisecond)),
+		Jitter:        time.Duration(sp.SimJitterMS * float64(time.Millisecond)),
+		BandwidthMBps: sp.SimBandwidthMBps,
+	})
+}
+
+// NewSimCluster materializes the spec onto the discrete-event simulator and
+// returns the cluster together with the sim wiring (the handle for
+// engine-level stats). Callers own the cluster and must Close it.
+func NewSimCluster(sp Spec) (*core.Cluster, *sim.Wiring, error) {
+	cfg, err := Materialize(sp)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := simWiring(sp)
+	c, err := core.NewClusterWith(cfg, w)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, w, nil
+}
+
+// simMetrics folds the wiring's stats and the result's virtual wall time
+// into the exported summary.
+func simMetrics(w *sim.Wiring, res *core.Result) *SimMetrics {
+	st := w.Stats()
+	m := &SimMetrics{
+		Pulls:          st.Pulls,
+		StepP50MS:      float64(st.StepP50) / float64(time.Millisecond),
+		StepP99MS:      float64(st.StepP99) / float64(time.Millisecond),
+		VirtualSeconds: res.WallTime.Seconds(),
+	}
+	if res.WallTime > 0 {
+		m.RoundsPerSec = float64(res.Updates) / res.WallTime.Seconds()
+	}
+	return m
+}
+
+// RunWithSimMetrics is Run for sim-engine specs, additionally returning the
+// engine's step-latency and throughput measurements. A live-engine spec
+// runs normally and returns nil metrics.
+func RunWithSimMetrics(sp Spec) (*core.Result, *SimMetrics, error) {
+	if sp.Engine != EngineSim {
+		res, err := Run(sp)
+		return res, nil, err
+	}
+	c, w, err := NewSimCluster(sp)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer c.Close()
+	// Validated sim specs carry no fault schedule, so runOn is exactly one
+	// protocol run.
+	res, err := runOn(c, sp)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, simMetrics(w, res), nil
+}

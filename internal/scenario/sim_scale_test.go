@@ -1,0 +1,204 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"garfield/internal/core"
+	"garfield/internal/tensor"
+)
+
+// simScaleSpec builds a sim-engine spec for nw workers: a small linear task
+// whose dataset is just big enough to give every worker a shard, a couple
+// of virtual-latency knobs so virtual time actually elapses, and a short
+// run — at simulator scale the node count, not the iteration count, is what
+// the tests are probing.
+func simScaleSpec(topo string, nw, fw, nps, fps, iters int) Spec {
+	sp := Spec{
+		Name:     "sim-scale",
+		Topology: topo,
+		NW:       nw, FW: fw,
+		NPS: nps, FPS: fps,
+		Rule:          "median",
+		Deterministic: true,
+		Engine:        EngineSim,
+		SimLatencyMS:  1.0,
+		SimJitterMS:   0.2,
+		Model:         ModelSpec{Kind: ModelLinear, In: 16, Classes: 4},
+		Dataset: DatasetSpec{
+			Name: "sim-scale", Dim: 16, Classes: 4,
+			Train: 2 * nw, Test: 64,
+			Separation: 1.0, Noise: 0.2, Seed: 1,
+		},
+		BatchSize: 2,
+		Seed:      20210, Iterations: iters,
+	}
+	if fw > 0 {
+		sp.WorkerAttack = AttackSpec{Name: "reversed"}
+	}
+	if topo == TopoMSMW {
+		sp.SyncQuorum = true
+	}
+	return sp
+}
+
+// TestSimSweepBitIdentical is the seed-stability lock at simulator scale:
+// two sweeps over 1,000-worker sim cells must produce byte-identical
+// sweep.json, summary.csv and curve artifacts — including the sim columns
+// (step p50/p99, rounds/sec), which are virtual-time derived and therefore
+// inside the bit-identical set.
+func TestSimSweepBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1,000-node sweep runs twice; skipped with -short")
+	}
+	m := Matrix{
+		Name: "sim-determinism",
+		Base: simScaleSpec(TopoSSMW, 1000, 100, 0, 0, 3),
+		FWs:  []int{0, 100},
+	}
+	dirA, dirB := filepath.Join(t.TempDir(), "a"), filepath.Join(t.TempDir(), "b")
+	repA, err := RunSweep(m, SweepOptions{OutDir: dirA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := RunSweep(m, SweepOptions{OutDir: dirB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range repA.Cells {
+		if c.Status != "ok" {
+			t.Fatalf("cell %s failed: %s", c.ID, c.Error)
+		}
+		if c.SimStepP50MS <= 0 || c.SimStepP99MS < c.SimStepP50MS || c.SimRoundsPerSec <= 0 {
+			t.Fatalf("cell %s: degenerate sim metrics %+v", c.ID, c)
+		}
+	}
+	if !reflect.DeepEqual(repA, repB) {
+		t.Fatal("two sim sweeps at the same seed produced different reports")
+	}
+	entries, err := os.ReadDir(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(repA.Cells) + 2; len(entries) != want {
+		t.Fatalf("got %d artifacts, want %d", len(entries), want)
+	}
+	for _, e := range entries {
+		a, err := os.ReadFile(filepath.Join(dirA, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, e.Name()))
+		if err != nil {
+			t.Fatalf("artifact %s missing from second run: %v", e.Name(), err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("artifact %s differs between runs", e.Name())
+		}
+	}
+}
+
+// TestSimCrossNSafetyInvariant checks the safety invariant the simulator
+// unlocks at sizes the live transport cannot reach: under up to f reversed
+// attackers, median keeps the final model within a constant factor of the
+// honest run's — at every n. A GAR (or engine) bug that let attacker mass
+// through would blow the attacked norm up relative to the honest baseline.
+func TestSimCrossNSafetyInvariant(t *testing.T) {
+	sizes := []int{100, 1000, 5000}
+	if testing.Short() {
+		sizes = []int{100}
+	}
+	for _, n := range sizes {
+		f := n / 10
+		spH := simScaleSpec(TopoSSMW, n, 0, 0, 0, 3)
+		spA := simScaleSpec(TopoSSMW, n, f, 0, 0, 3)
+		pH := finalParams(t, spH)
+		pA := finalParams(t, spA)
+		nh, na := pH.Norm(), pA.Norm()
+		if na > 10*(nh+1) {
+			t.Fatalf("n=%d: attacked norm %v >> honest norm %v (safety bound violated)", n, na, nh)
+		}
+	}
+}
+
+// finalParams runs the sim spec and returns the first server's final model.
+func finalParams(t *testing.T, sp Spec) tensor.Vector {
+	t.Helper()
+	c, _, err := NewSimCluster(sp)
+	if err != nil {
+		t.Fatalf("%s: cluster: %v", sp.Name, err)
+	}
+	defer c.Close()
+	if _, err := RunOn(c, sp); err != nil {
+		t.Fatalf("%s: run: %v", sp.Name, err)
+	}
+	return c.Server(c.Roster().Servers[0]).Params()
+}
+
+// TestSimHostLoadIndependent is the regression test for the wall-clock
+// audit: every timestamp in a simulated run flows from the virtual clock,
+// so repeated runs must agree on *everything* — including WallTime, the
+// accuracy-over-time axis and the phase breakdown, the fields that on the
+// live engine vary with host load. Runs under -race in CI like the rest of
+// the package.
+func TestSimHostLoadIndependent(t *testing.T) {
+	sp := simScaleSpec(TopoMSMW, 24, 3, 4, 1, 4)
+	sp.AccEvery = 2
+	run := func() (*core.Result, *SimMetrics) {
+		res, m, err := RunWithSimMetrics(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, m
+	}
+	res0, met0 := run()
+	if res0.WallTime <= 0 {
+		t.Fatalf("virtual wall time %v, want > 0 with 1ms links", res0.WallTime)
+	}
+	for i := 0; i < 2; i++ {
+		res, met := run()
+		if res.WallTime != res0.WallTime {
+			t.Fatalf("run %d: virtual wall time %v != %v", i, res.WallTime, res0.WallTime)
+		}
+		if !reflect.DeepEqual(res.AccuracyOverTime, res0.AccuracyOverTime) {
+			t.Fatalf("run %d: accuracy-over-time axes differ", i)
+		}
+		if !reflect.DeepEqual(res.Accuracy, res0.Accuracy) {
+			t.Fatalf("run %d: accuracy curves differ", i)
+		}
+		if !reflect.DeepEqual(met, met0) {
+			t.Fatalf("run %d: sim metrics %+v != %+v", i, met, met0)
+		}
+	}
+}
+
+// TestSimScaleSmoke is the acceptance bar: 5,000 workers (500 of them
+// reversed attackers) against 20 server replicas, in one process, in under
+// a minute, with live step-latency percentiles and simulated throughput
+// coming out the other end.
+func TestSimScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("5,000-node cluster; skipped with -short")
+	}
+	sp := simScaleSpec(TopoMSMW, 5000, 500, 20, 0, 3)
+	t0 := time.Now()
+	res, met, err := RunWithSimMetrics(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(t0)
+	if elapsed > 60*time.Second {
+		t.Fatalf("5,000-worker sim took %v, acceptance bar is 60s", elapsed)
+	}
+	if res.Updates != sp.Iterations {
+		t.Fatalf("updates %d, want %d", res.Updates, sp.Iterations)
+	}
+	if met.Pulls == 0 || met.StepP50MS <= 0 || met.StepP99MS < met.StepP50MS || met.RoundsPerSec <= 0 {
+		t.Fatalf("degenerate sim metrics at scale: %+v", met)
+	}
+	t.Logf("5,000 workers + 20 replicas: %v wall, %d pulls, p50=%.3fms p99=%.3fms, %.2f rounds/virtual-sec",
+		elapsed, met.Pulls, met.StepP50MS, met.StepP99MS, met.RoundsPerSec)
+}

@@ -73,6 +73,24 @@ func Topologies() []string {
 		TopoCrashTolerant, TopoMSMW, TopoDecentralized}
 }
 
+// Engine names accepted by Spec.Engine.
+const (
+	// EngineLive (the default) runs the cluster over the in-memory
+	// transport: real RPC frames, one serving goroutine per node, wall
+	// time.
+	EngineLive = "live"
+	// EngineSim runs the cluster on the discrete-event simulator
+	// (internal/sim): direct handler dispatch under a virtual clock, so
+	// thousands of nodes fit in one process and every timestamp is
+	// deterministic. Requires Deterministic; incompatible with fault
+	// schedules and the crash-tolerant/decentralized topologies (their
+	// runners use live-transport machinery the simulator does not model).
+	EngineSim = "sim"
+)
+
+// Engines returns the recognized engine names in a stable order.
+func Engines() []string { return []string{EngineLive, EngineSim} }
+
 // Model kinds accepted by ModelSpec.Kind.
 const (
 	ModelLinear   = "linear"
@@ -384,6 +402,23 @@ type Spec struct {
 	// responding subset is inherently timing-dependent.
 	Deterministic bool `json:"deterministic,omitempty"`
 
+	// Engine selects the execution substrate: "" or "live" runs over the
+	// in-memory transport, "sim" over the discrete-event simulator (see
+	// Engines). Sim requires Deterministic, supports the single-server and
+	// msmw topologies (plus the deterministic async ssmw replay), and is
+	// incompatible with fault schedules — the simulator has no
+	// fault-injecting transport to schedule them through.
+	Engine string `json:"engine,omitempty"`
+	// SimLatencyMS, SimJitterMS and SimBandwidthMBps parameterize the
+	// simulated network: base one-way link latency, per-message uniform
+	// jitter bound, and per-link bandwidth charging payload serialization
+	// time (0: infinite). All three require Engine "sim"; all-zero
+	// simulates an instantaneous network, which is the configuration the
+	// sim-vs-live equivalence goldens pin.
+	SimLatencyMS     float64 `json:"sim_latency_ms,omitempty"`
+	SimJitterMS      float64 `json:"sim_jitter_ms,omitempty"`
+	SimBandwidthMBps float64 `json:"sim_bandwidth_mbps,omitempty"`
+
 	// Seed drives all cluster randomness (sharding, init, sampling).
 	Seed uint64 `json:"seed"`
 	// Iterations and AccEvery tune the run (accuracy is measured every
@@ -467,6 +502,9 @@ func (sp Spec) Validate() error {
 		return fmt.Errorf("%w: acc_every=%d", ErrSpec, sp.AccEvery)
 	}
 	if err := sp.validateAsync(); err != nil {
+		return err
+	}
+	if err := sp.validateEngine(); err != nil {
 		return err
 	}
 	if err := sp.validateCompression(); err != nil {
@@ -560,6 +598,43 @@ func (sp Spec) validateAsync() error {
 	}
 	if sp.StalenessDamping < 0 || sp.StalenessDamping > 1 {
 		return fmt.Errorf("%w: staleness_damping=%v not in [0, 1]", ErrSpec, sp.StalenessDamping)
+	}
+	return nil
+}
+
+// validateEngine checks the execution-engine selection. The simulator runs
+// the sequential deterministic protocol paths only: it requires
+// Deterministic (concurrent steppers would interleave on one event queue in
+// scheduler order, forfeiting reproducibility — the engine's whole point),
+// excludes the crash-tolerant and decentralized topologies (their runners
+// are inherently concurrent), and excludes fault schedules (faults inject
+// through the live fault-injecting transport, which a simulated cluster
+// does not have). The latency knobs in turn require the sim engine: on the
+// live transport they would silently do nothing.
+func (sp Spec) validateEngine() error {
+	switch sp.Engine {
+	case "", EngineLive:
+		if sp.SimLatencyMS != 0 || sp.SimJitterMS != 0 || sp.SimBandwidthMBps != 0 {
+			return fmt.Errorf("%w: sim_latency_ms/sim_jitter_ms/sim_bandwidth_mbps require engine %q",
+				ErrSpec, EngineSim)
+		}
+		return nil
+	case EngineSim:
+	default:
+		return fmt.Errorf("%w: unknown engine %q (want one of %v)", ErrSpec, sp.Engine, Engines())
+	}
+	if !sp.Deterministic {
+		return fmt.Errorf("%w: engine %q requires deterministic mode", ErrSpec, EngineSim)
+	}
+	if sp.Topology == TopoCrashTolerant || sp.Topology == TopoDecentralized {
+		return fmt.Errorf("%w: engine %q does not support topology %q (concurrent runner)",
+			ErrSpec, EngineSim, sp.Topology)
+	}
+	if len(sp.Faults) > 0 {
+		return fmt.Errorf("%w: engine %q does not support fault schedules", ErrSpec, EngineSim)
+	}
+	if sp.SimLatencyMS < 0 || sp.SimJitterMS < 0 || sp.SimBandwidthMBps < 0 {
+		return fmt.Errorf("%w: negative sim latency/jitter/bandwidth", ErrSpec)
 	}
 	return nil
 }

@@ -180,6 +180,16 @@ type CellResult struct {
 	// cell's CSV artifact.
 	Accuracy []metrics.Point `json:"accuracy,omitempty"`
 
+	// SimStepP50MS, SimStepP99MS and SimRoundsPerSec carry the
+	// discrete-event engine's step-latency percentiles and
+	// simulated-time throughput for cells running Engine "sim". Unlike
+	// the wall-clock timing pair they are virtual-time derived, hence
+	// deterministic per seed and part of the bit-identical artifact set.
+	// Zero (and omitted from JSON) on live-engine cells.
+	SimStepP50MS    float64 `json:"sim_step_p50_ms,omitempty"`
+	SimStepP99MS    float64 `json:"sim_step_p99_ms,omitempty"`
+	SimRoundsPerSec float64 `json:"sim_rounds_per_sec,omitempty"`
+
 	// WallMS and UpdatesPerSec are only populated with
 	// SweepOptions.Timing; they vary run to run.
 	WallMS        float64 `json:"wall_ms,omitempty"`
@@ -234,13 +244,18 @@ func runCell(cell Cell, timing bool) CellResult {
 		Attack: sp.WorkerAttack.Name,
 		NW:     sp.NW, FW: sp.FW, Seed: sp.Seed,
 	}
-	res, err := Run(sp)
+	res, simM, err := RunWithSimMetrics(sp)
 	if err != nil {
 		out.Status = "error"
 		out.Error = err.Error()
 		return out
 	}
 	out.Status = "ok"
+	if simM != nil {
+		out.SimStepP50MS = simM.StepP50MS
+		out.SimStepP99MS = simM.StepP99MS
+		out.SimRoundsPerSec = simM.RoundsPerSec
+	}
 	out.FinalAccuracy = res.Accuracy.Last()
 	out.MaxAccuracy = res.Accuracy.MaxY()
 	out.Updates = res.Updates
@@ -326,7 +341,8 @@ func writeSummaryCSV(path string, rep *Report, timing bool) error {
 	w := csv.NewWriter(f)
 	header := []string{"id", "topology", "rule", "attack", "nw", "fw", "seed",
 		"status", "final_accuracy", "max_accuracy", "updates",
-		"wire_in", "wire_out", "reply_payload_bytes", "reply_fp64_bytes"}
+		"wire_in", "wire_out", "reply_payload_bytes", "reply_fp64_bytes",
+		"sim_step_p50_ms", "sim_step_p99_ms", "sim_rounds_per_sec"}
 	if timing {
 		header = append(header, "wall_ms", "updates_per_sec")
 	}
@@ -345,6 +361,9 @@ func writeSummaryCSV(path string, rep *Report, timing bool) error {
 			strconv.FormatUint(c.WireOut, 10),
 			strconv.FormatUint(c.ReplyPayloadBytes, 10),
 			strconv.FormatUint(c.ReplyFP64Bytes, 10),
+			strconv.FormatFloat(c.SimStepP50MS, 'g', -1, 64),
+			strconv.FormatFloat(c.SimStepP99MS, 'g', -1, 64),
+			strconv.FormatFloat(c.SimRoundsPerSec, 'g', -1, 64),
 		}
 		if timing {
 			row = append(row,

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+// FuzzEventQueue drives the queue with an arbitrary program of schedule,
+// pop and clear operations decoded from the fuzz input, mirrored against a
+// sorted-slice reference model, and checks the heap agrees with the model
+// on every pop, respects the watermark, and never delivers out of order.
+func FuzzEventQueue(f *testing.F) {
+	f.Add([]byte{0, 5, 0, 3, 1, 1, 0, 0, 2, 0, 1})
+	f.Add([]byte{1, 0, 2, 0})
+	f.Add([]byte{0, 255, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		q := NewEventQueue()
+		var model []Event // pending events, kept unsorted
+		lastPopped := time.Duration(-1)
+		for i := 0; i < len(program); i++ {
+			switch program[i] % 3 {
+			case 0: // schedule at watermark + delta (delta from next byte)
+				var delta byte
+				if i+1 < len(program) {
+					i++
+					delta = program[i]
+				}
+				at := q.Now() + time.Duration(delta)*time.Microsecond
+				ev, err := q.Schedule(at, int(delta))
+				if err != nil {
+					t.Fatalf("op %d: schedule at watermark+%d rejected: %v", i, delta, err)
+				}
+				model = append(model, ev)
+			case 1: // pop
+				ev, ok := q.Pop()
+				if !ok {
+					if len(model) != 0 {
+						t.Fatalf("op %d: queue empty with %d modeled events", i, len(model))
+					}
+					continue
+				}
+				// The model's minimum under (At, Seq) must be what popped.
+				min := 0
+				for j := 1; j < len(model); j++ {
+					if model[j].before(model[min]) {
+						min = j
+					}
+				}
+				if len(model) == 0 {
+					t.Fatalf("op %d: queue popped %+v with empty model", i, ev)
+				}
+				if ev != model[min] {
+					t.Fatalf("op %d: popped %+v, model min %+v", i, ev, model[min])
+				}
+				model = append(model[:min], model[min+1:]...)
+				if ev.At < lastPopped {
+					t.Fatalf("op %d: pop time %v went backwards from %v", i, ev.At, lastPopped)
+				}
+				lastPopped = ev.At
+				if q.Now() != ev.At {
+					t.Fatalf("op %d: watermark %v != popped time %v", i, q.Now(), ev.At)
+				}
+			case 2: // clear
+				before := q.Now()
+				q.Clear()
+				model = model[:0]
+				if q.Len() != 0 {
+					t.Fatalf("op %d: len %d after clear", i, q.Len())
+				}
+				if q.Now() != before {
+					t.Fatalf("op %d: clear moved watermark %v -> %v", i, before, q.Now())
+				}
+			}
+			if q.Len() != len(model) {
+				t.Fatalf("op %d: queue len %d != model len %d", i, q.Len(), len(model))
+			}
+			// Scheduling strictly before the watermark must always fail.
+			if q.Now() > 0 {
+				if _, err := q.Schedule(q.Now()-1, 0); err == nil {
+					t.Fatalf("op %d: past schedule accepted", i)
+				}
+			}
+		}
+		// Drain: remaining events must come out exactly sorted.
+		rest := popAll(q)
+		sort.Slice(model, func(a, b int) bool { return model[a].before(model[b]) })
+		if len(rest) != len(model) {
+			t.Fatalf("drained %d, model has %d", len(rest), len(model))
+		}
+		for i := range rest {
+			if rest[i] != model[i] {
+				t.Fatalf("drain %d: %+v != %+v", i, rest[i], model[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"garfield/internal/tensor"
+)
+
+// LatencyModel draws per-message virtual latencies. Each directed link owns
+// an RNG stream seeded by domain separation (FNV-64a over the model seed
+// and the link's "/sim-link/src|dst" tag), so a link's draw sequence is a
+// pure function of (seed, src, dst): adding nodes, reordering pulls across
+// other links, or rerunning the process never perturbs it. A draw is
+//
+//	base latency + uniform jitter in [0, Jitter) + bytes / bandwidth
+//
+// with the jitter RNG consumed only when jitter is configured, keeping the
+// zero-latency configuration draw-free (and therefore trivially identical
+// to the live deterministic schedule).
+type LatencyModel struct {
+	seed      uint64
+	base      time.Duration
+	jitter    time.Duration
+	perByteNS float64
+
+	mu    sync.Mutex
+	links map[string]*tensor.RNG
+}
+
+// NewLatencyModel returns a model with the given base latency, jitter bound
+// and per-link bandwidth (MB/s; 0 disables the size term).
+func NewLatencyModel(seed uint64, base, jitter time.Duration, bandwidthMBps float64) *LatencyModel {
+	m := &LatencyModel{seed: seed, base: base, jitter: jitter, links: make(map[string]*tensor.RNG)}
+	if bandwidthMBps > 0 {
+		m.perByteNS = 1e9 / (bandwidthMBps * 1e6)
+	}
+	return m
+}
+
+// linkSeed derives the directed link's RNG seed from the model seed by
+// domain separation, mirroring the cluster's other seed derivations.
+func linkSeed(seed uint64, src, dst string) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], seed)
+	_, _ = h.Write(buf[:])
+	_, _ = h.Write([]byte("/sim-link/" + src + "|" + dst))
+	return h.Sum64()
+}
+
+// Draw returns the next latency on the src→dst link for a message of the
+// given payload size.
+func (m *LatencyModel) Draw(src, dst string, bytes int) time.Duration {
+	d := m.base
+	if m.jitter > 0 {
+		key := src + "|" + dst
+		m.mu.Lock()
+		rng, ok := m.links[key]
+		if !ok {
+			rng = tensor.NewRNG(linkSeed(m.seed, src, dst))
+			m.links[key] = rng
+		}
+		d += time.Duration(rng.Float64() * float64(m.jitter))
+		m.mu.Unlock()
+	}
+	if m.perByteNS > 0 {
+		d += time.Duration(float64(bytes) * m.perByteNS)
+	}
+	return d
+}

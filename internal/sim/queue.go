@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Event is one scheduled occurrence: a virtual due time plus the insertion
+// sequence number that breaks ties. Payload carries the scheduler's own
+// tag (the pull engine stores the peer index of the arriving reply).
+type Event struct {
+	At      time.Duration
+	Seq     uint64
+	Payload int
+}
+
+// before is the queue's total order: due time first, insertion sequence as
+// the tiebreak. Ties are common — a zero-latency network schedules a whole
+// pull round at one instant — and the seq tiebreak is what keeps pop order
+// equal to insertion order there, which the sim-vs-live equivalence goldens
+// rely on.
+func (e Event) before(o Event) bool {
+	if e.At != o.At {
+		return e.At < o.At
+	}
+	return e.Seq < o.Seq
+}
+
+// EventQueue is a binary min-heap of events ordered by (At, Seq), with a
+// watermark at the last popped time: scheduling an event before the
+// watermark is an error, because simulated time only moves forward and an
+// event in the past could never be delivered in order.
+type EventQueue struct {
+	h   []Event
+	seq uint64
+	now time.Duration
+}
+
+// NewEventQueue returns an empty queue with the watermark at time zero.
+func NewEventQueue() *EventQueue { return &EventQueue{} }
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// Now returns the watermark: the due time of the latest popped event.
+func (q *EventQueue) Now() time.Duration { return q.now }
+
+// Schedule enqueues an event due at the given virtual time and returns it
+// (with its assigned sequence number); scheduling before the watermark is
+// rejected.
+func (q *EventQueue) Schedule(at time.Duration, payload int) (Event, error) {
+	if at < q.now {
+		return Event{}, fmt.Errorf("sim: schedule at %v before virtual now %v", at, q.now)
+	}
+	ev := Event{At: at, Seq: q.seq, Payload: payload}
+	q.seq++
+	q.h = append(q.h, ev)
+	q.up(len(q.h) - 1)
+	return ev, nil
+}
+
+// Pop removes and returns the earliest event in (At, Seq) order, advancing
+// the watermark to its due time; ok is false on an empty queue.
+func (q *EventQueue) Pop() (ev Event, ok bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	ev = q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h = q.h[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	q.now = ev.At
+	return ev, true
+}
+
+// Clear discards every pending event without advancing the watermark — the
+// cancellation path for straggler arrivals past a satisfied quorum, whose
+// due times must not drag the watermark ahead of the virtual clock.
+func (q *EventQueue) Clear() {
+	q.h = q.h[:0]
+}
+
+func (q *EventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.h[i].before(q.h[parent]) {
+			return
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *EventQueue) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < len(q.h) && q.h[l].before(q.h[least]) {
+			least = l
+		}
+		if r < len(q.h) && q.h[r].before(q.h[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		q.h[i], q.h[least] = q.h[least], q.h[i]
+		i = least
+	}
+}

@@ -1,0 +1,135 @@
+// Package sim is the deterministic discrete-event cluster simulator: a
+// virtual clock, a (time, seq)-ordered event queue and seeded per-link
+// latency models behind the core.Wiring seam. The existing protocol logic —
+// GAR rounds, attacks, compression negotiation, the async replay — runs
+// unchanged; what changes is the execution substrate: requests dispatch
+// directly to the registered node handlers in virtual-arrival order instead
+// of traveling goroutine-per-node RPC, so one process holds thousands of
+// simulated nodes and the same seed produces byte-identical artifacts
+// regardless of host load. (internal/simnet is the complementary *analytic*
+// performance model of the paper's throughput figures; this package
+// actually executes the training protocols, just on simulated time.)
+//
+// At zero configured latency the event queue pops arrivals in peer order,
+// which — combined with deterministic mode's canonical reply ordering — makes
+// a simulated run bit-identical to a live deterministic run at the same
+// seed; the equivalence goldens in the scenario package lock that property.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"garfield/internal/core"
+	"garfield/internal/rpc"
+)
+
+// Config parameterizes one simulated network.
+type Config struct {
+	// Seed drives the per-link latency draws (domain-separated per link, so
+	// adding a node never perturbs existing links' streams).
+	Seed uint64
+	// Latency is the base one-way message latency of every link.
+	Latency time.Duration
+	// Jitter adds a per-message uniform draw in [0, Jitter) on top.
+	Jitter time.Duration
+	// BandwidthMBps is the per-link bandwidth in megabytes per second used
+	// to charge payload serialization time; 0 means infinite (no size term).
+	BandwidthMBps float64
+}
+
+// Wiring implements core.Wiring over the discrete-event engine. It owns the
+// virtual clock, the event queue, the latency model and the handler
+// registry; cluster construction (core.NewClusterWith) registers every
+// node's handler here and the protocol runners then drive rounds whose
+// pulls advance virtual time.
+type Wiring struct {
+	clock *VirtualClock
+	lat   *LatencyModel
+
+	mu       sync.Mutex
+	handlers map[string]rpc.Handler
+	queue    *EventQueue
+	// pullLat records each completed pull round's virtual quorum-completion
+	// latency; Stats derives the step-latency percentiles from it.
+	pullLat []time.Duration
+	calls   int
+}
+
+var _ core.Wiring = (*Wiring)(nil)
+
+// New returns a Wiring for one simulated deployment.
+func New(cfg Config) *Wiring {
+	return &Wiring{
+		clock:    NewVirtualClock(),
+		lat:      NewLatencyModel(cfg.Seed, cfg.Latency, cfg.Jitter, cfg.BandwidthMBps),
+		handlers: make(map[string]rpc.Handler),
+		queue:    NewEventQueue(),
+	}
+}
+
+// Serve registers handler at addr; the returned closer withdraws it (pulls
+// to a withdrawn address fail like dials to a crashed node).
+func (w *Wiring) Serve(addr string, handler rpc.Handler) (io.Closer, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.handlers[addr]; ok {
+		return nil, fmt.Errorf("sim: listen %q: address in use", addr)
+	}
+	w.handlers[addr] = handler
+	return &unserve{w: w, addr: addr}, nil
+}
+
+type unserve struct {
+	w    *Wiring
+	addr string
+}
+
+func (u *unserve) Close() error {
+	u.w.mu.Lock()
+	defer u.w.mu.Unlock()
+	delete(u.w.handlers, u.addr)
+	return nil
+}
+
+// NewCaller returns the direct-dispatch rpc.Caller for the node at self.
+func (w *Wiring) NewCaller(self string) rpc.Caller {
+	return &Caller{w: w, self: self}
+}
+
+// Clock returns the simulation's virtual clock.
+func (w *Wiring) Clock() core.Clock { return w.clock }
+
+// Stats summarizes the engine's measurements so far: dispatched calls,
+// completed pull rounds, and the virtual-time percentiles of how long each
+// round took to reach its quorum. All virtual-time derived, hence
+// deterministic per seed.
+type Stats struct {
+	// Calls counts direct handler dispatches (failed ones included).
+	Calls int
+	// Pulls counts completed quorum pull rounds.
+	Pulls int
+	// StepP50 and StepP99 are percentiles of the per-pull virtual latency
+	// from round start to quorum completion.
+	StepP50 time.Duration
+	StepP99 time.Duration
+}
+
+// Stats returns the engine's measurement snapshot.
+func (w *Wiring) Stats() Stats {
+	w.mu.Lock()
+	lats := append([]time.Duration(nil), w.pullLat...)
+	calls := w.calls
+	w.mu.Unlock()
+	st := Stats{Calls: calls, Pulls: len(lats)}
+	if len(lats) == 0 {
+		return st
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	st.StepP50 = lats[(len(lats)-1)*50/100]
+	st.StepP99 = lats[(len(lats)-1)*99/100]
+	return st
+}

@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+
+	"garfield/internal/rpc"
+	"garfield/internal/tensor"
+)
+
+// popAll drains the queue and returns the events in pop order.
+func popAll(q *EventQueue) []Event {
+	var out []Event
+	for {
+		ev, ok := q.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, ev)
+	}
+}
+
+// TestEventQueuePopOrder inserts events at pseudo-random times and checks
+// the queue pops them in (At, Seq) order — the total order the whole
+// engine's determinism rests on.
+func TestEventQueuePopOrder(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 0xdeadbeef} {
+		rng := tensor.NewRNG(seed)
+		q := NewEventQueue()
+		const n = 500
+		want := make([]Event, 0, n)
+		for i := 0; i < n; i++ {
+			// Coarse buckets force plenty of ties, exercising the Seq
+			// tiebreak, not just the time ordering.
+			at := time.Duration(rng.Intn(20)) * time.Millisecond
+			ev, err := q.Schedule(at, i)
+			if err != nil {
+				t.Fatalf("seed %d: schedule: %v", seed, err)
+			}
+			if ev.Payload != i {
+				t.Fatalf("seed %d: payload %d != %d", seed, ev.Payload, i)
+			}
+			want = append(want, ev)
+		}
+		sort.Slice(want, func(a, b int) bool { return want[a].before(want[b]) })
+		got := popAll(q)
+		if len(got) != n {
+			t.Fatalf("seed %d: popped %d of %d", seed, len(got), n)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: pop %d = %+v, want %+v", seed, i, got[i], want[i])
+			}
+			if i > 0 && got[i].before(got[i-1]) {
+				t.Fatalf("seed %d: pop order inversion at %d", seed, i)
+			}
+		}
+	}
+}
+
+// TestEventQueueRejectsPast checks the watermark invariant: once an event
+// at time t popped, nothing can be scheduled before t.
+func TestEventQueueRejectsPast(t *testing.T) {
+	q := NewEventQueue()
+	if _, err := q.Schedule(10*time.Millisecond, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.Pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	if q.Now() != 10*time.Millisecond {
+		t.Fatalf("watermark %v, want 10ms", q.Now())
+	}
+	if _, err := q.Schedule(9*time.Millisecond, 0); err == nil {
+		t.Fatal("schedule before watermark succeeded")
+	}
+	if _, err := q.Schedule(10*time.Millisecond, 0); err != nil {
+		t.Fatalf("schedule at watermark rejected: %v", err)
+	}
+}
+
+// TestEventQueueClearKeepsWatermark checks the straggler-cancellation path:
+// Clear discards pending events but must not advance the watermark to their
+// due times — the next round schedules relative to the virtual clock, which
+// is at the quorum-completing arrival, not the last straggler's.
+func TestEventQueueClearKeepsWatermark(t *testing.T) {
+	q := NewEventQueue()
+	for _, at := range []time.Duration{time.Millisecond, time.Hour} {
+		if _, err := q.Schedule(at, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Pop() // quorum reached at 1ms; the 1h straggler is cancelled
+	q.Clear()
+	if q.Len() != 0 {
+		t.Fatalf("len %d after clear", q.Len())
+	}
+	if q.Now() != time.Millisecond {
+		t.Fatalf("watermark %v after clear, want 1ms", q.Now())
+	}
+	if _, err := q.Schedule(2*time.Millisecond, 0); err != nil {
+		t.Fatalf("post-clear schedule rejected: %v", err)
+	}
+}
+
+// TestVirtualClockMonotonic checks that sleeps and out-of-order AdvanceTo
+// calls never move the clock backwards.
+func TestVirtualClockMonotonic(t *testing.T) {
+	c := NewVirtualClock()
+	if got := c.Now(); !got.Equal(simEpoch) {
+		t.Fatalf("fresh clock at %v, want epoch %v", got, simEpoch)
+	}
+	c.Sleep(5 * time.Millisecond)
+	c.Sleep(-time.Hour)               // no-op
+	c.AdvanceTo(3 * time.Millisecond) // behind: no-op
+	if got := c.Elapsed(); got != 5*time.Millisecond {
+		t.Fatalf("elapsed %v, want 5ms", got)
+	}
+	c.AdvanceTo(9 * time.Millisecond)
+	if got := c.Elapsed(); got != 9*time.Millisecond {
+		t.Fatalf("elapsed %v, want 9ms", got)
+	}
+	if got := c.Now(); !got.Equal(simEpoch.Add(9 * time.Millisecond)) {
+		t.Fatalf("now %v, want epoch+9ms", got)
+	}
+}
+
+// TestLatencyDrawStability checks that a link's draw sequence is a pure
+// function of (seed, src, dst): interleaving draws on other links, or
+// drawing on links created in a different order, never perturbs it.
+func TestLatencyDrawStability(t *testing.T) {
+	const seed = 99
+	base, jitter := time.Millisecond, 500*time.Microsecond
+
+	// Reference: the a→b stream drawn alone.
+	ref := NewLatencyModel(seed, base, jitter, 0)
+	want := make([]time.Duration, 8)
+	for i := range want {
+		want[i] = ref.Draw("a", "b", 0)
+	}
+
+	// Same stream with heavy interleaving on other links (including the
+	// reverse direction, which must be an independent stream).
+	m := NewLatencyModel(seed, base, jitter, 0)
+	for _, l := range []struct{ src, dst string }{{"b", "a"}, {"c", "d"}, {"a", "c"}} {
+		m.Draw(l.src, l.dst, 0)
+	}
+	for i, w := range want {
+		for j := 0; j < i; j++ {
+			m.Draw("b", "a", 0) // interleave
+		}
+		if got := m.Draw("a", "b", 0); got != w {
+			t.Fatalf("draw %d = %v, want %v (interleaving perturbed the stream)", i, got, w)
+		}
+	}
+
+	// Draws are bounded by base + jitter and at least base.
+	for _, w := range want {
+		if w < base || w >= base+jitter {
+			t.Fatalf("draw %v outside [%v, %v)", w, base, base+jitter)
+		}
+	}
+
+	// Reverse direction differs from forward (directed links).
+	fwd := NewLatencyModel(seed, base, jitter, 0).Draw("a", "b", 0)
+	rev := NewLatencyModel(seed, base, jitter, 0).Draw("b", "a", 0)
+	if fwd == rev {
+		t.Fatal("forward and reverse link drew identically (streams not direction-separated)")
+	}
+}
+
+// TestLatencyZeroConfigIsZero checks the zero-latency configuration draws
+// exactly zero — the precondition for sim-vs-live bit-equality.
+func TestLatencyZeroConfigIsZero(t *testing.T) {
+	m := NewLatencyModel(7, 0, 0, 0)
+	for i := 0; i < 4; i++ {
+		if d := m.Draw("a", "b", 1<<20); d != 0 {
+			t.Fatalf("zero-config draw %d = %v", i, d)
+		}
+	}
+}
+
+// TestLatencyBandwidthTerm checks the payload-size term.
+func TestLatencyBandwidthTerm(t *testing.T) {
+	m := NewLatencyModel(7, 0, 0, 1) // 1 MB/s = 1 byte/µs
+	if d := m.Draw("a", "b", 1000); d != time.Millisecond {
+		t.Fatalf("1000 B at 1 MB/s = %v, want 1ms", d)
+	}
+}
+
+// echoHandler replies with the request vector scaled by a constant, so the
+// test can tell replies apart and verify cloning.
+type echoHandler struct{ scale float64 }
+
+func (h echoHandler) Handle(req rpc.Request) rpc.Response {
+	return rpc.Response{OK: true, Vec: req.Vec.Scale(h.scale)}
+}
+
+// TestWiringPullAdvancesClock runs a quorum pull through the full engine
+// and checks virtual time lands on the q-th arrival, stragglers are
+// cancelled, and the pull latency is recorded.
+func TestWiringPullAdvancesClock(t *testing.T) {
+	w := New(Config{Seed: 1, Latency: time.Millisecond})
+	for _, addr := range []string{"p0", "p1", "p2"} {
+		if _, err := w.Serve(addr, echoHandler{scale: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl := w.NewCaller("client")
+	replies, err := cl.PullFirstQ(context.Background(), []string{"p0", "p1", "p2"}, 2,
+		rpc.Request{Vec: tensor.Vector{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 2 {
+		t.Fatalf("%d replies, want 2", len(replies))
+	}
+	if got := replies[0].Vec; got[0] != 2 || got[1] != 4 {
+		t.Fatalf("reply %v, want [2 4]", got)
+	}
+	// Constant 1ms latency: quorum completes at the second arrival, still
+	// 1ms after start (all arrivals coincide), and the straggler event is
+	// gone.
+	if got := w.clock.Elapsed(); got != time.Millisecond {
+		t.Fatalf("clock at %v, want 1ms", got)
+	}
+	if w.queue.Len() != 0 {
+		t.Fatalf("%d straggler events left in queue", w.queue.Len())
+	}
+	st := w.Stats()
+	if st.Pulls != 1 || st.StepP50 != time.Millisecond {
+		t.Fatalf("stats %+v, want 1 pull at p50=1ms", st)
+	}
+}
+
+// TestWiringQuorumFailure checks the live client's failure accounting: with
+// too few live peers for q successes the pull fails with ErrQuorum and the
+// queue is drained.
+func TestWiringQuorumFailure(t *testing.T) {
+	w := New(Config{})
+	if _, err := w.Serve("p0", echoHandler{scale: 1}); err != nil {
+		t.Fatal(err)
+	}
+	cl := w.NewCaller("client")
+	_, err := cl.PullFirstQ(context.Background(), []string{"p0", "dead1", "dead2"}, 2, rpc.Request{})
+	if err == nil {
+		t.Fatal("pull with 1 live of q=2 succeeded")
+	}
+	if w.queue.Len() != 0 {
+		t.Fatalf("%d events left after failed pull", w.queue.Len())
+	}
+}
