@@ -1,0 +1,117 @@
+// Command garfield-lint runs the repo's invariant analyzers (see
+// internal/analysis): wallclock, seededrand, bufdiscipline and detorder.
+//
+// Standalone mode loads and checks package patterns directly:
+//
+//	garfield-lint ./...
+//	garfield-lint -only wallclock,detorder ./internal/core/...
+//
+// The binary also speaks the `go vet -vettool` protocol, so the same
+// analyzers run under cmd/go's package graph and action cache:
+//
+//	go build -o bin/garfield-lint ./cmd/garfield-lint
+//	go vet -vettool=$PWD/bin/garfield-lint ./...
+//
+// Exit status: 0 clean, 1 tool failure, 2 diagnostics found (the unitchecker
+// convention, which `go vet` surfaces as a failed vet run).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"garfield/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// The vettool handshake comes before flag parsing: cmd/go probes the
+	// tool's identity with -V=full and its flag schema with -flags, then
+	// invokes `tool [flags] <objdir>/vet.cfg` once per package.
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			analysis.PrintVersion(os.Stdout, "garfield-lint")
+			return 0
+		case "-flags", "--flags":
+			fmt.Println(`[{"Name":"only","Bool":false,"Usage":"comma-separated analyzer subset to run (default: all)"}]`)
+			return 0
+		}
+	}
+	fs := flag.NewFlagSet("garfield-lint", flag.ContinueOnError)
+	only := fs.String("only", "", "comma-separated analyzer subset to run (default: all)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "garfield-lint: %v\n", err)
+		return 1
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	rest := fs.Args()
+	if len(rest) == 1 && analysis.IsVetCfg(rest[0]) {
+		return analysis.VetUnit(analyzers, rest[0])
+	}
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "garfield-lint: %v\n", err)
+		return 1
+	}
+	pkgs, err := analysis.Load(dir, rest...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "garfield-lint: %v\n", err)
+		return 1
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "garfield-lint: %v\n", err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		found += len(diags)
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "garfield-lint: %d unsuppressed diagnostic(s)\n", found)
+		return 2
+	}
+	return 0
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	all := analysis.All()
+	if only == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have: wallclock, seededrand, bufdiscipline, detorder)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

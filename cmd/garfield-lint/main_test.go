@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"garfield/internal/analysis"
+)
+
+// cmd/go probes a vettool with -V=full and requires at least three
+// space-separated fields with "version" second (see buildid.go's toolID);
+// a format drift here silently breaks the -vettool integration.
+func TestVersionHandshakeFormat(t *testing.T) {
+	var buf strings.Builder
+	analysis.PrintVersion(&buf, "garfield-lint")
+	f := strings.Fields(buf.String())
+	if len(f) < 3 || f[0] != "garfield-lint" || f[1] != "version" {
+		t.Fatalf("version line %q does not satisfy the cmd/go toolID contract", buf.String())
+	}
+	if !strings.HasPrefix(f[len(f)-1], "buildID=") {
+		t.Fatalf("version line %q lacks the buildID= field", buf.String())
+	}
+}
+
+func TestHandshakeExitCodes(t *testing.T) {
+	if got := run([]string{"-V=full"}); got != 0 {
+		t.Errorf("run(-V=full) = %d, want 0", got)
+	}
+	if got := run([]string{"-flags"}); got != 0 {
+		t.Errorf("run(-flags) = %d, want 0", got)
+	}
+	if got := run([]string{"-list"}); got != 0 {
+		t.Errorf("run(-list) = %d, want 0", got)
+	}
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	all, err := selectAnalyzers("")
+	if err != nil || len(all) != len(analysis.All()) {
+		t.Fatalf("selectAnalyzers(\"\") = %d analyzers, err %v; want all %d", len(all), err, len(analysis.All()))
+	}
+	subset, err := selectAnalyzers("wallclock, detorder")
+	if err != nil || len(subset) != 2 {
+		t.Fatalf("selectAnalyzers subset = %v, err %v; want [wallclock detorder]", subset, err)
+	}
+	if _, err := selectAnalyzers("nosuch"); err == nil {
+		t.Fatal("selectAnalyzers(nosuch) succeeded, want error naming the unknown analyzer")
+	}
+}
+
+// The standalone mode end to end on a real (clean) package.
+func TestStandaloneCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped in -short")
+	}
+	if got := run([]string{"garfield/internal/tensor"}); got != 0 {
+		t.Errorf("run(garfield/internal/tensor) = %d, want 0 (lint-clean tree)", got)
+	}
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+)
+
+// The one escape hatch every analyzer honors:
+//
+//	//lint:allow <analyzer>(<reason>)
+//
+// placed on the offending line or the line directly above it. The reason is
+// mandatory: an allow with an empty reason suppresses nothing, so every
+// exemption in the tree states why the invariant does not apply at that site.
+// (This mirrors the repo's runtime posture — escape hatches exist, e.g.
+// scenario's LiveWorkerAttack, but each one carries its justification.)
+var allowRE = regexp.MustCompile(`^//\s*lint:allow\s+([a-zA-Z][a-zA-Z0-9_]*)\(([^)]*[^)\s][^)]*)\)\s*$`)
+
+// allowIndex maps file → line → analyzer names allowed on that line.
+type allowIndex map[string]map[int]map[string]bool
+
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+	idx := allowIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					idx[pos.Filename] = byLine
+				}
+				names := byLine[pos.Line]
+				if names == nil {
+					names = map[string]bool{}
+					byLine[pos.Line] = names
+				}
+				names[m[1]] = true
+			}
+		}
+	}
+	return idx
+}
+
+// suppresses reports whether d is covered by an allow comment on its own line
+// or the line directly above.
+func (idx allowIndex) suppresses(d Diagnostic) bool {
+	byLine := idx[d.Position.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[d.Position.Line][d.Analyzer] || byLine[d.Position.Line-1][d.Analyzer]
+}
+
+// AllowedLines is exposed for the fixture harness: it reports, per file, the
+// lines carrying a well-formed allow comment for the named analyzer.
+func AllowedLines(fset *token.FileSet, files []*ast.File, analyzer string) map[string]map[int]bool {
+	out := map[string]map[int]bool{}
+	for file, byLine := range buildAllowIndex(fset, files) {
+		for line, names := range byLine {
+			if names[analyzer] {
+				if out[file] == nil {
+					out[file] = map[int]bool{}
+				}
+				out[file][line] = true
+			}
+		}
+	}
+	return out
+}

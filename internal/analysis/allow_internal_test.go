@@ -1,0 +1,33 @@
+package analysis
+
+import "testing"
+
+// The allow hatch is load-bearing: a regex that accepts an empty reason would
+// let unexplained suppressions into the tree, and one that rejects valid forms
+// would push people toward disabling the linter. Pin both edges.
+func TestAllowCommentGrammar(t *testing.T) {
+	accept := []string{
+		"//lint:allow wallclock(live clock seam)",
+		"// lint:allow bufdiscipline(retained by the frame cache)",
+		"//lint:allow detorder(consumer is order-free)  ",
+		"//lint:allow seededrand(reason; punctuation, numbers 123 — fine)",
+	}
+	for _, c := range accept {
+		if m := allowRE.FindStringSubmatch(c); m == nil {
+			t.Errorf("allowRE rejected well-formed comment %q", c)
+		}
+	}
+	reject := []string{
+		"//lint:allow wallclock()",          // empty reason
+		"//lint:allow wallclock(   )",       // whitespace-only reason
+		"//lint:allow wallclock",            // no reason at all
+		"//lint:allow (missing analyzer)",   // no analyzer name
+		"// nolint:allow wallclock(reason)", // wrong directive
+		"//lint:allow wallclock(reason) trailing words",
+	}
+	for _, c := range reject {
+		if m := allowRE.FindStringSubmatch(c); m != nil {
+			t.Errorf("allowRE accepted malformed comment %q as %v", c, m)
+		}
+	}
+}

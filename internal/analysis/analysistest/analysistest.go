@@ -1,0 +1,197 @@
+// Package analysistest runs one analyzer over a directory of fixture sources
+// and asserts its diagnostics against `// want "substring"` comments — the
+// same contract as golang.org/x/tools/go/analysis/analysistest, rebuilt on
+// the standard library so the analyzer suite stays dependency-free.
+//
+// Fixture conventions:
+//
+//   - Every line expected to produce a diagnostic carries a comment
+//     `// want "substr"` (several quoted fragments assert several
+//     diagnostics). The fragment is matched as a substring of the message.
+//   - Lines carrying a well-formed //lint:allow comment assert the OPPOSITE:
+//     the harness fails if a diagnostic survives there, proving the escape
+//     hatch works. Seeded violations and annotated allowances therefore live
+//     side by side in the same fixture.
+//   - The package path the fixture is checked under is chosen by the caller,
+//     which is how scope-restricted analyzers (wallclock, detorder) are
+//     exercised both inside and outside their scope from one corpus.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"garfield/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run checks the fixture directory under pkgPath with analyzer a and asserts
+// the diagnostics match the fixture's want comments exactly.
+func Run(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, sources, err := parseFixtures(fset, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imports := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				t.Fatalf("unquoting import %s: %v", imp.Path.Value, err)
+			}
+			imports[path] = true
+		}
+	}
+	var patterns []string
+	for p := range imports {
+		patterns = append(patterns, p)
+	}
+	exports := map[string]string{}
+	if len(patterns) > 0 {
+		exports, err = analysis.LoadExports(".", patterns...)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkg, info, err := analysis.Check(fset, pkgPath, files, analysis.ExportImporter(fset, exports))
+	if err != nil {
+		t.Fatalf("type-checking fixtures in %s: %v", dir, err)
+	}
+	diags, err := analysis.RunAnalyzers(fset, files, pkg, info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]string{}
+	for file, src := range sources {
+		for i, line := range strings.Split(src, "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			k := key{file, i + 1}
+			for _, q := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+				want, err := strconv.Unquote(`"` + q[1] + `"`)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want fragment %q: %v", file, i+1, q[1], err)
+				}
+				wants[k] = append(wants[k], want)
+			}
+			if len(wants[k]) == 0 {
+				t.Fatalf("%s:%d: want comment with no quoted fragments", file, i+1)
+			}
+		}
+	}
+
+	allowed := analysis.AllowedLines(fset, files, a.Name)
+	for _, d := range diags {
+		k := key{d.Position.Filename, d.Position.Line}
+		if allowed[k.file][k.line] || allowed[k.file][k.line-1] {
+			t.Errorf("%s: diagnostic survived a //lint:allow comment: %s", d.Position, d.Message)
+			continue
+		}
+		idx := -1
+		for i, w := range wants[k] {
+			if strings.Contains(d.Message, w) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Position, d.Message)
+			continue
+		}
+		wants[k] = append(wants[k][:idx], wants[k][idx+1:]...)
+		if len(wants[k]) == 0 {
+			delete(wants, k)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, w)
+		}
+	}
+}
+
+// RunExpectClean asserts the analyzer reports nothing for the fixture
+// directory under pkgPath — the out-of-scope half of a scoped analyzer's
+// contract.
+func RunExpectClean(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, _, err := parseFixtures(fset, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imports := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports[path] = true
+			}
+		}
+	}
+	var patterns []string
+	for p := range imports {
+		patterns = append(patterns, p)
+	}
+	exports := map[string]string{}
+	if len(patterns) > 0 {
+		exports, err = analysis.LoadExports(".", patterns...)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkg, info, err := analysis.Check(fset, pkgPath, files, analysis.ExportImporter(fset, exports))
+	if err != nil {
+		t.Fatalf("type-checking fixtures in %s: %v", dir, err)
+	}
+	diags, err := analysis.RunAnalyzers(fset, files, pkg, info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: unexpected diagnostic outside analyzer scope: %s", d.Position, d.Message)
+	}
+}
+
+func parseFixtures(fset *token.FileSet, dir string) ([]*ast.File, map[string]string, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("no fixture sources in %s", dir)
+	}
+	var files []*ast.File
+	sources := map[string]string{}
+	for _, name := range names {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parsing fixture %s: %v", name, err)
+		}
+		files = append(files, f)
+		sources[name] = string(src)
+	}
+	return files, sources, nil
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"garfield/internal/analysis"
+	"garfield/internal/analysis/analysistest"
+)
+
+func TestBufDisciplineFixtures(t *testing.T) {
+	// bad.go carries the seeded leaks and use-after-release cases; ok.go in
+	// the same fixture package must contribute zero diagnostics (releases,
+	// escapes, optimistic joins, the allow hatch).
+	analysistest.Run(t, analysis.BufDiscipline, "testdata/bufdiscipline", "garfield/internal/compress")
+}

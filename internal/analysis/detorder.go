@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetOrderScope lists the packages whose outputs ride inside the
+// deterministic artifact contract: sweep CSV/JSON artifacts, wire replies,
+// roster snapshots, aggregation inputs, chaos invariant reports. Map
+// iteration order leaking into any ordered output there is exactly the bug
+// class behind the canonical-reply-ordering work in the scenario engine
+// (TestSweepBitIdentical and friends defend it at runtime).
+var DetOrderScope = []string{
+	"garfield/internal/core",
+	"garfield/internal/sim",
+	"garfield/internal/gar",
+	"garfield/internal/rpc",
+	"garfield/internal/compress",
+	"garfield/internal/scenario",
+	"garfield/internal/metrics",
+	"garfield/internal/tensor",
+	"garfield/internal/attack",
+	"garfield/internal/transport",
+	"garfield/internal/chaos",
+}
+
+// detOrderWriters are method/function names whose call inside a map-range
+// body emits into an ordered sink: stream writers, formatters, encoders and
+// hashers (a hash over map-ordered input is just as run-dependent as a CSV).
+var detOrderWriters = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Encode": true, "WriteAll": true, "Sum": true, "Sum64": true, "Sum32": true,
+}
+
+// DetOrder flags `range` over a map whose body feeds an ordered output — an
+// append to a slice that outlives the loop (unless that slice is later
+// sorted in the same function), a write/format/encode/hash call, or a
+// channel send — inside the deterministic-scope packages. Go randomizes map
+// iteration per run, so each of these turns a bit-identical artifact into a
+// per-run shuffle. The fix is mechanical: collect the keys, sort them,
+// iterate the sorted slice.
+var DetOrder = &Analyzer{
+	Name: "detorder",
+	Doc: "map iteration must not feed ordered outputs in deterministic " +
+		"packages; iterate sorted keys (escape hatch: //lint:allow detorder(reason))",
+	Run: runDetOrder,
+}
+
+func runDetOrder(pass *Pass) error {
+	if !inScope(pass.Pkg.Path(), DetOrderScope) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		// Walk function by function: the sort-suppression needs the
+		// statements that follow the loop in the enclosing function.
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			checkDetOrderFunc(pass, body)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDetOrderFunc(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != body {
+			return false // nested literals are walked as their own functions
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		reportDetOrder(pass, body, rng)
+		return true
+	})
+}
+
+// reportDetOrder reports the first order-sensitive effect in one map-range
+// body (one diagnostic per loop keeps the sweep reviewable; fixing the loop
+// fixes every effect in it).
+func reportDetOrder(pass *Pass, fn *ast.BlockStmt, rng *ast.RangeStmt) {
+	done := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if done {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n != rng && isMapRange(pass, n) {
+				// The nested map-range is reported on its own; its effects
+				// belong to it.
+				return false
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass.TypesInfo, call) || i >= len(n.Lhs) {
+					continue
+				}
+				dst, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Uses[dst]
+				if obj == nil || withinNode(rng, obj.Pos()) {
+					continue // loop-local accumulation dies with the loop
+				}
+				if sortedAfter(pass, fn, rng, obj) {
+					continue // collect-then-sort: the canonical fix
+				}
+				pass.Reportf(rng.For,
+					"map iteration order feeds ordered output: append to %q escapes the loop unsorted; iterate sorted keys or sort the result",
+					dst.Name)
+				done = true
+				return false
+			}
+		case *ast.CallExpr:
+			if f := funcOf(pass.TypesInfo, n); f != nil && detOrderWriters[f.Name()] {
+				pass.Reportf(rng.For,
+					"map iteration order feeds ordered output: %s inside the loop body emits per-iteration; iterate sorted keys",
+					f.Name())
+				done = true
+				return false
+			}
+		case *ast.SendStmt:
+			pass.Reportf(rng.For,
+				"map iteration order feeds ordered output: channel send inside the loop body; iterate sorted keys")
+			done = true
+			return false
+		}
+		return true
+	})
+}
+
+func isMapRange(pass *Pass, rng *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "append" && isUniverse(info, id)
+}
+
+func withinNode(n ast.Node, pos token.Pos) bool {
+	return pos >= n.Pos() && pos <= n.End()
+}
+
+// sortedAfter reports whether, after the range loop in the same function,
+// the accumulated slice is passed to a sort/slices call — the
+// collect-then-sort idiom that restores a canonical order.
+func sortedAfter(pass *Pass, fn *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		f := funcOf(pass.TypesInfo, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		if p := f.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if firstMention(pass.TypesInfo, arg, obj).IsValid() {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}

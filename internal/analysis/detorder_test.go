@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"garfield/internal/analysis"
+	"garfield/internal/analysis/analysistest"
+)
+
+func TestDetOrderFixtures(t *testing.T) {
+	analysistest.Run(t, analysis.DetOrder, "testdata/detorder", "garfield/internal/scenario")
+}
+
+func TestDetOrderOutOfScope(t *testing.T) {
+	// Human-facing CLIs may print maps in iteration order.
+	analysistest.RunExpectClean(t, analysis.DetOrder, "testdata/detorder_outofscope", "garfield/internal/experiments")
+}

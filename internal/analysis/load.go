@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -export -deps -json` in dir over patterns and
+// returns the decoded package stream. -export materializes export data for
+// every package in the dependency graph through the build cache, which is
+// what lets the type checker resolve imports without golang.org/x/tools:
+// the standard gc importer reads those files directly.
+func goList(dir string, patterns ...string) ([]listedPkg, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportImporter returns a types importer backed by an import-path → export
+// data file map (as produced by `go list -export`).
+func ExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// LoadExports materializes export data for the full dependency graph of
+// patterns (package paths or ./... patterns, resolved in dir) and returns the
+// import-path → export-file map. The fixture harness uses it to type-check
+// testdata sources against the real standard library.
+func LoadExports(dir string, patterns ...string) (map[string]string, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// Load enumerates the packages matching patterns (relative to dir), parses
+// their non-test sources and type-checks them against export data. Packages
+// that fail to list or type-check abort the load: the linter runs after
+// `go build ./...` in every workflow, so a broken package here is a loader
+// bug, not a user error worth soldiering past.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var targets []listedPkg
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		targets = append(targets, p)
+	}
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := Check(fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+		}
+		out = append(out, &Package{
+			Path:  t.ImportPath,
+			Dir:   t.Dir,
+			Fset:  fset,
+			Files: files,
+			Types: pkg,
+			Info:  info,
+		})
+	}
+	return out, nil
+}
+
+// Check type-checks one package's parsed files with full use/def/type/selection
+// recording — the shared resolution step behind Load, the vettool protocol and
+// the fixture harness.
+func Check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// randPkgs are the stochastic standard-library packages the analyzer polices.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// seededRandAllowed are the math/rand package-level functions that do NOT
+// draw from (or reseed) the process-global source: explicit constructors fed
+// by a caller-supplied seed. Everything else at package scope — rand.Intn,
+// rand.Float64, rand.Shuffle, rand.Seed, ... — goes through global state and
+// is forbidden module-wide.
+var seededRandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// SeededRand enforces the repo's randomness discipline across the whole
+// module: every random draw must flow through an explicitly seeded stream
+// (the SplitMix64 / FNV domain-separation pattern of core, scenario and
+// transport), never the process-global math/rand source, and no generator may
+// be seeded from the wall clock. The global source is shared mutable state —
+// any draw anywhere perturbs every later draw, which is exactly how
+// "unrelated change shifts the sweep artifacts" reproducibility bugs are
+// born; a time-seeded generator is different on every run by construction.
+// The runtime counterpart is TestAttackSeedDomainSeparated, which can only
+// catch collisions on exercised paths.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc: "forbid the global math/rand source and wall-clock-seeded RNGs; " +
+		"inject seeded streams (escape hatch: //lint:allow seededrand(reason))",
+	Run: runSeededRand,
+}
+
+func runSeededRand(pass *Pass) error {
+	// Nested constructors (rand.New(rand.NewSource(seed))) would report the
+	// same wall-clock read once per enclosing call; dedupe by position.
+	reported := map[token.Pos]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				obj := pass.TypesInfo.Uses[n]
+				if obj == nil || !isRandPkgFunc(obj) {
+					return true
+				}
+				if !seededRandAllowed[n.Name] {
+					pass.Reportf(n.Pos(),
+						"rand.%s draws from the process-global source; inject a seeded stream instead",
+						n.Name)
+				}
+			case *ast.CallExpr:
+				// rand.NewSource(...), rand.New(...), rand.NewPCG(...):
+				// legal constructors — unless the seed expression reads the
+				// wall clock, which makes every run unique by construction.
+				f := funcOf(pass.TypesInfo, n)
+				if f == nil || f.Pkg() == nil || !randPkgs[f.Pkg().Path()] || !seededRandAllowed[f.Name()] {
+					return true
+				}
+				for _, arg := range n.Args {
+					if id := wallClockReadIn(pass, arg); id != nil && !reported[id.Pos()] {
+						reported[id.Pos()] = true
+						pass.Reportf(id.Pos(),
+							"RNG seeded from the wall clock (time.%s): every run draws a different stream; derive the seed from configuration",
+							id.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// wallClockReadIn returns the first identifier inside expr resolving to a
+// host-clock read (time.Now, time.Since, ...), or nil.
+func wallClockReadIn(pass *Pass, expr ast.Expr) *ast.Ident {
+	var found *ast.Ident
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || !wallclockForbidden[id.Name] {
+			return true
+		}
+		if obj := pass.TypesInfo.Uses[id]; obj != nil && isPkgFunc(obj, "time", id.Name) {
+			found = id
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isRandPkgFunc(obj types.Object) bool {
+	f, ok := obj.(*types.Func)
+	if !ok || f.Pkg() == nil || !randPkgs[f.Pkg().Path()] {
+		return false
+	}
+	return f.Type().(*types.Signature).Recv() == nil
+}

@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"garfield/internal/analysis"
+	"garfield/internal/analysis/analysistest"
+)
+
+func TestSeededRandFixtures(t *testing.T) {
+	// seededrand is module-wide, so any package path is in scope.
+	analysistest.Run(t, analysis.SeededRand, "testdata/seededrand", "garfield/internal/experiments")
+}

@@ -1,0 +1,34 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"garfield/internal/analysis"
+)
+
+// TestTreeIsLintClean is the tree-clean gate as a test: the whole module must
+// pass every analyzer with zero unsuppressed diagnostics, exactly as
+// `garfield-lint ./...` and the CI lint job demand. A failure here means a
+// regression slipped in (or an analyzer grew a false positive — either way it
+// blocks).
+func TestTreeIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the full module; skipped in -short")
+	}
+	pkgs, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader returned no packages")
+	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, analysis.All())
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

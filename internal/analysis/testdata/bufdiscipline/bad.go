@@ -1,0 +1,68 @@
+// Fixture for the bufdiscipline analyzer (module-wide scope). GetBuf/PutBuf
+// stand in for the repo's pooled-buffer pairs (compress.GetBuf/PutBuf, the
+// rpc wire-buffer pool); the analyzer matches acquire/release functions by
+// name and (*sync.Pool).Get/Put by method identity, so local stubs exercise
+// the same code paths the real pools do.
+package fixture
+
+import "sync"
+
+func GetBuf(n int) []byte { return make([]byte, 0, n) }
+
+func PutBuf(b []byte) {}
+
+func process(b []byte) {}
+
+type envelope struct{ payload []byte }
+
+// Never released, never escaping: reported at the acquisition.
+func leakForgotten(n int) {
+	buf := GetBuf(n) // want "never released"
+	buf = append(buf, 1, 2, 3)
+	_ = len(buf)
+}
+
+// A return that only reads the buffer does not transfer ownership; the
+// missing release is reported on that path.
+func leakAtReturn(n int) int {
+	buf := GetBuf(n)
+	return len(buf) // want "not released on this return path"
+}
+
+// Released on the happy path but leaked on the early error return.
+func leakEarlyReturn(n int, fail bool) error {
+	buf := GetBuf(n)
+	if fail {
+		return errFixture // want "not released on this return path"
+	}
+	buf = append(buf, 0)
+	PutBuf(buf)
+	return nil
+}
+
+// Referenced after release: the pool may already have re-issued it.
+func useAfterRelease(n int) byte {
+	buf := GetBuf(n)
+	buf = append(buf, 7)
+	PutBuf(buf)
+	return buf[0] // want "used after release"
+}
+
+// A second release is a use-after-release too.
+func doubleRelease(n int) {
+	buf := GetBuf(n)
+	PutBuf(buf)
+	PutBuf(buf) // want "used after release"
+}
+
+// Raw sync.Pool acquisitions follow the same discipline.
+func leakSyncPool(pool *sync.Pool, fail bool) error {
+	box := pool.Get().(*[]byte)
+	if fail {
+		return errFixture // want "not released on this return path"
+	}
+	pool.Put(box)
+	return nil
+}
+
+var errFixture error

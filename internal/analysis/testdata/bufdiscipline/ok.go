@@ -1,0 +1,138 @@
+// The legal side of the bufdiscipline contract: straight-line release,
+// deferred release, branch-complete release, ownership transfers, and the
+// conservative cases the analyzer deliberately stays silent on.
+package fixture
+
+import "sync"
+
+// Straight-line acquire → use → release.
+func okStraightLine(n int) int {
+	buf := GetBuf(n)
+	buf = append(buf, make([]byte, n)...)
+	total := len(buf) + cap(buf)
+	PutBuf(buf)
+	return total
+}
+
+// Deferred release covers every path, early returns included.
+func okDeferred(n int, fail bool) error {
+	buf := GetBuf(n)
+	defer PutBuf(buf)
+	if fail {
+		return errFixture
+	}
+	buf = append(buf, 1)
+	return nil
+}
+
+// Released in both branches: complete.
+func okBothBranches(n int, big bool) {
+	buf := GetBuf(n)
+	if big {
+		buf = append(buf, 1)
+		PutBuf(buf)
+	} else {
+		PutBuf(buf)
+	}
+}
+
+// Returning the buffer transfers ownership to the caller (the GetBuf shape
+// itself).
+func okEscapeReturn(n int) []byte {
+	buf := GetBuf(n)
+	buf = append(buf, 9)
+	return buf
+}
+
+// Storing into a struct transfers ownership (the Response.Payload shape: the
+// serving loop releases it after the frame is written).
+func okEscapeStruct(n int) envelope {
+	buf := GetBuf(n)
+	return envelope{payload: buf}
+}
+
+// Passing to another function transfers ownership as far as an
+// intraprocedural analysis can know.
+func okEscapeCall(n int) {
+	buf := GetBuf(n)
+	process(buf)
+}
+
+// Handing to a goroutine transfers ownership.
+func okEscapeGo(n int) {
+	buf := GetBuf(n)
+	go process(buf)
+}
+
+// Captured by a closure: ownership is shared with the closure.
+func okEscapeClosure(n int) func() {
+	buf := GetBuf(n)
+	return func() { PutBuf(buf) }
+}
+
+// Element access, len/cap/copy and re-slicing are plain uses, not escapes —
+// the release is still required (and present).
+func okLocalUses(n int) byte {
+	buf := GetBuf(n)
+	buf = buf[:cap(buf)]
+	if len(buf) == 0 {
+		PutBuf(buf)
+		return 0
+	}
+	buf[0] = 42
+	dst := make([]byte, len(buf))
+	copy(dst, buf)
+	first := buf[0]
+	PutBuf(buf)
+	return first + dst[0]
+}
+
+// Released on one path only: the analyzer is optimistic at joins (the other
+// path may release later, as here) and stays silent rather than guessing.
+func okMaybeRelease(n int, early bool) {
+	buf := GetBuf(n)
+	if early {
+		PutBuf(buf)
+	}
+	if !early {
+		PutBuf(buf)
+	}
+}
+
+// Acquire and release per loop iteration.
+func okPerIteration(rounds, n int) {
+	for i := 0; i < rounds; i++ {
+		buf := GetBuf(n)
+		buf = append(buf, byte(i))
+		PutBuf(buf)
+	}
+}
+
+// Rebinding after a release starts a fresh tracked acquisition, not a
+// use-after-release.
+func okRebind(n int) {
+	buf := GetBuf(n)
+	PutBuf(buf)
+	buf = GetBuf(2 * n)
+	PutBuf(buf)
+}
+
+// The sync.Pool happy path, boxed-pointer style (the rpc wire-buffer pool
+// shape).
+func okSyncPool(pool *sync.Pool, n int) int {
+	box := pool.Get().(*[]byte)
+	if cap(*box) < n {
+		*box = make([]byte, n)
+	}
+	*box = (*box)[:n]
+	size := len(*box)
+	pool.Put(box)
+	return size
+}
+
+// The escape hatch: a justified allowance on the acquisition suppresses a
+// leak report (e.g. a buffer intentionally retained in a cache).
+func okAllowed(n int) int {
+	buf := GetBuf(n) //lint:allow bufdiscipline(fixture: retained beyond this call by design)
+	return cap(buf)
+}

@@ -1,0 +1,99 @@
+// Fixture for the detorder analyzer, type-checked under an in-scope package
+// path. Map ranges feeding ordered outputs are seeded violations; the
+// collect-then-sort idiom and order-free aggregations must stay silent.
+package fixture
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+)
+
+// Appending map keys into a slice that escapes the loop unsorted: the
+// classic per-run shuffle.
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "append to \"keys\" escapes the loop unsorted"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Writing rows straight out of map iteration: CSV-shuffle.
+func rowsUnsorted(w io.Writer, m map[string]float64) {
+	for k, v := range m { // want "Fprintf inside the loop body"
+		fmt.Fprintf(w, "%s,%g\n", k, v)
+	}
+}
+
+// Hashing map-ordered input is as run-dependent as printing it.
+func digestUnsorted(m map[string][]byte) uint64 {
+	h := fnv.New64a()
+	for _, v := range m { // want "Write inside the loop body"
+		h.Write(v)
+	}
+	return h.Sum64()
+}
+
+// Sending per-key work into a channel fixes downstream order to map order.
+func fanOutUnsorted(m map[string]int, ch chan string) {
+	for k := range m { // want "channel send inside the loop body"
+		ch <- k
+	}
+}
+
+// The canonical fix: collect, sort, then emit — silent.
+func keysSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Order-free aggregation over a map is fine.
+func sum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Rebuilding one map from another is order-free.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Loop-local accumulation dies with the iteration: no ordered output
+// escapes.
+func perKeyScratch(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// Ranging over a slice is always ordered; nothing to report.
+func sliceRange(xs []string, w io.Writer) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}
+
+// The escape hatch with a justification suppresses.
+func sanctioned(m map[string]int, ch chan string) {
+	//lint:allow detorder(fixture: consumer is an order-free set accumulator)
+	for k := range m {
+		ch <- k
+	}
+}

@@ -1,0 +1,15 @@
+// The same map-order leak as the detorder fixture, type-checked under a
+// package path outside the deterministic scope (a CLI printing a human
+// report): nothing may be reported.
+package fixture
+
+import (
+	"fmt"
+	"io"
+)
+
+func report(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}

@@ -1,0 +1,51 @@
+// Fixture for the seededrand analyzer (module-wide scope): the process-global
+// math/rand source and wall-clock-seeded generators are forbidden; explicitly
+// seeded streams are the sanctioned pattern.
+package fixture
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func globalSource() float64 {
+	n := rand.Intn(10)                                          // want "rand.Intn draws from the process-global source"
+	x := rand.Float64()                                         // want "rand.Float64 draws from the process-global source"
+	p := rand.Perm(4)                                           // want "rand.Perm draws from the process-global source"
+	rand.Shuffle(4, func(i, j int) { p[i], p[j] = p[j], p[i] }) // want "rand.Shuffle draws from the process-global source"
+	return x + float64(n+p[0])
+}
+
+func globalSourceV2() int {
+	return randv2.IntN(10) // want "rand.IntN draws from the process-global source"
+}
+
+// A function value laundering the global source is still a use.
+func laundered() func() int64 {
+	return rand.Int63 // want "rand.Int63 draws from the process-global source"
+}
+
+func clockSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "RNG seeded from the wall clock"
+}
+
+func clockSeededDirect() rand.Source {
+	return rand.NewSource(time.Now().Unix()) // want "RNG seeded from the wall clock"
+}
+
+// The sanctioned pattern: seeds flow in from configuration; draws go through
+// the injected stream.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64() // methods on an injected *rand.Rand are fine
+}
+
+func seededV2(seed uint64) uint64 {
+	return randv2.New(randv2.NewPCG(seed, 1)).Uint64()
+}
+
+// The escape hatch with a justification suppresses.
+func sanctioned() int {
+	return rand.Intn(6) //lint:allow seededrand(fixture: demo code outside any reproducibility contract)
+}

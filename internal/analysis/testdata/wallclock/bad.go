@@ -1,0 +1,65 @@
+// Fixture for the wallclock analyzer, type-checked under an in-scope package
+// path (garfield/internal/core). Every forbidden host-clock read is seeded
+// with a want; pure time arithmetic must stay silent; the //lint:allow hatch
+// must suppress.
+package fixture
+
+import "time"
+
+// Injected clock stand-in: the sanctioned pattern.
+type clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+func violations(ch chan<- time.Time) time.Duration {
+	t0 := time.Now()             // want "time.Now reads the host clock"
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the host clock"
+	elapsed := time.Since(t0)    // want "time.Since reads the host clock"
+	select {
+	case tick := <-time.After(time.Second): // want "time.After reads the host clock"
+		ch <- tick
+	default:
+	}
+	timer := time.NewTimer(elapsed) // want "time.NewTimer reads the host clock"
+	timer.Stop()
+	return elapsed
+}
+
+// A method-value reference launders the read through a variable; the
+// analyzer flags uses, not just calls.
+func laundered() time.Time {
+	read := time.Now // want "time.Now reads the host clock"
+	return read()
+}
+
+// Pure time arithmetic and construction never touch the host clock.
+func pure(c clock) time.Time {
+	base := time.Unix(0, 0)
+	c.Sleep(3 * time.Second)
+	return base.Add(2 * time.Hour).Truncate(time.Minute)
+}
+
+// The escape hatch: a justified allowance on the offending line suppresses.
+func sanctioned() time.Time {
+	return time.Now() //lint:allow wallclock(fixture: the one sanctioned wall-time source)
+}
+
+// An allowance on the line above the offending one also suppresses.
+func sanctionedAbove() {
+	//lint:allow wallclock(fixture: liveness pacing only)
+	time.Sleep(time.Millisecond)
+}
+
+// An allowance with an empty reason does NOT suppress: justifications are
+// mandatory.
+func unjustified() time.Time {
+	//lint:allow wallclock()
+	return time.Now() // want "time.Now reads the host clock"
+}
+
+// An allowance for a different analyzer does not suppress this one.
+func wrongAnalyzer() time.Time {
+	//lint:allow detorder(wrong hatch)
+	return time.Now() // want "time.Now reads the host clock"
+}

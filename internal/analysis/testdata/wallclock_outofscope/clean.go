@@ -1,0 +1,12 @@
+// The same host-clock reads as the wallclock fixture, type-checked under a
+// package path OUTSIDE the analyzer's scope (the experiments harness measures
+// real wall time on purpose): nothing may be reported.
+package fixture
+
+import "time"
+
+func measure() time.Duration {
+	t0 := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(t0)
+}

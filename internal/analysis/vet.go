@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// importerFunc adapts a function to types.Importer (the import-map
+// translation layer over the export-data importer).
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// This file implements the `go vet -vettool` unit-checker protocol from the
+// standard library alone (the role golang.org/x/tools/go/analysis/unitchecker
+// plays in the official framework), so `go vet
+// -vettool=$(which garfield-lint) ./...` runs the custom analyzers with
+// cmd/go's caching and package graph. The protocol, per
+// cmd/go/internal/work.(*Builder).vet:
+//
+//  1. `tool -V=full` must print "<name> version devel ... buildID=<id>"; the
+//     id keys cmd/go's action cache, so it must change when the tool does —
+//     we hash the executable.
+//  2. For each package, cmd/go invokes `tool [flags] <objdir>/vet.cfg` in the
+//     package directory. The cfg JSON names the sources, the import map and
+//     the export-data file of every dependency.
+//  3. The tool writes cfg.VetxOutput (analysis facts; ours are empty), prints
+//     diagnostics to stderr, and exits nonzero if it found any.
+//
+// Dependency packages are vetted with VetxOnly=true purely to collect facts;
+// since these analyzers are fact-free, those invocations short-circuit.
+
+// vetConfig mirrors cmd/go's vetConfig JSON (the fields this tool consumes).
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	NonGoFiles  []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// VetUnit runs analyzers over the single compilation unit described by the
+// vet config file at cfgPath, printing diagnostics to stderr. The returned
+// exit code follows unitchecker's convention: 0 clean, 1 tool failure, 2
+// diagnostics reported.
+func VetUnit(analyzers []*Analyzer, cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "garfield-lint: reading vet config: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "garfield-lint: parsing vet config %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// Facts first: cmd/go caches the vetx output file even for failed runs,
+	// and dependency-only (VetxOnly) invocations need nothing else.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "garfield-lint: writing vetx output: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "garfield-lint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	exports := make(map[string]string, len(cfg.PackageFile))
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	imp := ExportImporter(fset, exports)
+	lookup := func(path string) string {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			return mapped
+		}
+		return path
+	}
+	pkg, info, err := Check(fset, cfg.ImportPath, files, importerFunc(func(path string) (*types.Package, error) {
+		return imp.Import(lookup(path))
+	}))
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "garfield-lint: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	diags, err := RunAnalyzers(fset, files, pkg, info, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "garfield-lint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// PrintVersion emits the -V=full line cmd/go's toolID parser expects,
+// content-addressed by the executable so analyzer changes invalidate vet's
+// action cache.
+func PrintVersion(w io.Writer, progname string) {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", sum[:12])
+		}
+	}
+	fmt.Fprintf(w, "%s version devel buildID=%s\n", progname, id)
+}
+
+// IsVetCfg reports whether arg names a vet config file — the tail argument
+// cmd/go passes in vettool mode.
+func IsVetCfg(arg string) bool { return strings.HasSuffix(arg, ".cfg") }

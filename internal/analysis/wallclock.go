@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// WallclockScope lists the package-path prefixes where wall-clock reads are
+// forbidden: everything reachable from protocol runners and the discrete-event
+// simulator, where a stray time.Now would leak host time into runs whose every
+// timestamp must be a pure function of the seed (the contract the
+// TestSimHostLoadIndependent regression audits at runtime). Packages outside
+// the scope — the CLIs, the controller, the experiments harness — measure
+// real wall time on purpose and are not checked.
+var WallclockScope = []string{
+	"garfield/internal/core",
+	"garfield/internal/sim",
+	"garfield/internal/gar",
+	"garfield/internal/rpc",
+}
+
+// wallclockForbidden is the set of time-package functions that read or wait on
+// the host clock. Pure constructors and arithmetic (time.Duration, time.Unix,
+// t.Add, ...) stay legal: the invariant is about where time *comes from*, not
+// about the time types.
+var wallclockForbidden = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Wallclock forbids direct host-clock access in deterministic packages. Time
+// must be injected through core.Clock (live wiring: the wall clock; simulator:
+// the virtual clock), so that simulated runs stay bit-identical under any host
+// load. The check flags every *use* of a forbidden time function — calls and
+// method-value references alike — so a `f := time.Now; f()` laundering does
+// not slip through.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/Sleep/After/... in deterministic packages; " +
+		"inject core.Clock instead (escape hatch: //lint:allow wallclock(reason))",
+	Run: runWallclock,
+}
+
+func runWallclock(pass *Pass) error {
+	if !inScope(pass.Pkg.Path(), WallclockScope) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || !wallclockForbidden[id.Name] {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || !isPkgFunc(obj, "time", id.Name) {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"time.%s reads the host clock in deterministic package %s; thread core.Clock through instead",
+				id.Name, pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"garfield/internal/analysis"
+	"garfield/internal/analysis/analysistest"
+)
+
+func TestWallclockFixtures(t *testing.T) {
+	// Type-check the fixture under an in-scope package path: every listed
+	// clock read must be reported, the allow hatch must suppress, and an
+	// empty or mis-targeted allow must not.
+	analysistest.Run(t, analysis.Wallclock, "testdata/wallclock", "garfield/internal/core")
+}
+
+func TestWallclockOutOfScope(t *testing.T) {
+	// The same clock reads under a non-deterministic package path are legal.
+	analysistest.RunExpectClean(t, analysis.Wallclock, "testdata/wallclock_outofscope", "garfield/internal/experiments")
+}

@@ -186,6 +186,7 @@ func (g *gradQueues) tryCollect(now uint32, q, tau int) []asyncPick {
 
 // collect blocks until tryCollect succeeds or the deadline passes.
 func (g *gradQueues) collect(now uint32, q, tau int, timeout time.Duration) ([]asyncPick, error) {
+	//lint:allow wallclock(liveness timeout of the live async engine; deterministic async runs use the single-threaded replay, which never calls collect)
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	for {

@@ -133,6 +133,7 @@ func pullAggrGradsWithRetry(ctx context.Context, s *Server, q int) ([]tensor.Vec
 		select {
 		case <-ctx.Done():
 			return nil, fmt.Errorf("core: contract quorum: %w", ctx.Err())
+		//lint:allow wallclock(quorum-retry pacing in the decentralized topology, which the simulator rejects; affects liveness only, never a deterministic artifact)
 		case <-time.After(backoff):
 		}
 		if backoff < 100*time.Millisecond {

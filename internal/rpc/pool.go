@@ -341,6 +341,7 @@ func (c *PooledClient) Call(ctx context.Context, addr string, req Request) (tens
 			// serialized anyway, and releasing the lock mid-retry would
 			// reorder the request stream.
 			d := c.jitterBackoff(backoff)
+			//lint:allow wallclock(retry backoff paces live-network redials; simulated runs dispatch through sim.Caller and never enter PooledClient)
 			timer := time.NewTimer(d)
 			select {
 			case <-timer.C:

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 )
@@ -375,6 +376,15 @@ func (f *Faulty) Partition(groupA, groupB []string) {
 			}
 		}
 	}
+	// The conns tables are maps, so the collection order above is a per-run
+	// shuffle; sever in (dst, src) order so a partition's observable close
+	// sequence is a pure function of the cut, not of map layout.
+	sort.Slice(crossing, func(i, j int) bool {
+		if crossing[i].addr != crossing[j].addr {
+			return crossing[i].addr < crossing[j].addr
+		}
+		return crossing[i].src < crossing[j].src
+	})
 	for _, fc := range crossing {
 		if set, ok := f.conns[fc.addr]; ok {
 			delete(set, fc)

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# lint.sh — build and run garfield-lint, the repo's invariant analyzer suite
+# (wallclock, seededrand, bufdiscipline, detorder; see internal/analysis).
+#
+# Usage:
+#   scripts/lint.sh                 # lint the whole module
+#   scripts/lint.sh ./internal/...  # lint a subtree
+#   ONLY=wallclock scripts/lint.sh  # run a subset of analyzers
+#
+# Exit status is garfield-lint's: 0 clean, 1 tool failure, 2 diagnostics.
+# Suppress a finding only with a justified escape hatch on the offending
+# line (or the line above):
+#   //lint:allow <analyzer>(<reason — mandatory>)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p bin
+go build -o bin/garfield-lint ./cmd/garfield-lint
+
+ARGS=()
+if [ -n "${ONLY:-}" ]; then
+  ARGS+=("-only" "$ONLY")
+fi
+exec ./bin/garfield-lint "${ARGS[@]}" "${@:-./...}"
