@@ -2,6 +2,7 @@ package compress
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"sort"
 	"testing"
@@ -223,12 +224,13 @@ func TestTopKErrorFeedback(t *testing.T) {
 	}
 }
 
-// TestSelectTopKMatchesSortReference: the quickselect keeps exactly the set
-// a full (|v| desc, idx asc) sort would keep, across random inputs with
-// heavy ties.
+// TestSelectTopKMatchesSortReference: the threshold selection keeps exactly
+// the set a full (|v| desc, idx asc) sort would keep, across random inputs
+// with heavy ties (and the value quickselect agrees with the sorted k-th
+// magnitude).
 func TestSelectTopKMatchesSortReference(t *testing.T) {
 	rng := tensor.NewRNG(13)
-	for trial := 0; trial < 50; trial++ {
+	for trial := 0; trial < 80; trial++ {
 		d := 1 + int(rng.NormalVector(1, 40, 20)[0])
 		if d < 1 {
 			d = 1
@@ -238,26 +240,93 @@ func TestSelectTopKMatchesSortReference(t *testing.T) {
 			// Quantize to force magnitude ties.
 			v[i] = math.Round(v[i]*4) / 4
 		}
+		if trial%7 == 0 {
+			v[trial%d] = math.NaN() // poison ranks below every magnitude
+		}
 		k := 1 + trial%d
+
+		// Reference: full sort by (magnitude desc, index asc).
 		ref := make([]int, d)
 		for i := range ref {
 			ref[i] = i
 		}
-		sort.Slice(ref, func(a, b int) bool { return ranksBefore(v, ref[a], ref[b]) })
+		sort.Slice(ref, func(a, b int) bool {
+			ma, mb := magOf(v[ref[a]]), magOf(v[ref[b]])
+			if ma != mb {
+				return ma > mb
+			}
+			return ref[a] < ref[b]
+		})
 		want := append([]int(nil), ref[:k]...)
 		sort.Ints(want)
 
-		got := make([]int, d)
-		for i := range got {
-			got[i] = i
+		// The radix+quickselect k-th largest must match the sorted k-th.
+		mags := make([]float64, d)
+		for i, x := range v {
+			mags[i] = magOf(x)
 		}
-		selectTopK(v, got, k)
-		gotK := append([]int(nil), got[:k]...)
-		sort.Ints(gotK)
+		var scratch topKScratch
+		got, above := scratch.selectKthLargest(mags, k)
+		if ref := magOf(v[ref[k-1]]); got != ref {
+			t.Fatalf("trial %d (d=%d, k=%d): selectKthLargest=%v, sorted k-th=%v", trial, d, k, got, ref)
+		}
+		wantAbove := 0
+		for _, x := range v {
+			if magOf(x) > got {
+				wantAbove++
+			}
+		}
+		if above != wantAbove {
+			t.Fatalf("trial %d (d=%d, k=%d): above=%d, want %d", trial, d, k, above, wantAbove)
+		}
+
+		// And the encoder's kept index set must match the reference set.
+		c := Compressor{enc: EncTopK, k: k}
+		payload := c.compressTopK(nil, v)
+		gotK := make([]int, 0, k)
+		for n := 0; n < k; n++ {
+			gotK = append(gotK, int(binary.LittleEndian.Uint32(payload[8+12*n:])))
+		}
 		for i := range want {
 			if gotK[i] != want[i] {
-				t.Fatalf("trial %d (d=%d, k=%d): quickselect kept %v, sort reference %v", trial, d, k, gotK, want)
+				t.Fatalf("trial %d (d=%d, k=%d): threshold selection kept %v, sort reference %v", trial, d, k, gotK, want)
 			}
+		}
+	}
+}
+
+// TestCompressorSteadyStateZeroAlloc: after one warmup call has grown the
+// residual, the selection scratch and the decode receiver to size, a
+// compress+decode round trip performs zero heap allocations for every
+// encoding — the property the codec benchmarks report and the pull loop's
+// latency depends on.
+func TestCompressorSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation disables the append-make extend-in-place optimization; alloc counts are a build-mode artifact")
+	}
+	const d = 4096
+	v := testVector(d, 31)
+	for _, tc := range []struct {
+		enc Encoding
+		k   int
+	}{
+		{EncFP64, 0}, {EncFP16, 0}, {EncInt8, 0}, {EncTopK, d / 100},
+	} {
+		c, err := NewCompressor(tc.enc, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 0, c.MaxEncodedSize(d))
+		var out tensor.Vector
+		roundTripOnce := func() {
+			payload := c.Compress(buf[:0], v)
+			if err := Decode(&out, tc.enc, payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		roundTripOnce() // warmup: scratch and receiver grow to size here
+		if allocs := testing.AllocsPerRun(10, roundTripOnce); allocs != 0 {
+			t.Errorf("%v: %v allocs per steady-state round trip, want 0", tc.enc, allocs)
 		}
 	}
 }

@@ -41,6 +41,19 @@ func FuzzCompressDecode(f *testing.F) {
 	f.Add(byte(EncTopK), []byte{4, 0, 0, 0, 9, 0, 0, 0}) // k > d
 	f.Add(byte(255), []byte{1, 2, 3})
 	f.Add(byte(EncInt8), []byte{})
+	// The double-rounding boundary neighborhood: an fp16 payload holding the
+	// patterns whose float64 expansions sit on or next to the rounding
+	// boundaries the fp16 fix is about — max subnormal (0x03ff), min normal
+	// (0x0400), max finite (0x7bff), Inf (0x7c00), the canonical quiet NaN
+	// (0x7e00), an unquieted NaN payload (0x7c01), min subnormal (0x0001)
+	// and an odd-mantissa normal (0x3c01, the nearest-even tie's landing
+	// spot). The fixed-point re-encode in the fuzz body then walks the
+	// mutated neighborhoods through float16bits/float16frombits.
+	f.Add(byte(EncFP16), []byte{
+		8, 0, 0, 0, // d = 8
+		0xff, 0x03, 0x00, 0x04, 0xff, 0x7b, 0x00, 0x7c,
+		0x00, 0x7e, 0x01, 0x7c, 0x01, 0x00, 0x01, 0x3c,
+	})
 	f.Fuzz(func(t *testing.T, encByte byte, data []byte) {
 		enc := Encoding(encByte)
 		var out tensor.Vector

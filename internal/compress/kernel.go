@@ -1,0 +1,173 @@
+package compress
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// The codec kernel layer: every per-coordinate loop of the dense codecs and
+// the top-k fold runs through one of these dispatch functions, which pick the
+// AVX2/F16C assembly implementation (kernel_amd64.s) when the CPU supports it
+// and the portable generic implementation otherwise (and always for the tail
+// elements the vector kernels don't cover). The assembly mirrors the generic
+// code bit for bit — same rounding scheme, same operation order, no FMA
+// contraction — which the differential suite (kernel_test.go) locks across
+// alignments, tail lengths and special values. Builds with the `purego` tag
+// (or non-amd64 targets) compile only the generic path.
+
+// f16Encode writes the binary16 encoding of src to dst (2 bytes per
+// coordinate, little-endian). dst must hold 2*len(src) bytes.
+func f16Encode(dst []byte, src []float64) {
+	if useAsmCodec {
+		n := len(src) &^ 3
+		if n > 0 {
+			f16EncodeAsm(dst, src[:n])
+			dst, src = dst[2*n:], src[n:]
+		}
+	}
+	f16EncodeGeneric(dst, src)
+}
+
+// f16Decode expands len(dst) binary16 values from src into dst. src must
+// hold 2*len(dst) bytes.
+func f16Decode(dst []float64, src []byte) {
+	if useAsmCodec {
+		n := len(dst) &^ 3
+		if n > 0 {
+			f16DecodeAsm(dst[:n], src)
+			dst, src = dst[n:], src[2*n:]
+		}
+	}
+	f16DecodeGeneric(dst, src)
+}
+
+// int8Range returns the minimum and maximum of v plus whether v contains a
+// NaN (which poisons the whole chunk's range — see appendInt8). len(v) >= 1.
+// Zero results are normalized to +0 so the asm min/max (whose ±0 tie-breaks
+// differ from the scalar compare chain) and the generic path agree bitwise.
+func int8Range(v []float64) (lo, hi float64, nan bool) {
+	if useAsmCodec && len(v) >= 8 {
+		n := len(v) &^ 3
+		lo, hi, nan = int8RangeAsm(v[:n])
+		if n < len(v) {
+			tlo, thi, tnan := int8RangeGeneric(v[n:])
+			if tlo < lo {
+				lo = tlo
+			}
+			if thi > hi {
+				hi = thi
+			}
+			nan = nan || tnan
+		}
+	} else {
+		lo, hi, nan = int8RangeGeneric(v)
+	}
+	if lo == 0 {
+		lo = 0
+	}
+	if hi == 0 {
+		hi = 0
+	}
+	return lo, hi, nan
+}
+
+// int8Quant writes round((v[i]-lo)*rstep) clamped to [0, 255] into q.
+// len(q) == len(v); every v[i] is finite and rstep is finite and positive
+// (non-finite ranges take the constant-chunk path in appendInt8).
+func int8Quant(q []byte, v []float64, lo, rstep float64) {
+	if useAsmCodec {
+		n := len(v) &^ 3
+		if n > 0 {
+			int8QuantAsm(q, v[:n], lo, rstep)
+			q, v = q[n:], v[n:]
+		}
+	}
+	int8QuantGeneric(q, v, lo, rstep)
+}
+
+// int8Dequant writes lo + step*float64(q[i]) into dst. len(dst) == len(q).
+func int8Dequant(dst []float64, q []byte, lo, step float64) {
+	if useAsmCodec {
+		n := len(dst) &^ 3
+		if n > 0 {
+			int8DequantAsm(dst[:n], q, lo, step)
+			dst, q = dst[n:], q[n:]
+		}
+	}
+	int8DequantGeneric(dst, q, lo, step)
+}
+
+// foldAbs folds v into the error-feedback accumulator and records each
+// coordinate's selection magnitude: acc[i] += v[i], mags[i] = |acc[i]|, with
+// NaN mapped to -1 so poison coordinates rank below every real magnitude in
+// the top-k selection. All three slices share one length.
+func foldAbs(acc, v, mags []float64) {
+	if useAsmCodec {
+		n := len(acc) &^ 3
+		if n > 0 {
+			foldAbsAsm(acc[:n], v[:n], mags[:n])
+			acc, v, mags = acc[n:], v[n:], mags[n:]
+		}
+	}
+	foldAbsGeneric(acc, v, mags)
+}
+
+// --- portable generic kernels ---
+
+func f16EncodeGeneric(dst []byte, src []float64) {
+	for i, x := range src {
+		binary.LittleEndian.PutUint16(dst[2*i:], float16bits(x))
+	}
+}
+
+func f16DecodeGeneric(dst []float64, src []byte) {
+	for i := range dst {
+		dst[i] = float16frombits(binary.LittleEndian.Uint16(src[2*i:]))
+	}
+}
+
+func int8RangeGeneric(v []float64) (lo, hi float64, nan bool) {
+	lo, hi = v[0], v[0]
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+		if x != x {
+			nan = true
+		}
+	}
+	return lo, hi, nan
+}
+
+func int8QuantGeneric(q []byte, v []float64, lo, rstep float64) {
+	for i, x := range v {
+		c := math.Round((x - lo) * rstep)
+		if c < 0 {
+			c = 0
+		} else if c > 255 {
+			c = 255
+		}
+		q[i] = byte(c)
+	}
+}
+
+func int8DequantGeneric(dst []float64, q []byte, lo, step float64) {
+	for i, c := range q {
+		dst[i] = lo + step*float64(c)
+	}
+}
+
+func foldAbsGeneric(acc, v, mags []float64) {
+	for i := range acc {
+		a := acc[i] + v[i]
+		acc[i] = a
+		m := math.Abs(a)
+		if m != m {
+			m = -1
+		}
+		mags[i] = m
+	}
+}

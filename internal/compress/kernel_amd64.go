@@ -1,0 +1,39 @@
+//go:build amd64 && !purego
+
+package compress
+
+// useAsmCodec gates the AVX2/F16C codec kernels on runtime CPU support
+// (CPUID feature bits plus OS support for the YMM register state), following
+// the internal/gar dot-kernel dispatch pattern.
+var useAsmCodec = cpuSupportsAVX2F16C()
+
+// cpuSupportsAVX2F16C reports whether the CPU and OS support AVX2 and F16C.
+// Implemented in kernel_amd64.s.
+func cpuSupportsAVX2F16C() bool
+
+// f16EncodeAsm converts len(src) float64 (a multiple of 4) to binary16 into
+// dst using branch-free integer AVX2 — the exact rounding arithmetic of
+// float16bits on four 64-bit lanes at a time, so no narrowing conversion
+// ever double-rounds. Implemented in kernel_amd64.s.
+func f16EncodeAsm(dst []byte, src []float64)
+
+// f16DecodeAsm expands len(dst) binary16 values (a multiple of 4) from src
+// via F16C VCVTPH2PS + VCVTPS2PD. Implemented in kernel_amd64.s.
+func f16DecodeAsm(dst []float64, src []byte)
+
+// int8RangeAsm returns the min, max and NaN-presence of v (len a multiple
+// of 4, >= 4). Implemented in kernel_amd64.s.
+func int8RangeAsm(v []float64) (lo, hi float64, nan bool)
+
+// int8QuantAsm quantizes len(v) values (a multiple of 4) into q.
+// Implemented in kernel_amd64.s.
+func int8QuantAsm(q []byte, v []float64, lo, rstep float64)
+
+// int8DequantAsm dequantizes len(dst) codes (a multiple of 4) from q.
+// Implemented in kernel_amd64.s.
+func int8DequantAsm(dst []float64, q []byte, lo, step float64)
+
+// foldAbsAsm is the vectorized error-feedback fold: acc += v,
+// mags = |acc| with NaN mapped to -1 (lengths a multiple of 4).
+// Implemented in kernel_amd64.s.
+func foldAbsAsm(acc, v, mags []float64)

@@ -1,0 +1,417 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// Constants for the integer fp16 encode kernel (four 64-bit lanes each).
+
+DATA ·kM52+0(SB)/8, $0x000fffffffffffff
+DATA ·kM52+8(SB)/8, $0x000fffffffffffff
+DATA ·kM52+16(SB)/8, $0x000fffffffffffff
+DATA ·kM52+24(SB)/8, $0x000fffffffffffff
+GLOBL ·kM52(SB), RODATA|NOPTR, $32
+
+DATA ·kE2047+0(SB)/8, $2047
+DATA ·kE2047+8(SB)/8, $2047
+DATA ·kE2047+16(SB)/8, $2047
+DATA ·kE2047+24(SB)/8, $2047
+GLOBL ·kE2047(SB), RODATA|NOPTR, $32
+
+DATA ·kSIGN16+0(SB)/8, $0x8000
+DATA ·kSIGN16+8(SB)/8, $0x8000
+DATA ·kSIGN16+16(SB)/8, $0x8000
+DATA ·kSIGN16+24(SB)/8, $0x8000
+GLOBL ·kSIGN16(SB), RODATA|NOPTR, $32
+
+// (1<<41)-1: round-to-nearest bias minus the tie bit (mantissa shift 42).
+DATA ·kHALFM1+0(SB)/8, $0x000001ffffffffff
+DATA ·kHALFM1+8(SB)/8, $0x000001ffffffffff
+DATA ·kHALFM1+16(SB)/8, $0x000001ffffffffff
+DATA ·kHALFM1+24(SB)/8, $0x000001ffffffffff
+GLOBL ·kHALFM1(SB), RODATA|NOPTR, $32
+
+DATA ·kIMPL+0(SB)/8, $0x0010000000000000
+DATA ·kIMPL+8(SB)/8, $0x0010000000000000
+DATA ·kIMPL+16(SB)/8, $0x0010000000000000
+DATA ·kIMPL+24(SB)/8, $0x0010000000000000
+GLOBL ·kIMPL(SB), RODATA|NOPTR, $32
+
+DATA ·kC1008+0(SB)/8, $1008
+DATA ·kC1008+8(SB)/8, $1008
+DATA ·kC1008+16(SB)/8, $1008
+DATA ·kC1008+24(SB)/8, $1008
+GLOBL ·kC1008(SB), RODATA|NOPTR, $32
+
+DATA ·kC1009+0(SB)/8, $1009
+DATA ·kC1009+8(SB)/8, $1009
+DATA ·kC1009+16(SB)/8, $1009
+DATA ·kC1009+24(SB)/8, $1009
+GLOBL ·kC1009(SB), RODATA|NOPTR, $32
+
+DATA ·kC1050+0(SB)/8, $1050
+DATA ·kC1050+8(SB)/8, $1050
+DATA ·kC1050+16(SB)/8, $1050
+DATA ·kC1050+24(SB)/8, $1050
+GLOBL ·kC1050(SB), RODATA|NOPTR, $32
+
+DATA ·kC1051+0(SB)/8, $1051
+DATA ·kC1051+8(SB)/8, $1051
+DATA ·kC1051+16(SB)/8, $1051
+DATA ·kC1051+24(SB)/8, $1051
+GLOBL ·kC1051(SB), RODATA|NOPTR, $32
+
+DATA ·kONE+0(SB)/8, $1
+DATA ·kONE+8(SB)/8, $1
+DATA ·kONE+16(SB)/8, $1
+DATA ·kONE+24(SB)/8, $1
+GLOBL ·kONE(SB), RODATA|NOPTR, $32
+
+DATA ·k7C00+0(SB)/8, $0x7c00
+DATA ·k7C00+8(SB)/8, $0x7c00
+DATA ·k7C00+16(SB)/8, $0x7c00
+DATA ·k7C00+24(SB)/8, $0x7c00
+GLOBL ·k7C00(SB), RODATA|NOPTR, $32
+
+DATA ·k7E00+0(SB)/8, $0x7e00
+DATA ·k7E00+8(SB)/8, $0x7e00
+DATA ·k7E00+16(SB)/8, $0x7e00
+DATA ·k7E00+24(SB)/8, $0x7e00
+GLOBL ·k7E00(SB), RODATA|NOPTR, $32
+
+// VPERMD index selecting the low dword of each qword lane.
+DATA ·kPERM+0(SB)/4, $0
+DATA ·kPERM+4(SB)/4, $2
+DATA ·kPERM+8(SB)/4, $4
+DATA ·kPERM+12(SB)/4, $6
+DATA ·kPERM+16(SB)/4, $0
+DATA ·kPERM+20(SB)/4, $0
+DATA ·kPERM+24(SB)/4, $0
+DATA ·kPERM+28(SB)/4, $0
+GLOBL ·kPERM(SB), RODATA|NOPTR, $32
+
+DATA ·kABS+0(SB)/8, $0x7fffffffffffffff
+DATA ·kABS+8(SB)/8, $0x7fffffffffffffff
+DATA ·kABS+16(SB)/8, $0x7fffffffffffffff
+DATA ·kABS+24(SB)/8, $0x7fffffffffffffff
+GLOBL ·kABS(SB), RODATA|NOPTR, $32
+
+DATA ·kNEG1F+0(SB)/8, $-1.0
+DATA ·kNEG1F+8(SB)/8, $-1.0
+DATA ·kNEG1F+16(SB)/8, $-1.0
+DATA ·kNEG1F+24(SB)/8, $-1.0
+GLOBL ·kNEG1F(SB), RODATA|NOPTR, $32
+
+DATA ·kHALFF+0(SB)/8, $0.5
+DATA ·kHALFF+8(SB)/8, $0.5
+DATA ·kHALFF+16(SB)/8, $0.5
+DATA ·kHALFF+24(SB)/8, $0.5
+GLOBL ·kHALFF(SB), RODATA|NOPTR, $32
+
+DATA ·kONEF+0(SB)/8, $1.0
+DATA ·kONEF+8(SB)/8, $1.0
+DATA ·kONEF+16(SB)/8, $1.0
+DATA ·kONEF+24(SB)/8, $1.0
+GLOBL ·kONEF(SB), RODATA|NOPTR, $32
+
+DATA ·k255F+0(SB)/8, $255.0
+DATA ·k255F+8(SB)/8, $255.0
+DATA ·k255F+16(SB)/8, $255.0
+DATA ·k255F+24(SB)/8, $255.0
+GLOBL ·k255F(SB), RODATA|NOPTR, $32
+
+// func cpuSupportsAVX2F16C() bool
+//
+// True when CPUID reports F16C, AVX and OSXSAVE (leaf 1 ECX bits 29/28/27),
+// the OS enabled XMM+YMM state saving (XCR0 bits 1-2), and CPUID leaf 7
+// reports AVX2 (EBX bit 5).
+TEXT ·cpuSupportsAVX2F16C(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, R8
+	ANDL $(1<<27 | 1<<28 | 1<<29), R8
+	CMPL R8, $(1<<27 | 1<<28 | 1<<29)
+	JNE  no
+
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $(1<<5), BX
+	JZ   no
+
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func f16EncodeAsm(dst []byte, src []float64)
+//
+// Branch-free float64→binary16 on four 64-bit integer lanes per iteration:
+// the exact arithmetic of the scalar float16bits — normal path rounds the
+// 52-bit mantissa to 10 bits with a ties-to-even bias and lets the carry
+// ride into the exponent, the subnormal path uses per-lane variable shifts
+// (VPSRLVQ counts >= 64 conveniently yield 0, which IS the underflow-to-zero
+// answer), overflow clamps to 0x7c00 and NaN canonicalizes to 0x7e00.
+// No narrowing float conversion anywhere, hence no double rounding and no
+// MXCSR manipulation (which Go's asynchronous preemption does not preserve).
+TEXT ·f16EncodeAsm(SB), NOSPLIT, $0-48
+	MOVQ dst_base+0(FP), DI
+	MOVQ src_base+24(FP), SI
+	MOVQ src_len+32(FP), CX
+	SHRQ $2, CX
+	JZ   done
+
+	VMOVDQU ·kM52(SB), Y15
+	VMOVDQU ·kE2047(SB), Y14
+	VMOVDQU ·kHALFM1(SB), Y13
+	VMOVDQU ·kIMPL(SB), Y12
+	VMOVDQU ·k7C00(SB), Y11
+	VMOVDQU ·k7E00(SB), Y10
+	VMOVDQU ·kPERM(SB), Y9
+
+loop:
+	VMOVDQU (SI), Y0
+
+	// Field extraction: mant (Y1), biased exponent e (Y2), sign16 (Y3).
+	VPAND  Y15, Y0, Y1
+	VPSRLQ $52, Y0, Y2
+	VPAND  Y14, Y2, Y2
+	VPSRLQ $48, Y0, Y3
+	VPAND  ·kSIGN16(SB), Y3, Y3
+
+	// Normal path into Y5: m = (mant + (2^41-1) + lsb) >> 42,
+	// r = ((e-1008) << 10) + m, clamped to 0x7c00.
+	VPSRLQ $42, Y1, Y4
+	VPAND  ·kONE(SB), Y4, Y4
+	VPADDQ Y13, Y1, Y5
+	VPADDQ Y4, Y5, Y5
+	VPSRLQ $42, Y5, Y5
+	VPSUBQ ·kC1008(SB), Y2, Y4
+	VPSLLQ $10, Y4, Y4
+	VPADDQ Y4, Y5, Y5
+	VPCMPGTQ  Y11, Y5, Y6
+	VPBLENDVB Y6, Y11, Y5, Y5
+
+	// Subnormal path into Y7: s = 1051-e, variable-shift rounding of the
+	// mantissa with its implicit bit restored.
+	VPOR    Y12, Y1, Y4
+	VMOVDQU ·kC1051(SB), Y6
+	VPSUBQ  Y2, Y6, Y6
+	VPSRLVQ Y6, Y4, Y7
+	VPAND   ·kONE(SB), Y7, Y7
+	VPADDQ  Y4, Y7, Y7
+	VMOVDQU ·kC1050(SB), Y8
+	VPSUBQ  Y2, Y8, Y8
+	VMOVDQU ·kONE(SB), Y4
+	VPSLLVQ Y8, Y4, Y8
+	VPSUBQ  ·kONE(SB), Y8, Y8
+	VPADDQ  Y8, Y7, Y7
+	VPSRLVQ Y6, Y7, Y7
+
+	// Select subnormal where e <= 1008, then override NaN lanes
+	// (e == 2047 and mant != 0) with the canonical 0x7e00.
+	VMOVDQU   ·kC1009(SB), Y8
+	VPCMPGTQ  Y2, Y8, Y8
+	VPBLENDVB Y8, Y7, Y5, Y5
+	VPCMPEQQ  Y14, Y2, Y6
+	VPXOR     Y7, Y7, Y7
+	VPCMPEQQ  Y7, Y1, Y7
+	VPANDN    Y6, Y7, Y7
+	VPBLENDVB Y7, Y10, Y5, Y5
+	VPOR      Y3, Y5, Y5
+
+	// Pack the four 16-bit lane results into 8 output bytes.
+	VPERMD    Y5, Y9, Y5
+	VPACKUSDW X5, X5, X5
+	VMOVQ     X5, (DI)
+
+	ADDQ $32, SI
+	ADDQ $8, DI
+	DECQ CX
+	JNZ  loop
+
+done:
+	VZEROUPPER
+	RET
+
+// func f16DecodeAsm(dst []float64, src []byte)
+//
+// F16C expansion: VCVTPH2PS then VCVTPS2PD, both exact (and the hardware
+// SNaN quieting matches the fixed scalar float16frombits bit for bit).
+TEXT ·f16DecodeAsm(SB), NOSPLIT, $0-48
+	MOVQ dst_base+0(FP), DI
+	MOVQ src_base+24(FP), SI
+	MOVQ dst_len+8(FP), CX
+	SHRQ $2, CX
+	JZ   done
+
+loop:
+	VCVTPH2PS (SI), X0
+	VCVTPS2PD X0, Y1
+	VMOVUPD   Y1, (DI)
+	ADDQ $8, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  loop
+
+done:
+	VZEROUPPER
+	RET
+
+// func int8RangeAsm(v []float64) (lo, hi float64, nan bool)
+//
+// Running VMINPD/VMAXPD accumulators plus an unordered-compare OR that
+// detects NaN anywhere (the min/max lanes are meaningless once a NaN is
+// present; the caller poisons the chunk on the flag).
+TEXT ·int8RangeAsm(SB), NOSPLIT, $0-41
+	MOVQ v_base+0(FP), SI
+	MOVQ v_len+8(FP), CX
+
+	VMOVUPD (SI), Y0
+	VMOVUPD (SI), Y1
+	VCMPPD  $3, Y0, Y0, Y2
+	ADDQ    $32, SI
+	SUBQ    $4, CX
+	JZ      reduce
+
+loop:
+	VMOVUPD (SI), Y4
+	VMINPD  Y4, Y0, Y0
+	VMAXPD  Y4, Y1, Y1
+	VCMPPD  $3, Y4, Y4, Y3
+	VORPD   Y3, Y2, Y2
+	ADDQ    $32, SI
+	SUBQ    $4, CX
+	JNZ     loop
+
+reduce:
+	VEXTRACTF128 $1, Y0, X4
+	VMINPD       X4, X0, X0
+	VPERMILPD    $1, X0, X4
+	VMINSD       X4, X0, X0
+	VEXTRACTF128 $1, Y1, X4
+	VMAXPD       X4, X1, X1
+	VPERMILPD    $1, X1, X4
+	VMAXSD       X4, X1, X1
+	VMOVSD       X0, lo+24(FP)
+	VMOVSD       X1, hi+32(FP)
+	VMOVMSKPD    Y2, AX
+	TESTL        AX, AX
+	SETNE        nan+40(FP)
+	VZEROUPPER
+	RET
+
+// func int8QuantAsm(q []byte, v []float64, lo, rstep float64)
+//
+// q[i] = clamp(round((v[i]-lo)*rstep), 0, 255). round is exactly
+// math.Round (half away from zero): round-to-nearest-even via VROUNDPD,
+// then +1 wherever the discarded fraction was exactly one half — the
+// arguments here are always >= 0, so away-from-zero means up.
+TEXT ·int8QuantAsm(SB), NOSPLIT, $0-64
+	MOVQ q_base+0(FP), DI
+	MOVQ v_base+24(FP), SI
+	MOVQ v_len+32(FP), CX
+	SHRQ $2, CX
+	JZ   done
+
+	VBROADCASTSD lo+48(FP), Y12
+	VBROADCASTSD rstep+56(FP), Y13
+	VMOVUPD      ·kHALFF(SB), Y11
+	VMOVUPD      ·kONEF(SB), Y10
+	VMOVUPD      ·k255F(SB), Y9
+	VXORPD       Y8, Y8, Y8
+
+loop:
+	VMOVUPD  (SI), Y0
+	VSUBPD   Y12, Y0, Y0
+	VMULPD   Y13, Y0, Y0
+	VROUNDPD $0, Y0, Y1
+	VSUBPD   Y1, Y0, Y2
+	VCMPPD   $0, Y11, Y2, Y2
+	VANDPD   Y10, Y2, Y2
+	VADDPD   Y2, Y1, Y1
+	VMAXPD   Y8, Y1, Y1
+	VMINPD   Y9, Y1, Y1
+	VCVTTPD2DQY Y1, X1
+	VPACKUSDW   X1, X1, X1
+	VPACKUSWB   X1, X1, X1
+	VMOVD       X1, (DI)
+
+	ADDQ $32, SI
+	ADDQ $4, DI
+	DECQ CX
+	JNZ  loop
+
+done:
+	VZEROUPPER
+	RET
+
+// func int8DequantAsm(dst []float64, q []byte, lo, step float64)
+//
+// dst[i] = lo + step*float64(q[i]): separate multiply and add, exactly the
+// scalar expression (no FMA contraction on either path).
+TEXT ·int8DequantAsm(SB), NOSPLIT, $0-64
+	MOVQ dst_base+0(FP), DI
+	MOVQ q_base+24(FP), SI
+	MOVQ dst_len+8(FP), CX
+	SHRQ $2, CX
+	JZ   done
+
+	VBROADCASTSD lo+48(FP), Y12
+	VBROADCASTSD step+56(FP), Y13
+
+loop:
+	VPMOVZXBD (SI), X0
+	VCVTDQ2PD X0, Y0
+	VMULPD    Y13, Y0, Y0
+	VADDPD    Y12, Y0, Y0
+	VMOVUPD   Y0, (DI)
+	ADDQ $4, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  loop
+
+done:
+	VZEROUPPER
+	RET
+
+// func foldAbsAsm(acc, v, mags []float64)
+//
+// acc += v; mags = |acc| with NaN mapped to -1 (below every real magnitude,
+// so poison coordinates rank last in the top-k selection).
+TEXT ·foldAbsAsm(SB), NOSPLIT, $0-72
+	MOVQ acc_base+0(FP), DI
+	MOVQ v_base+24(FP), SI
+	MOVQ mags_base+48(FP), DX
+	MOVQ acc_len+8(FP), CX
+	SHRQ $2, CX
+	JZ   done
+
+	VMOVUPD ·kABS(SB), Y12
+	VMOVUPD ·kNEG1F(SB), Y11
+
+loop:
+	VMOVUPD   (DI), Y0
+	VADDPD    (SI), Y0, Y0
+	VMOVUPD   Y0, (DI)
+	VANDPD    Y12, Y0, Y1
+	VCMPPD    $3, Y0, Y0, Y2
+	VBLENDVPD Y2, Y11, Y1, Y1
+	VMOVUPD   Y1, (DX)
+
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, DX
+	DECQ CX
+	JNZ  loop
+
+done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,16 @@
+//go:build !amd64 || purego
+
+package compress
+
+// useAsmCodec is false on targets without the AVX2/F16C kernels (and under
+// the purego build tag, which CI uses to keep the generic path covered); the
+// stubs below exist only to satisfy the dispatch functions and are
+// unreachable.
+const useAsmCodec = false
+
+func f16EncodeAsm([]byte, []float64)                     { panic("compress: no asm kernels") }
+func f16DecodeAsm([]float64, []byte)                     { panic("compress: no asm kernels") }
+func int8RangeAsm([]float64) (float64, float64, bool)    { panic("compress: no asm kernels") }
+func int8QuantAsm([]byte, []float64, float64, float64)   { panic("compress: no asm kernels") }
+func int8DequantAsm([]float64, []byte, float64, float64) { panic("compress: no asm kernels") }
+func foldAbsAsm(acc, v, mags []float64)                  { panic("compress: no asm kernels") }

@@ -1,0 +1,299 @@
+//go:build amd64 && !purego
+
+package compress
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// The differential suite: every assembly kernel must be bit-identical to its
+// generic counterpart across alignments, tail lengths, and the full special
+// value zoo (NaN payloads, infinities, subnormals, signed zeros, rounding-tie
+// midpoints). The generic path itself is locked by the exhaustive and
+// big.Float suites in quant_test.go, so agreement here certifies the asm.
+// Builds with -tags purego compile none of this and run the generic path
+// through the ordinary codec tests instead.
+
+// withGenericCodec runs f with the asm kernels force-disabled so the dispatch
+// functions take the generic path. Not safe for parallel tests.
+func withGenericCodec(f func()) {
+	old := useAsmCodec
+	useAsmCodec = false
+	defer func() { useAsmCodec = old }()
+	f()
+}
+
+func skipIfNoAsm(t *testing.T) {
+	t.Helper()
+	if !useAsmCodec {
+		t.Skip("CPU lacks AVX2/F16C; asm kernels not in use")
+	}
+}
+
+// tortureFloats returns a corpus covering every structural case of the fp16
+// encode: all four rounding paths, both tie directions, saturation, deep
+// underflow, and non-finite values with assorted payloads.
+func tortureFloats() []float64 {
+	vals := []float64{
+		0, math.Copysign(0, -1),
+		1, -1, 0.5, 1.5, 2.5, 65504, -65504,
+		65519.999, 65520, 65520.0000001, 100000, -1e300,
+		math.Inf(1), math.Inf(-1),
+		math.NaN(), -math.NaN(),
+		math.Float64frombits(0x7ff0000000000001), // signaling NaN
+		math.Float64frombits(0xfff8dead00000001),
+		0x1p-14, 0x1p-15, 0x1p-24, 0x1p-25, 0x1p-26, 0x1p-1074,
+		0x1p-25 + 0x1p-77, // just above the zero/subnormal tie
+		-0x1p-24, -0x1p-25,
+		1 + 0x1p-11, 1 + 0x1p-11 + 0x1p-53, 1 + 0x1p-11 - 0x1p-53,
+		math.Float64frombits(0x3ff0000000000001),
+		6.10351562e-05, // largest fp16 subnormal neighborhood
+	}
+	// Every fp16-exact value and its tie midpoints against the next value up.
+	for m := uint32(0); m < 0x7c00; m++ {
+		a := float16frombits(uint16(m))
+		b := float16frombits(uint16(m + 1))
+		if m+1 == 0x7c00 {
+			b = 65536 // overflow boundary: first value past the fp16 range
+		}
+		mid := a + (b-a)/2
+		vals = append(vals, a, -a, mid, -mid,
+			math.Nextafter(mid, math.Inf(-1)), math.Nextafter(mid, math.Inf(1)))
+	}
+	rng := uint64(0x1234_5678_9abc_def0)
+	next := func() uint64 {
+		rng += 0x9e3779b97f4a7c15
+		z := rng
+		z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+		z = (z ^ z>>27) * 0x94d049bb133111eb
+		return z ^ z>>31
+	}
+	for i := 0; i < 20000; i++ {
+		// Exponent spread biased around the fp16 range so every path is hit.
+		e := 1023 - 32 + int(next()%64)
+		bits := next()&(1<<52-1) | uint64(e)<<52 | next()<<63
+		vals = append(vals, math.Float64frombits(bits))
+	}
+	return vals
+}
+
+func TestF16EncodeAsmMatchesGeneric(t *testing.T) {
+	skipIfNoAsm(t)
+	vals := tortureFloats()
+	// Sweep lengths (tail handling) and start offsets (alignment).
+	for off := 0; off < 5; off++ {
+		for _, d := range []int{1, 3, 4, 5, 7, 8, 11, 12, 16, 31, 64, 100, 1000} {
+			if off+d > len(vals) {
+				continue
+			}
+			src := vals[off : off+d]
+			got := make([]byte, 2*d)
+			want := make([]byte, 2*d)
+			f16Encode(got, src)
+			f16EncodeGeneric(want, src)
+			if !bytes.Equal(got, want) {
+				for i := 0; i < d; i++ {
+					if got[2*i] != want[2*i] || got[2*i+1] != want[2*i+1] {
+						t.Fatalf("off=%d d=%d: f16Encode(%x = %g) asm=%02x%02x generic=%02x%02x",
+							off, d, math.Float64bits(src[i]), src[i],
+							got[2*i+1], got[2*i], want[2*i+1], want[2*i])
+					}
+				}
+			}
+		}
+	}
+	// Bulk pass over the whole corpus at once (long-vector code path).
+	got := make([]byte, 2*len(vals))
+	want := make([]byte, 2*len(vals))
+	f16Encode(got, vals)
+	f16EncodeGeneric(want, vals)
+	if !bytes.Equal(got, want) {
+		t.Fatal("bulk f16Encode diverges from generic")
+	}
+}
+
+func TestF16DecodeAsmMatchesGenericExhaustive(t *testing.T) {
+	skipIfNoAsm(t)
+	// All 65536 bit patterns, decoded 4 per group plus a tail.
+	src := make([]byte, 2*65536+2)
+	for p := 0; p < 65536; p++ {
+		src[2*p] = byte(p)
+		src[2*p+1] = byte(p >> 8)
+	}
+	src[2*65536] = 0x01 // odd tail byte pair
+	d := 65537
+	got := make([]float64, d)
+	want := make([]float64, d)
+	f16Decode(got, src)
+	f16DecodeGeneric(want, src)
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("pattern %#04x: asm decode %x (%g), generic %x (%g)",
+				i, math.Float64bits(got[i]), got[i], math.Float64bits(want[i]), want[i])
+		}
+	}
+}
+
+func TestInt8RangeAsmMatchesGeneric(t *testing.T) {
+	skipIfNoAsm(t)
+	cases := [][]float64{
+		{1, 2, 3, 4, 5, 6, 7, 8},
+		{-1, -2, -3, -4, -5, -6, -7, -8, -9},
+		{0, math.Copysign(0, -1), 0, math.Copysign(0, -1), 1, -1, 0, 0},
+		{math.Copysign(0, -1), math.Copysign(0, -1), math.Copysign(0, -1), math.Copysign(0, -1), math.Copysign(0, -1), math.Copysign(0, -1), math.Copysign(0, -1), math.Copysign(0, -1)},
+		{math.Inf(1), math.Inf(-1), 0, 1, 2, 3, 4, 5},
+		{5, 5, 5, 5, 5, 5, 5, 5, 5, 5},
+	}
+	// NaN at every position of a 17-element vector.
+	for p := 0; p < 17; p++ {
+		v := make([]float64, 17)
+		for i := range v {
+			v[i] = float64(i) - 8
+		}
+		v[p] = math.NaN()
+		cases = append(cases, v)
+	}
+	rng := uint64(7)
+	next := func() float64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return float64(int64(rng>>11))*0x1p-52 - 0.5
+	}
+	for _, d := range []int{8, 9, 11, 12, 15, 16, 64, 257, 1000} {
+		v := make([]float64, d)
+		for i := range v {
+			v[i] = next()
+		}
+		cases = append(cases, v)
+	}
+	for ci, v := range cases {
+		lo, hi, nan := int8Range(v)
+		var glo, ghi float64
+		var gnan bool
+		withGenericCodec(func() { glo, ghi, gnan = int8Range(v) })
+		if nan != gnan {
+			t.Fatalf("case %d: nan flag asm=%v generic=%v", ci, nan, gnan)
+		}
+		if nan {
+			continue // lo/hi unspecified once the chunk is poisoned
+		}
+		if math.Float64bits(lo) != math.Float64bits(glo) || math.Float64bits(hi) != math.Float64bits(ghi) {
+			t.Fatalf("case %d: asm range [%x, %x], generic [%x, %x]",
+				ci, math.Float64bits(lo), math.Float64bits(hi),
+				math.Float64bits(glo), math.Float64bits(ghi))
+		}
+	}
+}
+
+func TestInt8QuantAsmMatchesGeneric(t *testing.T) {
+	skipIfNoAsm(t)
+	type quantCase struct {
+		v         []float64
+		lo, rstep float64
+	}
+	cases := []quantCase{
+		// Exact tie midpoints: (x-lo)*rstep lands on k+0.5 precisely, which
+		// exercises the round-half-away fix-up lane by lane.
+		{[]float64{0.5, 1.5, 2.5, 3.5, 127.5, 253.5, 254.5, 255.5}, 0, 1},
+		{[]float64{0.25, 0.75, 1.25, 1.75, 63.5, 64.25, 300, -5}, 0, 2},
+		{[]float64{10.5, 11.5, 12.49999999999, 12.5, 13.5000000001, 260, 270.5, -1}, 10, 1},
+	}
+	rng := uint64(42)
+	next := func() float64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return float64(rng>>11) * 0x1p-52
+	}
+	for _, d := range []int{1, 4, 5, 8, 13, 16, 256, 1000} {
+		v := make([]float64, d)
+		lo := next()*10 - 5
+		hi := lo + next()*20 + 1e-9
+		for i := range v {
+			v[i] = lo + next()*(hi-lo)
+		}
+		v[0], v[d-1] = lo, hi
+		rstep := 255 / (hi - lo)
+		cases = append(cases, quantCase{v, lo, rstep})
+	}
+	for ci, c := range cases {
+		got := make([]byte, len(c.v))
+		want := make([]byte, len(c.v))
+		int8Quant(got, c.v, c.lo, c.rstep)
+		withGenericCodec(func() { int8Quant(want, c.v, c.lo, c.rstep) })
+		if !bytes.Equal(got, want) {
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("case %d: quant(%g; lo=%g rstep=%g) asm=%d generic=%d",
+						ci, c.v[i], c.lo, c.rstep, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestInt8DequantAsmMatchesGeneric(t *testing.T) {
+	skipIfNoAsm(t)
+	q := make([]byte, 256+7)
+	for i := range q {
+		q[i] = byte(i)
+	}
+	// Includes the pathological ranges a corrupt or Byzantine payload can
+	// carry: negative step, zero step, infinities, NaN.
+	params := []struct{ lo, step float64 }{
+		{0, 1}, {-3.25, 0.0078125}, {1e30, 2e28}, {0, -1.5},
+		{5, 0}, {0, math.Inf(1)}, {math.NaN(), 1}, {0, math.NaN()},
+		{-0.5, 1e-300}, {math.Float64frombits(0x8000000000000000), 0.25},
+	}
+	for _, p := range params {
+		for _, d := range []int{1, 3, 4, 8, 9, 256, len(q)} {
+			got := make([]float64, d)
+			want := make([]float64, d)
+			int8Dequant(got, q[:d], p.lo, p.step)
+			withGenericCodec(func() { int8Dequant(want, q[:d], p.lo, p.step) })
+			for i := range got {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("lo=%g step=%g d=%d code=%d: asm=%x generic=%x",
+						p.lo, p.step, d, q[i], math.Float64bits(got[i]), math.Float64bits(want[i]))
+				}
+			}
+		}
+	}
+}
+
+func TestFoldAbsAsmMatchesGeneric(t *testing.T) {
+	skipIfNoAsm(t)
+	rng := uint64(99)
+	next := func() float64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return float64(int64(rng>>11))*0x1p-52 - 0.5
+	}
+	for _, d := range []int{1, 3, 4, 5, 8, 17, 64, 1000} {
+		acc := make([]float64, d)
+		vec := make([]float64, d)
+		for i := range acc {
+			acc[i], vec[i] = next(), next()
+		}
+		if d >= 5 {
+			// NaN, Inf-Inf cancellation and -0 through both paths.
+			acc[1], vec[1] = math.NaN(), 1
+			acc[2], vec[2] = math.Inf(1), math.Inf(-1)
+			acc[3], vec[3] = math.Copysign(0, -1), math.Copysign(0, -1)
+			acc[4], vec[4] = math.Inf(-1), 5
+		}
+		acc2 := append([]float64(nil), acc...)
+		magsA := make([]float64, d)
+		magsG := make([]float64, d)
+		foldAbs(acc, vec, magsA)
+		withGenericCodec(func() { foldAbs(acc2, vec, magsG) })
+		for i := range magsA {
+			if math.Float64bits(acc[i]) != math.Float64bits(acc2[i]) {
+				t.Fatalf("d=%d i=%d: acc asm=%x generic=%x", d, i,
+					math.Float64bits(acc[i]), math.Float64bits(acc2[i]))
+			}
+			if math.Float64bits(magsA[i]) != math.Float64bits(magsG[i]) {
+				t.Fatalf("d=%d i=%d: mags asm=%x generic=%x", d, i,
+					math.Float64bits(magsA[i]), math.Float64bits(magsG[i]))
+			}
+		}
+	}
+}

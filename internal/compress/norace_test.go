@@ -1,0 +1,7 @@
+//go:build !race
+
+package compress
+
+// raceEnabled reports whether the race detector is compiled in; see
+// race_test.go for why allocation assertions skip under it.
+const raceEnabled = false

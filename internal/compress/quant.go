@@ -61,10 +61,7 @@ func appendFP16(dst []byte, v tensor.Vector) []byte {
 	dst = append(dst, make([]byte, fp16Size(len(v)))...)
 	b := dst[off:]
 	binary.LittleEndian.PutUint32(b, uint32(len(v)))
-	b = b[4:]
-	for i, x := range v {
-		binary.LittleEndian.PutUint16(b[2*i:], float16bits(x))
-	}
+	f16Encode(b[4:], v)
 	return dst
 }
 
@@ -80,85 +77,86 @@ func decodeFP16(out *tensor.Vector, data []byte, maxDim int) error {
 		return fmt.Errorf("%w: fp16 payload of %d bytes for %d values", ErrCorrupt, len(data), n)
 	}
 	dst := resize(out, n)
-	b := data[4:]
-	for i := range dst {
-		dst[i] = float16frombits(binary.LittleEndian.Uint16(b[2*i:]))
-	}
+	f16Decode(dst, data[4:])
 	return nil
 }
 
 // float16bits converts x to IEEE-754 binary16, rounding to nearest-even.
-// The conversion goes through float32 first (exact for every float64 a
-// gradient pipeline produces at half-precision scale) and then narrows
-// mantissa and exponent by hand.
+// The rounding works directly on the float64 bits: narrowing through float32
+// first — the original implementation — double-rounds, because a float64
+// just above a half-precision tie midpoint can land exactly on the midpoint
+// in float32, after which ties-to-even picks the wrong fp16 neighbor. The
+// quant_test.go suites lock this against an exhaustive neighborhood walk and
+// a big.Float reference, and the branch-free rounding below is the exact
+// scheme the AVX2 encode kernel mirrors, so asm and purego stay
+// bit-identical. Out-of-range magnitudes saturate to ±Inf; NaN canonicalizes
+// to sign|0x7e00.
 func float16bits(x float64) uint16 {
-	f := math.Float32bits(float32(x))
-	sign := uint16(f>>16) & 0x8000
-	exp := int32(f>>23&0xff) - 127 + 15
-	mant := f & 0x7fffff
-
+	b := math.Float64bits(x)
+	sign := uint16(b>>48) & 0x8000
+	e := int(b >> 52 & 0x7ff)
+	mant := b & (1<<52 - 1)
+	if e == 0x7ff { // Inf or NaN
+		if mant != 0 {
+			return sign | 0x7e00 // NaN canonicalizes (the sign survives)
+		}
+		return sign | 0x7c00
+	}
+	exp := e - 1023 + 15
 	switch {
 	case exp >= 0x1f:
-		// Overflow to Inf; NaN keeps a mantissa bit.
-		if int32(f>>23&0xff) == 0xff && mant != 0 {
-			return sign | 0x7e00 // quiet NaN
-		}
-		return sign | 0x7c00 // ±Inf
+		// |x| >= 2^16: past every finite binary16, saturate to Inf.
+		return sign | 0x7c00
 	case exp <= 0:
-		// Subnormal or underflow to zero.
+		// Subnormal or underflow: |x| < 2^-14.
 		if exp < -10 {
+			// Below half the smallest subnormal (or a tie with it, which
+			// rounds to the even zero): signed zero.
 			return sign
 		}
-		mant |= 0x800000 // implicit leading bit
-		shift := uint32(14 - exp)
-		half := uint32(1) << (shift - 1)
-		m := mant >> shift
-		// Round to nearest, ties to even.
-		if rem := mant & ((1 << shift) - 1); rem > half || (rem == half && m&1 == 1) {
-			m++
-		}
+		mant |= 1 << 52        // implicit leading bit
+		s := uint(43 - exp)    // 43..53
+		lsb := (mant >> s) & 1 // ties-to-even: round up only onto even
+		m := (mant + (1<<(s-1) - 1) + lsb) >> s
+		// A carry to m == 0x400 is exactly the smallest normal's encoding.
 		return sign | uint16(m)
-	default:
-		m := mant >> 13
-		if rem := mant & 0x1fff; rem > 0x1000 || (rem == 0x1000 && m&1 == 1) {
-			m++
-			if m == 0x400 { // mantissa overflow carries into the exponent
-				m = 0
-				exp++
-				if exp >= 0x1f {
-					return sign | 0x7c00
-				}
-			}
-		}
-		return sign | uint16(exp)<<10 | uint16(m)
+	default: // normal: 1 <= exp <= 30
+		const shift = 42 // 52-bit float64 mantissa -> 10-bit fp16 mantissa
+		lsb := (mant >> shift) & 1
+		m := (mant + (1<<(shift-1) - 1) + lsb) >> shift
+		// A mantissa carry (m == 0x400) propagates into the exponent by
+		// plain addition; from exp == 30 it lands exactly on 0x7c00 = Inf.
+		return sign | (uint16(exp)<<10 + uint16(m))
 	}
 }
 
 // float16frombits expands an IEEE-754 binary16 value to float64 (exact).
+// The original implementation normalized subnormals with an off-by-one
+// exponent — every subnormal decoded at half its value. The F16C hardware
+// decode (VCVTPH2PS + VCVTPS2PD) computes the correct expansion, and the
+// fixed scalar matches it bit for bit, signaling-NaN quieting included.
 func float16frombits(h uint16) float64 {
-	sign := uint32(h&0x8000) << 16
-	exp := uint32(h >> 10 & 0x1f)
-	mant := uint32(h & 0x3ff)
-	var f uint32
+	sign := uint64(h&0x8000) << 48
+	exp := uint64(h >> 10 & 0x1f)
+	mant := uint64(h & 0x3ff)
 	switch {
 	case exp == 0x1f: // Inf / NaN
-		f = sign | 0xff<<23 | mant<<13
-	case exp == 0: // zero / subnormal
-		if mant == 0 {
-			f = sign
-		} else {
-			// Normalize the subnormal.
-			e := int32(-1)
-			for mant&0x400 == 0 {
-				mant <<= 1
-				e--
-			}
-			f = sign | uint32(e+127-15+1)<<23 | (mant&0x3ff)<<13
+		if mant != 0 {
+			// Quiet the NaN (preserving the payload), exactly as the
+			// hardware conversion does.
+			mant |= 0x200
 		}
+		return math.Float64frombits(sign | 0x7ff<<52 | mant<<42)
+	case exp == 0: // zero / subnormal
+		// mant * 2^-24, exact in float64 (mant has at most 10 bits).
+		v := float64(mant) * 0x1p-24
+		if sign != 0 {
+			v = -v
+		}
+		return v
 	default:
-		f = sign | (exp-15+127)<<23 | mant<<13
+		return math.Float64frombits(sign | (exp-15+1023)<<52 | mant<<42)
 	}
-	return float64(math.Float32frombits(f))
 }
 
 // --- int8 per-chunk linear quantization ---
@@ -178,8 +176,9 @@ func int8Size(d int) int {
 }
 
 // appendInt8 appends the per-chunk linear quantization of v: each value maps
-// to round((x-lo)/(hi-lo)*255) with round-half-away-from-zero (math.Round),
-// a deterministic pure function of the chunk. NaN in the input makes the
+// to round((x-lo) * (255/(hi-lo))) with round-half-away-from-zero
+// (math.Round) — the multiply-by-reciprocal form, which the SIMD kernel
+// reproduces exactly — a deterministic pure function of the chunk. NaN in the input makes the
 // chunk's range NaN and every value decode as NaN — faithfully preserving a
 // Byzantine poison value rather than laundering it into a finite number.
 func appendInt8(dst []byte, v tensor.Vector) []byte {
@@ -194,47 +193,30 @@ func appendInt8(dst []byte, v tensor.Vector) []byte {
 			n = int8Chunk
 		}
 		chunk := v[:n]
-		lo, hi := chunk[0], chunk[0]
-		for _, x := range chunk[1:] {
-			if x < lo {
-				lo = x
-			}
-			if x > hi {
-				hi = x
-			}
-			if math.IsNaN(x) {
-				// NaN compares false against everything, so the min/max
-				// scan alone would skip a mid-chunk NaN and quantize it
-				// through byte(NaN) — an implementation-defined conversion
-				// that launders the poison into a finite in-range value.
-				// Poison the whole chunk's range instead.
-				lo, hi = math.NaN(), math.NaN()
-				break
-			}
+		lo, hi, nan := int8Range(chunk)
+		if nan {
+			// NaN compares false against everything, so a plain min/max scan
+			// would skip a mid-chunk NaN and quantize it through byte(NaN) —
+			// an implementation-defined conversion that launders the poison
+			// into a finite in-range value. Poison the whole chunk's range
+			// instead so every value decodes as NaN.
+			lo, hi = math.NaN(), math.NaN()
 		}
 		// The stored float32 range is what the decoder will reconstruct
 		// against, so quantize relative to it, not the float64 range.
 		lo32, hi32 := float32(lo), float32(hi)
 		binary.LittleEndian.PutUint32(b, math.Float32bits(lo32))
 		binary.LittleEndian.PutUint32(b[4:], math.Float32bits(hi32))
-		step := (float64(hi32) - float64(lo32)) / 255
+		span := float64(hi32) - float64(lo32)
 		q := b[8 : 8+n]
-		if step == 0 || math.IsNaN(step) || math.IsInf(step, 0) {
+		if span == 0 || math.IsNaN(span) || math.IsInf(span, 0) {
 			// Constant chunk (every value decodes to lo), or a non-finite
 			// range that decodes to NaN/Inf regardless of the codes.
 			for i := range q {
 				q[i] = 0
 			}
 		} else {
-			for i, x := range chunk {
-				c := math.Round((x - float64(lo32)) / step)
-				if c < 0 {
-					c = 0
-				} else if c > 255 {
-					c = 255
-				}
-				q[i] = byte(c)
-			}
+			int8Quant(q, chunk, float64(lo32), 255/span)
 		}
 		b = b[8+n:]
 		v = v[n:]
@@ -263,10 +245,7 @@ func decodeInt8(out *tensor.Vector, data []byte, maxDim int) error {
 		lo := float64(math.Float32frombits(binary.LittleEndian.Uint32(b)))
 		hi := float64(math.Float32frombits(binary.LittleEndian.Uint32(b[4:])))
 		step := (hi - lo) / 255
-		q := b[8 : 8+m]
-		for i, c := range q {
-			dst[i] = lo + step*float64(c)
-		}
+		int8Dequant(dst[:m], b[8:8+m], lo, step)
 		b = b[8+m:]
 		dst = dst[m:]
 	}

@@ -1,0 +1,214 @@
+package compress
+
+import (
+	"math"
+	"math/big"
+	"sort"
+	"testing"
+)
+
+// The fp16 rounding suites. float16bits promises correctly-rounded
+// (round-to-nearest, ties-to-even) binary16 conversion; the original
+// implementation narrowed through float32 first, which double-rounds: a
+// float64 just above a half-precision tie midpoint can round *to* the
+// midpoint in float32, after which ties-to-even picks the wrong fp16
+// neighbor. These tests lock the contract two independent ways — an
+// exhaustive walk of every adjacent fp16 pair's float64 neighborhood, and a
+// randomized property test against a big.Float midpoint reference — and both
+// fail against the double-rounding implementation.
+
+// fp16Magnitude returns the positive fp16 value of magnitude pattern m
+// (0 <= m <= 0x7c00; 0x7c00 is +Inf) as an exact float64.
+func fp16Magnitude(m uint16) float64 { return float16frombits(m) }
+
+// TestFloat16BitsExhaustiveRoundTrip: every finite binary16 value is exactly
+// representable in float64, so converting it back must reproduce its bit
+// pattern exactly — including signed zeros, every subnormal, and ±Inf.
+func TestFloat16BitsExhaustiveRoundTrip(t *testing.T) {
+	for sign := uint16(0); sign <= 1; sign++ {
+		s := sign << 15
+		for m := uint16(0); m <= 0x7c00; m++ {
+			h := s | m
+			x := float16frombits(h)
+			if got := float16bits(x); got != h {
+				t.Fatalf("round trip of %#04x (%v): got %#04x", h, x, got)
+			}
+		}
+	}
+	// NaN canonicalizes (payloads are not preserved, the sign is).
+	if got := float16bits(math.NaN()); got&0x7fff != 0x7e00 {
+		t.Fatalf("NaN: got %#04x, want canonical 0x7e00", got)
+	}
+	negNaN := math.Float64frombits(0xfff8_0000_0000_0001)
+	if got := float16bits(negNaN); got != 0xfe00 {
+		t.Fatalf("-NaN: got %#04x, want 0xfe00", got)
+	}
+	snan := math.Float64frombits(0x7ff0_0000_0000_0001)
+	if got := float16bits(snan); got&0x7fff != 0x7e00 {
+		t.Fatalf("sNaN: got %#04x, want canonical 0x7e00", got)
+	}
+}
+
+// TestFloat16BitsExhaustiveNeighborhoods walks every pair of adjacent fp16
+// magnitudes (including the underflow boundary below the smallest subnormal
+// and the overflow boundary to Inf) and checks the three decisive float64
+// inputs in the gap: the exact tie midpoint must round to the even neighbor,
+// and one float64 ulp to either side must round to the nearer neighbor.
+//
+// The off-midpoint probes are exactly the inputs the float32 detour got
+// wrong: midpoint ± 1 float64-ulp collapses onto the midpoint when narrowed
+// to float32, after which ties-to-even picks the even neighbor regardless of
+// which side the input was on.
+func TestFloat16BitsExhaustiveNeighborhoods(t *testing.T) {
+	for sign := uint16(0); sign <= 1; sign++ {
+		s := sign << 15
+		// signed applies the test sign to a positive magnitude.
+		signed := func(x float64) float64 {
+			if sign == 1 {
+				return -x
+			}
+			return x
+		}
+		for m := uint16(0); m < 0x7c00; m++ {
+			lo := fp16Magnitude(m)
+			var hi float64
+			if m+1 == 0x7c00 {
+				// Overflow boundary: the "next value" behaves as 2^16, the
+				// first power of two past the largest finite fp16 (65504),
+				// so the rounding boundary to Inf is 65520.
+				hi = 65536
+			} else {
+				hi = fp16Magnitude(m + 1)
+			}
+			mid := (lo + hi) / 2 // both have <= 12 significant bits: exact
+
+			even := m
+			if even&1 == 1 {
+				even = m + 1
+			}
+			if got := float16bits(signed(mid)); got != s|even {
+				t.Fatalf("sign=%d m=%#04x: midpoint %v -> %#04x, want even neighbor %#04x",
+					sign, m, signed(mid), got, s|even)
+			}
+			above := math.Nextafter(mid, math.Inf(1))
+			if got := float16bits(signed(above)); got != s|(m+1) {
+				t.Fatalf("sign=%d m=%#04x: midpoint+ulp %v -> %#04x, want upper neighbor %#04x",
+					sign, m, signed(above), got, s|(m+1))
+			}
+			below := math.Nextafter(mid, 0)
+			if got := float16bits(signed(below)); got != s|m {
+				t.Fatalf("sign=%d m=%#04x: midpoint-ulp %v -> %#04x, want lower neighbor %#04x",
+					sign, m, signed(below), got, s|m)
+			}
+		}
+	}
+}
+
+// refFloat16bits is an independent correctly-rounded float64→binary16
+// reference: it brackets |x| between adjacent fp16 magnitudes by binary
+// search over the (monotonic) bit patterns and decides with an exact
+// big.Float comparison against the tie midpoint — no narrowing conversions
+// anywhere, so it cannot double-round by construction.
+func refFloat16bits(x float64) uint16 {
+	var sign uint16
+	if math.Signbit(x) {
+		sign = 0x8000
+	}
+	if math.IsNaN(x) {
+		return sign | 0x7e00
+	}
+	ax := math.Abs(x)
+	// Overflow: magnitudes at or past the 65520 boundary round to Inf
+	// (ties-to-even: 2^16 has an even significand, 65504 an odd one).
+	if ax > 65520 {
+		return sign | 0x7c00
+	}
+	// Largest magnitude pattern with value <= ax.
+	m := uint16(sort.Search(0x7c00, func(i int) bool {
+		return fp16Magnitude(uint16(i+1)) > ax
+	}))
+	lo, hi := fp16Magnitude(m), 65536.0
+	hiPat := m + 1
+	if hiPat < 0x7c00 {
+		hi = fp16Magnitude(hiPat)
+	}
+	// Exact midpoint comparison in big.Float (SetFloat64 and the halved sum
+	// are exact at 100 bits of precision).
+	mid := new(big.Float).SetPrec(100).SetFloat64(lo)
+	mid.Add(mid, new(big.Float).SetPrec(100).SetFloat64(hi))
+	mid.Quo(mid, big.NewFloat(2))
+	switch new(big.Float).SetPrec(100).SetFloat64(ax).Cmp(mid) {
+	case -1:
+		return sign | m
+	case +1:
+		return sign | hiPat
+	default: // exact tie: even mantissa wins
+		if m&1 == 0 {
+			return sign | m
+		}
+		return sign | hiPat
+	}
+}
+
+// TestFloat16BitsBigFloatReference drives float16bits with float64 inputs
+// concentrated in and around the binary16 range — random mantissas across
+// the full exponent span from deep underflow to overflow, plus exact tie
+// midpoints and their float64 neighbors — and compares every result against
+// the big.Float reference.
+func TestFloat16BitsBigFloatReference(t *testing.T) {
+	rng := newSplitMix(0x9e3779b97f4a7c15)
+	check := func(x float64) {
+		t.Helper()
+		got, want := float16bits(x), refFloat16bits(x)
+		if got != want {
+			t.Fatalf("float16bits(%v = %#016x) = %#04x, want %#04x",
+				x, math.Float64bits(x), got, want)
+		}
+	}
+	for i := 0; i < 100_000; i++ {
+		// Exponent spans [-32, 24): covers underflow-to-zero, the subnormal
+		// band, all normals, and overflow-to-Inf.
+		e := int(rng.next()%56) - 32
+		mant := rng.next() & (1<<52 - 1)
+		signBit := (rng.next() & 1) << 63
+		x := math.Float64frombits(signBit | uint64(e+1023)<<52 | mant)
+		check(x)
+	}
+	// Deterministic torture points: every 64th adjacent pair's midpoint and
+	// float64 neighbors (the exhaustive test covers all of them; here they
+	// also cross-check the reference itself).
+	for m := uint16(0); m < 0x7c00; m += 64 {
+		lo := fp16Magnitude(m)
+		hi := 65536.0
+		if m+1 < 0x7c00 {
+			hi = fp16Magnitude(m + 1)
+		}
+		mid := (lo + hi) / 2
+		for _, x := range []float64{lo, mid, hi,
+			math.Nextafter(mid, 0), math.Nextafter(mid, math.Inf(1))} {
+			check(x)
+			check(-x)
+		}
+	}
+	for _, x := range []float64{0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1),
+		65504, 65519.999, 65520, math.Nextafter(65520, 0), math.Nextafter(65520, math.Inf(1)),
+		0x1p-24, 0x1p-25, math.Nextafter(0x1p-25, 1), math.Nextafter(0x1p-25, 0), 0x1p-26,
+		5.960464477539063e-08, 1 + 0x1p-11 + 0x1p-53} {
+		check(x)
+		check(-x)
+	}
+}
+
+// splitMix is a tiny deterministic PRNG for the property test (fixed seed;
+// no global or time-seeded randomness).
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{s: seed} }
+
+func (r *splitMix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

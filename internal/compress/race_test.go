@@ -1,0 +1,10 @@
+//go:build race
+
+package compress
+
+// raceEnabled reports whether the race detector is compiled in. Allocation-
+// count assertions skip under race: instrumentation disables the compiler's
+// append(s, make([]T, n)...) extend-in-place optimization, so every encoder
+// materializes its temporary — an artifact of the build mode, not a codec
+// regression.
+const raceEnabled = true

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
 
 	"garfield/internal/tensor"
 )
@@ -27,14 +26,41 @@ import (
 // uint32 k, then (uint32 index, float64 value) per entry.
 func topKSize(k int) int { return 8 + 12*k }
 
-// topKScratch is the selection workspace a Compressor reuses across calls.
+// topKScratch is the selection workspace a Compressor reuses across calls:
+// one float64 magnitude per coordinate, plus the radix histogram the
+// selection's bucketing pass fills. The previous scheme carried an []int
+// index permutation and ran quickselect through two levels of indirection
+// (idx[i] -> acc[idx[i]]) followed by sort.Ints on the survivors; selecting
+// on a flat magnitude array and re-deriving the kept set with a threshold
+// scan is both cache-friendly and sort-free.
 type topKScratch struct {
-	idx []int
+	mags []float64
+	hist []uint32 // 1<<radixBits counters, reused across calls
+}
+
+// magOf is a coordinate's selection magnitude: |x| with NaN mapped to -1,
+// matching the foldAbs kernel, so Byzantine poison coordinates rank below
+// every real magnitude (all of which are >= 0).
+func magOf(x float64) float64 {
+	m := math.Abs(x)
+	if m != m {
+		return -1
+	}
+	return m
 }
 
 // compressTopK appends the top-k encoding of v + residual and updates the
 // residual to the un-transmitted remainder. The lock serializes concurrent
 // pulls, so each reply sees — and deposits — a consistent residual.
+//
+// Selection is by threshold: t is the k-th largest magnitude (value-only
+// quickselect over the scratch array — it scrambles the scratch, which is
+// fine, magnitudes are recomputed from acc on the fly afterwards), and the
+// kept set is every coordinate above t plus the lowest-indexed coordinates
+// exactly at t until k entries are out. That reproduces the historical
+// (|value| desc, index asc) order as a pure function of the input, and the
+// emit scan runs in ascending index order, so no sort is needed to produce
+// the canonical encoding.
 func (c *Compressor) compressTopK(dst []byte, v tensor.Vector) []byte {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -49,24 +75,19 @@ func (c *Compressor) compressTopK(dst []byte, v tensor.Vector) []byte {
 		c.residual = tensor.New(d)
 	}
 	acc := c.residual // after this call, acc IS the new residual
-	for i := range acc {
-		acc[i] += v[i]
+	if cap(c.scratch.mags) < d {
+		c.scratch.mags = make([]float64, d)
 	}
+	mags := c.scratch.mags[:d]
+	foldAbs(acc, v, mags)
 
-	// Deterministic selection: |value| descending, index ascending on ties.
-	// Quickselect instead of a full sort — selection is the per-reply hot
-	// path and only the top k of d matter, so O(d) expected beats
-	// O(d log d) by ~30x at d = 1M.
-	if cap(c.scratch.idx) < d {
-		c.scratch.idx = make([]int, d)
+	t := math.Inf(-1) // k == d: every coordinate clears the threshold
+	need := 0
+	if k < d && k > 0 {
+		var above int
+		t, above = c.scratch.selectKthLargest(mags, k)
+		need = k - above // ties at t to keep, lowest indices first
 	}
-	idx := c.scratch.idx[:d]
-	for i := range idx {
-		idx[i] = i
-	}
-	selectTopK(acc, idx, k)
-	kept := idx[:k]
-	sort.Ints(kept)
 
 	off := len(dst)
 	dst = append(dst, make([]byte, topKSize(k))...)
@@ -74,62 +95,148 @@ func (c *Compressor) compressTopK(dst []byte, v tensor.Vector) []byte {
 	binary.LittleEndian.PutUint32(b, uint32(d))
 	binary.LittleEndian.PutUint32(b[4:], uint32(k))
 	b = b[8:]
-	for n, i := range kept {
+	n := 0
+	for i := 0; i < d && n < k; i++ {
+		m := magOf(acc[i])
+		if m > t {
+			// keep
+		} else if m == t && need > 0 {
+			need--
+		} else {
+			continue
+		}
 		binary.LittleEndian.PutUint32(b[12*n:], uint32(i))
 		binary.LittleEndian.PutUint64(b[12*n+4:], math.Float64bits(acc[i]))
 		acc[i] = 0 // transmitted exactly; nothing left to feed back
+		n++
 	}
 	return dst
 }
 
-// ranksBefore is the selection's total order: a ranks before b when its
-// magnitude is larger, ties broken toward the lower index — a pure function
-// of the input, so the kept set never depends on scheduling or pivot luck.
-func ranksBefore(acc tensor.Vector, a, b int) bool {
-	ma, mb := math.Abs(acc[a]), math.Abs(acc[b])
-	if ma != mb {
-		return ma > mb
-	}
-	return a < b
+// radixBits is the width of the selection's one coarse bucketing pass: the
+// top 16 bits of the order-preserving key cover the sign and the full
+// exponent, so for any realistically-distributed gradient the k-th
+// magnitude's bucket holds a tiny fraction of the coordinates and the
+// quickselect finisher runs on those alone. The histogram is 256 KiB of
+// reused scratch.
+const radixBits = 16
+
+// ordKey maps a float64 to a uint64 whose unsigned order matches the
+// float's total order (negatives below positives, -NaN at the very bottom):
+// the standard sign-flip trick. Magnitudes here are >= 0 or the NaN
+// sentinel -1, but the map is total so the selection never cares.
+func ordKey(x float64) uint64 {
+	b := math.Float64bits(x)
+	// Branch-free: negatives (sign-extended mask all ones) flip every bit,
+	// non-negatives flip just the sign — this runs 2 per element in the
+	// selection's hot passes, where a data-dependent branch mispredicts.
+	return b ^ (uint64(int64(b)>>63) | 1<<63)
 }
 
-// selectTopK partially orders idx so its first k entries are the k
-// best-ranked coordinates (in arbitrary internal order): an iterative
-// quickselect with a deterministic median-of-three pivot.
-func selectTopK(acc tensor.Vector, idx []int, k int) {
-	lo, hi := 0, len(idx)-1
-	for lo < hi {
-		// Deterministic median-of-three pivot, moved to hi.
-		mid := lo + (hi-lo)/2
-		if ranksBefore(acc, idx[mid], idx[lo]) {
-			idx[lo], idx[mid] = idx[mid], idx[lo]
+// selectKthLargest returns the k-th largest value t of m (1 <= k <= len(m))
+// together with the number of values strictly greater than t, reordering m
+// in the process. One radix pass buckets every value by the top radixBits of
+// its order-preserving key and locates the bucket holding the answer; the
+// bucket's members are compacted to the front of m (m is scratch — the
+// caller recomputes magnitudes afterwards) and a quickselect finishes among
+// them. Random-magnitude arrays — the common case — leave the finisher a
+// tiny fraction of the coordinates; a degenerate single-bucket array
+// (constant gradient) falls back to quickselect over everything, which the
+// three-way partition below handles in one pass.
+func (s *topKScratch) selectKthLargest(m []float64, k int) (t float64, above int) {
+	if len(s.hist) == 0 {
+		s.hist = make([]uint32, 1<<radixBits)
+	}
+	hist := s.hist
+	for i := range hist {
+		hist[i] = 0
+	}
+	for _, x := range m {
+		hist[ordKey(x)>>(64-radixBits)]++
+	}
+	// Walk buckets from the top of the order until k values are covered.
+	higher := 0 // values in buckets strictly greater than the answer's
+	bucket := len(hist) - 1
+	for {
+		n := int(hist[bucket])
+		if higher+n >= k {
+			break
 		}
-		if ranksBefore(acc, idx[hi], idx[lo]) {
-			idx[lo], idx[hi] = idx[hi], idx[lo]
-		}
-		if ranksBefore(acc, idx[hi], idx[mid]) {
-			idx[mid], idx[hi] = idx[hi], idx[mid]
-		}
-		idx[mid], idx[hi] = idx[hi], idx[mid]
-		pivot := idx[hi]
-		// Lomuto partition: everything ranking before the pivot moves left.
-		store := lo
-		for i := lo; i < hi; i++ {
-			if ranksBefore(acc, idx[i], pivot) {
-				idx[store], idx[i] = idx[i], idx[store]
-				store++
-			}
-		}
-		idx[store], idx[hi] = idx[hi], idx[store]
-		switch {
-		case store == k || store == k-1:
-			return
-		case k < store:
-			hi = store - 1
-		default:
-			lo = store + 1
+		higher += n
+		bucket--
+	}
+	// Compact the answer's bucket to the front; the k-th largest overall is
+	// the (k-higher)-th largest among exactly these.
+	w := 0
+	target := uint64(bucket)
+	for _, x := range m {
+		if ordKey(x)>>(64-radixBits) == target {
+			m[w] = x
+			w++
 		}
 	}
+	t = quickselectLargest(m[:w], k-higher)
+	// Every tie of t shares its key, hence its bucket: the exact
+	// strictly-greater count is the higher buckets plus this bucket's
+	// members above t — counted over the compacted few, not all of m.
+	above = higher
+	for _, x := range m[:w] {
+		if x > t {
+			above++
+		}
+	}
+	return t, above
+}
+
+// quickselectLargest returns the k-th largest value of m (1 <= k <= len(m)),
+// reordering m: an iterative quickselect with a deterministic
+// median-of-three pivot and a three-way (Dutch flag) partition, so arrays
+// full of duplicates — a constant gradient makes every magnitude equal —
+// finish in one pass instead of degrading quadratically.
+func quickselectLargest(m []float64, k int) float64 {
+	lo, hi := 0, len(m)-1
+	target := k - 1 // descending-rank position of the answer
+	for lo < hi {
+		a, b, c := m[lo], m[lo+(hi-lo)/2], m[hi]
+		pivot := medianOf3(a, b, c)
+		// Partition into [lo, lt) > pivot, [lt, gt] == pivot, (gt, hi] < pivot.
+		lt, gt, i := lo, hi, lo
+		for i <= gt {
+			switch x := m[i]; {
+			case x > pivot:
+				m[i], m[lt] = m[lt], m[i]
+				lt++
+				i++
+			case x < pivot:
+				m[i], m[gt] = m[gt], m[i]
+				gt--
+			default:
+				i++
+			}
+		}
+		switch {
+		case target < lt:
+			hi = lt - 1
+		case target > gt:
+			lo = gt + 1
+		default:
+			return pivot
+		}
+	}
+	return m[target]
+}
+
+func medianOf3(a, b, c float64) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
 }
 
 // AppendTopK is the stateless top-k encoder (no error feedback): it keeps

@@ -9,6 +9,7 @@ import (
 	"garfield/internal/attack"
 	"garfield/internal/compress"
 	"garfield/internal/data"
+	"garfield/internal/gar"
 	"garfield/internal/model"
 	"garfield/internal/rpc"
 	"garfield/internal/sgd"
@@ -30,6 +31,16 @@ type Server struct {
 	client rpc.Caller
 	atk    attack.Attack
 	det    bool
+
+	// arena holds the fused decode destinations for this server's pulls:
+	// peer i's reply decodes straight into slot i's reusable backing array
+	// (rpc.Caller.PullFirstQInto), so steady-state pulls allocate no
+	// per-reply vectors whatever codec is on the wire. Sharing one arena
+	// across GetGradients/GetModels/GetAggrGrads is safe because a server
+	// issues pulls one at a time and every protocol step aggregates a
+	// pull's replies — into the Aggregator's own scratch, which never
+	// aliases its inputs — before issuing the next pull.
+	arena *gar.ReplyArena
 
 	// rosterMu guards the pull target lists, which the membership layer
 	// rebinds on every roster epoch transition (Cluster join/leave/scale).
@@ -102,6 +113,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if atk == nil {
 		atk = attack.None{}
 	}
+	n := len(cfg.Workers)
+	if len(cfg.Peers) > n {
+		n = len(cfg.Peers)
+	}
 	return &Server{
 		arch:    cfg.Arch,
 		opt:     cfg.Optimizer,
@@ -112,6 +127,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		det:     cfg.Deterministic,
 		accept:  cfg.Accept,
 		params:  cfg.Init.Clone(),
+		arena:   gar.NewReplyArena(n),
 	}, nil
 }
 
@@ -191,7 +207,7 @@ func (s *Server) ResetDerived() {
 // mode; q < len(workers) tolerates stragglers and faults.
 func (s *Server) GetGradients(ctx context.Context, t int, q int) ([]tensor.Vector, error) {
 	req := rpc.Request{Kind: rpc.KindGetGradient, Step: uint32(t), Accept: s.accept, Vec: s.Params()}
-	replies, err := s.client.PullFirstQ(ctx, s.workerList(), q, req)
+	replies, err := s.client.PullFirstQInto(ctx, s.workerList(), q, req, s.arena)
 	if err != nil {
 		return nil, fmt.Errorf("core: get_gradients(t=%d, q=%d): %w", t, q, err)
 	}
@@ -202,7 +218,7 @@ func (s *Server) GetGradients(ctx context.Context, t int, q int) ([]tensor.Vecto
 // state of the fastest q server replicas (out of all peers).
 func (s *Server) GetModels(ctx context.Context, q int) ([]tensor.Vector, error) {
 	req := rpc.Request{Kind: rpc.KindGetModel, Step: s.Step()}
-	replies, err := s.client.PullFirstQ(ctx, s.peerList(), q, req)
+	replies, err := s.client.PullFirstQInto(ctx, s.peerList(), q, req, s.arena)
 	if err != nil {
 		return nil, fmt.Errorf("core: get_models(q=%d): %w", q, err)
 	}
@@ -214,7 +230,7 @@ func (s *Server) GetModels(ctx context.Context, q int) ([]tensor.Vector, error) 
 // (Listing 3).
 func (s *Server) GetAggrGrads(ctx context.Context, q int) ([]tensor.Vector, error) {
 	req := rpc.Request{Kind: rpc.KindGetAggrGrad, Step: s.Step()}
-	replies, err := s.client.PullFirstQ(ctx, s.peerList(), q, req)
+	replies, err := s.client.PullFirstQInto(ctx, s.peerList(), q, req, s.arena)
 	if err != nil {
 		return nil, fmt.Errorf("core: get_aggr_grads(q=%d): %w", q, err)
 	}

@@ -20,6 +20,30 @@ type Caller interface {
 	// PullFirstQ fans req out to every peer and returns the fastest q
 	// replies, cancelling the stragglers.
 	PullFirstQ(ctx context.Context, peers []string, q int, req Request) ([]Reply, error)
+	// PullFirstQInto is PullFirstQ with caller-owned decode destinations:
+	// peer i's reply decodes directly into *slots.ReplySlot(i), reusing its
+	// capacity, instead of allocating a fresh vector per reply — the fused
+	// decode-aggregate path (gar.ReplyArena implements ReplySlots). The
+	// returned Reply.Vec values alias the slots and are valid until the next
+	// pull against the same slots; a nil slots degrades to PullFirstQ.
+	PullFirstQInto(ctx context.Context, peers []string, q int, req Request, slots ReplySlots) ([]Reply, error)
+}
+
+// ReplySlots provides per-peer decode destinations for a pull round. Slot i
+// is resolved once, sequentially, before the fan-out spawns its goroutines —
+// implementations may grow backing storage inside ReplySlot but the returned
+// pointers must stay valid afterwards (each pull goroutine writes only
+// through its own resolved pointer).
+type ReplySlots interface {
+	ReplySlot(i int) *tensor.Vector
+}
+
+// callerInto is the internal decode-into contract shared by Client and
+// PooledClient: one round trip whose reply vector is decoded into *dst when
+// dst is non-nil (capacity reuse via tensor.Resize), freshly allocated
+// otherwise.
+type callerInto interface {
+	callInto(ctx context.Context, addr string, req Request, dst *tensor.Vector) (tensor.Vector, error)
 }
 
 // Client issues pull requests to peers. Calls are parallelized across peers
@@ -90,6 +114,11 @@ func correlate(req Request, resp Response) error {
 // the in-memory and loopback transports is negligible, and independence
 // between calls is what lets PullFirstQ cancel stragglers safely.
 func (c *Client) Call(ctx context.Context, addr string, req Request) (tensor.Vector, error) {
+	return c.callInto(ctx, addr, req, nil)
+}
+
+// callInto is Call decoding the reply into *dst when dst is non-nil.
+func (c *Client) callInto(ctx context.Context, addr string, req Request, dst *tensor.Vector) (tensor.Vector, error) {
 	req = stamp(req, c.self)
 	conn, err := c.network.Dial(ctx, addr)
 	if err != nil {
@@ -116,7 +145,7 @@ func (c *Client) Call(ctx context.Context, addr string, req Request) (tensor.Vec
 	if err != nil {
 		return nil, fmt.Errorf("rpc: receive from %q: %w", addr, wrapCtx(ctx, err))
 	}
-	resp, err := decodeResponse(*payload, replyDimBound(req))
+	resp, err := decodeResponseInto(dst, *payload, replyDimBound(req))
 	putBuf(payload)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: from %q: %w", addr, err)
@@ -132,7 +161,12 @@ func (c *Client) Call(ctx context.Context, addr string, req Request) (tensor.Vec
 
 // PullFirstQ implements Caller; see pullFirstQ.
 func (c *Client) PullFirstQ(ctx context.Context, peers []string, q int, req Request) ([]Reply, error) {
-	return pullFirstQ(ctx, c, peers, q, req)
+	return pullFirstQ(ctx, c, peers, q, req, nil)
+}
+
+// PullFirstQInto implements Caller; see pullFirstQ.
+func (c *Client) PullFirstQInto(ctx context.Context, peers []string, q int, req Request, slots ReplySlots) ([]Reply, error) {
+	return pullFirstQ(ctx, c, peers, q, req, slots)
 }
 
 // wrapCtx surfaces context cancellation as the root cause when a connection
@@ -157,16 +191,24 @@ type pullResult struct {
 
 type pullTask struct {
 	c    Caller
+	ci   callerInto // non-nil with dst: decode into the fused reply slot
 	ctx  context.Context
 	peer string
 	req  Request
+	dst  *tensor.Vector
 	out  chan<- pullResult
 	wg   *sync.WaitGroup
 }
 
 func runPullTask(t *pullTask) {
 	defer t.wg.Done()
-	vec, err := t.c.Call(t.ctx, t.peer, t.req)
+	var vec tensor.Vector
+	var err error
+	if t.ci != nil {
+		vec, err = t.ci.callInto(t.ctx, t.peer, t.req, t.dst)
+	} else {
+		vec, err = t.c.Call(t.ctx, t.peer, t.req)
+	}
 	t.out <- pullResult{reply: Reply{From: t.peer, Vec: vec}, err: err}
 }
 
@@ -179,12 +221,26 @@ func runPullTask(t *pullTask) {
 // The returned replies preserve arrival order (fastest first). When fewer
 // than q replies arrive before ctx expires, the successful prefix is
 // returned along with ErrQuorum.
-func pullFirstQ(ctx context.Context, c Caller, peers []string, q int, req Request) ([]Reply, error) {
+//
+// With non-nil slots (the fused decode path), peer i's reply decodes into
+// *slots.ReplySlot(i). Slots are resolved in this goroutine, before any task
+// starts, because resolving may grow the slot table; each spawned task then
+// only writes through its own pre-resolved pointer, and the deferred
+// wg.Wait guarantees no task outlives the call — so the caller may reuse the
+// slots for the next round the moment this returns.
+func pullFirstQ(ctx context.Context, c Caller, peers []string, q int, req Request, slots ReplySlots) ([]Reply, error) {
 	if q <= 0 || q > len(peers) {
 		return nil, fmt.Errorf("rpc: invalid quorum %d of %d peers", q, len(peers))
 	}
 	subCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	var ci callerInto
+	if slots != nil {
+		// A Caller without the decode-into fast path serves slot-less pulls
+		// transparently.
+		ci, _ = c.(callerInto)
+	}
 
 	results := make(chan pullResult, len(peers))
 	var wg sync.WaitGroup
@@ -194,6 +250,12 @@ func pullFirstQ(ctx context.Context, c Caller, peers []string, q int, req Reques
 	tasks := make([]pullTask, len(peers))
 	for i, peer := range peers {
 		tasks[i] = pullTask{c: c, ctx: subCtx, peer: peer, req: req, out: results, wg: &wg}
+		if ci != nil {
+			tasks[i].ci = ci
+			tasks[i].dst = slots.ReplySlot(i)
+		}
+	}
+	for i := range tasks {
 		wg.Add(1)
 		go runPullTask(&tasks[i])
 	}

@@ -315,6 +315,13 @@ func (c *PooledClient) jitterBackoff(d time.Duration) time.Duration {
 // jitter (see maxCallAttempts). Retry counts and backoff time are exposed in
 // WireStats. A context without a deadline is bounded by DefaultCallDeadline.
 func (c *PooledClient) Call(ctx context.Context, addr string, req Request) (tensor.Vector, error) {
+	return c.callInto(ctx, addr, req, nil)
+}
+
+// callInto is Call decoding the reply into *dst when dst is non-nil. The
+// destination survives retries: each attempt decodes over the same backing
+// array, and only a successful decode re-points *dst.
+func (c *PooledClient) callInto(ctx context.Context, addr string, req Request, dst *tensor.Vector) (tensor.Vector, error) {
 	req = stamp(req, c.self)
 	pc, err := c.peer(addr)
 	if err != nil {
@@ -330,7 +337,7 @@ func (c *PooledClient) Call(ctx context.Context, addr string, req Request) (tens
 
 	backoff := retryBackoffBase
 	for attempt := 1; ; attempt++ {
-		vec, retry, err := c.callLocked(ctx, pc, addr, req)
+		vec, retry, err := c.callLocked(ctx, pc, addr, req, dst)
 		if err == nil || !retry || attempt >= maxCallAttempts || ctx.Err() != nil {
 			return vec, err
 		}
@@ -362,7 +369,7 @@ func (c *PooledClient) Call(ctx context.Context, addr string, req Request) (tens
 // connection had been reused (so it may simply have died while idle), no
 // byte of this call's reply was consumed, and the failure was not a
 // caller-initiated cancellation.
-func (c *PooledClient) callLocked(ctx context.Context, pc *pooledConn, addr string, req Request) (vec tensor.Vector, retry bool, err error) {
+func (c *PooledClient) callLocked(ctx context.Context, pc *pooledConn, addr string, req Request, dst *tensor.Vector) (vec tensor.Vector, retry bool, err error) {
 	if pc.closed {
 		return nil, false, errClientClosed
 	}
@@ -453,7 +460,7 @@ func (c *PooledClient) callLocked(ctx context.Context, pc *pooledConn, addr stri
 	}
 	c.bytesIn.Add(uint64(frameHeaderSize + len(*payload)))
 	payloadLen := len(*payload)
-	resp, err := decodeResponse(*payload, replyDimBound(req))
+	resp, err := decodeResponseInto(dst, *payload, replyDimBound(req))
 	putBuf(payload)
 	if err != nil {
 		reused = false // protocol corruption, not an idle death
@@ -490,5 +497,10 @@ func (c *PooledClient) callLocked(ctx context.Context, pc *pooledConn, addr stri
 // leaves the affected connections pooled whenever the reply stream is clean
 // (see Call), so repeated pull rounds do not re-dial.
 func (c *PooledClient) PullFirstQ(ctx context.Context, peers []string, q int, req Request) ([]Reply, error) {
-	return pullFirstQ(ctx, c, peers, q, req)
+	return pullFirstQ(ctx, c, peers, q, req, nil)
+}
+
+// PullFirstQInto implements Caller; see pullFirstQ.
+func (c *PooledClient) PullFirstQInto(ctx context.Context, peers []string, q int, req Request, slots ReplySlots) ([]Reply, error) {
+	return pullFirstQ(ctx, c, peers, q, req, slots)
 }

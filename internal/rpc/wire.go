@@ -421,6 +421,17 @@ var ErrBadEncoding = errors.New("rpc: unknown payload encoding")
 // Byzantine peer's twenty-byte reply could demand a multi-gigabyte output
 // allocation.
 func decodeResponse(b []byte, dimBound int) (Response, error) {
+	return decodeResponseInto(nil, b, dimBound)
+}
+
+// decodeResponseInto is decodeResponse fused with a caller-owned
+// destination: with a non-nil dst the reply vector decodes in place over
+// dst's backing array (grown only when capacity falls short — both the
+// compressed decoders and the fp64 unmarshal reuse capacity), and *dst is
+// re-pointed at the result so the capacity survives for the next round even
+// after growth. The steady state of a pull loop therefore decodes every
+// reply with zero vector allocations, whatever codec is on the wire.
+func decodeResponseInto(dst *tensor.Vector, b []byte, dimBound int) (Response, error) {
 	if len(b) < respHeaderSize {
 		return Response{}, fmt.Errorf("%w: response of %d bytes", ErrMalformed, len(b))
 	}
@@ -436,9 +447,15 @@ func decodeResponse(b []byte, dimBound int) (Response, error) {
 	if !r.Enc.Valid() {
 		return Response{}, fmt.Errorf("%w: byte %d", ErrBadEncoding, b[6])
 	}
+	if dst != nil {
+		r.Vec = *dst
+	}
 	if r.Enc != compress.EncFP64 {
 		if err := compress.DecodeBounded(&r.Vec, r.Enc, b[respHeaderSize:], dimBound); err != nil {
 			return Response{}, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		if dst != nil {
+			*dst = r.Vec
 		}
 		return r, nil
 	}
@@ -446,6 +463,11 @@ func decodeResponse(b []byte, dimBound int) (Response, error) {
 		if err := r.Vec.UnmarshalBinary(b[respHeaderSize:]); err != nil {
 			return Response{}, fmt.Errorf("%w: %v", ErrMalformed, err)
 		}
+	} else {
+		r.Vec = nil
+	}
+	if dst != nil && r.Vec != nil {
+		*dst = r.Vec
 	}
 	return r, nil
 }

@@ -67,6 +67,14 @@ func (c *Caller) Call(ctx context.Context, addr string, req rpc.Request) (tensor
 // Failure accounting matches the live client: the round fails as soon as
 // too many peers have failed for q successes to remain possible.
 func (c *Caller) PullFirstQ(ctx context.Context, peers []string, q int, req rpc.Request) ([]rpc.Reply, error) {
+	return c.PullFirstQInto(ctx, peers, q, req, nil)
+}
+
+// PullFirstQInto is PullFirstQ with caller-owned decode destinations (the
+// fused path; see rpc.Caller). Arrivals dispatch strictly sequentially under
+// the virtual clock, so slots are resolved at dispatch time — there is no
+// fan-out to pre-resolve for.
+func (c *Caller) PullFirstQInto(ctx context.Context, peers []string, q int, req rpc.Request, slots rpc.ReplySlots) ([]rpc.Reply, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -95,7 +103,11 @@ func (c *Caller) PullFirstQ(ctx context.Context, peers []string, q int, req rpc.
 		}
 		w.clock.AdvanceTo(ev.At)
 		peer := peers[ev.Payload]
-		vec, err := w.dispatchLocked(peer, req)
+		var dst *tensor.Vector
+		if slots != nil {
+			dst = slots.ReplySlot(ev.Payload)
+		}
+		vec, err := w.dispatchLockedInto(peer, req, dst)
 		if err != nil {
 			failures++
 			lastErr = err
@@ -121,6 +133,13 @@ func (c *Caller) PullFirstQ(ctx context.Context, peers []string, q int, req rpc.
 // dispatchLocked invokes the peer's handler at the current virtual time and
 // decodes its response under the live client's rules. Must hold w.mu.
 func (w *Wiring) dispatchLocked(addr string, req rpc.Request) (tensor.Vector, error) {
+	return w.dispatchLockedInto(addr, req, nil)
+}
+
+// dispatchLockedInto is dispatchLocked with an optional caller-owned decode
+// destination (the fused path): a non-nil dst receives the reply in place,
+// reusing its backing array across rounds. Must hold w.mu.
+func (w *Wiring) dispatchLockedInto(addr string, req rpc.Request, dst *tensor.Vector) (tensor.Vector, error) {
 	w.calls++
 	h, ok := w.handlers[addr]
 	if !ok {
@@ -140,6 +159,9 @@ func (w *Wiring) dispatchLocked(addr string, req rpc.Request) (tensor.Vector, er
 			bound = len(req.Vec)
 		}
 		var vec tensor.Vector
+		if dst != nil {
+			vec = *dst
+		}
 		err := compress.DecodeBounded(&vec, resp.Enc, resp.Payload, bound)
 		if resp.FreePayload && resp.Payload != nil {
 			compress.PutBuf(resp.Payload)
@@ -147,14 +169,24 @@ func (w *Wiring) dispatchLocked(addr string, req rpc.Request) (tensor.Vector, er
 		if err != nil {
 			return nil, fmt.Errorf("rpc: from %q: %w", addr, err)
 		}
+		if dst != nil {
+			*dst = vec
+		}
 		return vec, nil
 	}
 	if resp.Vec == nil {
 		return nil, nil
 	}
 	// The live path serializes the reply, so the puller always owns a fresh
-	// vector. Direct dispatch must clone to preserve that: deterministic
+	// vector. Direct dispatch must copy to preserve that: deterministic
 	// handlers serve one shared cached vector to every puller, and the GARs
-	// and staleness damping mutate pulled vectors in place.
+	// and staleness damping mutate pulled vectors in place. With a fused
+	// destination the copy lands in the slot's backing array instead of a
+	// fresh clone.
+	if dst != nil {
+		*dst = tensor.Resize(*dst, len(resp.Vec))
+		copy(*dst, resp.Vec)
+		return *dst, nil
+	}
 	return resp.Vec.Clone(), nil
 }

@@ -4,8 +4,15 @@
 # and RPC layers is tracked across PRs.
 #
 # Usage:
-#   scripts/bench.sh [output.json]
+#   scripts/bench.sh              # writes the next unused BENCH_<N>.json
+#   scripts/bench.sh out.json     # explicit output path (may overwrite)
 #   BENCHTIME=100x scripts/bench.sh       # override iteration count
+#
+# Without an argument the script picks the first BENCH_<N>.json that does
+# not exist yet — snapshots are an append-only series, one per PR, and a
+# default that silently clobbered the newest one destroyed the history it
+# exists to record. Overwriting therefore requires naming the file
+# explicitly.
 #
 # For statistically-sound comparisons between two checkouts, run the
 # benchmarks several times per side and feed them to benchstat:
@@ -15,7 +22,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_1.json}"
+if [ $# -ge 1 ]; then
+  OUT="$1"
+else
+  n=1
+  while [ -e "BENCH_${n}.json" ]; do
+    n=$((n + 1))
+  done
+  OUT="BENCH_${n}.json"
+fi
 BENCHTIME="${BENCHTIME:-20x}"
 BENCHES='BenchmarkGARKrum$|BenchmarkGARMultiKrum$|BenchmarkGARMDA$|BenchmarkGARBulyan$|BenchmarkGARMedian$|BenchmarkVectorCodec$|BenchmarkRPCPullFirstQ$|BenchmarkLiveSSMWIteration$|BenchmarkCompressFP64$|BenchmarkCompressFP16$|BenchmarkCompressInt8$|BenchmarkCompressTopK$|BenchmarkCompressedPull$'
 
