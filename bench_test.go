@@ -2,6 +2,7 @@ package garfield_test
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"testing"
 
@@ -10,6 +11,7 @@ import (
 	"garfield/internal/experiments"
 	"garfield/internal/gar"
 	"garfield/internal/rpc"
+	"garfield/internal/shard"
 	"garfield/internal/tensor"
 	"garfield/internal/transport"
 )
@@ -93,6 +95,55 @@ func BenchmarkGARKrum(b *testing.B)        { benchRule(b, gar.NameKrum, 17, 3, 1
 func BenchmarkGARMultiKrum(b *testing.B)   { benchRule(b, gar.NameMultiKrum, 17, 3, 100_000) }
 func BenchmarkGARMDA(b *testing.B)         { benchRule(b, gar.NameMDA, 17, 3, 100_000) }
 func BenchmarkGARBulyan(b *testing.B)      { benchRule(b, gar.NameBulyan, 17, 3, 100_000) }
+
+// BenchmarkShardedAggregation times the per-replica critical path of one
+// sharded median round at paper scale (d = 1M, n = 7, f = 2). The flat case
+// is a single box aggregating all d coordinates; shards=S times the widest
+// shard's slice — the work each replica performs concurrently in a real
+// deployment, so throughput relative to flat is the protocol's scaling claim
+// (coordinate-wise rules are O(width), so 4 shards should run close to 4x).
+func BenchmarkShardedAggregation(b *testing.B) {
+	const n, f, d = 7, 2, 1_000_000
+	rng := tensor.NewRNG(7)
+	inputs := make([]tensor.Vector, n)
+	for i := range inputs {
+		inputs[i] = rng.NormalVector(d, 0, 1)
+	}
+	r, err := gar.New(gar.NameMedian, n, f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("flat", func(b *testing.B) {
+		dst := make(tensor.Vector, d)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.AggregateInto(dst, inputs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, shards := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			plan, err := shard.NewPlan(d, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lo, hi := plan.Range(0) // shard 0 is always a widest shard
+			views := make([]tensor.Vector, n)
+			for j, v := range inputs {
+				views[j] = v[lo:hi]
+			}
+			dst := make(tensor.Vector, hi-lo)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.AggregateInto(dst, views); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // --- Design ablations called out in DESIGN.md ---
 

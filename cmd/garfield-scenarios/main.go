@@ -151,6 +151,7 @@ func runRun(args []string, out io.Writer) error {
 	stalenessBound := fs.Int("staleness-bound", 0, "override the async staleness bound tau (0: core default)")
 	compressCodec := fs.String("compress", "", "override the gradient codec: fp64/none, fp16, int8, topk")
 	topK := fs.Int("topk", 0, "override the top-k coordinate budget (with -compress topk)")
+	shards := fs.Int("shards", 0, "override the shard count (sharded topology)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -216,6 +217,9 @@ func runRun(args []string, out io.Writer) error {
 	if *topK > 0 {
 		sp.TopK = *topK
 	}
+	if *shards > 0 {
+		sp.Shards = *shards
+	}
 
 	res, err := scenario.Run(sp)
 	if err != nil {
@@ -251,6 +255,11 @@ func runRun(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "wire: %d pull replies, %.1f KB shipped (%s), %.1f KB saved vs fp64 (%.2fx)\n",
 				w.Replies, float64(w.ReplyPayloadBytes)/1024, codec,
 				float64(saved)/1024, w.ReplyCompressionRatio())
+		}
+		if sp.Topology == scenario.TopoSharded {
+			fmt.Fprintf(out, "sharded: %d committed rounds, %d aborted, %d failovers; %d shard pulls, %.1f KB ranged replies\n",
+				res.ShardRounds, res.ShardAborts, res.ShardFailovers,
+				res.Wire.ShardPulls, float64(res.Wire.ShardReplyBytes)/1024)
 		}
 		return nil
 	case "csv":

@@ -99,13 +99,15 @@ func (r *Report) Passed() bool {
 
 // suite names the invariants each chaos preset is checked against.
 var suites = map[string][]string{
-	"chaos-equivocate":     {"completes", "safety", "determinism"},
-	"chaos-byz-flip":       {"completes", "safety", "determinism"},
-	"chaos-partition-heal": {"completes", "liveness"},
-	"chaos-corrupt-link":   {"completes", "safety", "corruption-rejected"},
-	"chaos-reorder":        {"completes", "safety"},
-	"chaos-churn-attack":   {"completes", "safety", "membership", "churn-liveness", "determinism"},
-	"chaos-join-bootstrap": {"completes", "safety", "membership", "join-converges"},
+	"chaos-equivocate":      {"completes", "safety", "determinism"},
+	"chaos-byz-flip":        {"completes", "safety", "determinism"},
+	"chaos-partition-heal":  {"completes", "liveness"},
+	"chaos-corrupt-link":    {"completes", "safety", "corruption-rejected"},
+	"chaos-reorder":         {"completes", "safety"},
+	"chaos-churn-attack":    {"completes", "safety", "membership", "churn-liveness", "determinism"},
+	"chaos-join-bootstrap":  {"completes", "safety", "membership", "join-converges"},
+	"chaos-shard-crash":     {"completes", "safety", "shard-integrity", "determinism"},
+	"chaos-shard-partition": {"safety", "shard-integrity", "liveness"},
 }
 
 // Presets returns the chaos preset names the harness knows, in a stable
@@ -113,7 +115,8 @@ var suites = map[string][]string{
 func Presets() []string {
 	return []string{"chaos-equivocate", "chaos-byz-flip",
 		"chaos-partition-heal", "chaos-corrupt-link", "chaos-reorder",
-		"chaos-churn-attack", "chaos-join-bootstrap"}
+		"chaos-churn-attack", "chaos-join-bootstrap",
+		"chaos-shard-crash", "chaos-shard-partition"}
 }
 
 // Run executes one chaos preset's invariant suite.
@@ -186,6 +189,8 @@ func Run(preset string, opt Options) (*Report, error) {
 			}
 		case "join-converges":
 			c = checkJoinConverges(run)
+		case "shard-integrity":
+			c = checkShardIntegrity(sp, run)
 		}
 		rep.Checks = append(rep.Checks, c)
 	}
@@ -520,6 +525,41 @@ func checkJoinConverges(run *runOutcome) Check {
 		Name:   "join-converges",
 		Passed: true,
 		Detail: fmt.Sprintf("max honest replica spread %.3g <= %.3g across %d replicas", run.spread, JoinSpreadBound, run.servers),
+	}
+}
+
+// checkShardIntegrity: the sharded protocol's all-or-abort contract held
+// across the fault program — every scheduled iteration either committed a
+// full-coordinate reassembled model (counted in ShardRounds and Updates) or
+// aborted before any write (ShardAborts), with nothing in between, and the
+// surviving model is finite (a torn reassembly would have tripped the
+// runner's NaN sweep or left a poisoned norm).
+func checkShardIntegrity(sp scenario.Spec, run *runOutcome) Check {
+	rounds, aborts, failovers, updates := 0, 0, 0, 0
+	for _, seg := range run.segments {
+		rounds += seg.Result.ShardRounds
+		aborts += seg.Result.ShardAborts
+		failovers += seg.Result.ShardFailovers
+		updates += seg.Result.Updates
+	}
+	switch {
+	case rounds+aborts != sp.Iterations:
+		return Check{Name: "shard-integrity", Passed: false,
+			Detail: fmt.Sprintf("%d committed + %d aborted rounds != %d scheduled iterations (a round vanished)",
+				rounds, aborts, sp.Iterations)}
+	case updates != rounds:
+		return Check{Name: "shard-integrity", Passed: false,
+			Detail: fmt.Sprintf("%d model updates != %d committed rounds (a write escaped the all-or-abort gate)",
+				updates, rounds)}
+	case math.IsNaN(run.modelNorm) || math.IsInf(run.modelNorm, 0):
+		return Check{Name: "shard-integrity", Passed: false,
+			Detail: fmt.Sprintf("surviving model norm %v is not finite (torn reassembly)", run.modelNorm)}
+	}
+	return Check{
+		Name:   "shard-integrity",
+		Passed: true,
+		Detail: fmt.Sprintf("%d committed + %d aborted = %d rounds, %d failovers, no torn writes (norm %.3g)",
+			rounds, aborts, sp.Iterations, failovers, run.modelNorm),
 	}
 }
 

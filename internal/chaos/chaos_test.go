@@ -180,6 +180,43 @@ func TestChurnSweepBitIdenticalPerSeed(t *testing.T) {
 	}
 }
 
+// TestShardOwnerCrashRecoveryIntegrity asserts the sharded no-torn-writes
+// acceptance story piece by piece: a shard-owning replica crashes mid-run and
+// recovers later; its shards fail over (counted) without losing a round, every
+// committed round is a full-coordinate write, and the recovered replica's
+// segment aborts nothing.
+func TestShardOwnerCrashRecoveryIntegrity(t *testing.T) {
+	sp, err := scenario.ByName("chaos-shard-crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testing.Short() {
+		sp = shrink(sp, 3)
+	}
+	run, err := execute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.updates() != sp.Iterations {
+		t.Fatalf("updates = %d, want %d: failover must not cost rounds", run.updates(), sp.Iterations)
+	}
+	if len(run.segments) != 3 {
+		t.Fatalf("want 3 segments (healthy, crashed, recovered), got %d", len(run.segments))
+	}
+	crashed := run.segments[1].Result
+	if crashed.ShardFailovers == 0 {
+		t.Fatal("crashed-owner segment counted no shard failovers")
+	}
+	recovered := run.segments[2].Result
+	if recovered.ShardAborts != 0 || recovered.ShardRounds != recovered.Updates {
+		t.Fatalf("post-recovery segment: rounds=%d aborts=%d updates=%d",
+			recovered.ShardRounds, recovered.ShardAborts, recovered.Updates)
+	}
+	if c := checkShardIntegrity(sp, run); !c.Passed {
+		t.Fatalf("shard-integrity: %s", c.Detail)
+	}
+}
+
 // TestRunRejectsUnknownPreset pins the harness error path.
 func TestRunRejectsUnknownPreset(t *testing.T) {
 	if _, err := Run("chaos-imaginary", Options{}); err == nil ||

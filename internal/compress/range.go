@@ -1,0 +1,58 @@
+package compress
+
+import (
+	"math"
+
+	"garfield/internal/tensor"
+)
+
+// CompressRange appends the encoding of v[lo:hi] to dst — the payload of a
+// shard-ranged pull reply. The caller must guarantee 0 <= lo < hi <= len(v);
+// the rpc layer validates ranges before they reach a compressor.
+//
+// The dense codecs are pure functions of the slice, so slicing before
+// encoding is all there is to it. Top-k is stateful: the error-feedback
+// residual stays full-dimension and only its [lo:hi) slice is folded and
+// updated, so a fleet of shard owners each pulling their own range leaves
+// exactly the same residual the single flat pull would — per-shard error
+// feedback composes coordinate for coordinate, and no residual reallocation
+// churn happens when ranges of different widths interleave. The per-range
+// top-k budget is the configured k scaled by the range's share of the
+// dimension (at least 1), so S shard pulls ship ~k kept coordinates in total,
+// matching the flat pull's budget.
+func (c *Compressor) CompressRange(dst []byte, v tensor.Vector, lo, hi int) []byte {
+	switch c.enc {
+	case EncFP16:
+		return appendFP16(dst, v[lo:hi])
+	case EncInt8:
+		return appendInt8(dst, v[lo:hi])
+	case EncTopK:
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if len(c.residual) != len(v) {
+			c.residual = tensor.New(len(v))
+		}
+		return c.topKLocked(dst, v[lo:hi], c.residual[lo:hi], RangeK(c.k, len(v), lo, hi))
+	default:
+		return appendFP64(dst, v[lo:hi])
+	}
+}
+
+// RangeK returns the top-k budget of a [lo, hi) range of a d-dimensional
+// vector under a full-vector budget of k: k scaled by the range's share of
+// the coordinates, rounded to nearest, floored at 1 so every shard ships
+// something. Deterministic, so every replica prices a shard identically.
+func RangeK(k, d, lo, hi int) int {
+	w := hi - lo
+	if w >= d {
+		return k
+	}
+	ks := int(math.Round(float64(k) * float64(w) / float64(d)))
+	if ks < 1 {
+		ks = 1
+	}
+	if ks > w {
+		ks = w
+	}
+	return ks
+}

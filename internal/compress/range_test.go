@@ -1,0 +1,132 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+
+	"garfield/internal/tensor"
+)
+
+func rangeTestVector(d int) tensor.Vector {
+	rng := tensor.NewRNG(0x5A4D)
+	return rng.NormalVector(d, 0, 3)
+}
+
+// TestCompressRangeFullEqualsCompress: the full range is the flat path,
+// byte for byte, for every codec — a ranged protocol with one shard is the
+// unsharded protocol.
+func TestCompressRangeFullEqualsCompress(t *testing.T) {
+	v := rangeTestVector(257)
+	for _, enc := range []Encoding{EncFP64, EncFP16, EncInt8, EncTopK} {
+		a, err := NewCompressor(enc, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewCompressor(enc, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat := a.Compress(nil, v)
+		ranged := b.CompressRange(nil, v, 0, len(v))
+		if !bytes.Equal(flat, ranged) {
+			t.Fatalf("%v: CompressRange(0, d) differs from Compress", enc)
+		}
+	}
+}
+
+// TestCompressRangeDenseSlices: for the stateless codecs a ranged payload is
+// exactly the slice's flat encoding.
+func TestCompressRangeDenseSlices(t *testing.T) {
+	v := rangeTestVector(100)
+	for _, enc := range []Encoding{EncFP64, EncFP16, EncInt8} {
+		c, err := NewCompressor(enc, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range [][2]int{{0, 37}, {37, 81}, {81, 100}} {
+			got := c.CompressRange(nil, v, r[0], r[1])
+			want := c.Compress(nil, tensor.Vector(v[r[0]:r[1]]))
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%v range [%d,%d): ranged payload differs from slice encoding", enc, r[0], r[1])
+			}
+		}
+	}
+}
+
+// TestCompressRangeTopKResidual: ranged top-k keeps a full-dimension
+// residual, updates only the pulled slice, and error feedback works per
+// shard — a dropped coordinate resurfaces on that shard's next pull.
+func TestCompressRangeTopKResidual(t *testing.T) {
+	const d = 64
+	v := rangeTestVector(d)
+	c, err := NewCompressor(EncTopK, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := [][2]int{{0, 21}, {21, 42}, {42, 64}}
+
+	var decoded tensor.Vector
+	assembled := tensor.New(d)
+	for _, r := range ranges {
+		payload := c.CompressRange(nil, v, r[0], r[1])
+		if err := DecodeBounded(&decoded, EncTopK, payload, r[1]-r[0]); err != nil {
+			t.Fatalf("range [%d,%d): %v", r[0], r[1], err)
+		}
+		if len(decoded) != r[1]-r[0] {
+			t.Fatalf("range [%d,%d): decoded %d coordinates", r[0], r[1], len(decoded))
+		}
+		copy(assembled[r[0]:r[1]], decoded)
+	}
+	// Every transmitted coordinate is exact; the rest went to the residual.
+	kept := 0
+	for i := range assembled {
+		if assembled[i] != 0 {
+			if assembled[i] != v[i] {
+				t.Fatalf("coordinate %d: got %v, want %v", i, assembled[i], v[i])
+			}
+			kept++
+		}
+	}
+	if kept == 0 {
+		t.Fatal("no coordinates transmitted")
+	}
+	if c.ResidualNorm() == 0 {
+		t.Fatal("expected a pending residual after sparsified pulls")
+	}
+
+	// Second round on the same vector: residual feedback means previously
+	// dropped coordinates grow, so the union of two rounds covers more than
+	// either alone — and the ranged path must be deterministic per state.
+	c2, _ := NewCompressor(EncTopK, 8)
+	for _, r := range ranges {
+		p1 := c.CompressRange(nil, v, r[0], r[1])
+		c2.CompressRange(nil, v, r[0], r[1]) // advance c2 to the same state
+		p2 := c2.CompressRange(nil, v, r[0], r[1])
+		if !bytes.Equal(p1, p2) {
+			t.Fatalf("range [%d,%d): same state, different payloads", r[0], r[1])
+		}
+	}
+}
+
+func TestRangeK(t *testing.T) {
+	if got := RangeK(32, 100, 0, 100); got != 32 {
+		t.Fatalf("full range: RangeK = %d, want 32", got)
+	}
+	if got := RangeK(32, 100, 0, 50); got != 16 {
+		t.Fatalf("half range: RangeK = %d, want 16", got)
+	}
+	if got := RangeK(2, 1000, 0, 10); got != 1 {
+		t.Fatalf("tiny range: RangeK = %d, want the floor 1", got)
+	}
+	if got := RangeK(1000, 100, 10, 20); got != 10 {
+		t.Fatalf("budget past width: RangeK = %d, want the width 10", got)
+	}
+	// The per-shard budgets of a balanced partition sum to ~k.
+	total := 0
+	for _, r := range [][2]int{{0, 25}, {25, 50}, {50, 75}, {75, 100}} {
+		total += RangeK(32, 100, r[0], r[1])
+	}
+	if total != 32 {
+		t.Fatalf("4-shard budgets sum to %d, want 32", total)
+	}
+}

@@ -65,16 +65,23 @@ func (c *Compressor) compressTopK(dst []byte, v tensor.Vector) []byte {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
+	// Fold the pending residual into the signal being compressed.
+	if len(c.residual) != len(v) {
+		c.residual = tensor.New(len(v))
+	}
+	return c.topKLocked(dst, v, c.residual, c.k)
+}
+
+// topKLocked encodes the top-k coordinates of v + acc and leaves the
+// un-transmitted remainder in acc. acc must match v's length — for a full
+// compression it is the whole residual, for a ranged one (CompressRange) the
+// matching residual slice, so per-shard error feedback composes coordinate
+// for coordinate with the full-vector case. Callers hold c.mu.
+func (c *Compressor) topKLocked(dst []byte, v, acc tensor.Vector, k int) []byte {
 	d := len(v)
-	k := c.k
 	if k > d {
 		k = d
 	}
-	// Fold the pending residual into the signal being compressed.
-	if len(c.residual) != d {
-		c.residual = tensor.New(d)
-	}
-	acc := c.residual // after this call, acc IS the new residual
 	if cap(c.scratch.mags) < d {
 		c.scratch.mags = make([]float64, d)
 	}

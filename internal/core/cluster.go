@@ -107,6 +107,13 @@ type Config struct {
 	Compression string
 	TopK        int
 
+	// Shards is the shard count of the sharded-aggregation topology
+	// (RunSharded): the coordinate space (coordinate-wise rules) or the
+	// worker set (selection rules, hierarchically) is partitioned into that
+	// many parts, each owned by a server replica. 0 (the default) leaves
+	// sharding off; every other topology ignores it.
+	Shards int
+
 	// StalenessBound and StalenessDamping tune the asynchronous protocols
 	// (RunAsyncSSMW, RunAsyncMSMW). A gradient computed against the model
 	// at step t0 and aggregated at step t has staleness t - t0: gradients
@@ -186,6 +193,9 @@ func (c *Config) validate() error {
 	}
 	if c.StalenessBound < 0 {
 		return fmt.Errorf("%w: staleness bound %d < 0", ErrConfig, c.StalenessBound)
+	}
+	if c.Shards < 0 || c.Shards > 65535 {
+		return fmt.Errorf("%w: shards=%d (want 0..65535, the wire format's shard index width)", ErrConfig, c.Shards)
 	}
 	if enc, err := compress.Parse(c.Compression); err != nil {
 		return fmt.Errorf("%w: %v", ErrConfig, err)

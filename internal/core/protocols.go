@@ -37,6 +37,16 @@ type Result struct {
 	// exceeding the staleness bound (async protocols only).
 	StaleDrops int
 
+	// ShardRounds, ShardAborts and ShardFailovers instrument the sharded
+	// topology (RunSharded): rounds committed through full reassembly,
+	// rounds aborted with no model write (a pull or quorum failure anywhere
+	// in the round — the all-or-abort guarantee's observable half), and
+	// shard-ownership reassignments away from the preferred owner (a crashed
+	// owner's shards moving to the next live replica). All zero elsewhere.
+	ShardRounds    int
+	ShardAborts    int
+	ShardFailovers int
+
 	// Wire is the run's byte accounting, summed over every replica's
 	// pooled client: frame bytes in/out, and the pull-reply payload bytes
 	// as shipped versus their fp64-passthrough baseline — the pair the

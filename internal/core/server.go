@@ -73,6 +73,24 @@ type Server struct {
 	detHas  bool
 	detOK   bool
 	detVec  tensor.Vector
+
+	// partMu guards the shard-part store of the sharded-aggregation
+	// protocol: the aggregated parts this replica owns for the current
+	// round, served to peers via KindGetShardPart. Entries are keyed by
+	// shard index and stamped with their step; a pull whose step does not
+	// match the stored stamp is declined, so a part from an aborted or
+	// older round can never leak into a later reassembly. Buffers are
+	// reused across rounds (SetShardPart copies in place).
+	partMu sync.RWMutex
+	parts  map[uint16]*shardPart
+}
+
+// shardPart is one owned aggregated part: the round it belongs to and its
+// coordinates (a shard slice for coordinate-wise rules, a full-dimension
+// group winner for hierarchical selection).
+type shardPart struct {
+	step uint32
+	vec  tensor.Vector
 }
 
 // ServerConfig collects the dependencies of a Server.
@@ -199,6 +217,36 @@ func (s *Server) ResetDerived() {
 	s.detMu.Lock()
 	s.detHas, s.detOK, s.detVec = false, false, nil
 	s.detMu.Unlock()
+	s.partMu.Lock()
+	s.parts = nil
+	s.partMu.Unlock()
+}
+
+// AdoptState overwrites the replica's model state and step counter with a
+// peer's — the catch-up path of the sharded protocol, where a recovered
+// replica bootstraps from the fleet's newest live model before rejoining
+// reassembly. Checkpoint-restore semantics minus the encoding: optimizer
+// schedule state realigns to the adopted step, and every piece of derived
+// state (published aggregate, deterministic reply cache, owned shard parts)
+// is dropped — it was produced on a timeline this replica no longer
+// inhabits.
+func (s *Server) AdoptState(params tensor.Vector, step uint32) error {
+	if len(params) != s.arch.Dim() {
+		return fmt.Errorf("%w: adopt_state dim %d, model dim %d", ErrConfig, len(params), s.arch.Dim())
+	}
+	s.mu.Lock()
+	copy(s.params, params)
+	s.currentStep = step
+	s.latestAggr = nil
+	s.opt.ResetTo(int(step))
+	s.mu.Unlock()
+	s.detMu.Lock()
+	s.detHas, s.detOK, s.detVec = false, false, nil
+	s.detMu.Unlock()
+	s.partMu.Lock()
+	s.parts = nil
+	s.partMu.Unlock()
+	return nil
 }
 
 // GetGradients implements the paper's get_gradients(t, q): it broadcasts the
@@ -210,6 +258,35 @@ func (s *Server) GetGradients(ctx context.Context, t int, q int) ([]tensor.Vecto
 	replies, err := s.client.PullFirstQInto(ctx, s.workerList(), q, req, s.arena)
 	if err != nil {
 		return nil, fmt.Errorf("core: get_gradients(t=%d, q=%d): %w", t, q, err)
+	}
+	return s.replyVectors(replies), nil
+}
+
+// GetGradientsRange is get_gradients(t, q) restricted to one coordinate
+// shard: the request still carries the full model (the worker needs every
+// coordinate to compute its gradient) but asks for only the [lo, hi) slice
+// of the estimate, so the reply payload — and the decode bound — shrink to
+// the shard's width. shard tags the pull for per-shard wire accounting.
+func (s *Server) GetGradientsRange(ctx context.Context, t, q int, shard uint16, lo, hi int) ([]tensor.Vector, error) {
+	req := rpc.Request{
+		Kind: rpc.KindGetGradient, Step: uint32(t), Accept: s.accept,
+		Shard: shard, Lo: uint32(lo), Hi: uint32(hi), Vec: s.Params(),
+	}
+	replies, err := s.client.PullFirstQInto(ctx, s.workerList(), q, req, s.arena)
+	if err != nil {
+		return nil, fmt.Errorf("core: get_gradients_range(t=%d, q=%d, [%d:%d)): %w", t, q, lo, hi, err)
+	}
+	return s.replyVectors(replies), nil
+}
+
+// GetGradientsFrom is get_gradients(t, q) against an explicit worker subset
+// — the group-local pull of the hierarchical sharded protocol, where a
+// shard owner collects full gradients from its group's members only.
+func (s *Server) GetGradientsFrom(ctx context.Context, t int, workers []string, q int) ([]tensor.Vector, error) {
+	req := rpc.Request{Kind: rpc.KindGetGradient, Step: uint32(t), Accept: s.accept, Vec: s.Params()}
+	replies, err := s.client.PullFirstQInto(ctx, workers, q, req, s.arena)
+	if err != nil {
+		return nil, fmt.Errorf("core: get_gradients_from(t=%d, q=%d of %d): %w", t, q, len(workers), err)
 	}
 	return s.replyVectors(replies), nil
 }
@@ -284,6 +361,56 @@ func (s *Server) SetLatestAggrGrad(g tensor.Vector) {
 	s.latestAggr = g.Clone()
 }
 
+// SetShardPart publishes this replica's aggregated part for (step, shard),
+// copying into the slot's reused buffer — the owner's half of the sharded
+// protocol's Phase A. Peers pull it with KindGetShardPart during Phase B
+// reassembly.
+func (s *Server) SetShardPart(step uint32, shard uint16, part tensor.Vector) {
+	s.partMu.Lock()
+	defer s.partMu.Unlock()
+	if s.parts == nil {
+		s.parts = make(map[uint16]*shardPart)
+	}
+	e := s.parts[shard]
+	if e == nil {
+		e = &shardPart{}
+		s.parts[shard] = e
+	}
+	e.step = step
+	e.vec = tensor.Resize(e.vec, len(part))
+	copy(e.vec, part)
+}
+
+// shardPartLocal returns the replica's own stored part for (step, shard)
+// without a network round trip — the owner's local read during Phase B. The
+// returned vector aliases the store; the single-goroutine sharded round
+// reads it before any later SetShardPart can overwrite it.
+func (s *Server) shardPartLocal(step uint32, shard uint16) (tensor.Vector, bool) {
+	s.partMu.RLock()
+	defer s.partMu.RUnlock()
+	e := s.parts[shard]
+	if e == nil || e.step != step {
+		return nil, false
+	}
+	return e.vec, true
+}
+
+// GetShardPart pulls one aggregated part from its owner — the reassembly
+// pull of Phase B. lo/hi carry the expected coordinate range so the reply
+// decoder is bounded by the part's width (hierarchical group winners span
+// the full dimension: lo=0, hi=d).
+func (s *Server) GetShardPart(ctx context.Context, owner string, step uint32, shard uint16, lo, hi int) (tensor.Vector, error) {
+	req := rpc.Request{
+		Kind: rpc.KindGetShardPart, Step: step,
+		Shard: shard, Lo: uint32(lo), Hi: uint32(hi),
+	}
+	v, err := s.client.Call(ctx, owner, req)
+	if err != nil {
+		return nil, fmt.Errorf("core: get_shard_part(step=%d, shard=%d) from %s: %w", step, shard, owner, err)
+	}
+	return v, nil
+}
+
 // ComputeAccuracy evaluates top-1 accuracy of the current model on the test
 // set — the paper's compute_accuracy method.
 func (s *Server) ComputeAccuracy(test *data.Dataset) (float64, error) {
@@ -304,6 +431,20 @@ func (s *Server) Handle(req rpc.Request) rpc.Response {
 			return rpc.Response{}
 		}
 		return s.serveVector(req, aggr.Clone())
+	case rpc.KindGetShardPart:
+		s.partMu.RLock()
+		var part tensor.Vector
+		if e := s.parts[req.Shard]; e != nil && e.step == req.Step {
+			// Clone under the lock: the response encoder reads the vector
+			// after Handle returns, when a later round's SetShardPart could
+			// already be overwriting the slot.
+			part = e.vec.Clone()
+		}
+		s.partMu.RUnlock()
+		if part == nil {
+			return rpc.Response{} // nothing owned for that (step, shard)
+		}
+		return s.serveVector(req, part)
 	case rpc.KindPing:
 		return rpc.Response{OK: true}
 	default:

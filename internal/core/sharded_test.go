@@ -1,0 +1,213 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"garfield/internal/gar"
+)
+
+// shardedBaseConfig is the crash-only server tier the sharded topology
+// requires (fps = 0), deterministic + sync-quorum so runs are bit-identical
+// and comparable float-for-float.
+func shardedBaseConfig(t *testing.T) Config {
+	cfg := baseConfig(t)
+	cfg.FPS = 0
+	cfg.NPS = 3
+	cfg.Deterministic = true
+	cfg.SyncQuorum = true
+	cfg.PullTimeout = 5 * time.Second
+	return cfg
+}
+
+// TestShardedMatchesFlatCoordinateWise is the golden equivalence lock of the
+// sharded protocol: for every coordinate-wise rule and every shard count in
+// {1, 2, 3, 7}, the sharded run's model trajectory is bit-identical to the
+// flat SSMW run's — the distributed composition of per-shard aggregation and
+// reassembly is the flat rule, float for float.
+func TestShardedMatchesFlatCoordinateWise(t *testing.T) {
+	rules := []string{gar.NameAverage, gar.NameMedian, gar.NameTrimmedMean, gar.NamePhocas}
+	opt := RunOptions{Iterations: 3}
+	for _, rule := range rules {
+		cfg := shardedBaseConfig(t)
+		cfg.Rule = rule
+		flat := newTestCluster(t, cfg)
+		res, err := flat.RunSSMW(opt)
+		if err != nil {
+			t.Fatalf("%s: flat: %v", rule, err)
+		}
+		if res.Updates != opt.Iterations {
+			t.Fatalf("%s: flat applied %d updates", rule, res.Updates)
+		}
+		want := flat.Server(0).Params()
+
+		for _, shards := range []int{1, 2, 3, 7} {
+			scfg := cfg
+			scfg.Shards = shards
+			c := newTestCluster(t, scfg)
+			sres, err := c.RunSharded(opt)
+			if err != nil {
+				t.Fatalf("%s/shards=%d: %v", rule, shards, err)
+			}
+			if sres.Updates != opt.Iterations || sres.ShardRounds != opt.Iterations || sres.ShardAborts != 0 {
+				t.Fatalf("%s/shards=%d: updates=%d rounds=%d aborts=%d",
+					rule, shards, sres.Updates, sres.ShardRounds, sres.ShardAborts)
+			}
+			for r := 0; r < c.Servers(); r++ {
+				got := c.Server(r).Params()
+				if !got.Equal(want) {
+					t.Fatalf("%s/shards=%d: replica %d diverged from the flat run", rule, shards, r)
+				}
+			}
+			if shards > 1 && sres.Wire.ShardPulls == 0 {
+				t.Fatalf("%s/shards=%d: no shard pulls accounted", rule, shards)
+			}
+		}
+	}
+}
+
+// TestShardedHierarchicalSelection: a selection rule shards hierarchically —
+// group-local Krum plus a root round over the winners — and keeps every
+// replica on the identical trajectory without a model-exchange phase.
+func TestShardedHierarchicalSelection(t *testing.T) {
+	cfg := shardedBaseConfig(t)
+	cfg.NW, cfg.FW = 15, 1 // groups of 5: krum's 2f+3 floor holds per group
+	cfg.Rule = gar.NameKrum
+	cfg.Shards = 3
+	c := newTestCluster(t, cfg)
+	res, err := c.RunSharded(RunOptions{Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != 3 || res.ShardAborts != 0 {
+		t.Fatalf("updates=%d aborts=%d", res.Updates, res.ShardAborts)
+	}
+	want := c.Server(0).Params()
+	for r := 1; r < c.Servers(); r++ {
+		if !c.Server(r).Params().Equal(want) {
+			t.Fatalf("replica %d diverged", r)
+		}
+	}
+}
+
+// TestShardedFailoverAndRecovery: crashing a shard owner mid-run fails its
+// shards over to the next live replica (counted), and recovering it catches
+// the replica up to the fleet's model before its next round.
+func TestShardedFailoverAndRecovery(t *testing.T) {
+	cfg := shardedBaseConfig(t)
+	cfg.Shards = 3
+	c := newTestCluster(t, cfg)
+	opt := RunOptions{Iterations: 3}
+
+	if _, err := c.RunSharded(opt); err != nil {
+		t.Fatal(err)
+	}
+	c.CrashServer(0)
+	res, err := c.RunSharded(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != opt.Iterations {
+		t.Fatalf("crashed-owner segment applied %d of %d updates", res.Updates, opt.Iterations)
+	}
+	if res.ShardFailovers == 0 {
+		t.Fatal("no failovers counted with a crashed owner")
+	}
+	if err := c.RecoverServer(0); err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.RunSharded(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != opt.Iterations || res.ShardAborts != 0 {
+		t.Fatalf("post-recovery segment: updates=%d aborts=%d", res.Updates, res.ShardAborts)
+	}
+	want := c.Server(0).Params()
+	wantStep := c.Server(0).Step()
+	for r := 1; r < c.Servers(); r++ {
+		if got := c.Server(r).Step(); got != wantStep {
+			t.Fatalf("replica %d at step %d, want %d", r, got, wantStep)
+		}
+		if !c.Server(r).Params().Equal(want) {
+			t.Fatalf("recovered fleet diverged at replica %d", r)
+		}
+	}
+}
+
+// TestShardedAbortsCleanly: with a shard owner partitioned from the workers,
+// every round aborts before any model write — the no-torn-writes guarantee —
+// and healing restores liveness.
+func TestShardedAbortsCleanly(t *testing.T) {
+	cfg := shardedBaseConfig(t)
+	cfg.NPS = 2
+	cfg.Shards = 2
+	cfg.PullTimeout = 2 * time.Second
+	c := newTestCluster(t, cfg)
+	before := c.Server(0).Params()
+
+	workerAddrs := make([]string, cfg.NW)
+	for i := range workerAddrs {
+		workerAddrs[i] = c.WorkerAddr(i)
+	}
+	c.Partition([]string{c.ServerAddr(0)}, workerAddrs)
+	res, err := c.RunSharded(RunOptions{Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != 0 || res.ShardAborts != 3 {
+		t.Fatalf("partitioned segment: updates=%d aborts=%d", res.Updates, res.ShardAborts)
+	}
+	for r := 0; r < c.Servers(); r++ {
+		if !c.Server(r).Params().Equal(before) {
+			t.Fatalf("aborted rounds left a model write at replica %d", r)
+		}
+	}
+	c.HealPartitions()
+	res, err = c.RunSharded(RunOptions{Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != 3 || res.ShardAborts != 0 {
+		t.Fatalf("healed segment: updates=%d aborts=%d", res.Updates, res.ShardAborts)
+	}
+}
+
+// TestShardedConfigValidation: the topology's shape requirements fail fast.
+func TestShardedConfigValidation(t *testing.T) {
+	opt := RunOptions{Iterations: 1}
+	t.Run("no shards", func(t *testing.T) {
+		cfg := shardedBaseConfig(t)
+		c := newTestCluster(t, cfg)
+		if _, err := c.RunSharded(opt); !errors.Is(err, ErrConfig) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("byzantine server tier", func(t *testing.T) {
+		cfg := shardedBaseConfig(t)
+		cfg.Shards = 2
+		cfg.FPS = 1
+		c := newTestCluster(t, cfg)
+		if _, err := c.RunSharded(opt); !errors.Is(err, ErrConfig) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("more shards than coordinates", func(t *testing.T) {
+		cfg := shardedBaseConfig(t)
+		cfg.Shards = cfg.Arch.Dim() + 1
+		c := newTestCluster(t, cfg)
+		if _, err := c.RunSharded(opt); !errors.Is(err, ErrConfig) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("hierarchical group floor", func(t *testing.T) {
+		cfg := shardedBaseConfig(t)
+		cfg.Rule = gar.NameKrum // 2f+3 floor: groups of 2-3 cannot host f=1
+		cfg.Shards = 3
+		c := newTestCluster(t, cfg)
+		if _, err := c.RunSharded(opt); !errors.Is(err, ErrConfig) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}

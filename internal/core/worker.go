@@ -74,11 +74,16 @@ type Worker struct {
 	detOK     bool
 	detReply  tensor.Vector
 	detParams tensor.Vector
-	// detPayload caches the step's compressed reply alongside detReply, so
-	// the error-feedback residual advances exactly once per step however
-	// many replicas pull — the property that keeps deterministic runs
-	// bit-identical under compression.
-	detPayload []byte
+	// detPayloads caches the step's compressed replies alongside detReply,
+	// keyed by the pulled coordinate range ([0, d) for full pulls), so the
+	// error-feedback residual advances exactly once per (step, range)
+	// however many replicas pull — the property that keeps deterministic
+	// runs bit-identical under compression. Ranges within a step must be
+	// disjoint (the sharded protocol's are, by construction): top-k folds
+	// and updates only the pulled residual slice, so disjoint-range
+	// compressions commute, while overlapping ones would double-advance the
+	// shared coordinates.
+	detPayloads map[[2]uint32][]byte
 }
 
 var _ rpc.Handler = (*Worker)(nil)
@@ -239,6 +244,13 @@ func (w *Worker) Handle(req rpc.Request) rpc.Response {
 		if req.Vec == nil {
 			return rpc.Response{}
 		}
+		if req.Ranged() && int(req.Hi) > len(req.Vec) {
+			// A ranged pull's slice must fit the model the puller sent;
+			// anything else is a malformed or Byzantine request. Declining is
+			// the worker's only verdict — it holds no model state to
+			// re-bound the range against.
+			return rpc.Response{}
+		}
 		if w.det {
 			return w.handleDeterministic(req)
 		}
@@ -261,20 +273,27 @@ func (w *Worker) Handle(req rpc.Request) rpc.Response {
 // reply wraps a computed gradient into a response under the negotiated
 // payload encoding: compressed when the puller's Accept matches the
 // worker's codec exactly, fp64 passthrough otherwise (the mixed-fleet
-// fallback). The compressed payload is borrowed from the shared buffer pool
-// and handed back by the RPC serving loop after the frame is written, so
-// steady-state compression allocates no payload slices. For top-k the call
-// also advances the error-feedback residual — each pull is a fresh gradient
-// estimate in live mode, so each pull deposits its own un-sent remainder.
+// fallback). A ranged request (sharded aggregation) receives only its
+// [Lo, Hi) slice — compressed per shard with a proportional top-k budget, or
+// sliced passthrough. The compressed payload is borrowed from the shared
+// buffer pool and handed back by the RPC serving loop after the frame is
+// written, so steady-state compression allocates no payload slices. For
+// top-k the call also advances the error-feedback residual — each pull is a
+// fresh gradient estimate in live mode, so each pull deposits its own
+// un-sent remainder (a ranged pull deposits only its slice's).
 func (w *Worker) reply(req rpc.Request, vec tensor.Vector) rpc.Response {
-	if w.comp == nil || req.Accept != w.comp.Encoding() {
-		return rpc.Response{OK: true, Vec: vec}
+	lo, hi := 0, len(vec)
+	if req.Ranged() {
+		lo, hi = int(req.Lo), int(req.Hi)
 	}
-	buf := compress.GetBuf(w.comp.MaxEncodedSize(len(vec)))
+	if w.comp == nil || req.Accept != w.comp.Encoding() {
+		return rpc.Response{OK: true, Vec: vec[lo:hi]}
+	}
+	buf := compress.GetBuf(w.comp.MaxEncodedSize(hi - lo))
 	return rpc.Response{
 		OK:          true,
 		Enc:         w.comp.Encoding(),
-		Payload:     w.comp.Compress(buf, vec),
+		Payload:     w.comp.CompressRange(buf, vec, lo, hi),
 		FreePayload: true,
 	}
 }
@@ -300,7 +319,7 @@ func (w *Worker) handleDeterministic(req rpc.Request) rpc.Response {
 		return w.detResponse(req)
 	}
 	w.detStep, w.detHas, w.detOK = req.Step, true, false
-	w.detReply, w.detParams, w.detPayload = nil, req.Vec.Clone(), nil
+	w.detReply, w.detParams, w.detPayloads = nil, req.Vec.Clone(), nil
 	g, err := w.ComputeGradient(req.Vec)
 	if err != nil {
 		return rpc.Response{}
@@ -310,24 +329,36 @@ func (w *Worker) handleDeterministic(req rpc.Request) rpc.Response {
 		return rpc.Response{} // omission fault, replayed for the step
 	}
 	w.detOK, w.detReply = true, out
-	if w.comp != nil {
-		// Compress once per step, into a cached (non-pooled) buffer every
-		// puller shares: the error-feedback residual must advance once per
-		// gradient estimate, not once per replica pull, or the run would
-		// depend on pull arrival order.
-		w.detPayload = w.comp.Compress(make([]byte, 0, w.comp.MaxEncodedSize(len(out))), out)
-	}
 	return w.detResponse(req)
 }
 
 // detResponse serves the step's cached reply under the puller's negotiated
-// encoding: the cached compressed payload when the Accept byte matches the
-// worker's codec, the fp64 passthrough vector otherwise.
+// encoding and coordinate range. Compressed payloads are produced lazily,
+// once per (step, range), into cached (non-pooled) buffers every puller of
+// that range shares: the error-feedback residual must advance once per
+// gradient estimate per range, not once per replica pull, or the run would
+// depend on pull arrival order. Callers hold detMu.
 func (w *Worker) detResponse(req rpc.Request) rpc.Response {
-	if w.detPayload != nil && req.Accept == w.comp.Encoding() {
-		return rpc.Response{OK: true, Enc: w.comp.Encoding(), Payload: w.detPayload}
+	lo, hi := 0, len(w.detReply)
+	if req.Ranged() {
+		lo, hi = int(req.Lo), int(req.Hi)
+		if hi > len(w.detReply) {
+			return rpc.Response{}
+		}
 	}
-	return rpc.Response{OK: true, Vec: w.detReply}
+	if w.comp != nil && req.Accept == w.comp.Encoding() {
+		key := [2]uint32{uint32(lo), uint32(hi)}
+		p, ok := w.detPayloads[key]
+		if !ok {
+			p = w.comp.CompressRange(make([]byte, 0, w.comp.MaxEncodedSize(hi-lo)), w.detReply, lo, hi)
+			if w.detPayloads == nil {
+				w.detPayloads = make(map[[2]uint32][]byte)
+			}
+			w.detPayloads[key] = p
+		}
+		return rpc.Response{OK: true, Enc: w.comp.Encoding(), Payload: p}
+	}
+	return rpc.Response{OK: true, Vec: w.detReply[lo:hi]}
 }
 
 // ResetCompression clears the compressor's error-feedback residual (a no-op

@@ -113,6 +113,22 @@ func MinN(name string, f int) (int, error) {
 	}
 }
 
+// CoordinateWise reports whether the named rule computes every output
+// coordinate from the matching input coordinates alone — the property that
+// makes coordinate-space sharding exact: aggregating each contiguous slice
+// independently and concatenating the results is bit-identical to running
+// the rule over the full vectors. Selection rules (Krum, MultiKrum, MDA,
+// Bulyan) and GeoMedian score whole vectors by L2 geometry and are not
+// coordinate-wise; they shard hierarchically instead (see internal/shard).
+func CoordinateWise(name string) bool {
+	switch strings.ToLower(name) {
+	case NameAverage, NameMedian, NameTrimmedMean, NamePhocas:
+		return true
+	default:
+		return false
+	}
+}
+
 func checkInputs(r Rule, inputs []tensor.Vector) (int, error) {
 	if len(inputs) != r.N() {
 		return 0, fmt.Errorf("%w: %s expects %d, got %d", ErrInputCount, r.Name(), r.N(), len(inputs))

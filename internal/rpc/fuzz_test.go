@@ -19,6 +19,8 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add(encodeRequest(Request{Kind: KindGetModel, Step: 2, From: "server-1"}))
 	f.Add(encodeRequest(Request{Kind: KindGetGradient, Step: 3, From: "s", Vec: tensor.Vector{4}}))
 	f.Add(encodeRequest(Request{Kind: KindGetGradient, Step: 4, Accept: compress.EncInt8, Vec: tensor.Vector{5, 6}}))
+	f.Add(encodeRequest(Request{Kind: KindGetGradient, Step: 5, Shard: 2, Lo: 10, Hi: 20, From: "server-0"}))
+	f.Add(encodeRequest(Request{Kind: KindGetShardPart, Step: 6, Shard: 1, Lo: 0, Hi: 3, From: "server-2"}))
 	// hasVec flag set, truncated payload.
 	bad := encodeRequest(Request{Kind: KindGetGradient, Vec: tensor.Vector{1, 2}})
 	f.Add(bad[:9])
@@ -37,6 +39,9 @@ func FuzzDecodeRequest(f *testing.F) {
 		}
 		if again.Kind != req.Kind || again.Step != req.Step || again.From != req.From {
 			t.Fatalf("round trip mismatch: %+v vs %+v", again, req)
+		}
+		if again.Shard != req.Shard || again.Lo != req.Lo || again.Hi != req.Hi {
+			t.Fatalf("shard range round trip mismatch: %+v vs %+v", again, req)
 		}
 		if len(again.Vec) != len(req.Vec) {
 			t.Fatalf("vec length mismatch: %d vs %d", len(again.Vec), len(req.Vec))

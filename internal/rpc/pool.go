@@ -48,6 +48,8 @@ type PooledClient struct {
 	replies      atomic.Uint64
 	replyPayload atomic.Uint64
 	replyFP64    atomic.Uint64
+	shardPulls   atomic.Uint64
+	shardReplies atomic.Uint64
 	retries      atomic.Uint64
 	backoffNanos atomic.Uint64
 
@@ -82,6 +84,13 @@ type WireStats struct {
 	// under the passthrough encoding.
 	ReplyPayloadBytes uint64
 	ReplyFP64Bytes    uint64
+	// ShardPulls counts the successfully decoded replies of sharded-
+	// aggregation traffic — ranged gradient pulls and shard-part reassembly
+	// pulls — and ShardReplyBytes their shipped payload bytes. Both are
+	// subsets of Replies / ReplyPayloadBytes: together with them they show
+	// what fraction of the reply stream the sharding layer moved.
+	ShardPulls      uint64
+	ShardReplyBytes uint64
 	// Retries counts call attempts repeated after a retriable idle-death
 	// failure; BackoffNanos is the total time those retries spent sleeping
 	// in the jittered exponential backoff. Together they make churn storms
@@ -101,6 +110,8 @@ func (s WireStats) Add(o WireStats) WireStats {
 		Replies:           s.Replies + o.Replies,
 		ReplyPayloadBytes: s.ReplyPayloadBytes + o.ReplyPayloadBytes,
 		ReplyFP64Bytes:    s.ReplyFP64Bytes + o.ReplyFP64Bytes,
+		ShardPulls:        s.ShardPulls + o.ShardPulls,
+		ShardReplyBytes:   s.ShardReplyBytes + o.ShardReplyBytes,
 		Retries:           s.Retries + o.Retries,
 		BackoffNanos:      s.BackoffNanos + o.BackoffNanos,
 	}
@@ -116,6 +127,8 @@ func (s WireStats) Sub(o WireStats) WireStats {
 		Replies:           s.Replies - o.Replies,
 		ReplyPayloadBytes: s.ReplyPayloadBytes - o.ReplyPayloadBytes,
 		ReplyFP64Bytes:    s.ReplyFP64Bytes - o.ReplyFP64Bytes,
+		ShardPulls:        s.ShardPulls - o.ShardPulls,
+		ShardReplyBytes:   s.ShardReplyBytes - o.ShardReplyBytes,
 		Retries:           s.Retries - o.Retries,
 		BackoffNanos:      s.BackoffNanos - o.BackoffNanos,
 	}
@@ -139,6 +152,8 @@ func (c *PooledClient) Stats() WireStats {
 		Replies:           c.replies.Load(),
 		ReplyPayloadBytes: c.replyPayload.Load(),
 		ReplyFP64Bytes:    c.replyFP64.Load(),
+		ShardPulls:        c.shardPulls.Load(),
+		ShardReplyBytes:   c.shardReplies.Load(),
 		Retries:           c.retries.Load(),
 		BackoffNanos:      c.backoffNanos.Load(),
 	}
@@ -485,6 +500,13 @@ func (c *PooledClient) callLocked(ctx context.Context, pc *pooledConn, addr stri
 	// in the artifacts derives from.
 	c.replies.Add(1)
 	c.replyPayload.Add(uint64(payloadLen))
+	if req.Kind == KindGetShardPart || req.Ranged() {
+		// Sharded-aggregation traffic: shard-part reassembly pulls and
+		// ranged gradient pulls, attributed for the per-shard columns of
+		// the sweep artifacts.
+		c.shardPulls.Add(1)
+		c.shardReplies.Add(uint64(payloadLen))
+	}
 	baseline := respHeaderSize // vector-less OK reply (ping)
 	if resp.Vec != nil {
 		baseline += compress.FP64EncodedSize(len(resp.Vec))

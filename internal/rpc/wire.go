@@ -29,6 +29,11 @@ const (
 	KindGetAggrGrad
 	// KindPing checks liveness.
 	KindPing
+	// KindGetShardPart asks a server replica for the aggregated part of one
+	// coordinate shard (or one hierarchical group winner) at a given step —
+	// the reassembly pull of the sharded-aggregation protocol. The request's
+	// Shard field names the part; Lo/Hi carry its coordinate range.
+	KindGetShardPart
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -42,6 +47,8 @@ func (k Kind) String() string {
 		return "get-aggr-grad"
 	case KindPing:
 		return "ping"
+	case KindGetShardPart:
+		return "get-shard-part"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -67,9 +74,25 @@ type Request struct {
 	// pullers differently and deterministically. Honest handlers must not
 	// trust it. At most 255 bytes survive encoding.
 	From string
+	// Shard names the coordinate shard (or hierarchical group) a sharded
+	// pull addresses: a KindGetShardPart request asks for part number Shard,
+	// and a ranged KindGetGradient carries the shard index its range belongs
+	// to so per-shard wire accounting stays attributable. Zero otherwise.
+	Shard uint16
+	// Lo and Hi delimit the half-open coordinate range [Lo, Hi) of a sharded
+	// pull. Hi > Lo marks the request as ranged: a ranged gradient pull asks
+	// the worker for only that slice of its gradient (the request still
+	// carries the full model in Vec — the worker needs every coordinate to
+	// compute the gradient), and the reply's decoder is bounded by Hi-Lo
+	// instead of the model dimension. Both zero on unsharded requests.
+	Lo, Hi uint32
 	// Vec is the optional request payload (nil when absent).
 	Vec tensor.Vector
 }
+
+// Ranged reports whether the request addresses a proper coordinate range
+// (Hi > Lo) rather than the full vector.
+func (r Request) Ranged() bool { return r.Hi > r.Lo }
 
 // Response carries the pulled vector, or OK=false when the node has nothing
 // to serve (e.g. a Byzantine node dropping its reply, or a step mismatch).
@@ -284,8 +307,12 @@ func fromLen(r Request) int {
 	return len(r.From)
 }
 
+// reqFixedSize is the fixed request prefix: kind(1) step(4) accept(1)
+// shard(2) lo(4) hi(4), followed by fromLen(1) from(n) hasVec(1) [vec].
+const reqFixedSize = 16
+
 func encodedRequestSize(r Request) int {
-	size := 8 + fromLen(r)
+	size := reqFixedSize + 2 + fromLen(r)
 	if r.Vec != nil {
 		size += r.Vec.EncodedSize()
 	}
@@ -293,19 +320,23 @@ func encodedRequestSize(r Request) int {
 }
 
 // encodeRequestTo serializes r into buf (len encodedRequestSize(r)):
-// kind(1) step(4) accept(1) fromLen(1) from(n) hasVec(1) [vec].
+// kind(1) step(4) accept(1) shard(2) lo(4) hi(4) fromLen(1) from(n)
+// hasVec(1) [vec].
 func encodeRequestTo(buf []byte, r Request) {
 	buf[0] = byte(r.Kind)
 	binary.LittleEndian.PutUint32(buf[1:], r.Step)
 	buf[5] = byte(r.Accept)
+	binary.LittleEndian.PutUint16(buf[6:], r.Shard)
+	binary.LittleEndian.PutUint32(buf[8:], r.Lo)
+	binary.LittleEndian.PutUint32(buf[12:], r.Hi)
 	n := fromLen(r)
-	buf[6] = byte(n)
-	copy(buf[7:], r.From[:n])
-	buf[7+n] = 0
+	buf[reqFixedSize] = byte(n)
+	copy(buf[reqFixedSize+1:], r.From[:n])
+	buf[reqFixedSize+1+n] = 0
 	if r.Vec != nil {
-		buf[7+n] = 1
+		buf[reqFixedSize+1+n] = 1
 		// Encoding into a correctly-sized buffer cannot fail.
-		_ = r.Vec.EncodeTo(buf[8+n:])
+		_ = r.Vec.EncodeTo(buf[reqFixedSize+2+n:])
 	}
 }
 
@@ -321,7 +352,7 @@ func encodeRequest(r Request) []byte {
 // payload req.Vec is nil; the previous buffer is handed back in spare so the
 // caller can keep it for the next request.
 func decodeRequestInto(req *Request, b []byte) (spare tensor.Vector, err error) {
-	if len(b) < 8 {
+	if len(b) < reqFixedSize+2 {
 		return req.Vec, fmt.Errorf("%w: request of %d bytes", ErrMalformed, len(b))
 	}
 	req.Kind = Kind(b[0])
@@ -330,17 +361,20 @@ func decodeRequestInto(req *Request, b []byte) (spare tensor.Vector, err error) 
 	// "compress only on exact codec match", so a value this build does not
 	// know simply never matches and the reply falls back to passthrough.
 	req.Accept = compress.Encoding(b[5])
-	n := int(b[6])
-	if len(b) < 8+n {
+	req.Shard = binary.LittleEndian.Uint16(b[6:])
+	req.Lo = binary.LittleEndian.Uint32(b[8:])
+	req.Hi = binary.LittleEndian.Uint32(b[12:])
+	n := int(b[reqFixedSize])
+	if len(b) < reqFixedSize+2+n {
 		return req.Vec, fmt.Errorf("%w: request of %d bytes, from of %d", ErrMalformed, len(b), n)
 	}
-	req.From = string(b[7 : 7+n])
-	if b[7+n] != 1 {
+	req.From = string(b[reqFixedSize+1 : reqFixedSize+1+n])
+	if b[reqFixedSize+1+n] != 1 {
 		spare = req.Vec
 		req.Vec = nil
 		return spare, nil
 	}
-	if err := req.Vec.UnmarshalBinary(b[8+n:]); err != nil {
+	if err := req.Vec.UnmarshalBinary(b[reqFixedSize+2+n:]); err != nil {
 		return req.Vec, fmt.Errorf("%w: %v", ErrMalformed, err)
 	}
 	return nil, nil
@@ -473,10 +507,14 @@ func decodeResponseInto(dst *tensor.Vector, b []byte, dimBound int) (Response, e
 }
 
 // replyDimBound returns the decoder's output-dimension cap for one call: a
-// gradient pull folds the model into the request, so its reply cannot
-// plausibly exceed that dimension; calls without a request vector fall back
-// to the global compress.MaxDim backstop.
+// ranged pull asks for exactly the [Lo, Hi) slice, so its reply cannot
+// plausibly exceed that width; a gradient pull folds the model into the
+// request, so its reply cannot exceed that dimension; calls without either
+// fall back to the global compress.MaxDim backstop.
 func replyDimBound(req Request) int {
+	if req.Ranged() {
+		return int(req.Hi - req.Lo)
+	}
 	if req.Vec != nil {
 		return len(req.Vec)
 	}

@@ -43,6 +43,7 @@ func Materialize(sp Spec) (core.Config, error) {
 		BatchSize: sp.BatchSize,
 		NW:        sp.NW, FW: sp.FW,
 		NPS: sp.NPS, FPS: sp.FPS,
+		Shards:           sp.Shards,
 		Rule:             sp.Rule,
 		ModelRule:        sp.ModelRule,
 		SyncQuorum:       sp.SyncQuorum,

@@ -324,6 +324,55 @@ func presets() map[string]Spec {
 		Seed: 62, Iterations: 150, AccEvery: 25,
 	})
 
+	// --- The sharded-aggregation deployments (internal/shard +
+	// core.RunSharded): the coordinate space (or, for selection rules, the
+	// worker set) is partitioned across a crash-only server tier, so no
+	// single replica pays the full O(n*d) pull or O(n^2*d) selection cost. ---
+	shm, shd := demoTask("shard-median", 70)
+	add(Spec{
+		Name:        "shard-median",
+		Description: "sharded coordinate-wise median: 4 replicas each own a quarter of the coordinate space (bit-identical to flat)",
+		Topology:    TopoSharded,
+		NW:          11, FW: 2,
+		NPS: 4, Shards: 4,
+		Rule:          gar.NameMedian,
+		SyncQuorum:    true,
+		Deterministic: true,
+		WorkerAttack:  AttackSpec{Name: attack.NameReversed},
+		Model:         shm, Dataset: shd, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 70, Iterations: 150, AccEvery: 25,
+	})
+	stm, std := demoTask("shard-topk", 71)
+	add(Spec{
+		Name:        "shard-topk",
+		Description: "sharded median with per-shard top-k sparsified pulls: each owner pulls only its range's share of the budget",
+		Topology:    TopoSharded,
+		NW:          9, FW: 1,
+		NPS: 3, Shards: 3,
+		Rule:          gar.NameMedian,
+		SyncQuorum:    true,
+		Deterministic: true,
+		Compression:   "topk", TopK: 16,
+		Model: stm, Dataset: std, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 71, Iterations: 150, AccEvery: 25,
+	})
+	skm, skd := demoTask("shard-hier-krum", 72)
+	add(Spec{
+		Name:        "shard-hier-krum",
+		Description: "hierarchical Krum: 3 groups of 5 workers select locally, a crash-only root round selects among the winners",
+		Topology:    TopoSharded,
+		NW:          15, FW: 1,
+		NPS: 3, Shards: 3,
+		Rule:          gar.NameKrum,
+		SyncQuorum:    true,
+		Deterministic: true,
+		Model:         skm, Dataset: skd, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 72, Iterations: 150, AccEvery: 25,
+	})
+
 	// --- The chaos presets (internal/chaos runs these under machine-
 	// checked resilience invariants; `garfield-scenarios chaos` is the CLI
 	// front end). Each exercises one adversary class the plain fault menu
@@ -479,6 +528,57 @@ func presets() map[string]Spec {
 				GroupB: []string{"worker-7", "worker-8"}},
 			{After: 20, Kind: FaultHeal},
 			{After: 20, Kind: FaultJoin, Target: "server"},
+		},
+	})
+
+	// A shard owner crashes a third of the way in and recovers at the
+	// two-thirds mark: its shards fail over to the next live replica (no
+	// round is lost), and on recovery the replica catches up from a donor's
+	// model. The shard-integrity invariant requires every committed round
+	// to be a full-coordinate write — no torn models.
+	scm, scd := demoTask("chaos-shard-crash", 73)
+	add(Spec{
+		Name:        "chaos-shard-crash",
+		Description: "sharded median through a shard owner's crash and recovery: failover keeps every round, catch-up rejoins the fleet",
+		Topology:    TopoSharded,
+		NW:          9, FW: 1,
+		NPS: 3, Shards: 3,
+		Rule:          gar.NameMedian,
+		SyncQuorum:    true,
+		Deterministic: true,
+		Model:         scm, Dataset: scd, BatchSize: 32,
+		LR:   LRSpec{Kind: LRConstant, Base: 0.25},
+		Seed: 73, Iterations: 24, AccEvery: 8,
+		Faults: []Fault{
+			{After: 8, Kind: FaultCrashServer, Node: 0},
+			{After: 16, Kind: FaultRecoverServer, Node: 0},
+		},
+	})
+
+	// A shard owner partitioned from every worker: its ranged pulls time
+	// out, so whole rounds abort cleanly (the safety invariant: zero model
+	// writes while partitioned, never a partial one), and the heal restores
+	// liveness for the back half of the run.
+	spm, spd := demoTask("chaos-shard-partition", 74)
+	add(Spec{
+		Name:        "chaos-shard-partition",
+		Description: "sharded median with a shard owner cut off from all workers: rounds abort with no torn writes until the heal",
+		Topology:    TopoSharded,
+		NW:          9, FW: 1,
+		NPS: 2, Shards: 2,
+		Rule:          gar.NameMedian,
+		SyncQuorum:    true,
+		Deterministic: true,
+		Model:         spm, Dataset: spd, BatchSize: 32,
+		LR:            LRSpec{Kind: LRConstant, Base: 0.25},
+		PullTimeoutMS: 750,
+		Seed:          74, Iterations: 24, AccEvery: 8,
+		Faults: []Fault{
+			{After: 10, Kind: FaultPartition,
+				GroupA: []string{"server-0"},
+				GroupB: []string{"worker-0", "worker-1", "worker-2", "worker-3",
+					"worker-4", "worker-5", "worker-6", "worker-7", "worker-8"}},
+			{After: 13, Kind: FaultHeal},
 		},
 	})
 

@@ -152,6 +152,8 @@ func runTopology(c *core.Cluster, sp Spec, ro core.RunOptions) (*core.Result, er
 		return c.RunMSMW(ro)
 	case TopoDecentralized:
 		return c.RunDecentralized(ro)
+	case TopoSharded:
+		return c.RunSharded(ro)
 	}
 	return nil, fmt.Errorf("%w: unknown topology %q", ErrSpec, sp.Topology)
 }
@@ -184,6 +186,8 @@ func applyFault(c *core.Cluster, sp Spec, flt Fault) error {
 	switch flt.Kind {
 	case FaultCrashServer:
 		c.CrashServer(flt.Node)
+	case FaultRecoverServer:
+		return c.RecoverServer(flt.Node)
 	case FaultCrashWorker:
 		c.CrashWorker(flt.Node)
 	case FaultDelayWorker:
@@ -259,6 +263,9 @@ func mergeResult(dst *core.Result, seg *core.Result, iterOffset int) {
 			seg.AvgStaleness*float64(seg.Updates)) / float64(dst.Updates+seg.Updates)
 	}
 	dst.StaleDrops += seg.StaleDrops
+	dst.ShardRounds += seg.ShardRounds
+	dst.ShardAborts += seg.ShardAborts
+	dst.ShardFailovers += seg.ShardFailovers
 	dst.Updates += seg.Updates
 	dst.WallTime += seg.WallTime
 	dst.Wire = dst.Wire.Add(seg.Wire)

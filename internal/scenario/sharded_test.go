@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// shardedSpec returns a small sharded-topology spec that passes validation:
+// a crash-only 3-replica server tier owning 2 coordinate ranges.
+func shardedSpec() Spec {
+	sp := validSpec()
+	sp.Topology = TopoSharded
+	sp.NPS = 3
+	sp.Shards = 2
+	sp.SyncQuorum = true
+	sp.Deterministic = true
+	return sp
+}
+
+// TestShardedSpecRuns drives the sharded topology end to end through the
+// scenario engine and checks the shard counters reach the merged result.
+func TestShardedSpecRuns(t *testing.T) {
+	sp := shardedSpec()
+	res, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != sp.Iterations || res.ShardRounds != sp.Iterations || res.ShardAborts != 0 {
+		t.Fatalf("updates=%d rounds=%d aborts=%d, want %d committed rounds",
+			res.Updates, res.ShardRounds, res.ShardAborts, sp.Iterations)
+	}
+	if res.Wire.ShardPulls == 0 || res.Wire.ShardReplyBytes == 0 {
+		t.Fatalf("no shard wire accounting: pulls=%d bytes=%d",
+			res.Wire.ShardPulls, res.Wire.ShardReplyBytes)
+	}
+}
+
+// TestShardedSpecMatchesFlat: through the scenario engine too, a sharded
+// coordinate-wise run reproduces the flat SSMW accuracy curve exactly.
+func TestShardedSpecMatchesFlat(t *testing.T) {
+	sp := shardedSpec()
+	sp.AccEvery = 2
+	sharded, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := sp
+	flat.Topology = TopoSSMW
+	flat.NPS, flat.Shards = 0, 0
+	fres, err := Run(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sharded.Accuracy.Points, fres.Accuracy.Points) {
+		t.Errorf("sharded accuracy %v != flat %v", sharded.Accuracy.Points, fres.Accuracy.Points)
+	}
+}
+
+// TestShardedSimMatchesLive: the sharded protocol is part of the simulator's
+// equivalence envelope — the sim-engine run reproduces the live run's curve.
+func TestShardedSimMatchesLive(t *testing.T) {
+	sp := shardedSpec()
+	sp.AccEvery = 2
+	live, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := sp
+	sim.Engine = EngineSim
+	sres, err := Run(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live.Accuracy.Points, sres.Accuracy.Points) {
+		t.Errorf("sim accuracy %v != live %v", sres.Accuracy.Points, live.Accuracy.Points)
+	}
+	if sres.ShardRounds != live.ShardRounds || sres.ShardAborts != live.ShardAborts {
+		t.Errorf("sim counters (rounds=%d aborts=%d) != live (rounds=%d aborts=%d)",
+			sres.ShardRounds, sres.ShardAborts, live.ShardRounds, live.ShardAborts)
+	}
+}
+
+// TestShardedFaultScheduleCrashRecover: a shard owner crashes mid-run and
+// recovers later; failover keeps every round and the merged counters span
+// the segments.
+func TestShardedFaultScheduleCrashRecover(t *testing.T) {
+	sp := shardedSpec()
+	sp.Iterations = 6
+	sp.Faults = []Fault{
+		{After: 2, Kind: FaultCrashServer, Node: 0},
+		{After: 4, Kind: FaultRecoverServer, Node: 0},
+	}
+	res, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != sp.Iterations || res.ShardRounds != sp.Iterations {
+		t.Fatalf("updates=%d rounds=%d, want %d (failover must not eat rounds)",
+			res.Updates, res.ShardRounds, sp.Iterations)
+	}
+	if res.ShardFailovers == 0 {
+		t.Fatal("no failovers merged across the crashed segment")
+	}
+}
+
+// TestShardedSpecValidation covers the sharded topology's spec-level error
+// paths.
+func TestShardedSpecValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"missing shards", func(sp *Spec) { sp.Shards = 0 }},
+		{"byzantine server tier", func(sp *Spec) { sp.FPS = 1 }},
+		{"shards off topology", func(sp *Spec) {
+			sp.Topology = TopoSSMW
+			sp.NPS = 0
+		}},
+		{"hierarchical group floor", func(sp *Spec) {
+			sp.Rule = "krum" // 2f+3: groups of 2-3 cannot host f=1
+			sp.Shards = 2
+		}},
+		{"recover-server out of range", func(sp *Spec) {
+			sp.Faults = []Fault{{After: 1, Kind: FaultRecoverServer, Node: 9}}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sp := shardedSpec()
+			tc.mutate(&sp)
+			if err := sp.Validate(); !errors.Is(err, ErrSpec) {
+				t.Fatalf("err = %v, want ErrSpec", err)
+			}
+		})
+	}
+}
+
+// TestShardedPresetsRun smoke-runs the shard presets at reduced length —
+// the same specs the CI smoke leg and the chaos harness drive.
+func TestShardedPresetsRun(t *testing.T) {
+	for _, name := range []string{"shard-median", "shard-topk", "shard-hier-krum"} {
+		t.Run(name, func(t *testing.T) {
+			sp, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp.Iterations, sp.AccEvery = 4, 2
+			res, err := Run(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Updates != sp.Iterations || res.ShardAborts != 0 {
+				t.Fatalf("updates=%d aborts=%d", res.Updates, res.ShardAborts)
+			}
+		})
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"garfield/internal/core"
 	"garfield/internal/data"
 	"garfield/internal/gar"
+	"garfield/internal/shard"
 )
 
 // ErrSpec reports an invalid scenario specification.
@@ -65,12 +66,17 @@ const (
 	// TopoDecentralized is Listing 3: peer-to-peer training, every node
 	// a server+worker pair.
 	TopoDecentralized = "decentralized"
+	// TopoSharded partitions the aggregation itself across a crash-only
+	// (fps = 0) server tier: coordinate-wise GARs shard the coordinate
+	// space exactly, selection GARs run a two-level hierarchy (see
+	// internal/shard and core.RunSharded). Requires Shards >= 1.
+	TopoSharded = "sharded"
 )
 
 // Topologies returns the recognized topology names in a stable order.
 func Topologies() []string {
 	return []string{TopoVanilla, TopoSSMW, TopoAggregaThor,
-		TopoCrashTolerant, TopoMSMW, TopoDecentralized}
+		TopoCrashTolerant, TopoMSMW, TopoDecentralized, TopoSharded}
 }
 
 // Engine names accepted by Spec.Engine.
@@ -221,6 +227,10 @@ const (
 	// FaultCrashServer crashes server replica Node: subsequent dials to
 	// it fail (transport.Faulty severs its links).
 	FaultCrashServer = "crash-server"
+	// FaultRecoverServer restores a crashed server replica Node: its links
+	// come back and (on the sharded topology) the replica catches up to
+	// the fleet's model before its next round.
+	FaultRecoverServer = "recover-server"
 	// FaultCrashWorker crashes worker Node.
 	FaultCrashWorker = "crash-worker"
 	// FaultDelayWorker makes worker Node a straggler: every dial to it
@@ -318,9 +328,15 @@ type Spec struct {
 	FW int `json:"fw,omitempty"`
 	// NPS and FPS are total and Byzantine server-replica counts. The
 	// decentralized topology ignores them (every node is a server+worker
-	// pair, so nps is forced to nw).
+	// pair, so nps is forced to nw). The sharded topology requires
+	// FPS = 0: its server tier is crash-only.
 	NPS int `json:"nps,omitempty"`
 	FPS int `json:"fps,omitempty"`
+	// Shards is the sharded topology's partition count: coordinate-wise
+	// rules split the coordinate space into that many ranges, selection
+	// rules split the workers into that many groups. Required (>= 1) with
+	// the sharded topology, rejected on every other.
+	Shards int `json:"shards,omitempty"`
 
 	// Rule is the gradient GAR; ModelRule the server-model GAR (MSMW,
 	// decentralized), defaulting to median.
@@ -456,6 +472,11 @@ func (sp Spec) gradShape() (q, f int) {
 			return sp.NW - sp.FW, sp.FW // async collects q = n - f
 		}
 		return sp.NW, sp.FW
+	case TopoSharded:
+		if sp.SyncQuorum {
+			return sp.NW, sp.FW
+		}
+		return sp.NW - sp.FW, sp.FW
 	default: // msmw, decentralized
 		if sp.SyncQuorum && !sp.Async {
 			return sp.NW, sp.FW
@@ -470,7 +491,7 @@ func (sp Spec) gradShape() (q, f int) {
 func (sp Spec) Validate() error {
 	switch sp.Topology {
 	case TopoVanilla, TopoSSMW, TopoAggregaThor, TopoCrashTolerant,
-		TopoMSMW, TopoDecentralized:
+		TopoMSMW, TopoDecentralized, TopoSharded:
 	case "":
 		return fmt.Errorf("%w: topology is required (one of %v)", ErrSpec, Topologies())
 	default:
@@ -491,6 +512,16 @@ func (sp Spec) Validate() error {
 	}
 	if sp.Topology == TopoMSMW && nps < 2 {
 		return fmt.Errorf("%w: msmw needs nps >= 2, got %d", ErrSpec, nps)
+	}
+	if sp.Topology == TopoSharded {
+		if sp.Shards < 1 {
+			return fmt.Errorf("%w: sharded topology needs shards >= 1, got %d", ErrSpec, sp.Shards)
+		}
+		if sp.FPS != 0 {
+			return fmt.Errorf("%w: sharded runs a crash-only server tier (fps must be 0, got %d)", ErrSpec, sp.FPS)
+		}
+	} else if sp.Shards != 0 {
+		return fmt.Errorf("%w: shards=%d requires the sharded topology (got %q)", ErrSpec, sp.Shards, sp.Topology)
 	}
 	if sp.BatchSize < 1 {
 		return fmt.Errorf("%w: batch_size=%d", ErrSpec, sp.BatchSize)
@@ -525,7 +556,15 @@ func (sp Spec) Validate() error {
 		rule = gar.NameAverage
 	}
 	q, f := sp.gradShape()
-	if _, err := gar.New(rule, q, f); err != nil {
+	if sp.Topology == TopoSharded && !gar.CoordinateWise(rule) {
+		// A selection rule shards hierarchically: the floor that matters is
+		// per worker group plus the crash-only root round, not the global
+		// (q, f) shape — shard.NewHierarchical checks exactly those.
+		if _, err := shard.NewHierarchical(rule, sp.NW, sp.FW, sp.Shards); err != nil {
+			return fmt.Errorf("%w: rule %q over %d shard groups (nw=%d, fw=%d): %v",
+				ErrSpec, rule, sp.Shards, sp.NW, sp.FW, err)
+		}
+	} else if _, err := gar.New(rule, q, f); err != nil {
 		return fmt.Errorf("%w: rule %q with (q=%d, f=%d): %v", ErrSpec, rule, q, f, err)
 	}
 	if sp.Topology == TopoMSMW || sp.Topology == TopoDecentralized {
@@ -699,7 +738,7 @@ func (sp Spec) validateFaults(nps int) error {
 		}
 		nwSlots, npsSlots := len(m.workerActive), len(m.serverActive)
 		switch flt.Kind {
-		case FaultCrashServer:
+		case FaultCrashServer, FaultRecoverServer:
 			if flt.Node < 0 || flt.Node >= npsSlots {
 				return fmt.Errorf("%w: fault %d: server %d of %d", ErrSpec, i, flt.Node, npsSlots)
 			}

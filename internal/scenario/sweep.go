@@ -176,6 +176,12 @@ type CellResult struct {
 	WireOut           uint64 `json:"wire_out"`
 	ReplyPayloadBytes uint64 `json:"reply_payload_bytes"`
 	ReplyFP64Bytes    uint64 `json:"reply_fp64_bytes"`
+	// ShardPulls and ShardReplyBytes count the shard-ranged pulls (and
+	// their reply-body bytes) of sharded-topology cells: the ranged
+	// gradient pulls plus the part-exchange calls of reassembly. Zero on
+	// every other topology; deterministic like the other wire counters.
+	ShardPulls      uint64 `json:"shard_pulls"`
+	ShardReplyBytes uint64 `json:"shard_reply_bytes"`
 	// Accuracy is the (iteration, accuracy) curve, also written as the
 	// cell's CSV artifact.
 	Accuracy []metrics.Point `json:"accuracy,omitempty"`
@@ -263,6 +269,8 @@ func runCell(cell Cell, timing bool) CellResult {
 	out.WireOut = res.Wire.BytesOut
 	out.ReplyPayloadBytes = res.Wire.ReplyPayloadBytes
 	out.ReplyFP64Bytes = res.Wire.ReplyFP64Bytes
+	out.ShardPulls = res.Wire.ShardPulls
+	out.ShardReplyBytes = res.Wire.ShardReplyBytes
 	out.Accuracy = append([]metrics.Point(nil), res.Accuracy.Points...)
 	if timing {
 		out.WallMS = float64(res.WallTime.Milliseconds())
@@ -342,6 +350,7 @@ func writeSummaryCSV(path string, rep *Report, timing bool) error {
 	header := []string{"id", "topology", "rule", "attack", "nw", "fw", "seed",
 		"status", "final_accuracy", "max_accuracy", "updates",
 		"wire_in", "wire_out", "reply_payload_bytes", "reply_fp64_bytes",
+		"shard_pulls", "shard_reply_bytes",
 		"sim_step_p50_ms", "sim_step_p99_ms", "sim_rounds_per_sec"}
 	if timing {
 		header = append(header, "wall_ms", "updates_per_sec")
@@ -361,6 +370,8 @@ func writeSummaryCSV(path string, rep *Report, timing bool) error {
 			strconv.FormatUint(c.WireOut, 10),
 			strconv.FormatUint(c.ReplyPayloadBytes, 10),
 			strconv.FormatUint(c.ReplyFP64Bytes, 10),
+			strconv.FormatUint(c.ShardPulls, 10),
+			strconv.FormatUint(c.ShardReplyBytes, 10),
 			strconv.FormatFloat(c.SimStepP50MS, 'g', -1, 64),
 			strconv.FormatFloat(c.SimStepP99MS, 'g', -1, 64),
 			strconv.FormatFloat(c.SimRoundsPerSec, 'g', -1, 64),

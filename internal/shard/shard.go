@@ -1,0 +1,293 @@
+// Package shard partitions the coordinate space of the model across server
+// replicas and re-expresses gradient aggregation over the partition — the
+// structural change that breaks the O(n²·d) single-box wall: with S shards,
+// each replica scores 1/S of the coordinates (coordinate-wise rules) or 1/S
+// of the workers (selection rules), so aggregation cost scales down with the
+// fleet instead of being pinned to one aggregator.
+//
+// Two regimes, chosen by gar.CoordinateWise:
+//
+//   - Coordinate-wise rules (average, median, trimmedmean, phocas) shard
+//     exactly. Every output coordinate depends only on the matching input
+//     coordinates, so aggregating each contiguous slice independently and
+//     concatenating the results is bit-identical to the unsharded rule —
+//     the property the golden equivalence tests lock float-for-float across
+//     shard counts {1, 2, 3, 7}.
+//
+//   - Selection rules (krum, multikrum, mda, bulyan) score whole vectors by
+//     L2 geometry and cannot be split by coordinate. They shard
+//     hierarchically: workers are partitioned into G contiguous groups, each
+//     group runs the rule locally over its members' gradients, and a root
+//     round runs the same rule over the G group winners. The output is not
+//     identical to the flat rule, but it is bounded: see the drift bounds
+//     below.
+//
+// # Hierarchical drift bounds
+//
+// Let H be the set of honest inputs, diam(H) the largest pairwise L2
+// distance within H, and assume at most f Byzantine inputs per group (the
+// same per-aggregation bound f the flat rule assumes globally). Then:
+//
+//   - Krum / MultiKrum: every group winner is within diam(H) of some honest
+//     input (Krum's selection guarantee under n ≥ 2f+3 per group), and the
+//     root selection picks among such winners, so the hierarchical output
+//     lies within 2·diam(H) of the flat Krum output.
+//
+//   - MDA: each group output is the mean of an (n_g−f)-subset whose diameter
+//     is at most diam(H) (the minimal-diameter subset can always fall back
+//     to the group's honest members), so group outputs — and the root mean
+//     over them — stay within 2·diam(H) of the flat MDA output.
+//
+//   - Bulyan: both levels reduce to coordinate-wise averages of values
+//     bracketed by honest coordinates, so the hierarchical output is within
+//     2·diam(H) of the flat output in L2 (and within the honest coordinate
+//     range per coordinate).
+//
+// The shard tests assert these 2·diam(H) envelopes on seeded fixtures with
+// exactly f Byzantine inputs per group.
+package shard
+
+import (
+	"fmt"
+
+	"garfield/internal/gar"
+	"garfield/internal/tensor"
+)
+
+// Plan is a deterministic partition of [0, d) into n contiguous ranges:
+// the first d mod n ranges hold ⌈d/n⌉ coordinates, the rest ⌊d/n⌋. The same
+// construction partitions worker index space into hierarchical groups
+// (NewGroups), so shard maps are a pure function of (d, n) and every replica
+// derives an identical plan without coordination.
+type Plan struct {
+	d, n int
+}
+
+// NewPlan partitions d coordinates into n contiguous ranges. n must be at
+// least 1 and at most d (empty shards would make their owners decorative and
+// break the "every shard has coordinates" invariant reassembly relies on).
+func NewPlan(d, n int) (Plan, error) {
+	if n < 1 || d < 1 || n > d {
+		return Plan{}, fmt.Errorf("shard: invalid plan: %d coordinates into %d shards", d, n)
+	}
+	return Plan{d: d, n: n}, nil
+}
+
+// N returns the number of shards.
+func (p Plan) N() int { return p.n }
+
+// Dim returns the partitioned dimension.
+func (p Plan) Dim() int { return p.d }
+
+// Range returns the half-open coordinate range [lo, hi) of shard i.
+func (p Plan) Range(i int) (lo, hi int) {
+	base, rem := p.d/p.n, p.d%p.n
+	lo = i*base + min(i, rem)
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// MaxWidth returns the widest shard's coordinate count — the per-replica
+// critical path of one sharded aggregation round.
+func (p Plan) MaxWidth() int {
+	if p.d%p.n != 0 {
+		return p.d/p.n + 1
+	}
+	return p.d / p.n
+}
+
+// OwnerOf returns the shard index holding coordinate c.
+func (p Plan) OwnerOf(c int) int {
+	base, rem := p.d/p.n, p.d%p.n
+	wide := rem * (base + 1) // coordinates covered by the ⌈d/n⌉-wide shards
+	if c < wide {
+		return c / (base + 1)
+	}
+	return rem + (c-wide)/base
+}
+
+// Sharded aggregates with a coordinate-wise rule split across a Plan: shard
+// i's slice of every input is aggregated by its own rule instance into the
+// matching slice of the output. The result is bit-identical to the flat rule
+// (see the package comment); the per-shard rule instances are what a real
+// deployment distributes one-per-replica, and what the sharded benchmark
+// times one of (the critical path).
+type Sharded struct {
+	plan  Plan
+	rules []gar.Rule
+	views []tensor.Vector // per-shard input view scratch, reused across calls
+}
+
+// NewSharded builds a sharded coordinate-wise aggregator: rule over n inputs
+// tolerating f Byzantine ones, split into shards slices of dimension d.
+func NewSharded(rule string, n, f, d, shards int) (*Sharded, error) {
+	if !gar.CoordinateWise(rule) {
+		return nil, fmt.Errorf("shard: rule %q is not coordinate-wise; use NewHierarchical", rule)
+	}
+	plan, err := NewPlan(d, shards)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sharded{plan: plan, rules: make([]gar.Rule, shards), views: make([]tensor.Vector, n)}
+	for i := range s.rules {
+		r, err := gar.New(rule, n, f)
+		if err != nil {
+			return nil, fmt.Errorf("shard: %w", err)
+		}
+		s.rules[i] = r
+	}
+	return s, nil
+}
+
+// Plan returns the aggregator's coordinate partition.
+func (s *Sharded) Plan() Plan { return s.plan }
+
+// AggregateInto runs each shard's rule over the inputs' matching slices,
+// writing shard i's result into dst[lo_i:hi_i]. dst is reused when its
+// capacity suffices; the written vector is returned.
+func (s *Sharded) AggregateInto(dst tensor.Vector, inputs []tensor.Vector) (tensor.Vector, error) {
+	if len(inputs) != len(s.views) {
+		return nil, fmt.Errorf("%w: sharded expects %d, got %d", gar.ErrInputCount, len(s.views), len(inputs))
+	}
+	d, err := tensor.CheckSameDim(inputs)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	if d != s.plan.Dim() {
+		return nil, fmt.Errorf("shard: %w: plan over %d coordinates, inputs have %d",
+			tensor.ErrDimensionMismatch, s.plan.Dim(), d)
+	}
+	dst = tensor.Resize(dst, d)
+	for i, r := range s.rules {
+		lo, hi := s.plan.Range(i)
+		for j, v := range inputs {
+			s.views[j] = v[lo:hi]
+		}
+		out, err := r.AggregateInto(dst[lo:hi], s.views)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d [%d:%d): %w", i, lo, hi, err)
+		}
+		if &out[0] != &dst[lo] {
+			// The rule allocated fresh storage despite sufficient capacity;
+			// land the slice where reassembly expects it.
+			copy(dst[lo:hi], out)
+		}
+	}
+	return dst, nil
+}
+
+// NewGroups partitions n workers into g contiguous hierarchical groups —
+// the worker-space analogue of NewPlan.
+func NewGroups(n, g int) (Plan, error) {
+	p, err := NewPlan(n, g)
+	if err != nil {
+		return Plan{}, fmt.Errorf("shard: invalid groups: %d workers into %d groups", n, g)
+	}
+	return p, nil
+}
+
+// RootF returns the largest Byzantine tolerance t the named rule supports
+// over g root-round inputs (the most adversarial group winners the root
+// selection can absorb), or an error when g is below the rule's f=0 floor —
+// too few groups for the rule to run at all.
+func RootF(rule string, g int) (int, error) {
+	min0, err := gar.MinN(rule, 0)
+	if err != nil {
+		return 0, err
+	}
+	if g < min0 {
+		return 0, fmt.Errorf("%w: rule %q needs at least %d root inputs, got %d groups",
+			gar.ErrRequirement, rule, min0, g)
+	}
+	t := 0
+	for {
+		m, err := gar.MinN(rule, t+1)
+		if err != nil || g < m {
+			return t, nil
+		}
+		t++
+	}
+}
+
+// Hierarchical aggregates with a selection rule in two levels: the inputs
+// are partitioned into contiguous groups, each group runs the rule locally
+// over its members, and a root instance of the same rule aggregates the
+// group winners. Safety holds under at most f Byzantine inputs per group;
+// the output tracks the flat rule within the drift bounds documented in the
+// package comment.
+type Hierarchical struct {
+	groups  Plan
+	locals  []gar.Rule
+	root    gar.Rule
+	winners []tensor.Vector // per-group winner buffers, reused across calls
+	views   []tensor.Vector
+}
+
+// NewHierarchical builds a two-level aggregator: rule over n inputs split
+// into groups contiguous groups, tolerating f Byzantine inputs per group.
+// Every group must satisfy the rule's n ≥ g(f) floor, and the group count
+// must reach the rule's f=0 floor for the root round.
+func NewHierarchical(rule string, n, f, groups int) (*Hierarchical, error) {
+	if gar.CoordinateWise(rule) {
+		return nil, fmt.Errorf("shard: rule %q is coordinate-wise; use NewSharded (exact)", rule)
+	}
+	gp, err := NewGroups(n, groups)
+	if err != nil {
+		return nil, err
+	}
+	rootF, err := RootF(rule, groups)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	root, err := gar.New(rule, groups, rootF)
+	if err != nil {
+		return nil, fmt.Errorf("shard: root: %w", err)
+	}
+	h := &Hierarchical{
+		groups:  gp,
+		locals:  make([]gar.Rule, groups),
+		root:    root,
+		winners: make([]tensor.Vector, groups),
+		views:   make([]tensor.Vector, 0, n),
+	}
+	for i := range h.locals {
+		lo, hi := gp.Range(i)
+		r, err := gar.New(rule, hi-lo, f)
+		if err != nil {
+			return nil, fmt.Errorf("shard: group %d (%d members): %w", i, hi-lo, err)
+		}
+		h.locals[i] = r
+	}
+	return h, nil
+}
+
+// Groups returns the worker partition.
+func (h *Hierarchical) Groups() Plan { return h.groups }
+
+// RootF returns the root round's Byzantine tolerance.
+func (h *Hierarchical) RootF() int { return h.root.F() }
+
+// AggregateInto runs the group-local selections, then the root round over
+// the winners, into dst (reused when capacity suffices).
+func (h *Hierarchical) AggregateInto(dst tensor.Vector, inputs []tensor.Vector) (tensor.Vector, error) {
+	if len(inputs) != h.groups.Dim() {
+		return nil, fmt.Errorf("%w: hierarchical expects %d, got %d", gar.ErrInputCount, h.groups.Dim(), len(inputs))
+	}
+	for i, r := range h.locals {
+		lo, hi := h.groups.Range(i)
+		h.views = append(h.views[:0], inputs[lo:hi]...)
+		w, err := r.AggregateInto(h.winners[i], h.views)
+		if err != nil {
+			return nil, fmt.Errorf("shard: group %d: %w", i, err)
+		}
+		h.winners[i] = w
+	}
+	out, err := h.root.AggregateInto(dst, h.winners)
+	if err != nil {
+		return nil, fmt.Errorf("shard: root: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,249 @@
+package shard
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"garfield/internal/gar"
+	"garfield/internal/tensor"
+)
+
+func genInputs(seed uint64, n, d int) []tensor.Vector {
+	rng := tensor.NewRNG(seed)
+	out := make([]tensor.Vector, n)
+	for i := range out {
+		out[i] = rng.NormalVector(d, 0, 10)
+	}
+	return out
+}
+
+// TestPlanPartition: the ranges tile [0, d) contiguously, widths differ by
+// at most one, MaxWidth is the widest, and OwnerOf inverts Range.
+func TestPlanPartition(t *testing.T) {
+	for _, tc := range []struct{ d, n int }{{64, 1}, {64, 2}, {64, 3}, {64, 7}, {65, 7}, {7, 7}, {1000003, 8}} {
+		p, err := NewPlan(tc.d, tc.n)
+		if err != nil {
+			t.Fatalf("NewPlan(%d, %d): %v", tc.d, tc.n, err)
+		}
+		next, maxW, minW := 0, 0, tc.d
+		for i := 0; i < p.N(); i++ {
+			lo, hi := p.Range(i)
+			if lo != next || hi <= lo {
+				t.Fatalf("plan(%d,%d) shard %d: range [%d,%d) not contiguous after %d", tc.d, tc.n, i, lo, hi, next)
+			}
+			if w := hi - lo; w > maxW {
+				maxW = w
+			} else if w < minW {
+				minW = w
+			}
+			for c := lo; c < hi; c += 1 + (hi-lo)/3 {
+				if got := p.OwnerOf(c); got != i {
+					t.Fatalf("plan(%d,%d): OwnerOf(%d) = %d, want %d", tc.d, tc.n, c, got, i)
+				}
+			}
+			next = hi
+		}
+		if next != tc.d {
+			t.Fatalf("plan(%d,%d): ranges end at %d", tc.d, tc.n, next)
+		}
+		if minW < maxW-1 {
+			t.Fatalf("plan(%d,%d): widths range [%d,%d], want balanced", tc.d, tc.n, minW, maxW)
+		}
+		if p.MaxWidth() != maxW {
+			t.Fatalf("plan(%d,%d): MaxWidth %d, want %d", tc.d, tc.n, p.MaxWidth(), maxW)
+		}
+	}
+	for _, tc := range []struct{ d, n int }{{0, 1}, {4, 0}, {4, 5}, {-1, 1}} {
+		if _, err := NewPlan(tc.d, tc.n); err == nil {
+			t.Fatalf("NewPlan(%d, %d): expected error", tc.d, tc.n)
+		}
+	}
+}
+
+// TestShardedBitIdentical is the golden equivalence lock: sharded
+// coordinate-wise aggregation is float-for-float identical to the flat rule
+// at every tested shard count, including dimensions that do not divide
+// evenly.
+func TestShardedBitIdentical(t *testing.T) {
+	rules := []struct {
+		name string
+		n, f int
+	}{
+		{gar.NameAverage, 7, 0},
+		{gar.NameMedian, 7, 2},
+		{gar.NameTrimmedMean, 7, 2},
+		{gar.NamePhocas, 7, 2},
+	}
+	for _, rc := range rules {
+		for _, d := range []int{7, 64, 65, 97} {
+			inputs := genInputs(0xD15C0+uint64(d), rc.n, d)
+			flatRule, err := gar.New(rc.name, rc.n, rc.f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flat, err := flatRule.Aggregate(inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{1, 2, 3, 7} {
+				t.Run(rc.name+"/d="+strconv.Itoa(d)+"/s="+strconv.Itoa(shards), func(t *testing.T) {
+					s, err := NewSharded(rc.name, rc.n, rc.f, d, shards)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := s.AggregateInto(nil, inputs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !got.Equal(flat) {
+						t.Fatalf("sharded output differs from flat %s at d=%d shards=%d", rc.name, d, shards)
+					}
+					// Steady state: a second round must land in the same
+					// backing array bit-identically.
+					again, err := s.AggregateInto(got, inputs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if &again[0] != &got[0] {
+						t.Fatal("second aggregation reallocated the destination")
+					}
+					if !again.Equal(flat) {
+						t.Fatal("second aggregation differs from flat")
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestShardedRejects(t *testing.T) {
+	if _, err := NewSharded(gar.NameKrum, 9, 2, 64, 2); err == nil {
+		t.Fatal("NewSharded accepted a selection rule")
+	}
+	s, err := NewSharded(gar.NameMedian, 5, 2, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AggregateInto(nil, genInputs(1, 4, 64)); err == nil {
+		t.Fatal("accepted wrong input count")
+	}
+	if _, err := s.AggregateInto(nil, genInputs(1, 5, 32)); err == nil {
+		t.Fatal("accepted wrong dimension")
+	}
+}
+
+// hierFixture builds n inputs in g contiguous groups: honest members drawn
+// near a common distribution, plus exactly f Byzantine members per group
+// (the first f slots of each group) serving wildly scaled vectors. Returns
+// the inputs, the honest subset, and the honest diameter diam(H).
+func hierFixture(seed uint64, n, g, f, d int) (inputs, honest []tensor.Vector, diam float64) {
+	rng := tensor.NewRNG(seed)
+	inputs = make([]tensor.Vector, n)
+	gp, err := NewGroups(n, g)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < g; i++ {
+		lo, hi := gp.Range(i)
+		for j := lo; j < hi; j++ {
+			if j-lo < f {
+				inputs[j] = rng.NormalVector(d, 50, 100) // Byzantine: far off-distribution
+				continue
+			}
+			inputs[j] = rng.NormalVector(d, 0, 1)
+			honest = append(honest, inputs[j])
+		}
+	}
+	for a := range honest {
+		for b := a + 1; b < len(honest); b++ {
+			dist, _ := honest[a].Distance(honest[b])
+			if dist > diam {
+				diam = dist
+			}
+		}
+	}
+	return inputs, honest, diam
+}
+
+// TestHierarchicalDriftBounds locks the documented drift envelope: with at
+// most f Byzantine inputs per group, the two-level selection output stays
+// within 2·diam(H) of the flat rule's output on seeded fixtures, and within
+// the Byzantine-free reference's envelope too (the hierarchy does not
+// amplify the adversary).
+func TestHierarchicalDriftBounds(t *testing.T) {
+	cases := []struct {
+		rule       string
+		n, g, f, d int
+	}{
+		{gar.NameKrum, 15, 3, 1, 64},
+		{gar.NameMultiKrum, 15, 3, 1, 64},
+		{gar.NameMDA, 12, 3, 1, 64},
+		{gar.NameBulyan, 21, 3, 1, 64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.rule, func(t *testing.T) {
+			inputs, _, diam := hierFixture(0xBEEF+uint64(len(tc.rule)), tc.n, tc.g, tc.f, tc.d)
+			h, err := NewHierarchical(tc.rule, tc.n, tc.f, tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hier, err := h.AggregateInto(nil, inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			totalF := tc.g * tc.f
+			flatRule, err := gar.New(tc.rule, tc.n, totalF)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flat, err := flatRule.Aggregate(inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			drift, err := hier.Distance(flat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := 2 * diam
+			if math.IsNaN(drift) || drift > bound {
+				t.Fatalf("%s hierarchical drift %.4g exceeds 2·diam(H) = %.4g", tc.rule, drift, bound)
+			}
+			t.Logf("%s: drift %.4g within 2·diam(H) = %.4g (diam %.4g)", tc.rule, drift, bound, diam)
+
+			// Determinism: the same fixture aggregates to the same bits.
+			again, err := h.AggregateInto(nil, inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !again.Equal(hier) {
+				t.Fatalf("%s hierarchical aggregation is not deterministic", tc.rule)
+			}
+		})
+	}
+}
+
+// TestHierarchicalFloors: construction rejects group shapes below the rule's
+// resilience floor at either level.
+func TestHierarchicalFloors(t *testing.T) {
+	// Krum needs 2f+3 = 5 members per group: 4 groups of 3 fail locally.
+	if _, err := NewHierarchical(gar.NameKrum, 12, 1, 4); err == nil {
+		t.Fatal("accepted krum groups below the 2f+3 local floor")
+	}
+	// Krum's root round needs at least MinN(krum, 0) = 3 winners.
+	if _, err := NewHierarchical(gar.NameKrum, 10, 1, 2); err == nil {
+		t.Fatal("accepted a krum root round below the f=0 floor")
+	}
+	// Coordinate-wise rules must go through NewSharded.
+	if _, err := NewHierarchical(gar.NameMedian, 9, 1, 3); err == nil {
+		t.Fatal("accepted a coordinate-wise rule")
+	}
+	// Valid shape: root tolerance is the documented max t with G >= g(t).
+	h, err := NewHierarchical(gar.NameMDA, 15, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.RootF(); got != 2 { // mda: 2t+1 <= 5 → t = 2
+		t.Fatalf("RootF = %d, want 2", got)
+	}
+}
